@@ -1,0 +1,111 @@
+//! Codec and timestamped-wave microbenchmarks: synopsis
+//! serialization/deserialization cost and the timestamped variants'
+//! per-item throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use waves_core::{DetWave, SumWave, TimestampSumWave, TimestampWave};
+use waves_rand::{PartyMessage, RandConfig, UnionParty};
+use waves_streamgen::{Bernoulli, BitSource, UniformValues, ValueSource};
+
+fn filled_det_wave(eps: f64) -> DetWave {
+    let n = 1u64 << 14;
+    let mut w = DetWave::new(n, eps).unwrap();
+    let mut src = Bernoulli::new(0.5, 5);
+    for _ in 0..(3 * n) {
+        w.push_bit(src.next_bit());
+    }
+    w
+}
+
+fn bench_det_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("det_wave_codec");
+    for &eps in &[0.1f64, 0.02] {
+        let w = filled_det_wave(eps);
+        let bytes = w.encode();
+        g.bench_with_input(BenchmarkId::new("encode", eps), &w, |b, w| {
+            b.iter(|| w.encode())
+        });
+        g.bench_with_input(BenchmarkId::new("decode", eps), &bytes, |b, bytes| {
+            b.iter(|| DetWave::decode(bytes).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_sum_codec(c: &mut Criterion) {
+    let (n, r) = (1u64 << 12, 1u64 << 10);
+    let mut w = SumWave::new(n, r, 0.05).unwrap();
+    let mut src = UniformValues::new(r, 7);
+    for _ in 0..(3 * n) {
+        w.push_value(src.next_value()).unwrap();
+    }
+    let bytes = w.encode();
+    let mut g = c.benchmark_group("sum_wave_codec");
+    g.bench_function("encode", |b| b.iter(|| w.encode()));
+    g.bench_function("decode", |b| b.iter(|| SumWave::decode(&bytes).unwrap()));
+    g.finish();
+}
+
+fn bench_message_codec(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = 1u64 << 14;
+    let cfg = RandConfig::for_positions(n, 0.1, 0.1, &mut rng).unwrap();
+    let mut p = UnionParty::new(&cfg);
+    let mut src = Bernoulli::new(0.5, 9);
+    for _ in 0..(2 * n) {
+        p.push_bit(src.next_bit());
+    }
+    let msg = p.message(n).unwrap();
+    let bytes = msg.encode();
+    let mut g = c.benchmark_group("party_message_codec");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| msg.encode()));
+    g.bench_function("decode", |b| {
+        b.iter(|| PartyMessage::decode(&bytes).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_timestamp_push(c: &mut Criterion) {
+    const BATCH: usize = 1 << 13;
+    let mut g = c.benchmark_group("timestamp_push");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    // Pre-generate (dt, value, bit) tuples.
+    let mut rng = StdRng::seed_from_u64(3);
+    use rand::Rng;
+    let steps: Vec<(u64, u64, bool)> = (0..BATCH)
+        .map(|_| (rng.gen_range(0..2), rng.gen_range(0..=255u64), rng.gen_bool(0.5)))
+        .collect();
+    g.bench_function("timestamp_count", |b| {
+        let mut w = TimestampWave::new(1 << 12, 1 << 14, 0.05).unwrap();
+        let mut ts = 1u64;
+        b.iter(|| {
+            for &(dt, _, bit) in &steps {
+                ts += dt;
+                w.push(ts, bit).unwrap();
+            }
+            w.rank()
+        });
+    });
+    g.bench_function("timestamp_sum", |b| {
+        let mut w = TimestampSumWave::new(1 << 12, 1 << 14, 255, 0.05).unwrap();
+        let mut ts = 1u64;
+        b.iter(|| {
+            for &(dt, v, _) in &steps {
+                ts += dt;
+                w.push(ts, v).unwrap();
+            }
+            w.total()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_det_codec, bench_sum_codec, bench_message_codec, bench_timestamp_push
+);
+criterion_main!(benches);

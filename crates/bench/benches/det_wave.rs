@@ -1,0 +1,88 @@
+//! Per-item throughput: deterministic wave vs exponential histogram vs
+//! exact oracle, across bit densities (E4's statistical companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use waves_core::{DetWave, ExactCount};
+use waves_eh::EhCount;
+use waves_streamgen::{Bernoulli, BitSource};
+
+const N: u64 = 1 << 16;
+const EPS: f64 = 0.05;
+const BATCH: usize = 1 << 14;
+
+fn bits(p: f64) -> Vec<bool> {
+    Bernoulli::new(p, 42).take_bits(BATCH)
+}
+
+fn bench_push(c: &mut Criterion) {
+    let mut g = c.benchmark_group("basic_counting_push");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    for &density in &[0.1f64, 0.5, 1.0] {
+        let input = if density >= 1.0 {
+            vec![true; BATCH]
+        } else {
+            bits(density)
+        };
+        g.bench_with_input(
+            BenchmarkId::new("det_wave", density),
+            &input,
+            |b, input| {
+                let mut w = DetWave::new(N, EPS).unwrap();
+                b.iter(|| {
+                    for &bit in input {
+                        w.push_bit(bit);
+                    }
+                    w.rank()
+                });
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("eh", density), &input, |b, input| {
+            let mut eh = EhCount::new(N, EPS).unwrap();
+            b.iter(|| {
+                for &bit in input {
+                    eh.push_bit(bit);
+                }
+                eh.pos()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("exact", density), &input, |b, input| {
+            let mut e = ExactCount::new(N);
+            b.iter(|| {
+                for &bit in input {
+                    e.push_bit(bit);
+                }
+                e.rank()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_eps_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("det_wave_push_vs_eps");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    let input = bits(0.5);
+    for &inv_eps in &[4u64, 16, 64, 256] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(inv_eps),
+            &input,
+            |b, input| {
+                let mut w = DetWave::new(N, 1.0 / inv_eps as f64).unwrap();
+                b.iter(|| {
+                    for &bit in input {
+                        w.push_bit(bit);
+                    }
+                    w.rank()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_push, bench_eps_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Distinct-values wave: per-item cost across domain skew, and the
+//! referee's levelwise-union combine (Theorem 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use waves_rand::{DistinctParty, DistinctReferee, RandConfig};
+use waves_streamgen::{ValueSource, ZipfValues};
+
+const N: u64 = 1 << 12;
+const DOMAIN: u64 = 1 << 16;
+const BATCH: usize = 1 << 12;
+
+fn bench_push(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distinct_push");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    for &theta in &[0.0f64, 1.0, 1.5] {
+        let input = ZipfValues::new(DOMAIN as usize, theta, 11).take_values(BATCH);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("zipf_{theta}")),
+            &input,
+            |b, input| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let cfg = RandConfig::for_values(N, DOMAIN - 1, 0.2, 0.5, &mut rng)
+                    .unwrap()
+                    .with_instances(1, &mut rng);
+                let mut p = DistinctParty::new(&cfg);
+                b.iter(|| {
+                    for &v in input {
+                        p.push_value(v);
+                    }
+                    p.pos()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_combine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distinct_referee_combine");
+    for &t in &[2usize, 8] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = RandConfig::for_values(N, DOMAIN - 1, 0.2, 0.2, &mut rng).unwrap();
+        let mut parties: Vec<DistinctParty> =
+            (0..t).map(|_| DistinctParty::new(&cfg)).collect();
+        for (j, p) in parties.iter_mut().enumerate() {
+            let mut g2 = ZipfValues::new(DOMAIN as usize, 1.0, j as u64);
+            for _ in 0..(2 * N) {
+                p.push_value(g2.next_value());
+            }
+        }
+        let msgs: Vec<_> = parties.iter().map(|p| p.message(N).unwrap()).collect();
+        let referee = DistinctReferee::new(cfg);
+        let s = parties[0].pos() + 1 - N;
+        g.bench_with_input(BenchmarkId::from_parameter(t), &msgs, |b, msgs| {
+            b.iter(|| referee.estimate(msgs, s));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_push, bench_combine
+);
+criterion_main!(benches);

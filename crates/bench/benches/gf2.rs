@@ -1,0 +1,89 @@
+//! GF(2^d) substrate and level-oracle microbenchmarks (A3 ablation:
+//! hardware trailing_zeros vs the weak-model ruler oracle; hash cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use waves_core::level::{rank_level, sum_level, RulerLevelOracle};
+use waves_gf2::{Gf2Field, LevelHash};
+
+const BATCH: u64 = 1 << 14;
+
+fn bench_field_mul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf2_field_mul");
+    g.throughput(Throughput::Elements(BATCH));
+    for &d in &[16u32, 32, 63] {
+        let field = Gf2Field::new(d);
+        g.bench_with_input(BenchmarkId::from_parameter(d), &field, |b, field| {
+            b.iter(|| {
+                let mut acc = 1u64;
+                for i in 1..BATCH {
+                    acc = field.mul(acc, field.element(i.wrapping_mul(0x9E3779B97F4A7C15)));
+                }
+                acc
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("level_hash");
+    g.throughput(Throughput::Elements(BATCH));
+    let mut rng = StdRng::seed_from_u64(1);
+    let h = LevelHash::random(20, &mut rng);
+    g.bench_function("level", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in 0..BATCH {
+                acc += h.level(p) as u64;
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
+fn bench_level_oracles(c: &mut Criterion) {
+    // A3: hardware tz vs the weak-machine-model ruler oracle.
+    let mut g = c.benchmark_group("wave_level_oracle");
+    g.throughput(Throughput::Elements(BATCH));
+    g.bench_function("hardware_trailing_zeros", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in 1..=BATCH {
+                acc += rank_level(r) as u64;
+            }
+            acc
+        });
+    });
+    g.bench_function("ruler_oracle", |b| {
+        b.iter(|| {
+            let mut oracle = RulerLevelOracle::new(6);
+            let mut acc = 0u64;
+            for _ in 1..=BATCH {
+                acc += oracle.next_level() as u64;
+            }
+            acc
+        });
+    });
+    g.bench_function("sum_level_bit_trick", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            let mut total = 0u64;
+            for v in 1..=BATCH {
+                acc += sum_level(total, v) as u64;
+                total += v;
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_field_mul, bench_hash, bench_level_oracles
+);
+criterion_main!(benches);

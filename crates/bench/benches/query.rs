@@ -1,0 +1,63 @@
+//! Query-time benchmarks: O(1) max-window queries vs the
+//! O((1/eps) log(eps N)) general-window scan (Theorem 1 / Corollary 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use waves_core::{DetWave, SumWave};
+use waves_eh::EhCount;
+use waves_streamgen::{Bernoulli, BitSource, UniformValues, ValueSource};
+
+const N: u64 = 1 << 16;
+const EPS: f64 = 0.02;
+
+fn filled_wave() -> DetWave {
+    let mut w = DetWave::new(N, EPS).unwrap();
+    let mut src = Bernoulli::new(0.5, 5);
+    for _ in 0..(3 * N) {
+        w.push_bit(src.next_bit());
+    }
+    w
+}
+
+fn bench_query_max(c: &mut Criterion) {
+    let w = filled_wave();
+    let mut eh = EhCount::new(N, EPS).unwrap();
+    let mut src = Bernoulli::new(0.5, 5);
+    for _ in 0..(3 * N) {
+        eh.push_bit(src.next_bit());
+    }
+    let mut g = c.benchmark_group("query_max_window");
+    g.bench_function("det_wave_O1", |b| b.iter(|| w.query_max()));
+    g.bench_function("eh_scan", |b| b.iter(|| eh.query(N).unwrap()));
+    g.finish();
+}
+
+fn bench_query_general(c: &mut Criterion) {
+    let w = filled_wave();
+    let mut g = c.benchmark_group("query_general_window");
+    for &n in &[N / 64, N / 8, N - 1] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| w.query(n).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_sum_query(c: &mut Criterion) {
+    let r = 1u64 << 10;
+    let mut w = SumWave::new(N, r, EPS).unwrap();
+    let mut src = UniformValues::new(r, 9);
+    for _ in 0..(3 * N) {
+        w.push_value(src.next_value()).unwrap();
+    }
+    let mut g = c.benchmark_group("sum_query");
+    g.bench_function("query_max_O1", |b| b.iter(|| w.query_max()));
+    g.bench_function("query_half_window", |b| b.iter(|| w.query(N / 2).unwrap()));
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_query_max, bench_query_general, bench_sum_query
+);
+criterion_main!(benches);

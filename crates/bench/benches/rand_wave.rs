@@ -1,0 +1,68 @@
+//! Randomized union wave: per-item cost (expected O(1) field ops per
+//! instance) and referee combine cost (Theorem 5's query bound).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use waves_rand::{RandConfig, Referee, UnionParty};
+use waves_streamgen::{Bernoulli, BitSource};
+
+const N: u64 = 1 << 14;
+const BATCH: usize = 1 << 13;
+
+fn bench_push(c: &mut Criterion) {
+    let mut g = c.benchmark_group("union_wave_push");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    let input = Bernoulli::new(0.5, 3).take_bits(BATCH);
+    for &instances in &[1usize, 9, 37] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(instances),
+            &input,
+            |b, input| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let cfg = RandConfig::for_positions(N, 0.1, 0.5, &mut rng)
+                    .unwrap()
+                    .with_instances(instances | 1, &mut rng);
+                let mut p = UnionParty::new(&cfg);
+                b.iter(|| {
+                    for &bit in input {
+                        p.push_bit(bit);
+                    }
+                    p.pos()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_combine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("union_referee_combine");
+    for &t in &[2usize, 8, 32] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = RandConfig::for_positions(N, 0.1, 0.1, &mut rng).unwrap();
+        let mut parties: Vec<UnionParty> =
+            (0..t).map(|_| UnionParty::new(&cfg)).collect();
+        let mut src = Bernoulli::new(0.4, 9);
+        for _ in 0..(2 * N) {
+            let b = src.next_bit();
+            for p in parties.iter_mut() {
+                p.push_bit(b);
+            }
+        }
+        let msgs: Vec<_> = parties.iter().map(|p| p.message(N).unwrap()).collect();
+        let referee = Referee::new(cfg);
+        let s = parties[0].pos() + 1 - N;
+        g.bench_with_input(BenchmarkId::from_parameter(t), &msgs, |b, msgs| {
+            b.iter(|| referee.estimate(msgs, s));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_push, bench_combine
+);
+criterion_main!(benches);

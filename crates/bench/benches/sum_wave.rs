@@ -1,0 +1,81 @@
+//! Sum wave vs EH-sum per-item throughput across value ranges R
+//! (Theorem 3's timing claim, statistical companion to E6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use waves_core::SumWave;
+use waves_eh::EhSum;
+use waves_streamgen::{UniformValues, ValueSource};
+
+const N: u64 = 1 << 12;
+const EPS: f64 = 0.05;
+const BATCH: usize = 1 << 13;
+
+fn bench_push(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sum_push");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    for &log_r in &[4u32, 10, 16] {
+        let r = 1u64 << log_r;
+        let input = UniformValues::new(r, 7).take_values(BATCH);
+        g.bench_with_input(
+            BenchmarkId::new("sum_wave", format!("R=2^{log_r}")),
+            &input,
+            |b, input| {
+                let mut w = SumWave::new(N, r, EPS).unwrap();
+                b.iter(|| {
+                    for &v in input {
+                        w.push_value(v).unwrap();
+                    }
+                    w.total()
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("eh_sum", format!("R=2^{log_r}")),
+            &input,
+            |b, input| {
+                let mut eh = EhSum::new(N, r, EPS).unwrap();
+                b.iter(|| {
+                    for &v in input {
+                        eh.push_value(v).unwrap();
+                    }
+                    eh.pos()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_max_values(c: &mut Criterion) {
+    // Adversarial for EH-sum: every item is R (maximum fragmentation).
+    let mut g = c.benchmark_group("sum_push_max_values");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    let r = 1u64 << 16;
+    let input = vec![r; BATCH];
+    g.bench_function("sum_wave", |b| {
+        let mut w = SumWave::new(N, r, EPS).unwrap();
+        b.iter(|| {
+            for &v in &input {
+                w.push_value(v).unwrap();
+            }
+            w.total()
+        });
+    });
+    g.bench_function("eh_sum", |b| {
+        let mut eh = EhSum::new(N, r, EPS).unwrap();
+        b.iter(|| {
+            for &v in &input {
+                eh.push_value(v).unwrap();
+            }
+            eh.pos()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_push, bench_max_values
+);
+criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! E11 / E12: the Section 5 extensions — n-th most recent 1 and the
+//! sliding average composition.
+
+use crate::table::{f, pct, Table};
+use std::collections::VecDeque;
+use waves_core::{NthRecentWave, SlidingAverage};
+use waves_streamgen::{Bernoulli, BitSource, CallDurations, ValueSource};
+
+pub fn nth_recent() {
+    println!("E11 — Section 5: position of the n-th most recent 1");
+    println!("===================================================\n");
+    let (max_age, eps) = (1u64 << 16, 0.1);
+    let mut wave = NthRecentWave::new(max_age, eps).unwrap();
+    let mut truth: VecDeque<u64> = VecDeque::new();
+    let mut src = Bernoulli::new(0.08, 23);
+    let mut pos = 0u64;
+    for _ in 0..300_000u64 {
+        pos += 1;
+        let b = src.next_bit();
+        wave.push_bit(b);
+        if b {
+            truth.push_back(pos);
+        }
+        while truth.front().is_some_and(|&p| p + max_age <= pos) {
+            truth.pop_front();
+        }
+    }
+    let mut t = Table::new(&["n", "actual age", "interval", "estimate", "rel err"]);
+    let mut worst = 0.0f64;
+    for n in [1u64, 3, 10, 30, 100, 300, 1_000, 3_000] {
+        if (truth.len() as u64) < n {
+            continue;
+        }
+        let actual = pos - truth[truth.len() - n as usize];
+        let est = wave.query_age(n).unwrap().expect("within history");
+        assert!(est.brackets(actual));
+        let rel = if actual > 0 {
+            est.relative_error(actual)
+        } else {
+            0.0
+        };
+        worst = worst.max(rel);
+        t.row(&[
+            format!("{n}"),
+            format!("{actual}"),
+            format!("[{}, {}]", est.lo, est.hi),
+            f(est.value),
+            pct(rel),
+        ]);
+    }
+    t.print();
+    println!("\nmax observed relative error on ages: {} <= eps = {eps}", pct(worst));
+    assert!(worst <= eps + 1e-9);
+    println!("PASS");
+}
+
+pub fn histogram() {
+    use waves_core::WindowedHistogram;
+    println!("E16 — Section 5: windowed histogramming and certified quantiles");
+    println!("===============================================================\n");
+    let (n, r, buckets, eps) = (4_096u64, (1u64 << 16) - 1, 16usize, 0.02);
+    let mut hist = WindowedHistogram::equi_width(n, r, buckets, eps).unwrap();
+    let mut window: VecDeque<u64> = VecDeque::new();
+    let mut gen = CallDurations::new(r, 13);
+    for _ in 0..60_000u64 {
+        let v = gen.next_value();
+        hist.push_value(v).unwrap();
+        window.push_back(v);
+        if window.len() as u64 > n {
+            window.pop_front();
+        }
+    }
+    println!("(a) per-bucket counts vs exact (log-uniform values, eps = {eps}):");
+    let mut t = Table::new(&["bucket", "range", "actual", "estimate", "rel err"]);
+    let ests = hist.query(n).unwrap();
+    let mut worst = 0.0f64;
+    for (b, est) in ests.iter().enumerate() {
+        let (lo, hi) = hist.bucket_range(b);
+        let actual = window.iter().filter(|&&v| v >= lo && v <= hi).count() as u64;
+        assert!(est.brackets(actual));
+        let rel = est.relative_error(actual);
+        worst = worst.max(rel);
+        if b % 3 == 0 || rel == worst {
+            t.row(&[
+                format!("{b}"),
+                format!("[{lo}, {hi}]"),
+                format!("{actual}"),
+                f(est.value),
+                pct(rel),
+            ]);
+        }
+    }
+    t.print();
+    assert!(worst <= eps + 1e-9);
+    println!("worst bucket error {} <= eps\n", pct(worst));
+
+    println!("(b) certified quantile ranges:");
+    let mut sorted: Vec<u64> = window.iter().copied().collect();
+    sorted.sort_unstable();
+    let mut t = Table::new(&["q", "exact", "certified range"]);
+    for q in [0.25f64, 0.5, 0.9, 0.99] {
+        let idx = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+        let exact = sorted[idx];
+        let (lo, hi) = hist.query_quantile(n, q).unwrap().unwrap();
+        assert!(lo <= exact && exact <= hi, "q={q}");
+        t.row(&[
+            format!("{q}"),
+            format!("{exact}"),
+            format!("[{lo}, {hi}]"),
+        ]);
+    }
+    t.print();
+    let space = hist.space_report();
+    println!(
+        "\nspace: {} entries / {} bits across {} buckets (exact window: {} values)",
+        space.entries,
+        space.synopsis_bits,
+        hist.buckets(),
+        n
+    );
+    println!("PASS: buckets within eps; every quantile range certified");
+}
+
+pub fn average() {
+    println!("E12 — Section 5: sliding average via sum/count at eps/(2+eps)");
+    println!("=============================================================\n");
+    let window = 1_024u64;
+    let eps = 0.2;
+    let mut avg = SlidingAverage::with_eps(window, 1 << 14, 10_000, eps).unwrap();
+    let mut items: Vec<(u64, u64)> = Vec::new();
+    let mut gen = CallDurations::new(10_000, 31);
+    let mut rng_state = 99u64;
+    let mut ts = 0u64;
+    let mut t = Table::new(&["timestamp", "actual avg", "estimate", "interval", "rel err"]);
+    let mut worst = 0.0f64;
+    for step in 1..=60_000u64 {
+        rng_state = rng_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ts += (rng_state >> 60) % 3;
+        if ts == 0 {
+            ts = 1;
+        }
+        let v = gen.next_value();
+        avg.push(ts, v).unwrap();
+        items.push((ts, v));
+        if step % 10_000 == 0 {
+            let s = ts.saturating_sub(window - 1);
+            let in_w: Vec<u64> = items
+                .iter()
+                .filter(|&&(t0, _)| t0 >= s)
+                .map(|&(_, v)| v)
+                .collect();
+            if in_w.is_empty() {
+                continue;
+            }
+            let actual = in_w.iter().sum::<u64>() as f64 / in_w.len() as f64;
+            if let Some(r) = avg.query().unwrap() {
+                let rel = r.relative_error(actual);
+                worst = worst.max(rel);
+                t.row(&[
+                    format!("{ts}"),
+                    f(actual),
+                    f(r.value),
+                    format!("[{}, {}]", f(r.lo), f(r.hi)),
+                    pct(rel),
+                ]);
+            }
+        }
+    }
+    t.print();
+    println!(
+        "\nmax observed relative error: {} <= eps = {eps} (components at eps/(2+eps) = {})",
+        pct(worst),
+        f(waves_core::ratio_error_target(eps))
+    );
+    assert!(worst <= eps + 1e-9);
+    println!("PASS");
+}

@@ -1,0 +1,87 @@
+//! E1 / E2: reproduce Figures 1–3 and the Section 3.1 worked example.
+
+use waves_core::{BasicWave, DetWave};
+use waves_streamgen::figure1_stream;
+
+/// E1: the basic wave of Figure 2 over the Figure 1 stream, with the
+/// n = 39 query walk-through (x-hat = 23, actual 20).
+pub fn fig2() {
+    println!("E1 — Figure 1 + Figure 2: basic wave, eps = 1/3, N = 48");
+    println!("======================================================\n");
+    let stream = figure1_stream();
+    let ones = stream.iter().filter(|&&b| b).count();
+    println!("Figure 1 stream: {} bits, {} ones", stream.len(), ones);
+
+    let mut wave = BasicWave::new(48, 1.0 / 3.0).unwrap();
+    for &b in &stream {
+        wave.push_bit(b);
+    }
+    println!("pos = {}, rank = {}\n", wave.pos(), wave.rank());
+    println!("wave levels (1-ranks, oldest -> newest; positions in parens):");
+    for (i, lv) in wave.level_contents().iter().enumerate() {
+        let cells: Vec<String> = lv
+            .iter()
+            .map(|&(p, r)| format!("{r}({p})"))
+            .collect();
+        println!("  by 2^{i}: {}", cells.join("  "));
+    }
+
+    let est = wave.query(39).unwrap();
+    let actual = stream[60..].iter().filter(|&&b| b).count();
+    println!("\nquery n = 39 (window positions [61, 99]):");
+    println!("  paper: p1 = 44, p2 = 67, r1 = 24, r2 = 32, x-hat = 23, actual 20");
+    println!(
+        "  ours : interval [{}, {}], x-hat = {}, actual {}",
+        est.lo, est.hi, est.value, actual
+    );
+    println!(
+        "  relative error {:.4} <= eps = {:.4}",
+        est.relative_error(actual as u64),
+        1.0 / 3.0
+    );
+    assert_eq!(est.value, 23.0);
+    assert_eq!(actual, 20);
+    println!("\nPASS: worked example reproduced exactly");
+}
+
+/// E2: the optimal wave of Figure 3 (store-at-max-level layout) over the
+/// same stream.
+pub fn fig3() {
+    println!("E2 — Figure 3: optimal deterministic wave, eps = 1/3, N = 48");
+    println!("============================================================\n");
+    let stream = figure1_stream();
+    let mut wave = DetWave::new(48, 1.0 / 3.0).unwrap();
+    for &b in &stream {
+        wave.push_bit(b);
+    }
+    println!(
+        "pos = {}, rank = {}, levels = {}, entries = {}",
+        wave.pos(),
+        wave.rank(),
+        wave.num_levels(),
+        wave.entries()
+    );
+    println!("(positions older than pos - N = 51 are expired, per Section 3.2;");
+    println!(" Figure 3 keeps them only to show the full level shapes)\n");
+    println!("level contents (1-rank(position)):");
+    for (i, lv) in wave.level_contents().iter().enumerate() {
+        let cells: Vec<String> = lv
+            .iter()
+            .map(|&(p, r)| format!("{r}({p})"))
+            .collect();
+        println!("  level {i}: {}", cells.join("  "));
+    }
+    let est = wave.query(39).unwrap();
+    let actual = 20u64;
+    println!(
+        "\nquery n = 39: interval [{}, {}], x-hat = {}, actual {actual}",
+        est.lo, est.hi, est.value
+    );
+    assert!(est.relative_error(actual) <= 1.0 / 3.0);
+    let space = wave.space_report();
+    println!(
+        "space: {} entries, {} synopsis bits",
+        space.entries, space.synopsis_bits
+    );
+    println!("\nPASS: store-at-max-level wave matches Figure 3's structure");
+}

@@ -1,0 +1,72 @@
+//! E15: the Section 4.1 hash function — exact level distribution over
+//! the full domain and a pairwise-independence check over random draws.
+
+use crate::table::{f, pct, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use waves_gf2::LevelHash;
+
+pub fn run() {
+    println!("E15 — Section 4.1: level hash distribution and pairwise independence");
+    println!("====================================================================\n");
+
+    // Exact distribution over the full domain for a fixed (q, r).
+    let d = 16u32;
+    let h = LevelHash::from_parts(d, 0xB5A3, 0x1CE4);
+    let mut counts = vec![0u64; (d + 1) as usize];
+    for p in 0..(1u64 << d) {
+        counts[h.level(p) as usize] += 1;
+    }
+    println!("(a) exact level frequencies over all 2^{d} inputs (q, r fixed):");
+    let mut t = Table::new(&["level l", "count", "expected 2^(d-l-1)", "ratio"]);
+    for l in 0..=d.min(8) {
+        let expected = if l < d { 1u64 << (d - l - 1) } else { 1 };
+        t.row(&[
+            format!("{l}"),
+            format!("{}", counts[l as usize]),
+            format!("{expected}"),
+            f(counts[l as usize] as f64 / expected as f64),
+        ]);
+    }
+    t.print();
+    // With q != 0 the affine map is a bijection: frequencies are exact.
+    for l in 0..d {
+        assert_eq!(counts[l as usize], 1u64 << (d - l - 1));
+    }
+
+    // Pairwise independence over the (q, r) draw.
+    println!("\n(b) pairwise independence over random (q, r): joint vs product");
+    println!("    of marginals for events {{h(p) >= l}}, 30000 draws:");
+    let mut t = Table::new(&["l", "Pr[A]", "Pr[B]", "Pr[A and B]", "Pr[A]*Pr[B]", "gap"]);
+    let trials = 30_000u64;
+    let (p1, p2) = (0x1234u64, 0xBEEFu64);
+    for l in 1..=4u32 {
+        let mut rng = StdRng::seed_from_u64(l as u64);
+        let (mut a, mut b, mut ab) = (0u64, 0u64, 0u64);
+        for _ in 0..trials {
+            let h = LevelHash::random(20, &mut rng);
+            let xa = h.level(p1) >= l;
+            let xb = h.level(p2) >= l;
+            a += xa as u64;
+            b += xb as u64;
+            ab += (xa && xb) as u64;
+        }
+        let (pa, pb, pab) = (
+            a as f64 / trials as f64,
+            b as f64 / trials as f64,
+            ab as f64 / trials as f64,
+        );
+        let gap = (pab - pa * pb).abs();
+        assert!(gap < 0.01, "independence gap {gap} at level {l}");
+        t.row(&[
+            format!("{l}"),
+            pct(pa),
+            pct(pb),
+            pct(pab),
+            pct(pa * pb),
+            f(gap),
+        ]);
+    }
+    t.print();
+    println!("\nPASS: exact exponential marginals; joint factorizes within noise.");
+}

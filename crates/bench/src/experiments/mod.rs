@@ -1,0 +1,43 @@
+//! Experiment implementations, one module per DESIGN.md entry.
+
+pub mod ablations;
+pub mod det_error;
+pub mod distinct;
+pub mod extensions;
+pub mod figures;
+pub mod hash;
+pub mod latency;
+pub mod lower_bound;
+pub mod scaling;
+pub mod scenarios;
+pub mod space;
+pub mod sum;
+pub mod union;
+
+/// Dispatch an experiment by id. Returns false for an unknown id.
+pub fn run(id: &str) -> bool {
+    match id {
+        "fig2" => figures::fig2(),
+        "fig3" => figures::fig3(),
+        "det-error" => det_error::run(),
+        "latency" => latency::run(),
+        "space" => space::run(),
+        "sum" => sum::run(),
+        "lower-bound" => lower_bound::run(),
+        "union" => union::run(),
+        "distinct" => distinct::run(),
+        "predicates" => distinct::predicates(),
+        "nth-recent" => extensions::nth_recent(),
+        "average" => extensions::average(),
+        "histogram" => extensions::histogram(),
+        "scenarios" => scenarios::run(),
+        "scaling" => scaling::run(),
+        "hash" => hash::run(),
+        "ablate-levels" => ablations::levels(),
+        "ablate-c" => ablations::queue_constant(),
+        "ablate-estimator" => ablations::estimator(),
+        "coordinated" => ablations::coordinated(),
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,94 @@
+//! E14: query cost scaling — message sizes and referee work as functions
+//! of t, eps, and delta (Theorem 5's `O(t log(1/delta)(loglog N +
+//! 1/eps^2))` query bound).
+
+use crate::table::{f, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use waves_rand::{instances_for, RandConfig, Referee, UnionParty};
+use waves_streamgen::correlated_streams;
+
+pub fn run() {
+    println!("E14 — query cost scaling (Theorem 5)");
+    println!("====================================\n");
+    let (len, n) = (4_000usize, 1_024u64);
+
+    println!("(a) bytes per query vs t (eps = 0.2, delta = 0.1):");
+    let mut t = Table::new(&["t", "bytes/query", "bytes/(t)", "referee ns/query"]);
+    for &tp in &[2usize, 4, 8, 16] {
+        let streams = correlated_streams(tp, len, 0.3, 0.3, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = RandConfig::for_positions(n, 0.2, 0.1, &mut rng).unwrap();
+        let mut parties: Vec<UnionParty> =
+            (0..tp).map(|_| UnionParty::new(&cfg)).collect();
+        for i in 0..len {
+            for (j, p) in parties.iter_mut().enumerate() {
+                p.push_bit(streams[j][i]);
+            }
+        }
+        let msgs: Vec<_> = parties.iter().map(|p| p.message(n).unwrap()).collect();
+        let bytes: usize = msgs.iter().map(|m| m.wire_bytes(&cfg)).sum();
+        let referee = Referee::new(cfg);
+        let s = len as u64 + 1 - n;
+        let t0 = Instant::now();
+        let reps = 50;
+        for _ in 0..reps {
+            std::hint::black_box(referee.estimate(&msgs, s));
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / reps as f64;
+        t.row(&[
+            format!("{tp}"),
+            format!("{bytes}"),
+            f(bytes as f64 / tp as f64),
+            f(ns),
+        ]);
+    }
+    t.print();
+
+    println!("\n(b) bytes per party-message vs eps (t = 2, delta = 0.1,");
+    println!("    window 2^16 so even the largest queue is content-bound):");
+    let mut t = Table::new(&["eps", "queue cap (c/eps^2)", "bytes/message"]);
+    let (blen, bn) = (150_000usize, 1u64 << 16);
+    for &eps in &[0.4f64, 0.2, 0.1, 0.05] {
+        let tp = 2usize;
+        let streams = correlated_streams(tp, blen, 0.5, 0.2, 5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = RandConfig::for_positions(bn, eps, 0.1, &mut rng).unwrap();
+        let mut parties: Vec<UnionParty> =
+            (0..tp).map(|_| UnionParty::new(&cfg)).collect();
+        for i in 0..blen {
+            for (j, p) in parties.iter_mut().enumerate() {
+                p.push_bit(streams[j][i]);
+            }
+        }
+        let bytes = parties[0].message(bn).unwrap().wire_bytes(&cfg);
+        t.row(&[
+            format!("{eps}"),
+            format!("{}", cfg.queue_capacity()),
+            format!("{bytes}"),
+        ]);
+    }
+    t.print();
+
+    println!("\n(c) instances and stored-coin bits vs delta (eps = 0.2):");
+    let mut t = Table::new(&["delta", "instances (18 ln(1/d))", "coin bits", "synopsis bits/party"]);
+    for &delta in &[0.3f64, 0.1, 0.01, 0.001] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = RandConfig::for_positions(n, 0.2, delta, &mut rng).unwrap();
+        let mut p = UnionParty::new(&cfg);
+        let mut src = correlated_streams(1, len, 0.5, 0.0, 7).remove(0);
+        for b in src.drain(..) {
+            p.push_bit(b);
+        }
+        t.row(&[
+            format!("{delta}"),
+            format!("{}", instances_for(delta)),
+            format!("{}", cfg.stored_coin_bits()),
+            f(p.synopsis_bits(&cfg) as f64),
+        ]);
+    }
+    t.print();
+    println!("\nExpected shape: (a) bytes linear in t, referee time ~linear in t;");
+    println!("(b) message size ~1/eps^2; (c) instances/space ~log(1/delta).");
+}

@@ -1,0 +1,98 @@
+//! E13: the deterministic distributed scenarios (Section 3.4,
+//! Scenarios 1 and 2): accuracy and communication.
+
+use crate::table::{f, pct, Table};
+use waves_distributed::{Scenario1Count, Scenario1Sum, Scenario2Count};
+use waves_streamgen::{correlated_streams, split_logical_stream};
+
+pub fn run() {
+    println!("E13 — Scenarios 1–2: deterministic waves over distributed streams");
+    println!("=================================================================\n");
+
+    // Scenario 1, counts.
+    println!("(a) Scenario 1 (per-stream windows, Referee sums), counts:");
+    let mut t = Table::new(&["t", "eps", "actual", "estimate", "rel err", "msgs/query", "bytes/query"]);
+    let (len, n) = (20_000usize, 2_048u64);
+    for &tp in &[2usize, 4, 8] {
+        for &eps in &[0.1f64, 0.05] {
+            let streams = correlated_streams(tp, len, 0.3, 0.4, 5 + tp as u64);
+            let mut sc = Scenario1Count::new(tp, n, eps).unwrap();
+            for i in 0..len {
+                for j in 0..tp {
+                    sc.push_bit(j, streams[j][i]);
+                }
+            }
+            let actual: u64 = streams
+                .iter()
+                .map(|s| s[len - n as usize..].iter().filter(|&&b| b).count() as u64)
+                .sum();
+            let before = sc.comm();
+            let est = sc.query(n).unwrap();
+            let spent = sc.comm().bytes - before.bytes;
+            let rel = est.relative_error(actual);
+            assert!(rel <= eps + 1e-9);
+            t.row(&[
+                format!("{tp}"),
+                format!("{eps}"),
+                f(actual as f64),
+                f(est.value),
+                pct(rel),
+                format!("{tp}"),
+                format!("{spent}"),
+            ]);
+        }
+    }
+    t.print();
+
+    // Scenario 1, sums.
+    println!("\n(b) Scenario 1, sums of bounded integers (R = 1000):");
+    let (tp, n, r, eps) = (4usize, 1_024u64, 1_000u64, 0.1);
+    let mut sc = Scenario1Sum::new(tp, n, r, eps).unwrap();
+    let mut truth = vec![Vec::new(); tp];
+    let mut x = 17u64;
+    for _ in 0..10_000 {
+        for j in 0..tp {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = (x >> 33) % (r + 1);
+            sc.push_value(j, v).unwrap();
+            truth[j].push(v);
+        }
+    }
+    let actual: u64 = truth
+        .iter()
+        .map(|vs| vs[vs.len() - n as usize..].iter().sum::<u64>())
+        .sum();
+    let est = sc.query(n).unwrap();
+    println!(
+        "  t = {tp}, actual {actual}, estimate {}, rel err {}",
+        f(est.value),
+        pct(est.relative_error(actual))
+    );
+    assert!(est.relative_error(actual) <= eps + 1e-9);
+
+    // Scenario 2.
+    println!("\n(c) Scenario 2 (split logical stream):");
+    let mut t = Table::new(&["t", "actual", "estimate", "rel err"]);
+    let len = 30_000usize;
+    let n = 2_048u64;
+    let eps = 0.1;
+    let stream: Vec<bool> = (0..len).map(|i| (i * 2654435761) % 13 < 5).collect();
+    let actual = stream[len - n as usize..].iter().filter(|&&b| b).count() as u64;
+    for tp in [1usize, 3, 9] {
+        let parts = split_logical_stream(&stream, tp, 77);
+        let mut sc = Scenario2Count::new(tp, n, eps).unwrap();
+        for (j, part) in parts.iter().enumerate() {
+            for &(seq, b) in part {
+                sc.push_item(j, seq, b).unwrap();
+            }
+        }
+        let est = sc.query(len as u64, n).unwrap();
+        let rel = est.relative_error(actual);
+        assert!(rel <= eps + 1e-9);
+        t.row(&[format!("{tp}"), f(actual as f64), f(est.value), pct(rel)]);
+    }
+    t.print();
+    println!("\nPASS: both scenarios within eps with t constant-size messages per query.");
+}

@@ -1,0 +1,62 @@
+//! Worst-case (tail) latency measurement.
+//!
+//! Criterion reports distribution means; the paper's headline timing
+//! claim is about the *worst case* per item (wave O(1) vs EH O(log N)
+//! cascades), so this module measures per-item latency maxima and high
+//! quantiles directly.
+
+use std::time::Instant;
+
+/// Per-item latency distribution summary, in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyStats {
+    pub mean_ns: f64,
+    pub p50_ns: f64,
+    pub p999_ns: f64,
+    pub max_ns: f64,
+}
+
+/// Run `op` once per item of `items`, timing each call individually.
+///
+/// Note: timer granularity and OS jitter put a floor/noise on per-call
+/// numbers; the experiments therefore compare *distributions* between
+/// implementations measured identically, and additionally report the
+/// deterministic structural counters (EH cascade lengths) that are
+/// jitter-free.
+pub fn per_item_latency<T, F: FnMut(&T)>(items: &[T], mut op: F) -> LatencyStats {
+    assert!(!items.is_empty());
+    let mut samples: Vec<u64> = Vec::with_capacity(items.len());
+    for it in items {
+        let t0 = Instant::now();
+        op(it);
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    let n = samples.len();
+    let sum: u64 = samples.iter().sum();
+    let q = |p: f64| samples[(((n - 1) as f64) * p) as usize] as f64;
+    LatencyStats {
+        mean_ns: sum as f64 / n as f64,
+        p50_ns: q(0.5),
+        p999_ns: q(0.999),
+        max_ns: samples[n - 1] as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_ordered() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let mut acc = 0u64;
+        let s = per_item_latency(&items, |&i| {
+            acc = acc.wrapping_add(i);
+        });
+        assert!(s.p50_ns <= s.p999_ns);
+        assert!(s.p999_ns <= s.max_ns);
+        assert!(s.mean_ns > 0.0);
+        std::hint::black_box(acc);
+    }
+}

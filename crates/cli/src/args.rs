@@ -1,0 +1,202 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+
+use std::fmt;
+
+pub const USAGE: &str = "\
+waves — sliding-window aggregation over a stream on stdin
+
+USAGE:
+    waves <MODE> [OPTIONS]
+
+MODES:
+    count       number of 1's in the window (input lines: 0 or 1)
+    sum         sum of bounded integers (input lines: integers)
+    distinct    distinct values, randomized (eps, delta) scheme
+    average     average of timestamped records (lines: '<ts> <value>';
+                the window is the last N time units)
+
+OPTIONS:
+    --window <N>      maximum window size            [default: 1024]
+    --eps <E>         relative error bound, 0<E<1    [default: 0.1]
+    --delta <D>       failure probability (distinct) [default: 0.05]
+    --max-value <R>   value bound (sum / distinct)   [default: 65535]
+    --seed <S>        stored-coins seed (distinct)   [default: 42]
+    --help            print this help
+
+INPUT PROTOCOL (one token per line):
+    <value>     stream item
+    ?           query the full window
+    ? <n>       query the last n items
+    !           print a space report
+    # ...       comment (ignored)
+";
+
+/// Aggregation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    Count,
+    Sum,
+    Distinct,
+    /// Average of timestamped records (input lines: "<ts> <value>").
+    Average,
+}
+
+/// Parsed configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    pub mode: Mode,
+    pub window: u64,
+    pub eps: f64,
+    pub delta: f64,
+    pub max_value: u64,
+    pub seed: u64,
+}
+
+/// Argument errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgError {
+    MissingMode,
+    UnknownMode(String),
+    UnknownFlag(String),
+    MissingValue(String),
+    BadValue(String, String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingMode => write!(f, "missing mode"),
+            ArgError::UnknownMode(m) => write!(f, "unknown mode '{m}'"),
+            ArgError::UnknownFlag(s) => write!(f, "unknown flag '{s}'"),
+            ArgError::MissingValue(s) => write!(f, "flag '{s}' needs a value"),
+            ArgError::BadValue(s, v) => write!(f, "bad value '{v}' for '{s}'"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parse argv (without the program name). `Ok(None)` means help was
+/// requested.
+pub fn parse(argv: &[String]) -> Result<Option<Config>, ArgError> {
+    if argv.iter().any(|a| a == "--help" || a == "-h") || argv.is_empty() {
+        if argv.is_empty() {
+            return Err(ArgError::MissingMode);
+        }
+        return Ok(None);
+    }
+    let mode = match argv[0].as_str() {
+        "count" => Mode::Count,
+        "sum" => Mode::Sum,
+        "distinct" => Mode::Distinct,
+        "average" => Mode::Average,
+        other => return Err(ArgError::UnknownMode(other.to_string())),
+    };
+    let mut cfg = Config {
+        mode,
+        window: 1024,
+        eps: 0.1,
+        delta: 0.05,
+        max_value: 65_535,
+        seed: 42,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = |i: usize| -> Result<&String, ArgError> {
+            argv.get(i + 1)
+                .ok_or_else(|| ArgError::MissingValue(flag.to_string()))
+        };
+        let bad = |v: &str| ArgError::BadValue(flag.to_string(), v.to_string());
+        match flag {
+            "--window" => {
+                let v = value(i)?;
+                cfg.window = v.parse().map_err(|_| bad(v))?;
+                i += 2;
+            }
+            "--eps" => {
+                let v = value(i)?;
+                cfg.eps = v.parse().map_err(|_| bad(v))?;
+                if !(cfg.eps > 0.0 && cfg.eps < 1.0) {
+                    return Err(bad(v));
+                }
+                i += 2;
+            }
+            "--delta" => {
+                let v = value(i)?;
+                cfg.delta = v.parse().map_err(|_| bad(v))?;
+                if !(cfg.delta > 0.0 && cfg.delta < 1.0) {
+                    return Err(bad(v));
+                }
+                i += 2;
+            }
+            "--max-value" => {
+                let v = value(i)?;
+                cfg.max_value = v.parse().map_err(|_| bad(v))?;
+                i += 2;
+            }
+            "--seed" => {
+                let v = value(i)?;
+                cfg.seed = v.parse().map_err(|_| bad(v))?;
+                i += 2;
+            }
+            other => return Err(ArgError::UnknownFlag(other.to_string())),
+        }
+    }
+    Ok(Some(cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_count_defaults() {
+        let cfg = parse(&argv("count")).unwrap().unwrap();
+        assert_eq!(cfg.mode, Mode::Count);
+        assert_eq!(cfg.window, 1024);
+        assert_eq!(cfg.eps, 0.1);
+    }
+
+    #[test]
+    fn parses_full_flags() {
+        let cfg = parse(&argv(
+            "distinct --window 5000 --eps 0.2 --delta 0.01 --max-value 100 --seed 7",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(cfg.mode, Mode::Distinct);
+        assert_eq!(cfg.window, 5000);
+        assert_eq!(cfg.eps, 0.2);
+        assert_eq!(cfg.delta, 0.01);
+        assert_eq!(cfg.max_value, 100);
+        assert_eq!(cfg.seed, 7);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(parse(&argv("frobnicate")), Err(ArgError::UnknownMode("frobnicate".into())));
+        assert!(matches!(
+            parse(&argv("count --window")),
+            Err(ArgError::MissingValue(_))
+        ));
+        assert!(matches!(
+            parse(&argv("count --eps 1.5")),
+            Err(ArgError::BadValue(..))
+        ));
+        assert!(matches!(
+            parse(&argv("count --wat 3")),
+            Err(ArgError::UnknownFlag(_))
+        ));
+        assert!(matches!(parse(&[]), Err(ArgError::MissingMode)));
+    }
+
+    #[test]
+    fn help_requests_none() {
+        assert_eq!(parse(&argv("count --help")).unwrap(), None);
+    }
+}

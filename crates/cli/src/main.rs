@@ -1,0 +1,50 @@
+//! `waves` — sliding-window aggregation over a stream on stdin.
+//!
+//! ```text
+//! waves count    --window 10000 --eps 0.05
+//! waves sum      --window 10000 --eps 0.05 --max-value 1000
+//! waves distinct --window 10000 --eps 0.1 --delta 0.05 --max-value 65535
+//! ```
+//!
+//! Input protocol (one token per line):
+//! * `0` / `1` (count mode) or a nonnegative integer (sum / distinct);
+//! * `?` — query the full window; `? n` — query the last `n` items;
+//! * `!` — print a space report;
+//! * `#...` — comment, ignored.
+//!
+//! Estimates print as `estimate <value> in [<lo>, <hi>] (exact|approx)`.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+mod args;
+mod run;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match args::parse(&argv) {
+        Ok(Some(cfg)) => cfg,
+        Ok(None) => {
+            print!("{}", args::USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", args::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    match run::run(cfg, &mut stdin.lock().lines(), &mut out) {
+        Ok(()) => {
+            out.flush().ok();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            out.flush().ok();
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! The stream-processing loop behind the CLI.
+
+use crate::args::{Config, Mode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write;
+use waves_core::{DetWave, Estimate, SlidingAverage, SumWave};
+use waves_rand::{DistinctParty, DistinctReferee, RandConfig};
+
+/// One synopsis, dispatched by mode.
+enum Synopsis {
+    Count(DetWave),
+    Sum(SumWave),
+    Distinct {
+        party: DistinctParty,
+        referee: DistinctReferee,
+    },
+    Average(SlidingAverage),
+}
+
+impl Synopsis {
+    fn build(cfg: &Config) -> Result<Self, String> {
+        match cfg.mode {
+            Mode::Count => Ok(Synopsis::Count(
+                DetWave::new(cfg.window, cfg.eps).map_err(|e| e.to_string())?,
+            )),
+            Mode::Sum => Ok(Synopsis::Sum(
+                SumWave::new(cfg.window, cfg.max_value, cfg.eps)
+                    .map_err(|e| e.to_string())?,
+            )),
+            Mode::Average => Ok(Synopsis::Average(
+                SlidingAverage::with_eps(
+                    cfg.window,
+                    // U: items per window; default to window * 16.
+                    cfg.window.saturating_mul(16),
+                    cfg.max_value,
+                    cfg.eps,
+                )
+                .map_err(|e| e.to_string())?,
+            )),
+            Mode::Distinct => {
+                let mut rng = StdRng::seed_from_u64(cfg.seed);
+                let rc = RandConfig::for_values(
+                    cfg.window,
+                    cfg.max_value,
+                    cfg.eps,
+                    cfg.delta,
+                    &mut rng,
+                )
+                .map_err(|e| e.to_string())?;
+                Ok(Synopsis::Distinct {
+                    party: DistinctParty::new(&rc),
+                    referee: DistinctReferee::new(rc),
+                })
+            }
+        }
+    }
+
+    fn push(&mut self, v: u64) -> Result<(), String> {
+        match self {
+            Synopsis::Count(w) => {
+                if v > 1 {
+                    return Err(format!("count mode expects 0/1, got {v}"));
+                }
+                w.push_bit(v == 1);
+                Ok(())
+            }
+            Synopsis::Sum(w) => w.push_value(v).map_err(|e| e.to_string()),
+            Synopsis::Distinct { party, .. } => {
+                party.push_value(v);
+                Ok(())
+            }
+            Synopsis::Average(_) => unreachable!("average uses push_record"),
+        }
+    }
+
+    fn push_record(&mut self, ts: u64, v: u64) -> Result<(), String> {
+        match self {
+            Synopsis::Average(a) => a.push(ts, v).map_err(|e| e.to_string()),
+            _ => Err("this mode expects single-token items".into()),
+        }
+    }
+
+    fn query(&self, n: u64) -> Result<String, String> {
+        match self {
+            Synopsis::Count(w) => Ok(render(&w.query(n).map_err(|e| e.to_string())?)),
+            Synopsis::Sum(w) => Ok(render(&w.query(n).map_err(|e| e.to_string())?)),
+            Synopsis::Distinct { party, referee } => {
+                let msg = party.message(n).map_err(|e| e.to_string())?;
+                let s = (party.pos() + 1).saturating_sub(n);
+                let est = referee.estimate(&[msg], s);
+                Ok(format!("estimate {est}"))
+            }
+            Synopsis::Average(a) => match a.query().map_err(|e| e.to_string())? {
+                Some(r) => Ok(format!(
+                    "estimate {:.4} in [{:.4}, {:.4}]",
+                    r.value, r.lo, r.hi
+                )),
+                None => Ok("estimate undefined (no items provably in window)".into()),
+            },
+        }
+    }
+
+    fn window(&self) -> u64 {
+        match self {
+            Synopsis::Count(w) => w.max_window(),
+            Synopsis::Sum(w) => w.max_window(),
+            Synopsis::Distinct { party: _, referee } => referee.config().max_window(),
+            Synopsis::Average(a) => a.window(),
+        }
+    }
+
+    fn stats(&self) -> String {
+        match self {
+            Synopsis::Count(w) => {
+                let r = w.space_report();
+                format!(
+                    "pos {} rank {} entries {} synopsis_bits {} resident_bytes {}",
+                    w.pos(),
+                    w.rank(),
+                    r.entries,
+                    r.synopsis_bits,
+                    r.resident_bytes
+                )
+            }
+            Synopsis::Sum(w) => {
+                let r = w.space_report();
+                format!(
+                    "pos {} total {} entries {} synopsis_bits {} resident_bytes {}",
+                    w.pos(),
+                    w.total(),
+                    r.entries,
+                    r.synopsis_bits,
+                    r.resident_bytes
+                )
+            }
+            Synopsis::Distinct { party, referee } => format!(
+                "pos {} stored {} instances {} levels {}",
+                party.pos(),
+                party.stored(),
+                referee.config().instances(),
+                referee.config().degree() + 1
+            ),
+            Synopsis::Average(a) => format!(
+                "window {} eps {}",
+                a.window(),
+                a.eps()
+            ),
+        }
+    }
+}
+
+fn render(e: &Estimate) -> String {
+    format!(
+        "estimate {} in [{}, {}] ({})",
+        e.value,
+        e.lo,
+        e.hi,
+        if e.exact { "exact" } else { "approx" }
+    )
+}
+
+/// Process the line protocol. Public for integration testing.
+pub fn run<I, W>(cfg: Config, lines: &mut I, out: &mut W) -> Result<(), String>
+where
+    I: Iterator<Item = std::io::Result<String>>,
+    W: Write,
+{
+    let mut syn = Synopsis::build(&cfg)?;
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        let tok = line.trim();
+        if tok.is_empty() || tok.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = tok.strip_prefix('?') {
+            let n = rest.trim();
+            let n = if n.is_empty() {
+                syn.window()
+            } else {
+                n.parse::<u64>()
+                    .map_err(|_| format!("line {}: bad query '{tok}'", lineno + 1))?
+            };
+            let ans = syn
+                .query(n)
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            writeln!(out, "{ans}").map_err(|e| e.to_string())?;
+            continue;
+        }
+        if tok == "!" {
+            writeln!(out, "{}", syn.stats()).map_err(|e| e.to_string())?;
+            continue;
+        }
+        if matches!(syn, Synopsis::Average(_)) {
+            let mut parts = tok.split_whitespace();
+            let (Some(a), Some(b), None) = (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "line {}: average mode expects '<ts> <value>'",
+                    lineno + 1
+                ));
+            };
+            let ts: u64 = a
+                .parse()
+                .map_err(|_| format!("line {}: bad timestamp '{a}'", lineno + 1))?;
+            let v: u64 = b
+                .parse()
+                .map_err(|_| format!("line {}: bad value '{b}'", lineno + 1))?;
+            syn.push_record(ts, v)
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            continue;
+        }
+        let v: u64 = tok
+            .parse()
+            .map_err(|_| format!("line {}: bad item '{tok}'", lineno + 1))?;
+        syn.push(v)
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::{Config, Mode};
+
+    fn run_lines(cfg: Config, input: &str) -> Result<String, String> {
+        let mut lines = input.lines().map(|l| Ok(l.to_string()));
+        let mut out = Vec::new();
+        run(cfg, &mut lines, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    fn count_cfg(window: u64) -> Config {
+        Config {
+            mode: Mode::Count,
+            window,
+            eps: 0.5,
+            delta: 0.05,
+            max_value: 1,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn count_protocol() {
+        let out = run_lines(count_cfg(8), "1\n0\n1\n?\n").unwrap();
+        assert!(out.contains("estimate 2"), "{out}");
+        assert!(out.contains("exact"));
+    }
+
+    #[test]
+    fn sub_window_query() {
+        let input = "1\n1\n1\n1\n? 2\n";
+        let out = run_lines(count_cfg(8), input).unwrap();
+        assert!(out.contains("estimate 2"), "{out}");
+    }
+
+    #[test]
+    fn stats_line() {
+        let out = run_lines(count_cfg(8), "1\n!\n").unwrap();
+        assert!(out.contains("pos 1 rank 1"), "{out}");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let out = run_lines(count_cfg(8), "# hi\n\n1\n?\n").unwrap();
+        assert!(out.contains("estimate 1"), "{out}");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = run_lines(count_cfg(8), "1\nbanana\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = run_lines(count_cfg(8), "7\n").unwrap_err();
+        assert!(err.contains("expects 0/1"), "{err}");
+    }
+
+    #[test]
+    fn sum_mode() {
+        let cfg = Config {
+            mode: Mode::Sum,
+            window: 4,
+            eps: 0.25,
+            delta: 0.05,
+            max_value: 100,
+            seed: 1,
+        };
+        let out = run_lines(cfg, "10\n20\n30\n40\n50\n?\n").unwrap();
+        // Window of 4: 20+30+40+50 = 140.
+        assert!(out.contains("140"), "{out}");
+    }
+
+    #[test]
+    fn distinct_mode() {
+        let cfg = Config {
+            mode: Mode::Distinct,
+            window: 8,
+            eps: 0.5,
+            delta: 0.3,
+            max_value: 255,
+            seed: 1,
+        };
+        let out = run_lines(cfg, "5\n5\n9\n5\n?\n").unwrap();
+        assert!(out.contains("estimate 2"), "{out}");
+    }
+
+    #[test]
+    fn average_mode_two_token_protocol() {
+        let cfg = Config {
+            mode: Mode::Average,
+            window: 8,
+            eps: 0.25,
+            delta: 0.05,
+            max_value: 100,
+            seed: 1,
+        };
+        let out = run_lines(cfg.clone(), "1 10\n2 20\n3 30\n?\n").unwrap();
+        assert!(out.contains("estimate 20"), "{out}");
+        // Malformed record.
+        let err = run_lines(cfg.clone(), "1\n").unwrap_err();
+        assert!(err.contains("expects"), "{err}");
+        // Regressing timestamps surface the library error.
+        let err = run_lines(cfg, "5 1\n4 1\n").unwrap_err();
+        assert!(err.contains("before"), "{err}");
+    }
+
+    #[test]
+    fn oversized_query_is_an_error() {
+        let err = run_lines(count_cfg(8), "1\n? 9\n").unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+}

@@ -1,0 +1,249 @@
+//! Sliding average via composition (Section 5, "Other Problems").
+//!
+//! The paper: "an eps-approximation scheme for the sliding average is
+//! readily obtained by running our sum and count algorithms (each
+//! targeting a relative error of eps/(2+eps))".
+//!
+//! Two pieces are provided:
+//!
+//! * [`ratio_error_target`] and [`ratio_estimate`] — the generic
+//!   composition lemma: if `sum` is known within `e1` and `count` within
+//!   `e2`, their ratio is within `(e1 + e2)/(1 - e2)`; targeting
+//!   `e1 = e2 = eps/(2+eps)` makes that exactly `eps`.
+//! * [`SlidingAverage`] — average of the items in the last `N` time
+//!   units of a timestamped value stream, composing a
+//!   [`TimestampSumWave`] (sum) with a [`TimestampWave`] (count), the
+//!   setting where *both* components must be estimated. (For plain
+//!   position windows the count is `min(pos, N)` exactly and only the
+//!   sum errs.)
+
+use crate::error::WaveError;
+use crate::estimate::Estimate;
+use crate::timestamp::TimestampWave;
+use crate::timestamp_sum::TimestampSumWave;
+
+/// The per-component error target `eps/(2+eps)` from Section 5.
+pub fn ratio_error_target(eps: f64) -> f64 {
+    eps / (2.0 + eps)
+}
+
+/// Combine a sum estimate and a count estimate into a ratio estimate.
+///
+/// The returned interval is `[sum.lo/count.hi, sum.hi/count.lo]` (the
+/// extreme quotients), with the point estimate the quotient of the point
+/// estimates. Returns `None` when the count interval includes 0 (the
+/// average is undefined / unbounded).
+pub fn ratio_estimate(sum: &Estimate, count: &Estimate) -> Option<RatioEstimate> {
+    if count.lo == 0 {
+        return None;
+    }
+    Some(RatioEstimate {
+        value: sum.value / count.value,
+        lo: sum.lo as f64 / count.hi as f64,
+        hi: sum.hi as f64 / count.lo as f64,
+    })
+}
+
+/// A ratio (average) estimate with its guaranteed interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioEstimate {
+    pub value: f64,
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl RatioEstimate {
+    /// Relative error against the true average.
+    pub fn relative_error(&self, actual: f64) -> f64 {
+        if actual == 0.0 {
+            if self.value == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.value - actual).abs() / actual.abs()
+        }
+    }
+
+    /// True if the guaranteed interval contains `actual`.
+    pub fn brackets(&self, actual: f64) -> bool {
+        self.lo <= actual + 1e-9 && actual <= self.hi + 1e-9
+    }
+}
+
+/// Average of item values over the last `N` time units of a timestamped
+/// stream, composing a timestamped sum wave with a timestamped count
+/// wave, each run at error `eps/(2+eps)`.
+#[derive(Debug, Clone)]
+pub struct SlidingAverage {
+    eps: f64,
+    window: u64,
+    sum: TimestampSumWave,
+    count: TimestampWave,
+}
+
+impl SlidingAverage {
+    /// `window`: time units; `max_items_per_window` (the Corollary 1
+    /// `U`); `max_value`: the value bound `R`. Overall error defaults
+    /// to 0.1.
+    pub fn new(
+        window: u64,
+        max_items_per_window: u64,
+        max_value: u64,
+    ) -> Result<Self, WaveError> {
+        Self::with_eps(window, max_items_per_window, max_value, 0.1)
+    }
+
+    /// As [`SlidingAverage::new`] with an explicit overall error bound.
+    pub fn with_eps(
+        window: u64,
+        max_items_per_window: u64,
+        max_value: u64,
+        eps: f64,
+    ) -> Result<Self, WaveError> {
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(WaveError::InvalidEpsilon(eps));
+        }
+        let sub = ratio_error_target(eps);
+        Ok(SlidingAverage {
+            eps,
+            window,
+            sum: TimestampSumWave::new(window, max_items_per_window, max_value, sub)?,
+            count: TimestampWave::new(window, max_items_per_window, sub)?,
+        })
+    }
+
+    /// The overall error bound `eps`.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The window length in time units.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Observe an item `(timestamp, value)`; timestamps nondecreasing.
+    pub fn push(&mut self, ts: u64, value: u64) -> Result<(), WaveError> {
+        self.sum.push(ts, value)?;
+        self.count.push(ts, true)
+    }
+
+    /// Advance the clock without an item.
+    pub fn advance_to(&mut self, ts: u64) -> Result<(), WaveError> {
+        self.sum.advance_to(ts)?;
+        self.count.advance_to(ts)
+    }
+
+    /// Estimate the average value over the last `window` time units
+    /// ending at the latest timestamp. `None` when no item can be
+    /// proven to be in the window.
+    pub fn query(&self) -> Result<Option<RatioEstimate>, WaveError> {
+        let sum_est = self.sum.query(self.window)?;
+        let count_est = self.count.query(self.window)?;
+        Ok(ratio_estimate(&sum_est, &count_est))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_target_formula() {
+        let eps = 0.1f64;
+        let e = ratio_error_target(eps);
+        // (e + e) / (1 - e) == eps exactly.
+        assert!(((2.0 * e) / (1.0 - e) - eps).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_estimate_brackets() {
+        let sum = Estimate::midpoint(90, 110);
+        let count = Estimate::midpoint(9, 11);
+        let r = ratio_estimate(&sum, &count).unwrap();
+        assert!(r.brackets(10.0));
+        assert!(r.lo <= 10.0 && r.hi >= 10.0);
+    }
+
+    #[test]
+    fn ratio_estimate_undefined_for_zero_count() {
+        let sum = Estimate::exact(0);
+        let count = Estimate::midpoint(0, 3);
+        assert!(ratio_estimate(&sum, &count).is_none());
+    }
+
+    #[test]
+    fn composed_error_bound() {
+        // If both components respect e = eps/(2+eps), the ratio respects
+        // eps: verify numerically on a grid of worst-case components.
+        let eps = 0.2;
+        let e = ratio_error_target(eps);
+        for true_sum in [100.0f64, 1000.0] {
+            for true_count in [10.0f64, 50.0] {
+                let truth = true_sum / true_count;
+                for ds in [-e, e] {
+                    for dc in [-e, e] {
+                        let est = (true_sum * (1.0 + ds)) / (true_count * (1.0 + dc));
+                        let rel = (est - truth).abs() / truth;
+                        assert!(rel <= eps + 1e-12, "rel={rel}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sliding_average_end_to_end() {
+        let window = 64u64;
+        let mut avg = SlidingAverage::with_eps(window, 1 << 12, 100, 0.2).unwrap();
+        let mut items: Vec<(u64, u64)> = Vec::new();
+        let mut x = 3u64;
+        let mut ts = 1u64;
+        for step in 0..3000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ts += (x >> 60) % 3;
+            let v = (x >> 33) % 101;
+            avg.push(ts, v).unwrap();
+            items.push((ts, v));
+            if step % 100 == 99 {
+                let s = ts.saturating_sub(window - 1);
+                let in_w: Vec<u64> = items
+                    .iter()
+                    .filter(|&&(t, _)| t >= s)
+                    .map(|&(_, v)| v)
+                    .collect();
+                if in_w.is_empty() {
+                    continue;
+                }
+                let truth = in_w.iter().sum::<u64>() as f64 / in_w.len() as f64;
+                if let Some(r) = avg.query().unwrap() {
+                    assert!(
+                        r.relative_error(truth) <= 0.2 + 1e-9,
+                        "step={step} truth={truth} est={:?}",
+                        r
+                    );
+                    assert!(r.brackets(truth));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_average_is_none_or_zero_free() {
+        let avg = SlidingAverage::new(10, 100, 10).unwrap();
+        assert!(avg.query().unwrap().is_none());
+    }
+
+    #[test]
+    fn quiet_period_expires_items() {
+        let mut avg = SlidingAverage::with_eps(10, 100, 10, 0.2).unwrap();
+        avg.push(1, 5).unwrap();
+        avg.advance_to(1_000).unwrap();
+        // The count interval's lower bound reaches 0: no provable item.
+        assert!(avg.query().unwrap().is_none());
+    }
+}

@@ -1,0 +1,285 @@
+//! The basic deterministic wave of Section 3.1.
+//!
+//! Level `i` of the wave stores the `(position, 1-rank)` pairs of the
+//! `1/eps + 1` most recent 1-bits whose 1-rank is a multiple of `2^i`
+//! (every entry is replicated in all levels it qualifies for). A level
+//! that has not yet filled also holds the dummy pair `(0, 0)`.
+//!
+//! This is the pedagogical variant: it is "somewhat wasteful in terms of
+//! its space bound, processing time, and query time" (the paper's words)
+//! but transparently matches Figure 2 and the proof of Lemma 1. The
+//! production synopsis is [`crate::det_wave::DetWave`]; this type is kept
+//! for the Figure 2 reproduction, as the reference implementation in
+//! differential tests, and as the A1 ablation baseline.
+
+use crate::error::WaveError;
+use crate::estimate::Estimate;
+use crate::level::rank_level;
+use std::collections::VecDeque;
+
+/// A basic wave for Basic Counting over windows up to `N`.
+#[derive(Debug, Clone)]
+pub struct BasicWave {
+    max_window: u64,
+    /// `k = 1/eps` (the paper assumes `1/eps` integral).
+    k: u64,
+    /// Per-level queues of `(position, rank)`, oldest first.
+    levels: Vec<VecDeque<(u64, u64)>>,
+    pos: u64,
+    rank: u64,
+}
+
+impl BasicWave {
+    /// Build a wave with error bound `eps` (`0 < eps < 1`) for windows up
+    /// to `max_window`.
+    pub fn new(max_window: u64, eps: f64) -> Result<Self, WaveError> {
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(WaveError::InvalidEpsilon(eps));
+        }
+        if max_window == 0 {
+            return Err(WaveError::InvalidWindow(0));
+        }
+        let k = (1.0 / eps).ceil() as u64;
+        let num_levels = wave_levels(max_window, k);
+        let cap = (k + 1) as usize;
+        let levels = (0..num_levels)
+            .map(|_| {
+                let mut q = VecDeque::with_capacity(cap + 1);
+                q.push_back((0u64, 0u64)); // dummy entry
+                q
+            })
+            .collect();
+        Ok(BasicWave {
+            max_window,
+            k,
+            levels,
+            pos: 0,
+            rank: 0,
+        })
+    }
+
+    /// Maximum window size `N`.
+    pub fn max_window(&self) -> u64 {
+        self.max_window
+    }
+
+    /// Number of levels `ceil(log2(2 eps N))`.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Stream length so far.
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Number of 1's seen so far.
+    pub fn rank(&self) -> u64 {
+        self.rank
+    }
+
+    /// Contents of each level, oldest first (for printing Figure 2).
+    pub fn level_contents(&self) -> Vec<Vec<(u64, u64)>> {
+        self.levels
+            .iter()
+            .map(|q| q.iter().copied().collect())
+            .collect()
+    }
+
+    /// Process the next stream bit.
+    pub fn push_bit(&mut self, b: bool) {
+        self.pos += 1;
+        if !b {
+            return;
+        }
+        self.rank += 1;
+        let top = rank_level(self.rank).min(self.levels.len() as u32 - 1);
+        let cap = (self.k + 1) as usize;
+        for q in self.levels.iter_mut().take(top as usize + 1) {
+            q.push_back((self.pos, self.rank));
+            if q.len() > cap {
+                q.pop_front();
+            }
+        }
+    }
+
+    /// Estimate the number of 1's among the last `n <= N` bits, following
+    /// the two-step procedure of Section 3.1.
+    pub fn query(&self, n: u64) -> Result<Estimate, WaveError> {
+        if n > self.max_window {
+            return Err(WaveError::WindowTooLarge {
+                requested: n,
+                max: self.max_window,
+            });
+        }
+        if n >= self.pos {
+            return Ok(Estimate::exact(self.rank));
+        }
+        let s = self.pos - n + 1;
+        // p1: maximum stored position < s; p2: minimum stored position
+        // >= s, each with its rank.
+        let mut p1: Option<(u64, u64)> = None;
+        let mut p2: Option<(u64, u64)> = None;
+        for q in &self.levels {
+            for &(p, r) in q {
+                if p < s {
+                    if p1.is_none_or(|(bp, _)| p > bp) {
+                        p1 = Some((p, r));
+                    }
+                } else if p2.is_none_or(|(bp, _)| p < bp) {
+                    p2 = Some((p, r));
+                }
+            }
+        }
+        let Some((p2, r2)) = p2 else {
+            return Ok(Estimate::exact(0));
+        };
+        if p2 == s {
+            return Ok(Estimate::exact(self.rank + 1 - r2));
+        }
+        // Lemma 1 guarantees p1 exists for n <= N.
+        let r1 = p1.map_or(0, |(_, r)| r);
+        Ok(wave_estimate(self.rank, r1, r2))
+    }
+}
+
+/// Number of wave levels: `ceil(log2(2 eps N))`, at least 1 — computed in
+/// integer arithmetic as the smallest `l` with `2^l * k >= 2N`.
+pub(crate) fn wave_levels(n: u64, k: u64) -> u32 {
+    let target = 2 * n;
+    let mut l = 0u32;
+    while (k << l) < target {
+        l += 1;
+    }
+    l.max(1)
+}
+
+/// The paper's estimate for interval `[rank - r2 + 1, rank - r1]`:
+/// `x̂ = rank + 1 - (r1 + r2)/2`, exact when the interval is a point.
+pub(crate) fn wave_estimate(rank: u64, r1: u64, r2: u64) -> Estimate {
+    debug_assert!(r1 < r2 && r2 <= rank);
+    let lo = rank + 1 - r2;
+    let hi = rank - r1;
+    if lo >= hi {
+        Estimate::exact(lo)
+    } else {
+        Estimate {
+            value: rank as f64 + 1.0 - (r1 + r2) as f64 / 2.0,
+            lo,
+            hi,
+            exact: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactCount;
+
+    #[test]
+    fn level_count_formula() {
+        // eps = 1/3, N = 48: ceil(log2(2 * 48 / 3)) = ceil(log2 32) = 5.
+        assert_eq!(wave_levels(48, 3), 5);
+        // eps = 1/2, N = 4: ceil(log2(4)) = 2.
+        assert_eq!(wave_levels(4, 2), 2);
+        // Tiny: k >= 2N gives a single level (store everything).
+        assert_eq!(wave_levels(4, 100), 1);
+    }
+
+    #[test]
+    fn all_ones_small() {
+        let mut w = BasicWave::new(16, 0.5).unwrap();
+        for _ in 0..64 {
+            w.push_bit(true);
+        }
+        let e = w.query(16).unwrap();
+        assert!(e.brackets(16));
+        assert!(e.relative_error(16) <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn exactness_cases() {
+        let mut w = BasicWave::new(8, 0.5).unwrap();
+        // Whole-stream query is exact.
+        for b in [true, false, true] {
+            w.push_bit(b);
+        }
+        let e = w.query(8).unwrap();
+        assert!(e.exact);
+        assert_eq!(e.value, 2.0);
+        // No recent 1's: exact zero.
+        let mut w2 = BasicWave::new(8, 0.5).unwrap();
+        for _ in 0..4 {
+            w2.push_bit(true);
+        }
+        for _ in 0..20 {
+            w2.push_bit(false);
+        }
+        let e2 = w2.query(8).unwrap();
+        assert!(e2.exact);
+        assert_eq!(e2.value, 0.0);
+    }
+
+    #[test]
+    fn error_within_eps_random_stream() {
+        let eps = 0.25;
+        let n_max = 128u64;
+        let mut w = BasicWave::new(n_max, eps).unwrap();
+        let mut oracle = ExactCount::new(n_max);
+        // Deterministic pseudo-random bits.
+        let mut x = 0x12345u64;
+        for step in 0..4_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = (x >> 33) & 1 == 1;
+            w.push_bit(b);
+            oracle.push_bit(b);
+            if step % 37 == 0 {
+                for n in [1, 17, 63, 128] {
+                    let actual = oracle.query(n);
+                    let est = w.query(n).unwrap();
+                    assert!(
+                        est.brackets(actual),
+                        "step {step} n {n}: [{}, {}] vs {actual}",
+                        est.lo,
+                        est.hi
+                    );
+                    assert!(
+                        est.relative_error(actual) <= eps + 1e-9,
+                        "step {step} n {n}: rel err {}",
+                        est.relative_error(actual)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_larger_than_max_rejected() {
+        let w = BasicWave::new(8, 0.5).unwrap();
+        assert!(matches!(
+            w.query(9),
+            Err(WaveError::WindowTooLarge { requested: 9, max: 8 })
+        ));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(BasicWave::new(8, 0.0).is_err());
+        assert!(BasicWave::new(8, 1.0).is_err());
+        assert!(BasicWave::new(0, 0.5).is_err());
+    }
+
+    #[test]
+    fn dummy_entry_present_until_level_fills() {
+        let mut w = BasicWave::new(32, 0.5).unwrap(); // k = 2, cap = 3
+        w.push_bit(true);
+        let lv = w.level_contents();
+        assert!(lv[0].contains(&(0, 0)), "dummy should still be present");
+        for _ in 0..10 {
+            w.push_bit(true);
+        }
+        let lv = w.level_contents();
+        assert!(!lv[0].contains(&(0, 0)), "dummy evicted once full");
+    }
+}

@@ -1,0 +1,285 @@
+//! Bit-level serialization of wave synopses.
+//!
+//! The paper's space bounds assume a compact encoding: counters stored
+//! modulo `N'`, positions delta-coded between consecutive entries. This
+//! module makes that encoding a real wire format, so a party can ship
+//! its synopsis (or a query report) to the Referee in the number of bits
+//! the accounting promises, and the Referee can reconstruct a queryable
+//! synopsis on the other side.
+//!
+//! Gamma codes are used for the variable-length integers: `gamma(x)` for
+//! `x >= 1` writes `floor(log2 x)` zero bits, then the binary digits of
+//! `x` (MSB first) — `2*floor(log2 x) + 1` bits, matching
+//! [`crate::space::elias_gamma_bits`] exactly.
+
+use crate::error::WaveError;
+use std::fmt;
+
+/// Errors from decoding a serialized synopsis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodecError {
+    /// Ran off the end of the buffer.
+    UnexpectedEnd,
+    /// A decoded field violated an invariant (e.g. non-monotone
+    /// positions, level out of range).
+    Corrupt(&'static str),
+    /// The decoded parameters are invalid for synopsis construction.
+    BadParams(WaveError),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            CodecError::Corrupt(what) => write!(f, "corrupt synopsis: {what}"),
+            CodecError::BadParams(e) => write!(f, "bad parameters: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<WaveError> for CodecError {
+    fn from(e: WaveError) -> Self {
+        CodecError::BadParams(e)
+    }
+}
+
+/// MSB-first bit writer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits used in the final byte (0..8; 0 means byte-aligned).
+    used: u32,
+}
+
+impl BitWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        if self.used == 0 {
+            self.buf.len() as u64 * 8
+        } else {
+            // `used` counts *free* bits remaining in the last byte.
+            (self.buf.len() as u64 - 1) * 8 + (8 - self.used as u64)
+        }
+    }
+
+    /// Finish and return the byte buffer (zero-padded to a byte).
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Write a single bit.
+    pub fn write_bit(&mut self, b: bool) {
+        if self.used == 0 {
+            self.buf.push(0);
+            self.used = 8;
+        }
+        if b {
+            let last = self.buf.last_mut().expect("just pushed");
+            *last |= 1 << (self.used - 1);
+        }
+        self.used -= 1;
+    }
+
+    /// Write the low `width` bits of `v`, MSB first. `width <= 64`.
+    pub fn write_bits(&mut self, v: u64, width: u32) {
+        assert!(width <= 64);
+        for i in (0..width).rev() {
+            self.write_bit((v >> i) & 1 == 1);
+        }
+    }
+
+    /// Write `x >= 1` as an Elias-gamma code.
+    pub fn write_gamma(&mut self, x: u64) {
+        assert!(x >= 1, "gamma codes positive integers");
+        let bits = 64 - x.leading_zeros(); // bit length of x
+        for _ in 0..bits - 1 {
+            self.write_bit(false);
+        }
+        self.write_bits(x, bits);
+    }
+
+    /// Write any `x >= 0` as gamma of `x + 1`.
+    pub fn write_gamma0(&mut self, x: u64) {
+        self.write_gamma(x + 1);
+    }
+}
+
+/// MSB-first bit reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: u64, // bit cursor
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    /// Bits consumed so far.
+    pub fn bit_pos(&self) -> u64 {
+        self.pos
+    }
+
+    pub fn read_bit(&mut self) -> Result<bool, CodecError> {
+        let byte = (self.pos / 8) as usize;
+        if byte >= self.buf.len() {
+            return Err(CodecError::UnexpectedEnd);
+        }
+        let bit = 7 - (self.pos % 8) as u32;
+        self.pos += 1;
+        Ok((self.buf[byte] >> bit) & 1 == 1)
+    }
+
+    pub fn read_bits(&mut self, width: u32) -> Result<u64, CodecError> {
+        assert!(width <= 64);
+        let mut v = 0u64;
+        for _ in 0..width {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Ok(v)
+    }
+
+    pub fn read_gamma(&mut self) -> Result<u64, CodecError> {
+        let mut zeros = 0u32;
+        while !self.read_bit()? {
+            zeros += 1;
+            if zeros > 63 {
+                return Err(CodecError::Corrupt("gamma prefix too long"));
+            }
+        }
+        // The leading 1 already read; read the remaining `zeros` digits.
+        let rest = self.read_bits(zeros)?;
+        Ok((1u64 << zeros) | rest)
+    }
+
+    pub fn read_gamma0(&mut self) -> Result<u64, CodecError> {
+        Ok(self.read_gamma()? - 1)
+    }
+}
+
+/// Encode a strictly increasing (or nondecreasing) sequence as gamma
+/// deltas, with an implicit previous value of 0.
+pub fn write_deltas(w: &mut BitWriter, sorted: &[u64]) {
+    let mut prev = 0u64;
+    for &x in sorted {
+        debug_assert!(x >= prev);
+        w.write_gamma(x - prev + 1);
+        prev = x;
+    }
+}
+
+/// Decode `count` gamma deltas into the original sequence.
+///
+/// Preallocation is capped so a corrupt count cannot force a huge
+/// up-front allocation, and the accumulation is checked so adversarial
+/// deltas yield `Corrupt` instead of overflow.
+pub fn read_deltas(r: &mut BitReader<'_>, count: usize) -> Result<Vec<u64>, CodecError> {
+    let mut out = Vec::with_capacity(count.min(1 << 16));
+    let mut prev = 0u64;
+    for _ in 0..count {
+        let d = r.read_gamma()?;
+        prev = prev
+            .checked_add(d - 1)
+            .ok_or(CodecError::Corrupt("delta overflow"))?;
+        out.push(prev);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, false, true, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn fixed_width_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0, 1);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+    }
+
+    #[test]
+    fn gamma_roundtrip_and_length() {
+        let mut w = BitWriter::new();
+        let values = [1u64, 2, 3, 4, 5, 100, 255, 256, 1 << 40];
+        for &v in &values {
+            let before = w.bit_len();
+            w.write_gamma(v);
+            assert_eq!(
+                w.bit_len() - before,
+                crate::space::elias_gamma_bits(v),
+                "gamma length for {v}"
+            );
+        }
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        for &v in &values {
+            assert_eq!(r.read_gamma().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn gamma0_covers_zero() {
+        let mut w = BitWriter::new();
+        w.write_gamma0(0);
+        w.write_gamma0(7);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.read_gamma0().unwrap(), 0);
+        assert_eq!(r.read_gamma0().unwrap(), 7);
+    }
+
+    #[test]
+    fn deltas_roundtrip() {
+        let seq = vec![3u64, 3, 10, 11, 500, 500, 501];
+        let mut w = BitWriter::new();
+        write_deltas(&mut w, &seq);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        assert_eq!(read_deltas(&mut r, seq.len()).unwrap(), seq);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut w = BitWriter::new();
+        w.write_gamma(1 << 20);
+        let mut buf = w.finish();
+        buf.truncate(1);
+        let mut r = BitReader::new(&buf);
+        assert!(matches!(r.read_gamma(), Err(CodecError::UnexpectedEnd)));
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.read_bit(), Err(CodecError::UnexpectedEnd));
+    }
+}
+

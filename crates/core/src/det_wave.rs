@@ -1,0 +1,697 @@
+//! The optimal deterministic wave of Section 3.2 (Figure 4, Theorem 1).
+//!
+//! Differences from the basic wave:
+//!
+//! * each 1-bit is stored **only at its maximum level** `tz(rank)`
+//!   (capped at the top level), so processing a bit touches exactly one
+//!   level queue — O(1) *worst case* per item, the paper's headline
+//!   improvement over the exponential histogram's cascading merges;
+//! * levels `0..l-2` store `ceil((1/eps + 1)/2)` positions and the top
+//!   level stores `1/eps + 1`;
+//! * positions older than the maximum window `N` are expired as the
+//!   stream advances, and the largest expired 1-rank `r1` is retained so
+//!   a window-`N` query is answered in O(1);
+//! * all entries are threaded on a doubly linked list `L` in position
+//!   order (oldest at the head), so any window `n <= N` can be answered
+//!   in `O((1/eps) log(eps N))` by walking `L`.
+
+use crate::basic_wave::{wave_estimate, wave_levels};
+use crate::chain::{Chain, Fifo};
+use crate::error::WaveError;
+use crate::estimate::{Estimate, SpaceReport};
+use crate::level::rank_level;
+use crate::space::{delta_coded_bits, elias_gamma_bits};
+use crate::window::ModRing;
+
+/// One stored wave entry: a 1-bit's stream position and 1-rank, plus the
+/// level whose queue owns it.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    pos: u64,
+    rank: u64,
+    level: u8,
+}
+
+/// Deterministic wave for Basic Counting (Theorem 1): relative error at
+/// most `eps` for any window `n <= N`, `O((1/eps) log^2(eps N))` bits,
+/// O(1) worst-case per-item time, O(1) query time for the max window.
+#[derive(Debug, Clone)]
+pub struct DetWave {
+    max_window: u64,
+    eps: f64,
+    k: u64,
+    num_levels: u32,
+    ring: ModRing,
+    pos: u64,
+    rank: u64,
+    /// Largest 1-rank expired from the wave (0 if none yet).
+    r1: u64,
+    chain: Chain<Entry>,
+    queues: Vec<Fifo>,
+}
+
+impl DetWave {
+    /// Build a wave with error bound `eps` for windows up to `max_window`.
+    pub fn new(max_window: u64, eps: f64) -> Result<Self, WaveError> {
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(WaveError::InvalidEpsilon(eps));
+        }
+        Self::with_k(max_window, (1.0 / eps).ceil() as u64, eps)
+    }
+
+    /// Build from the integer parameter `k = ceil(1/eps)` directly —
+    /// the structural parameter everything derives from. Used by
+    /// [`DetWave::decode`] so the float `eps -> k` mapping (which is not
+    /// injective under f64 rounding) never has to round-trip.
+    fn with_k(max_window: u64, k: u64, eps: f64) -> Result<Self, WaveError> {
+        if k == 0 || k > 1 << 32 {
+            return Err(WaveError::InvalidEpsilon(eps));
+        }
+        if max_window == 0 || max_window > (1 << 62) {
+            return Err(WaveError::InvalidWindow(max_window));
+        }
+        let num_levels = wave_levels(max_window, k);
+        let lower_cap = ((k + 1).div_ceil(2)) as usize;
+        let top_cap = (k + 1) as usize;
+        let mut queues = Vec::with_capacity(num_levels as usize);
+        let mut total_cap = 0usize;
+        for lvl in 0..num_levels {
+            let cap = if lvl + 1 == num_levels { top_cap } else { lower_cap };
+            total_cap += cap;
+            queues.push(Fifo::new(cap));
+        }
+        Ok(DetWave {
+            max_window,
+            eps,
+            k,
+            num_levels,
+            ring: ModRing::for_window(max_window),
+            pos: 0,
+            rank: 0,
+            r1: 0,
+            chain: Chain::with_capacity(total_cap),
+            queues,
+        })
+    }
+
+    /// Maximum window size `N`.
+    pub fn max_window(&self) -> u64 {
+        self.max_window
+    }
+
+    /// The configured error bound.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The paper's `1/eps` parameter `k` (queue sizes derive from it:
+    /// `ceil((k+1)/2)` per level, `k+1` at the top level).
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// Number of levels `ceil(log2(2 eps N))`.
+    pub fn num_levels(&self) -> u32 {
+        self.num_levels
+    }
+
+    /// Stream length so far.
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Number of 1's seen so far.
+    pub fn rank(&self) -> u64 {
+        self.rank
+    }
+
+    /// Number of entries currently stored.
+    pub fn entries(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Contents of each level queue as `(position, rank)`, oldest first
+    /// (for printing Figure 3).
+    pub fn level_contents(&self) -> Vec<Vec<(u64, u64)>> {
+        let mut out = vec![Vec::new(); self.num_levels as usize];
+        for (_, e) in self.chain.iter() {
+            out[e.level as usize].push((e.pos, e.rank));
+        }
+        out
+    }
+
+    /// Process the next stream bit — O(1) worst case (Figure 4).
+    #[inline]
+    pub fn push_bit(&mut self, b: bool) {
+        self.pos += 1;
+        self.expire();
+        if b {
+            self.rank += 1;
+            let j = rank_level(self.rank).min(self.num_levels - 1) as usize;
+            if self.queues[j].is_full() {
+                let old = self.queues[j].pop_front().expect("full queue has a front");
+                self.chain.remove(old);
+            }
+            let id = self.chain.push_back(Entry {
+                pos: self.pos,
+                rank: self.rank,
+                level: j as u8,
+            });
+            self.queues[j].push_back(id);
+        }
+    }
+
+    /// Advance the stream by `count` 0-bits at once (used when a party
+    /// observes a gap in a shared position space — Scenario 2). Amortized
+    /// O(1) per expired entry.
+    pub fn skip_zeros(&mut self, count: u64) {
+        self.pos += count;
+        self.expire();
+    }
+
+    fn expire(&mut self) {
+        while let Some(h) = self.chain.head() {
+            let e = *self.chain.get(h);
+            if e.pos + self.max_window <= self.pos {
+                self.r1 = e.rank;
+                let popped = self.queues[e.level as usize].pop_front();
+                debug_assert_eq!(popped, Some(h), "expiring head must be its queue's front");
+                self.chain.remove(h);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Estimate the count over the maximum window `N` in O(1) (Figure 4's
+    /// query procedure).
+    pub fn query_max(&self) -> Estimate {
+        if self.max_window >= self.pos {
+            return Estimate::exact(self.rank);
+        }
+        let Some(h) = self.chain.head() else {
+            return Estimate::exact(0);
+        };
+        let e = self.chain.get(h);
+        let s = self.pos - self.max_window + 1;
+        if e.pos == s {
+            return Estimate::exact(self.rank + 1 - e.rank);
+        }
+        wave_estimate(self.rank, self.r1, e.rank)
+    }
+
+    /// Estimate the count over any window `n <= N`, by walking the
+    /// position-ordered list — `O((1/eps) log(eps N))` worst case.
+    pub fn query(&self, n: u64) -> Result<Estimate, WaveError> {
+        if n > self.max_window {
+            return Err(WaveError::WindowTooLarge {
+                requested: n,
+                max: self.max_window,
+            });
+        }
+        if n == self.max_window {
+            return Ok(self.query_max());
+        }
+        if n >= self.pos {
+            return Ok(Estimate::exact(self.rank));
+        }
+        let s = self.pos - n + 1;
+        // Walk oldest-to-newest: the last entry before s gives r1; the
+        // first entry at or after s gives (p2, r2).
+        let mut r1 = self.r1;
+        let mut first_in: Option<(u64, u64)> = None;
+        for (_, e) in self.chain.iter() {
+            if e.pos < s {
+                r1 = e.rank; // entries are position-ordered, so this grows
+            } else {
+                first_in = Some((e.pos, e.rank));
+                break;
+            }
+        }
+        let Some((p2, r2)) = first_in else {
+            // The newest 1 (always stored) is before s: none in window.
+            return Ok(Estimate::exact(0));
+        };
+        if p2 == s {
+            return Ok(Estimate::exact(self.rank + 1 - r2));
+        }
+        Ok(wave_estimate(self.rank, r1, r2))
+    }
+
+    /// The full estimate profile: for every window size `n in 1..=N`,
+    /// the estimate is a step function of `n` whose value can only
+    /// change where a stored entry enters the window or becomes the
+    /// boundary — at most two breakpoints per stored entry, plus the
+    /// whole-stream boundary. This returns the compressed step function
+    /// instead of `N` separate queries.
+    ///
+    /// Returns `(n_start, estimate)` pairs, each meaning "for windows of
+    /// size `n_start` up to the next pair's `n_start` (exclusive), the
+    /// estimate is `estimate`"; the first pair has `n_start = 1` and the
+    /// profile covers `1..=max_window`.
+    pub fn profile(&self) -> Vec<(u64, Estimate)> {
+        // Candidate breakpoints: n = 1, and for each stored entry at
+        // position p both n = pos - p + 1 (entry becomes the window
+        // start) and n = pos - p + 2 (entry strictly inside), plus the
+        // whole-stream boundary n = pos.
+        let mut candidates: Vec<u64> = vec![1];
+        for (_, e) in self.chain.iter() {
+            let n1 = self.pos - e.pos + 1;
+            candidates.push(n1.min(self.max_window));
+            candidates.push((n1 + 1).min(self.max_window));
+        }
+        if self.pos >= 1 {
+            candidates.push(self.pos.min(self.max_window));
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut out: Vec<(u64, Estimate)> = Vec::with_capacity(candidates.len());
+        for n in candidates {
+            let est = self.query(n).expect("n <= max_window by construction");
+            if out.last().map(|&(_, e)| e) != Some(est) {
+                out.push((n, est));
+            }
+        }
+        out
+    }
+
+    /// Serialize the synopsis into the paper's compact bit encoding:
+    /// gamma-coded parameters and counters, delta-coded positions and
+    /// ranks, per-entry levels. The result can be shipped to a Referee
+    /// and reconstructed with [`DetWave::decode`].
+    pub fn encode(&self) -> Vec<u8> {
+        use crate::codec::{write_deltas, BitWriter};
+        let mut w = BitWriter::new();
+        w.write_gamma(self.max_window);
+        w.write_gamma(self.k);
+        w.write_gamma0(self.pos);
+        w.write_gamma0(self.rank);
+        w.write_gamma0(self.r1);
+        w.write_gamma0(self.chain.len() as u64);
+        let positions: Vec<u64> = self.chain.iter().map(|(_, e)| e.pos).collect();
+        let ranks: Vec<u64> = self.chain.iter().map(|(_, e)| e.rank).collect();
+        write_deltas(&mut w, &positions);
+        write_deltas(&mut w, &ranks);
+        for (_, e) in self.chain.iter() {
+            w.write_gamma0(e.level as u64);
+        }
+        w.finish()
+    }
+
+    /// Reconstruct a synopsis from [`DetWave::encode`] output. The
+    /// reconstruction answers queries identically to the original.
+    pub fn decode(bytes: &[u8]) -> Result<Self, crate::codec::CodecError> {
+        use crate::codec::{read_deltas, BitReader, CodecError};
+        let mut r = BitReader::new(bytes);
+        let max_window = r.read_gamma()?;
+        let k = r.read_gamma()?;
+        if k == 0 || k > 1 << 32 {
+            return Err(CodecError::Corrupt("bad k"));
+        }
+        let mut wave = DetWave::with_k(max_window, k, 1.0 / k as f64)?;
+        wave.pos = r.read_gamma0()?;
+        wave.rank = r.read_gamma0()?;
+        wave.r1 = r.read_gamma0()?;
+        if wave.pos > 1 << 62 || wave.rank > wave.pos || wave.r1 > wave.rank {
+            return Err(CodecError::Corrupt("counters inconsistent"));
+        }
+        let count = r.read_gamma0()? as usize;
+        let positions = read_deltas(&mut r, count)?;
+        let ranks = read_deltas(&mut r, count)?;
+        let mut prev = (0u64, 0u64);
+        for i in 0..count {
+            let level = r.read_gamma0()?;
+            if level >= wave.num_levels as u64 {
+                return Err(CodecError::Corrupt("level out of range"));
+            }
+            let (p, rk) = (positions[i], ranks[i]);
+            if p > wave.pos || rk > wave.rank {
+                return Err(CodecError::Corrupt("entry beyond counters"));
+            }
+            // Entries must be live (a real wave expires on every push)
+            // and strictly newer than the expired boundary r1.
+            if p + max_window <= wave.pos || rk <= wave.r1 {
+                return Err(CodecError::Corrupt("entry already expired"));
+            }
+            if i > 0 && (p <= prev.0 || rk <= prev.1) {
+                return Err(CodecError::Corrupt("entries not increasing"));
+            }
+            prev = (p, rk);
+            if wave.queues[level as usize].is_full() {
+                return Err(CodecError::Corrupt("level queue overflow"));
+            }
+            let id = wave.chain.push_back(Entry {
+                pos: p,
+                rank: rk,
+                level: level as u8,
+            });
+            wave.queues[level as usize].push_back(id);
+        }
+        Ok(wave)
+    }
+
+    /// Space accounting (see [`SpaceReport`]).
+    pub fn space_report(&self) -> SpaceReport {
+        let resident_bytes = std::mem::size_of::<Self>()
+            + self.chain.heap_bytes()
+            + self.queues.iter().map(Fifo::heap_bytes).sum::<usize>();
+        // Paper encoding: two mod-N' counters + r1, plus delta-coded
+        // positions; ranks are recoverable from one delta-coded rank
+        // sequence as well.
+        let counter_bits = self.ring.counter_bits() as u64;
+        let positions = self.chain.iter().map(|(_, e)| e.pos);
+        let ranks = self.chain.iter().map(|(_, e)| e.rank);
+        let synopsis_bits = 3 * counter_bits
+            + delta_coded_bits(positions)
+            + delta_coded_bits(ranks)
+            + self.chain.len() as u64 * elias_gamma_bits(self.num_levels as u64 + 1);
+        SpaceReport {
+            resident_bytes,
+            synopsis_bits,
+            entries: self.chain.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic_wave::BasicWave;
+    use crate::exact::ExactCount;
+
+    fn lcg_bits(seed: u64, len: usize, density_mod: u64, density_lt: u64) -> Vec<bool> {
+        let mut x = seed;
+        (0..len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) % density_mod < density_lt
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_wave_queries() {
+        let w = DetWave::new(16, 0.5).unwrap();
+        assert_eq!(w.query_max(), Estimate::exact(0));
+        assert_eq!(w.query(4).unwrap(), Estimate::exact(0));
+    }
+
+    #[test]
+    fn whole_stream_exact() {
+        let mut w = DetWave::new(100, 0.25).unwrap();
+        for b in [true, true, false, true] {
+            w.push_bit(b);
+        }
+        assert_eq!(w.query_max(), Estimate::exact(3));
+    }
+
+    #[test]
+    fn all_zeros_after_ones() {
+        let mut w = DetWave::new(8, 0.5).unwrap();
+        for _ in 0..10 {
+            w.push_bit(true);
+        }
+        for _ in 0..20 {
+            w.push_bit(false);
+        }
+        assert_eq!(w.query_max(), Estimate::exact(0));
+    }
+
+    #[test]
+    fn error_bound_holds_max_window() {
+        for &(eps, n_max) in &[(0.5, 64u64), (0.25, 128), (0.1, 256), (1.0 / 3.0, 48)] {
+            let mut w = DetWave::new(n_max, eps).unwrap();
+            let mut oracle = ExactCount::new(n_max);
+            for b in lcg_bits(42, 6000, 10, 4) {
+                w.push_bit(b);
+                oracle.push_bit(b);
+                let actual = oracle.query(n_max);
+                let est = w.query_max();
+                assert!(est.brackets(actual), "[{},{}] vs {actual}", est.lo, est.hi);
+                assert!(
+                    est.relative_error(actual) <= eps + 1e-9,
+                    "eps={eps} actual={actual} est={}",
+                    est.value
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_all_window_sizes() {
+        let eps = 0.25;
+        let n_max = 128u64;
+        let mut w = DetWave::new(n_max, eps).unwrap();
+        let mut oracle = ExactCount::new(n_max);
+        for (step, b) in lcg_bits(7, 5000, 3, 1).into_iter().enumerate() {
+            w.push_bit(b);
+            oracle.push_bit(b);
+            if step % 23 == 0 {
+                for n in 1..=n_max {
+                    let actual = oracle.query(n);
+                    let est = w.query(n).unwrap();
+                    assert!(
+                        est.relative_error(actual) <= eps + 1e-9,
+                        "step={step} n={n} actual={actual} est={:?}",
+                        est
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bursty_stream_error_bound() {
+        let eps = 0.2;
+        let n_max = 200u64;
+        let mut w = DetWave::new(n_max, eps).unwrap();
+        let mut oracle = ExactCount::new(n_max);
+        // Alternating bursts of 1s and 0s of varying lengths.
+        let mut bit = true;
+        for burst in 1..200u64 {
+            for _ in 0..(burst % 17) + 1 {
+                w.push_bit(bit);
+                oracle.push_bit(bit);
+            }
+            bit = !bit;
+            let actual = oracle.query(n_max);
+            assert!(w.query_max().relative_error(actual) <= eps + 1e-9);
+        }
+    }
+
+    #[test]
+    fn entries_bounded_by_capacity() {
+        let eps = 0.1;
+        let n_max = 1u64 << 14;
+        let k = 10u64;
+        let l = wave_levels(n_max, k) as u64;
+        let cap = (l - 1) * (k + 1).div_ceil(2) + (k + 1);
+        let mut w = DetWave::new(n_max, eps).unwrap();
+        for _ in 0..100_000 {
+            w.push_bit(true);
+        }
+        assert!(w.entries() as u64 <= cap, "{} > {cap}", w.entries());
+    }
+
+    #[test]
+    fn matches_basic_wave_estimates_are_both_valid() {
+        // Both variants must bracket the truth; they may differ in value.
+        let eps = 1.0 / 3.0;
+        let n_max = 48u64;
+        let mut opt = DetWave::new(n_max, eps).unwrap();
+        let mut basic = BasicWave::new(n_max, eps).unwrap();
+        let mut oracle = ExactCount::new(n_max);
+        for b in lcg_bits(99, 2000, 5, 2) {
+            opt.push_bit(b);
+            basic.push_bit(b);
+            oracle.push_bit(b);
+            for n in [12u64, 30, 48] {
+                let actual = oracle.query(n);
+                assert!(opt.query(n).unwrap().relative_error(actual) <= eps + 1e-9);
+                assert!(basic.query(n).unwrap().relative_error(actual) <= eps + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn skip_zeros_equivalent_to_pushing_zeros() {
+        let mut a = DetWave::new(32, 0.25).unwrap();
+        let mut b = DetWave::new(32, 0.25).unwrap();
+        for i in 0..200u64 {
+            let bit = i % 7 == 0;
+            a.push_bit(bit);
+            b.push_bit(bit);
+            if i % 13 == 0 {
+                for _ in 0..5 {
+                    a.push_bit(false);
+                }
+                b.skip_zeros(5);
+            }
+            assert_eq!(a.query_max(), b.query_max(), "i={i}");
+            assert_eq!(a.pos(), b.pos());
+        }
+    }
+
+    #[test]
+    fn space_report_sane() {
+        let mut w = DetWave::new(1 << 12, 0.1).unwrap();
+        for b in lcg_bits(5, 20_000, 2, 1) {
+            w.push_bit(b);
+        }
+        let r = w.space_report();
+        assert!(r.entries > 0);
+        assert!(r.synopsis_bits > 0);
+        assert!(r.resident_bytes > r.entries); // bytes >> entries
+        // Theoretical bits should be far less than exact storage (N bits).
+        assert!(r.synopsis_bits < 1 << 12);
+    }
+
+    #[test]
+    fn profile_matches_per_n_queries() {
+        for &(seed, density_mod, lt) in &[(1u64, 2u64, 1u64), (2, 10, 1), (3, 3, 2)] {
+            let n_max = 200u64;
+            let mut w = DetWave::new(n_max, 0.25).unwrap();
+            for b in lcg_bits(seed, 700, density_mod, lt) {
+                w.push_bit(b);
+            }
+            let profile = w.profile();
+            assert!(!profile.is_empty());
+            assert_eq!(profile[0].0, 1, "profile starts at n = 1");
+            assert!(profile.windows(2).all(|p| p[0].0 < p[1].0));
+            // The step function must equal query(n) for every n.
+            let mut idx = 0;
+            for n in 1..=n_max {
+                while idx + 1 < profile.len() && profile[idx + 1].0 <= n {
+                    idx += 1;
+                }
+                assert_eq!(
+                    profile[idx].1,
+                    w.query(n).unwrap(),
+                    "seed={seed} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profile_of_empty_wave() {
+        let w = DetWave::new(16, 0.5).unwrap();
+        let p = w.profile();
+        assert_eq!(p, vec![(1, Estimate::exact(0))]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_preserves_queries() {
+        let eps = 0.1;
+        let n_max = 1u64 << 10;
+        let mut w = DetWave::new(n_max, eps).unwrap();
+        for b in lcg_bits(77, 12_000, 7, 3) {
+            w.push_bit(b);
+        }
+        let bytes = w.encode();
+        let w2 = DetWave::decode(&bytes).unwrap();
+        assert_eq!(w.pos(), w2.pos());
+        assert_eq!(w.rank(), w2.rank());
+        for n in 1..=n_max {
+            assert_eq!(w.query(n).unwrap(), w2.query(n).unwrap(), "n={n}");
+        }
+        // Both continue identically after more stream.
+        let (mut a, mut b2) = (w, w2);
+        for b in lcg_bits(78, 3_000, 2, 1) {
+            a.push_bit(b);
+            b2.push_bit(b);
+            assert_eq!(a.query_max(), b2.query_max());
+        }
+    }
+
+    #[test]
+    fn encoded_size_matches_space_report() {
+        let mut w = DetWave::new(1 << 12, 0.05).unwrap();
+        for b in lcg_bits(3, 30_000, 2, 1) {
+            w.push_bit(b);
+        }
+        let bytes = w.encode();
+        let report = w.space_report();
+        // Encoded length tracks the analytic bit count (same codes plus a
+        // small parameter header), well under 2x.
+        let encoded_bits = bytes.len() as u64 * 8;
+        assert!(encoded_bits < 2 * report.synopsis_bits + 128);
+        // And the synopsis is tiny compared to the window.
+        assert!(encoded_bits < (1 << 12));
+    }
+
+    #[test]
+    fn roundtrip_survives_non_injective_eps_to_k() {
+        // Regression: ceil(1.0/(1.0/k)) != k for k in {49, 98, 103, ...}
+        // under f64 rounding; decode must reconstruct from the integer k
+        // rather than round-tripping through eps.
+        for &k_target in &[49u64, 98, 103, 107, 196] {
+            let eps = 1.0 / (k_target as f64 - 0.5);
+            let mut w = DetWave::new(1000, eps).unwrap();
+            assert_eq!(w.k(), k_target);
+            for i in 0..5000u64 {
+                w.push_bit(i % 3 == 0);
+            }
+            let w2 = DetWave::decode(&w.encode())
+                .unwrap_or_else(|e| panic!("k={k_target}: {e}"));
+            assert_eq!(w.query_max(), w2.query_max());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_adversarial_delta_overflow() {
+        // Regression: huge gamma deltas must yield Corrupt, not an
+        // arithmetic overflow panic.
+        use crate::codec::BitWriter;
+        let mut w = BitWriter::new();
+        w.write_gamma(1 << 20); // max_window
+        w.write_gamma(4); // k
+        w.write_gamma0(100); // pos
+        w.write_gamma0(50); // rank
+        w.write_gamma0(0); // r1
+        w.write_gamma0(3); // count
+        for _ in 0..3 {
+            w.write_gamma(1 << 63); // adversarial deltas
+        }
+        assert!(DetWave::decode(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let mut w = DetWave::new(256, 0.25).unwrap();
+        for i in 0..1000u64 {
+            w.push_bit(i % 2 == 0);
+        }
+        let bytes = w.encode();
+        assert!(DetWave::decode(&bytes[..bytes.len() / 2]).is_err());
+        assert!(DetWave::decode(&[]).is_err());
+        let mut flipped = bytes.clone();
+        flipped[0] ^= 0xFF;
+        // Either an error or, at worst, a *valid* different synopsis —
+        // never a panic.
+        let _ = DetWave::decode(&flipped);
+    }
+
+    #[test]
+    fn sparse_ones_large_window() {
+        let eps = 0.125;
+        let n_max = 1u64 << 12;
+        let mut w = DetWave::new(n_max, eps).unwrap();
+        let mut oracle = ExactCount::new(n_max);
+        for b in lcg_bits(13, 50_000, 100, 1) {
+            w.push_bit(b);
+            oracle.push_bit(b);
+        }
+        for n in [64u64, 1000, n_max] {
+            let actual = oracle.query(n);
+            let est = w.query(n).unwrap();
+            assert!(
+                est.relative_error(actual) <= eps + 1e-9,
+                "n={n} actual={actual} est={:?}",
+                est
+            );
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for synopsis construction and queries.
+
+use std::fmt;
+
+/// Errors from constructing or querying a wave synopsis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WaveError {
+    /// `eps` must satisfy `0 < eps < 1`.
+    InvalidEpsilon(f64),
+    /// `delta` must satisfy `0 < delta < 1`.
+    InvalidDelta(f64),
+    /// Maximum window size must be at least 1 (and fit the counters).
+    InvalidWindow(u64),
+    /// Queried window exceeds the prespecified maximum `N`.
+    WindowTooLarge { requested: u64, max: u64 },
+    /// Item value exceeds the prespecified bound `R`.
+    ValueTooLarge { value: u64, max: u64 },
+    /// Positions must be nondecreasing (timestamp wave).
+    PositionRegressed { last: u64, got: u64 },
+    /// More items fell in one window than the prespecified bound `U`.
+    TooManyItemsInWindow { bound: u64 },
+    /// Quantile queries require `0 < q <= 1`.
+    InvalidQuantile(f64),
+}
+
+impl fmt::Display for WaveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaveError::InvalidEpsilon(e) => {
+                write!(f, "epsilon must be in (0, 1), got {e}")
+            }
+            WaveError::InvalidDelta(d) => {
+                write!(f, "delta must be in (0, 1), got {d}")
+            }
+            WaveError::InvalidWindow(n) => {
+                write!(f, "window size {n} is invalid")
+            }
+            WaveError::WindowTooLarge { requested, max } => {
+                write!(f, "window {requested} exceeds maximum {max}")
+            }
+            WaveError::ValueTooLarge { value, max } => {
+                write!(f, "value {value} exceeds bound R = {max}")
+            }
+            WaveError::PositionRegressed { last, got } => {
+                write!(f, "position {got} is before last position {last}")
+            }
+            WaveError::TooManyItemsInWindow { bound } => {
+                write!(f, "more than U = {bound} items in one window")
+            }
+            WaveError::InvalidQuantile(q) => {
+                write!(f, "quantile must be in (0, 1], got {q}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WaveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(WaveError::InvalidEpsilon(2.0).to_string().contains("2"));
+        assert!(WaveError::WindowTooLarge {
+            requested: 10,
+            max: 5
+        }
+        .to_string()
+        .contains("10"));
+        let e: Box<dyn std::error::Error> = Box::new(WaveError::InvalidWindow(0));
+        assert!(e.to_string().contains("invalid"));
+    }
+}

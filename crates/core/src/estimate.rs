@@ -1,0 +1,120 @@
+//! Query results and error accounting shared by every synopsis.
+
+/// The result of a sliding-window query.
+///
+/// Every wave query derives an interval `[lo, hi]` that is guaranteed to
+/// contain the true answer, and returns a point estimate inside it (the
+/// paper's midpoint rule, `rank + 1 - (r1 + r2)/2`). When the synopsis can
+/// prove the interval is a single point, `exact` is true.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Point estimate (may be a half-integer due to the midpoint rule).
+    pub value: f64,
+    /// Guaranteed lower bound on the true answer.
+    pub lo: u64,
+    /// Guaranteed upper bound on the true answer.
+    pub hi: u64,
+    /// True when the synopsis knows the answer exactly (`lo == hi`).
+    pub exact: bool,
+}
+
+impl Estimate {
+    /// An exact answer.
+    pub fn exact(v: u64) -> Self {
+        Estimate {
+            value: v as f64,
+            lo: v,
+            hi: v,
+            exact: true,
+        }
+    }
+
+    /// The paper's midpoint estimate for a truth interval `[lo, hi]`.
+    pub fn midpoint(lo: u64, hi: u64) -> Self {
+        debug_assert!(lo <= hi);
+        Estimate {
+            value: (lo + hi) as f64 / 2.0,
+            lo,
+            hi,
+            exact: lo == hi,
+        }
+    }
+
+    /// Relative error of this estimate against the true value, using the
+    /// paper's convention `|x̂ - x| / x` (0 when both are 0).
+    pub fn relative_error(&self, actual: u64) -> f64 {
+        if actual == 0 {
+            if self.value == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.value - actual as f64).abs() / actual as f64
+        }
+    }
+
+    /// True if the guaranteed interval contains `actual` — the invariant
+    /// every deterministic wave must maintain at all times.
+    pub fn brackets(&self, actual: u64) -> bool {
+        self.lo <= actual && actual <= self.hi
+    }
+}
+
+/// Space accounting for a synopsis, reported two ways: what this Rust
+/// implementation actually holds resident, and the theoretical bit count
+/// of the paper's encoding (mod-N' counters, delta-coded positions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpaceReport {
+    /// Bytes of heap + inline memory the implementation holds.
+    pub resident_bytes: usize,
+    /// Bits the paper's encoding of the same state would need.
+    pub synopsis_bits: u64,
+    /// Number of (position, rank) / (position, value, sum) entries stored.
+    pub entries: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_estimate() {
+        let e = Estimate::exact(42);
+        assert!(e.exact);
+        assert_eq!(e.value, 42.0);
+        assert!(e.brackets(42));
+        assert!(!e.brackets(41));
+        assert_eq!(e.relative_error(42), 0.0);
+    }
+
+    #[test]
+    fn midpoint_estimate() {
+        let e = Estimate::midpoint(19, 26);
+        assert_eq!(e.value, 22.5);
+        assert!(!e.exact);
+        assert!(e.brackets(20));
+        assert!(!e.brackets(27));
+    }
+
+    #[test]
+    fn midpoint_of_point_interval_is_exact() {
+        let e = Estimate::midpoint(7, 7);
+        assert!(e.exact);
+        assert_eq!(e.value, 7.0);
+    }
+
+    #[test]
+    fn relative_error_zero_actual() {
+        assert_eq!(Estimate::exact(0).relative_error(0), 0.0);
+        assert!(Estimate::exact(1).relative_error(0).is_infinite());
+    }
+
+    #[test]
+    fn relative_error_symmetric_magnitude() {
+        let e = Estimate::midpoint(18, 22);
+        assert!((e.relative_error(20) - 0.0).abs() < 1e-12);
+        let e2 = Estimate::midpoint(18, 26);
+        assert!((e2.relative_error(20) - 0.1).abs() < 1e-12);
+    }
+}

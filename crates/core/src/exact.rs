@@ -1,0 +1,282 @@
+//! Exact sliding-window oracles.
+//!
+//! These keep the full window (O(N) space) and answer exactly. They are
+//! the ground truth for every test and experiment in the repository and
+//! double as the "naive" baseline in the space/time comparisons.
+
+use std::collections::VecDeque;
+
+/// Exact count of 1's in any window of the last `N` bits.
+#[derive(Debug, Clone)]
+pub struct ExactCount {
+    max_window: u64,
+    pos: u64,
+    rank: u64,
+    /// Positions of the 1-bits inside the max window, oldest first.
+    ones: VecDeque<u64>,
+}
+
+impl ExactCount {
+    pub fn new(max_window: u64) -> Self {
+        assert!(max_window >= 1);
+        ExactCount {
+            max_window,
+            pos: 0,
+            rank: 0,
+            ones: VecDeque::new(),
+        }
+    }
+
+    /// Stream length so far.
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Total 1's seen so far.
+    pub fn rank(&self) -> u64 {
+        self.rank
+    }
+
+    pub fn push_bit(&mut self, b: bool) {
+        self.pos += 1;
+        if b {
+            self.rank += 1;
+            self.ones.push_back(self.pos);
+        }
+        while let Some(&p) = self.ones.front() {
+            if p + self.max_window <= self.pos {
+                self.ones.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Exact number of 1's among the last `n <= N` bits.
+    pub fn query(&self, n: u64) -> u64 {
+        assert!(n <= self.max_window, "window exceeds maximum");
+        if n >= self.pos {
+            return self.rank;
+        }
+        let s = self.pos - n + 1;
+        // Binary search for the first stored 1-position >= s.
+        let idx = self.ones.partition_point(|&p| p < s);
+        (self.ones.len() - idx) as u64
+    }
+}
+
+/// Exact sum over any window of the last `N` items.
+#[derive(Debug, Clone)]
+pub struct ExactSum {
+    max_window: u64,
+    pos: u64,
+    total: u64,
+    /// (position, value) of nonzero items in the max window.
+    items: VecDeque<(u64, u64)>,
+    /// Running suffix sums aligned with `items` would be O(N) extra; we
+    /// instead store values and prefix-sum on query (tests only).
+    window_sum: u64,
+    /// All values in the window including zeros, for O(1) window-N sums.
+    values: VecDeque<u64>,
+}
+
+impl ExactSum {
+    pub fn new(max_window: u64) -> Self {
+        assert!(max_window >= 1);
+        ExactSum {
+            max_window,
+            pos: 0,
+            total: 0,
+            items: VecDeque::new(),
+            window_sum: 0,
+            values: VecDeque::new(),
+        }
+    }
+
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    pub fn push_value(&mut self, v: u64) {
+        self.pos += 1;
+        self.total += v;
+        self.window_sum += v;
+        self.values.push_back(v);
+        if v > 0 {
+            self.items.push_back((self.pos, v));
+        }
+        if self.values.len() as u64 > self.max_window {
+            let old = self.values.pop_front().unwrap();
+            self.window_sum -= old;
+        }
+        while let Some(&(p, _)) = self.items.front() {
+            if p + self.max_window <= self.pos {
+                self.items.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Exact sum of the last `n <= N` items.
+    pub fn query(&self, n: u64) -> u64 {
+        assert!(n <= self.max_window, "window exceeds maximum");
+        if n >= self.pos {
+            return self.total;
+        }
+        if n == self.max_window {
+            return self.window_sum;
+        }
+        let s = self.pos - n + 1;
+        let idx = self.items.partition_point(|&(p, _)| p < s);
+        self.items.iter().skip(idx).map(|&(_, v)| v).sum()
+    }
+}
+
+/// Exact count of distinct values among the last `N` items, with
+/// per-value most-recent positions (matching the semantics of the
+/// distinct-values wave: a value is in the window if its most recent
+/// occurrence is).
+#[derive(Debug, Clone)]
+pub struct ExactDistinct {
+    max_window: u64,
+    pos: u64,
+    last_seen: std::collections::HashMap<u64, u64>,
+}
+
+impl ExactDistinct {
+    pub fn new(max_window: u64) -> Self {
+        assert!(max_window >= 1);
+        ExactDistinct {
+            max_window,
+            pos: 0,
+            last_seen: std::collections::HashMap::new(),
+        }
+    }
+
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    pub fn push_value(&mut self, v: u64) {
+        self.pos += 1;
+        self.last_seen.insert(v, self.pos);
+    }
+
+    /// Advance the clock without observing a value (used when merging
+    /// multiple streams on a shared position axis).
+    pub fn push_absent(&mut self) {
+        self.pos += 1;
+    }
+
+    /// Exact number of distinct values whose most recent occurrence lies
+    /// in the last `n <= N` positions.
+    pub fn query(&self, n: u64) -> u64 {
+        assert!(n <= self.max_window, "window exceeds maximum");
+        if n >= self.pos {
+            return self.last_seen.len() as u64;
+        }
+        let s = self.pos - n + 1;
+        self.last_seen.values().filter(|&&p| p >= s).count() as u64
+    }
+
+    /// Distinct values in the window satisfying a predicate.
+    pub fn query_predicate<F: Fn(u64) -> bool>(&self, n: u64, pred: F) -> u64 {
+        let s = if n >= self.pos { 1 } else { self.pos - n + 1 };
+        self.last_seen
+            .iter()
+            .filter(|&(&v, &p)| p >= s && pred(v))
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_matches_bruteforce() {
+        let bits: Vec<bool> = (0..500).map(|i| (i * 7 + 3) % 5 < 2).collect();
+        let mut c = ExactCount::new(64);
+        let mut seen = Vec::new();
+        for &b in &bits {
+            c.push_bit(b);
+            seen.push(b);
+            for n in [1u64, 7, 33, 64] {
+                let start = seen.len().saturating_sub(n as usize);
+                let want = seen[start..].iter().filter(|&&x| x).count() as u64;
+                assert_eq!(c.query(n), want);
+            }
+        }
+    }
+
+    #[test]
+    fn sum_matches_bruteforce() {
+        let vals: Vec<u64> = (0..400).map(|i| (i * 13 + 5) % 17).collect();
+        let mut s = ExactSum::new(50);
+        let mut seen = Vec::new();
+        for &v in &vals {
+            s.push_value(v);
+            seen.push(v);
+            for n in [1u64, 10, 50] {
+                let start = seen.len().saturating_sub(n as usize);
+                let want: u64 = seen[start..].iter().sum();
+                assert_eq!(s.query(n), want, "n={n} len={}", seen.len());
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_counts_most_recent_occurrence() {
+        let mut d = ExactDistinct::new(4);
+        for v in [1u64, 2, 1, 3] {
+            d.push_value(v);
+        }
+        // Window of all 4: values {1, 2, 3}.
+        assert_eq!(d.query(4), 3);
+        // Window of last 2 (positions 3, 4): most recent 1 is at pos 3,
+        // most recent 3 at pos 4 -> {1, 3}.
+        assert_eq!(d.query(2), 2);
+        assert_eq!(d.query(1), 1);
+    }
+
+    #[test]
+    fn distinct_predicate() {
+        let mut d = ExactDistinct::new(10);
+        for v in 1..=8u64 {
+            d.push_value(v);
+        }
+        assert_eq!(d.query_predicate(10, |v| v % 2 == 0), 4);
+        assert_eq!(d.query_predicate(4, |v| v % 2 == 0), 2); // {6, 8}
+    }
+
+    #[test]
+    fn distinct_push_absent_advances_clock() {
+        let mut d = ExactDistinct::new(4);
+        d.push_value(7);
+        for _ in 0..4 {
+            d.push_absent();
+        }
+        assert_eq!(d.pos(), 5);
+        assert_eq!(d.query(4), 0, "value 7's last occurrence expired");
+        assert_eq!(d.query(4.min(d.pos())), 0);
+    }
+
+    #[test]
+    fn whole_stream_queries_are_totals() {
+        let mut c = ExactCount::new(8);
+        for _ in 0..5 {
+            c.push_bit(true);
+        }
+        assert_eq!(c.query(8), 5);
+        let mut s = ExactSum::new(8);
+        for v in [1u64, 2, 3] {
+            s.push_value(v);
+        }
+        assert_eq!(s.query(8), 6);
+    }
+}

@@ -1,0 +1,300 @@
+//! Windowed histograms (Section 5, "Other Problems": "histogramming").
+//!
+//! An equi-width (or custom-edge) histogram over a bounded value domain,
+//! maintained over a sliding window: bucket `b`'s count is a Basic
+//! Counting instance fed the indicator "this item falls in bucket `b`",
+//! so every per-bucket count carries the deterministic wave's `eps`
+//! guarantee. On top of the per-bucket counts the histogram answers
+//! quantile queries with certified value ranges.
+//!
+//! Costs: `B` buckets cost `B` waves of space; per-item time is O(B)
+//! (every bucket's wave consumes the indicator bit — the wave for the
+//! matching bucket gets a 1, the rest get a 0, each in O(1)).
+
+use crate::det_wave::DetWave;
+use crate::error::WaveError;
+use crate::estimate::{Estimate, SpaceReport};
+
+/// A histogram over a sliding window of the last `N` items.
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    /// Bucket upper bounds (exclusive), strictly increasing; the last
+    /// edge is `max_value + 1` so every value lands somewhere.
+    edges: Vec<u64>,
+    waves: Vec<DetWave>,
+    pos: u64,
+}
+
+impl WindowedHistogram {
+    /// Equi-width histogram with `buckets` buckets over `[0..=max_value]`.
+    pub fn equi_width(
+        max_window: u64,
+        max_value: u64,
+        buckets: usize,
+        eps: f64,
+    ) -> Result<Self, WaveError> {
+        if buckets == 0 || (buckets as u64) > max_value + 1 {
+            return Err(WaveError::InvalidWindow(buckets as u64));
+        }
+        let width = (max_value + 1).div_ceil(buckets as u64);
+        let edges = (1..=buckets as u64)
+            .map(|i| (i * width).min(max_value + 1))
+            .collect();
+        Self::with_edges_impl(max_window, edges, eps)
+    }
+
+    /// Custom bucket edges: bucket `i` covers `[edges[i-1], edges[i])`
+    /// (with an implicit 0 lower bound for the first bucket). Edges must
+    /// be strictly increasing and nonzero.
+    pub fn with_edges(
+        max_window: u64,
+        edges: Vec<u64>,
+        eps: f64,
+    ) -> Result<Self, WaveError> {
+        if edges.is_empty()
+            || edges[0] == 0
+            || edges.windows(2).any(|w| w[0] >= w[1])
+        {
+            return Err(WaveError::InvalidWindow(0));
+        }
+        Self::with_edges_impl(max_window, edges, eps)
+    }
+
+    fn with_edges_impl(
+        max_window: u64,
+        edges: Vec<u64>,
+        eps: f64,
+    ) -> Result<Self, WaveError> {
+        let waves = edges
+            .iter()
+            .map(|_| DetWave::new(max_window, eps))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(WindowedHistogram {
+            edges,
+            waves,
+            pos: 0,
+        })
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The bucket covering `v`, or `None` if `v` is beyond the last edge.
+    pub fn bucket_of(&self, v: u64) -> Option<usize> {
+        let i = self.edges.partition_point(|&e| e <= v);
+        (i < self.edges.len()).then_some(i)
+    }
+
+    /// Value range `[lo, hi]` (inclusive) covered by bucket `b`.
+    pub fn bucket_range(&self, b: usize) -> (u64, u64) {
+        let lo = if b == 0 { 0 } else { self.edges[b - 1] };
+        (lo, self.edges[b] - 1)
+    }
+
+    /// Items observed so far.
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Observe the next item. Values beyond the last edge are rejected.
+    pub fn push_value(&mut self, v: u64) -> Result<(), WaveError> {
+        let Some(b) = self.bucket_of(v) else {
+            return Err(WaveError::ValueTooLarge {
+                value: v,
+                max: *self.edges.last().expect("nonempty") - 1,
+            });
+        };
+        self.pos += 1;
+        for (i, w) in self.waves.iter_mut().enumerate() {
+            w.push_bit(i == b);
+        }
+        Ok(())
+    }
+
+    /// Per-bucket count estimates over the last `n` items.
+    pub fn query(&self, n: u64) -> Result<Vec<Estimate>, WaveError> {
+        self.waves.iter().map(|w| w.query(n)).collect()
+    }
+
+    /// Estimate the `q`-quantile (0 < q <= 1) of the values in the last
+    /// `n` items: the certified value range of the bucket(s) that could
+    /// contain it, given the per-bucket count intervals. Returns `None`
+    /// when the window is provably empty.
+    ///
+    /// The returned `(lo, hi)` is a *value* range: every consistent
+    /// assignment of true counts places the quantile inside it.
+    pub fn query_quantile(&self, n: u64, q: f64) -> Result<Option<(u64, u64)>, WaveError> {
+        if !(q > 0.0 && q <= 1.0) {
+            return Err(WaveError::InvalidQuantile(q));
+        }
+        let counts = self.query(n)?;
+        let total_lo: u64 = counts.iter().map(|e| e.lo).sum();
+        let total_hi: u64 = counts.iter().map(|e| e.hi).sum();
+        if total_hi == 0 {
+            return Ok(None);
+        }
+        // Rank bounds for the quantile element.
+        let rank_lo = (q * total_lo as f64).ceil().max(1.0) as u64;
+        let rank_hi = (q * total_hi as f64).ceil() as u64;
+        // Earliest possible bucket: assume preceding buckets are as full
+        // as possible (hi) and the target rank as small as possible.
+        let mut first = self.edges.len() - 1;
+        let mut acc = 0u64;
+        for (i, e) in counts.iter().enumerate() {
+            acc += e.hi;
+            if acc >= rank_lo {
+                first = i;
+                break;
+            }
+        }
+        // Latest possible bucket: preceding buckets as empty as possible.
+        let mut last = self.edges.len() - 1;
+        let mut acc = 0u64;
+        for (i, e) in counts.iter().enumerate() {
+            acc += e.lo;
+            if acc >= rank_hi {
+                last = i;
+                break;
+            }
+        }
+        let (lo, _) = self.bucket_range(first.min(last));
+        let (_, hi) = self.bucket_range(last.max(first));
+        Ok(Some((lo, hi)))
+    }
+
+    /// Space accounting: sum over buckets.
+    pub fn space_report(&self) -> SpaceReport {
+        let mut total = SpaceReport {
+            resident_bytes: std::mem::size_of::<Self>(),
+            synopsis_bits: 0,
+            entries: 0,
+        };
+        for w in &self.waves {
+            let r = w.space_report();
+            total.resident_bytes += r.resident_bytes;
+            total.synopsis_bits += r.synopsis_bits;
+            total.entries += r.entries;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    #[test]
+    fn equi_width_edges() {
+        let h = WindowedHistogram::equi_width(16, 99, 10, 0.5).unwrap();
+        assert_eq!(h.buckets(), 10);
+        assert_eq!(h.bucket_range(0), (0, 9));
+        assert_eq!(h.bucket_range(9), (90, 99));
+        assert_eq!(h.bucket_of(0), Some(0));
+        assert_eq!(h.bucket_of(99), Some(9));
+        assert_eq!(h.bucket_of(100), None);
+    }
+
+    #[test]
+    fn custom_edges() {
+        let h = WindowedHistogram::with_edges(16, vec![10, 100, 1000], 0.5).unwrap();
+        assert_eq!(h.bucket_of(5), Some(0));
+        assert_eq!(h.bucket_of(10), Some(1));
+        assert_eq!(h.bucket_of(999), Some(2));
+        assert_eq!(h.bucket_of(1000), None);
+        assert!(WindowedHistogram::with_edges(16, vec![10, 10], 0.5).is_err());
+        assert!(WindowedHistogram::with_edges(16, vec![], 0.5).is_err());
+        assert!(WindowedHistogram::with_edges(16, vec![0, 5], 0.5).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_domain() {
+        let mut h = WindowedHistogram::equi_width(8, 9, 2, 0.5).unwrap();
+        assert!(matches!(
+            h.push_value(10),
+            Err(WaveError::ValueTooLarge { .. })
+        ));
+        assert_eq!(h.pos(), 0, "failed push must not advance");
+    }
+
+    #[test]
+    fn bucket_counts_within_eps() {
+        let (n, r, buckets, eps) = (256u64, 1023u64, 8usize, 0.1);
+        let mut h = WindowedHistogram::equi_width(n, r, buckets, eps).unwrap();
+        let mut window: VecDeque<u64> = VecDeque::new();
+        let mut x = 11u64;
+        for step in 0..10_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = (x >> 33) % (r + 1);
+            h.push_value(v).unwrap();
+            window.push_back(v);
+            if window.len() as u64 > n {
+                window.pop_front();
+            }
+            if step % 97 == 0 {
+                let ests = h.query(n).unwrap();
+                for (b, est) in ests.iter().enumerate() {
+                    let (lo, hi) = h.bucket_range(b);
+                    let actual =
+                        window.iter().filter(|&&v| v >= lo && v <= hi).count() as u64;
+                    assert!(est.brackets(actual), "bucket {b}");
+                    assert!(est.relative_error(actual) <= eps + 1e-9, "bucket {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_truth() {
+        let (n, r, buckets, eps) = (512u64, 4_095u64, 32usize, 0.05);
+        let mut h = WindowedHistogram::equi_width(n, r, buckets, eps).unwrap();
+        let mut window: VecDeque<u64> = VecDeque::new();
+        let mut x = 23u64;
+        for _ in 0..20_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Skewed values: mostly small, occasional large.
+            let v = if (x >> 60) == 0 { (x >> 33) % (r + 1) } else { (x >> 33) % 64 };
+            h.push_value(v).unwrap();
+            window.push_back(v);
+            if window.len() as u64 > n {
+                window.pop_front();
+            }
+        }
+        let mut sorted: Vec<u64> = window.iter().copied().collect();
+        sorted.sort_unstable();
+        for q in [0.5f64, 0.9, 0.99] {
+            let idx = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            let truth = sorted[idx];
+            let (lo, hi) = h.query_quantile(n, q).unwrap().unwrap();
+            assert!(
+                lo <= truth && truth <= hi,
+                "q={q}: truth {truth} not in [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_quantile_is_none() {
+        let mut h = WindowedHistogram::equi_width(8, 9, 2, 0.5).unwrap();
+        assert_eq!(h.query_quantile(8, 0.5).unwrap(), None);
+        h.push_value(3).unwrap();
+        for _ in 0..20 {
+            h.push_value(0).unwrap();
+        }
+        // Items still in window: quantile defined.
+        assert!(h.query_quantile(8, 0.5).unwrap().is_some());
+    }
+
+    #[test]
+    fn space_scales_with_buckets() {
+        let h2 = WindowedHistogram::equi_width(1 << 10, 1023, 2, 0.1).unwrap();
+        let h16 = WindowedHistogram::equi_width(1 << 10, 1023, 16, 0.1).unwrap();
+        assert!(h16.space_report().resident_bytes > 4 * h2.space_report().resident_bytes);
+    }
+}

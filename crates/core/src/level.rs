@@ -1,0 +1,204 @@
+//! Wave-level computation (Section 3.2 and step 3(a) of Figures 4–5).
+//!
+//! * For Basic Counting, a 1-bit with 1-rank `r` belongs to level
+//!   `tz(r)` — the position of the least-significant set bit of `r`.
+//! * For sums, an item of value `v` arriving at running total `T`
+//!   belongs to the largest `j` such that some multiple of `2^j` lies in
+//!   `(T, T + v]`; the paper shows this is the most-significant bit of
+//!   `!T & (T + v)`.
+//!
+//! Both are single instructions on modern hardware. The paper also gives
+//! constant-time methods for a weaker machine model with neither
+//! `trailing_zeros` nor `leading_zeros`; those are implemented here too
+//! ([`RulerLevelOracle`] and [`msb_binary_search`]) and tested for
+//! equivalence, both for fidelity and as the A3 ablation.
+
+/// Level of a 1-bit with 1-rank `r >= 1` for Basic Counting:
+/// the largest `j` with `2^j | r`.
+#[inline]
+pub fn rank_level(rank: u64) -> u32 {
+    debug_assert!(rank >= 1);
+    rank.trailing_zeros()
+}
+
+/// Level of an arriving item of value `v >= 1` when the running total
+/// (before adding `v`) is `total`: the largest `j` such that a multiple
+/// of `2^j` lies in `(total, total + v]`.
+#[inline]
+pub fn sum_level(total: u64, v: u64) -> u32 {
+    debug_assert!(v >= 1);
+    // j is the most-significant bit position where `total` has a 0 and
+    // `total + v` has a 1 (the highest bit that flips 0 -> 1 somewhere in
+    // the interval). h is nonzero because total + v > total.
+    let h = !total & total.wrapping_add(v);
+    debug_assert!(h != 0);
+    63 - h.leading_zeros()
+}
+
+/// Most-significant set bit via binary search with shifting masks — the
+/// weak-machine-model fallback from footnote 8 of the paper, running in
+/// `O(log w)` mask steps for word size `w`.
+pub fn msb_binary_search(h: u64) -> u32 {
+    assert!(h != 0, "msb of zero is undefined");
+    let mut lo = 0u32; // msb is known to be in [lo, lo + width)
+    let mut width = 64u32;
+    while width > 1 {
+        let half = width / 2;
+        let mask = (((1u128 << half) - 1) as u64) << (lo + half);
+        if h & mask != 0 || (h >> (lo + half)) != 0 {
+            lo += half;
+        }
+        width = half;
+    }
+    lo
+}
+
+/// The weak-machine-model level oracle for Basic Counting ("Computing
+/// the Wave Level on a Weaker Machine Model", Section 3.2).
+///
+/// Stores the ruler sequence `tz(1), ..., tz(B-1)` for a power-of-two
+/// block size `B`, plus a block counter `d`. While ranks walk through a
+/// block the level is the next array entry; at a block boundary
+/// (`rank = m·B`) the level is `log2(B) + tz(m)`, and `tz` of the *next*
+/// block index is located one bit per arrival, interleaved with the array
+/// walk, so every call is O(1) worst case.
+#[derive(Debug, Clone)]
+pub struct RulerLevelOracle {
+    ruler: Box<[u32]>,
+    log_b: u32,
+    idx: usize,
+    /// Next block index whose trailing zeros we are (or will be) finding.
+    next_block: u64,
+    /// Incremental scan state for tz(next_block).
+    scan_bit: u32,
+    scan_result: Option<u32>,
+}
+
+impl RulerLevelOracle {
+    /// Build the oracle with block size `B = 2^log_b` (`log_b >= 1`).
+    /// `B` should be about `log2(N')`, rounded up to a power of two.
+    pub fn new(log_b: u32) -> Self {
+        assert!((1..=20).contains(&log_b), "block size out of range");
+        let b = 1usize << log_b;
+        let ruler: Box<[u32]> = (1..b as u64).map(rank_level).collect();
+        RulerLevelOracle {
+            ruler,
+            log_b,
+            idx: 0,
+            next_block: 1,
+            scan_bit: 0,
+            scan_result: None,
+        }
+    }
+
+    /// Level of the next 1-rank (ranks are implicit: the i-th call
+    /// returns the level of rank i, starting from rank 1).
+    pub fn next_level(&mut self) -> u32 {
+        // Advance the interleaved scan for tz(next_block) by one bit per
+        // call; it has B calls of budget and needs at most 64 probes, so
+        // for log_b >= 6 a single probe per call suffices. For smaller
+        // blocks we probe a couple of bits per call — still O(1).
+        let probes = (64 >> self.log_b).max(1);
+        for _ in 0..probes {
+            if self.scan_result.is_none() {
+                if (self.next_block >> self.scan_bit) & 1 == 1 {
+                    self.scan_result = Some(self.scan_bit);
+                } else {
+                    self.scan_bit += 1;
+                }
+            }
+        }
+        if self.idx < self.ruler.len() {
+            let lvl = self.ruler[self.idx];
+            self.idx += 1;
+            lvl
+        } else {
+            // Block boundary: rank = next_block * B.
+            let tz = self
+                .scan_result
+                .expect("interleaved scan must finish within one block");
+            let lvl = self.log_b + tz;
+            self.idx = 0;
+            self.next_block += 1;
+            self.scan_bit = 0;
+            self.scan_result = None;
+            lvl
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_level_small_cases() {
+        let expect = [0, 1, 0, 2, 0, 1, 0, 3, 0, 1, 0, 2, 0, 1, 0, 4];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(rank_level(i as u64 + 1), e);
+        }
+    }
+
+    #[test]
+    fn sum_level_definition_bruteforce() {
+        // Check against the definition: largest j such that some multiple
+        // of 2^j lies in (total, total+v].
+        for total in 0u64..128 {
+            for v in 1u64..64 {
+                let mut best = 0;
+                for j in 0..16 {
+                    let step = 1u64 << j;
+                    // smallest multiple of 2^j strictly greater than total
+                    let m = (total / step + 1) * step;
+                    if m <= total + v {
+                        best = j;
+                    }
+                }
+                assert_eq!(sum_level(total, v), best, "total={total} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_level_of_unit_value_matches_rank_level() {
+        // With v = 1 the sum wave degenerates to Basic Counting:
+        // sum_level(r-1, 1) == rank_level(r).
+        for r in 1u64..10_000 {
+            assert_eq!(sum_level(r - 1, 1), rank_level(r));
+        }
+    }
+
+    #[test]
+    fn msb_binary_search_matches_leading_zeros() {
+        for h in [1u64, 2, 3, 255, 256, 0x8000_0000_0000_0000, u64::MAX] {
+            assert_eq!(msb_binary_search(h), 63 - h.leading_zeros());
+        }
+        for sh in 0..64 {
+            assert_eq!(msb_binary_search(1u64 << sh), sh);
+        }
+    }
+
+    #[test]
+    fn ruler_oracle_matches_trailing_zeros() {
+        for log_b in [1u32, 2, 4, 6] {
+            let mut oracle = RulerLevelOracle::new(log_b);
+            for rank in 1u64..100_000 {
+                assert_eq!(
+                    oracle.next_level(),
+                    rank_level(rank),
+                    "log_b={log_b} rank={rank}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ruler_example_from_paper() {
+        // log(N') = 16 example: {0,1,0,2,0,1,0,3,0,1,0,2,0,1,0}.
+        let oracle = RulerLevelOracle::new(4);
+        assert_eq!(
+            oracle.ruler.as_ref(),
+            &[0, 1, 0, 2, 0, 1, 0, 3, 0, 1, 0, 2, 0, 1, 0]
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! `waves-core`: deterministic wave synopses for sliding windows.
+//!
+//! This crate implements the single-stream synopses from Gibbons &
+//! Tirthapura, *Distributed Streams Algorithms for Sliding Windows*
+//! (SPAA 2002):
+//!
+//! * [`BasicWave`] — the pedagogical wave of Section 3.1 (Figure 2);
+//! * [`DetWave`] — the optimal deterministic wave of Section 3.2
+//!   (Theorem 1): `eps` relative error for Basic Counting over any
+//!   window up to `N`, O(1) worst-case per-item time, O(1) query time
+//!   for the maximum window, `O((1/eps) log^2(eps N))` bits;
+//! * [`SumWave`] — the sum of integers in `[0..R]` (Section 3.3,
+//!   Theorem 3), again O(1) worst case per item;
+//! * [`TimestampWave`] — sliding windows with duplicated positions
+//!   (Corollary 1);
+//! * [`NthRecentWave`] — the position of the `n`-th most recent 1
+//!   (Section 5);
+//! * [`SlidingAverage`] — the sum/count composition (Section 5);
+//! * exact oracles ([`exact`]) and shared substrates: level arithmetic
+//!   ([`level`]), mod-N' counters ([`window`]), slab-backed intrusive
+//!   lists ([`chain`]), and space accounting ([`space`]).
+//!
+//! # Quick start
+//! ```
+//! use waves_core::DetWave;
+//!
+//! let mut wave = DetWave::new(1_000, 0.1).unwrap(); // N = 1000, eps = 0.1
+//! for i in 0..10_000u64 {
+//!     wave.push_bit(i % 3 == 0);
+//! }
+//! let est = wave.query_max(); // O(1): count of 1s in the last 1000 bits
+//! let actual = 333; // ones among the last 1000 bits of this stream
+//! assert!(est.relative_error(actual) <= 0.1);
+//! ```
+
+pub mod average;
+pub mod basic_wave;
+pub mod chain;
+pub mod codec;
+pub mod decay;
+pub mod det_wave;
+pub mod error;
+pub mod estimate;
+pub mod exact;
+pub mod histogram;
+pub mod level;
+pub mod nth_recent;
+pub mod space;
+pub mod sum_wave;
+pub mod timestamp;
+pub mod timestamp_sum;
+pub mod traits;
+pub mod window;
+
+pub use average::{ratio_error_target, ratio_estimate, RatioEstimate, SlidingAverage};
+pub use basic_wave::BasicWave;
+pub use decay::{decayed_sum, Decay, DecayedEstimate};
+pub use det_wave::DetWave;
+pub use error::WaveError;
+pub use estimate::{Estimate, SpaceReport};
+pub use exact::{ExactCount, ExactDistinct, ExactSum};
+pub use histogram::WindowedHistogram;
+pub use nth_recent::NthRecentWave;
+pub use sum_wave::SumWave;
+pub use timestamp::TimestampWave;
+pub use timestamp_sum::TimestampSumWave;
+pub use traits::{BitSynopsis, SumSynopsis};
+pub use window::ModRing;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bit_stream() -> impl Strategy<Value = Vec<bool>> {
+        prop::collection::vec(prop::bool::weighted(0.4), 0..2000)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The headline invariant of Theorem 1: at every instant, for
+        /// every window size, the deterministic wave's interval brackets
+        /// the truth and the estimate is within eps of it.
+        #[test]
+        fn det_wave_eps_guarantee(
+            bits in bit_stream(),
+            inv_eps in 2u64..=12,
+            n_max in 8u64..=256,
+        ) {
+            let eps = 1.0 / inv_eps as f64;
+            let mut w = DetWave::new(n_max, eps).unwrap();
+            let mut oracle = ExactCount::new(n_max);
+            for (i, &b) in bits.iter().enumerate() {
+                w.push_bit(b);
+                oracle.push_bit(b);
+                if i % 31 == 0 || i + 1 == bits.len() {
+                    for n in [1, n_max / 3 + 1, n_max] {
+                        let actual = oracle.query(n);
+                        let est = w.query(n).unwrap();
+                        prop_assert!(est.brackets(actual));
+                        prop_assert!(est.relative_error(actual) <= eps + 1e-9);
+                    }
+                }
+            }
+        }
+
+        /// Same invariant for the sum wave (Theorem 3).
+        #[test]
+        fn sum_wave_eps_guarantee(
+            vals in prop::collection::vec(0u64..=100, 0..1500),
+            inv_eps in 2u64..=10,
+            n_max in 8u64..=128,
+        ) {
+            let eps = 1.0 / inv_eps as f64;
+            let mut w = SumWave::new(n_max, 100, eps).unwrap();
+            let mut oracle = ExactSum::new(n_max);
+            for (i, &v) in vals.iter().enumerate() {
+                w.push_value(v).unwrap();
+                oracle.push_value(v);
+                if i % 23 == 0 || i + 1 == vals.len() {
+                    let actual = oracle.query(n_max);
+                    let est = w.query_max();
+                    prop_assert!(est.brackets(actual));
+                    prop_assert!(est.relative_error(actual) <= eps + 1e-9);
+                }
+            }
+        }
+
+        /// Basic wave and optimal wave satisfy the bound on the same
+        /// stream (the A1 ablation invariant).
+        #[test]
+        fn basic_and_optimal_agree_on_guarantee(
+            bits in bit_stream(),
+        ) {
+            let (eps, n_max) = (0.25, 64);
+            let mut basic = BasicWave::new(n_max, eps).unwrap();
+            let mut opt = DetWave::new(n_max, eps).unwrap();
+            let mut oracle = ExactCount::new(n_max);
+            for &b in &bits {
+                basic.push_bit(b);
+                opt.push_bit(b);
+                oracle.push_bit(b);
+            }
+            let actual = oracle.query(n_max);
+            prop_assert!(basic.query(n_max).unwrap().relative_error(actual) <= eps + 1e-9);
+            prop_assert!(opt.query_max().relative_error(actual) <= eps + 1e-9);
+        }
+
+        /// Wave state is insensitive to trailing zeros beyond the window:
+        /// after N zeros, every wave reports exactly 0.
+        #[test]
+        fn flushes_to_zero(bits in bit_stream()) {
+            let n_max = 32u64;
+            let mut w = DetWave::new(n_max, 0.5).unwrap();
+            for &b in &bits {
+                w.push_bit(b);
+            }
+            for _ in 0..n_max {
+                w.push_bit(false);
+            }
+            prop_assert_eq!(w.query_max(), Estimate::exact(0));
+        }
+
+        /// Encode/decode round-trips on arbitrary streams and preserves
+        /// every query answer.
+        #[test]
+        fn codec_roundtrip_preserves_queries(
+            bits in bit_stream(),
+            inv_eps in 2u64..=8,
+            n_max in 8u64..=128,
+        ) {
+            let mut w = DetWave::new(n_max, 1.0 / inv_eps as f64).unwrap();
+            for &b in &bits {
+                w.push_bit(b);
+            }
+            let decoded = DetWave::decode(&w.encode()).unwrap();
+            for n in 1..=n_max {
+                prop_assert_eq!(w.query(n).unwrap(), decoded.query(n).unwrap());
+            }
+        }
+
+        /// Decoding arbitrary bytes never panics — it returns an error
+        /// or a structurally valid synopsis.
+        #[test]
+        fn codec_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+            if let Ok(w) = DetWave::decode(&bytes) {
+                for n in [1, w.max_window() / 2 + 1, w.max_window()] {
+                    let _ = w.query(n);
+                }
+                let _ = w.profile();
+            }
+            if let Ok(w) = SumWave::decode(&bytes) {
+                for n in [1, w.max_window() / 2 + 1, w.max_window()] {
+                    let _ = w.query(n);
+                }
+            }
+            if let Ok(w) = TimestampWave::decode(&bytes) {
+                let _ = w.query(w.max_window());
+                let _ = w.query(1);
+            }
+            if let Ok(w) = TimestampSumWave::decode(&bytes) {
+                let _ = w.query(w.max_window());
+                let _ = w.query(1);
+            }
+        }
+
+        /// The timestamped sum wave brackets the truth on random
+        /// timestamped streams.
+        #[test]
+        fn timestamp_sum_brackets(
+            steps in prop::collection::vec((0u64..3, 0u64..=50), 1..600),
+        ) {
+            let (n, u, r) = (32u64, 2_048u64, 50u64);
+            let mut w = TimestampSumWave::new(n, u, r, 0.25).unwrap();
+            let mut items: Vec<(u64, u64)> = Vec::new();
+            let mut ts = 1u64;
+            for &(dt, v) in &steps {
+                ts += dt;
+                w.push(ts, v).unwrap();
+                items.push((ts, v));
+            }
+            let s = ts.saturating_sub(n - 1).max(1);
+            let actual: u64 = items
+                .iter()
+                .filter(|&&(t, _)| t >= s)
+                .map(|&(_, v)| v)
+                .sum();
+            let est = w.query(n).unwrap();
+            prop_assert!(est.brackets(actual));
+            prop_assert!(est.relative_error(actual) <= 0.25 + 1e-9);
+        }
+    }
+}

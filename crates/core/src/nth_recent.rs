@@ -1,0 +1,324 @@
+//! The "Nth most recent 1" extension (Section 5).
+//!
+//! Instead of storing only the 1-bits, the wave stores *every* position
+//! (0's and 1's alike), so items in level `l` are `2^l` positions apart;
+//! alongside each stored position we keep the 1-rank of the stream prefix
+//! through that position. Querying the position of the `n`-th most
+//! recent 1 then reduces to locating the stored positions whose prefix
+//! ranks bracket the target rank `rank - n + 1`, giving an estimate of
+//! the *age* of that 1 with relative error at most `eps`.
+//!
+//! `max_age` (the paper's `m`) bounds how far back the wave can resolve:
+//! the synopsis uses `O((1/eps) log^2(eps * m))` bits.
+
+use crate::basic_wave::wave_levels;
+use crate::chain::{Chain, Fifo};
+use crate::error::WaveError;
+use crate::estimate::{Estimate, SpaceReport};
+use crate::level::rank_level;
+use crate::space::{delta_coded_bits, elias_gamma_bits};
+use crate::window::ModRing;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    pos: u64,
+    /// Number of 1's in the stream prefix `[1, pos]`.
+    prefix_rank: u64,
+    level: u8,
+}
+
+/// Deterministic wave estimating the position (equivalently the age) of
+/// the `n`-th most recent 1-bit.
+#[derive(Debug, Clone)]
+pub struct NthRecentWave {
+    max_age: u64,
+    eps: f64,
+    num_levels: u32,
+    ring: ModRing,
+    pos: u64,
+    rank: u64,
+    /// Prefix rank of the most recently expired stored position.
+    expired_rank: u64,
+    /// Position of the most recently expired stored position.
+    expired_pos: u64,
+    chain: Chain<Entry>,
+    queues: Vec<Fifo>,
+}
+
+impl NthRecentWave {
+    /// Build a wave that can locate 1's up to `max_age` positions back.
+    pub fn new(max_age: u64, eps: f64) -> Result<Self, WaveError> {
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(WaveError::InvalidEpsilon(eps));
+        }
+        if max_age == 0 || max_age > 1 << 62 {
+            return Err(WaveError::InvalidWindow(max_age));
+        }
+        let k = (1.0 / eps).ceil() as u64;
+        let num_levels = wave_levels(max_age, k);
+        let lower_cap = ((k + 1).div_ceil(2)) as usize;
+        let top_cap = (k + 1) as usize;
+        let mut queues = Vec::with_capacity(num_levels as usize);
+        let mut total_cap = 0usize;
+        for lvl in 0..num_levels {
+            let cap = if lvl + 1 == num_levels { top_cap } else { lower_cap };
+            total_cap += cap;
+            queues.push(Fifo::new(cap));
+        }
+        Ok(NthRecentWave {
+            max_age,
+            eps,
+            num_levels,
+            ring: ModRing::for_window(max_age),
+            pos: 0,
+            rank: 0,
+            expired_rank: 0,
+            expired_pos: 0,
+            chain: Chain::with_capacity(total_cap),
+            queues,
+        })
+    }
+
+    /// How far back (in positions) the wave can resolve.
+    pub fn max_age(&self) -> u64 {
+        self.max_age
+    }
+
+    /// The configured error bound.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Stream length so far.
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Total 1's so far.
+    pub fn rank(&self) -> u64 {
+        self.rank
+    }
+
+    /// Process the next stream bit. Every position is stored (level keyed
+    /// by the position, not the 1-rank) — O(1) worst case.
+    pub fn push_bit(&mut self, b: bool) {
+        self.pos += 1;
+        if b {
+            self.rank += 1;
+        }
+        // Expire stored positions older than max_age.
+        while let Some(h) = self.chain.head() {
+            let e = *self.chain.get(h);
+            if e.pos + self.max_age <= self.pos {
+                self.expired_rank = e.prefix_rank;
+                self.expired_pos = e.pos;
+                let popped = self.queues[e.level as usize].pop_front();
+                debug_assert_eq!(popped, Some(h));
+                self.chain.remove(h);
+            } else {
+                break;
+            }
+        }
+        let j = rank_level(self.pos).min(self.num_levels - 1) as usize;
+        if self.queues[j].is_full() {
+            let old = self.queues[j].pop_front().expect("full queue has a front");
+            self.chain.remove(old);
+        }
+        let id = self.chain.push_back(Entry {
+            pos: self.pos,
+            prefix_rank: self.rank,
+            level: j as u8,
+        });
+        self.queues[j].push_back(id);
+    }
+
+    /// Estimate the *age* of the `n`-th most recent 1 — the number of
+    /// positions back from the current position, with the current
+    /// position having age 0.
+    ///
+    /// Returns:
+    /// * `Ok(Some(estimate))` — the bracketing interval `[lo, hi]` of the
+    ///   age and the midpoint estimate;
+    /// * `Ok(None)` — fewer than `n` 1's have appeared at all;
+    /// * `Err(WindowTooLarge)` — the `n`-th most recent 1 is older than
+    ///   `max_age`, beyond the synopsis's resolution.
+    pub fn query_age(&self, n: u64) -> Result<Option<Estimate>, WaveError> {
+        assert!(n >= 1, "n must be at least 1");
+        if n > self.rank {
+            return Ok(None);
+        }
+        // The target is the 1 with 1-rank t.
+        let t = self.rank - n + 1;
+        if t <= self.expired_rank {
+            // The target 1 lies at or before the last expired position.
+            return Err(WaveError::WindowTooLarge {
+                requested: n,
+                max: self.max_age,
+            });
+        }
+        // Walk oldest-to-newest for the bracketing pair: the last stored
+        // position with prefix_rank < t (lower bracket, default the
+        // expired boundary) and the first with prefix_rank >= t.
+        let mut pa = self.expired_pos; // target is strictly after pa
+        let mut pb: Option<u64> = None;
+        for (_, e) in self.chain.iter() {
+            if e.prefix_rank < t {
+                pa = e.pos;
+            } else {
+                pb = Some(e.pos);
+                break;
+            }
+        }
+        // Every position is stored on arrival, so the newest stored
+        // prefix_rank equals self.rank >= t: pb always exists.
+        let pb = pb.expect("newest position is always stored");
+        // Target position is in (pa, pb] => age in [pos - pb, pos - pa - 1].
+        let lo = self.pos - pb;
+        let hi = self.pos - pa - 1;
+        Ok(Some(Estimate::midpoint(lo, hi)))
+    }
+
+    /// Space accounting (see [`SpaceReport`]).
+    pub fn space_report(&self) -> SpaceReport {
+        let resident_bytes = std::mem::size_of::<Self>()
+            + self.chain.heap_bytes()
+            + self.queues.iter().map(Fifo::heap_bytes).sum::<usize>();
+        let counter_bits = self.ring.counter_bits() as u64;
+        let positions = self.chain.iter().map(|(_, e)| e.pos);
+        let ranks = self.chain.iter().map(|(_, e)| e.prefix_rank);
+        let synopsis_bits = 4 * counter_bits
+            + delta_coded_bits(positions)
+            + delta_coded_bits(ranks)
+            + self.chain.len() as u64 * elias_gamma_bits(self.num_levels as u64 + 1);
+        SpaceReport {
+            resident_bytes,
+            synopsis_bits,
+            entries: self.chain.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    struct Oracle {
+        pos: u64,
+        ones: VecDeque<u64>, // positions of all 1's (unbounded; test only)
+    }
+
+    impl Oracle {
+        fn new() -> Self {
+            Oracle {
+                pos: 0,
+                ones: VecDeque::new(),
+            }
+        }
+        fn push(&mut self, b: bool) {
+            self.pos += 1;
+            if b {
+                self.ones.push_back(self.pos);
+            }
+        }
+        /// Age of the n-th most recent 1.
+        fn age(&self, n: u64) -> Option<u64> {
+            let len = self.ones.len() as u64;
+            if n > len {
+                return None;
+            }
+            Some(self.pos - self.ones[(len - n) as usize])
+        }
+    }
+
+    #[test]
+    fn not_enough_ones() {
+        let mut w = NthRecentWave::new(100, 0.25).unwrap();
+        w.push_bit(true);
+        assert!(w.query_age(2).unwrap().is_none());
+        assert!(w.query_age(1).unwrap().is_some());
+    }
+
+    #[test]
+    fn most_recent_one_age() {
+        let mut w = NthRecentWave::new(100, 0.25).unwrap();
+        w.push_bit(true);
+        for _ in 0..5 {
+            w.push_bit(false);
+        }
+        let e = w.query_age(1).unwrap().unwrap();
+        assert!(e.brackets(5), "[{},{}]", e.lo, e.hi);
+    }
+
+    #[test]
+    fn beyond_max_age_errors() {
+        let mut w = NthRecentWave::new(16, 0.5).unwrap();
+        w.push_bit(true);
+        for _ in 0..100 {
+            w.push_bit(false);
+        }
+        assert!(matches!(
+            w.query_age(1),
+            Err(WaveError::WindowTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn error_bound_on_ages() {
+        let eps = 0.25;
+        let max_age = 1u64 << 12;
+        let mut w = NthRecentWave::new(max_age, eps).unwrap();
+        let mut oracle = Oracle::new();
+        let mut x = 31u64;
+        for step in 0..30_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let b = (x >> 33).is_multiple_of(7);
+            w.push_bit(b);
+            oracle.push(b);
+            if step % 293 == 0 {
+                for n in [1u64, 5, 50, 200] {
+                    let Some(actual) = oracle.age(n) else { continue };
+                    if actual >= max_age {
+                        continue;
+                    }
+                    match w.query_age(n) {
+                        Ok(Some(est)) => {
+                            assert!(
+                                est.brackets(actual),
+                                "step={step} n={n}: [{},{}] vs {actual}",
+                                est.lo,
+                                est.hi
+                            );
+                            // Relative error on the age; exact-zero ages
+                            // are bracketed by construction.
+                            if actual > 0 {
+                                assert!(
+                                    est.relative_error(actual) <= eps + 1e-9,
+                                    "step={step} n={n} actual={actual} est={:?}",
+                                    est
+                                );
+                            }
+                        }
+                        other => panic!("unexpected result {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_ones_exact_small_ages() {
+        let mut w = NthRecentWave::new(256, 0.5).unwrap();
+        for _ in 0..64 {
+            w.push_bit(true);
+        }
+        // The most recent few 1's are at small ages; level-0 stores them
+        // exactly (spacing 1).
+        let e = w.query_age(1).unwrap().unwrap();
+        assert!(e.brackets(0));
+        let e2 = w.query_age(2).unwrap().unwrap();
+        assert!(e2.brackets(1));
+    }
+}

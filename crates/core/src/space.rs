@@ -1,0 +1,93 @@
+//! Space accounting helpers.
+//!
+//! The paper's space bounds count *bits* under a compact encoding:
+//! positions stored modulo `N'` and delta-coded between consecutive
+//! entries (Section 3.2, last optimization). The runtime structures in
+//! this crate use machine words, so each synopsis reports both its
+//! resident bytes and the bit count its current contents would occupy
+//! under the paper's encoding; this module provides the shared pieces.
+
+/// Bits of an Elias-gamma code for `x >= 1`: `2*floor(log2 x) + 1`.
+///
+/// Gamma coding is a concrete self-delimiting code achieving the
+/// `O(log delta)` bits per delta the paper's argument needs.
+#[inline]
+pub fn elias_gamma_bits(x: u64) -> u64 {
+    debug_assert!(x >= 1);
+    2 * (63 - x.leading_zeros() as u64) + 1
+}
+
+/// Total bits to delta-code a strictly increasing sequence starting from
+/// an implicit 0 (gaps of 0 are coded as 1 via the +1 shift).
+pub fn delta_coded_bits<I: IntoIterator<Item = u64>>(sorted: I) -> u64 {
+    let mut prev = 0u64;
+    let mut bits = 0u64;
+    for x in sorted {
+        debug_assert!(x >= prev);
+        bits += elias_gamma_bits(x - prev + 1);
+        prev = x;
+    }
+    bits
+}
+
+/// The paper's deterministic-wave space bound, in bits:
+/// `O((1/eps) * log^2(eps * N))`. Returned without the hidden constant
+/// (callers compare shapes, not absolutes).
+pub fn det_wave_bound_bits(eps: f64, n: u64) -> f64 {
+    let l = (eps * n as f64).max(2.0).log2();
+    (1.0 / eps) * l * l
+}
+
+/// The Datar et al. lower bound (Theorem 2): any algorithm with relative
+/// error `< 1/k` needs at least `(k/16) * log^2(N/k)` bits, for integer
+/// `k <= 4*sqrt(N)`.
+pub fn datar_lower_bound_bits(k: u64, n: u64) -> f64 {
+    let l = ((n as f64) / (k as f64)).max(2.0).log2();
+    (k as f64 / 16.0) * l * l
+}
+
+/// The randomized-wave space bound per party, in bits:
+/// `O(log(1/delta) * log^2(N) / eps^2)`.
+pub fn rand_wave_bound_bits(eps: f64, delta: f64, n: u64) -> f64 {
+    let l = (n as f64).max(2.0).log2();
+    (1.0 / delta).ln() * l * l / (eps * eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_bits_known_values() {
+        assert_eq!(elias_gamma_bits(1), 1);
+        assert_eq!(elias_gamma_bits(2), 3);
+        assert_eq!(elias_gamma_bits(3), 3);
+        assert_eq!(elias_gamma_bits(4), 5);
+        assert_eq!(elias_gamma_bits(255), 15);
+        assert_eq!(elias_gamma_bits(256), 17);
+    }
+
+    #[test]
+    fn delta_coding_dense_vs_sparse() {
+        // Dense runs code cheaply; sparse runs cost log of the gap.
+        let dense: Vec<u64> = (1..=100).collect();
+        let sparse: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        assert!(delta_coded_bits(dense) < delta_coded_bits(sparse));
+    }
+
+    #[test]
+    fn delta_coding_handles_duplicates() {
+        // Nondecreasing with repeats (timestamp streams).
+        assert_eq!(delta_coded_bits([5, 5, 5]), elias_gamma_bits(6) + 2);
+    }
+
+    #[test]
+    fn bounds_monotone_in_parameters() {
+        assert!(det_wave_bound_bits(0.01, 1 << 16) > det_wave_bound_bits(0.1, 1 << 16));
+        assert!(det_wave_bound_bits(0.1, 1 << 20) > det_wave_bound_bits(0.1, 1 << 10));
+        assert!(datar_lower_bound_bits(64, 1 << 16) > datar_lower_bound_bits(8, 1 << 16));
+        assert!(
+            rand_wave_bound_bits(0.1, 0.01, 1 << 16) > rand_wave_bound_bits(0.1, 0.1, 1 << 16)
+        );
+    }
+}

@@ -1,0 +1,532 @@
+//! The deterministic sum wave of Section 3.3 (Figure 5, Theorem 3).
+//!
+//! Maintains an `eps`-approximation of the sum of the last `N` integers,
+//! each in `[0..R]`, using `O((1/eps)(log N + log R))` memory words with
+//! O(1) worst-case per-item time and O(1) query time.
+//!
+//! The key idea: an item of value `v` arriving at running total `T` is
+//! stored **once**, at the largest level `j` such that a multiple of
+//! `2^j` lies in `(T, T + v]` (computed in O(1) as the most-significant
+//! set bit of `!T & (T + v)`). This is what beats the exponential
+//! histogram, which splits the same item across up to
+//! `O(log N + log R)` buckets.
+
+use crate::basic_wave::wave_levels;
+use crate::chain::{Chain, Fifo};
+use crate::error::WaveError;
+use crate::estimate::{Estimate, SpaceReport};
+use crate::level::sum_level;
+use crate::space::{delta_coded_bits, elias_gamma_bits};
+use crate::window::ModRing;
+
+/// One stored entry: position, item value, and the running total
+/// inclusive of the item (the paper's `(p, v, z)` triple).
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    pos: u64,
+    v: u64,
+    z: u64,
+    level: u8,
+}
+
+/// Deterministic wave for the sum of bounded integers in a sliding
+/// window (Theorem 3).
+#[derive(Debug, Clone)]
+pub struct SumWave {
+    max_window: u64,
+    max_value: u64,
+    eps: f64,
+    num_levels: u32,
+    ring: ModRing,
+    pos: u64,
+    total: u64,
+    /// Largest partial sum expired from the wave (0 if none yet).
+    z1: u64,
+    chain: Chain<Entry>,
+    queues: Vec<Fifo>,
+}
+
+impl SumWave {
+    /// Build a sum wave with error bound `eps` for windows up to
+    /// `max_window`, item values in `[0..max_value]`.
+    pub fn new(max_window: u64, max_value: u64, eps: f64) -> Result<Self, WaveError> {
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(WaveError::InvalidEpsilon(eps));
+        }
+        Self::with_k(max_window, max_value, (1.0 / eps).ceil() as u64, eps)
+    }
+
+    /// Build from the integer parameter `k = ceil(1/eps)` directly (used
+    /// by [`SumWave::decode`]; the f64 `eps -> k` map is not injective).
+    fn with_k(max_window: u64, max_value: u64, k: u64, eps: f64) -> Result<Self, WaveError> {
+        if k == 0 || k > 1 << 32 {
+            return Err(WaveError::InvalidEpsilon(eps));
+        }
+        if max_window == 0 {
+            return Err(WaveError::InvalidWindow(0));
+        }
+        if max_value == 0 {
+            return Err(WaveError::ValueTooLarge {
+                value: 0,
+                max: 0,
+            });
+        }
+        let nr = max_window
+            .checked_mul(max_value)
+            .filter(|&x| x <= 1 << 62)
+            .ok_or(WaveError::InvalidWindow(max_window))?;
+        let num_levels = wave_levels(nr, k);
+        let cap = (k + 1) as usize;
+        let queues: Vec<Fifo> = (0..num_levels).map(|_| Fifo::new(cap)).collect();
+        let total_cap = cap * num_levels as usize;
+        Ok(SumWave {
+            max_window,
+            max_value,
+            eps,
+            num_levels,
+            ring: ModRing::for_window(nr),
+            pos: 0,
+            total: 0,
+            z1: 0,
+            chain: Chain::with_capacity(total_cap),
+            queues,
+        })
+    }
+
+    /// Maximum window size `N`.
+    pub fn max_window(&self) -> u64 {
+        self.max_window
+    }
+
+    /// Value bound `R`.
+    pub fn max_value(&self) -> u64 {
+        self.max_value
+    }
+
+    /// The configured error bound.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Number of levels `ceil(log2(2 eps N R))`.
+    pub fn num_levels(&self) -> u32 {
+        self.num_levels
+    }
+
+    /// Stream length so far.
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Running total of all items seen.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of entries currently stored.
+    pub fn entries(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Process the next item — O(1) worst case (Figure 5).
+    ///
+    /// Returns an error (without consuming the item) if `v > R`.
+    #[inline]
+    pub fn push_value(&mut self, v: u64) -> Result<(), WaveError> {
+        if v > self.max_value {
+            return Err(WaveError::ValueTooLarge {
+                value: v,
+                max: self.max_value,
+            });
+        }
+        self.pos += 1;
+        self.expire();
+        if v > 0 {
+            // Level from the pre-update total (step 3(a) of Figure 5).
+            let j = sum_level(self.total, v).min(self.num_levels - 1) as usize;
+            self.total += v;
+            if self.queues[j].is_full() {
+                let old = self.queues[j].pop_front().expect("full queue has a front");
+                self.chain.remove(old);
+            }
+            let id = self.chain.push_back(Entry {
+                pos: self.pos,
+                v,
+                z: self.total,
+                level: j as u8,
+            });
+            self.queues[j].push_back(id);
+        }
+        Ok(())
+    }
+
+    fn expire(&mut self) {
+        while let Some(h) = self.chain.head() {
+            let e = *self.chain.get(h);
+            if e.pos + self.max_window <= self.pos {
+                self.z1 = e.z;
+                let popped = self.queues[e.level as usize].pop_front();
+                debug_assert_eq!(popped, Some(h));
+                self.chain.remove(h);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Estimate the sum over the maximum window `N` in O(1).
+    pub fn query_max(&self) -> Estimate {
+        if self.max_window >= self.pos {
+            return Estimate::exact(self.total);
+        }
+        let Some(h) = self.chain.head() else {
+            return Estimate::exact(0);
+        };
+        let e = self.chain.get(h);
+        let s = self.pos - self.max_window + 1;
+        if e.pos == s {
+            return Estimate::exact(self.total - e.z + e.v);
+        }
+        sum_estimate(self.total, self.z1, e.v, e.z)
+    }
+
+    /// Estimate the sum over any window `n <= N` by walking the
+    /// position-ordered list.
+    pub fn query(&self, n: u64) -> Result<Estimate, WaveError> {
+        if n > self.max_window {
+            return Err(WaveError::WindowTooLarge {
+                requested: n,
+                max: self.max_window,
+            });
+        }
+        if n == self.max_window {
+            return Ok(self.query_max());
+        }
+        if n >= self.pos {
+            return Ok(Estimate::exact(self.total));
+        }
+        let s = self.pos - n + 1;
+        let mut z1 = self.z1;
+        let mut first_in: Option<Entry> = None;
+        for (_, e) in self.chain.iter() {
+            if e.pos < s {
+                z1 = e.z;
+            } else {
+                first_in = Some(*e);
+                break;
+            }
+        }
+        let Some(e) = first_in else {
+            return Ok(Estimate::exact(0));
+        };
+        if e.pos == s {
+            return Ok(Estimate::exact(self.total - e.z + e.v));
+        }
+        Ok(sum_estimate(self.total, z1, e.v, e.z))
+    }
+
+    /// Serialize into the compact bit encoding (see
+    /// [`crate::det_wave::DetWave::encode`] for the scheme; the sum wave
+    /// additionally gamma-codes each entry's value).
+    pub fn encode(&self) -> Vec<u8> {
+        use crate::codec::{write_deltas, BitWriter};
+        let mut w = BitWriter::new();
+        w.write_gamma(self.max_window);
+        w.write_gamma(self.max_value);
+        w.write_gamma((1.0 / self.eps).ceil() as u64);
+        w.write_gamma0(self.pos);
+        w.write_gamma0(self.total);
+        w.write_gamma0(self.z1);
+        w.write_gamma0(self.chain.len() as u64);
+        let positions: Vec<u64> = self.chain.iter().map(|(_, e)| e.pos).collect();
+        let sums: Vec<u64> = self.chain.iter().map(|(_, e)| e.z).collect();
+        write_deltas(&mut w, &positions);
+        write_deltas(&mut w, &sums);
+        for (_, e) in self.chain.iter() {
+            w.write_gamma(e.v);
+            w.write_gamma0(e.level as u64);
+        }
+        w.finish()
+    }
+
+    /// Reconstruct a synopsis from [`SumWave::encode`] output.
+    pub fn decode(bytes: &[u8]) -> Result<Self, crate::codec::CodecError> {
+        use crate::codec::{read_deltas, BitReader, CodecError};
+        let mut r = BitReader::new(bytes);
+        let max_window = r.read_gamma()?;
+        let max_value = r.read_gamma()?;
+        let k = r.read_gamma()?;
+        if k == 0 || k > 1 << 32 {
+            return Err(CodecError::Corrupt("bad k"));
+        }
+        let mut wave = SumWave::with_k(max_window, max_value, k, 1.0 / k as f64)?;
+        wave.pos = r.read_gamma0()?;
+        wave.total = r.read_gamma0()?;
+        wave.z1 = r.read_gamma0()?;
+        if wave.pos > 1 << 62 || wave.total > 1 << 62 || wave.z1 > wave.total {
+            return Err(CodecError::Corrupt("counters inconsistent"));
+        }
+        let count = r.read_gamma0()? as usize;
+        let positions = read_deltas(&mut r, count)?;
+        let sums = read_deltas(&mut r, count)?;
+        let mut prev = (0u64, 0u64);
+        for i in 0..count {
+            let v = r.read_gamma()?;
+            let level = r.read_gamma0()?;
+            if level >= wave.num_levels as u64 {
+                return Err(CodecError::Corrupt("level out of range"));
+            }
+            let (p, z) = (positions[i], sums[i]);
+            if p > wave.pos || z > wave.total || v > max_value || v > z {
+                return Err(CodecError::Corrupt("entry beyond counters"));
+            }
+            // Entries must be live and consistent with the expired
+            // boundary: z1 <= z - v (the estimator's invariant).
+            if p + max_window <= wave.pos || z - v < wave.z1 {
+                return Err(CodecError::Corrupt("entry already expired"));
+            }
+            if i > 0 && (p <= prev.0 || z <= prev.1) {
+                return Err(CodecError::Corrupt("entries not increasing"));
+            }
+            prev = (p, z);
+            if wave.queues[level as usize].is_full() {
+                return Err(CodecError::Corrupt("level queue overflow"));
+            }
+            let id = wave.chain.push_back(Entry {
+                pos: p,
+                v,
+                z,
+                level: level as u8,
+            });
+            wave.queues[level as usize].push_back(id);
+        }
+        Ok(wave)
+    }
+
+    /// Space accounting (see [`SpaceReport`]).
+    pub fn space_report(&self) -> SpaceReport {
+        let resident_bytes = std::mem::size_of::<Self>()
+            + self.chain.heap_bytes()
+            + self.queues.iter().map(Fifo::heap_bytes).sum::<usize>();
+        let counter_bits = self.ring.counter_bits() as u64;
+        let positions = self.chain.iter().map(|(_, e)| e.pos);
+        let sums = self.chain.iter().map(|(_, e)| e.z);
+        let value_bits: u64 = self
+            .chain
+            .iter()
+            .map(|(_, e)| elias_gamma_bits(e.v + 1))
+            .sum();
+        let synopsis_bits =
+            3 * counter_bits + delta_coded_bits(positions) + delta_coded_bits(sums) + value_bits;
+        SpaceReport {
+            resident_bytes,
+            synopsis_bits,
+            entries: self.chain.len(),
+        }
+    }
+}
+
+/// The Figure 5 estimate: truth is in `[total - z2 + v2, total - z1]`
+/// and the returned value `total - (z1 + z2 - v2)/2` is exactly the
+/// midpoint of that interval.
+pub(crate) fn sum_estimate(total: u64, z1: u64, v2: u64, z2: u64) -> Estimate {
+    debug_assert!(z1 <= z2 - v2, "z1={z1} z2={z2} v2={v2}");
+    Estimate::midpoint(total - z2 + v2, total - z1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactSum;
+
+    fn lcg_vals(seed: u64, len: usize, r: u64) -> Vec<u64> {
+        let mut x = seed;
+        (0..len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) % (r + 1)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_whole_stream() {
+        let mut w = SumWave::new(10, 100, 0.25).unwrap();
+        assert_eq!(w.query_max(), Estimate::exact(0));
+        w.push_value(7).unwrap();
+        w.push_value(0).unwrap();
+        w.push_value(3).unwrap();
+        assert_eq!(w.query_max(), Estimate::exact(10));
+    }
+
+    #[test]
+    fn rejects_out_of_range_values() {
+        let mut w = SumWave::new(10, 5, 0.25).unwrap();
+        assert!(matches!(
+            w.push_value(6),
+            Err(WaveError::ValueTooLarge { value: 6, max: 5 })
+        ));
+        // The failed push must not have advanced the stream.
+        assert_eq!(w.pos(), 0);
+    }
+
+    #[test]
+    fn error_bound_holds_max_window() {
+        for &(eps, n_max, r) in &[(0.5, 64u64, 15u64), (0.25, 128, 255), (0.1, 64, 7)] {
+            let mut w = SumWave::new(n_max, r, eps).unwrap();
+            let mut oracle = ExactSum::new(n_max);
+            for v in lcg_vals(3, 5000, r) {
+                w.push_value(v).unwrap();
+                oracle.push_value(v);
+                let actual = oracle.query(n_max);
+                let est = w.query_max();
+                assert!(
+                    est.brackets(actual),
+                    "eps={eps} r={r}: [{},{}] vs {actual}",
+                    est.lo,
+                    est.hi
+                );
+                assert!(
+                    est.relative_error(actual) <= eps + 1e-9,
+                    "eps={eps} actual={actual} est={}",
+                    est.value
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_smaller_windows() {
+        let (eps, n_max, r) = (0.2, 100u64, 31u64);
+        let mut w = SumWave::new(n_max, r, eps).unwrap();
+        let mut oracle = ExactSum::new(n_max);
+        for (step, v) in lcg_vals(11, 4000, r).into_iter().enumerate() {
+            w.push_value(v).unwrap();
+            oracle.push_value(v);
+            if step % 17 == 0 {
+                for n in [1u64, 13, 50, 99] {
+                    let actual = oracle.query(n);
+                    let est = w.query(n).unwrap();
+                    assert!(
+                        est.relative_error(actual) <= eps + 1e-9,
+                        "step={step} n={n} actual={actual} est={:?}",
+                        est
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_unit_values_match_basic_counting_bound() {
+        // With R = 1 this is exactly Basic Counting.
+        let eps = 0.25;
+        let mut w = SumWave::new(64, 1, eps).unwrap();
+        let mut oracle = ExactSum::new(64);
+        for v in lcg_vals(17, 3000, 1) {
+            w.push_value(v).unwrap();
+            oracle.push_value(v);
+            let actual = oracle.query(64);
+            assert!(w.query_max().relative_error(actual) <= eps + 1e-9);
+        }
+    }
+
+    #[test]
+    fn zeros_do_not_create_entries() {
+        let mut w = SumWave::new(16, 10, 0.5).unwrap();
+        for _ in 0..100 {
+            w.push_value(0).unwrap();
+        }
+        assert_eq!(w.entries(), 0);
+        assert_eq!(w.query_max(), Estimate::exact(0));
+    }
+
+    #[test]
+    fn bursty_large_values() {
+        let eps = 0.125;
+        let (n_max, r) = (128u64, 1u64 << 16);
+        let mut w = SumWave::new(n_max, r, eps).unwrap();
+        let mut oracle = ExactSum::new(n_max);
+        for i in 0..3000u64 {
+            let v = if i % 97 == 0 { r } else { i % 3 };
+            w.push_value(v).unwrap();
+            oracle.push_value(v);
+            let actual = oracle.query(n_max);
+            let est = w.query_max();
+            assert!(
+                est.relative_error(actual) <= eps + 1e-9,
+                "i={i} actual={actual} est={}",
+                est.value
+            );
+        }
+    }
+
+    #[test]
+    fn entries_bounded() {
+        let (eps, n_max, r) = (0.1, 1u64 << 12, 1u64 << 10);
+        let w0 = SumWave::new(n_max, r, eps).unwrap();
+        let cap = (w0.num_levels() as u64) * ((1.0 / eps).ceil() as u64 + 1);
+        let mut w = w0;
+        for v in lcg_vals(23, 50_000, r) {
+            w.push_value(v).unwrap();
+        }
+        assert!(w.entries() as u64 <= cap);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let (eps, n_max, r) = (0.1, 512u64, 1u64 << 8);
+        let mut w = SumWave::new(n_max, r, eps).unwrap();
+        for v in lcg_vals(91, 8_000, r) {
+            w.push_value(v).unwrap();
+        }
+        let bytes = w.encode();
+        let w2 = SumWave::decode(&bytes).unwrap();
+        assert_eq!(w.pos(), w2.pos());
+        assert_eq!(w.total(), w2.total());
+        for n in [1u64, 17, 100, 511, 512] {
+            assert_eq!(w.query(n).unwrap(), w2.query(n).unwrap(), "n={n}");
+        }
+        let (mut a, mut b) = (w, w2);
+        for v in lcg_vals(92, 2_000, r) {
+            a.push_value(v).unwrap();
+            b.push_value(v).unwrap();
+            assert_eq!(a.query_max(), b.query_max());
+        }
+    }
+
+    #[test]
+    fn roundtrip_survives_non_injective_eps_to_k() {
+        // Regression: k=49-class eps values must decode losslessly.
+        let mut w = SumWave::new(50, 1, 1.0 / 48.5).unwrap();
+        for i in 0..200u64 {
+            w.push_value(i % 2).unwrap();
+        }
+        let w2 = SumWave::decode(&w.encode()).expect("valid encode must decode");
+        assert_eq!(w.query_max(), w2.query_max());
+        assert_eq!(w.num_levels(), w2.num_levels());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut w = SumWave::new(64, 100, 0.25).unwrap();
+        for v in lcg_vals(9, 500, 100) {
+            w.push_value(v).unwrap();
+        }
+        let bytes = w.encode();
+        assert!(SumWave::decode(&bytes[..bytes.len() / 3]).is_err());
+    }
+
+    #[test]
+    fn space_report_sane() {
+        let mut w = SumWave::new(1 << 10, 1 << 8, 0.2).unwrap();
+        for v in lcg_vals(29, 10_000, 1 << 8) {
+            w.push_value(v).unwrap();
+        }
+        let r = w.space_report();
+        assert!(r.entries > 0 && r.synopsis_bits > 0);
+    }
+}
+

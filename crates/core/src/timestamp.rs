@@ -1,0 +1,481 @@
+//! Sliding windows with duplicated positions (Corollary 1).
+//!
+//! Stream items are `(position, bit)` pairs whose positions are
+//! nondecreasing (e.g. positions are time units and several items share a
+//! timestamp). The window is the last `N` *positions*, and `U` bounds the
+//! number of stream items that can fall in any window, so the wave has
+//! `ceil(log2(2 eps U))` levels.
+//!
+//! Two deliberate generalizations over the paper's setting, both safe:
+//!
+//! * positions may skip values (the paper's "consecutive integers with
+//!   possible repetitions" is the special case); expiry then discards a
+//!   batch of entries in amortized O(1) each, instead of the paper's
+//!   worst-case O(1) trick with an auxiliary first-item-per-position
+//!   list (the asymptotic totals are identical and no reproduced claim
+//!   depends on worst-case expiry latency of this variant);
+//! * the boundary case `p2 = s` is reported exact only when the truth
+//!   interval collapses: with duplicated positions, entries at the
+//!   boundary position may have been capacity-evicted, so claiming
+//!   exactness from the stored smallest rank alone would be unsound.
+
+use crate::basic_wave::{wave_estimate, wave_levels};
+use crate::chain::{Chain, Fifo};
+use crate::error::WaveError;
+use crate::estimate::{Estimate, SpaceReport};
+use crate::level::rank_level;
+use crate::space::{delta_coded_bits, elias_gamma_bits};
+use crate::window::ModRing;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    pos: u64,
+    rank: u64,
+    level: u8,
+}
+
+/// Deterministic wave for Basic Counting over timestamped streams
+/// (Corollary 1): windows of up to `N` positions, at most `U` items per
+/// window, relative error `eps`.
+#[derive(Debug, Clone)]
+pub struct TimestampWave {
+    max_window: u64,
+    max_items: u64,
+    eps: f64,
+    num_levels: u32,
+    ring: ModRing,
+    /// Latest position observed (0 before any item).
+    cur: u64,
+    rank: u64,
+    /// Largest 1-rank expired (0 if none).
+    r1: u64,
+    chain: Chain<Entry>,
+    queues: Vec<Fifo>,
+}
+
+impl TimestampWave {
+    /// Build a wave for windows of up to `max_window` positions with at
+    /// most `max_items` stream items per window.
+    pub fn new(max_window: u64, max_items: u64, eps: f64) -> Result<Self, WaveError> {
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(WaveError::InvalidEpsilon(eps));
+        }
+        Self::with_k(max_window, max_items, (1.0 / eps).ceil() as u64, eps)
+    }
+
+    /// Build from `k = ceil(1/eps)` directly (used by decode; the f64
+    /// `eps -> k` map is not injective).
+    fn with_k(max_window: u64, max_items: u64, k: u64, eps: f64) -> Result<Self, WaveError> {
+        if k == 0 || k > 1 << 32 {
+            return Err(WaveError::InvalidEpsilon(eps));
+        }
+        if max_window == 0 || max_items == 0 {
+            return Err(WaveError::InvalidWindow(max_window.min(max_items)));
+        }
+        if max_window > 1 << 62 || max_items > 1 << 62 {
+            return Err(WaveError::InvalidWindow(max_window.max(max_items)));
+        }
+        let num_levels = wave_levels(max_items, k);
+        let lower_cap = ((k + 1).div_ceil(2)) as usize;
+        let top_cap = (k + 1) as usize;
+        let mut queues = Vec::with_capacity(num_levels as usize);
+        let mut total_cap = 0usize;
+        for lvl in 0..num_levels {
+            let cap = if lvl + 1 == num_levels { top_cap } else { lower_cap };
+            total_cap += cap;
+            queues.push(Fifo::new(cap));
+        }
+        Ok(TimestampWave {
+            max_window,
+            max_items,
+            eps,
+            num_levels,
+            ring: ModRing::for_window(max_window.max(max_items)),
+            cur: 0,
+            rank: 0,
+            r1: 0,
+            chain: Chain::with_capacity(total_cap),
+            queues,
+        })
+    }
+
+    /// Maximum window size in positions.
+    pub fn max_window(&self) -> u64 {
+        self.max_window
+    }
+
+    /// The per-window item bound `U`.
+    pub fn max_items(&self) -> u64 {
+        self.max_items
+    }
+
+    /// The configured error bound.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Latest position observed.
+    pub fn current_position(&self) -> u64 {
+        self.cur
+    }
+
+    /// Number of 1's observed so far.
+    pub fn rank(&self) -> u64 {
+        self.rank
+    }
+
+    /// Number of entries currently stored.
+    pub fn entries(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Observe an item `(position, bit)`. Positions must be
+    /// nondecreasing; gaps are allowed.
+    pub fn push(&mut self, position: u64, bit: bool) -> Result<(), WaveError> {
+        if position < self.cur {
+            return Err(WaveError::PositionRegressed {
+                last: self.cur,
+                got: position,
+            });
+        }
+        self.cur = position;
+        self.expire();
+        if bit {
+            self.rank += 1;
+            let j = rank_level(self.rank).min(self.num_levels - 1) as usize;
+            if self.queues[j].is_full() {
+                let old = self.queues[j].pop_front().expect("full queue has a front");
+                self.chain.remove(old);
+            }
+            let id = self.chain.push_back(Entry {
+                pos: position,
+                rank: self.rank,
+                level: j as u8,
+            });
+            self.queues[j].push_back(id);
+        }
+        Ok(())
+    }
+
+    /// Advance the clock to `position` without observing an item (e.g. a
+    /// heartbeat in a quiet period).
+    pub fn advance_to(&mut self, position: u64) -> Result<(), WaveError> {
+        if position < self.cur {
+            return Err(WaveError::PositionRegressed {
+                last: self.cur,
+                got: position,
+            });
+        }
+        self.cur = position;
+        self.expire();
+        Ok(())
+    }
+
+    fn expire(&mut self) {
+        while let Some(h) = self.chain.head() {
+            let e = *self.chain.get(h);
+            if e.pos + self.max_window <= self.cur {
+                self.r1 = e.rank;
+                let popped = self.queues[e.level as usize].pop_front();
+                debug_assert_eq!(popped, Some(h));
+                self.chain.remove(h);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Estimate the number of 1's among items whose position lies in the
+    /// last `n <= N` positions, i.e. in `[cur - n + 1, cur]`.
+    pub fn query(&self, n: u64) -> Result<Estimate, WaveError> {
+        if n > self.max_window {
+            return Err(WaveError::WindowTooLarge {
+                requested: n,
+                max: self.max_window,
+            });
+        }
+        if n > self.cur || self.cur == 0 {
+            return Ok(Estimate::exact(self.rank));
+        }
+        let s = self.cur - n + 1;
+        let mut r1 = self.r1;
+        let mut first_in: Option<Entry> = None;
+        for (_, e) in self.chain.iter() {
+            if e.pos < s {
+                // Entries are (position, rank)-ordered; the last one
+                // before s carries the largest rank at position p1.
+                r1 = e.rank;
+            } else {
+                first_in = Some(*e);
+                break;
+            }
+        }
+        let Some(e) = first_in else {
+            return Ok(Estimate::exact(0));
+        };
+        // With duplicated positions we never claim exactness from
+        // p2 == s alone (see module docs); wave_estimate still collapses
+        // to exact when the interval is a point.
+        Ok(wave_estimate(self.rank, r1, e.rank))
+    }
+
+    /// Serialize into the compact bit encoding (scheme as in
+    /// [`crate::det_wave::DetWave::encode`], with the `U` parameter).
+    pub fn encode(&self) -> Vec<u8> {
+        use crate::codec::{write_deltas, BitWriter};
+        let mut w = BitWriter::new();
+        w.write_gamma(self.max_window);
+        w.write_gamma(self.max_items);
+        w.write_gamma((1.0 / self.eps).ceil() as u64);
+        w.write_gamma0(self.cur);
+        w.write_gamma0(self.rank);
+        w.write_gamma0(self.r1);
+        w.write_gamma0(self.chain.len() as u64);
+        let positions: Vec<u64> = self.chain.iter().map(|(_, e)| e.pos).collect();
+        let ranks: Vec<u64> = self.chain.iter().map(|(_, e)| e.rank).collect();
+        write_deltas(&mut w, &positions);
+        write_deltas(&mut w, &ranks);
+        for (_, e) in self.chain.iter() {
+            w.write_gamma0(e.level as u64);
+        }
+        w.finish()
+    }
+
+    /// Reconstruct a synopsis from [`TimestampWave::encode`] output.
+    pub fn decode(bytes: &[u8]) -> Result<Self, crate::codec::CodecError> {
+        use crate::codec::{read_deltas, BitReader, CodecError};
+        let mut r = BitReader::new(bytes);
+        let max_window = r.read_gamma()?;
+        let max_items = r.read_gamma()?;
+        let k = r.read_gamma()?;
+        if k == 0 || k > 1 << 32 {
+            return Err(CodecError::Corrupt("bad k"));
+        }
+        let mut wave = TimestampWave::with_k(max_window, max_items, k, 1.0 / k as f64)?;
+        wave.cur = r.read_gamma0()?;
+        wave.rank = r.read_gamma0()?;
+        wave.r1 = r.read_gamma0()?;
+        if wave.cur > 1 << 62 || wave.rank > 1 << 62 || wave.r1 > wave.rank {
+            return Err(CodecError::Corrupt("counters inconsistent"));
+        }
+        let count = r.read_gamma0()? as usize;
+        let positions = read_deltas(&mut r, count)?;
+        let ranks = read_deltas(&mut r, count)?;
+        let mut prev_rank = 0u64;
+        for i in 0..count {
+            let level = r.read_gamma0()?;
+            if level >= wave.num_levels as u64 {
+                return Err(CodecError::Corrupt("level out of range"));
+            }
+            let (p, rk) = (positions[i], ranks[i]);
+            // Positions may repeat (duplicates); ranks strictly increase.
+            if p > wave.cur || rk > wave.rank || (i > 0 && rk <= prev_rank) {
+                return Err(CodecError::Corrupt("entries inconsistent"));
+            }
+            if p + max_window <= wave.cur || rk <= wave.r1 {
+                return Err(CodecError::Corrupt("entry already expired"));
+            }
+            prev_rank = rk;
+            if wave.queues[level as usize].is_full() {
+                return Err(CodecError::Corrupt("level queue overflow"));
+            }
+            let id = wave.chain.push_back(Entry {
+                pos: p,
+                rank: rk,
+                level: level as u8,
+            });
+            wave.queues[level as usize].push_back(id);
+        }
+        Ok(wave)
+    }
+
+    /// Space accounting (see [`SpaceReport`]).
+    pub fn space_report(&self) -> SpaceReport {
+        let resident_bytes = std::mem::size_of::<Self>()
+            + self.chain.heap_bytes()
+            + self.queues.iter().map(Fifo::heap_bytes).sum::<usize>();
+        let counter_bits = self.ring.counter_bits() as u64;
+        let positions = self.chain.iter().map(|(_, e)| e.pos);
+        let ranks = self.chain.iter().map(|(_, e)| e.rank);
+        let synopsis_bits = 3 * counter_bits
+            + delta_coded_bits(positions)
+            + delta_coded_bits(ranks)
+            + self.chain.len() as u64 * elias_gamma_bits(self.num_levels as u64 + 1);
+        SpaceReport {
+            resident_bytes,
+            synopsis_bits,
+            entries: self.chain.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// Exact oracle: positions of 1-items within the window.
+    struct Oracle {
+        max_window: u64,
+        cur: u64,
+        ones: VecDeque<u64>,
+    }
+
+    impl Oracle {
+        fn new(max_window: u64) -> Self {
+            Oracle {
+                max_window,
+                cur: 0,
+                ones: VecDeque::new(),
+            }
+        }
+        fn push(&mut self, position: u64, bit: bool) {
+            self.cur = position;
+            if bit {
+                self.ones.push_back(position);
+            }
+            while self.ones.front().is_some_and(|&p| p + self.max_window <= self.cur) {
+                self.ones.pop_front();
+            }
+        }
+        fn query(&self, n: u64) -> u64 {
+            if n > self.cur {
+                return self.ones.len() as u64;
+            }
+            let s = self.cur - n + 1;
+            self.ones.iter().filter(|&&p| p >= s).count() as u64
+        }
+    }
+
+    #[test]
+    fn rejects_regressing_positions() {
+        let mut w = TimestampWave::new(10, 100, 0.5).unwrap();
+        w.push(5, true).unwrap();
+        assert!(matches!(
+            w.push(4, true),
+            Err(WaveError::PositionRegressed { last: 5, got: 4 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_positions_counted() {
+        let mut w = TimestampWave::new(10, 100, 0.5).unwrap();
+        for _ in 0..5 {
+            w.push(3, true).unwrap();
+        }
+        let e = w.query(10).unwrap();
+        assert!(e.brackets(5));
+    }
+
+    #[test]
+    fn paper_example_stream_shape() {
+        // The example from Section 3.2: (1,0),(2,1),(2,0),(2,1),(2,1),
+        // (3,1),(4,0),(4,0).
+        let mut w = TimestampWave::new(4, 8, 0.5).unwrap();
+        let items = [
+            (1, false),
+            (2, true),
+            (2, false),
+            (2, true),
+            (2, true),
+            (3, true),
+            (4, false),
+            (4, false),
+        ];
+        for (p, b) in items {
+            w.push(p, b).unwrap();
+        }
+        // 4 ones total, all within the window of 4 positions.
+        let e = w.query(4).unwrap();
+        assert!(e.brackets(4));
+    }
+
+    #[test]
+    fn error_bound_holds_random_timestamps() {
+        let eps = 0.25;
+        let (n_pos, u) = (64u64, 512u64);
+        let mut w = TimestampWave::new(n_pos, u, eps).unwrap();
+        let mut oracle = Oracle::new(n_pos);
+        let mut x = 77u64;
+        let mut pos = 1u64;
+        for step in 0..20_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Advance the clock 0..2 positions, keeping density within U.
+            pos += (x >> 60) % 2;
+            let bit = (x >> 33).is_multiple_of(3);
+            w.push(pos, bit).unwrap();
+            oracle.push(pos, bit);
+            if step % 97 == 0 {
+                for n in [1u64, 8, 32, 64] {
+                    let actual = oracle.query(n);
+                    let est = w.query(n).unwrap();
+                    assert!(
+                        est.brackets(actual),
+                        "step={step} n={n}: [{},{}] vs {actual}",
+                        est.lo,
+                        est.hi
+                    );
+                    assert!(
+                        est.relative_error(actual) <= eps + 1e-9,
+                        "step={step} n={n} actual={actual} est={:?}",
+                        est
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_survives_non_injective_eps_to_k() {
+        let mut w = TimestampWave::new(100, 50, 1.0 / 48.5).unwrap();
+        for t in 1..=500u64 {
+            w.push(t, t % 3 == 0).unwrap();
+        }
+        let w2 = TimestampWave::decode(&w.encode()).expect("valid encode must decode");
+        assert_eq!(w.query(100).unwrap(), w2.query(100).unwrap());
+    }
+
+    #[test]
+    fn gaps_expire_old_entries() {
+        let mut w = TimestampWave::new(10, 100, 0.5).unwrap();
+        for p in 1..=5u64 {
+            w.push(p, true).unwrap();
+        }
+        w.advance_to(1000).unwrap();
+        assert_eq!(w.query(10).unwrap(), Estimate::exact(0));
+        assert_eq!(w.entries(), 0);
+    }
+
+    #[test]
+    fn setting_u_equals_n_recovers_det_wave_behavior() {
+        // Without duplicates (each position once), U = N suffices and the
+        // timestamp wave must satisfy the same error bound as DetWave on
+        // the same stream; its truth interval may only be looser at the
+        // boundary cases where it declines to claim exactness.
+        use crate::det_wave::DetWave;
+        let eps = 0.25;
+        let n = 64u64;
+        let mut tw = TimestampWave::new(n, n, eps).unwrap();
+        let mut dw = DetWave::new(n, eps).unwrap();
+        let mut oracle = Oracle::new(n);
+        let mut x = 5u64;
+        for p in 1..=5000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let b = (x >> 33) & 1 == 1;
+            tw.push(p, b).unwrap();
+            dw.push_bit(b);
+            oracle.push(p, b);
+            let actual = oracle.query(n);
+            let a = tw.query(n).unwrap();
+            let d = dw.query_max();
+            assert!(a.brackets(actual), "p={p}");
+            assert!(d.brackets(actual), "p={p}");
+            assert!(a.relative_error(actual) <= eps + 1e-9, "p={p}");
+            assert!(a.lo <= d.lo && a.hi >= d.hi, "timestamp interval looser");
+        }
+    }
+}

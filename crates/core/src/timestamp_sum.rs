@@ -1,0 +1,498 @@
+//! Sums over time-based windows with duplicated positions — the
+//! combination of Corollary 1 (timestamped streams) and Section 3.3
+//! (the sum wave). Items are `(timestamp, value)` pairs with
+//! nondecreasing timestamps; the query asks for the sum of the values
+//! whose timestamps lie in the last `N` time units.
+//!
+//! The level rule is the sum wave's (`msb of !total & (total + v)`), the
+//! window/expiry logic is the timestamp wave's, and the number of levels
+//! is driven by the maximum window *sum* `S = U * R` (at most `U` items
+//! per window, each at most `R`), mirroring Corollary 1's use of `U`.
+
+use crate::basic_wave::wave_levels;
+use crate::chain::{Chain, Fifo};
+use crate::error::WaveError;
+use crate::estimate::{Estimate, SpaceReport};
+use crate::level::sum_level;
+use crate::space::{delta_coded_bits, elias_gamma_bits};
+use crate::window::ModRing;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    ts: u64,
+    v: u64,
+    z: u64,
+    level: u8,
+}
+
+/// Deterministic sum wave over a timestamped stream.
+#[derive(Debug, Clone)]
+pub struct TimestampSumWave {
+    max_window: u64,
+    max_value: u64,
+    max_items: u64,
+    eps: f64,
+    num_levels: u32,
+    ring: ModRing,
+    cur: u64,
+    total: u64,
+    /// Largest partial sum expired (0 if none).
+    z1: u64,
+    chain: Chain<Entry>,
+    queues: Vec<Fifo>,
+}
+
+impl TimestampSumWave {
+    /// Build a wave for windows of up to `max_window` time units, at most
+    /// `max_items` items per window, values in `[0..max_value]`.
+    pub fn new(
+        max_window: u64,
+        max_items: u64,
+        max_value: u64,
+        eps: f64,
+    ) -> Result<Self, WaveError> {
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(WaveError::InvalidEpsilon(eps));
+        }
+        Self::with_k(max_window, max_items, max_value, (1.0 / eps).ceil() as u64, eps)
+    }
+
+    /// Build from `k = ceil(1/eps)` directly (used by decode; the f64
+    /// `eps -> k` map is not injective).
+    fn with_k(
+        max_window: u64,
+        max_items: u64,
+        max_value: u64,
+        k: u64,
+        eps: f64,
+    ) -> Result<Self, WaveError> {
+        if k == 0 || k > 1 << 32 {
+            return Err(WaveError::InvalidEpsilon(eps));
+        }
+        if max_window == 0 || max_items == 0 {
+            return Err(WaveError::InvalidWindow(max_window.min(max_items)));
+        }
+        if max_window > 1 << 62 {
+            return Err(WaveError::InvalidWindow(max_window));
+        }
+        if max_value == 0 {
+            return Err(WaveError::ValueTooLarge { value: 0, max: 0 });
+        }
+        let max_sum = max_items
+            .checked_mul(max_value)
+            .filter(|&s| s <= 1 << 62)
+            .ok_or(WaveError::InvalidWindow(max_items))?;
+        let num_levels = wave_levels(max_sum, k);
+        let cap = (k + 1) as usize;
+        let queues: Vec<Fifo> = (0..num_levels).map(|_| Fifo::new(cap)).collect();
+        Ok(TimestampSumWave {
+            max_window,
+            max_value,
+            max_items,
+            eps,
+            num_levels,
+            ring: ModRing::for_window(max_window.max(max_sum)),
+            cur: 0,
+            total: 0,
+            z1: 0,
+            chain: Chain::with_capacity(cap * num_levels as usize),
+            queues,
+        })
+    }
+
+    /// Maximum window in time units.
+    pub fn max_window(&self) -> u64 {
+        self.max_window
+    }
+
+    /// The value bound `R`.
+    pub fn max_value(&self) -> u64 {
+        self.max_value
+    }
+
+    /// The per-window item bound `U`.
+    pub fn max_items(&self) -> u64 {
+        self.max_items
+    }
+
+    /// The configured error bound.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Latest timestamp observed.
+    pub fn current_position(&self) -> u64 {
+        self.cur
+    }
+
+    /// Running total of all values observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Entries currently stored.
+    pub fn entries(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Observe `(timestamp, value)`; timestamps nondecreasing.
+    pub fn push(&mut self, ts: u64, v: u64) -> Result<(), WaveError> {
+        if ts < self.cur {
+            return Err(WaveError::PositionRegressed {
+                last: self.cur,
+                got: ts,
+            });
+        }
+        if v > self.max_value {
+            return Err(WaveError::ValueTooLarge {
+                value: v,
+                max: self.max_value,
+            });
+        }
+        self.cur = ts;
+        self.expire();
+        if v > 0 {
+            let j = sum_level(self.total, v).min(self.num_levels - 1) as usize;
+            self.total += v;
+            if self.queues[j].is_full() {
+                let old = self.queues[j].pop_front().expect("full queue has a front");
+                self.chain.remove(old);
+            }
+            let id = self.chain.push_back(Entry {
+                ts,
+                v,
+                z: self.total,
+                level: j as u8,
+            });
+            self.queues[j].push_back(id);
+        }
+        Ok(())
+    }
+
+    /// Advance the clock without an item.
+    pub fn advance_to(&mut self, ts: u64) -> Result<(), WaveError> {
+        if ts < self.cur {
+            return Err(WaveError::PositionRegressed {
+                last: self.cur,
+                got: ts,
+            });
+        }
+        self.cur = ts;
+        self.expire();
+        Ok(())
+    }
+
+    fn expire(&mut self) {
+        while let Some(h) = self.chain.head() {
+            let e = *self.chain.get(h);
+            if e.ts + self.max_window <= self.cur {
+                self.z1 = e.z;
+                let popped = self.queues[e.level as usize].pop_front();
+                debug_assert_eq!(popped, Some(h));
+                self.chain.remove(h);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Estimate the sum of values with timestamps in the last `n <= N`
+    /// time units, `[cur - n + 1, cur]`.
+    pub fn query(&self, n: u64) -> Result<Estimate, WaveError> {
+        if n > self.max_window {
+            return Err(WaveError::WindowTooLarge {
+                requested: n,
+                max: self.max_window,
+            });
+        }
+        if n > self.cur || self.cur == 0 {
+            return Ok(Estimate::exact(self.total));
+        }
+        let s = self.cur - n + 1;
+        let mut z1 = self.z1;
+        let mut first_in: Option<Entry> = None;
+        for (_, e) in self.chain.iter() {
+            if e.ts < s {
+                z1 = e.z;
+            } else {
+                first_in = Some(*e);
+                break;
+            }
+        }
+        let Some(e) = first_in else {
+            return Ok(Estimate::exact(0));
+        };
+        // Duplicated timestamps: never claim boundary exactness from
+        // ts == s alone (cf. TimestampWave); the midpoint interval is
+        // always sound and collapses to exact when it is a point.
+        Ok(crate::sum_wave::sum_estimate(self.total, z1, e.v, e.z))
+    }
+
+    /// Serialize into the compact bit encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        use crate::codec::{write_deltas, BitWriter};
+        let mut w = BitWriter::new();
+        w.write_gamma(self.max_window);
+        w.write_gamma(self.max_items);
+        w.write_gamma(self.max_value);
+        w.write_gamma((1.0 / self.eps).ceil() as u64);
+        w.write_gamma0(self.cur);
+        w.write_gamma0(self.total);
+        w.write_gamma0(self.z1);
+        w.write_gamma0(self.chain.len() as u64);
+        let positions: Vec<u64> = self.chain.iter().map(|(_, e)| e.ts).collect();
+        let sums: Vec<u64> = self.chain.iter().map(|(_, e)| e.z).collect();
+        write_deltas(&mut w, &positions);
+        write_deltas(&mut w, &sums);
+        for (_, e) in self.chain.iter() {
+            w.write_gamma(e.v);
+            w.write_gamma0(e.level as u64);
+        }
+        w.finish()
+    }
+
+    /// Reconstruct a synopsis from [`TimestampSumWave::encode`] output.
+    pub fn decode(bytes: &[u8]) -> Result<Self, crate::codec::CodecError> {
+        use crate::codec::{read_deltas, BitReader, CodecError};
+        let mut r = BitReader::new(bytes);
+        let max_window = r.read_gamma()?;
+        let max_items = r.read_gamma()?;
+        let max_value = r.read_gamma()?;
+        let k = r.read_gamma()?;
+        if k == 0 || k > 1 << 32 {
+            return Err(CodecError::Corrupt("bad k"));
+        }
+        let mut wave =
+            TimestampSumWave::with_k(max_window, max_items, max_value, k, 1.0 / k as f64)?;
+        wave.cur = r.read_gamma0()?;
+        wave.total = r.read_gamma0()?;
+        wave.z1 = r.read_gamma0()?;
+        if wave.cur > 1 << 62 || wave.total > 1 << 62 || wave.z1 > wave.total {
+            return Err(CodecError::Corrupt("counters inconsistent"));
+        }
+        let count = r.read_gamma0()? as usize;
+        let positions = read_deltas(&mut r, count)?;
+        let sums = read_deltas(&mut r, count)?;
+        let mut prev_z = 0u64;
+        for i in 0..count {
+            let v = r.read_gamma()?;
+            let level = r.read_gamma0()?;
+            if level >= wave.num_levels as u64 {
+                return Err(CodecError::Corrupt("level out of range"));
+            }
+            let (ts, z) = (positions[i], sums[i]);
+            if ts > wave.cur || z > wave.total || v > max_value || v > z {
+                return Err(CodecError::Corrupt("entry beyond counters"));
+            }
+            if ts + max_window <= wave.cur || z - v < wave.z1 {
+                return Err(CodecError::Corrupt("entry already expired"));
+            }
+            if i > 0 && z <= prev_z {
+                return Err(CodecError::Corrupt("sums not increasing"));
+            }
+            prev_z = z;
+            if wave.queues[level as usize].is_full() {
+                return Err(CodecError::Corrupt("level queue overflow"));
+            }
+            let id = wave.chain.push_back(Entry {
+                ts,
+                v,
+                z,
+                level: level as u8,
+            });
+            wave.queues[level as usize].push_back(id);
+        }
+        Ok(wave)
+    }
+
+    /// Space accounting (see [`SpaceReport`]).
+    pub fn space_report(&self) -> SpaceReport {
+        let resident_bytes = std::mem::size_of::<Self>()
+            + self.chain.heap_bytes()
+            + self.queues.iter().map(Fifo::heap_bytes).sum::<usize>();
+        let counter_bits = self.ring.counter_bits() as u64;
+        let positions = self.chain.iter().map(|(_, e)| e.ts);
+        let sums = self.chain.iter().map(|(_, e)| e.z);
+        let value_bits: u64 = self
+            .chain
+            .iter()
+            .map(|(_, e)| elias_gamma_bits(e.v + 1))
+            .sum();
+        SpaceReport {
+            resident_bytes,
+            synopsis_bits: 3 * counter_bits
+                + delta_coded_bits(positions)
+                + delta_coded_bits(sums)
+                + value_bits,
+            entries: self.chain.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    struct Oracle {
+        max_window: u64,
+        cur: u64,
+        items: VecDeque<(u64, u64)>,
+    }
+
+    impl Oracle {
+        fn new(max_window: u64) -> Self {
+            Oracle {
+                max_window,
+                cur: 0,
+                items: VecDeque::new(),
+            }
+        }
+        fn push(&mut self, ts: u64, v: u64) {
+            self.cur = ts;
+            self.items.push_back((ts, v));
+            while self
+                .items
+                .front()
+                .is_some_and(|&(t, _)| t + self.max_window <= self.cur)
+            {
+                self.items.pop_front();
+            }
+        }
+        fn query(&self, n: u64) -> u64 {
+            let s = if n > self.cur { 0 } else { self.cur - n + 1 };
+            self.items
+                .iter()
+                .filter(|&&(t, _)| t >= s)
+                .map(|&(_, v)| v)
+                .sum()
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut w = TimestampSumWave::new(10, 100, 50, 0.25).unwrap();
+        w.push(5, 10).unwrap();
+        assert!(matches!(
+            w.push(4, 1),
+            Err(WaveError::PositionRegressed { .. })
+        ));
+        assert!(matches!(
+            w.push(6, 51),
+            Err(WaveError::ValueTooLarge { .. })
+        ));
+        assert!(TimestampSumWave::new(0, 1, 1, 0.5).is_err());
+        assert!(TimestampSumWave::new(1, 1, 1, 1.5).is_err());
+    }
+
+    #[test]
+    fn duplicate_timestamps_summed() {
+        let mut w = TimestampSumWave::new(10, 100, 50, 0.25).unwrap();
+        for _ in 0..5 {
+            w.push(3, 10).unwrap();
+        }
+        assert!(w.query(10).unwrap().brackets(50));
+    }
+
+    #[test]
+    fn roundtrip_survives_non_injective_eps_to_k() {
+        let mut w = TimestampSumWave::new(100, 50, 1, 1.0 / 48.5).unwrap();
+        for t in 1..=500u64 {
+            w.push(t, t % 2).unwrap();
+        }
+        let w2 =
+            TimestampSumWave::decode(&w.encode()).expect("valid encode must decode");
+        assert_eq!(w.query(100).unwrap(), w2.query(100).unwrap());
+    }
+
+    #[test]
+    fn gaps_expire() {
+        let mut w = TimestampSumWave::new(10, 100, 50, 0.25).unwrap();
+        w.push(1, 50).unwrap();
+        w.push(2, 50).unwrap();
+        w.advance_to(1_000).unwrap();
+        assert_eq!(w.query(10).unwrap(), Estimate::exact(0));
+        assert_eq!(w.entries(), 0);
+    }
+
+    #[test]
+    fn error_bound_random_timestamped_values() {
+        let eps = 0.2;
+        let (n, u, r) = (128u64, 2_048u64, 63u64);
+        let mut w = TimestampSumWave::new(n, u, r, eps).unwrap();
+        let mut oracle = Oracle::new(n);
+        let mut x = 12u64;
+        let mut ts = 1u64;
+        for step in 0..30_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ts += (x >> 60) % 2;
+            let v = (x >> 33) % (r + 1);
+            w.push(ts, v).unwrap();
+            oracle.push(ts, v);
+            if step % 59 == 0 {
+                for nq in [1u64, 16, 64, 128] {
+                    let actual = oracle.query(nq);
+                    let est = w.query(nq).unwrap();
+                    assert!(
+                        est.brackets(actual),
+                        "step={step} n={nq}: [{},{}] vs {actual}",
+                        est.lo,
+                        est.hi
+                    );
+                    assert!(
+                        est.relative_error(actual) <= eps + 1e-9,
+                        "step={step} n={nq} actual={actual} est={:?}",
+                        est
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_timestamps_match_sum_wave() {
+        // One item per timestamp: behaves like SumWave on the same data.
+        use crate::sum_wave::SumWave;
+        let (eps, n, r) = (0.25, 64u64, 31u64);
+        let mut tw = TimestampSumWave::new(n, n, r, eps).unwrap();
+        let mut sw = SumWave::new(n, r, eps).unwrap();
+        let mut oracle = Oracle::new(n);
+        let mut x = 9u64;
+        for ts in 1..=4_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = (x >> 33) % (r + 1);
+            tw.push(ts, v).unwrap();
+            sw.push_value(v).unwrap();
+            oracle.push(ts, v);
+            let actual = oracle.query(n);
+            let a = tw.query(n).unwrap();
+            let b = sw.query_max();
+            assert!(a.brackets(actual) && b.brackets(actual), "ts={ts}");
+            assert!(a.relative_error(actual) <= eps + 1e-9);
+            // The timestamped interval may only be looser at boundaries.
+            assert!(a.lo <= b.lo && a.hi >= b.hi, "ts={ts}");
+        }
+    }
+
+    #[test]
+    fn entries_bounded_by_capacity() {
+        let (eps, n, u, r) = (0.1, 1u64 << 10, 1u64 << 12, 1u64 << 8);
+        let w0 = TimestampSumWave::new(n, u, r, eps).unwrap();
+        let cap = (w0.num_levels as u64) * ((1.0 / eps).ceil() as u64 + 1);
+        let mut w = w0;
+        let mut x = 4u64;
+        let mut ts = 1u64;
+        for _ in 0..50_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ts += (x >> 62) % 2;
+            w.push(ts, (x >> 33) % (r + 1)).unwrap();
+        }
+        assert!(w.entries() as u64 <= cap);
+    }
+}

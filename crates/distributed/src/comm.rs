@@ -1,0 +1,78 @@
+//! Communication accounting.
+//!
+//! The distributed-streams model charges parties for the messages they
+//! send the Referee at query time. Every driver in this crate counts
+//! messages and their wire size so the experiments can report measured
+//! communication against the paper's bounds (`t` scalar words per query
+//! for the deterministic scenarios; `O(t log(1/delta) / eps^2)` words
+//! for the randomized ones).
+
+/// Running totals of query-time communication.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Messages sent party -> referee.
+    pub messages: u64,
+    /// Total payload bytes across those messages.
+    pub bytes: u64,
+}
+
+impl CommStats {
+    pub fn record(&mut self, bytes: usize) {
+        self.messages += 1;
+        self.bytes += bytes as u64;
+    }
+
+    pub fn merge(&mut self, other: CommStats) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+    }
+}
+
+/// A deterministic party's per-query message: a point estimate with its
+/// truth interval — three words.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalarReport {
+    pub value: f64,
+    pub lo: u64,
+    pub hi: u64,
+}
+
+impl ScalarReport {
+    pub const WIRE_BYTES: usize = 24;
+
+    pub fn from_estimate(e: &waves_core::Estimate) -> Self {
+        ScalarReport {
+            value: e.value,
+            lo: e.lo,
+            hi: e.hi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = CommStats::default();
+        s.record(10);
+        s.record(20);
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.bytes, 30);
+        let mut t = CommStats::default();
+        t.record(5);
+        t.merge(s);
+        assert_eq!(t.messages, 3);
+        assert_eq!(t.bytes, 35);
+    }
+
+    #[test]
+    fn scalar_report_roundtrip() {
+        let e = waves_core::Estimate::midpoint(10, 20);
+        let r = ScalarReport::from_estimate(&e);
+        assert_eq!(r.lo, 10);
+        assert_eq!(r.hi, 20);
+        assert_eq!(r.value, 15.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! `waves-distributed`: the distributed-streams model as a runnable
+//! substrate.
+//!
+//! The paper's model: `t` parties each observe their own stream with
+//! limited workspace and communicate only when an estimate is requested,
+//! by sending one message to a Referee (Section 2). This crate makes
+//! that model concrete:
+//!
+//! * [`scenario`] — the three sliding-window definitions of Section 3.4
+//!   (per-stream windows; a split logical stream; the positionwise
+//!   union) with the deterministic waves driving Scenarios 1–2 and the
+//!   strawman combine rules that Theorem 4 dooms for Scenario 3;
+//! * [`runtime`] — a one-thread-per-party driver (crossbeam channels)
+//!   for the randomized Union Counting / distinct-values estimators;
+//! * [`comm`] — query-time communication accounting;
+//! * [`coordinated`] — the SPAA 2001 coordinated-sampling baseline
+//!   (whole-stream union/distinct, no windows), kept for comparison
+//!   experiments.
+
+pub mod comm;
+pub mod coordinated;
+pub mod runtime;
+pub mod scenario;
+pub mod sim;
+
+pub use comm::{CommStats, ScalarReport};
+pub use coordinated::{
+    coord_distinct_estimate, coord_union_estimate, coord_union_median, CoordDistinctParty,
+    CoordSampleParty,
+};
+pub use runtime::{run_distinct_threaded, run_union_threaded, ThreadedRun};
+pub use sim::{simulate_async_union, AsyncQueryOutcome};
+pub use scenario::{
+    det_combine, DetCombine, Scenario1Count, Scenario1Sum, Scenario2Count,
+    Scenario3PositionwiseSum,
+};

@@ -1,0 +1,263 @@
+//! Multi-threaded distributed driver.
+//!
+//! Runs one OS thread per party, exactly mirroring the model: each party
+//! observes only its own stream and communicates only at query time, by
+//! sending a message over a channel to the Referee thread. Checkpoints
+//! are positions at which every party emits its message; the Referee
+//! combines the `t` messages per checkpoint as they arrive.
+
+use crate::comm::CommStats;
+use crossbeam::channel;
+use waves_rand::{DistinctMessage, DistinctParty, DistinctReferee, PartyMessage, RandConfig, Referee, UnionParty};
+
+/// Result of a threaded run: one estimate per checkpoint, plus
+/// communication totals.
+#[derive(Debug, Clone)]
+pub struct ThreadedRun {
+    /// `(position, estimate)` per checkpoint, in stream order.
+    pub estimates: Vec<(u64, f64)>,
+    pub comm: CommStats,
+}
+
+/// Run Union Counting with one thread per party. Each party processes
+/// its whole bit stream, emitting its query message at every checkpoint
+/// position; the Referee thread (this thread) combines them.
+///
+/// All streams must have equal length (the positionwise model).
+pub fn run_union_threaded(
+    config: &RandConfig,
+    streams: &[Vec<bool>],
+    checkpoints: &[u64],
+    window: u64,
+) -> ThreadedRun {
+    let t = streams.len();
+    assert!(t >= 1);
+    let len = streams[0].len();
+    assert!(streams.iter().all(|s| s.len() == len));
+    assert!(checkpoints.windows(2).all(|w| w[0] < w[1]));
+    assert!(checkpoints.iter().all(|&c| (1..=len as u64).contains(&c)));
+    assert!(window <= config.max_window(), "window exceeds config maximum");
+
+    let (tx, rx) = channel::unbounded::<(usize, usize, PartyMessage)>();
+    let referee = Referee::new(config.clone());
+    let mut comm = CommStats::default();
+
+    std::thread::scope(|scope| {
+        for (j, stream) in streams.iter().enumerate() {
+            let tx = tx.clone();
+            let config = config.clone();
+            scope.spawn(move || {
+                let mut party = UnionParty::new(&config);
+                let mut next_cp = 0usize;
+                for &b in stream {
+                    party.push_bit(b);
+                    while next_cp < checkpoints.len()
+                        && checkpoints[next_cp] == party.pos()
+                    {
+                        let msg = party
+                            .message(window.min(party.pos()))
+                            .expect("window <= max_window");
+                        tx.send((j, next_cp, msg)).expect("referee alive");
+                        next_cp += 1;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // Referee: gather t messages per checkpoint, combine when ready.
+        let mut pending: Vec<Vec<Option<PartyMessage>>> =
+            vec![vec![None; t]; checkpoints.len()];
+        let mut estimates: Vec<Option<(u64, f64)>> = vec![None; checkpoints.len()];
+        for (j, cp, msg) in rx.iter() {
+            comm.record(msg.wire_bytes(config));
+            pending[cp][j] = Some(msg);
+            if pending[cp].iter().all(Option::is_some) {
+                let msgs: Vec<PartyMessage> =
+                    pending[cp].iter_mut().map(|m| m.take().unwrap()).collect();
+                let pos = checkpoints[cp];
+                let s = (pos + 1).saturating_sub(window.min(pos));
+                estimates[cp] = Some((pos, referee.estimate(&msgs, s)));
+            }
+        }
+        ThreadedRun {
+            estimates: estimates.into_iter().map(|e| e.expect("all checkpoints served")).collect(),
+            comm,
+        }
+    })
+}
+
+/// Run distributed distinct counting with one thread per party.
+/// `streams[j][i]` is the value party `j` observes at position `i + 1`.
+pub fn run_distinct_threaded(
+    config: &RandConfig,
+    streams: &[Vec<u64>],
+    checkpoints: &[u64],
+    window: u64,
+) -> ThreadedRun {
+    let t = streams.len();
+    assert!(t >= 1);
+    let len = streams[0].len();
+    assert!(streams.iter().all(|s| s.len() == len));
+    assert!(checkpoints.windows(2).all(|w| w[0] < w[1]));
+    assert!(checkpoints.iter().all(|&c| (1..=len as u64).contains(&c)));
+    assert!(window <= config.max_window(), "window exceeds config maximum");
+
+    let (tx, rx) = channel::unbounded::<(usize, usize, DistinctMessage)>();
+    let referee = DistinctReferee::new(config.clone());
+    let mut comm = CommStats::default();
+
+    std::thread::scope(|scope| {
+        for (j, stream) in streams.iter().enumerate() {
+            let tx = tx.clone();
+            let config = config.clone();
+            scope.spawn(move || {
+                let mut party = DistinctParty::new(&config);
+                let mut next_cp = 0usize;
+                for &v in stream {
+                    party.push_value(v);
+                    while next_cp < checkpoints.len()
+                        && checkpoints[next_cp] == party.pos()
+                    {
+                        let msg = party
+                            .message(window.min(party.pos()))
+                            .expect("window <= max_window");
+                        tx.send((j, next_cp, msg)).expect("referee alive");
+                        next_cp += 1;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        let mut pending: Vec<Vec<Option<DistinctMessage>>> =
+            vec![vec![None; t]; checkpoints.len()];
+        let mut estimates: Vec<Option<(u64, f64)>> = vec![None; checkpoints.len()];
+        let degree = config.degree();
+        for (j, cp, msg) in rx.iter() {
+            let bytes: usize = msg
+                .reports
+                .iter()
+                .map(|r| r.wire_bytes(degree, degree))
+                .sum();
+            comm.record(bytes);
+            pending[cp][j] = Some(msg);
+            if pending[cp].iter().all(Option::is_some) {
+                let msgs: Vec<DistinctMessage> =
+                    pending[cp].iter_mut().map(|m| m.take().unwrap()).collect();
+                let pos = checkpoints[cp];
+                let s = (pos + 1).saturating_sub(window.min(pos));
+                estimates[cp] = Some((pos, referee.estimate(&msgs, s)));
+            }
+        }
+        ThreadedRun {
+            estimates: estimates.into_iter().map(|e| e.expect("all checkpoints served")).collect(),
+            comm,
+        }
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use waves_streamgen::{correlated_streams, positionwise_union};
+
+    #[test]
+    fn threaded_union_matches_sequential() {
+        let t = 4;
+        let len = 3000usize;
+        let window = 256u64;
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = RandConfig::for_positions(window, 0.3, 0.3, &mut rng)
+            .unwrap()
+            .with_instances(5, &mut rng);
+        let streams = correlated_streams(t, len, 0.25, 0.25, 42);
+        let checkpoints: Vec<u64> = vec![500, 1500, 3000];
+        let run = run_union_threaded(&cfg, &streams, &checkpoints, window);
+
+        // Sequential reference with the same config.
+        let mut parties: Vec<UnionParty> =
+            (0..t).map(|_| UnionParty::new(&cfg)).collect();
+        let referee = Referee::new(cfg);
+        let mut want = Vec::new();
+        for i in 0..len {
+            for (j, p) in parties.iter_mut().enumerate() {
+                p.push_bit(streams[j][i]);
+            }
+            let pos = (i + 1) as u64;
+            if checkpoints.contains(&pos) {
+                let est =
+                    waves_rand::estimate_union(&referee, &parties, window.min(pos))
+                        .unwrap();
+                want.push((pos, est));
+            }
+        }
+        assert_eq!(run.estimates, want);
+        assert_eq!(run.comm.messages, (t * checkpoints.len()) as u64);
+    }
+
+    #[test]
+    fn threaded_union_accuracy() {
+        let t = 3;
+        let len = 4000usize;
+        let window = 512u64;
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = RandConfig::for_positions(window, 0.25, 0.2, &mut rng)
+            .unwrap()
+            .with_instances(9, &mut rng);
+        let streams = correlated_streams(t, len, 0.3, 0.2, 7);
+        let run = run_union_threaded(&cfg, &streams, &[4000], window);
+        let union = positionwise_union(&streams);
+        let actual = union[len - window as usize..].iter().filter(|&&b| b).count() as f64;
+        let (_, est) = run.estimates[0];
+        assert!((est - actual).abs() / actual <= 0.25, "est {est} actual {actual}");
+    }
+
+    #[test]
+    fn threaded_single_party_and_early_checkpoints() {
+        // t = 1 and a checkpoint before the window fills: the driver
+        // must clamp the window to the stream length so far.
+        let window = 1_000u64;
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = RandConfig::for_positions(window, 0.3, 0.3, &mut rng)
+            .unwrap()
+            .with_instances(3, &mut rng);
+        let stream: Vec<bool> = (0..500).map(|i| i % 4 == 0).collect();
+        let run = run_union_threaded(&cfg, std::slice::from_ref(&stream), &[100, 500], window);
+        assert_eq!(run.estimates.len(), 2);
+        // Sparse enough that level 0 covers everything: exact answers.
+        let (pos1, est1) = run.estimates[0];
+        assert_eq!(pos1, 100);
+        assert_eq!(est1, 25.0);
+        let (_, est2) = run.estimates[1];
+        assert_eq!(est2, 125.0);
+    }
+
+    #[test]
+    fn threaded_distinct_runs() {
+        let t = 2;
+        let len = 2000usize;
+        let window = 256u64;
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = RandConfig::for_values(window, (1 << 12) - 1, 0.3, 0.3, &mut rng)
+            .unwrap()
+            .with_instances(5, &mut rng);
+        let streams = waves_streamgen::overlapping_value_streams(t, len, 1 << 12, 0.2, 9);
+        let run = run_distinct_threaded(&cfg, &streams, &[1000, 2000], window);
+        assert_eq!(run.estimates.len(), 2);
+        // Truth at the final checkpoint.
+        let mut last = std::collections::HashMap::new();
+        for i in 0..len {
+            for s in &streams {
+                last.insert(s[i], i);
+            }
+        }
+        let s_start = len - window as usize;
+        let actual = last.values().filter(|&&i| i >= s_start).count() as f64;
+        let (_, est) = run.estimates[1];
+        assert!((est - actual).abs() / actual <= 0.3, "est {est} actual {actual}");
+    }
+}

@@ -1,0 +1,84 @@
+//! `waves-eh`: the exponential-histogram baseline.
+//!
+//! Implements the synopses of Datar, Gionis, Indyk & Motwani,
+//! *Maintaining Stream Statistics over Sliding Windows* (SIAM J. Comput.
+//! 2002) — reference [9] of the waves paper and the algorithms it is
+//! benchmarked against:
+//!
+//! * [`EhCount`] — Basic Counting (eps relative error, O(1) amortized /
+//!   O(log N) worst-case per item due to cascading bucket merges);
+//! * [`EhSum`] — sums of integers in `[0..R]` (an item may spread across
+//!   `O(log N + log R)` buckets).
+//!
+//! Both record merge-cascade statistics so experiments can show the
+//! worst-case per-item gap that the deterministic wave closes.
+//!
+//! ```
+//! use waves_eh::EhCount;
+//!
+//! let mut eh = EhCount::new(1_000, 0.1).unwrap();
+//! for i in 0..5_000u64 {
+//!     eh.push_bit(i % 2 == 0);
+//! }
+//! let est = eh.query(1_000).unwrap();
+//! assert!(est.relative_error(500) <= 0.1);
+//! ```
+
+pub mod basic;
+pub mod sum;
+
+pub use basic::EhCount;
+pub use sum::EhSum;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use waves_core::exact::{ExactCount, ExactSum};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn eh_count_eps_guarantee(
+            bits in prop::collection::vec(prop::bool::weighted(0.5), 0..1500),
+            inv_eps in 2u64..=10,
+            n_max in 8u64..=128,
+        ) {
+            let eps = 1.0 / inv_eps as f64;
+            let mut eh = EhCount::new(n_max, eps).unwrap();
+            let mut oracle = ExactCount::new(n_max);
+            for (i, &b) in bits.iter().enumerate() {
+                eh.push_bit(b);
+                oracle.push_bit(b);
+                if i % 19 == 0 || i + 1 == bits.len() {
+                    let actual = oracle.query(n_max);
+                    let est = eh.query(n_max).unwrap();
+                    prop_assert!(est.brackets(actual));
+                    prop_assert!(est.relative_error(actual) <= eps + 1e-9);
+                }
+            }
+        }
+
+        #[test]
+        fn eh_sum_eps_guarantee(
+            vals in prop::collection::vec(0u64..=64, 0..1000),
+            inv_eps in 2u64..=8,
+            n_max in 8u64..=64,
+        ) {
+            let eps = 1.0 / inv_eps as f64;
+            let mut eh = EhSum::new(n_max, 64, eps).unwrap();
+            let mut oracle = ExactSum::new(n_max);
+            for (i, &v) in vals.iter().enumerate() {
+                eh.push_value(v).unwrap();
+                oracle.push_value(v);
+                if i % 17 == 0 || i + 1 == vals.len() {
+                    let actual = oracle.query(n_max);
+                    let est = eh.query(n_max).unwrap();
+                    prop_assert!(est.brackets(actual));
+                    prop_assert!(est.relative_error(actual) <= eps + 1e-9);
+                }
+            }
+        }
+    }
+}

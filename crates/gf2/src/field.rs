@@ -1,0 +1,220 @@
+//! The finite field `GF(2^d)`, `1 <= d <= 63`.
+//!
+//! Elements are `u64` values with the low `d` bits significant; addition
+//! is XOR and multiplication is carry-less multiplication reduced modulo a
+//! fixed irreducible polynomial of degree `d`. The modulus is found
+//! deterministically (see [`crate::poly::find_irreducible`]), so two
+//! parties that construct `GF(2^d)` independently perform identical
+//! arithmetic — the property the distributed hash function relies on.
+
+use crate::poly;
+
+/// The finite field `GF(2^d)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gf2Field {
+    degree: u32,
+    modulus: u128,
+    mask: u64,
+}
+
+impl Gf2Field {
+    /// Construct `GF(2^d)`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0` or `d > 63`.
+    pub fn new(d: u32) -> Self {
+        let modulus = poly::find_irreducible(d);
+        let mask = if d == 63 {
+            (1u64 << 63) - 1
+        } else {
+            (1u64 << d) - 1
+        };
+        Self {
+            degree: d,
+            modulus,
+            mask,
+        }
+    }
+
+    /// The extension degree `d` (elements are `d`-bit vectors).
+    #[inline]
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// The irreducible modulus polynomial, as a bit vector.
+    #[inline]
+    pub fn modulus(&self) -> u128 {
+        self.modulus
+    }
+
+    /// Number of elements in the field, `2^d`.
+    #[inline]
+    pub fn order(&self) -> u64 {
+        1u64 << self.degree
+    }
+
+    /// Reduce an arbitrary `u64` into the field's element range by
+    /// truncating to the low `d` bits.
+    #[inline]
+    pub fn element(&self, x: u64) -> u64 {
+        x & self.mask
+    }
+
+    /// True if `x` is a canonical field element.
+    #[inline]
+    pub fn contains(&self, x: u64) -> bool {
+        x & !self.mask == 0
+    }
+
+    /// Field addition (characteristic 2: addition is XOR).
+    #[inline]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(self.contains(a) && self.contains(b));
+        a ^ b
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(self.contains(a) && self.contains(b));
+        poly::mulmod(a, b, self.modulus)
+    }
+
+    /// The affine map `q*x + r`, the pairwise-independent hash family's
+    /// underlying permutation-pair.
+    #[inline]
+    pub fn affine(&self, q: u64, r: u64, x: u64) -> u64 {
+        self.add(self.mul(q, x), r)
+    }
+
+    /// `a^n` by square-and-multiply (used in tests to verify the field
+    /// structure, e.g. `a^(2^d - 1) == 1` for `a != 0`).
+    pub fn pow(&self, mut a: u64, mut n: u64) -> u64 {
+        let mut acc = 1u64;
+        while n != 0 {
+            if n & 1 == 1 {
+                acc = self.mul(acc, a);
+            }
+            a = self.mul(a, a);
+            n >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse of a nonzero element, via `a^(2^d - 2)`.
+    ///
+    /// # Panics
+    /// Panics if `a == 0`.
+    pub fn inv(&self, a: u64) -> u64 {
+        assert!(a != 0, "zero has no multiplicative inverse");
+        // a^(2^d - 2) = a^(order - 2); order = 2^d so order-2 fits u64.
+        self.pow(a, self.order().wrapping_sub(2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn small_field_multiplication_table() {
+        // GF(4) with modulus x^2 + x + 1: elements {0, 1, w, w+1}.
+        let f = Gf2Field::new(2);
+        assert_eq!(f.modulus(), 0b111);
+        let w = 0b10;
+        let w1 = 0b11;
+        assert_eq!(f.mul(w, w), w1); // w^2 = w + 1
+        assert_eq!(f.mul(w, w1), 1); // w * (w+1) = w^2 + w = 1
+        assert_eq!(f.mul(w1, w1), w); // (w+1)^2 = w^2 + 1 = w
+    }
+
+    #[test]
+    fn one_is_multiplicative_identity() {
+        let f = Gf2Field::new(16);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let a = f.element(rng.gen());
+            assert_eq!(f.mul(a, 1), a);
+            assert_eq!(f.mul(1, a), a);
+        }
+    }
+
+    #[test]
+    fn zero_annihilates() {
+        let f = Gf2Field::new(20);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let a = f.element(rng.gen());
+            assert_eq!(f.mul(a, 0), 0);
+        }
+    }
+
+    #[test]
+    fn multiplicative_group_order() {
+        // a^(2^d - 1) == 1 for every nonzero a (Lagrange).
+        let f = Gf2Field::new(10);
+        for a in 1..f.order() {
+            assert_eq!(f.pow(a, f.order() - 1), 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let f = Gf2Field::new(12);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let a = f.element(rng.gen());
+            if a == 0 {
+                continue;
+            }
+            assert_eq!(f.mul(a, f.inv(a)), 1);
+        }
+    }
+
+    #[test]
+    fn field_axioms_random() {
+        let f = Gf2Field::new(32);
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..200 {
+            let a = f.element(rng.gen());
+            let b = f.element(rng.gen());
+            let c = f.element(rng.gen());
+            // commutativity
+            assert_eq!(f.mul(a, b), f.mul(b, a));
+            assert_eq!(f.add(a, b), f.add(b, a));
+            // associativity
+            assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+            // distributivity
+            assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+            // characteristic 2
+            assert_eq!(f.add(a, a), 0);
+        }
+    }
+
+    #[test]
+    fn degree_63_field_works() {
+        let f = Gf2Field::new(63);
+        let a = f.element(0xDEAD_BEEF_CAFE_F00D);
+        let b = f.element(0x0123_4567_89AB_CDEF);
+        assert_eq!(f.mul(a, b), f.mul(b, a));
+        assert!(f.contains(f.mul(a, b)));
+        let nz = 42;
+        assert_eq!(f.mul(nz, f.inv(nz)), 1);
+    }
+
+    #[test]
+    fn affine_map_is_a_bijection_for_nonzero_q() {
+        let f = Gf2Field::new(8);
+        let q = 0x53;
+        let r = 0xCA & f.element(u64::MAX);
+        let mut seen = vec![false; f.order() as usize];
+        for x in 0..f.order() {
+            let y = f.affine(q, r, x) as usize;
+            assert!(!seen[y], "affine map collided");
+            seen[y] = true;
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! `waves-gf2`: finite-field substrate for randomized waves.
+//!
+//! The randomized wave algorithms of Gibbons & Tirthapura (SPAA 2002)
+//! require a pairwise-independent hash `h(p)` with an exponential level
+//! distribution, computed identically by every party from a shared pair
+//! of random field elements. This crate implements the substrate from
+//! scratch:
+//!
+//! * [`poly`] — polynomial arithmetic over GF(2) (carry-less multiply,
+//!   remainder, gcd, Rabin irreducibility test, deterministic search for
+//!   an irreducible modulus of any degree up to 63);
+//! * [`field`] — the field `GF(2^d)` built on that modulus;
+//! * [`hash`] — the level hash `h(p) = #leading zeros of (q*p + r)`.
+//!
+//! # Example
+//! ```
+//! use waves_gf2::LevelHash;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let h = LevelHash::random(20, &mut rng);   // field GF(2^20)
+//! let level = h.level(12345);                // Pr{level = l} = 2^-(l+1)
+//! assert!(level <= 20);
+//! ```
+
+pub mod field;
+pub mod hash;
+pub mod poly;
+
+pub use field::Gf2Field;
+pub use hash::LevelHash;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn clmul_distributes_over_xor(a: u64, b: u64, c: u64) {
+            prop_assert_eq!(
+                poly::clmul(a, b ^ c),
+                poly::clmul(a, b) ^ poly::clmul(a, c)
+            );
+        }
+
+        #[test]
+        fn pmod_is_idempotent(a: u128, m in 2u128..=u64::MAX as u128) {
+            let r = poly::pmod(a, m);
+            prop_assert_eq!(poly::pmod(r, m), r);
+        }
+
+        #[test]
+        fn field_mul_closed_and_commutative(
+            d in 1u32..=63,
+            a: u64,
+            b: u64,
+        ) {
+            let f = Gf2Field::new(d);
+            let (a, b) = (f.element(a), f.element(b));
+            let ab = f.mul(a, b);
+            prop_assert!(f.contains(ab));
+            prop_assert_eq!(ab, f.mul(b, a));
+        }
+
+        #[test]
+        fn hash_level_bounded(d in 1u32..=40, q: u64, r: u64, p: u64) {
+            let h = LevelHash::from_parts(d, q, r);
+            prop_assert!(h.level(p) <= d);
+        }
+
+        #[test]
+        fn gcd_divides_both(a in 1u128..=u32::MAX as u128, b in 1u128..=u32::MAX as u128) {
+            let g = poly::pgcd(a, b);
+            prop_assert!(g != 0);
+            prop_assert_eq!(poly::pmod(a, g), 0);
+            prop_assert_eq!(poly::pmod(b, g), 0);
+        }
+    }
+}

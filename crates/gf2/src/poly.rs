@@ -1,0 +1,316 @@
+//! Polynomial arithmetic over GF(2).
+//!
+//! A polynomial with coefficients in GF(2) of degree at most 63 is stored
+//! as the bits of a `u64`: bit `i` is the coefficient of `x^i`. Products of
+//! two such polynomials have degree at most 126 and are held in a `u128`.
+//!
+//! This module provides exactly the operations the randomized-wave hash
+//! function needs: carry-less multiplication, reduction modulo a fixed
+//! polynomial, gcd, and Rabin's irreducibility test (used to find the
+//! field modulus for `GF(2^d)` deterministically at construction time,
+//! instead of hard-coding a table of irreducible polynomials).
+
+/// Degree of a nonzero polynomial, i.e. the index of its highest set bit.
+///
+/// Returns `None` for the zero polynomial (whose degree is -infinity).
+#[inline]
+pub fn degree(p: u128) -> Option<u32> {
+    if p == 0 {
+        None
+    } else {
+        Some(127 - p.leading_zeros())
+    }
+}
+
+/// Carry-less multiplication of two GF(2) polynomials.
+///
+/// This is ordinary binary long multiplication with XOR in place of
+/// addition (no carries), which is exactly polynomial multiplication over
+/// GF(2).
+#[inline]
+pub fn clmul(a: u64, b: u64) -> u128 {
+    // Iterate over the set bits of the smaller operand so sparse
+    // polynomials (the common case for moduli) multiply quickly.
+    let (mut lo, hi) = if a.count_ones() <= b.count_ones() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    let hi = hi as u128;
+    let mut acc: u128 = 0;
+    while lo != 0 {
+        let shift = lo.trailing_zeros();
+        acc ^= hi << shift;
+        lo &= lo - 1; // clear lowest set bit
+    }
+    acc
+}
+
+/// Remainder of `a` modulo the nonzero polynomial `m`.
+pub fn pmod(mut a: u128, m: u128) -> u128 {
+    debug_assert!(m != 0, "division by the zero polynomial");
+    let dm = degree(m).expect("modulus must be nonzero");
+    while let Some(da) = degree(a) {
+        if da < dm {
+            break;
+        }
+        a ^= m << (da - dm);
+    }
+    a
+}
+
+/// Greatest common divisor of two GF(2) polynomials (Euclid's algorithm).
+///
+/// The gcd of polynomials is defined up to a unit; over GF(2) the only
+/// unit is 1, so the result is canonical. `pgcd(0, 0) == 0`.
+pub fn pgcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = pmod(a, b);
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Multiplication of two polynomials of degree < 64, reduced mod `m`.
+#[inline]
+pub fn mulmod(a: u64, b: u64, m: u128) -> u64 {
+    pmod(clmul(a, b), m) as u64
+}
+
+/// Squaring modulo `m`. Over GF(2), `(sum a_i x^i)^2 = sum a_i x^{2i}`
+/// (the Frobenius endomorphism), so squaring just spreads the bits out.
+#[inline]
+pub fn sqrmod(a: u64, m: u128) -> u64 {
+    pmod(spread_bits(a), m) as u64
+}
+
+/// Interleave zero bits: bit `i` of `a` moves to bit `2i` of the result.
+#[inline]
+fn spread_bits(a: u64) -> u128 {
+    let mut x = a as u128;
+    x = (x | (x << 32)) & 0x0000_0000_FFFF_FFFF_0000_0000_FFFF_FFFF;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF_0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF_00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F_0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333_3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555_5555_5555_5555_5555;
+    x
+}
+
+/// Compute `x^(2^k) mod m` by repeated squaring of the polynomial `x`.
+fn x_pow_pow2_mod(k: u32, m: u128) -> u64 {
+    debug_assert!(degree(m).unwrap_or(0) >= 1);
+    let mut acc: u64 = pmod(0b10, m) as u64; // the polynomial `x`
+    for _ in 0..k {
+        acc = sqrmod(acc, m);
+    }
+    acc
+}
+
+/// Prime factors of `n`, without multiplicity. `n <= 63` in practice.
+fn prime_factors(mut n: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut p = 2;
+    while p * p <= n {
+        if n.is_multiple_of(p) {
+            out.push(p);
+            while n.is_multiple_of(p) {
+                n /= p;
+            }
+        }
+        p += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+/// Rabin's irreducibility test for a degree-`d` polynomial over GF(2).
+///
+/// `f` of degree `d` is irreducible iff
+/// 1. `x^(2^d) ≡ x (mod f)`, and
+/// 2. for every prime divisor `p` of `d`, `gcd(x^(2^(d/p)) - x, f) = 1`.
+pub fn is_irreducible(f: u128) -> bool {
+    let d = match degree(f) {
+        Some(d) if d >= 1 => d,
+        _ => return false,
+    };
+    // A polynomial with zero constant term is divisible by x (unless it
+    // *is* x itself, which is irreducible).
+    if f & 1 == 0 {
+        return f == 0b10;
+    }
+    // Condition 1: x^(2^d) == x mod f.
+    if x_pow_pow2_mod(d, f) != pmod(0b10, f) as u64 {
+        return false;
+    }
+    // Condition 2: no factor of degree dividing d/p.
+    for p in prime_factors(d) {
+        let h = x_pow_pow2_mod(d / p, f) ^ (pmod(0b10, f) as u64);
+        if pgcd(h as u128, f) != 1 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Find an irreducible polynomial of degree `d` over GF(2),
+/// deterministically, preferring low-weight (sparse) polynomials.
+///
+/// The search enumerates candidates `x^d + g(x) + 1` with `g` ranging over
+/// increasing values; because roughly a `1/d` fraction of degree-`d`
+/// polynomials are irreducible, this terminates almost immediately. The
+/// result for a given `d` is always the same, so two parties constructing
+/// `GF(2^d)` independently agree on the field representation (a
+/// requirement for the shared hash function of Section 4.1).
+///
+/// # Panics
+/// Panics if `d == 0` or `d > 63`.
+pub fn find_irreducible(d: u32) -> u128 {
+    assert!((1..=63).contains(&d), "field degree must be in 1..=63");
+    if d == 1 {
+        return 0b11; // x + 1
+    }
+    let high: u128 = 1u128 << d;
+    // Candidates have the x^d term and a constant term (necessary for
+    // irreducibility when d >= 2); enumerate the middle bits in order.
+    let mut mid: u128 = 0;
+    loop {
+        let f = high | (mid << 1) | 1;
+        if is_irreducible(f) {
+            return f;
+        }
+        mid += 1;
+        assert!(
+            mid < (1u128 << (d - 1)),
+            "no irreducible polynomial found (impossible)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_basics() {
+        assert_eq!(degree(0), None);
+        assert_eq!(degree(1), Some(0));
+        assert_eq!(degree(0b10), Some(1));
+        assert_eq!(degree(0b1011), Some(3));
+        assert_eq!(degree(1u128 << 127), Some(127));
+    }
+
+    #[test]
+    fn clmul_small_cases() {
+        // (x + 1)(x + 1) = x^2 + 1 over GF(2)
+        assert_eq!(clmul(0b11, 0b11), 0b101);
+        // (x^2 + x)(x + 1) = x^3 + x
+        assert_eq!(clmul(0b110, 0b11), 0b1010);
+        assert_eq!(clmul(0, 12345), 0);
+        assert_eq!(clmul(1, 12345), 12345);
+    }
+
+    #[test]
+    fn clmul_commutes() {
+        let pairs = [(3u64, 7u64), (0xFFFF, 0x1234), (u64::MAX, u64::MAX)];
+        for (a, b) in pairs {
+            assert_eq!(clmul(a, b), clmul(b, a));
+        }
+    }
+
+    #[test]
+    fn pmod_reduces_below_modulus_degree() {
+        let m = 0b1011u128; // x^3 + x + 1
+        for a in 0u128..256 {
+            let r = pmod(a, m);
+            assert!(degree(r).is_none_or(|dr| dr < 3));
+        }
+    }
+
+    #[test]
+    fn pmod_identity_cases() {
+        let m = 0b10011u128; // x^4 + x + 1
+        assert_eq!(pmod(0, m), 0);
+        assert_eq!(pmod(m, m), 0);
+        assert_eq!(pmod(0b101, m), 0b101); // already reduced
+    }
+
+    #[test]
+    fn gcd_of_coprime_is_one() {
+        // x^3+x+1 and x^2+x+1 are both irreducible and distinct.
+        assert_eq!(pgcd(0b1011, 0b111), 1);
+    }
+
+    #[test]
+    fn gcd_finds_common_factor() {
+        // (x+1)(x^2+x+1) = x^3+1; gcd with (x+1)(x) = x^2+x should be x+1.
+        assert_eq!(pgcd(0b1001, 0b110), 0b11);
+    }
+
+    #[test]
+    fn known_irreducibles() {
+        // Classic low-degree irreducible polynomials over GF(2).
+        assert!(is_irreducible(0b10)); // x
+        assert!(is_irreducible(0b11)); // x + 1
+        assert!(is_irreducible(0b111)); // x^2 + x + 1
+        assert!(is_irreducible(0b1011)); // x^3 + x + 1
+        assert!(is_irreducible(0b1101)); // x^3 + x^2 + 1
+        assert!(is_irreducible(0b10011)); // x^4 + x + 1
+        assert!(is_irreducible(0b100101)); // x^5 + x^2 + 1
+        assert!(is_irreducible((1u128 << 8) | 0b11011)); // AES: x^8+x^4+x^3+x+1
+    }
+
+    #[test]
+    fn known_reducibles() {
+        assert!(!is_irreducible(0b101)); // x^2 + 1 = (x+1)^2
+        assert!(!is_irreducible(0b110)); // x^2 + x = x(x+1)
+        assert!(!is_irreducible(0b1001)); // x^3 + 1 = (x+1)(x^2+x+1)
+        assert!(!is_irreducible(0b1111)); // x^3+x^2+x+1 = (x+1)^3
+        assert!(!is_irreducible(0)); // zero polynomial
+        assert!(!is_irreducible(1)); // unit
+    }
+
+    #[test]
+    fn find_irreducible_every_degree() {
+        for d in 1..=63 {
+            let f = find_irreducible(d);
+            assert_eq!(degree(f), Some(d));
+            assert!(is_irreducible(f), "degree {d} candidate not irreducible");
+        }
+    }
+
+    #[test]
+    fn find_irreducible_is_deterministic() {
+        for d in [1, 5, 16, 32, 63] {
+            assert_eq!(find_irreducible(d), find_irreducible(d));
+        }
+    }
+
+    #[test]
+    fn sqrmod_matches_mulmod() {
+        let m = find_irreducible(16);
+        for a in [0u64, 1, 2, 0x1234, 0xFFFF, 0xBEEF] {
+            assert_eq!(sqrmod(a, m), mulmod(a, a, m));
+        }
+    }
+
+    #[test]
+    fn prime_factor_basics() {
+        assert_eq!(prime_factors(1), Vec::<u32>::new());
+        assert_eq!(prime_factors(2), vec![2]);
+        assert_eq!(prime_factors(12), vec![2, 3]);
+        assert_eq!(prime_factors(63), vec![3, 7]);
+        assert_eq!(prime_factors(61), vec![61]);
+    }
+
+    #[test]
+    fn frobenius_spread() {
+        assert_eq!(spread_bits(0b1), 0b1);
+        assert_eq!(spread_bits(0b10), 0b100);
+        assert_eq!(spread_bits(0b11), 0b101);
+        assert_eq!(spread_bits(u64::MAX).count_ones(), 64);
+    }
+}

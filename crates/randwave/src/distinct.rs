@@ -1,0 +1,527 @@
+//! Distinct-values counting in sliding windows over distributed streams
+//! (Section 5, Theorem 6).
+//!
+//! The randomized wave is re-targeted from positions to *values*: the
+//! shared hash is applied to the value, each element is the pair
+//! `(value, most recent position)`, and re-occurrences move the element
+//! to the recent end of every level it belongs to. A value counts as
+//! "in the window" when its most recent occurrence is.
+//!
+//! Because the sample at the chosen level is a uniform (pairwise
+//! independent) sample of the distinct values in the window, it also
+//! answers *predicate* queries — "how many distinct values satisfy P?" —
+//! for any predicate supplied at query time (the paper's "Handling
+//! Predicates" extension).
+
+use crate::config::{median, RandConfig};
+use std::collections::HashMap;
+use waves_core::chain::Chain;
+use waves_core::error::WaveError;
+use waves_gf2::LevelHash;
+
+#[derive(Debug, Clone)]
+struct LevelSample {
+    /// value -> chain node.
+    map: HashMap<u64, u32>,
+    /// Recency list of (value, last position); head = least recent.
+    chain: Chain<(u64, u64)>,
+    /// The sample provably contains every selected value whose last
+    /// occurrence is in `[range_start, pos]`.
+    range_start: u64,
+}
+
+impl LevelSample {
+    fn new(cap: usize) -> Self {
+        LevelSample {
+            map: HashMap::with_capacity(cap + 1),
+            chain: Chain::with_capacity(cap + 1),
+            range_start: 0,
+        }
+    }
+}
+
+/// One distinct-values wave instance for one party's stream.
+#[derive(Debug, Clone)]
+pub struct DistinctWave {
+    max_window: u64,
+    hash: LevelHash,
+    cap: usize,
+    pos: u64,
+    levels: Vec<LevelSample>,
+    /// Recency list over values present in any level, for O(1) expiry.
+    global_chain: Chain<(u64, u64)>,
+    global_map: HashMap<u64, u32>,
+}
+
+/// A party's report for one instance: the chosen level and its sample.
+#[derive(Debug, Clone)]
+pub struct DistinctReport {
+    pub level: u32,
+    /// `(value, last position)` pairs.
+    pub elements: Vec<(u64, u64)>,
+}
+
+impl DistinctReport {
+    /// Wire size with values at `value_bits` and positions at
+    /// `position_bits`.
+    pub fn wire_bytes(&self, value_bits: u32, position_bits: u32) -> usize {
+        4 + (self.elements.len() * (value_bits + position_bits) as usize).div_ceil(8)
+    }
+}
+
+impl DistinctWave {
+    /// Build an instance from shared configuration (see
+    /// [`RandConfig::for_values`]).
+    pub fn new(config: &RandConfig, instance: usize) -> Self {
+        let hash = config.hash(instance).clone();
+        let d = config.degree();
+        let cap = config.queue_capacity();
+        DistinctWave {
+            max_window: config.max_window(),
+            cap,
+            pos: 0,
+            levels: (0..=d).map(|_| LevelSample::new(cap)).collect(),
+            global_chain: Chain::with_capacity(16),
+            global_map: HashMap::new(),
+            hash,
+        }
+    }
+
+    /// Stream length so far.
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Total elements stored across levels.
+    pub fn stored(&self) -> usize {
+        self.levels.iter().map(|l| l.chain.len()).sum()
+    }
+
+    /// Observe the next value. Expected O(1) hash-and-touch work per
+    /// item: the value belongs to an expected two levels.
+    pub fn push_value(&mut self, v: u64) {
+        self.pos += 1;
+        self.expire();
+        let top = self.hash.level(v);
+        for l in 0..=top as usize {
+            let mut gone_global: Option<u64> = None;
+            {
+                let level = &mut self.levels[l];
+                if let Some(&id) = level.map.get(&v) {
+                    // Re-occurrence: move to the recent end, new pos.
+                    level.chain.remove(id);
+                    let nid = level.chain.push_back((v, self.pos));
+                    level.map.insert(v, nid);
+                } else {
+                    if level.chain.len() == self.cap {
+                        let head = level.chain.head().expect("cap >= 1");
+                        let (v_old, p_old) = *level.chain.get(head);
+                        level.chain.remove(head);
+                        level.map.remove(&v_old);
+                        level.range_start = level.range_start.max(p_old + 1);
+                        // Values survive longest at their own top level;
+                        // once evicted there, they are gone everywhere.
+                        if l as u32 == self.hash.level(v_old) {
+                            gone_global = Some(v_old);
+                        }
+                    }
+                    let nid = level.chain.push_back((v, self.pos));
+                    level.map.insert(v, nid);
+                }
+            }
+            if let Some(v_old) = gone_global {
+                self.global_remove(v_old);
+            }
+        }
+        // Touch the global recency list.
+        if let Some(&gid) = self.global_map.get(&v) {
+            self.global_chain.remove(gid);
+        }
+        let gid = self.global_chain.push_back((v, self.pos));
+        self.global_map.insert(v, gid);
+    }
+
+    fn global_remove(&mut self, v: u64) {
+        if let Some(gid) = self.global_map.remove(&v) {
+            self.global_chain.remove(gid);
+        }
+    }
+
+    fn expire(&mut self) {
+        while let Some(gid) = self.global_chain.head() {
+            let (v, p) = *self.global_chain.get(gid);
+            if p + self.max_window <= self.pos {
+                for l in 0..=self.hash.level(v) as usize {
+                    if let Some(id) = self.levels[l].map.remove(&v) {
+                        self.levels[l].chain.remove(id);
+                        self.levels[l].range_start =
+                            self.levels[l].range_start.max(p + 1);
+                    }
+                }
+                self.global_chain.remove(gid);
+                self.global_map.remove(&v);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Smallest level whose sample covers `[s, pos]`.
+    pub fn local_level(&self, s: u64) -> u32 {
+        let mut lo = 0usize;
+        let mut hi = self.levels.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.levels[mid].range_start <= s {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo.min(self.levels.len() - 1) as u32
+    }
+
+    /// Build the message for a query over `[s, pos]`.
+    pub fn report(&self, s: u64) -> DistinctReport {
+        let l = self.local_level(s);
+        DistinctReport {
+            level: l,
+            elements: self.levels[l as usize]
+                .chain
+                .iter()
+                .map(|(_, &e)| e)
+                .collect(),
+        }
+    }
+
+    /// Window-start helper (validates `n <= N`).
+    pub fn window_start(&self, n: u64) -> Result<u64, WaveError> {
+        if n > self.max_window {
+            return Err(WaveError::WindowTooLarge {
+                requested: n,
+                max: self.max_window,
+            });
+        }
+        Ok((self.pos + 1).saturating_sub(n))
+    }
+}
+
+/// Combine one instance's reports from every party: levelwise union
+/// (Section 5) followed by the Figure 6 estimate on values.
+pub fn combine_distinct_instance(
+    config: &RandConfig,
+    instance: usize,
+    reports: &[&DistinctReport],
+    s: u64,
+    predicate: Option<&dyn Fn(u64) -> bool>,
+) -> f64 {
+    assert!(!reports.is_empty());
+    let hash = config.hash(instance);
+    let l_star = reports.iter().map(|r| r.level).max().expect("nonempty");
+    // A value's window membership is decided by its most recent
+    // occurrence across ALL parties: take the max position per value.
+    let mut last: HashMap<u64, u64> = HashMap::new();
+    for r in reports {
+        for &(v, p) in &r.elements {
+            if hash.level(v) >= l_star {
+                let e = last.entry(v).or_insert(0);
+                *e = (*e).max(p);
+            }
+        }
+    }
+    let count = last
+        .iter()
+        .filter(|&(&v, &p)| p >= s && predicate.is_none_or(|f| f(v)))
+        .count();
+    (1u64 << l_star) as f64 * count as f64
+}
+
+/// A party for distinct counting: one [`DistinctWave`] per instance.
+#[derive(Debug, Clone)]
+pub struct DistinctParty {
+    waves: Vec<DistinctWave>,
+}
+
+/// A party's full message: one report per instance.
+#[derive(Debug, Clone)]
+pub struct DistinctMessage {
+    pub reports: Vec<DistinctReport>,
+}
+
+impl DistinctParty {
+    pub fn new(config: &RandConfig) -> Self {
+        DistinctParty {
+            waves: (0..config.instances())
+                .map(|i| DistinctWave::new(config, i))
+                .collect(),
+        }
+    }
+
+    /// Stream length observed so far.
+    pub fn pos(&self) -> u64 {
+        self.waves[0].pos()
+    }
+
+    /// Observe the next value in every instance.
+    pub fn push_value(&mut self, v: u64) {
+        for w in self.waves.iter_mut() {
+            w.push_value(v);
+        }
+    }
+
+    /// Advance the clock without a value (positionwise alignment with
+    /// other parties that did observe an item).
+    pub fn push_absent(&mut self) {
+        for w in self.waves.iter_mut() {
+            w.pos += 1;
+            w.expire();
+        }
+    }
+
+    /// Build the query message for the last `n` positions.
+    pub fn message(&self, n: u64) -> Result<DistinctMessage, WaveError> {
+        let s = self.waves[0].window_start(n)?;
+        Ok(DistinctMessage {
+            reports: self.waves.iter().map(|w| w.report(s)).collect(),
+        })
+    }
+
+    /// Total stored elements (for space accounting).
+    pub fn stored(&self) -> usize {
+        self.waves.iter().map(DistinctWave::stored).sum()
+    }
+}
+
+/// Referee for distinct counting.
+#[derive(Debug, Clone)]
+pub struct DistinctReferee {
+    config: RandConfig,
+}
+
+impl DistinctReferee {
+    pub fn new(config: RandConfig) -> Self {
+        DistinctReferee { config }
+    }
+
+    pub fn config(&self) -> &RandConfig {
+        &self.config
+    }
+
+    /// Median-of-instances estimate of the number of distinct values in
+    /// the window `[s, pos]` across all parties.
+    pub fn estimate(&self, messages: &[DistinctMessage], s: u64) -> f64 {
+        self.estimate_predicate(messages, s, None)
+    }
+
+    /// As [`DistinctReferee::estimate`], restricted to values satisfying
+    /// a predicate supplied at query time.
+    pub fn estimate_predicate(
+        &self,
+        messages: &[DistinctMessage],
+        s: u64,
+        predicate: Option<&dyn Fn(u64) -> bool>,
+    ) -> f64 {
+        assert!(!messages.is_empty());
+        let m = self.config.instances();
+        assert!(messages.iter().all(|msg| msg.reports.len() == m));
+        let per_instance: Vec<f64> = (0..m)
+            .map(|i| {
+                let reports: Vec<&DistinctReport> =
+                    messages.iter().map(|msg| &msg.reports[i]).collect();
+                combine_distinct_instance(&self.config, i, &reports, s, predicate)
+            })
+            .collect();
+        median(per_instance)
+    }
+}
+
+/// Convenience driver: estimate distinct values over the last `n`
+/// positions.
+pub fn estimate_distinct(
+    referee: &DistinctReferee,
+    parties: &[DistinctParty],
+    n: u64,
+) -> Result<f64, WaveError> {
+    assert!(!parties.is_empty());
+    let messages: Vec<DistinctMessage> = parties
+        .iter()
+        .map(|p| p.message(n))
+        .collect::<Result<_, _>>()?;
+    let s = (parties[0].pos() + 1).saturating_sub(n);
+    Ok(referee.estimate(&messages, s))
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use waves_core::exact::ExactDistinct;
+    use waves_streamgen::{overlapping_value_streams, ZipfValues};
+    use waves_streamgen::values::ValueSource;
+
+    fn cfg(n: u64, r: u64, eps: f64, m: usize, seed: u64) -> RandConfig {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RandConfig::for_values(n, r, eps, 0.2, &mut rng)
+            .unwrap()
+            .with_instances(m, &mut rng)
+    }
+
+    #[test]
+    fn exact_when_sample_fits() {
+        // Few distinct values: level 0 never evicts, count is exact.
+        let c = cfg(128, 1 << 10, 0.5, 1, 1);
+        let mut p = DistinctParty::new(&c);
+        for i in 0..128u64 {
+            p.push_value(i % 10);
+        }
+        let referee = DistinctReferee::new(c);
+        let est = estimate_distinct(&referee, &[p], 128).unwrap();
+        assert_eq!(est, 10.0);
+    }
+
+    #[test]
+    fn window_semantics_most_recent_occurrence() {
+        let c = cfg(4, 1 << 8, 0.5, 1, 2);
+        let mut p = DistinctParty::new(&c);
+        for v in [1u64, 2, 3, 9, 9, 9, 9] {
+            p.push_value(v);
+        }
+        // Window of last 4: only value 9 has a recent-enough occurrence.
+        let referee = DistinctReferee::new(c);
+        let est = estimate_distinct(&referee, &[p], 4).unwrap();
+        assert_eq!(est, 1.0);
+    }
+
+    #[test]
+    fn single_stream_error_bound_statistical() {
+        let (n, r, eps) = (512u64, (1u64 << 12) - 1, 0.3);
+        let c = cfg(n, r, eps, 9, 3);
+        let mut p = DistinctParty::new(&c);
+        let mut oracle = ExactDistinct::new(n);
+        let mut gen = ZipfValues::new(r as usize + 1, 1.0, 99);
+        for _ in 0..4000 {
+            let v = gen.next_value();
+            p.push_value(v);
+            oracle.push_value(v);
+        }
+        let referee = DistinctReferee::new(c);
+        let est = estimate_distinct(&referee, &[p], n).unwrap();
+        let actual = oracle.query(n);
+        let rel = (est - actual as f64).abs() / actual as f64;
+        assert!(rel <= eps, "est {est} actual {actual}");
+    }
+
+    #[test]
+    fn distributed_counts_union_of_distinct() {
+        let (n, r, eps, t) = (512u64, 1u64 << 12, 0.3, 3usize);
+        let c = cfg(n, r - 1, eps, 9, 4);
+        let streams = overlapping_value_streams(t, 2000, r, 0.3, 55);
+        let mut parties: Vec<DistinctParty> =
+            (0..t).map(|_| DistinctParty::new(&c)).collect();
+        for i in 0..2000 {
+            for (j, p) in parties.iter_mut().enumerate() {
+                p.push_value(streams[j][i]);
+            }
+        }
+        // Truth: a value is in the window if its most recent occurrence
+        // (across all parties, on the shared position axis) is.
+        let s_start = 2000usize.saturating_sub(n as usize);
+        let mut last: std::collections::HashMap<u64, usize> =
+            std::collections::HashMap::new();
+        for i in 0..2000 {
+            for st in streams.iter() {
+                last.insert(st[i], i);
+            }
+        }
+        let actual = last.values().filter(|&&i| i >= s_start).count() as u64;
+        let referee = DistinctReferee::new(c);
+        let est = estimate_distinct(&referee, &parties, n).unwrap();
+        let rel = (est - actual as f64).abs() / actual as f64;
+        assert!(rel <= eps, "est {est} actual {actual}");
+    }
+
+    #[test]
+    fn predicate_queries() {
+        let (n, r, eps) = (1024u64, (1u64 << 14) - 1, 0.3);
+        let c = cfg(n, r, eps, 9, 5);
+        let mut p = DistinctParty::new(&c);
+        let mut oracle = ExactDistinct::new(n);
+        let mut gen = ZipfValues::new(r as usize + 1, 0.5, 7);
+        for _ in 0..3000 {
+            let v = gen.next_value();
+            p.push_value(v);
+            oracle.push_value(v);
+        }
+        let referee = DistinctReferee::new(c);
+        let msg = vec![p.message(n).unwrap()];
+        let s = (p.pos() + 1).saturating_sub(n);
+        let even = |v: u64| v.is_multiple_of(2);
+        let est = referee.estimate_predicate(&msg, s, Some(&even));
+        let actual = oracle.query_predicate(n, even);
+        let rel = (est - actual as f64).abs() / actual as f64;
+        // Selectivity ~1/2: guarantee degrades by ~1/alpha; allow 2*eps.
+        assert!(rel <= 2.0 * eps, "est {est} actual {actual}");
+    }
+
+    #[test]
+    fn expiry_keeps_memory_bounded() {
+        let c = cfg(256, (1 << 16) - 1, 0.4, 1, 6);
+        let cap = c.queue_capacity();
+        let mut w = DistinctWave::new(&c, 0);
+        for i in 0..50_000u64 {
+            w.push_value(i % 7919);
+        }
+        assert!(w.stored() <= (c.degree() as usize + 1) * cap);
+        // Global list only holds values still sampled somewhere.
+        assert!(w.global_chain.len() <= w.stored());
+    }
+
+    #[test]
+    fn global_list_matches_level_membership() {
+        // Invariant behind the O(1) expiry: a value is in the global
+        // recency list iff it is present in some level (equivalently,
+        // in its own top level — values survive longest there).
+        let c = cfg(128, (1 << 10) - 1, 0.4, 1, 21);
+        let mut w = DistinctWave::new(&c, 0);
+        let mut x = 3u64;
+        for step in 0..30_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            w.push_value((x >> 33) % 797);
+            if step % 977 == 0 {
+                let global: std::collections::HashSet<u64> =
+                    w.global_map.keys().copied().collect();
+                let mut in_levels: std::collections::HashSet<u64> =
+                    std::collections::HashSet::new();
+                for l in &w.levels {
+                    in_levels.extend(l.map.keys().copied());
+                }
+                assert_eq!(global, in_levels, "step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn reoccurrence_updates_position_in_all_levels() {
+        let c = cfg(64, 255, 0.5, 1, 7);
+        let mut w = DistinctWave::new(&c, 0);
+        w.push_value(42);
+        for _ in 0..60 {
+            w.push_value(7);
+        }
+        w.push_value(42); // refresh before expiry
+        for _ in 0..30 {
+            w.push_value(7);
+        }
+        // 42's most recent occurrence is within the window of 64.
+        let s = w.window_start(64).unwrap();
+        let rep = w.report(s);
+        assert!(
+            rep.elements.iter().any(|&(v, p)| v == 42 && p >= s),
+            "{rep:?}"
+        );
+    }
+}

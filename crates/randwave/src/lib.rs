@@ -1,0 +1,109 @@
+//! `waves-rand`: randomized wave synopses for distributed streams.
+//!
+//! Implements Section 4 and Section 5 of Gibbons & Tirthapura (SPAA
+//! 2002): deterministic algorithms cannot approximate the positionwise
+//! union of distributed streams in small space (Theorem 4), so these
+//! synopses are randomized, built on the shared pairwise-independent
+//! level hash of [`waves_gf2`]:
+//!
+//! * [`UnionWave`] / [`UnionParty`] / [`Referee`] — Union Counting in a
+//!   sliding window over `t` distributed streams (Theorem 5): an
+//!   `(eps, delta)`-approximation using `O(log(1/delta) log^2 N /
+//!   eps^2)` bits per party, independent of `t`;
+//! * [`DistinctWave`] / [`DistinctParty`] / [`DistinctReferee`] —
+//!   distinct-values counting in a sliding window over distributed
+//!   streams (Theorem 6), with predicate queries at query time;
+//! * [`RandConfig`] — the stored-coins configuration shared by parties
+//!   and Referee; [`instances_for`] — the median-of-instances count for
+//!   a target failure probability `delta`.
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use waves_rand::{estimate_union, RandConfig, Referee, UnionParty};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let cfg = RandConfig::for_positions(1_000, 0.2, 0.1, &mut rng).unwrap();
+//! let mut a = UnionParty::new(&cfg);
+//! let mut b = UnionParty::new(&cfg);
+//! for i in 0..2_000u64 {
+//!     a.push_bit(i % 5 == 0);
+//!     b.push_bit(i % 7 == 0);
+//! }
+//! let referee = Referee::new(cfg);
+//! let est = estimate_union(&referee, &[a, b], 1_000).unwrap();
+//! assert!(est > 0.0);
+//! ```
+
+pub mod config;
+pub mod distinct;
+pub mod referee;
+pub mod union_wave;
+
+pub use config::{instances_for, median, RandConfig, PAPER_C};
+pub use distinct::{
+    combine_distinct_instance, estimate_distinct, DistinctMessage, DistinctParty,
+    DistinctReferee, DistinctReport, DistinctWave,
+};
+pub use referee::{combine_instance, estimate_union, PartyMessage, Referee, UnionParty};
+pub use union_wave::{InstanceReport, UnionWave};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// With a single party and a sparse stream the estimator is
+        /// exact (level 0 covers the window).
+        #[test]
+        fn sparse_single_party_exact(
+            period in 20u64..60,
+            len in 100u64..400,
+            seed: u64,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cfg = RandConfig::for_positions(64, 0.5, 0.4, &mut rng)
+                .unwrap()
+                .with_instances(3, &mut rng);
+            let mut p = UnionParty::new(&cfg);
+            let mut actual = 0u64;
+            for i in 1..=len {
+                let b = i % period == 0;
+                p.push_bit(b);
+                if b && i + 64 > len {
+                    actual += 1;
+                }
+            }
+            let referee = Referee::new(cfg);
+            let est = estimate_union(&referee, &[p], 64).unwrap();
+            prop_assert_eq!(est, actual as f64);
+        }
+
+        /// Estimates never go negative and duplicated parties don't
+        /// change the answer (union idempotence).
+        #[test]
+        fn union_idempotent_under_duplication(
+            bits in prop::collection::vec(prop::bool::weighted(0.3), 50..300),
+            seed: u64,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cfg = RandConfig::for_positions(64, 0.4, 0.4, &mut rng)
+                .unwrap()
+                .with_instances(3, &mut rng);
+            let mut a = UnionParty::new(&cfg);
+            let mut b = UnionParty::new(&cfg);
+            for &bit in &bits {
+                a.push_bit(bit);
+                b.push_bit(bit);
+            }
+            let referee = Referee::new(cfg);
+            let one = estimate_union(&referee, &[a.clone()], 64).unwrap();
+            let two = estimate_union(&referee, &[a, b], 64).unwrap();
+            prop_assert!((one - two).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Referee-side combine for Union Counting (Figure 6, bottom) and the
+//! median-of-instances estimator of Theorem 5.
+
+use crate::config::{median, RandConfig};
+use crate::union_wave::{InstanceReport, UnionWave};
+use std::collections::HashSet;
+use waves_core::error::WaveError;
+
+/// A party's full message for one query: one report per instance.
+#[derive(Debug, Clone)]
+pub struct PartyMessage {
+    pub reports: Vec<InstanceReport>,
+}
+
+impl PartyMessage {
+    /// Total wire size in bytes (position width from the config ring).
+    pub fn wire_bytes(&self, config: &RandConfig) -> usize {
+        self.reports
+            .iter()
+            .map(|r| r.wire_bytes(config.degree()))
+            .sum()
+    }
+
+    /// Serialize the whole message with the compact bit codec.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = waves_core::codec::BitWriter::new();
+        w.write_gamma0(self.reports.len() as u64);
+        for r in &self.reports {
+            r.encode_into(&mut w);
+        }
+        w.finish()
+    }
+
+    /// Decode a message produced by [`PartyMessage::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, waves_core::codec::CodecError> {
+        let mut r = waves_core::codec::BitReader::new(bytes);
+        let count = r.read_gamma0()? as usize;
+        if count > 1 << 20 {
+            return Err(waves_core::codec::CodecError::Corrupt("too many reports"));
+        }
+        let reports = (0..count)
+            .map(|_| InstanceReport::decode_from(&mut r))
+            .collect::<Result<_, _>>()?;
+        Ok(PartyMessage { reports })
+    }
+}
+
+/// Combine one instance's reports from all parties: pick
+/// `l* = max_j l_j`, keep positions that hash to at least `l*` and lie
+/// in the window, count the distinct union, scale by `2^l*`.
+pub fn combine_instance(
+    config: &RandConfig,
+    instance: usize,
+    reports: &[&InstanceReport],
+    s: u64,
+) -> f64 {
+    assert!(!reports.is_empty());
+    let hash = config.hash(instance);
+    let l_star = reports.iter().map(|r| r.level).max().expect("nonempty");
+    let union: HashSet<u64> = reports
+        .iter()
+        .flat_map(|r| r.positions.iter().copied())
+        .filter(|&p| p >= s && hash.level(p) >= l_star)
+        .collect();
+    (1u64 << l_star) as f64 * union.len() as f64
+}
+
+/// The Referee: holds the shared configuration (stored coins) and
+/// answers queries from party messages.
+#[derive(Debug, Clone)]
+pub struct Referee {
+    config: RandConfig,
+}
+
+impl Referee {
+    pub fn new(config: RandConfig) -> Self {
+        Referee { config }
+    }
+
+    pub fn config(&self) -> &RandConfig {
+        &self.config
+    }
+
+    /// Median-of-instances estimate for the number of 1's in `[s, pos]`
+    /// of the positionwise union, given every party's message.
+    pub fn estimate(&self, messages: &[PartyMessage], s: u64) -> f64 {
+        assert!(!messages.is_empty(), "at least one party required");
+        let m = self.config.instances();
+        assert!(
+            messages.iter().all(|msg| msg.reports.len() == m),
+            "every message must carry one report per instance"
+        );
+        let per_instance: Vec<f64> = (0..m)
+            .map(|i| {
+                let reports: Vec<&InstanceReport> =
+                    messages.iter().map(|msg| &msg.reports[i]).collect();
+                combine_instance(&self.config, i, &reports, s)
+            })
+            .collect();
+        median(per_instance)
+    }
+}
+
+/// A party for Union Counting: one [`UnionWave`] per instance, fed the
+/// same stream.
+#[derive(Debug, Clone)]
+pub struct UnionParty {
+    waves: Vec<UnionWave>,
+}
+
+impl UnionParty {
+    pub fn new(config: &RandConfig) -> Self {
+        UnionParty {
+            waves: (0..config.instances())
+                .map(|i| UnionWave::new(config, i))
+                .collect(),
+        }
+    }
+
+    /// Stream length observed so far.
+    pub fn pos(&self) -> u64 {
+        self.waves[0].pos()
+    }
+
+    /// Process the next stream bit in every instance.
+    pub fn push_bit(&mut self, b: bool) {
+        for w in self.waves.iter_mut() {
+            w.push_bit(b);
+        }
+    }
+
+    /// Build the query message for a window of the last `n` positions.
+    pub fn message(&self, n: u64) -> Result<PartyMessage, WaveError> {
+        let s = self.waves[0].window_start(n)?;
+        Ok(PartyMessage {
+            reports: self.waves.iter().map(|w| w.report(s)).collect(),
+        })
+    }
+
+    /// Total stored positions across instances and levels (for space
+    /// accounting).
+    pub fn stored(&self) -> usize {
+        self.waves.iter().map(UnionWave::stored).sum()
+    }
+
+    /// Theoretical synopsis bits: stored positions at mod-N' width plus
+    /// the stored coins.
+    pub fn synopsis_bits(&self, config: &RandConfig) -> u64 {
+        self.stored() as u64 * config.degree() as u64 + config.stored_coin_bits()
+    }
+
+    /// Space accounting in the same shape as the deterministic waves.
+    pub fn space_report(&self, config: &RandConfig) -> waves_core::SpaceReport {
+        waves_core::SpaceReport {
+            resident_bytes: std::mem::size_of::<Self>()
+                + self.stored() * std::mem::size_of::<u64>()
+                + self.waves.len() * std::mem::size_of::<UnionWave>(),
+            synopsis_bits: self.synopsis_bits(config),
+            entries: self.stored(),
+        }
+    }
+}
+
+/// Convenience driver: estimate the union count over the last `n`
+/// positions given all parties and a referee.
+pub fn estimate_union(
+    referee: &Referee,
+    parties: &[UnionParty],
+    n: u64,
+) -> Result<f64, WaveError> {
+    assert!(!parties.is_empty());
+    // All parties must have observed the same stream length in the
+    // positionwise model; a silent mismatch would make the shared
+    // window start `s` wrong for the lagging parties.
+    if let Some(p) = parties.iter().find(|p| p.pos() != parties[0].pos()) {
+        return Err(WaveError::PositionRegressed {
+            last: parties[0].pos(),
+            got: p.pos(),
+        });
+    }
+    let messages: Vec<PartyMessage> = parties
+        .iter()
+        .map(|p| p.message(n))
+        .collect::<Result<_, _>>()?;
+    let s = (parties[0].pos() + 1).saturating_sub(n);
+    Ok(referee.estimate(&messages, s))
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use waves_streamgen::{correlated_streams, positionwise_union};
+
+    fn exact_window_union(streams: &[Vec<bool>], n: u64) -> u64 {
+        let u = positionwise_union(streams);
+        let len = u.len();
+        u[len.saturating_sub(n as usize)..]
+            .iter()
+            .filter(|&&b| b)
+            .count() as u64
+    }
+
+    /// Run one full pipeline and return (estimate, actual).
+    fn run(
+        t: usize,
+        len: usize,
+        n: u64,
+        eps: f64,
+        instances: usize,
+        seed: u64,
+    ) -> (f64, u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = RandConfig::for_positions(n, eps, 0.2, &mut rng)
+            .unwrap()
+            .with_instances(instances, &mut rng);
+        let streams = correlated_streams(t, len, 0.3, 0.2, seed ^ 0xABCD);
+        let mut parties: Vec<UnionParty> =
+            (0..t).map(|_| UnionParty::new(&cfg)).collect();
+        for i in 0..len {
+            for (j, p) in parties.iter_mut().enumerate() {
+                p.push_bit(streams[j][i]);
+            }
+        }
+        let referee = Referee::new(cfg);
+        let est = estimate_union(&referee, &parties, n).unwrap();
+        (est, exact_window_union(&streams, n))
+    }
+
+    #[test]
+    fn exact_when_level_zero_suffices() {
+        // With few 1's, level 0 is never evicted: the sample is the
+        // whole window and the estimate is exact.
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = RandConfig::for_positions(256, 0.5, 0.3, &mut rng)
+            .unwrap()
+            .with_instances(1, &mut rng);
+        let mut a = UnionParty::new(&cfg);
+        let mut b = UnionParty::new(&cfg);
+        for i in 1..=256u64 {
+            a.push_bit(i % 37 == 0);
+            b.push_bit(i % 41 == 0);
+        }
+        let referee = Referee::new(cfg);
+        let est = estimate_union(&referee, &[a, b], 256).unwrap();
+        // ones: multiples of 37 (6) + multiples of 41 (6), no overlap.
+        assert_eq!(est, 12.0);
+    }
+
+    #[test]
+    fn single_party_reduces_to_basic_counting() {
+        let (est, actual) = run(1, 4000, 512, 0.25, 9, 7);
+        let rel = (est - actual as f64).abs() / actual as f64;
+        assert!(rel <= 0.25, "est {est} actual {actual}");
+    }
+
+    #[test]
+    fn multi_party_estimates_union_not_sum() {
+        // Highly correlated streams: sum of counts would be ~t times the
+        // union; the estimator must track the union.
+        let (est, actual) = run(4, 3000, 512, 0.25, 9, 11);
+        let rel = (est - actual as f64).abs() / actual as f64;
+        assert!(rel <= 0.25, "est {est} actual {actual}");
+    }
+
+    #[test]
+    fn median_of_instances_tightens_failures() {
+        // With eps=0.3 and 9 instances at the paper's c, every seed in a
+        // batch should land within eps (failure prob per query << 1%).
+        let mut bad = 0;
+        for seed in 0..10u64 {
+            let (est, actual) = run(3, 2500, 300, 0.3, 9, 100 + seed);
+            if actual > 0 {
+                let rel = (est - actual as f64).abs() / actual as f64;
+                if rel > 0.3 {
+                    bad += 1;
+                }
+            }
+        }
+        assert_eq!(bad, 0, "{bad}/10 queries exceeded eps");
+    }
+
+    #[test]
+    fn message_encode_decode_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let cfg = RandConfig::for_positions(512, 0.3, 0.3, &mut rng)
+            .unwrap()
+            .with_instances(5, &mut rng);
+        let mut p = UnionParty::new(&cfg);
+        for i in 0..2_000u64 {
+            p.push_bit(i % 3 != 0);
+        }
+        let msg = p.message(512).unwrap();
+        let bytes = msg.encode();
+        let back = PartyMessage::decode(&bytes).unwrap();
+        assert_eq!(back.reports.len(), msg.reports.len());
+        for (a, b) in msg.reports.iter().zip(&back.reports) {
+            assert_eq!(a.level, b.level);
+            assert_eq!(a.positions, b.positions);
+        }
+        // The referee answers identically from the decoded message.
+        let referee = Referee::new(cfg);
+        let s = p.pos() + 1 - 512;
+        assert_eq!(
+            referee.estimate(&[msg], s),
+            referee.estimate(&[back], s)
+        );
+        // And the codec beats the fixed-width estimate.
+        let analytic = p
+            .message(512)
+            .unwrap()
+            .wire_bytes(referee.config());
+        assert!(bytes.len() <= analytic, "{} > {analytic}", bytes.len());
+    }
+
+    #[test]
+    fn message_decode_rejects_garbage() {
+        assert!(PartyMessage::decode(&[]).is_err());
+        assert!(PartyMessage::decode(&[0x00]).is_err()); // truncated gamma
+    }
+
+    #[test]
+    fn message_size_scales_with_instances() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg1 = RandConfig::for_positions(256, 0.3, 0.3, &mut rng)
+            .unwrap()
+            .with_instances(1, &mut rng);
+        let cfg9 = cfg1.clone().with_instances(9, &mut rng);
+        let mut p1 = UnionParty::new(&cfg1);
+        let mut p9 = UnionParty::new(&cfg9);
+        for i in 0..256u64 {
+            p1.push_bit(i % 2 == 0);
+            p9.push_bit(i % 2 == 0);
+        }
+        let m1 = p1.message(256).unwrap().wire_bytes(&cfg1);
+        let m9 = p9.message(256).unwrap().wire_bytes(&cfg9);
+        assert!(m9 > 5 * m1, "m1={m1} m9={m9}");
+    }
+
+    #[test]
+    fn guarantee_holds_across_party_counts() {
+        // Lemma 3: the approximation guarantee is independent of t.
+        for &t in &[2usize, 4, 8] {
+            let (est, actual) = run(t, 2000, 256, 0.3, 9, 31 + t as u64);
+            let rel = (est - actual as f64).abs() / actual.max(1) as f64;
+            assert!(rel <= 0.3, "t={t} est {est} actual {actual}");
+        }
+    }
+}

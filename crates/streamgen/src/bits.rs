@@ -1,0 +1,261 @@
+//! Bit-stream workloads.
+//!
+//! The paper's motivating domains are modeled here: steady background
+//! traffic (Bernoulli), flash crowds and quiet hours (bursty Markov
+//! chains), diurnal patterns (periodic), and adversarial inputs that
+//! stress worst cases (all-ones for EH merge cascades, long runs for
+//! boundary behaviour). [`figure1_stream`] reconstructs the exact
+//! 99-bit example stream of Figure 1.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A source of stream bits.
+pub trait BitSource {
+    /// Produce the next bit.
+    fn next_bit(&mut self) -> bool;
+
+    /// Collect the next `n` bits into a vector.
+    fn take_bits(&mut self, n: usize) -> Vec<bool>
+    where
+        Self: Sized,
+    {
+        (0..n).map(|_| self.next_bit()).collect()
+    }
+}
+
+/// Independent bits, each 1 with probability `p`.
+#[derive(Debug, Clone)]
+pub struct Bernoulli {
+    rng: StdRng,
+    p: f64,
+}
+
+impl Bernoulli {
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        Bernoulli {
+            rng: StdRng::seed_from_u64(seed),
+            p,
+        }
+    }
+}
+
+impl BitSource for Bernoulli {
+    fn next_bit(&mut self) -> bool {
+        self.rng.gen_bool(self.p)
+    }
+}
+
+/// A two-state Markov chain (bursty traffic): in the ON state bits are 1
+/// with probability `p_on`, in the OFF state with probability `p_off`;
+/// the state flips with the given switching probabilities.
+#[derive(Debug, Clone)]
+pub struct Bursty {
+    rng: StdRng,
+    on: bool,
+    p_on: f64,
+    p_off: f64,
+    switch_to_off: f64,
+    switch_to_on: f64,
+}
+
+impl Bursty {
+    /// A conventional bursty source: long ON bursts of mostly-1 bits
+    /// separated by long OFF stretches of mostly-0 bits, with expected
+    /// burst length `burst_len`.
+    pub fn new(burst_len: f64, seed: u64) -> Self {
+        assert!(burst_len >= 1.0);
+        Bursty {
+            rng: StdRng::seed_from_u64(seed),
+            on: false,
+            p_on: 0.9,
+            p_off: 0.05,
+            switch_to_off: 1.0 / burst_len,
+            switch_to_on: 1.0 / (4.0 * burst_len),
+        }
+    }
+}
+
+impl BitSource for Bursty {
+    fn next_bit(&mut self) -> bool {
+        let flip = if self.on {
+            self.rng.gen_bool(self.switch_to_off)
+        } else {
+            self.rng.gen_bool(self.switch_to_on)
+        };
+        if flip {
+            self.on = !self.on;
+        }
+        self.rng
+            .gen_bool(if self.on { self.p_on } else { self.p_off })
+    }
+}
+
+/// Deterministic periodic pattern: `ones` 1's followed by `zeros` 0's.
+#[derive(Debug, Clone)]
+pub struct Periodic {
+    ones: u64,
+    zeros: u64,
+    phase: u64,
+}
+
+impl Periodic {
+    pub fn new(ones: u64, zeros: u64) -> Self {
+        assert!(ones + zeros > 0);
+        Periodic {
+            ones,
+            zeros,
+            phase: 0,
+        }
+    }
+}
+
+impl BitSource for Periodic {
+    fn next_bit(&mut self) -> bool {
+        let b = self.phase < self.ones;
+        self.phase = (self.phase + 1) % (self.ones + self.zeros);
+        b
+    }
+}
+
+/// All 1's — the adversarial input for exponential-histogram cascades
+/// (every arrival is an insertion; merge cascades fire at maximum rate).
+#[derive(Debug, Clone, Default)]
+pub struct AllOnes;
+
+impl BitSource for AllOnes {
+    fn next_bit(&mut self) -> bool {
+        true
+    }
+}
+
+/// Runs of geometrically distributed length with alternating bit values
+/// — stresses window-boundary transitions.
+#[derive(Debug, Clone)]
+pub struct AlternatingRuns {
+    rng: StdRng,
+    bit: bool,
+    p_end: f64,
+}
+
+impl AlternatingRuns {
+    pub fn new(mean_run: f64, seed: u64) -> Self {
+        assert!(mean_run >= 1.0);
+        AlternatingRuns {
+            rng: StdRng::seed_from_u64(seed),
+            bit: false,
+            p_end: 1.0 / mean_run,
+        }
+    }
+}
+
+impl BitSource for AlternatingRuns {
+    fn next_bit(&mut self) -> bool {
+        if self.rng.gen_bool(self.p_end) {
+            self.bit = !self.bit;
+        }
+        self.bit
+    }
+}
+
+/// The exact 99-bit data stream of Figure 1.
+///
+/// Figure 1 prints positions 1–2 and 61–99 explicitly; positions 3–60
+/// are hidden but constrained: they carry the 1's of 1-ranks 2..=30,
+/// and the Figure 2 query example additionally requires the 1 of rank 24
+/// to sit at position 44. We realize the hidden section by placing the
+/// 1 of rank `r` at position `r + 20` (so rank 24 -> position 44, rank
+/// 30 -> position 50 <= 60, and rank 2 -> position 22 > 2), which
+/// satisfies every constraint the paper states.
+pub fn figure1_stream() -> Vec<bool> {
+    let mut bits = vec![false; 99];
+    // Position 2 carries 1-rank 1.
+    bits[1] = true;
+    // Hidden 1's: rank r at position r + 20, for r = 2..=30.
+    for r in 2..=30usize {
+        bits[r + 20 - 1] = true;
+    }
+    // Printed tail, positions 61..=99 (1-ranks 31..=50).
+    for p in [
+        62, 67, 68, 70, 71, 72, 73, 74, 75, 76, 77, 79, 80, 84, 85, 86, 89, 91, 94, 99,
+    ] {
+        bits[p - 1] = true;
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_has_50_ones_in_99_bits() {
+        let s = figure1_stream();
+        assert_eq!(s.len(), 99);
+        assert_eq!(s.iter().filter(|&&b| b).count(), 50);
+    }
+
+    #[test]
+    fn figure1_printed_ranks_match() {
+        let s = figure1_stream();
+        // 1-rank of position p = number of ones in s[..p].
+        let rank_at = |p: usize| s[..p].iter().filter(|&&b| b).count();
+        assert_eq!(rank_at(2), 1); // position 2 has rank 1
+        assert_eq!(rank_at(62), 31); // per Figure 1
+        assert_eq!(rank_at(67), 32);
+        assert_eq!(rank_at(71), 35);
+        assert_eq!(rank_at(77), 41);
+        assert_eq!(rank_at(99), 50);
+        // The Figure 2 example: rank 24 at position 44.
+        assert!(s[43]);
+        assert_eq!(rank_at(44), 24);
+    }
+
+    #[test]
+    fn figure1_window_39_has_20_ones() {
+        let s = figure1_stream();
+        let n_ones = s[60..99].iter().filter(|&&b| b).count();
+        assert_eq!(n_ones, 20); // "the actual number of 1's in this window is 20"
+    }
+
+    #[test]
+    fn bernoulli_density_close_to_p() {
+        let mut g = Bernoulli::new(0.3, 7);
+        let bits = g.take_bits(50_000);
+        let d = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
+        assert!((d - 0.3).abs() < 0.02, "density {d}");
+    }
+
+    #[test]
+    fn bernoulli_deterministic_given_seed() {
+        let a = Bernoulli::new(0.5, 1).take_bits(100);
+        let b = Bernoulli::new(0.5, 1).take_bits(100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn periodic_pattern() {
+        let mut g = Periodic::new(2, 3);
+        assert_eq!(
+            g.take_bits(10),
+            vec![true, true, false, false, false, true, true, false, false, false]
+        );
+    }
+
+    #[test]
+    fn bursty_has_long_runs() {
+        let mut g = Bursty::new(100.0, 3);
+        let bits = g.take_bits(100_000);
+        // Count transitions; a bursty stream has far fewer than iid.
+        let transitions = bits.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(transitions < 30_000, "transitions {transitions}");
+    }
+
+    #[test]
+    fn alternating_runs_alternate() {
+        let mut g = AlternatingRuns::new(10.0, 5);
+        let bits = g.take_bits(10_000);
+        assert!(bits.iter().any(|&b| b) && bits.iter().any(|&b| !b));
+    }
+}

@@ -1,0 +1,208 @@
+//! Multi-party distributed-stream instances.
+//!
+//! Generators for the three sliding-window scenarios of Section 3.4 and
+//! for the adversarial family used in the Theorem 4 lower-bound
+//! demonstration.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// `t` bit streams of length `len` with controllable positionwise
+/// correlation: each position is 1 in the "base" stream with probability
+/// `p_base`; each party then sees the base bit flipped independently
+/// with probability `noise`. `noise = 0` makes all parties identical,
+/// `noise = 0.5` makes them independent.
+pub fn correlated_streams(
+    t: usize,
+    len: usize,
+    p_base: f64,
+    noise: f64,
+    seed: u64,
+) -> Vec<Vec<bool>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base: Vec<bool> = (0..len).map(|_| rng.gen_bool(p_base)).collect();
+    (0..t)
+        .map(|_| {
+            base.iter()
+                .map(|&b| if rng.gen_bool(noise) { !b } else { b })
+                .collect()
+        })
+        .collect()
+}
+
+/// `t` streams whose 1's are disjoint: each position carries a 1 in at
+/// most one stream. Exercises the regime where the union count is the
+/// sum of the individual counts.
+#[allow(clippy::needless_range_loop)] // one draw per position, then an owner index
+pub fn disjoint_streams(t: usize, len: usize, p_one: f64, seed: u64) -> Vec<Vec<bool>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut streams = vec![vec![false; len]; t];
+    for i in 0..len {
+        if rng.gen_bool(p_one) {
+            let owner = rng.gen_range(0..t);
+            streams[owner][i] = true;
+        }
+    }
+    streams
+}
+
+/// The positionwise union (logical OR) of bit streams — the quantity
+/// Scenario 3 / Union Counting estimates.
+pub fn positionwise_union(streams: &[Vec<bool>]) -> Vec<bool> {
+    assert!(!streams.is_empty());
+    let len = streams[0].len();
+    assert!(streams.iter().all(|s| s.len() == len));
+    (0..len)
+        .map(|i| streams.iter().any(|s| s[i]))
+        .collect()
+}
+
+/// A pair of `n`-bit streams, each with exactly `n/2` ones, at Hamming
+/// distance exactly `dist` (`dist` even, `dist <= n`) — the adversarial
+/// family in the proof of Theorem 4: the union count is
+/// `n/2 + dist/2`, so any estimator that cannot distinguish nearby pairs
+/// must err by about `dist/2`.
+pub fn hamming_pair(n: usize, dist: usize, seed: u64) -> (Vec<bool>, Vec<bool>) {
+    assert!(n.is_multiple_of(2) && dist.is_multiple_of(2) && dist <= n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // X: random n/2 ones.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut rng);
+    let mut x = vec![false; n];
+    for &i in idx.iter().take(n / 2) {
+        x[i] = true;
+    }
+    // Y = X with dist/2 ones flipped to 0 and dist/2 zeros flipped to 1
+    // (keeps the count at n/2, Hamming distance exactly dist).
+    let ones: Vec<usize> = (0..n).filter(|&i| x[i]).collect();
+    let zeros: Vec<usize> = (0..n).filter(|&i| !x[i]).collect();
+    let mut y = x.clone();
+    for &i in ones.choose_multiple(&mut rng, dist / 2) {
+        y[i] = false;
+    }
+    for &i in zeros.choose_multiple(&mut rng, dist / 2) {
+        y[i] = true;
+    }
+    (x, y)
+}
+
+/// Split one logical stream among `t` parties (Scenario 2): returns, for
+/// each party, the list of `(sequence_number, bit)` items it observes.
+/// Sequence numbers are 1-based positions in the logical stream;
+/// assignment is uniformly random per item.
+pub fn split_logical_stream(
+    stream: &[bool],
+    t: usize,
+    seed: u64,
+) -> Vec<Vec<(u64, bool)>> {
+    assert!(t >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut parts = vec![Vec::new(); t];
+    for (i, &b) in stream.iter().enumerate() {
+        let owner = rng.gen_range(0..t);
+        parts[owner].push((i as u64 + 1, b));
+    }
+    parts
+}
+
+/// `t` independent value streams drawing from a shared domain with
+/// per-party skew — workload for distributed distinct counting. Party
+/// `j` draws uniformly from a contiguous chunk of the domain plus a
+/// shared "hot" set, so the union's distinct count is neither the sum
+/// nor the max of the per-party counts.
+pub fn overlapping_value_streams(
+    t: usize,
+    len: usize,
+    domain: u64,
+    shared_fraction: f64,
+    seed: u64,
+) -> Vec<Vec<u64>> {
+    assert!(t >= 1 && domain >= t as u64);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shared = ((domain as f64) * shared_fraction) as u64;
+    let chunk = (domain - shared) / t as u64;
+    (0..t as u64)
+        .map(|j| {
+            (0..len)
+                .map(|_| {
+                    if shared > 0 && rng.gen_bool(0.5) {
+                        rng.gen_range(0..shared)
+                    } else {
+                        shared + j * chunk + rng.gen_range(0..chunk.max(1))
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlated_zero_noise_identical() {
+        let s = correlated_streams(3, 500, 0.4, 0.0, 1);
+        assert_eq!(s[0], s[1]);
+        assert_eq!(s[1], s[2]);
+    }
+
+    #[test]
+    fn union_is_or() {
+        let s = vec![
+            vec![true, false, false, true],
+            vec![false, false, true, true],
+        ];
+        assert_eq!(positionwise_union(&s), vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn disjoint_streams_never_collide() {
+        let s = disjoint_streams(4, 2000, 0.5, 2);
+        for i in 0..2000 {
+            let owners = s.iter().filter(|st| st[i]).count();
+            assert!(owners <= 1);
+        }
+    }
+
+    #[test]
+    fn hamming_pair_properties() {
+        for dist in [0usize, 2, 10, 64] {
+            let (x, y) = hamming_pair(128, dist, 3);
+            assert_eq!(x.iter().filter(|&&b| b).count(), 64);
+            assert_eq!(y.iter().filter(|&&b| b).count(), 64);
+            let h = x.iter().zip(&y).filter(|(a, b)| a != b).count();
+            assert_eq!(h, dist);
+            // Union count = n/2 + H/2 (equation (2) of the paper).
+            let union = positionwise_union(&[x, y]);
+            assert_eq!(union.iter().filter(|&&b| b).count(), 64 + dist / 2);
+        }
+    }
+
+    #[test]
+    fn split_covers_stream_once() {
+        let stream: Vec<bool> = (0..100).map(|i| i % 3 == 0).collect();
+        let parts = split_logical_stream(&stream, 4, 5);
+        let mut seen = vec![0u32; 100];
+        for part in &parts {
+            let mut last = 0;
+            for &(seq, b) in part {
+                assert!(seq > last, "per-party sequence numbers increase");
+                last = seq;
+                assert_eq!(b, stream[(seq - 1) as usize]);
+                seen[(seq - 1) as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn overlapping_values_have_shared_and_private() {
+        let s = overlapping_value_streams(2, 5000, 1000, 0.2, 6);
+        let a: std::collections::HashSet<u64> = s[0].iter().copied().collect();
+        let b: std::collections::HashSet<u64> = s[1].iter().copied().collect();
+        assert!(a.intersection(&b).count() > 0, "shared values exist");
+        assert!(a.difference(&b).count() > 0, "private values exist");
+    }
+}

@@ -1,0 +1,53 @@
+//! `waves-streamgen`: synthetic workloads for the waves reproduction.
+//!
+//! Every experiment and test in this repository draws its inputs from
+//! here, so workloads are seeded and reproducible:
+//!
+//! * [`bits`] — bit streams (Bernoulli, bursty Markov, periodic,
+//!   adversarial), plus the exact Figure 1 example stream;
+//! * [`values`] — bounded integers (uniform, spikes, log-uniform call
+//!   durations) and Zipf value streams for distinct counting;
+//! * [`distributed`] — multi-party instances: correlated/disjoint
+//!   streams, positionwise unions, Scenario-2 stream splits, and the
+//!   Hamming-pair adversarial family behind Theorem 4.
+
+pub mod bits;
+pub mod distributed;
+pub mod values;
+
+pub use bits::{figure1_stream, AllOnes, AlternatingRuns, Bernoulli, BitSource, Bursty, Periodic};
+pub use distributed::{
+    correlated_streams, disjoint_streams, hamming_pair, overlapping_value_streams,
+    positionwise_union, split_logical_stream,
+};
+pub use values::{CallDurations, SpikeValues, UniformValues, ValueSource, ZipfValues};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn hamming_pair_invariants(
+            half_n in 2usize..64,
+            half_d in 0usize..32,
+            seed: u64,
+        ) {
+            let n = 2 * half_n;
+            let d = (2 * half_d).min(n);
+            let (x, y) = hamming_pair(n, d, seed);
+            prop_assert_eq!(x.iter().filter(|&&b| b).count(), n / 2);
+            prop_assert_eq!(y.iter().filter(|&&b| b).count(), n / 2);
+            prop_assert_eq!(x.iter().zip(&y).filter(|(a, b)| a != b).count(), d);
+        }
+
+        #[test]
+        fn split_is_a_partition(t in 1usize..6, len in 0usize..200, seed: u64) {
+            let stream: Vec<bool> = (0..len).map(|i| i % 2 == 0).collect();
+            let parts = split_logical_stream(&stream, t, seed);
+            let total: usize = parts.iter().map(Vec::len).sum();
+            prop_assert_eq!(total, len);
+        }
+    }
+}

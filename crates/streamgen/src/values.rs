@@ -1,0 +1,201 @@
+//! Bounded-integer and value-stream workloads.
+//!
+//! Models the paper's telecom/retail motivations: call durations and
+//! sale amounts are bounded integers (for the sum wave), and item/user
+//! identifiers are values from a skewed domain (for distinct counting).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A source of `u64` stream values.
+pub trait ValueSource {
+    fn next_value(&mut self) -> u64;
+
+    fn take_values(&mut self, n: usize) -> Vec<u64>
+    where
+        Self: Sized,
+    {
+        (0..n).map(|_| self.next_value()).collect()
+    }
+}
+
+/// Uniform integers in `[0..=max]`.
+#[derive(Debug, Clone)]
+pub struct UniformValues {
+    rng: StdRng,
+    max: u64,
+}
+
+impl UniformValues {
+    pub fn new(max: u64, seed: u64) -> Self {
+        UniformValues {
+            rng: StdRng::seed_from_u64(seed),
+            max,
+        }
+    }
+}
+
+impl ValueSource for UniformValues {
+    fn next_value(&mut self) -> u64 {
+        self.rng.gen_range(0..=self.max)
+    }
+}
+
+/// Mostly-zero stream with rare spikes of value `spike` — models
+/// checkpoint traffic / rare large transactions; stresses the sum wave's
+/// level placement for large `v`.
+#[derive(Debug, Clone)]
+pub struct SpikeValues {
+    rng: StdRng,
+    spike: u64,
+    p_spike: f64,
+}
+
+impl SpikeValues {
+    pub fn new(spike: u64, p_spike: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p_spike));
+        SpikeValues {
+            rng: StdRng::seed_from_u64(seed),
+            spike,
+            p_spike,
+        }
+    }
+}
+
+impl ValueSource for SpikeValues {
+    fn next_value(&mut self) -> u64 {
+        if self.rng.gen_bool(self.p_spike) {
+            self.spike
+        } else {
+            0
+        }
+    }
+}
+
+/// Log-uniform call durations in `[1..=max]` (telecom call records:
+/// many short calls, few long ones).
+#[derive(Debug, Clone)]
+pub struct CallDurations {
+    rng: StdRng,
+    max: u64,
+}
+
+impl CallDurations {
+    pub fn new(max: u64, seed: u64) -> Self {
+        assert!(max >= 1);
+        CallDurations {
+            rng: StdRng::seed_from_u64(seed),
+            max,
+        }
+    }
+}
+
+impl ValueSource for CallDurations {
+    fn next_value(&mut self) -> u64 {
+        let lo = 0.0f64;
+        let hi = (self.max as f64).ln();
+        let x = self.rng.gen_range(lo..=hi);
+        (x.exp() as u64).clamp(1, self.max)
+    }
+}
+
+/// Zipf-distributed values over `{0, 1, ..., domain-1}` with exponent
+/// `theta` (inverse-CDF table sampler; `theta = 0` is uniform).
+#[derive(Debug, Clone)]
+pub struct ZipfValues {
+    rng: StdRng,
+    /// Cumulative probabilities, cdf[i] = P(value <= i).
+    cdf: Vec<f64>,
+}
+
+impl ZipfValues {
+    pub fn new(domain: usize, theta: f64, seed: u64) -> Self {
+        assert!(domain >= 1);
+        assert!(theta >= 0.0);
+        let mut cdf = Vec::with_capacity(domain);
+        let mut acc = 0.0;
+        for i in 0..domain {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        for c in cdf.iter_mut() {
+            *c /= norm;
+        }
+        ZipfValues {
+            rng: StdRng::seed_from_u64(seed),
+            cdf,
+        }
+    }
+}
+
+impl ValueSource for ZipfValues {
+    fn next_value(&mut self) -> u64 {
+        let u: f64 = self.rng.gen();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_in_range() {
+        let mut g = UniformValues::new(17, 3);
+        for v in g.take_values(1000) {
+            assert!(v <= 17);
+        }
+    }
+
+    #[test]
+    fn spikes_are_rare_and_exact() {
+        let mut g = SpikeValues::new(1000, 0.01, 4);
+        let vs = g.take_values(50_000);
+        let spikes = vs.iter().filter(|&&v| v == 1000).count();
+        assert!(vs.iter().all(|&v| v == 0 || v == 1000));
+        assert!((300..700).contains(&spikes), "spikes {spikes}");
+    }
+
+    #[test]
+    fn call_durations_bounded_and_skewed() {
+        let mut g = CallDurations::new(3600, 5);
+        let vs = g.take_values(20_000);
+        assert!(vs.iter().all(|&v| (1..=3600).contains(&v)));
+        let short = vs.iter().filter(|&&v| v <= 60).count();
+        let long = vs.iter().filter(|&&v| v > 1800).count();
+        assert!(short > long, "short {short} long {long}");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let mut g = ZipfValues::new(10, 0.0, 6);
+        let vs = g.take_values(100_000);
+        let mut counts = [0usize; 10];
+        for v in vs {
+            counts[v as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8000..12000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_skew_orders_frequencies() {
+        let mut g = ZipfValues::new(100, 1.2, 7);
+        let vs = g.take_values(100_000);
+        let mut counts = vec![0usize; 100];
+        for v in vs {
+            counts[v as usize] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn zipf_deterministic_per_seed() {
+        let a = ZipfValues::new(50, 1.0, 9).take_values(100);
+        let b = ZipfValues::new(50, 1.0, 9).take_values(100);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,90 @@
+//! # waves
+//!
+//! A full implementation of **Gibbons & Tirthapura, "Distributed Streams
+//! Algorithms for Sliding Windows" (SPAA 2002 / TOCS 2004)**: the *wave*
+//! family of synopsis data structures for estimating aggregates over the
+//! `N` most recent items of one or many data streams in polylogarithmic
+//! space.
+//!
+//! This crate is the facade: it re-exports the public API of the
+//! workspace crates so downstream users need a single dependency.
+//!
+//! ## What's inside
+//!
+//! | Problem | Type | Guarantee |
+//! |---|---|---|
+//! | 1's in a sliding window (single stream) | [`DetWave`] | `eps` rel. error, O(1) worst-case/item, O(1) query |
+//! | Sum of ints in `[0..R]` in a window | [`SumWave`] | `eps` rel. error, O(1) worst-case/item |
+//! | Windows over timestamped items | [`TimestampWave`] | Corollary 1 |
+//! | Position of the n-th most recent 1 | [`NthRecentWave`] | `eps` on the age |
+//! | Sliding average | [`SlidingAverage`] | `eps` via sum/count composition |
+//! | 1's in a window of a **union of distributed streams** | [`UnionParty`] + [`Referee`] | `(eps, delta)`, space independent of `t` |
+//! | Distinct values in a window of distributed streams | [`DistinctParty`] + [`DistinctReferee`] | `(eps, delta)` |
+//! | Exponential-histogram baselines (Datar et al.) | [`EhCount`], [`EhSum`] | `eps`, O(1) *amortized*/item |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use waves::DetWave;
+//!
+//! // Track how many of the last 10_000 requests were errors, within 5%.
+//! let mut errors = DetWave::new(10_000, 0.05).unwrap();
+//! for i in 0..100_000u64 {
+//!     errors.push_bit(i % 50 == 0); // one error every 50 requests
+//! }
+//! let est = errors.query_max();
+//! assert!(est.relative_error(200) <= 0.05); // 10_000 / 50 = 200
+//! ```
+//!
+//! Distributed union counting:
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use waves::{estimate_union, RandConfig, Referee, UnionParty};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! // Stored coins: sample once, share with every party and the referee.
+//! let cfg = RandConfig::for_positions(1_000, 0.2, 0.05, &mut rng).unwrap();
+//! let mut site_a = UnionParty::new(&cfg);
+//! let mut site_b = UnionParty::new(&cfg);
+//! for i in 0..5_000u64 {
+//!     site_a.push_bit(i % 4 == 0);
+//!     site_b.push_bit(i % 6 == 0);
+//! }
+//! let referee = Referee::new(cfg);
+//! let est = estimate_union(&referee, &[site_a, site_b], 1_000).unwrap();
+//! let actual = 333.0; // |{i : 4|i or 6|i}| in any 1000-aligned window
+//! assert!((est - actual).abs() / actual < 0.2);
+//! ```
+
+pub use waves_core::{
+    average, basic_wave, chain, codec, decay, det_wave, error, estimate, exact, histogram, level, nth_recent,
+    space, sum_wave, timestamp, timestamp_sum, traits, window,
+};
+pub use waves_core::{
+    decayed_sum, ratio_error_target, ratio_estimate, Decay, DecayedEstimate, BasicWave, BitSynopsis, DetWave, Estimate, ExactCount,
+    ExactDistinct, ExactSum, ModRing, NthRecentWave, RatioEstimate, SlidingAverage, SpaceReport,
+    SumSynopsis, SumWave, TimestampSumWave, TimestampWave, WaveError, WindowedHistogram,
+};
+
+pub use waves_eh::{EhCount, EhSum};
+
+pub use waves_gf2::{Gf2Field, LevelHash};
+
+pub use waves_rand::{
+    combine_distinct_instance, combine_instance, estimate_distinct, estimate_union,
+    instances_for, median, DistinctMessage, DistinctParty, DistinctReferee, DistinctReport,
+    DistinctWave, InstanceReport, PartyMessage, RandConfig, Referee, UnionParty, UnionWave,
+    PAPER_C,
+};
+
+pub use waves_distributed::{
+    coord_distinct_estimate, coord_union_estimate, det_combine, run_distinct_threaded,
+    run_union_threaded, simulate_async_union, AsyncQueryOutcome, CommStats, CoordDistinctParty, CoordSampleParty, DetCombine,
+    Scenario1Count, Scenario1Sum, Scenario2Count, Scenario3PositionwiseSum, ThreadedRun,
+};
+
+/// Workload generators used by the examples, tests, and experiments.
+pub mod streamgen {
+    pub use waves_streamgen::*;
+}

@@ -1,0 +1,126 @@
+//! Telecom call records (the paper's sliding-window motivation:
+//! "most processing is done only on recent call records").
+//!
+//! ```text
+//! cargo run --release -p waves --example call_records
+//! ```
+//!
+//! A switch emits call records (timestamp, duration). We maintain, in
+//! polylogarithmic space:
+//!   * total billed seconds over the last hour   (sum wave),
+//!   * number of calls over the last hour        (timestamp wave),
+//!   * average call duration over the last hour  (sum/count composition).
+
+use waves::streamgen::{CallDurations, ValueSource};
+use waves::{SlidingAverage, SumWave, TimestampWave};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let window_secs = 3_600u64; // one hour of timestamps
+    let max_duration = 7_200u64; // calls capped at two hours
+    let max_calls_per_second = 8u64;
+    let eps = 0.1;
+
+    println!("== call records: one-hour sliding window, eps = {eps} ==\n");
+
+    // Billed seconds per *second slot*, summed over the hour. Each slot
+    // aggregates at most max_calls_per_second * max_duration seconds.
+    let mut billed = SumWave::new(
+        window_secs,
+        max_calls_per_second * max_duration,
+        eps,
+    )
+    .expect("valid parameters");
+
+    // Calls in the last hour (timestamped counting, Corollary 1).
+    let mut calls = TimestampWave::new(
+        window_secs,
+        window_secs * max_calls_per_second,
+        eps,
+    )
+    .expect("valid parameters");
+
+    // Average duration via the eps/(2+eps) composition of Section 5.
+    let mut avg = SlidingAverage::with_eps(
+        window_secs,
+        window_secs * max_calls_per_second,
+        max_duration,
+        0.2,
+    )
+    .expect("valid parameters");
+
+    // Ground truth kept exactly for the demo.
+    let mut truth: Vec<(u64, u64)> = Vec::new();
+
+    let mut durations = CallDurations::new(max_duration, 11);
+    let mut rng = StdRng::seed_from_u64(5);
+    let total_seconds = 6 * 3_600u64; // six hours of traffic
+
+    for sec in 1..=total_seconds {
+        let now = sec;
+        let mut slot_total = 0u64;
+        let n_calls = rng.gen_range(0..=3);
+        for _ in 0..n_calls {
+            let d = durations.next_value();
+            slot_total += d;
+            calls.push(now, true).expect("nondecreasing timestamps");
+            avg.push(now, d).expect("valid record");
+            truth.push((now, d));
+        }
+        billed.push_value(slot_total).expect("slot within bound");
+
+        if sec % 3_600 == 0 {
+            let hour = sec / 3_600;
+            let s = sec.saturating_sub(window_secs - 1);
+            let in_window: Vec<u64> = truth
+                .iter()
+                .filter(|&&(t, _)| t >= s)
+                .map(|&(_, d)| d)
+                .collect();
+            let actual_billed: u64 = in_window.iter().sum();
+            let actual_calls = in_window.len() as u64;
+            let actual_avg = if actual_calls > 0 {
+                actual_billed as f64 / actual_calls as f64
+            } else {
+                0.0
+            };
+
+            let est_billed = billed.query_max();
+            let est_calls = calls.query(window_secs).expect("window within bound");
+            let est_avg = avg.query().expect("valid query");
+
+            println!("hour {hour}:");
+            println!(
+                "  billed seconds : actual {:>9}  est {:>11.1}  (err {:.3}%)",
+                actual_billed,
+                est_billed.value,
+                100.0 * est_billed.relative_error(actual_billed)
+            );
+            println!(
+                "  calls          : actual {:>9}  est {:>11.1}  (err {:.3}%)",
+                actual_calls,
+                est_calls.value,
+                100.0 * est_calls.relative_error(actual_calls)
+            );
+            if let Some(a) = est_avg {
+                println!(
+                    "  avg duration   : actual {:>9.1}  est {:>11.1}  (err {:.3}%)",
+                    actual_avg,
+                    a.value,
+                    100.0 * a.relative_error(actual_avg)
+                );
+                assert!(a.relative_error(actual_avg) <= 0.2 + 1e-9);
+            }
+            assert!(est_billed.relative_error(actual_billed) <= eps + 1e-9);
+            assert!(est_calls.relative_error(actual_calls) <= eps + 1e-9);
+        }
+    }
+
+    let space = billed.space_report();
+    println!(
+        "\nsum-wave footprint: {} entries / {} synopsis bits for a {}-second window",
+        space.entries, space.synopsis_bits, window_secs
+    );
+    println!("ok: all hourly reports within their error bounds");
+}

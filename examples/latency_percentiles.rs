@@ -1,0 +1,77 @@
+//! Service latency percentiles over a sliding window — the Section 5
+//! "histogramming" extension in a shape every operations team knows:
+//! p50/p95/p99 of the last N requests, in polylog-per-bucket space,
+//! with *certified* value ranges rather than point guesses.
+//!
+//! ```text
+//! cargo run --release -p waves --example latency_percentiles
+//! ```
+
+use waves::streamgen::{CallDurations, ValueSource};
+use waves::WindowedHistogram;
+use std::collections::VecDeque;
+
+fn main() {
+    let window = 50_000u64; // last 50k requests
+    let max_latency_us = (1u64 << 20) - 1; // ~1.05 s cap
+    let eps = 0.01; // tight per-bucket counts make quantile ranges tight
+
+    // Log-spaced edges: sub-ms buckets tight, tail buckets coarse.
+    let mut edges: Vec<u64> = Vec::new();
+    let mut e = 128u64;
+    while e <= max_latency_us {
+        edges.push(e);
+        e *= 2;
+    }
+    edges.push(max_latency_us + 1);
+    let mut hist = WindowedHistogram::with_edges(window, edges, eps)
+        .expect("valid histogram parameters");
+    println!(
+        "== latency histogram: {} log-spaced buckets over [0, {}] us, window {window}, eps {eps} ==",
+        hist.buckets(),
+        max_latency_us
+    );
+
+    // Workload: log-uniform "normal" latencies plus a slow-query mode.
+    let mut gen = CallDurations::new(1 << 14, 7);
+    let mut slow = CallDurations::new(max_latency_us, 8);
+    let mut truth: VecDeque<u64> = VecDeque::new();
+    let mut x = 1u64;
+    for step in 1..=200_000u64 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let v = if (x >> 58) == 0 {
+            slow.next_value() // ~1.5% slow outliers
+        } else {
+            gen.next_value()
+        };
+        hist.push_value(v).expect("value within domain");
+        truth.push_back(v);
+        if truth.len() as u64 > window {
+            truth.pop_front();
+        }
+        let _ = step;
+    }
+
+    let mut sorted: Vec<u64> = truth.iter().copied().collect();
+    sorted.sort_unstable();
+    println!("\n{:>6} {:>12} {:>24}", "q", "exact (us)", "certified range (us)");
+    for q in [0.50f64, 0.90, 0.95, 0.99, 0.999] {
+        let idx = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+        let exact = sorted[idx];
+        let (lo, hi) = hist
+            .query_quantile(window, q)
+            .expect("valid window")
+            .expect("window nonempty");
+        println!("{:>6} {:>12} {:>11} ..{:>10}", q, exact, lo, hi);
+        assert!(lo <= exact && exact <= hi, "quantile range must certify");
+    }
+
+    let space = hist.space_report();
+    println!(
+        "\nhistogram space: {} wave entries, {} synopsis bits total (vs {} x 64-bit samples exact)",
+        space.entries, space.synopsis_bits, window
+    );
+    println!("ok: every certified range contains the exact percentile");
+}

@@ -1,0 +1,108 @@
+//! Quickstart: the three workhorse synopses on one synthetic stream.
+//!
+//! ```text
+//! cargo run --release -p waves --example quickstart
+//! ```
+//!
+//! Walks through (1) Basic Counting with the deterministic wave,
+//! (2) sums of bounded integers with the sum wave, and (3) a comparison
+//! against the exponential-histogram baseline, printing estimates next
+//! to exact answers at several checkpoints.
+
+use waves::streamgen::{Bernoulli, BitSource, UniformValues, ValueSource};
+use waves::{DetWave, EhCount, ExactCount, ExactSum, SumWave};
+
+fn main() {
+    let window = 4_096u64;
+    let eps = 0.05;
+
+    // ---------------------------------------------------------------
+    // 1. Basic Counting: how many 1's in the last `window` bits?
+    // ---------------------------------------------------------------
+    println!("== Basic Counting: deterministic wave (N = {window}, eps = {eps}) ==");
+    let mut wave = DetWave::new(window, eps).expect("valid parameters");
+    let mut eh = EhCount::new(window, eps).expect("valid parameters");
+    let mut exact = ExactCount::new(window);
+
+    let mut bits = Bernoulli::new(0.3, 42);
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "pos", "actual", "wave est", "eh est", "wave err", "eh err"
+    );
+    for step in 1..=100_000u64 {
+        let b = bits.next_bit();
+        wave.push_bit(b);
+        eh.push_bit(b);
+        exact.push_bit(b);
+        if step % 20_000 == 0 {
+            let actual = exact.query(window);
+            let w = wave.query_max();
+            let e = eh.query(window).expect("window within bound");
+            println!(
+                "{:>10} {:>10} {:>12.1} {:>12.1} {:>9.4}% {:>9.4}%",
+                step,
+                actual,
+                w.value,
+                e.value,
+                100.0 * w.relative_error(actual),
+                100.0 * e.relative_error(actual)
+            );
+            assert!(w.relative_error(actual) <= eps);
+            assert!(e.relative_error(actual) <= eps);
+        }
+    }
+    let space = wave.space_report();
+    println!(
+        "wave space: {} entries, {} synopsis bits ({} bytes resident) vs {} bits exact\n",
+        space.entries,
+        space.synopsis_bits,
+        space.resident_bytes,
+        window
+    );
+
+    // ---------------------------------------------------------------
+    // 2. Sums: total of the last `window` values in [0..R].
+    // ---------------------------------------------------------------
+    let r = 1_000u64;
+    println!("== Sliding sum: sum wave (N = {window}, R = {r}, eps = {eps}) ==");
+    let mut sum_wave = SumWave::new(window, r, eps).expect("valid parameters");
+    let mut exact_sum = ExactSum::new(window);
+    let mut vals = UniformValues::new(r, 7);
+    for step in 1..=100_000u64 {
+        let v = vals.next_value();
+        sum_wave.push_value(v).expect("v <= R");
+        exact_sum.push_value(v);
+        if step % 25_000 == 0 {
+            let actual = exact_sum.query(window);
+            let est = sum_wave.query_max();
+            println!(
+                "pos {:>7}: actual {:>9}  est {:>11.1}  rel err {:.4}%",
+                step,
+                actual,
+                est.value,
+                100.0 * est.relative_error(actual)
+            );
+            assert!(est.relative_error(actual) <= eps);
+        }
+    }
+    let space = sum_wave.space_report();
+    println!(
+        "sum wave space: {} entries, {} synopsis bits\n",
+        space.entries, space.synopsis_bits
+    );
+
+    // ---------------------------------------------------------------
+    // 3. Any window size n <= N from the same synopsis.
+    // ---------------------------------------------------------------
+    println!("== One wave, many window sizes ==");
+    for n in [64u64, 256, 1024, 4096] {
+        let actual = exact.query(n);
+        let est = wave.query(n).expect("n <= N");
+        println!(
+            "last {:>5} bits: actual {:>5}, wave [{:>5}, {:>5}] -> {:>8.1}",
+            n, actual, est.lo, est.hi, est.value
+        );
+        assert!(est.brackets(actual));
+    }
+    println!("\nok: every estimate within eps of the truth");
+}

@@ -1,0 +1,77 @@
+//! "When did the N-th most recent alert fire?" — the Section 5
+//! `NthRecentWave` extension, plus window queries of every size from a
+//! single deterministic wave.
+//!
+//! ```text
+//! cargo run --release -p waves --example recent_events
+//! ```
+
+use waves::streamgen::{BitSource, Bursty};
+use waves::{DetWave, NthRecentWave};
+use std::collections::VecDeque;
+
+fn main() {
+    let max_age = 1u64 << 16;
+    let eps = 0.1;
+
+    println!("== n-th most recent alert, eps = {eps}, history {max_age} ==\n");
+
+    let mut wave = NthRecentWave::new(max_age, eps).expect("valid parameters");
+    let mut window_wave = DetWave::new(max_age, eps).expect("valid parameters");
+    let mut truth: VecDeque<u64> = VecDeque::new(); // positions of alerts
+
+    let mut alerts = Bursty::new(50.0, 17);
+    let mut pos = 0u64;
+    for _ in 0..200_000u64 {
+        pos += 1;
+        let b = alerts.next_bit();
+        wave.push_bit(b);
+        window_wave.push_bit(b);
+        if b {
+            truth.push_back(pos);
+        }
+        while truth.front().is_some_and(|&p| p + max_age <= pos) {
+            truth.pop_front();
+        }
+    }
+
+    println!("total alerts observed: {}", wave.rank());
+    println!("\n{:>8} {:>12} {:>16} {:>10}", "n", "actual age", "estimated age", "rel err");
+    for n in [1u64, 10, 100, 1_000, 5_000] {
+        if (truth.len() as u64) < n {
+            println!("{n:>8} {:>12}", "—");
+            continue;
+        }
+        let actual = pos - truth[truth.len() - n as usize];
+        match wave.query_age(n) {
+            Ok(Some(est)) => {
+                let err = if actual > 0 {
+                    est.relative_error(actual)
+                } else {
+                    0.0
+                };
+                println!(
+                    "{:>8} {:>12} {:>7} in [{}, {}] {:>9.3}%",
+                    n, actual, est.value, est.lo, est.hi,
+                    100.0 * err
+                );
+                assert!(est.brackets(actual));
+                if actual > 0 {
+                    assert!(err <= eps + 1e-9);
+                }
+            }
+            other => println!("{n:>8} -> {other:?}"),
+        }
+    }
+
+    // The dual query: how many alerts in the last n positions?
+    println!("\n{:>10} {:>10} {:>12}", "window", "actual", "wave est");
+    for n in [256u64, 4_096, 65_536] {
+        let s = pos - n + 1;
+        let actual = truth.iter().filter(|&&p| p >= s).count() as u64;
+        let est = window_wave.query(n).expect("n <= N");
+        println!("{:>10} {:>10} {:>12.1}", n, actual, est.value);
+        assert!(est.relative_error(actual) <= eps + 1e-9);
+    }
+    println!("\nok: ages and counts within eps");
+}

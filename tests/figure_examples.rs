@@ -1,0 +1,115 @@
+//! The paper's worked examples, reproduced exactly (Figures 1–3 and the
+//! Section 3.1 query walk-through).
+
+use waves::streamgen::figure1_stream;
+use waves::{BasicWave, DetWave};
+
+/// Section 3.1 / Figure 2: the basic wave over the Figure 1 stream,
+/// eps = 1/3, N = 48, queried with n = 39 at pos = 99.
+#[test]
+fn figure2_query_example() {
+    let stream = figure1_stream();
+    let mut wave = BasicWave::new(48, 1.0 / 3.0).unwrap();
+    for &b in &stream {
+        wave.push_bit(b);
+    }
+    assert_eq!(wave.pos(), 99);
+    assert_eq!(wave.rank(), 50);
+    assert_eq!(wave.num_levels(), 5, "five levels, as in Figure 2");
+
+    let est = wave.query(39).unwrap();
+    // The paper: p1 = 44, p2 = 67, r1 = 24, r2 = 32, x-hat = 23; the
+    // actual count is 20, within eps = 1/3.
+    assert_eq!(est.value, 23.0, "the paper's worked estimate");
+    assert!(est.brackets(20));
+    assert!(est.relative_error(20) <= 1.0 / 3.0);
+    // The bracketing interval from the paper: [50-32+1, 50-24] = [19, 26].
+    assert_eq!((est.lo, est.hi), (19, 26));
+}
+
+/// Figure 2's level contents: level i holds the 1/eps + 1 = 4 most
+/// recent 1-ranks that are multiples of 2^i (with a dummy at level 4).
+#[test]
+fn figure2_level_structure() {
+    let stream = figure1_stream();
+    let mut wave = BasicWave::new(48, 1.0 / 3.0).unwrap();
+    for &b in &stream {
+        wave.push_bit(b);
+    }
+    let levels = wave.level_contents();
+    let ranks: Vec<Vec<u64>> = levels
+        .iter()
+        .map(|lv| lv.iter().map(|&(_, r)| r).collect())
+        .collect();
+    assert_eq!(ranks[0], vec![47, 48, 49, 50]);
+    assert_eq!(ranks[1], vec![44, 46, 48, 50]);
+    assert_eq!(ranks[2], vec![36, 40, 44, 48]);
+    assert_eq!(ranks[3], vec![24, 32, 40, 48]);
+    // Level 4: fewer than four multiples of 16, so the dummy 0 remains.
+    assert_eq!(ranks[4], vec![0, 16, 32, 48]);
+}
+
+/// Figure 3: the optimal wave stores each 1-rank only at its maximum
+/// level (capped at the top), with halved queues below the top level.
+#[test]
+fn figure3_store_at_max_level() {
+    let stream = figure1_stream();
+    let mut wave = DetWave::new(48, 1.0 / 3.0).unwrap();
+    for &b in &stream {
+        wave.push_bit(b);
+    }
+    assert_eq!(wave.num_levels(), 5);
+    let levels = wave.level_contents();
+    for (i, lv) in levels.iter().enumerate() {
+        for &(_, r) in lv {
+            // Every stored rank is a multiple of 2^i...
+            assert_eq!(r % (1 << i), 0, "rank {r} at level {i}");
+            // ...and, below the top level, of no higher power.
+            if i + 1 < levels.len() {
+                assert!(r % (1 << (i + 1)) != 0, "rank {r} belongs above {i}");
+            }
+        }
+        // Queue capacities: ceil((k+1)/2) = 2 below the top, k+1 = 4 top.
+        let cap = if i + 1 == levels.len() { 4 } else { 2 };
+        assert!(lv.len() <= cap, "level {i} holds {}", lv.len());
+    }
+    // The same query still meets the guarantee.
+    let est = wave.query(39).unwrap();
+    assert!(est.relative_error(20) <= 1.0 / 3.0);
+}
+
+/// Figure 1's annotations: positions of the printed 1-ranks.
+#[test]
+fn figure1_rank_annotations() {
+    let stream = figure1_stream();
+    let mut rank = 0u64;
+    let mut rank_pos = std::collections::HashMap::new();
+    for (i, &b) in stream.iter().enumerate() {
+        if b {
+            rank += 1;
+            rank_pos.insert(rank, i as u64 + 1);
+        }
+    }
+    // Every (position, 1-rank) pair printed in Figure 1.
+    for (r, p) in [
+        (1, 2),
+        (31, 62),
+        (32, 67),
+        (33, 68),
+        (34, 70),
+        (35, 71),
+        (36, 72),
+        (41, 77),
+        (42, 79),
+        (43, 80),
+        (44, 84),
+        (45, 85),
+        (46, 86),
+        (47, 89),
+        (48, 91),
+        (49, 94),
+        (50, 99),
+    ] {
+        assert_eq!(rank_pos[&r], p, "rank {r}");
+    }
+}
