@@ -76,7 +76,13 @@ fn bench_timestamp_push(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     use rand::Rng;
     let steps: Vec<(u64, u64, bool)> = (0..BATCH)
-        .map(|_| (rng.gen_range(0..2), rng.gen_range(0..=255u64), rng.gen_bool(0.5)))
+        .map(|_| {
+            (
+                rng.gen_range(0..2),
+                rng.gen_range(0..=255u64),
+                rng.gen_bool(0.5),
+            )
+        })
         .collect();
     g.bench_function("timestamp_count", |b| {
         let mut w = TimestampWave::new(1 << 12, 1 << 14, 0.05).unwrap();

@@ -23,19 +23,15 @@ fn bench_push(c: &mut Criterion) {
         } else {
             bits(density)
         };
-        g.bench_with_input(
-            BenchmarkId::new("det_wave", density),
-            &input,
-            |b, input| {
-                let mut w = DetWave::new(N, EPS).unwrap();
-                b.iter(|| {
-                    for &bit in input {
-                        w.push_bit(bit);
-                    }
-                    w.rank()
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("det_wave", density), &input, |b, input| {
+            let mut w = DetWave::new(N, EPS).unwrap();
+            b.iter(|| {
+                for &bit in input {
+                    w.push_bit(bit);
+                }
+                w.rank()
+            });
+        });
         g.bench_with_input(BenchmarkId::new("eh", density), &input, |b, input| {
             let mut eh = EhCount::new(N, EPS).unwrap();
             b.iter(|| {
@@ -63,19 +59,15 @@ fn bench_eps_sweep(c: &mut Criterion) {
     g.throughput(Throughput::Elements(BATCH as u64));
     let input = bits(0.5);
     for &inv_eps in &[4u64, 16, 64, 256] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(inv_eps),
-            &input,
-            |b, input| {
-                let mut w = DetWave::new(N, 1.0 / inv_eps as f64).unwrap();
-                b.iter(|| {
-                    for &bit in input {
-                        w.push_bit(bit);
-                    }
-                    w.rank()
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(inv_eps), &input, |b, input| {
+            let mut w = DetWave::new(N, 1.0 / inv_eps as f64).unwrap();
+            b.iter(|| {
+                for &bit in input {
+                    w.push_bit(bit);
+                }
+                w.rank()
+            });
+        });
     }
     g.finish();
 }

@@ -42,8 +42,7 @@ fn bench_combine(c: &mut Criterion) {
     for &t in &[2usize, 8] {
         let mut rng = StdRng::seed_from_u64(2);
         let cfg = RandConfig::for_values(N, DOMAIN - 1, 0.2, 0.2, &mut rng).unwrap();
-        let mut parties: Vec<DistinctParty> =
-            (0..t).map(|_| DistinctParty::new(&cfg)).collect();
+        let mut parties: Vec<DistinctParty> = (0..t).map(|_| DistinctParty::new(&cfg)).collect();
         for (j, p) in parties.iter_mut().enumerate() {
             let mut g2 = ZipfValues::new(DOMAIN as usize, 1.0, j as u64);
             for _ in 0..(2 * N) {

@@ -41,8 +41,7 @@ fn bench_combine(c: &mut Criterion) {
     for &t in &[2usize, 8, 32] {
         let mut rng = StdRng::seed_from_u64(2);
         let cfg = RandConfig::for_positions(N, 0.1, 0.1, &mut rng).unwrap();
-        let mut parties: Vec<UnionParty> =
-            (0..t).map(|_| UnionParty::new(&cfg)).collect();
+        let mut parties: Vec<UnionParty> = (0..t).map(|_| UnionParty::new(&cfg)).collect();
         let mut src = Bernoulli::new(0.4, 9);
         for _ in 0..(2 * N) {
             let b = src.next_bit();

@@ -15,8 +15,14 @@ pub fn levels() {
     println!("A1 — store-at-max-level vs store-at-all-levels");
     println!("==============================================\n");
     let mut t = Table::new(&[
-        "eps", "N", "basic entries", "optimal entries", "basic bits", "optimal bits",
-        "max err basic", "max err optimal",
+        "eps",
+        "N",
+        "basic entries",
+        "optimal entries",
+        "basic bits",
+        "optimal bits",
+        "max err basic",
+        "max err optimal",
     ]);
     for &(eps, n) in &[(0.25f64, 1u64 << 10), (0.1, 1 << 12), (0.05, 1 << 14)] {
         let mut basic = BasicWave::new(n, eps).unwrap();
@@ -63,10 +69,13 @@ pub fn queue_constant() {
     let (len, n, eps, t_parties) = (16_000usize, 4_096u64, 0.2, 3usize);
     let streams = waves_streamgen::correlated_streams(t_parties, len, 0.4, 0.25, 21);
     let union = waves_streamgen::positionwise_union(&streams);
-    let actual =
-        union[len - n as usize..].iter().filter(|&&b| b).count() as f64;
+    let actual = union[len - n as usize..].iter().filter(|&&b| b).count() as f64;
     let mut t = Table::new(&[
-        "c", "queue cap", "trials within eps", "rate", "median rel err",
+        "c",
+        "queue cap",
+        "trials within eps",
+        "rate",
+        "median rel err",
     ]);
     for &c in &[36.0f64, 16.0, 8.0, 4.0, 2.0, 1.0] {
         let trials = 30u64;
@@ -169,8 +178,7 @@ pub fn coordinated() {
     // Dense history, so coordinated sampling is forced to a high level.
     let streams = waves_streamgen::correlated_streams(t_parties, len, 0.6, 0.2, 31);
     let union = waves_streamgen::positionwise_union(&streams);
-    let actual =
-        union[len - n as usize..].iter().filter(|&&b| b).count() as f64;
+    let actual = union[len - n as usize..].iter().filter(|&&b| b).count() as f64;
 
     let trials = 15u64;
     let mut t = Table::new(&["method", "median rel err", "within eps", "state/party"]);

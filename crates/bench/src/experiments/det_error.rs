@@ -52,12 +52,21 @@ pub fn run() {
     println!("E3 — Theorem 1: deterministic wave error <= eps, everywhere");
     println!("===========================================================\n");
     let mut t = Table::new(&[
-        "workload", "eps", "N", "max err (wave)", "max err (EH)", "bound ok",
+        "workload",
+        "eps",
+        "N",
+        "max err (wave)",
+        "max err (EH)",
+        "bound ok",
     ]);
     let mut all_ok = true;
     for name in ["bernoulli", "bursty", "periodic", "runs"] {
-        for &(eps, n_max) in &[(0.5, 1u64 << 8), (0.25, 1 << 10), (0.1, 1 << 12), (0.05, 1 << 12)]
-        {
+        for &(eps, n_max) in &[
+            (0.5, 1u64 << 8),
+            (0.25, 1 << 10),
+            (0.1, 1 << 12),
+            (0.05, 1 << 12),
+        ] {
             let mut src = workload(name, 17);
             let windows = [1u64, n_max / 7 + 1, n_max / 2, n_max];
             let steps = (n_max * 12).max(20_000);

@@ -28,7 +28,13 @@ pub fn run() {
     let (len, n) = (12_000usize, 4_096u64);
     let domain = 1u64 << 18;
     let mut t = Table::new(&[
-        "workload", "t", "eps", "actual", "estimate", "rel err", "elems/party",
+        "workload",
+        "t",
+        "eps",
+        "actual",
+        "estimate",
+        "rel err",
+        "elems/party",
     ]);
     for &(theta, name) in &[(0.3f64, "zipf(0.3)"), (1.1, "zipf(1.1)")] {
         for &tp in &[1usize, 4] {
@@ -40,8 +46,7 @@ pub fn run() {
                 } else {
                     (0..tp)
                         .map(|j| {
-                            let mut g =
-                                ZipfValues::new(domain as usize, theta, 9 + j as u64);
+                            let mut g = ZipfValues::new(domain as usize, theta, 9 + j as u64);
                             (0..len).map(|_| g.next_value()).collect()
                         })
                         .collect()
@@ -106,29 +111,28 @@ pub fn predicates() {
     let preds: Vec<(&str, f64, Box<dyn Fn(u64) -> bool>)> = vec![
         ("v % 2 == 0 (alpha~0.5)", 0.5, Box::new(|v| v % 2 == 0)),
         ("v % 4 == 0 (alpha~0.25)", 0.25, Box::new(|v| v % 4 == 0)),
-        ("v < domain/8 (alpha~0.125)", 0.125, Box::new(move |v| v < domain / 8)),
+        (
+            "v < domain/8 (alpha~0.125)",
+            0.125,
+            Box::new(move |v| v < domain / 8),
+        ),
         ("v % 10 == 0 (alpha~0.1)", 0.1, Box::new(|v| v % 10 == 0)),
     ];
     let mut t = Table::new(&[
-        "predicate", "actual", "estimate", "rel err", "eps/alpha budget",
+        "predicate",
+        "actual",
+        "estimate",
+        "rel err",
+        "eps/alpha budget",
     ]);
     for (name, alpha, pred) in &preds {
-        let actual = last
-            .iter()
-            .filter(|&(&v, &p)| p >= s && pred(v))
-            .count() as f64;
+        let actual = last.iter().filter(|&(&v, &p)| p >= s && pred(v)).count() as f64;
         let est = referee.estimate_predicate(&msg, s, Some(pred.as_ref()));
         let rel = (est - actual).abs() / actual.max(1.0);
         // Section 5: guarantee costs a 1/alpha factor in sample size, so
         // at fixed space the error budget scales like eps/sqrt(alpha).
         let budget = eps / alpha.sqrt();
-        t.row(&[
-            name.to_string(),
-            f(actual),
-            f(est),
-            pct(rel),
-            pct(budget),
-        ]);
+        t.row(&[name.to_string(), f(actual), f(est), pct(rel), pct(budget)]);
         assert!(rel <= budget, "{name}: {rel} > {budget}");
     }
     t.print();

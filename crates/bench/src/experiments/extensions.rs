@@ -49,7 +49,10 @@ pub fn nth_recent() {
         ]);
     }
     t.print();
-    println!("\nmax observed relative error on ages: {} <= eps = {eps}", pct(worst));
+    println!(
+        "\nmax observed relative error on ages: {} <= eps = {eps}",
+        pct(worst)
+    );
     assert!(worst <= eps + 1e-9);
     println!("PASS");
 }
@@ -103,11 +106,7 @@ pub fn histogram() {
         let exact = sorted[idx];
         let (lo, hi) = hist.query_quantile(n, q).unwrap().unwrap();
         assert!(lo <= exact && exact <= hi, "q={q}");
-        t.row(&[
-            format!("{q}"),
-            format!("{exact}"),
-            format!("[{lo}, {hi}]"),
-        ]);
+        t.row(&[format!("{q}"), format!("{exact}"), format!("[{lo}, {hi}]")]);
     }
     t.print();
     let space = hist.space_report();

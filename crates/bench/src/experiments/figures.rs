@@ -19,10 +19,7 @@ pub fn fig2() {
     println!("pos = {}, rank = {}\n", wave.pos(), wave.rank());
     println!("wave levels (1-ranks, oldest -> newest; positions in parens):");
     for (i, lv) in wave.level_contents().iter().enumerate() {
-        let cells: Vec<String> = lv
-            .iter()
-            .map(|&(p, r)| format!("{r}({p})"))
-            .collect();
+        let cells: Vec<String> = lv.iter().map(|&(p, r)| format!("{r}({p})")).collect();
         println!("  by 2^{i}: {}", cells.join("  "));
     }
 
@@ -65,10 +62,7 @@ pub fn fig3() {
     println!(" Figure 3 keeps them only to show the full level shapes)\n");
     println!("level contents (1-rank(position)):");
     for (i, lv) in wave.level_contents().iter().enumerate() {
-        let cells: Vec<String> = lv
-            .iter()
-            .map(|&(p, r)| format!("{r}({p})"))
-            .collect();
+        let cells: Vec<String> = lv.iter().map(|&(p, r)| format!("{r}({p})")).collect();
         println!("  level {i}: {}", cells.join("  "));
     }
     let est = wave.query(39).unwrap();

@@ -21,7 +21,12 @@ pub fn run() {
 
     // Structural: cascade growth with N (all-ones stream).
     println!("EH merge-cascade length vs N (all-ones stream, eps = 0.05):");
-    let mut t = Table::new(&["N", "EH max cascade", "EH merges/item", "wave levels touched/item"]);
+    let mut t = Table::new(&[
+        "N",
+        "EH max cascade",
+        "EH merges/item",
+        "wave levels touched/item",
+    ]);
     for log_n in [8u32, 12, 16, 20] {
         let n = 1u64 << log_n;
         let steps = (2 * n).min(1 << 21);
@@ -57,12 +62,13 @@ pub fn run() {
     }
     let eh_stats = per_item_latency(&items, |&b| eh.push_bit(b));
 
-    let mut t = Table::new(&["synopsis", "mean", "p50", "p99.9", "max"]);
+    let mut t = Table::new(&["synopsis", "mean", "p50", "p99", "p99.9", "max"]);
     for (name, s) in [("det-wave", wave_stats), ("eh", eh_stats)] {
         t.row(&[
             name.into(),
             f(s.mean_ns),
             f(s.p50_ns),
+            f(s.p99_ns),
             f(s.p999_ns),
             f(s.max_ns),
         ]);

@@ -60,8 +60,15 @@ pub fn run() {
     assert_eq!(wave_state(&x1, n, 0.5), wave_state(&x2, n, 0.5));
     let forced = moved as f64 / 2.0;
     let rel = forced / (len as f64 / 2.0 + moved as f64);
-    println!("  inputs differ in {} positions, synopses identical", 2 * moved);
-    println!("  union(X1, X1) = {}, union(X1, X2) = {}", len / 2, len / 2 + moved);
+    println!(
+        "  inputs differ in {} positions, synopses identical",
+        2 * moved
+    );
+    println!(
+        "  union(X1, X1) = {}, union(X1, X2) = {}",
+        len / 2,
+        len / 2 + moved
+    );
     println!(
         "  any referee is forced into absolute error >= {forced} (relative {}) >> 1/64",
         pct(rel)
@@ -72,7 +79,12 @@ pub fn run() {
     println!("\n(ii) deterministic combine rules on the Hamming-pair family (n = 4096):");
     let len = 4096usize;
     let mut t = Table::new(&[
-        "H(X,Y)", "union", "sum rule", "max rule", "indep rule", "rand wave (eps=0.1)",
+        "H(X,Y)",
+        "union",
+        "sum rule",
+        "max rule",
+        "indep rule",
+        "rand wave (eps=0.1)",
     ]);
     let mut worst = [0.0f64; 3];
     let mut worst_rand = 0.0f64;
@@ -109,8 +121,13 @@ pub fn run() {
         ]);
     }
     t.print();
-    println!("\nworst relative errors: sum {}, max {}, independent {}, randomized wave {}",
-        pct(worst[0]), pct(worst[1]), pct(worst[2]), pct(worst_rand));
+    println!(
+        "\nworst relative errors: sum {}, max {}, independent {}, randomized wave {}",
+        pct(worst[0]),
+        pct(worst[1]),
+        pct(worst[2]),
+        pct(worst_rand)
+    );
     assert!(worst.iter().all(|&w| w > 1.0 / 64.0));
     assert!(worst_rand <= 0.1);
     println!("\nPASS: every deterministic rule violates eps = 1/64 somewhere on the");

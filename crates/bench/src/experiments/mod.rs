@@ -8,6 +8,7 @@ pub mod figures;
 pub mod hash;
 pub mod latency;
 pub mod lower_bound;
+pub mod obs_overhead;
 pub mod scaling;
 pub mod scenarios;
 pub mod space;
@@ -37,6 +38,7 @@ pub fn run(id: &str) -> bool {
         "ablate-c" => ablations::queue_constant(),
         "ablate-estimator" => ablations::estimator(),
         "coordinated" => ablations::coordinated(),
+        "obs-overhead" => obs_overhead::run(),
         _ => return false,
     }
     true

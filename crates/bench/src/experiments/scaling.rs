@@ -20,8 +20,7 @@ pub fn run() {
         let streams = correlated_streams(tp, len, 0.3, 0.3, 3);
         let mut rng = StdRng::seed_from_u64(1);
         let cfg = RandConfig::for_positions(n, 0.2, 0.1, &mut rng).unwrap();
-        let mut parties: Vec<UnionParty> =
-            (0..tp).map(|_| UnionParty::new(&cfg)).collect();
+        let mut parties: Vec<UnionParty> = (0..tp).map(|_| UnionParty::new(&cfg)).collect();
         for i in 0..len {
             for (j, p) in parties.iter_mut().enumerate() {
                 p.push_bit(streams[j][i]);
@@ -55,8 +54,7 @@ pub fn run() {
         let streams = correlated_streams(tp, blen, 0.5, 0.2, 5);
         let mut rng = StdRng::seed_from_u64(2);
         let cfg = RandConfig::for_positions(bn, eps, 0.1, &mut rng).unwrap();
-        let mut parties: Vec<UnionParty> =
-            (0..tp).map(|_| UnionParty::new(&cfg)).collect();
+        let mut parties: Vec<UnionParty> = (0..tp).map(|_| UnionParty::new(&cfg)).collect();
         for i in 0..blen {
             for (j, p) in parties.iter_mut().enumerate() {
                 p.push_bit(streams[j][i]);
@@ -72,7 +70,12 @@ pub fn run() {
     t.print();
 
     println!("\n(c) instances and stored-coin bits vs delta (eps = 0.2):");
-    let mut t = Table::new(&["delta", "instances (18 ln(1/d))", "coin bits", "synopsis bits/party"]);
+    let mut t = Table::new(&[
+        "delta",
+        "instances (18 ln(1/d))",
+        "coin bits",
+        "synopsis bits/party",
+    ]);
     for &delta in &[0.3f64, 0.1, 0.01, 0.001] {
         let mut rng = StdRng::seed_from_u64(3);
         let cfg = RandConfig::for_positions(n, 0.2, delta, &mut rng).unwrap();

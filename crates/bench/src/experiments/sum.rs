@@ -13,8 +13,15 @@ pub fn run() {
 
     // Error + space sweep.
     let mut t = Table::new(&[
-        "workload", "eps", "R", "max err (wave)", "max err (EH)",
-        "wave bits", "EH bits", "wave entries", "EH buckets",
+        "workload",
+        "eps",
+        "R",
+        "max err (wave)",
+        "max err (EH)",
+        "wave bits",
+        "EH bits",
+        "wave entries",
+        "EH buckets",
     ]);
     let n = 1u64 << 10;
     for &(wname, seed) in &[("uniform", 5u64), ("spiky", 6)] {
@@ -75,11 +82,20 @@ pub fn run() {
     let es = per_item_latency(&items, |&v| {
         eh.push_value(v).unwrap();
     });
-    let mut t = Table::new(&["synopsis", "mean ns", "p50 ns", "p99.9 ns", "max ns", "max cascade"]);
+    let mut t = Table::new(&[
+        "synopsis",
+        "mean ns",
+        "p50 ns",
+        "p99 ns",
+        "p99.9 ns",
+        "max ns",
+        "max cascade",
+    ]);
     t.row(&[
         "sum-wave".into(),
         f(ws.mean_ns),
         f(ws.p50_ns),
+        f(ws.p99_ns),
         f(ws.p999_ns),
         f(ws.max_ns),
         "1 level/item".into(),
@@ -88,6 +104,7 @@ pub fn run() {
         "eh-sum".into(),
         f(es.mean_ns),
         f(es.p50_ns),
+        f(es.p99_ns),
         f(es.p999_ns),
         f(es.max_ns),
         format!("{}", eh.max_cascade()),

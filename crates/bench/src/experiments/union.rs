@@ -37,8 +37,7 @@ pub fn run() {
                 let cfg = RandConfig::for_positions(n, eps, 0.3, &mut rng)
                     .unwrap()
                     .with_instances(1, &mut rng);
-                let mut parties: Vec<UnionParty> =
-                    (0..tp).map(|_| UnionParty::new(&cfg)).collect();
+                let mut parties: Vec<UnionParty> = (0..tp).map(|_| UnionParty::new(&cfg)).collect();
                 for i in 0..len {
                     for (j, p) in parties.iter_mut().enumerate() {
                         p.push_bit(streams[j][i]);
@@ -73,7 +72,13 @@ pub fn run() {
     let (len, n) = (40_000usize, 1u64 << 14);
     println!("\n(b) median estimator across 12 seeded runs (t = 4):");
     let mut t = Table::new(&[
-        "eps", "delta", "instances", "mean err", "max err", "failures", "space bits/party",
+        "eps",
+        "delta",
+        "instances",
+        "mean err",
+        "max err",
+        "failures",
+        "space bits/party",
     ]);
     for &(eps, delta) in &[(0.2f64, 0.1f64), (0.2, 0.01), (0.1, 0.05)] {
         let tp = 4usize;
@@ -84,8 +89,7 @@ pub fn run() {
             let actual = exact_window_union(&streams, n) as f64;
             let mut rng = StdRng::seed_from_u64(seed);
             let cfg = RandConfig::for_positions(n, eps, delta, &mut rng).unwrap();
-            let mut parties: Vec<UnionParty> =
-                (0..tp).map(|_| UnionParty::new(&cfg)).collect();
+            let mut parties: Vec<UnionParty> = (0..tp).map(|_| UnionParty::new(&cfg)).collect();
             for i in 0..len {
                 for (j, p) in parties.iter_mut().enumerate() {
                     p.push_bit(streams[j][i]);
@@ -119,8 +123,7 @@ pub fn run() {
         let actual = exact_window_union(&streams, n) as f64;
         let mut rng = StdRng::seed_from_u64(tp as u64);
         let cfg = RandConfig::for_positions(n, 0.2, 0.05, &mut rng).unwrap();
-        let mut parties: Vec<UnionParty> =
-            (0..tp).map(|_| UnionParty::new(&cfg)).collect();
+        let mut parties: Vec<UnionParty> = (0..tp).map(|_| UnionParty::new(&cfg)).collect();
         for i in 0..len {
             for (j, p) in parties.iter_mut().enumerate() {
                 p.push_bit(streams[j][i]);
@@ -130,12 +133,7 @@ pub fn run() {
         let est = estimate_union(&referee, &parties, n).unwrap();
         let rel = (est - actual).abs() / actual;
         assert!(rel <= 0.2, "t={tp}");
-        t.row(&[
-            format!("{tp}"),
-            f(actual),
-            f(est),
-            pct(rel),
-        ]);
+        t.row(&[format!("{tp}"), f(actual), f(est), pct(rel)]);
     }
     t.print();
 
@@ -147,8 +145,7 @@ pub fn run() {
         let streams = correlated_streams(tp, len, 0.3, 0.25, 91);
         let mut rng = StdRng::seed_from_u64(17);
         let cfg = RandConfig::for_positions(n, 0.2, 0.05, &mut rng).unwrap();
-        let mut parties: Vec<UnionParty> =
-            (0..tp).map(|_| UnionParty::new(&cfg)).collect();
+        let mut parties: Vec<UnionParty> = (0..tp).map(|_| UnionParty::new(&cfg)).collect();
         for i in 0..len {
             for (j, p) in parties.iter_mut().enumerate() {
                 p.push_bit(streams[j][i]);

@@ -4,16 +4,42 @@
 //! claim is about the *worst case* per item (wave O(1) vs EH O(log N)
 //! cascades), so this module measures per-item latency maxima and high
 //! quantiles directly.
+//!
+//! Samples land in the shared [`waves_obs::LogHistogram`], so the
+//! offline harness and live `--stats` runs agree on one definition of a
+//! quantile: the ceiling-rank convention of
+//! [`waves_obs::HistogramSnapshot::quantile`]. (An earlier version
+//! indexed the sorted samples at `floor((n - 1) * p)`, which truncates
+//! the rank downward — on 1000 samples with one slow outlier it
+//! reported the fast cluster as the p99.9.)
 
 use std::time::Instant;
+use waves_obs::{HistogramSnapshot, LogHistogram};
 
 /// Per-item latency distribution summary, in nanoseconds.
 #[derive(Debug, Clone, Copy)]
 pub struct LatencyStats {
     pub mean_ns: f64,
     pub p50_ns: f64,
+    pub p99_ns: f64,
     pub p999_ns: f64,
     pub max_ns: f64,
+}
+
+impl LatencyStats {
+    /// Summarize a histogram snapshot under the shared quantile
+    /// definition. `max_ns` is exact (the histogram tracks the true
+    /// maximum); the quantiles carry the bucketing's <=6.25% relative
+    /// quantization error.
+    pub fn from_snapshot(s: &HistogramSnapshot) -> Self {
+        LatencyStats {
+            mean_ns: s.mean(),
+            p50_ns: s.p50(),
+            p99_ns: s.p99(),
+            p999_ns: s.p999(),
+            max_ns: s.max as f64,
+        }
+    }
 }
 
 /// Run `op` once per item of `items`, timing each call individually.
@@ -25,22 +51,13 @@ pub struct LatencyStats {
 /// jitter-free.
 pub fn per_item_latency<T, F: FnMut(&T)>(items: &[T], mut op: F) -> LatencyStats {
     assert!(!items.is_empty());
-    let mut samples: Vec<u64> = Vec::with_capacity(items.len());
+    let hist = LogHistogram::new();
     for it in items {
         let t0 = Instant::now();
         op(it);
-        samples.push(t0.elapsed().as_nanos() as u64);
+        hist.record(t0.elapsed().as_nanos() as u64);
     }
-    samples.sort_unstable();
-    let n = samples.len();
-    let sum: u64 = samples.iter().sum();
-    let q = |p: f64| samples[(((n - 1) as f64) * p) as usize] as f64;
-    LatencyStats {
-        mean_ns: sum as f64 / n as f64,
-        p50_ns: q(0.5),
-        p999_ns: q(0.999),
-        max_ns: samples[n - 1] as f64,
-    }
+    LatencyStats::from_snapshot(&hist.snapshot())
 }
 
 #[cfg(test)]
@@ -54,9 +71,65 @@ mod tests {
         let s = per_item_latency(&items, |&i| {
             acc = acc.wrapping_add(i);
         });
-        assert!(s.p50_ns <= s.p999_ns);
+        assert!(s.p50_ns <= s.p99_ns);
+        assert!(s.p99_ns <= s.p999_ns);
         assert!(s.p999_ns <= s.max_ns);
         assert!(s.mean_ns > 0.0);
         std::hint::black_box(acc);
+    }
+
+    #[test]
+    fn quantiles_pinned_on_known_sample() {
+        // 900 samples at 10ns, 99 at 100ns, 1 at 10000ns (n = 1000).
+        // Ceiling ranks: p50 -> rank 500 (10ns cluster), p99 -> rank
+        // 990 (100ns cluster), p999 -> rank 999 (still 100ns), max
+        // exact. The old floored `(n-1) * p` index agreed on p50/p99
+        // but the regression this pins is the convention itself.
+        let hist = LogHistogram::new();
+        hist.record_n(10, 900);
+        hist.record_n(100, 99);
+        hist.record(10_000);
+        let s = LatencyStats::from_snapshot(&hist.snapshot());
+        assert_eq!(s.p50_ns, 10.0);
+        assert!(
+            (s.p99_ns - 100.0).abs() / 100.0 <= 1.0 / 16.0,
+            "{}",
+            s.p99_ns
+        );
+        assert!(
+            (s.p999_ns - 100.0).abs() / 100.0 <= 1.0 / 16.0,
+            "{}",
+            s.p999_ns
+        );
+        assert_eq!(s.max_ns, 10_000.0);
+
+        // The tail case the floored index got wrong: 998 fast samples,
+        // 2 slow. ceil(0.999 * 1000) = 999 lands on the first slow
+        // sample; floor((999) * 0.999) = 998 (0-indexed 997) stayed in
+        // the fast cluster.
+        let hist = LogHistogram::new();
+        hist.record_n(10, 998);
+        hist.record_n(10_000, 2);
+        let s = LatencyStats::from_snapshot(&hist.snapshot());
+        assert!(
+            s.p999_ns >= 9_000.0,
+            "p999 must see the tail: {}",
+            s.p999_ns
+        );
+        assert_eq!(s.p50_ns, 10.0);
+    }
+
+    #[test]
+    fn single_sample_is_its_own_everything() {
+        let s = per_item_latency(&[1u64], |_| {});
+        assert!(s.p50_ns <= s.max_ns);
+        let hist = LogHistogram::new();
+        hist.record(42);
+        let s = LatencyStats::from_snapshot(&hist.snapshot());
+        assert_eq!(s.p50_ns, 42.0);
+        assert_eq!(s.p99_ns, 42.0);
+        assert_eq!(s.p999_ns, 42.0);
+        assert_eq!(s.max_ns, 42.0);
+        assert_eq!(s.mean_ns, 42.0);
     }
 }

@@ -21,13 +21,17 @@ OPTIONS:
     --delta <D>       failure probability (distinct) [default: 0.05]
     --max-value <R>   value bound (sum / distinct)   [default: 65535]
     --seed <S>        stored-coins seed (distinct)   [default: 42]
+    --stats           collect metrics (latency quantiles, structural
+                      counters) and dump them at end of stream
+    --json            render metrics dumps as JSON (implies --stats)
     --help            print this help
 
 INPUT PROTOCOL (one token per line):
     <value>     stream item
     ?           query the full window
     ? <n>       query the last n items
-    !           print a space report
+    !           print a space report (plus metrics under --stats)
+    ! json      print the space report as a single JSON line
     # ...       comment (ignored)
 ";
 
@@ -50,6 +54,10 @@ pub struct Config {
     pub delta: f64,
     pub max_value: u64,
     pub seed: u64,
+    /// Collect metrics and dump a snapshot at end of stream.
+    pub stats: bool,
+    /// Render metrics dumps as JSON (implies `stats`).
+    pub json: bool,
 }
 
 /// Argument errors.
@@ -99,6 +107,8 @@ pub fn parse(argv: &[String]) -> Result<Option<Config>, ArgError> {
         delta: 0.05,
         max_value: 65_535,
         seed: 42,
+        stats: false,
+        json: false,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -140,6 +150,15 @@ pub fn parse(argv: &[String]) -> Result<Option<Config>, ArgError> {
                 cfg.seed = v.parse().map_err(|_| bad(v))?;
                 i += 2;
             }
+            "--stats" => {
+                cfg.stats = true;
+                i += 1;
+            }
+            "--json" => {
+                cfg.stats = true;
+                cfg.json = true;
+                i += 1;
+            }
             other => return Err(ArgError::UnknownFlag(other.to_string())),
         }
     }
@@ -179,7 +198,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_input() {
-        assert_eq!(parse(&argv("frobnicate")), Err(ArgError::UnknownMode("frobnicate".into())));
+        assert_eq!(
+            parse(&argv("frobnicate")),
+            Err(ArgError::UnknownMode("frobnicate".into()))
+        );
         assert!(matches!(
             parse(&argv("count --window")),
             Err(ArgError::MissingValue(_))
@@ -198,5 +220,15 @@ mod tests {
     #[test]
     fn help_requests_none() {
         assert_eq!(parse(&argv("count --help")).unwrap(), None);
+    }
+
+    #[test]
+    fn stats_and_json_flags() {
+        let cfg = parse(&argv("count --stats")).unwrap().unwrap();
+        assert!(cfg.stats && !cfg.json);
+        let cfg = parse(&argv("count --json")).unwrap().unwrap();
+        assert!(cfg.stats && cfg.json, "--json implies --stats");
+        let cfg = parse(&argv("count")).unwrap().unwrap();
+        assert!(!cfg.stats && !cfg.json);
     }
 }

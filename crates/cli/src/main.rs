@@ -9,8 +9,13 @@
 //! Input protocol (one token per line):
 //! * `0` / `1` (count mode) or a nonnegative integer (sum / distinct);
 //! * `?` — query the full window; `? n` — query the last `n` items;
-//! * `!` — print a space report;
+//! * `!` — print a space report (plus a metrics snapshot under
+//!   `--stats`); `! json` — the space report as one JSON line;
 //! * `#...` — comment, ignored.
+//!
+//! With `--stats` every push and query is timed into log-bucketed
+//! histograms and a metrics snapshot is printed at end of stream
+//! (`--json` renders it as a single JSON object).
 //!
 //! Estimates print as `estimate <value> in [<lo>, <hi>] (exact|approx)`.
 

@@ -4,7 +4,9 @@ use crate::args::{Config, Mode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::Write;
+use std::time::Instant;
 use waves_core::{DetWave, Estimate, SlidingAverage, SumWave};
+use waves_obs::{HistId, JsonWriter, MetricId, MetricsRegistry, NoopRecorder, Recorder};
 use waves_rand::{DistinctParty, DistinctReferee, RandConfig};
 
 /// One synopsis, dispatched by mode.
@@ -25,8 +27,7 @@ impl Synopsis {
                 DetWave::new(cfg.window, cfg.eps).map_err(|e| e.to_string())?,
             )),
             Mode::Sum => Ok(Synopsis::Sum(
-                SumWave::new(cfg.window, cfg.max_value, cfg.eps)
-                    .map_err(|e| e.to_string())?,
+                SumWave::new(cfg.window, cfg.max_value, cfg.eps).map_err(|e| e.to_string())?,
             )),
             Mode::Average => Ok(Synopsis::Average(
                 SlidingAverage::with_eps(
@@ -40,14 +41,9 @@ impl Synopsis {
             )),
             Mode::Distinct => {
                 let mut rng = StdRng::seed_from_u64(cfg.seed);
-                let rc = RandConfig::for_values(
-                    cfg.window,
-                    cfg.max_value,
-                    cfg.eps,
-                    cfg.delta,
-                    &mut rng,
-                )
-                .map_err(|e| e.to_string())?;
+                let rc =
+                    RandConfig::for_values(cfg.window, cfg.max_value, cfg.eps, cfg.delta, &mut rng)
+                        .map_err(|e| e.to_string())?;
                 Ok(Synopsis::Distinct {
                     party: DistinctParty::new(&rc),
                     referee: DistinctReferee::new(rc),
@@ -56,16 +52,16 @@ impl Synopsis {
         }
     }
 
-    fn push(&mut self, v: u64) -> Result<(), String> {
+    fn push(&mut self, v: u64, rec: &dyn Recorder) -> Result<(), String> {
         match self {
             Synopsis::Count(w) => {
                 if v > 1 {
                     return Err(format!("count mode expects 0/1, got {v}"));
                 }
-                w.push_bit(v == 1);
+                w.push_bit_recorded(v == 1, rec);
                 Ok(())
             }
-            Synopsis::Sum(w) => w.push_value(v).map_err(|e| e.to_string()),
+            Synopsis::Sum(w) => w.push_value_recorded(v, rec).map_err(|e| e.to_string()),
             Synopsis::Distinct { party, .. } => {
                 party.push_value(v);
                 Ok(())
@@ -81,9 +77,11 @@ impl Synopsis {
         }
     }
 
-    fn query(&self, n: u64) -> Result<String, String> {
+    fn query(&self, n: u64, rec: &dyn Recorder) -> Result<String, String> {
         match self {
-            Synopsis::Count(w) => Ok(render(&w.query(n).map_err(|e| e.to_string())?)),
+            Synopsis::Count(w) => Ok(render(
+                &w.query_recorded(n, rec).map_err(|e| e.to_string())?,
+            )),
             Synopsis::Sum(w) => Ok(render(&w.query(n).map_err(|e| e.to_string())?)),
             Synopsis::Distinct { party, referee } => {
                 let msg = party.message(n).map_err(|e| e.to_string())?;
@@ -108,6 +106,47 @@ impl Synopsis {
             Synopsis::Distinct { party: _, referee } => referee.config().max_window(),
             Synopsis::Average(a) => a.window(),
         }
+    }
+
+    /// The `! json` line: the space report (or this mode's equivalent
+    /// stats) as one JSON object.
+    fn stats_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        match self {
+            Synopsis::Count(wave) => {
+                let r = wave.space_report();
+                w.field_str("mode", "count");
+                w.field_u64("pos", wave.pos());
+                w.field_u64("rank", wave.rank());
+                w.field_u64("entries", r.entries as u64);
+                w.field_u64("synopsis_bits", r.synopsis_bits);
+                w.field_u64("resident_bytes", r.resident_bytes as u64);
+            }
+            Synopsis::Sum(wave) => {
+                let r = wave.space_report();
+                w.field_str("mode", "sum");
+                w.field_u64("pos", wave.pos());
+                w.field_u64("total", wave.total());
+                w.field_u64("entries", r.entries as u64);
+                w.field_u64("synopsis_bits", r.synopsis_bits);
+                w.field_u64("resident_bytes", r.resident_bytes as u64);
+            }
+            Synopsis::Distinct { party, referee } => {
+                w.field_str("mode", "distinct");
+                w.field_u64("pos", party.pos());
+                w.field_u64("stored", party.stored() as u64);
+                w.field_u64("instances", referee.config().instances() as u64);
+                w.field_u64("levels", referee.config().degree() as u64 + 1);
+            }
+            Synopsis::Average(a) => {
+                w.field_str("mode", "average");
+                w.field_u64("window", a.window());
+                w.field_f64("eps", a.eps());
+            }
+        }
+        w.end_object();
+        w.finish()
     }
 
     fn stats(&self) -> String {
@@ -141,11 +180,7 @@ impl Synopsis {
                 referee.config().instances(),
                 referee.config().degree() + 1
             ),
-            Synopsis::Average(a) => format!(
-                "window {} eps {}",
-                a.window(),
-                a.eps()
-            ),
+            Synopsis::Average(a) => format!("window {} eps {}", a.window(), a.eps()),
         }
     }
 }
@@ -167,6 +202,11 @@ where
     W: Write,
 {
     let mut syn = Synopsis::build(&cfg)?;
+    // Under --stats every push and query is timed and counted; without
+    // it the noop recorder keeps the hot path identical to the plain
+    // library calls.
+    let registry = cfg.stats.then(MetricsRegistry::new);
+    let noop = NoopRecorder;
     for (lineno, line) in lines.enumerate() {
         let line = line.map_err(|e| e.to_string())?;
         let tok = line.trim();
@@ -181,20 +221,40 @@ where
                 n.parse::<u64>()
                     .map_err(|_| format!("line {}: bad query '{tok}'", lineno + 1))?
             };
-            let ans = syn
-                .query(n)
-                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let ans = match &registry {
+                Some(reg) => {
+                    let started = Instant::now();
+                    let ans = syn.query(n, reg);
+                    reg.observe(HistId::QueryLatencyNs, started.elapsed().as_nanos() as u64);
+                    reg.incr(MetricId::CliQueries, 1);
+                    ans
+                }
+                None => syn.query(n, &noop),
+            }
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
             writeln!(out, "{ans}").map_err(|e| e.to_string())?;
             continue;
         }
-        if tok == "!" {
-            writeln!(out, "{}", syn.stats()).map_err(|e| e.to_string())?;
+        if let Some(rest) = tok.strip_prefix('!') {
+            match rest.trim() {
+                "" => {
+                    writeln!(out, "{}", syn.stats()).map_err(|e| e.to_string())?;
+                    if let Some(reg) = &registry {
+                        write_metrics(reg, cfg.json, out)?;
+                    }
+                }
+                "json" => {
+                    writeln!(out, "{}", syn.stats_json()).map_err(|e| e.to_string())?;
+                }
+                _ => {
+                    return Err(format!("line {}: bad command '{tok}'", lineno + 1));
+                }
+            }
             continue;
         }
         if matches!(syn, Synopsis::Average(_)) {
             let mut parts = tok.split_whitespace();
-            let (Some(a), Some(b), None) = (parts.next(), parts.next(), parts.next())
-            else {
+            let (Some(a), Some(b), None) = (parts.next(), parts.next(), parts.next()) else {
                 return Err(format!(
                     "line {}: average mode expects '<ts> <value>'",
                     lineno + 1
@@ -206,17 +266,44 @@ where
             let v: u64 = b
                 .parse()
                 .map_err(|_| format!("line {}: bad value '{b}'", lineno + 1))?;
+            let started = registry.as_ref().map(|_| Instant::now());
             syn.push_record(ts, v)
                 .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            if let (Some(reg), Some(t0)) = (&registry, started) {
+                reg.observe(HistId::PushLatencyNs, t0.elapsed().as_nanos() as u64);
+                reg.incr(MetricId::CliItems, 1);
+            }
             continue;
         }
         let v: u64 = tok
             .parse()
             .map_err(|_| format!("line {}: bad item '{tok}'", lineno + 1))?;
-        syn.push(v)
-            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        match &registry {
+            Some(reg) => {
+                let started = Instant::now();
+                let res = syn.push(v, reg);
+                reg.observe(HistId::PushLatencyNs, started.elapsed().as_nanos() as u64);
+                reg.incr(MetricId::CliItems, 1);
+                res
+            }
+            None => syn.push(v, &noop),
+        }
+        .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+    }
+    if let Some(reg) = &registry {
+        write_metrics(reg, cfg.json, out)?;
     }
     Ok(())
+}
+
+/// Dump a metrics snapshot: multi-line text, or one JSON line.
+fn write_metrics<W: Write>(reg: &MetricsRegistry, json: bool, out: &mut W) -> Result<(), String> {
+    let snap = reg.snapshot();
+    if json {
+        writeln!(out, "{}", snap.to_json()).map_err(|e| e.to_string())
+    } else {
+        write!(out, "{}", snap.to_text()).map_err(|e| e.to_string())
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +326,8 @@ mod tests {
             delta: 0.05,
             max_value: 1,
             seed: 1,
+            stats: false,
+            json: false,
         }
     }
 
@@ -285,6 +374,8 @@ mod tests {
             delta: 0.05,
             max_value: 100,
             seed: 1,
+            stats: false,
+            json: false,
         };
         let out = run_lines(cfg, "10\n20\n30\n40\n50\n?\n").unwrap();
         // Window of 4: 20+30+40+50 = 140.
@@ -300,6 +391,8 @@ mod tests {
             delta: 0.3,
             max_value: 255,
             seed: 1,
+            stats: false,
+            json: false,
         };
         let out = run_lines(cfg, "5\n5\n9\n5\n?\n").unwrap();
         assert!(out.contains("estimate 2"), "{out}");
@@ -314,6 +407,8 @@ mod tests {
             delta: 0.05,
             max_value: 100,
             seed: 1,
+            stats: false,
+            json: false,
         };
         let out = run_lines(cfg.clone(), "1 10\n2 20\n3 30\n?\n").unwrap();
         assert!(out.contains("estimate 20"), "{out}");
@@ -329,5 +424,89 @@ mod tests {
     fn oversized_query_is_an_error() {
         let err = run_lines(count_cfg(8), "1\n? 9\n").unwrap_err();
         assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn stats_flag_dumps_metrics_text() {
+        let mut cfg = count_cfg(8);
+        cfg.stats = true;
+        let out = run_lines(cfg, "1\n0\n1\n?\n? 2\n").unwrap();
+        assert!(out.contains("== metrics =="), "{out}");
+        assert!(out.contains("cli_items_total              3"), "{out}");
+        assert!(out.contains("cli_queries_total            2"), "{out}");
+        // Wave structural counters flow through from the recorded path.
+        assert!(out.contains("wave_pushes_total            3"), "{out}");
+        assert!(out.contains("wave_ones_total              2"), "{out}");
+        // Exact-vs-approx classification: tiny stream, both exact.
+        assert!(out.contains("wave_queries_exact           2"), "{out}");
+        // Latency quantiles from the timed push path.
+        assert!(out.contains("push_latency_ns"), "{out}");
+        assert!(out.contains("p999="), "{out}");
+        assert!(out.contains("query_latency_ns"), "{out}");
+    }
+
+    #[test]
+    fn json_flag_dumps_metrics_json() {
+        let mut cfg = count_cfg(8);
+        cfg.stats = true;
+        cfg.json = true;
+        let out = run_lines(cfg, "1\n0\n?\n").unwrap();
+        // Last line is one JSON object with counters and histograms.
+        let last = out.lines().last().unwrap();
+        assert!(last.starts_with('{') && last.ends_with('}'), "{last}");
+        assert!(last.contains(r#""cli_items_total":2"#), "{last}");
+        assert!(last.contains(r#""cli_queries_total":1"#), "{last}");
+        assert!(last.contains(r#""wave_queries_exact":1"#), "{last}");
+        assert!(last.contains(r#""push_latency_ns":{"count":2"#), "{last}");
+        assert!(last.contains(r#""p999":"#), "{last}");
+        // No metrics lines except the final dump (text stays clean).
+        assert_eq!(out.matches("cli_items_total").count(), 1);
+    }
+
+    #[test]
+    fn bang_json_emits_space_report_line() {
+        let out = run_lines(count_cfg(8), "1\n1\n! json\n").unwrap();
+        let line = out
+            .lines()
+            .find(|l| l.starts_with('{'))
+            .expect("json stats line");
+        assert!(line.contains(r#""mode":"count""#), "{line}");
+        assert!(line.contains(r#""pos":2"#), "{line}");
+        assert!(line.contains(r#""rank":2"#), "{line}");
+        assert!(line.contains(r#""synopsis_bits":"#), "{line}");
+        assert!(line.contains(r#""resident_bytes":"#), "{line}");
+        assert!(line.contains(r#""entries":"#), "{line}");
+        // Sum mode reports its own fields.
+        let cfg = Config {
+            mode: Mode::Sum,
+            window: 4,
+            eps: 0.25,
+            delta: 0.05,
+            max_value: 100,
+            seed: 1,
+            stats: false,
+            json: false,
+        };
+        let out = run_lines(cfg, "10\n20\n! json\n").unwrap();
+        assert!(out.contains(r#""mode":"sum""#), "{out}");
+        assert!(out.contains(r#""total":30"#), "{out}");
+    }
+
+    #[test]
+    fn bang_with_metrics_under_stats() {
+        let mut cfg = count_cfg(8);
+        cfg.stats = true;
+        let out = run_lines(cfg, "1\n!\n").unwrap();
+        // `!` prints the space line followed by the metrics snapshot.
+        assert!(out.contains("pos 1 rank 1"), "{out}");
+        let bang_idx = out.find("pos 1 rank 1").unwrap();
+        let metrics_idx = out.find("== metrics ==").unwrap();
+        assert!(metrics_idx > bang_idx);
+    }
+
+    #[test]
+    fn bad_bang_command_is_an_error() {
+        let err = run_lines(count_cfg(8), "! frob\n").unwrap_err();
+        assert!(err.contains("bad command"), "{err}");
     }
 }

@@ -87,11 +87,7 @@ impl SlidingAverage {
     /// `window`: time units; `max_items_per_window` (the Corollary 1
     /// `U`); `max_value`: the value bound `R`. Overall error defaults
     /// to 0.1.
-    pub fn new(
-        window: u64,
-        max_items_per_window: u64,
-        max_value: u64,
-    ) -> Result<Self, WaveError> {
+    pub fn new(window: u64, max_items_per_window: u64, max_value: u64) -> Result<Self, WaveError> {
         Self::with_eps(window, max_items_per_window, max_value, 0.1)
     }
 

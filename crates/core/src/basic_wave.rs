@@ -230,7 +230,9 @@ mod tests {
         // Deterministic pseudo-random bits.
         let mut x = 0x12345u64;
         for step in 0..4_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = (x >> 33) & 1 == 1;
             w.push_bit(b);
             oracle.push_bit(b);
@@ -259,7 +261,10 @@ mod tests {
         let w = BasicWave::new(8, 0.5).unwrap();
         assert!(matches!(
             w.query(9),
-            Err(WaveError::WindowTooLarge { requested: 9, max: 8 })
+            Err(WaveError::WindowTooLarge {
+                requested: 9,
+                max: 8
+            })
         ));
     }
 

@@ -282,4 +282,3 @@ mod tests {
         assert_eq!(r.read_bit(), Err(CodecError::UnexpectedEnd));
     }
 }
-

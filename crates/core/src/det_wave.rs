@@ -23,6 +23,16 @@ use crate::level::rank_level;
 use crate::space::{delta_coded_bits, elias_gamma_bits};
 use crate::window::ModRing;
 
+/// Which query counter an estimate belongs to.
+#[inline]
+pub(crate) fn classify_query(est: &Estimate) -> waves_obs::MetricId {
+    if est.exact {
+        waves_obs::MetricId::WaveQueriesExact
+    } else {
+        waves_obs::MetricId::WaveQueriesApprox
+    }
+}
+
 /// One stored wave entry: a 1-bit's stream position and 1-rank, plus the
 /// level whose queue owns it.
 #[derive(Debug, Clone, Copy)]
@@ -76,7 +86,11 @@ impl DetWave {
         let mut queues = Vec::with_capacity(num_levels as usize);
         let mut total_cap = 0usize;
         for lvl in 0..num_levels {
-            let cap = if lvl + 1 == num_levels { top_cap } else { lower_cap };
+            let cap = if lvl + 1 == num_levels {
+                top_cap
+            } else {
+                lower_cap
+            };
             total_cap += cap;
             queues.push(Fifo::new(cap));
         }
@@ -161,6 +175,48 @@ impl DetWave {
         }
     }
 
+    /// [`DetWave::push_bit`] with structural instrumentation reported
+    /// into `rec`. Monomorphized over the recorder: with
+    /// [`waves_obs::NoopRecorder`] every recorder call is an empty
+    /// inline body and this compiles to the uninstrumented push (the
+    /// `obs-overhead` experiment in `waves-bench` checks the overhead
+    /// stays within noise). The `push_recorded_matches_plain_push` test
+    /// guards the two bodies against drifting apart.
+    #[inline]
+    pub fn push_bit_recorded<R: waves_obs::Recorder + ?Sized>(&mut self, b: bool, rec: &R) {
+        use waves_obs::MetricId;
+        self.pos += 1;
+        let live_before = self.chain.len();
+        self.expire();
+        rec.incr(MetricId::WavePushesTotal, 1);
+        let expired = (live_before - self.chain.len()) as u64;
+        if expired > 0 {
+            rec.incr(MetricId::WaveEntriesExpired, expired);
+        }
+        if b {
+            self.rank += 1;
+            rec.incr(MetricId::WaveOnesTotal, 1);
+            rec.incr(MetricId::WaveLevelOracleCalls, 1);
+            let j = rank_level(self.rank).min(self.num_levels - 1) as usize;
+            if self.queues[j].is_full() {
+                let old = self.queues[j].pop_front().expect("full queue has a front");
+                self.chain.remove(old);
+                rec.incr(MetricId::WaveEntriesEvicted, 1);
+                rec.event(waves_obs::Event {
+                    name: "wave_evict",
+                    fields: &[("level", j as u64), ("pos", self.pos)],
+                });
+            }
+            let id = self.chain.push_back(Entry {
+                pos: self.pos,
+                rank: self.rank,
+                level: j as u8,
+            });
+            self.queues[j].push_back(id);
+            rec.incr(MetricId::WaveEntriesStored, 1);
+        }
+    }
+
     /// Advance the stream by `count` 0-bits at once (used when a party
     /// observes a gap in a shared position space — Scenario 2). Amortized
     /// O(1) per expired entry.
@@ -198,6 +254,26 @@ impl DetWave {
             return Estimate::exact(self.rank + 1 - e.rank);
         }
         wave_estimate(self.rank, self.r1, e.rank)
+    }
+
+    /// [`DetWave::query_max`] plus exact-vs-approx classification: the
+    /// recorder's `wave_queries_exact` / `wave_queries_approx` counters
+    /// measure how often the synopsis answers with zero error.
+    pub fn query_max_recorded<R: waves_obs::Recorder + ?Sized>(&self, rec: &R) -> Estimate {
+        let est = self.query_max();
+        rec.incr(classify_query(&est), 1);
+        est
+    }
+
+    /// [`DetWave::query`] plus exact-vs-approx classification.
+    pub fn query_recorded<R: waves_obs::Recorder + ?Sized>(
+        &self,
+        n: u64,
+        rec: &R,
+    ) -> Result<Estimate, WaveError> {
+        let est = self.query(n)?;
+        rec.incr(classify_query(&est), 1);
+        Ok(est)
     }
 
     /// Estimate the count over any window `n <= N`, by walking the
@@ -544,7 +620,7 @@ mod tests {
         assert!(r.entries > 0);
         assert!(r.synopsis_bits > 0);
         assert!(r.resident_bytes > r.entries); // bytes >> entries
-        // Theoretical bits should be far less than exact storage (N bits).
+                                               // Theoretical bits should be far less than exact storage (N bits).
         assert!(r.synopsis_bits < 1 << 12);
     }
 
@@ -566,11 +642,7 @@ mod tests {
                 while idx + 1 < profile.len() && profile[idx + 1].0 <= n {
                     idx += 1;
                 }
-                assert_eq!(
-                    profile[idx].1,
-                    w.query(n).unwrap(),
-                    "seed={seed} n={n}"
-                );
+                assert_eq!(profile[idx].1, w.query(n).unwrap(), "seed={seed} n={n}");
             }
         }
     }
@@ -634,8 +706,7 @@ mod tests {
             for i in 0..5000u64 {
                 w.push_bit(i % 3 == 0);
             }
-            let w2 = DetWave::decode(&w.encode())
-                .unwrap_or_else(|e| panic!("k={k_target}: {e}"));
+            let w2 = DetWave::decode(&w.encode()).unwrap_or_else(|e| panic!("k={k_target}: {e}"));
             assert_eq!(w.query_max(), w2.query_max());
         }
     }
@@ -672,6 +743,84 @@ mod tests {
         // Either an error or, at worst, a *valid* different synopsis —
         // never a panic.
         let _ = DetWave::decode(&flipped);
+    }
+
+    #[test]
+    fn push_recorded_matches_plain_push() {
+        // `push_bit` and `push_bit_recorded` are deliberately separate
+        // bodies (so the uninstrumented path stays byte-identical to the
+        // seed); this pins them to identical behavior.
+        let mut plain = DetWave::new(256, 0.1).unwrap();
+        let mut recorded = DetWave::new(256, 0.1).unwrap();
+        let rec = waves_obs::NoopRecorder;
+        for (i, b) in lcg_bits(21, 4000, 3, 1).into_iter().enumerate() {
+            plain.push_bit(b);
+            recorded.push_bit_recorded(b, &rec);
+            if i % 17 == 0 {
+                assert_eq!(plain.query_max(), recorded.query_max(), "i={i}");
+                assert_eq!(plain.entries(), recorded.entries());
+                assert_eq!(plain.encode(), recorded.encode(), "i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn recorded_counters_are_consistent() {
+        let reg = waves_obs::MetricsRegistry::new();
+        let mut w = DetWave::new(64, 0.25).unwrap();
+        let bits = lcg_bits(5, 3000, 2, 1);
+        let ones = bits.iter().filter(|&&b| b).count() as u64;
+        for b in bits {
+            w.push_bit_recorded(b, &reg);
+        }
+        use waves_obs::MetricId as M;
+        assert_eq!(reg.counter(M::WavePushesTotal), 3000);
+        assert_eq!(reg.counter(M::WaveOnesTotal), ones);
+        assert_eq!(reg.counter(M::WaveLevelOracleCalls), ones);
+        // Every 1 was stored; everything not live was expired or evicted.
+        assert_eq!(reg.counter(M::WaveEntriesStored), ones);
+        assert_eq!(
+            reg.counter(M::WaveEntriesStored)
+                - reg.counter(M::WaveEntriesExpired)
+                - reg.counter(M::WaveEntriesEvicted),
+            w.entries() as u64,
+        );
+        assert!(
+            reg.counter(M::WaveEntriesEvicted) > 0,
+            "dense stream evicts"
+        );
+    }
+
+    #[test]
+    fn recorded_queries_classified() {
+        let reg = waves_obs::MetricsRegistry::new();
+        let mut w = DetWave::new(32, 0.5).unwrap();
+        for i in 0..500u64 {
+            w.push_bit_recorded(i % 2 == 0, &reg);
+        }
+        let n_queries = 40u64;
+        for n in 1..=n_queries {
+            w.query_recorded(n % 32 + 1, &reg).unwrap();
+        }
+        w.query_max_recorded(&reg);
+        use waves_obs::MetricId as M;
+        let exact = reg.counter(M::WaveQueriesExact);
+        let approx = reg.counter(M::WaveQueriesApprox);
+        assert_eq!(exact + approx, n_queries + 1);
+        assert!(approx > 0, "eps=0.5 over a dense stream must approximate");
+    }
+
+    #[test]
+    fn eviction_events_reach_sink() {
+        let sink = waves_obs::BufferSink::new();
+        let mut w = DetWave::new(16, 0.5).unwrap();
+        for _ in 0..200 {
+            w.push_bit_recorded(true, &sink);
+        }
+        let events = sink.drain();
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.name == "wave_evict"));
+        assert!(events[0].fields.iter().any(|&(k, _)| k == "level"));
     }
 
     #[test]

@@ -46,25 +46,14 @@ impl WindowedHistogram {
     /// Custom bucket edges: bucket `i` covers `[edges[i-1], edges[i])`
     /// (with an implicit 0 lower bound for the first bucket). Edges must
     /// be strictly increasing and nonzero.
-    pub fn with_edges(
-        max_window: u64,
-        edges: Vec<u64>,
-        eps: f64,
-    ) -> Result<Self, WaveError> {
-        if edges.is_empty()
-            || edges[0] == 0
-            || edges.windows(2).any(|w| w[0] >= w[1])
-        {
+    pub fn with_edges(max_window: u64, edges: Vec<u64>, eps: f64) -> Result<Self, WaveError> {
+        if edges.is_empty() || edges[0] == 0 || edges.windows(2).any(|w| w[0] >= w[1]) {
             return Err(WaveError::InvalidWindow(0));
         }
         Self::with_edges_impl(max_window, edges, eps)
     }
 
-    fn with_edges_impl(
-        max_window: u64,
-        edges: Vec<u64>,
-        eps: f64,
-    ) -> Result<Self, WaveError> {
+    fn with_edges_impl(max_window: u64, edges: Vec<u64>, eps: f64) -> Result<Self, WaveError> {
         let waves = edges
             .iter()
             .map(|_| DetWave::new(max_window, eps))
@@ -239,8 +228,7 @@ mod tests {
                 let ests = h.query(n).unwrap();
                 for (b, est) in ests.iter().enumerate() {
                     let (lo, hi) = h.bucket_range(b);
-                    let actual =
-                        window.iter().filter(|&&v| v >= lo && v <= hi).count() as u64;
+                    let actual = window.iter().filter(|&&v| v >= lo && v <= hi).count() as u64;
                     assert!(est.brackets(actual), "bucket {b}");
                     assert!(est.relative_error(actual) <= eps + 1e-9, "bucket {b}");
                 }
@@ -259,7 +247,11 @@ mod tests {
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
             // Skewed values: mostly small, occasional large.
-            let v = if (x >> 60) == 0 { (x >> 33) % (r + 1) } else { (x >> 33) % 64 };
+            let v = if (x >> 60) == 0 {
+                (x >> 33) % (r + 1)
+            } else {
+                (x >> 33) % 64
+            };
             h.push_value(v).unwrap();
             window.push_back(v);
             if window.len() as u64 > n {

@@ -61,7 +61,11 @@ impl NthRecentWave {
         let mut queues = Vec::with_capacity(num_levels as usize);
         let mut total_cap = 0usize;
         for lvl in 0..num_levels {
-            let cap = if lvl + 1 == num_levels { top_cap } else { lower_cap };
+            let cap = if lvl + 1 == num_levels {
+                top_cap
+            } else {
+                lower_cap
+            };
             total_cap += cap;
             queues.push(Fifo::new(cap));
         }
@@ -279,7 +283,9 @@ mod tests {
             oracle.push(b);
             if step % 293 == 0 {
                 for n in [1u64, 5, 50, 200] {
-                    let Some(actual) = oracle.age(n) else { continue };
+                    let Some(actual) = oracle.age(n) else {
+                        continue;
+                    };
                     if actual >= max_age {
                         continue;
                     }

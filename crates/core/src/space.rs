@@ -86,8 +86,6 @@ mod tests {
         assert!(det_wave_bound_bits(0.01, 1 << 16) > det_wave_bound_bits(0.1, 1 << 16));
         assert!(det_wave_bound_bits(0.1, 1 << 20) > det_wave_bound_bits(0.1, 1 << 10));
         assert!(datar_lower_bound_bits(64, 1 << 16) > datar_lower_bound_bits(8, 1 << 16));
-        assert!(
-            rand_wave_bound_bits(0.1, 0.01, 1 << 16) > rand_wave_bound_bits(0.1, 0.1, 1 << 16)
-        );
+        assert!(rand_wave_bound_bits(0.1, 0.01, 1 << 16) > rand_wave_bound_bits(0.1, 0.1, 1 << 16));
     }
 }

@@ -66,10 +66,7 @@ impl SumWave {
             return Err(WaveError::InvalidWindow(0));
         }
         if max_value == 0 {
-            return Err(WaveError::ValueTooLarge {
-                value: 0,
-                max: 0,
-            });
+            return Err(WaveError::ValueTooLarge { value: 0, max: 0 });
         }
         let nr = max_window
             .checked_mul(max_value)
@@ -156,6 +153,52 @@ impl SumWave {
                 level: j as u8,
             });
             self.queues[j].push_back(id);
+        }
+        Ok(())
+    }
+
+    /// [`SumWave::push_value`] with structural instrumentation reported
+    /// into `rec` (see [`crate::det_wave::DetWave::push_bit_recorded`]
+    /// for the monomorphization contract).
+    #[inline]
+    pub fn push_value_recorded<R: waves_obs::Recorder + ?Sized>(
+        &mut self,
+        v: u64,
+        rec: &R,
+    ) -> Result<(), WaveError> {
+        use waves_obs::MetricId;
+        if v > self.max_value {
+            return Err(WaveError::ValueTooLarge {
+                value: v,
+                max: self.max_value,
+            });
+        }
+        self.pos += 1;
+        let live_before = self.chain.len();
+        self.expire();
+        rec.incr(MetricId::WavePushesTotal, 1);
+        let expired = (live_before - self.chain.len()) as u64;
+        if expired > 0 {
+            rec.incr(MetricId::WaveEntriesExpired, expired);
+        }
+        if v > 0 {
+            rec.incr(MetricId::WaveOnesTotal, 1);
+            rec.incr(MetricId::WaveLevelOracleCalls, 1);
+            let j = sum_level(self.total, v).min(self.num_levels - 1) as usize;
+            self.total += v;
+            if self.queues[j].is_full() {
+                let old = self.queues[j].pop_front().expect("full queue has a front");
+                self.chain.remove(old);
+                rec.incr(MetricId::WaveEntriesEvicted, 1);
+            }
+            let id = self.chain.push_back(Entry {
+                pos: self.pos,
+                v,
+                z: self.total,
+                level: j as u8,
+            });
+            self.queues[j].push_back(id);
+            rec.incr(MetricId::WaveEntriesStored, 1);
         }
         Ok(())
     }
@@ -528,5 +571,42 @@ mod tests {
         let r = w.space_report();
         assert!(r.entries > 0 && r.synopsis_bits > 0);
     }
-}
 
+    #[test]
+    fn push_recorded_matches_plain_push() {
+        let mut plain = SumWave::new(128, 50, 0.2).unwrap();
+        let mut recorded = SumWave::new(128, 50, 0.2).unwrap();
+        let rec = waves_obs::NoopRecorder;
+        for (i, v) in lcg_vals(11, 3000, 50).into_iter().enumerate() {
+            plain.push_value(v).unwrap();
+            recorded.push_value_recorded(v, &rec).unwrap();
+            if i % 13 == 0 {
+                assert_eq!(plain.query_max(), recorded.query_max(), "i={i}");
+                assert_eq!(plain.entries(), recorded.entries());
+            }
+        }
+        // Oversized values are rejected without consuming the item.
+        assert!(recorded.push_value_recorded(51, &rec).is_err());
+        assert_eq!(plain.pos(), recorded.pos());
+    }
+
+    #[test]
+    fn recorded_counters_are_consistent() {
+        let reg = waves_obs::MetricsRegistry::new();
+        let mut w = SumWave::new(64, 20, 0.25).unwrap();
+        let vals = lcg_vals(17, 2000, 20);
+        let nonzero = vals.iter().filter(|&&v| v > 0).count() as u64;
+        for v in vals {
+            w.push_value_recorded(v, &reg).unwrap();
+        }
+        use waves_obs::MetricId as M;
+        assert_eq!(reg.counter(M::WavePushesTotal), 2000);
+        assert_eq!(reg.counter(M::WaveEntriesStored), nonzero);
+        assert_eq!(
+            reg.counter(M::WaveEntriesStored)
+                - reg.counter(M::WaveEntriesExpired)
+                - reg.counter(M::WaveEntriesEvicted),
+            w.entries() as u64,
+        );
+    }
+}

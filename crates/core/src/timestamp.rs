@@ -81,7 +81,11 @@ impl TimestampWave {
         let mut queues = Vec::with_capacity(num_levels as usize);
         let mut total_cap = 0usize;
         for lvl in 0..num_levels {
-            let cap = if lvl + 1 == num_levels { top_cap } else { lower_cap };
+            let cap = if lvl + 1 == num_levels {
+                top_cap
+            } else {
+                lower_cap
+            };
             total_cap += cap;
             queues.push(Fifo::new(cap));
         }
@@ -334,7 +338,11 @@ mod tests {
             if bit {
                 self.ones.push_back(position);
             }
-            while self.ones.front().is_some_and(|&p| p + self.max_window <= self.cur) {
+            while self
+                .ones
+                .front()
+                .is_some_and(|&p| p + self.max_window <= self.cur)
+            {
                 self.ones.pop_front();
             }
         }

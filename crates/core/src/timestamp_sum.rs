@@ -54,7 +54,13 @@ impl TimestampSumWave {
         if !(eps > 0.0 && eps < 1.0) {
             return Err(WaveError::InvalidEpsilon(eps));
         }
-        Self::with_k(max_window, max_items, max_value, (1.0 / eps).ceil() as u64, eps)
+        Self::with_k(
+            max_window,
+            max_items,
+            max_value,
+            (1.0 / eps).ceil() as u64,
+            eps,
+        )
     }
 
     /// Build from `k = ceil(1/eps)` directly (used by decode; the f64
@@ -400,8 +406,7 @@ mod tests {
         for t in 1..=500u64 {
             w.push(t, t % 2).unwrap();
         }
-        let w2 =
-            TimestampSumWave::decode(&w.encode()).expect("valid encode must decode");
+        let w2 = TimestampSumWave::decode(&w.encode()).expect("valid encode must decode");
         assert_eq!(w.query(100).unwrap(), w2.query(100).unwrap());
     }
 

@@ -80,11 +80,9 @@ impl BitSynopsis for crate::basic_wave::BasicWave {
         let bits: u64 = contents
             .iter()
             .flat_map(|lv| {
-                lv.iter()
-                    .map(|&(p, r)| {
-                        crate::space::elias_gamma_bits(p + 1)
-                            + crate::space::elias_gamma_bits(r + 1)
-                    })
+                lv.iter().map(|&(p, r)| {
+                    crate::space::elias_gamma_bits(p + 1) + crate::space::elias_gamma_bits(r + 1)
+                })
             })
             .sum();
         SpaceReport {

@@ -27,7 +27,11 @@ impl ModRing {
         let need = n.checked_mul(2).expect("window too large");
         let bits = 64 - (need - 1).leading_zeros();
         ModRing {
-            mask: if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 },
+            mask: if bits >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            },
             bits,
         }
     }

@@ -1,0 +1,340 @@
+//! Vendored stand-in for the `criterion` 0.5 API subset this workspace
+//! uses.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors a std-only bench harness covering exactly the surface its
+//! benches consume: `criterion_group!`/`criterion_main!` (both forms),
+//! [`Criterion`] with `sample_size`/`measurement_time`/`warm_up_time`,
+//! benchmark groups with [`Throughput`], [`BenchmarkId`], and
+//! [`Bencher::iter`].
+//!
+//! Measurement model: each `iter` call is timed over batches sized so a
+//! batch lasts ≥ ~1ms, for the configured measurement time; the harness
+//! reports the per-iteration mean, min and max across batches, plus
+//! throughput when configured. Results print to stdout — there are no
+//! HTML reports or saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2);
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let cfg = self.clone();
+        run_benchmark(&cfg, None, &id.render(), None, f);
+        self
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::new(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// Work per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A named set of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let cfg = self.criterion.clone();
+        run_benchmark(&cfg, Some(&self.name), &id.render(), self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let cfg = self.criterion.clone();
+        run_benchmark(&cfg, Some(&self.name), &id.render(), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; time the routine with [`Bencher::iter`].
+pub struct Bencher {
+    config: Criterion,
+    /// Per-iteration nanoseconds across measurement batches.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: run until the routine has cost at least ~1ms total,
+        // doubling the batch size, so per-call timer error amortizes.
+        let mut batch = 1u64;
+        let batch_floor = Duration::from_millis(1);
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            if t0.elapsed() >= batch_floor || batch >= 1 << 30 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Warm up.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_deadline {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+        }
+        // Measure `sample_size` batches within the measurement budget.
+        let deadline = Instant::now() + self.config.measurement_time;
+        for _ in 0..self.config.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples
+                .push(t0.elapsed().as_nanos() as f64 / batch as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F>(
+    cfg: &Criterion,
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        config: cfg.clone(),
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if b.samples.is_empty() {
+        println!("{label:<50} (no samples — closure never called iter)");
+        return;
+    }
+    let n = b.samples.len() as f64;
+    let mean = b.samples.iter().sum::<f64>() / n;
+    let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b.samples.iter().cloned().fold(0.0f64, f64::max);
+    let thrpt = match throughput {
+        Some(Throughput::Elements(e)) => {
+            format!("  thrpt: {:>10.2} Melem/s", e as f64 / mean * 1e3 / 1e6)
+        }
+        Some(Throughput::Bytes(by)) => {
+            format!(
+                "  thrpt: {:>10.2} MiB/s",
+                by as f64 / mean * 1e9 / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!("{label:<50} time: [{min:>12.2} ns {mean:>12.2} ns {max:>12.2} ns]{thrpt}");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let cfg = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5));
+        let mut b = Bencher {
+            config: cfg,
+            samples: Vec::new(),
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(1));
+        });
+        assert!(!b.samples.is_empty());
+        assert!(b.samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 3).render(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(0.5).render(), "0.5");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("add", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+}

@@ -6,25 +6,76 @@
 //! communication against the paper's bounds (`t` scalar words per query
 //! for the deterministic scenarios; `O(t log(1/delta) / eps^2)` words
 //! for the randomized ones).
+//!
+//! Totals alone can hide a hot party (the bounds are *per party*, not
+//! averaged), so [`CommStats`] also keeps a per-party breakdown when the
+//! driver knows the sender: [`CommStats::worst_party`] is the right
+//! number to compare against the paper's per-query scalar bound.
 
-/// Running totals of query-time communication.
+/// One party's share of the query-time communication.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartyComm {
+    /// Messages this party sent to the referee.
+    pub messages: u64,
+    /// Payload bytes across those messages.
+    pub bytes: u64,
+}
+
+/// Running totals of query-time communication, with an optional
+/// per-party breakdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CommStats {
     /// Messages sent party -> referee.
     pub messages: u64,
     /// Total payload bytes across those messages.
     pub bytes: u64,
+    /// Per-party breakdown, indexed by party id. Empty when the driver
+    /// recorded only totals (see [`CommStats::record`]).
+    pub per_party: Vec<PartyComm>,
 }
 
 impl CommStats {
+    /// Record a message of `bytes` payload bytes (totals only).
     pub fn record(&mut self, bytes: usize) {
         self.messages += 1;
         self.bytes += bytes as u64;
     }
 
-    pub fn merge(&mut self, other: CommStats) {
+    /// Record a message from a known sender: totals plus the per-party
+    /// breakdown (growing it on first sight of a party id).
+    pub fn record_party(&mut self, party: usize, bytes: usize) {
+        self.record(bytes);
+        if self.per_party.len() <= party {
+            self.per_party.resize(party + 1, PartyComm::default());
+        }
+        self.per_party[party].messages += 1;
+        self.per_party[party].bytes += bytes as u64;
+    }
+
+    /// Fold another accumulator into this one (party ids must refer to
+    /// the same parties in both).
+    pub fn merge(&mut self, other: &CommStats) {
         self.messages += other.messages;
         self.bytes += other.bytes;
+        if self.per_party.len() < other.per_party.len() {
+            self.per_party
+                .resize(other.per_party.len(), PartyComm::default());
+        }
+        for (mine, theirs) in self.per_party.iter_mut().zip(&other.per_party) {
+            mine.messages += theirs.messages;
+            mine.bytes += theirs.bytes;
+        }
+    }
+
+    /// The party that sent the most bytes, if a breakdown was recorded.
+    /// This — not `bytes / t` — is what the paper's per-party bounds
+    /// constrain.
+    pub fn worst_party(&self) -> Option<(usize, PartyComm)> {
+        self.per_party
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(_, p)| (p.bytes, p.messages))
     }
 }
 
@@ -62,9 +113,55 @@ mod tests {
         assert_eq!(s.bytes, 30);
         let mut t = CommStats::default();
         t.record(5);
-        t.merge(s);
+        t.merge(&s);
         assert_eq!(t.messages, 3);
         assert_eq!(t.bytes, 35);
+    }
+
+    #[test]
+    fn per_party_breakdown_sums_to_totals() {
+        let mut s = CommStats::default();
+        s.record_party(0, 10);
+        s.record_party(2, 30);
+        s.record_party(0, 5);
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.bytes, 45);
+        assert_eq!(s.per_party.len(), 3);
+        assert_eq!(
+            s.per_party[0],
+            PartyComm {
+                messages: 2,
+                bytes: 15
+            }
+        );
+        assert_eq!(s.per_party[1], PartyComm::default());
+        let total: u64 = s.per_party.iter().map(|p| p.bytes).sum();
+        assert_eq!(total, s.bytes);
+    }
+
+    #[test]
+    fn worst_party_is_by_bytes() {
+        let mut s = CommStats::default();
+        s.record_party(0, 100);
+        s.record_party(1, 10);
+        s.record_party(1, 10);
+        let (idx, p) = s.worst_party().unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(p.bytes, 100);
+        assert!(CommStats::default().worst_party().is_none());
+    }
+
+    #[test]
+    fn merge_aligns_party_vectors() {
+        let mut a = CommStats::default();
+        a.record_party(0, 1);
+        let mut b = CommStats::default();
+        b.record_party(1, 2);
+        b.record_party(2, 3);
+        a.merge(&b);
+        assert_eq!(a.per_party.len(), 3);
+        assert_eq!(a.per_party[2].bytes, 3);
+        assert_eq!(a.bytes, 6);
     }
 
     #[test]

@@ -210,7 +210,10 @@ mod tests {
         // The wave would retain ~cap positions for this window at level
         // 0; coordinated sampling keeps only ~500 / 2^level.
         assert!(p.level() >= 9);
-        assert!(in_window <= 8, "window sample unexpectedly rich: {in_window}");
+        assert!(
+            in_window <= 8,
+            "window sample unexpectedly rich: {in_window}"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!   (per-stream windows; a split logical stream; the positionwise
 //!   union) with the deterministic waves driving Scenarios 1–2 and the
 //!   strawman combine rules that Theorem 4 dooms for Scenario 3;
-//! * [`runtime`] — a one-thread-per-party driver (crossbeam channels)
+//! * [`runtime`] — a one-thread-per-party driver (std mpsc channels)
 //!   for the randomized Union Counting / distinct-values estimators;
 //! * [`comm`] — query-time communication accounting;
 //! * [`coordinated`] — the SPAA 2001 coordinated-sampling baseline
@@ -23,14 +23,16 @@ pub mod runtime;
 pub mod scenario;
 pub mod sim;
 
-pub use comm::{CommStats, ScalarReport};
+pub use comm::{CommStats, PartyComm, ScalarReport};
 pub use coordinated::{
     coord_distinct_estimate, coord_union_estimate, coord_union_median, CoordDistinctParty,
     CoordSampleParty,
 };
-pub use runtime::{run_distinct_threaded, run_union_threaded, ThreadedRun};
-pub use sim::{simulate_async_union, AsyncQueryOutcome};
-pub use scenario::{
-    det_combine, DetCombine, Scenario1Count, Scenario1Sum, Scenario2Count,
-    Scenario3PositionwiseSum,
+pub use runtime::{
+    run_distinct_threaded, run_distinct_threaded_recorded, run_union_threaded,
+    run_union_threaded_recorded, ThreadedRun,
 };
+pub use scenario::{
+    det_combine, DetCombine, Scenario1Count, Scenario1Sum, Scenario2Count, Scenario3PositionwiseSum,
+};
+pub use sim::{simulate_async_union, AsyncQueryOutcome};

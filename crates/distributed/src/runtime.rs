@@ -7,16 +7,22 @@
 //! combines the `t` messages per checkpoint as they arrive.
 
 use crate::comm::CommStats;
-use crossbeam::channel;
-use waves_rand::{DistinctMessage, DistinctParty, DistinctReferee, PartyMessage, RandConfig, Referee, UnionParty};
+use std::sync::mpsc;
+use std::time::Instant;
+use waves_obs::{HistId, HistogramSnapshot, LogHistogram, MetricId, NoopRecorder, Recorder};
+use waves_rand::{
+    DistinctMessage, DistinctParty, DistinctReferee, PartyMessage, RandConfig, Referee, UnionParty,
+};
 
 /// Result of a threaded run: one estimate per checkpoint, plus
-/// communication totals.
+/// communication totals and referee-side combine timing.
 #[derive(Debug, Clone)]
 pub struct ThreadedRun {
     /// `(position, estimate)` per checkpoint, in stream order.
     pub estimates: Vec<(u64, f64)>,
     pub comm: CommStats,
+    /// Wall time of each referee combine (one sample per checkpoint).
+    pub combine_ns: HistogramSnapshot,
 }
 
 /// Run Union Counting with one thread per party. Each party processes
@@ -30,17 +36,33 @@ pub fn run_union_threaded(
     checkpoints: &[u64],
     window: u64,
 ) -> ThreadedRun {
+    run_union_threaded_recorded(config, streams, checkpoints, window, &NoopRecorder)
+}
+
+/// [`run_union_threaded`] with referee-side instrumentation reported
+/// into `rec`: per-party message/byte counters and combine latency.
+pub fn run_union_threaded_recorded<R: Recorder + ?Sized>(
+    config: &RandConfig,
+    streams: &[Vec<bool>],
+    checkpoints: &[u64],
+    window: u64,
+    rec: &R,
+) -> ThreadedRun {
     let t = streams.len();
     assert!(t >= 1);
     let len = streams[0].len();
     assert!(streams.iter().all(|s| s.len() == len));
     assert!(checkpoints.windows(2).all(|w| w[0] < w[1]));
     assert!(checkpoints.iter().all(|&c| (1..=len as u64).contains(&c)));
-    assert!(window <= config.max_window(), "window exceeds config maximum");
+    assert!(
+        window <= config.max_window(),
+        "window exceeds config maximum"
+    );
 
-    let (tx, rx) = channel::unbounded::<(usize, usize, PartyMessage)>();
+    let (tx, rx) = mpsc::channel::<(usize, usize, PartyMessage)>();
     let referee = Referee::new(config.clone());
     let mut comm = CommStats::default();
+    let combine_hist = LogHistogram::new();
 
     std::thread::scope(|scope| {
         for (j, stream) in streams.iter().enumerate() {
@@ -51,9 +73,7 @@ pub fn run_union_threaded(
                 let mut next_cp = 0usize;
                 for &b in stream {
                     party.push_bit(b);
-                    while next_cp < checkpoints.len()
-                        && checkpoints[next_cp] == party.pos()
-                    {
+                    while next_cp < checkpoints.len() && checkpoints[next_cp] == party.pos() {
                         let msg = party
                             .message(window.min(party.pos()))
                             .expect("window <= max_window");
@@ -66,23 +86,35 @@ pub fn run_union_threaded(
         drop(tx);
 
         // Referee: gather t messages per checkpoint, combine when ready.
-        let mut pending: Vec<Vec<Option<PartyMessage>>> =
-            vec![vec![None; t]; checkpoints.len()];
+        let mut pending: Vec<Vec<Option<PartyMessage>>> = vec![vec![None; t]; checkpoints.len()];
         let mut estimates: Vec<Option<(u64, f64)>> = vec![None; checkpoints.len()];
         for (j, cp, msg) in rx.iter() {
-            comm.record(msg.wire_bytes(config));
+            let bytes = msg.wire_bytes(config);
+            comm.record_party(j, bytes);
+            rec.incr(MetricId::PartyMessagesSent, 1);
+            rec.incr(MetricId::PartyBytesSent, bytes as u64);
             pending[cp][j] = Some(msg);
             if pending[cp].iter().all(Option::is_some) {
                 let msgs: Vec<PartyMessage> =
                     pending[cp].iter_mut().map(|m| m.take().unwrap()).collect();
                 let pos = checkpoints[cp];
                 let s = (pos + 1).saturating_sub(window.min(pos));
-                estimates[cp] = Some((pos, referee.estimate(&msgs, s)));
+                let started = Instant::now();
+                let est = referee.estimate(&msgs, s);
+                let ns = started.elapsed().as_nanos() as u64;
+                combine_hist.record(ns);
+                rec.incr(MetricId::RefereeCombines, 1);
+                rec.observe(HistId::RefereeCombineNs, ns);
+                estimates[cp] = Some((pos, est));
             }
         }
         ThreadedRun {
-            estimates: estimates.into_iter().map(|e| e.expect("all checkpoints served")).collect(),
+            estimates: estimates
+                .into_iter()
+                .map(|e| e.expect("all checkpoints served"))
+                .collect(),
             comm,
+            combine_ns: combine_hist.snapshot(),
         }
     })
 }
@@ -95,17 +127,32 @@ pub fn run_distinct_threaded(
     checkpoints: &[u64],
     window: u64,
 ) -> ThreadedRun {
+    run_distinct_threaded_recorded(config, streams, checkpoints, window, &NoopRecorder)
+}
+
+/// [`run_distinct_threaded`] with referee-side instrumentation.
+pub fn run_distinct_threaded_recorded<R: Recorder + ?Sized>(
+    config: &RandConfig,
+    streams: &[Vec<u64>],
+    checkpoints: &[u64],
+    window: u64,
+    rec: &R,
+) -> ThreadedRun {
     let t = streams.len();
     assert!(t >= 1);
     let len = streams[0].len();
     assert!(streams.iter().all(|s| s.len() == len));
     assert!(checkpoints.windows(2).all(|w| w[0] < w[1]));
     assert!(checkpoints.iter().all(|&c| (1..=len as u64).contains(&c)));
-    assert!(window <= config.max_window(), "window exceeds config maximum");
+    assert!(
+        window <= config.max_window(),
+        "window exceeds config maximum"
+    );
 
-    let (tx, rx) = channel::unbounded::<(usize, usize, DistinctMessage)>();
+    let (tx, rx) = mpsc::channel::<(usize, usize, DistinctMessage)>();
     let referee = DistinctReferee::new(config.clone());
     let mut comm = CommStats::default();
+    let combine_hist = LogHistogram::new();
 
     std::thread::scope(|scope| {
         for (j, stream) in streams.iter().enumerate() {
@@ -116,9 +163,7 @@ pub fn run_distinct_threaded(
                 let mut next_cp = 0usize;
                 for &v in stream {
                     party.push_value(v);
-                    while next_cp < checkpoints.len()
-                        && checkpoints[next_cp] == party.pos()
-                    {
+                    while next_cp < checkpoints.len() && checkpoints[next_cp] == party.pos() {
                         let msg = party
                             .message(window.min(party.pos()))
                             .expect("window <= max_window");
@@ -130,8 +175,7 @@ pub fn run_distinct_threaded(
         }
         drop(tx);
 
-        let mut pending: Vec<Vec<Option<DistinctMessage>>> =
-            vec![vec![None; t]; checkpoints.len()];
+        let mut pending: Vec<Vec<Option<DistinctMessage>>> = vec![vec![None; t]; checkpoints.len()];
         let mut estimates: Vec<Option<(u64, f64)>> = vec![None; checkpoints.len()];
         let degree = config.degree();
         for (j, cp, msg) in rx.iter() {
@@ -140,19 +184,31 @@ pub fn run_distinct_threaded(
                 .iter()
                 .map(|r| r.wire_bytes(degree, degree))
                 .sum();
-            comm.record(bytes);
+            comm.record_party(j, bytes);
+            rec.incr(MetricId::PartyMessagesSent, 1);
+            rec.incr(MetricId::PartyBytesSent, bytes as u64);
             pending[cp][j] = Some(msg);
             if pending[cp].iter().all(Option::is_some) {
                 let msgs: Vec<DistinctMessage> =
                     pending[cp].iter_mut().map(|m| m.take().unwrap()).collect();
                 let pos = checkpoints[cp];
                 let s = (pos + 1).saturating_sub(window.min(pos));
-                estimates[cp] = Some((pos, referee.estimate(&msgs, s)));
+                let started = Instant::now();
+                let est = referee.estimate(&msgs, s);
+                let ns = started.elapsed().as_nanos() as u64;
+                combine_hist.record(ns);
+                rec.incr(MetricId::RefereeCombines, 1);
+                rec.observe(HistId::RefereeCombineNs, ns);
+                estimates[cp] = Some((pos, est));
             }
         }
         ThreadedRun {
-            estimates: estimates.into_iter().map(|e| e.expect("all checkpoints served")).collect(),
+            estimates: estimates
+                .into_iter()
+                .map(|e| e.expect("all checkpoints served"))
+                .collect(),
             comm,
+            combine_ns: combine_hist.snapshot(),
         }
     })
 }
@@ -179,8 +235,7 @@ mod tests {
         let run = run_union_threaded(&cfg, &streams, &checkpoints, window);
 
         // Sequential reference with the same config.
-        let mut parties: Vec<UnionParty> =
-            (0..t).map(|_| UnionParty::new(&cfg)).collect();
+        let mut parties: Vec<UnionParty> = (0..t).map(|_| UnionParty::new(&cfg)).collect();
         let referee = Referee::new(cfg);
         let mut want = Vec::new();
         for i in 0..len {
@@ -189,9 +244,7 @@ mod tests {
             }
             let pos = (i + 1) as u64;
             if checkpoints.contains(&pos) {
-                let est =
-                    waves_rand::estimate_union(&referee, &parties, window.min(pos))
-                        .unwrap();
+                let est = waves_rand::estimate_union(&referee, &parties, window.min(pos)).unwrap();
                 want.push((pos, est));
             }
         }
@@ -211,9 +264,15 @@ mod tests {
         let streams = correlated_streams(t, len, 0.3, 0.2, 7);
         let run = run_union_threaded(&cfg, &streams, &[4000], window);
         let union = positionwise_union(&streams);
-        let actual = union[len - window as usize..].iter().filter(|&&b| b).count() as f64;
+        let actual = union[len - window as usize..]
+            .iter()
+            .filter(|&&b| b)
+            .count() as f64;
         let (_, est) = run.estimates[0];
-        assert!((est - actual).abs() / actual <= 0.25, "est {est} actual {actual}");
+        assert!(
+            (est - actual).abs() / actual <= 0.25,
+            "est {est} actual {actual}"
+        );
     }
 
     #[test]
@@ -234,6 +293,42 @@ mod tests {
         assert_eq!(est1, 25.0);
         let (_, est2) = run.estimates[1];
         assert_eq!(est2, 125.0);
+    }
+
+    #[test]
+    fn threaded_union_per_party_breakdown() {
+        let t = 3;
+        let window = 128u64;
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = RandConfig::for_positions(window, 0.3, 0.3, &mut rng)
+            .unwrap()
+            .with_instances(3, &mut rng);
+        let streams = correlated_streams(t, 1000, 0.25, 0.25, 4);
+        let checkpoints: Vec<u64> = vec![400, 1000];
+        let reg = waves_obs::MetricsRegistry::new();
+        let run = run_union_threaded_recorded(&cfg, &streams, &checkpoints, window, &reg);
+
+        // Every party sent one message per checkpoint; the breakdown
+        // sums to the totals and bounds the worst party.
+        assert_eq!(run.comm.per_party.len(), t);
+        for p in &run.comm.per_party {
+            assert_eq!(p.messages, checkpoints.len() as u64);
+        }
+        let sum: u64 = run.comm.per_party.iter().map(|p| p.bytes).sum();
+        assert_eq!(sum, run.comm.bytes);
+        let (_, worst) = run.comm.worst_party().unwrap();
+        assert!(worst.bytes >= run.comm.bytes / t as u64);
+
+        // Recorder saw the same traffic, and one combine per checkpoint.
+        use waves_obs::MetricId as M;
+        assert_eq!(reg.counter(M::PartyMessagesSent), run.comm.messages);
+        assert_eq!(reg.counter(M::PartyBytesSent), run.comm.bytes);
+        assert_eq!(reg.counter(M::RefereeCombines), checkpoints.len() as u64);
+        assert_eq!(run.combine_ns.count, checkpoints.len() as u64);
+        assert_eq!(
+            reg.snapshot().hist("referee_combine_ns").unwrap().count,
+            checkpoints.len() as u64
+        );
     }
 
     #[test]
@@ -258,6 +353,9 @@ mod tests {
         let s_start = len - window as usize;
         let actual = last.values().filter(|&&i| i >= s_start).count() as f64;
         let (_, est) = run.estimates[1];
-        assert!((est - actual).abs() / actual <= 0.3, "est {est} actual {actual}");
+        assert!(
+            (est - actual).abs() / actual <= 0.3,
+            "est {est} actual {actual}"
+        );
     }
 }

@@ -54,10 +54,10 @@ impl Scenario1Count {
         let mut value = 0.0;
         let mut lo = 0u64;
         let mut hi = 0u64;
-        for p in &self.parties {
+        for (j, p) in self.parties.iter().enumerate() {
             let e = p.query(n)?;
             let r = ScalarReport::from_estimate(&e);
-            self.comm.record(ScalarReport::WIRE_BYTES);
+            self.comm.record_party(j, ScalarReport::WIRE_BYTES);
             value += r.value;
             lo += r.lo;
             hi += r.hi;
@@ -70,8 +70,8 @@ impl Scenario1Count {
         })
     }
 
-    pub fn comm(&self) -> CommStats {
-        self.comm
+    pub fn comm(&self) -> &CommStats {
+        &self.comm
     }
 }
 
@@ -102,9 +102,9 @@ impl Scenario1Sum {
         let mut value = 0.0;
         let mut lo = 0u64;
         let mut hi = 0u64;
-        for p in &self.parties {
+        for (j, p) in self.parties.iter().enumerate() {
             let e = p.query(n)?;
-            self.comm.record(ScalarReport::WIRE_BYTES);
+            self.comm.record_party(j, ScalarReport::WIRE_BYTES);
             value += e.value;
             lo += e.lo;
             hi += e.hi;
@@ -117,8 +117,8 @@ impl Scenario1Sum {
         })
     }
 
-    pub fn comm(&self) -> CommStats {
-        self.comm
+    pub fn comm(&self) -> &CommStats {
+        &self.comm
     }
 }
 
@@ -174,7 +174,7 @@ impl Scenario2Count {
         let mut value = 0.0;
         let mut lo = 0u64;
         let mut hi = 0u64;
-        for p in self.parties.iter() {
+        for (j, p) in self.parties.iter().enumerate() {
             if pos < p.pos() {
                 return Err(WaveError::PositionRegressed {
                     last: p.pos(),
@@ -189,7 +189,7 @@ impl Scenario2Count {
             } else {
                 p.query(n - gap)?
             };
-            self.comm.record(ScalarReport::WIRE_BYTES);
+            self.comm.record_party(j, ScalarReport::WIRE_BYTES);
             value += e.value;
             lo += e.lo;
             hi += e.hi;
@@ -202,8 +202,8 @@ impl Scenario2Count {
         })
     }
 
-    pub fn comm(&self) -> CommStats {
-        self.comm
+    pub fn comm(&self) -> &CommStats {
+        &self.comm
     }
 }
 
@@ -239,7 +239,7 @@ impl Scenario3PositionwiseSum {
         self.inner.query(n)
     }
 
-    pub fn comm(&self) -> CommStats {
+    pub fn comm(&self) -> &CommStats {
         self.inner.comm()
     }
 }

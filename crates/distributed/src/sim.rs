@@ -69,8 +69,7 @@ pub fn simulate_async_union(
     }
 
     let mut parties: Vec<UnionParty> = (0..t).map(|_| UnionParty::new(config)).collect();
-    let mut messages: Vec<Vec<Option<PartyMessage>>> =
-        vec![vec![None; t]; query_ticks.len()];
+    let mut messages: Vec<Vec<Option<PartyMessage>>> = vec![vec![None; t]; query_ticks.len()];
     for tick in 1..=len {
         for (j, p) in parties.iter_mut().enumerate() {
             p.push_bit(streams[j][(tick - 1) as usize]);
@@ -146,17 +145,10 @@ mod tests {
         let (t, len, window) = (3usize, 4_000usize, 512u64);
         let cfg = config(window, 1, 5);
         let streams = correlated_streams(t, len, 0.3, 0.3, 7);
-        let outcomes = simulate_async_union(
-            &cfg,
-            &streams,
-            &[2_000, 4_000],
-            window,
-            &[0, 0, 0],
-        );
+        let outcomes = simulate_async_union(&cfg, &streams, &[2_000, 4_000], window, &[0, 0, 0]);
         // Synchronous reference.
         for &(tick, idx) in &[(2_000u64, 0usize), (4_000, 1)] {
-            let mut parties: Vec<UnionParty> =
-                (0..t).map(|_| UnionParty::new(&cfg)).collect();
+            let mut parties: Vec<UnionParty> = (0..t).map(|_| UnionParty::new(&cfg)).collect();
             for i in 0..tick as usize {
                 for j in 0..t {
                     parties[j].push_bit(streams[j][i]);
@@ -169,6 +161,33 @@ mod tests {
     }
 
     #[test]
+    fn equal_latency_reproduces_sequential_estimate_at_shifted_tick() {
+        // With every latency equal to d, each party snapshots the window
+        // ending at q + d. Every reported position then lies at or after
+        // the *local* window start (q + d + 1 - window), so the referee's
+        // looser issue-time filter keeps the identical position set and
+        // the combine must equal — bit for bit, not just within eps —
+        // what the synchronous referee path computes at tick q + d.
+        let (t, len, window) = (3usize, 5_000usize, 512u64);
+        let cfg = config(window, 5, 5);
+        let streams = correlated_streams(t, len, 0.25, 0.3, 13);
+        let d = 150u64;
+        let ticks = [2_000u64, 4_000];
+        let outcomes = simulate_async_union(&cfg, &streams, &ticks, window, &[d; 3]);
+        for (idx, &q) in ticks.iter().enumerate() {
+            let mut parties: Vec<UnionParty> = (0..t).map(|_| UnionParty::new(&cfg)).collect();
+            for i in 0..(q + d) as usize {
+                for j in 0..t {
+                    parties[j].push_bit(streams[j][i]);
+                }
+            }
+            let referee = Referee::new(cfg.clone());
+            let want = estimate_union(&referee, &parties, window).unwrap();
+            assert_eq!(outcomes[idx].estimate, want, "query at {q}, latency {d}");
+        }
+    }
+
+    #[test]
     fn equal_latency_answers_shifted_window_exactly() {
         // With equal latencies d, every party answers for the window
         // ending at q + d: the estimate tracks actual_at_latest (the
@@ -176,11 +195,9 @@ mod tests {
         let (t, len, window) = (2usize, 6_000usize, 256u64);
         let cfg = config(window, 2, 5);
         let streams = correlated_streams(t, len, 0.2, 0.3, 9);
-        let outcomes =
-            simulate_async_union(&cfg, &streams, &[3_000], window, &[200, 200]);
+        let outcomes = simulate_async_union(&cfg, &streams, &[3_000], window, &[200, 200]);
         let o = &outcomes[0];
-        let rel_latest =
-            (o.estimate - o.actual_at_latest as f64).abs() / o.actual_at_latest as f64;
+        let rel_latest = (o.estimate - o.actual_at_latest as f64).abs() / o.actual_at_latest as f64;
         assert!(rel_latest <= 0.2, "vs shifted truth: {rel_latest}");
     }
 
@@ -193,11 +210,9 @@ mod tests {
         let cfg = config(window, 3, 5);
         let streams = correlated_streams(t, len, 0.3, 0.25, 11);
         let lats = [0u64, 20, 40, 60];
-        let outcomes =
-            simulate_async_union(&cfg, &streams, &[4_000, 6_000], window, &lats);
+        let outcomes = simulate_async_union(&cfg, &streams, &[4_000, 6_000], window, &lats);
         for o in &outcomes {
-            let rel =
-                (o.estimate - o.actual_at_issue as f64).abs() / o.actual_at_issue as f64;
+            let rel = (o.estimate - o.actual_at_issue as f64).abs() / o.actual_at_issue as f64;
             // eps = 0.2 plus drift of <= 60/2048 of the window content.
             assert!(rel <= 0.2 + 0.1, "issued {}: rel {rel}", o.issued_at);
         }

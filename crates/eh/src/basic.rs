@@ -9,11 +9,11 @@
 //! closes (Theorem 1 vs. the EH's O(1) *amortized* / O(log N) worst
 //! case), so this implementation records cascade statistics.
 
+use std::collections::VecDeque;
 use waves_core::error::WaveError;
 use waves_core::estimate::{Estimate, SpaceReport};
 use waves_core::space::{delta_coded_bits, elias_gamma_bits};
 use waves_core::traits::BitSynopsis;
-use std::collections::VecDeque;
 
 /// Exponential histogram for counting 1's in a sliding window of up to
 /// `N` bits with relative error `eps`.
@@ -137,6 +137,26 @@ impl EhCount {
         self.max_cascade = self.max_cascade.max(cascade);
     }
 
+    /// [`EhCount::push_bit`] with instrumentation reported into `rec`:
+    /// counts pushes, cascade episodes, and total merged bucket pairs,
+    /// and feeds each 1-bit's cascade length into the `eh_cascade_len`
+    /// histogram — the worst-case-latency distribution the wave's O(1)
+    /// bound eliminates.
+    pub fn push_bit_recorded<R: waves_obs::Recorder + ?Sized>(&mut self, b: bool, rec: &R) {
+        use waves_obs::{HistId, MetricId};
+        let merges_before = self.merges;
+        self.push_bit(b);
+        rec.incr(MetricId::EhPushes, 1);
+        if b {
+            let cascade = self.last_cascade as u64;
+            rec.observe(HistId::EhCascadeLen, cascade);
+            if cascade > 0 {
+                rec.incr(MetricId::EhCascades, 1);
+                rec.incr(MetricId::EhBucketsMerged, self.merges - merges_before);
+            }
+        }
+    }
+
     fn expire(&mut self) {
         // The globally oldest bucket is at the front of the highest
         // nonempty class (sizes are nondecreasing with age).
@@ -152,7 +172,9 @@ impl EhCount {
     }
 
     fn highest_nonempty(&self) -> Option<usize> {
-        (0..self.classes.len()).rev().find(|&j| !self.classes[j].is_empty())
+        (0..self.classes.len())
+            .rev()
+            .find(|&j| !self.classes[j].is_empty())
     }
 
     /// Estimate the number of 1's among the last `n <= N` bits: total
@@ -377,6 +399,26 @@ mod tests {
             let est = eh.query(n).unwrap();
             assert!(est.brackets(oracle.query(n)), "n={n}: {est:?}");
         }
+    }
+
+    #[test]
+    fn recorded_cascade_stats_match_internal_counters() {
+        let reg = waves_obs::MetricsRegistry::new();
+        let mut eh = EhCount::new(1 << 12, 0.1).unwrap();
+        for b in lcg_bits(7, 20_000, 2, 1) {
+            eh.push_bit_recorded(b, &reg);
+        }
+        use waves_obs::MetricId as M;
+        assert_eq!(reg.counter(M::EhPushes), 20_000);
+        assert_eq!(reg.counter(M::EhBucketsMerged), eh.merges());
+        assert!(reg.counter(M::EhCascades) > 0);
+        let hist = reg
+            .snapshot()
+            .hist("eh_cascade_len")
+            .cloned()
+            .expect("well-known histogram");
+        // One sample per 1-bit; its max is the stream's max cascade.
+        assert_eq!(hist.max, eh.max_cascade() as u64);
     }
 
     #[test]

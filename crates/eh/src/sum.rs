@@ -9,11 +9,11 @@
 //! to `O(log N + log R)` bucket classes — the structural reason the sum
 //! wave's store-once O(1) insertion (Theorem 3) wins.
 
+use std::collections::VecDeque;
 use waves_core::error::WaveError;
 use waves_core::estimate::{Estimate, SpaceReport};
 use waves_core::space::{delta_coded_bits, elias_gamma_bits};
 use waves_core::traits::SumSynopsis;
-use std::collections::VecDeque;
 
 /// A run of `mult` same-size buckets sharing one timestamp.
 #[derive(Debug, Clone, Copy)]
@@ -128,7 +128,10 @@ impl EhSum {
             self.classes.push(VecDeque::new());
             self.counts.push(0);
         }
-        self.classes[0].push_back(Run { ts: self.pos, mult: v });
+        self.classes[0].push_back(Run {
+            ts: self.pos,
+            mult: v,
+        });
         self.counts[0] += v;
         self.total += v;
         // Cascade: canonical-counter dynamics per class.
@@ -158,6 +161,28 @@ impl EhSum {
         Ok(())
     }
 
+    /// [`EhSum::push_value`] with instrumentation reported into `rec`
+    /// (same metric names as [`crate::EhCount::push_bit_recorded`]).
+    pub fn push_value_recorded<R: waves_obs::Recorder + ?Sized>(
+        &mut self,
+        v: u64,
+        rec: &R,
+    ) -> Result<(), WaveError> {
+        use waves_obs::{HistId, MetricId};
+        let merges_before = self.merges;
+        self.push_value(v)?;
+        rec.incr(MetricId::EhPushes, 1);
+        if v > 0 {
+            let cascade = self.last_cascade as u64;
+            rec.observe(HistId::EhCascadeLen, cascade);
+            if cascade > 0 {
+                rec.incr(MetricId::EhCascades, 1);
+                rec.incr(MetricId::EhBucketsMerged, self.merges - merges_before);
+            }
+        }
+        Ok(())
+    }
+
     /// Pop the `2 * pairs` oldest unit-buckets of class `j` and pair them
     /// up; each pair becomes one class-`j+1` bucket timestamped with the
     /// newer member. Returns the carry runs in oldest-first order.
@@ -167,7 +192,9 @@ impl EhSum {
         // One unpaired bucket left over from the previous (older) run.
         let mut dangling = false;
         while need > 0 {
-            let mut run = self.classes[j].pop_front().expect("enough buckets to merge");
+            let mut run = self.classes[j]
+                .pop_front()
+                .expect("enough buckets to merge");
             let take = run.mult.min(need);
             run.mult -= take;
             need -= take;
@@ -175,7 +202,13 @@ impl EhSum {
             if dangling {
                 // Pair the dangling older bucket with one from this run;
                 // the carry takes this (newer) run's timestamp.
-                push_run(&mut carries, Run { ts: run.ts, mult: 1 });
+                push_run(
+                    &mut carries,
+                    Run {
+                        ts: run.ts,
+                        mult: 1,
+                    },
+                );
                 avail -= 1;
                 dangling = false;
             }
@@ -213,7 +246,9 @@ impl EhSum {
     }
 
     fn highest_nonempty(&self) -> Option<usize> {
-        (0..self.classes.len()).rev().find(|&j| !self.classes[j].is_empty())
+        (0..self.classes.len())
+            .rev()
+            .find(|&j| !self.classes[j].is_empty())
     }
 
     /// Estimate the sum of the last `n <= N` items.
@@ -409,10 +444,7 @@ mod tests {
                 assert_eq!(c, eh.counts[j], "class {j} count mismatch");
                 assert!(c <= eh.m + 1, "class {j} holds {c} > m+1 buckets");
                 // Runs must be oldest-first.
-                assert!(q
-                    .iter()
-                    .zip(q.iter().skip(1))
-                    .all(|(a, b)| a.ts <= b.ts));
+                assert!(q.iter().zip(q.iter().skip(1)).all(|(a, b)| a.ts <= b.ts));
             }
         }
     }

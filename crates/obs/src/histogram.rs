@@ -1,0 +1,342 @@
+//! Log-bucketed latency histogram.
+//!
+//! HDR-style bucketing: values below 16 get exact unit buckets; above
+//! that, each power-of-two range is split into 16 sub-buckets, bounding
+//! the relative quantization error at 1/16 ≈ 6.25% while keeping the
+//! whole u64 range in [`NUM_BUCKETS`] fixed slots. Recording is a single
+//! relaxed atomic increment plus min/max maintenance, so histograms can
+//! be shared across party threads without locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per power-of-two range (and the exact-bucket cutoff).
+const SUB: usize = 16;
+const SUB_BITS: u32 = 4;
+
+/// 16 exact buckets + 16 sub-buckets for each exponent 4..=63.
+pub const NUM_BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros(); // >= SUB_BITS
+    let sub = ((v >> (e - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    SUB + (e - SUB_BITS) as usize * SUB + sub
+}
+
+/// Inclusive value range covered by bucket `idx`.
+#[inline]
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < SUB {
+        return (idx as u64, idx as u64);
+    }
+    let e = SUB_BITS + ((idx - SUB) / SUB) as u32;
+    let sub = ((idx - SUB) % SUB) as u64;
+    let lo = (SUB as u64 + sub) << (e - SUB_BITS);
+    let width = 1u64 << (e - SUB_BITS);
+    (lo, lo + (width - 1))
+}
+
+/// A concurrent log-bucketed histogram of u64 samples (typically
+/// nanoseconds).
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a batch of identical samples (used when porting sorted
+    /// sample arrays into the shared definition of quantiles).
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy; quantiles are computed on the snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut nonzero = Vec::new();
+        for (idx, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                let (lo, hi) = bucket_bounds(idx);
+                nonzero.push((lo, hi, c));
+            }
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: nonzero,
+        }
+    }
+}
+
+/// Plain-struct summary of a [`LogHistogram`], serializable by hand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// `(lo, hi, count)` for each nonzero bucket, in value order.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile at `p in [0, 1]` using the ceiling rank convention:
+    /// the smallest recorded value `v` such that at least `ceil(p *
+    /// count)` samples are `<= v`. Within a bucket the midpoint of the
+    /// bucket's range is reported, clamped to the observed min/max so
+    /// p0/p100 are exact.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile p={p} out of range");
+        if self.count == 0 {
+            return 0.0;
+        }
+        // Ceiling rank, at least 1: never truncates downward the way a
+        // floored `(n-1) * p` index does on small samples.
+        let rank = ((p * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(lo, hi, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                let mid = lo + (hi - lo) / 2;
+                return mid.clamp(self.min, self.max) as f64;
+            }
+        }
+        self.max as f64
+    }
+
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+
+    /// Render as a JSON object on the given writer.
+    pub fn write_json(&self, w: &mut crate::json::JsonWriter) {
+        w.begin_object();
+        w.field_u64("count", self.count);
+        w.field_u64("sum", self.sum);
+        w.field_u64("min", self.min);
+        w.field_u64("max", self.max);
+        w.field_f64("mean", self.mean());
+        w.field_f64("p50", self.p50());
+        w.field_f64("p90", self.p90());
+        w.field_f64("p99", self.p99());
+        w.field_f64("p999", self.p999());
+        w.end_object();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_covers_u64() {
+        for &v in &[
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            255,
+            256,
+            1_000,
+            65_535,
+            1 << 32,
+            u64::MAX / 3,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= v && v <= hi, "v={v} idx={idx} range=[{lo},{hi}]");
+            assert!(idx < NUM_BUCKETS);
+        }
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_ordered() {
+        let mut prev_hi = None;
+        for idx in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= hi);
+            if let Some(p) = prev_hi {
+                assert_eq!(lo, p + 1, "gap before bucket {idx}");
+            }
+            prev_hi = Some(hi);
+        }
+        assert_eq!(prev_hi, Some(u64::MAX));
+    }
+
+    #[test]
+    fn relative_quantization_error_bounded() {
+        for &v in &[100u64, 1_000, 50_000, 1 << 20, 1 << 40] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            let mid = lo + (hi - lo) / 2;
+            let err = (mid as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / 16.0 + 1e-9, "v={v} err={err}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_snapshot() {
+        let h = LogHistogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn exact_buckets_give_exact_quantiles() {
+        let h = LogHistogram::new();
+        // Values 0..=9, one each: all under the exact-bucket cutoff.
+        for v in 0..10u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.1), 0.0); // rank 1 -> value 0
+        assert_eq!(s.quantile(0.5), 4.0); // rank 5 -> value 4
+        assert_eq!(s.quantile(1.0), 9.0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 9);
+        assert_eq!(s.mean(), 4.5);
+    }
+
+    #[test]
+    fn p999_sees_the_tail_on_small_samples() {
+        let h = LogHistogram::new();
+        // 998 fast samples and two slow outliers: ceil-rank p999 of
+        // 1000 samples is rank 999 — the first outlier.
+        h.record_n(10, 998);
+        h.record_n(1_000_000, 2);
+        let s = h.snapshot();
+        assert!(s.p999() > 900_000.0, "p999={}", s.p999());
+        assert_eq!(s.p50(), 10.0);
+    }
+
+    #[test]
+    fn quantiles_monotone_and_within_range() {
+        let h = LogHistogram::new();
+        let mut x = 1u64;
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            h.record(x % 1_000_000);
+        }
+        let s = h.snapshot();
+        let qs: Vec<f64> = [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0]
+            .iter()
+            .map(|&p| s.quantile(p))
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+        assert!(qs[0] >= s.min as f64 && qs[6] <= s.max as f64);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LogHistogram::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000 + i % 100);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(
+            h.snapshot().buckets.iter().map(|b| b.2).sum::<u64>(),
+            40_000
+        );
+    }
+
+    #[test]
+    fn reset_clears() {
+        let h = LogHistogram::new();
+        h.record(42);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.snapshot().buckets.len(), 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Minimal hand-rolled JSON emission (the workspace has no serde).
+//!
+//! Supports exactly what the metrics snapshots and CLI need: nested
+//! objects, arrays, string/u64/f64/bool fields, with correct string
+//! escaping and no trailing commas.
+
+/// An append-only JSON writer. Field helpers insert commas as needed;
+/// callers are responsible for balancing `begin_*`/`end_*`.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    needs_comma: bool,
+}
+
+impl JsonWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn pre_value(&mut self) {
+        if self.needs_comma {
+            self.out.push(',');
+        }
+        self.needs_comma = true;
+    }
+
+    fn pre_field(&mut self, name: &str) {
+        self.pre_value();
+        self.push_string(name);
+        self.out.push(':');
+    }
+
+    fn push_string(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn push_f64(&mut self, v: f64) {
+        if v.is_finite() {
+            // Integral floats render without a spurious ".0"? No — keep
+            // the fraction so consumers can rely on a stable shape.
+            self.out.push_str(&format!("{v}"));
+        } else {
+            // JSON has no Infinity/NaN; null is the conventional stand-in.
+            self.out.push_str("null");
+        }
+    }
+
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.out.push('{');
+        self.needs_comma = false;
+    }
+
+    pub fn end_object(&mut self) {
+        self.out.push('}');
+        self.needs_comma = true;
+    }
+
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.out.push('[');
+        self.needs_comma = false;
+    }
+
+    pub fn end_array(&mut self) {
+        self.out.push(']');
+        self.needs_comma = true;
+    }
+
+    pub fn field_object(&mut self, name: &str) {
+        self.pre_field(name);
+        self.out.push('{');
+        self.needs_comma = false;
+    }
+
+    pub fn field_array(&mut self, name: &str) {
+        self.pre_field(name);
+        self.out.push('[');
+        self.needs_comma = false;
+    }
+
+    pub fn field_str(&mut self, name: &str, v: &str) {
+        self.pre_field(name);
+        self.push_string(v);
+    }
+
+    pub fn field_u64(&mut self, name: &str, v: u64) {
+        self.pre_field(name);
+        self.out.push_str(&v.to_string());
+    }
+
+    pub fn field_i64(&mut self, name: &str, v: i64) {
+        self.pre_field(name);
+        self.out.push_str(&v.to_string());
+    }
+
+    pub fn field_f64(&mut self, name: &str, v: f64) {
+        self.pre_field(name);
+        self.push_f64(v);
+    }
+
+    pub fn field_bool(&mut self, name: &str, v: bool) {
+        self.pre_field(name);
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    pub fn value_u64(&mut self, v: u64) {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+    }
+
+    pub fn value_str(&mut self, v: &str) {
+        self.pre_value();
+        self.push_string(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_object_shape() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("name", "waves");
+        w.field_u64("count", 3);
+        w.field_f64("p50", 1.5);
+        w.field_bool("exact", true);
+        w.field_object("inner");
+        w.field_i64("neg", -2);
+        w.end_object();
+        w.field_array("xs");
+        w.value_u64(1);
+        w.value_u64(2);
+        w.end_array();
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"name":"waves","count":3,"p50":1.5,"exact":true,"inner":{"neg":-2},"xs":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("s", "a\"b\\c\nd\te\u{1}");
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"s":"a\"b\\c\nd\te\u0001"}"#);
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_f64("inf", f64::INFINITY);
+        w.field_f64("nan", f64::NAN);
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"inf":null,"nan":null}"#);
+    }
+
+    #[test]
+    fn top_level_array() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.value_str("a");
+        w.value_str("b");
+        w.end_array();
+        assert_eq!(w.finish(), r#"["a","b"]"#);
+    }
+}

@@ -1,0 +1,36 @@
+//! `waves-obs`: zero-dependency metrics and event tracing for the waves
+//! workspace.
+//!
+//! The paper's claims are quantitative — O(1) worst-case per-item time
+//! (Theorem 1), space within stated word bounds, `t`-scalar query-time
+//! communication — so the runtime exposes them as live signals:
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free scalar metrics;
+//! * [`LogHistogram`] — log-bucketed (HDR-style) latency histogram with
+//!   p50/p90/p99/p999/max summaries, shared by the offline bench harness
+//!   and live `--stats` runs so both agree on one definition of tail
+//!   latency;
+//! * [`Recorder`] — the structural-event sink instrumented code reports
+//!   into. The hot paths are generic over `R: Recorder`, and
+//!   [`NoopRecorder`]'s methods are empty `#[inline(always)]` bodies, so
+//!   the monomorphized disabled path compiles to exactly the
+//!   uninstrumented code (verified by the `obs-overhead` experiment in
+//!   `waves-bench`);
+//! * [`MetricsRegistry`] — a fixed set of well-known counters and
+//!   histograms ([`MetricId`], [`HistId`]) that itself implements
+//!   [`Recorder`], snapshots to a plain [`MetricsSnapshot`] struct, and
+//!   renders as text or hand-rolled JSON (no serde).
+//!
+//! Everything is std-only: the crate has no dependencies.
+
+mod histogram;
+mod json;
+mod recorder;
+mod registry;
+
+pub use histogram::{HistogramSnapshot, LogHistogram};
+pub use json::JsonWriter;
+pub use recorder::{
+    BufferSink, Event, Fanout, HistId, MetricId, NoopRecorder, OwnedEvent, Recorder,
+};
+pub use registry::{MetricsRegistry, MetricsSnapshot};

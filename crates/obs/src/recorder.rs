@@ -1,0 +1,339 @@
+//! The recorder abstraction: the sink instrumented code reports into.
+//!
+//! Hot paths are generic over `R: Recorder + ?Sized`. [`NoopRecorder`]
+//! implements every method as an empty `#[inline(always)]` body, so the
+//! monomorphized disabled path is exactly the uninstrumented code — the
+//! `obs-overhead` experiment in `waves-bench` measures this contract.
+
+use std::fmt;
+use std::sync::Mutex;
+
+/// Well-known monotonic counters. Fixed at compile time so the registry
+/// can back them with a flat atomic array — no hashing on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum MetricId {
+    /// Bits pushed into a wave (0s and 1s).
+    WavePushesTotal,
+    /// 1-bits pushed (each allocates a wave entry).
+    WaveOnesTotal,
+    /// Entries currently stored across instrumented waves (gauge-like:
+    /// incremented on store, decremented via the expired/evicted
+    /// counters when reading the snapshot).
+    WaveEntriesStored,
+    /// Entries dropped because they aged out of the window.
+    WaveEntriesExpired,
+    /// Entries evicted from a full per-level queue (the O(1) bound).
+    WaveEntriesEvicted,
+    /// Calls to the rank→level oracle.
+    WaveLevelOracleCalls,
+    /// Window queries answered exactly.
+    WaveQueriesExact,
+    /// Window queries answered approximately (bracketed estimate).
+    WaveQueriesApprox,
+    /// Items pushed into an exponential histogram.
+    EhPushes,
+    /// Cascading-merge episodes in the EH (a push that merged >= 1 pair).
+    EhCascades,
+    /// Total bucket pairs merged across all cascades.
+    EhBucketsMerged,
+    /// Referee combine operations in the distributed runtime.
+    RefereeCombines,
+    /// Messages sent party -> referee.
+    PartyMessagesSent,
+    /// Bytes sent party -> referee.
+    PartyBytesSent,
+    /// Items ingested by the CLI protocol loop.
+    CliItems,
+    /// Queries served by the CLI protocol loop.
+    CliQueries,
+}
+
+/// Number of [`MetricId`] variants (length of the registry's array).
+pub const NUM_METRICS: usize = 16;
+
+impl MetricId {
+    pub const ALL: [MetricId; NUM_METRICS] = [
+        MetricId::WavePushesTotal,
+        MetricId::WaveOnesTotal,
+        MetricId::WaveEntriesStored,
+        MetricId::WaveEntriesExpired,
+        MetricId::WaveEntriesEvicted,
+        MetricId::WaveLevelOracleCalls,
+        MetricId::WaveQueriesExact,
+        MetricId::WaveQueriesApprox,
+        MetricId::EhPushes,
+        MetricId::EhCascades,
+        MetricId::EhBucketsMerged,
+        MetricId::RefereeCombines,
+        MetricId::PartyMessagesSent,
+        MetricId::PartyBytesSent,
+        MetricId::CliItems,
+        MetricId::CliQueries,
+    ];
+
+    /// Stable snake_case name used in text and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricId::WavePushesTotal => "wave_pushes_total",
+            MetricId::WaveOnesTotal => "wave_ones_total",
+            MetricId::WaveEntriesStored => "wave_entries_stored",
+            MetricId::WaveEntriesExpired => "wave_entries_expired",
+            MetricId::WaveEntriesEvicted => "wave_entries_evicted",
+            MetricId::WaveLevelOracleCalls => "wave_level_oracle_calls",
+            MetricId::WaveQueriesExact => "wave_queries_exact",
+            MetricId::WaveQueriesApprox => "wave_queries_approx",
+            MetricId::EhPushes => "eh_pushes_total",
+            MetricId::EhCascades => "eh_cascades_total",
+            MetricId::EhBucketsMerged => "eh_buckets_merged_total",
+            MetricId::RefereeCombines => "referee_combines_total",
+            MetricId::PartyMessagesSent => "party_messages_sent_total",
+            MetricId::PartyBytesSent => "party_bytes_sent_total",
+            MetricId::CliItems => "cli_items_total",
+            MetricId::CliQueries => "cli_queries_total",
+        }
+    }
+}
+
+/// Well-known latency histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum HistId {
+    /// Per-item push latency, nanoseconds.
+    PushLatencyNs,
+    /// Per-query latency, nanoseconds.
+    QueryLatencyNs,
+    /// Referee combine latency, nanoseconds.
+    RefereeCombineNs,
+    /// EH cascade length (buckets merged on a single push).
+    EhCascadeLen,
+}
+
+/// Number of [`HistId`] variants.
+pub const NUM_HISTS: usize = 4;
+
+impl HistId {
+    pub const ALL: [HistId; NUM_HISTS] = [
+        HistId::PushLatencyNs,
+        HistId::QueryLatencyNs,
+        HistId::RefereeCombineNs,
+        HistId::EhCascadeLen,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            HistId::PushLatencyNs => "push_latency_ns",
+            HistId::QueryLatencyNs => "query_latency_ns",
+            HistId::RefereeCombineNs => "referee_combine_ns",
+            HistId::EhCascadeLen => "eh_cascade_len",
+        }
+    }
+}
+
+/// A borrowed structural event: a name plus key/value fields. Allocation
+/// free on the emitting side; sinks that keep events copy into
+/// [`OwnedEvent`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event<'a> {
+    pub name: &'static str,
+    pub fields: &'a [(&'static str, u64)],
+}
+
+/// An event copied out of the hot path by a buffering sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnedEvent {
+    pub name: &'static str,
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+impl fmt::Display for OwnedEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        for (k, v) in &self.fields {
+            write!(f, " {k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The sink instrumented code reports into. Every method has an empty
+/// default body so sinks implement only what they care about, and the
+/// noop path costs nothing.
+pub trait Recorder {
+    /// Whether this recorder observes anything at all. Instrumented code
+    /// may use this to skip clock reads for latency histograms.
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline(always)]
+    fn incr(&self, id: MetricId, by: u64) {
+        let _ = (id, by);
+    }
+
+    #[inline(always)]
+    fn observe(&self, id: HistId, value: u64) {
+        let _ = (id, value);
+    }
+
+    #[inline(always)]
+    fn event(&self, event: Event<'_>) {
+        let _ = event;
+    }
+}
+
+/// The disabled recorder: every method is an empty inline body, so
+/// code monomorphized over it is identical to uninstrumented code.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+impl<T: Recorder + ?Sized> Recorder for &T {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline(always)]
+    fn incr(&self, id: MetricId, by: u64) {
+        (**self).incr(id, by)
+    }
+
+    #[inline(always)]
+    fn observe(&self, id: HistId, value: u64) {
+        (**self).observe(id, value)
+    }
+
+    #[inline(always)]
+    fn event(&self, event: Event<'_>) {
+        (**self).event(event)
+    }
+}
+
+/// Broadcasts to two recorders (compose into wider fans by nesting).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fanout<A, B>(pub A, pub B);
+
+impl<A: Recorder, B: Recorder> Recorder for Fanout<A, B> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.0.enabled() || self.1.enabled()
+    }
+
+    #[inline]
+    fn incr(&self, id: MetricId, by: u64) {
+        self.0.incr(id, by);
+        self.1.incr(id, by);
+    }
+
+    #[inline]
+    fn observe(&self, id: HistId, value: u64) {
+        self.0.observe(id, value);
+        self.1.observe(id, value);
+    }
+
+    #[inline]
+    fn event(&self, event: Event<'_>) {
+        self.0.event(event);
+        self.1.event(event);
+    }
+}
+
+/// A sink that buffers structural events for later inspection — the
+/// test-facing replacement for a tracing subscriber.
+#[derive(Debug, Default)]
+pub struct BufferSink {
+    events: Mutex<Vec<OwnedEvent>>,
+}
+
+impl BufferSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn drain(&self) -> Vec<OwnedEvent> {
+        std::mem::take(&mut self.events.lock().unwrap())
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Recorder for BufferSink {
+    fn event(&self, event: Event<'_>) {
+        self.events.lock().unwrap().push(OwnedEvent {
+            name: event.name,
+            fields: event.fields.to_vec(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_ids_are_dense_and_named() {
+        for (i, id) in MetricId::ALL.iter().enumerate() {
+            assert_eq!(*id as usize, i);
+            assert!(!id.name().is_empty());
+        }
+        for (i, id) in HistId::ALL.iter().enumerate() {
+            assert_eq!(*id as usize, i);
+            assert!(!id.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn noop_is_disabled() {
+        let r = NoopRecorder;
+        assert!(!r.enabled());
+        r.incr(MetricId::CliItems, 1);
+        r.observe(HistId::PushLatencyNs, 1);
+        r.event(Event {
+            name: "x",
+            fields: &[],
+        });
+    }
+
+    #[test]
+    fn buffer_sink_captures_events() {
+        let sink = BufferSink::new();
+        sink.event(Event {
+            name: "wave_evict",
+            fields: &[("level", 3), ("pos", 17)],
+        });
+        assert_eq!(sink.len(), 1);
+        let evs = sink.drain();
+        assert_eq!(evs[0].name, "wave_evict");
+        assert_eq!(evs[0].fields, vec![("level", 3), ("pos", 17)]);
+        assert_eq!(evs[0].to_string(), "wave_evict level=3 pos=17");
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn fanout_reaches_both() {
+        let a = BufferSink::new();
+        let b = BufferSink::new();
+        let f = Fanout(&a, &b);
+        assert!(f.enabled());
+        f.event(Event {
+            name: "e",
+            fields: &[],
+        });
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+}

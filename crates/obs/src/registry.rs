@@ -1,0 +1,235 @@
+//! The registry: a fixed set of well-known counters and histograms that
+//! itself implements [`Recorder`], so it can be handed directly to
+//! instrumented code.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::histogram::{HistogramSnapshot, LogHistogram};
+use crate::json::JsonWriter;
+use crate::recorder::{Event, HistId, MetricId, Recorder, NUM_HISTS, NUM_METRICS};
+
+/// Lock-free store for every [`MetricId`] counter and [`HistId`]
+/// histogram. Shareable across threads behind `&` or `Arc`.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    counters: [AtomicU64; NUM_METRICS],
+    hists: [LogHistogram; NUM_HISTS],
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: std::array::from_fn(|_| LogHistogram::new()),
+        }
+    }
+
+    pub fn counter(&self, id: MetricId) -> u64 {
+        self.counters[id as usize].load(Ordering::Relaxed)
+    }
+
+    pub fn histogram(&self, id: HistId) -> &LogHistogram {
+        &self.hists[id as usize]
+    }
+
+    pub fn reset(&self) {
+        for c in &self.counters {
+            c.store(0, Ordering::Relaxed);
+        }
+        for h in &self.hists {
+            h.reset();
+        }
+    }
+
+    /// Point-in-time copy of every metric, as a plain struct.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: MetricId::ALL
+                .iter()
+                .map(|&id| (id.name(), self.counter(id)))
+                .collect(),
+            hists: HistId::ALL
+                .iter()
+                .map(|&id| (id.name(), self.hists[id as usize].snapshot()))
+                .collect(),
+        }
+    }
+}
+
+impl Recorder for MetricsRegistry {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn incr(&self, id: MetricId, by: u64) {
+        self.counters[id as usize].fetch_add(by, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn observe(&self, id: HistId, value: u64) {
+        self.hists[id as usize].record(value);
+    }
+
+    #[inline]
+    fn event(&self, _event: Event<'_>) {}
+}
+
+/// Serializable point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter, in [`MetricId::ALL`] order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, snapshot)` for every histogram, in [`HistId::ALL`] order.
+    pub hists: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    pub fn hist(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.hists.iter().find(|(n, _)| *n == name).map(|(_, h)| h)
+    }
+
+    /// Multi-line human-readable rendering. Zero counters and empty
+    /// histograms are elided so small runs stay small.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== metrics ==\n");
+        for &(name, v) in &self.counters {
+            if v > 0 {
+                out.push_str(&format!("{name:<28} {v}\n"));
+            }
+        }
+        for (name, h) in &self.hists {
+            if h.count > 0 {
+                out.push_str(&format!(
+                    "{:<28} count={} mean={:.1} p50={:.0} p90={:.0} p99={:.0} p999={:.0} max={}\n",
+                    name,
+                    h.count,
+                    h.mean(),
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
+                    h.p999(),
+                    h.max,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Single JSON object: counters inline, histograms as sub-objects.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_object("counters");
+        for &(name, v) in &self.counters {
+            w.field_u64(name, v);
+        }
+        w.end_object();
+        w.field_object("histograms");
+        for (name, h) in &self.hists {
+            w.field_object(name);
+            w.field_u64("count", h.count);
+            w.field_u64("min", h.min);
+            w.field_u64("max", h.max);
+            w.field_f64("mean", h.mean());
+            w.field_f64("p50", h.p50());
+            w.field_f64("p90", h.p90());
+            w.field_f64("p99", h.p99());
+            w.field_f64("p999", h.p999());
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_counts_and_observes() {
+        let reg = MetricsRegistry::new();
+        reg.incr(MetricId::CliItems, 3);
+        reg.incr(MetricId::CliItems, 2);
+        reg.observe(HistId::PushLatencyNs, 100);
+        reg.observe(HistId::PushLatencyNs, 300);
+        assert_eq!(reg.counter(MetricId::CliItems), 5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("cli_items_total"), Some(5));
+        assert_eq!(snap.counter("cli_queries_total"), Some(0));
+        let h = snap.hist("push_latency_ns").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 100);
+    }
+
+    #[test]
+    fn text_elides_zeroes() {
+        let reg = MetricsRegistry::new();
+        reg.incr(MetricId::WavePushesTotal, 7);
+        let text = reg.snapshot().to_text();
+        assert!(text.contains("wave_pushes_total"));
+        assert!(!text.contains("cli_items_total"));
+    }
+
+    #[test]
+    fn json_shape_is_parsable_by_eye() {
+        let reg = MetricsRegistry::new();
+        reg.incr(MetricId::WaveQueriesExact, 1);
+        reg.observe(HistId::QueryLatencyNs, 50);
+        let json = reg.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains(r#""wave_queries_exact":1"#));
+        assert!(json.contains(r#""query_latency_ns":{"count":1"#));
+        // Every name appears exactly once, even at zero, so downstream
+        // JSON consumers get a stable schema.
+        assert!(json.contains(r#""eh_pushes_total":0"#));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let reg = MetricsRegistry::new();
+        reg.incr(MetricId::EhPushes, 9);
+        reg.observe(HistId::EhCascadeLen, 4);
+        reg.reset();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("eh_pushes_total"), Some(0));
+        assert_eq!(snap.hist("eh_cascade_len").unwrap().count, 0);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let reg = reg.clone();
+                scope.spawn(move || {
+                    for _ in 0..1_000 {
+                        reg.incr(MetricId::PartyMessagesSent, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter(MetricId::PartyMessagesSent), 4_000);
+    }
+}

@@ -154,8 +154,7 @@ impl DistinctWave {
                 for l in 0..=self.hash.level(v) as usize {
                     if let Some(id) = self.levels[l].map.remove(&v) {
                         self.levels[l].chain.remove(id);
-                        self.levels[l].range_start =
-                            self.levels[l].range_start.max(p + 1);
+                        self.levels[l].range_start = self.levels[l].range_start.max(p + 1);
                     }
                 }
                 self.global_chain.remove(gid);
@@ -358,8 +357,8 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use waves_core::exact::ExactDistinct;
-    use waves_streamgen::{overlapping_value_streams, ZipfValues};
     use waves_streamgen::values::ValueSource;
+    use waves_streamgen::{overlapping_value_streams, ZipfValues};
 
     fn cfg(n: u64, r: u64, eps: f64, m: usize, seed: u64) -> RandConfig {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -418,8 +417,7 @@ mod tests {
         let (n, r, eps, t) = (512u64, 1u64 << 12, 0.3, 3usize);
         let c = cfg(n, r - 1, eps, 9, 4);
         let streams = overlapping_value_streams(t, 2000, r, 0.3, 55);
-        let mut parties: Vec<DistinctParty> =
-            (0..t).map(|_| DistinctParty::new(&c)).collect();
+        let mut parties: Vec<DistinctParty> = (0..t).map(|_| DistinctParty::new(&c)).collect();
         for i in 0..2000 {
             for (j, p) in parties.iter_mut().enumerate() {
                 p.push_value(streams[j][i]);
@@ -428,8 +426,7 @@ mod tests {
         // Truth: a value is in the window if its most recent occurrence
         // (across all parties, on the shared position axis) is.
         let s_start = 2000usize.saturating_sub(n as usize);
-        let mut last: std::collections::HashMap<u64, usize> =
-            std::collections::HashMap::new();
+        let mut last: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
         for i in 0..2000 {
             for st in streams.iter() {
                 last.insert(st[i], i);
@@ -492,8 +489,7 @@ mod tests {
                 .wrapping_add(1442695040888963407);
             w.push_value((x >> 33) % 797);
             if step % 977 == 0 {
-                let global: std::collections::HashSet<u64> =
-                    w.global_map.keys().copied().collect();
+                let global: std::collections::HashSet<u64> = w.global_map.keys().copied().collect();
                 let mut in_levels: std::collections::HashSet<u64> =
                     std::collections::HashSet::new();
                 for l in &w.levels {

@@ -41,8 +41,8 @@ pub mod union_wave;
 
 pub use config::{instances_for, median, RandConfig, PAPER_C};
 pub use distinct::{
-    combine_distinct_instance, estimate_distinct, DistinctMessage, DistinctParty,
-    DistinctReferee, DistinctReport, DistinctWave,
+    combine_distinct_instance, estimate_distinct, DistinctMessage, DistinctParty, DistinctReferee,
+    DistinctReport, DistinctWave,
 };
 pub use referee::{combine_instance, estimate_union, PartyMessage, Referee, UnionParty};
 pub use union_wave::{InstanceReport, UnionWave};

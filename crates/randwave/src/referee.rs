@@ -163,11 +163,7 @@ impl UnionParty {
 
 /// Convenience driver: estimate the union count over the last `n`
 /// positions given all parties and a referee.
-pub fn estimate_union(
-    referee: &Referee,
-    parties: &[UnionParty],
-    n: u64,
-) -> Result<f64, WaveError> {
+pub fn estimate_union(referee: &Referee, parties: &[UnionParty], n: u64) -> Result<f64, WaveError> {
     assert!(!parties.is_empty());
     // All parties must have observed the same stream length in the
     // positionwise model; a silent mismatch would make the shared
@@ -204,21 +200,13 @@ mod tests {
     }
 
     /// Run one full pipeline and return (estimate, actual).
-    fn run(
-        t: usize,
-        len: usize,
-        n: u64,
-        eps: f64,
-        instances: usize,
-        seed: u64,
-    ) -> (f64, u64) {
+    fn run(t: usize, len: usize, n: u64, eps: f64, instances: usize, seed: u64) -> (f64, u64) {
         let mut rng = StdRng::seed_from_u64(seed);
         let cfg = RandConfig::for_positions(n, eps, 0.2, &mut rng)
             .unwrap()
             .with_instances(instances, &mut rng);
         let streams = correlated_streams(t, len, 0.3, 0.2, seed ^ 0xABCD);
-        let mut parties: Vec<UnionParty> =
-            (0..t).map(|_| UnionParty::new(&cfg)).collect();
+        let mut parties: Vec<UnionParty> = (0..t).map(|_| UnionParty::new(&cfg)).collect();
         for i in 0..len {
             for (j, p) in parties.iter_mut().enumerate() {
                 p.push_bit(streams[j][i]);
@@ -303,15 +291,9 @@ mod tests {
         // The referee answers identically from the decoded message.
         let referee = Referee::new(cfg);
         let s = p.pos() + 1 - 512;
-        assert_eq!(
-            referee.estimate(&[msg], s),
-            referee.estimate(&[back], s)
-        );
+        assert_eq!(referee.estimate(&[msg], s), referee.estimate(&[back], s));
         // And the codec beats the fixed-width estimate.
-        let analytic = p
-            .message(512)
-            .unwrap()
-            .wire_bytes(referee.config());
+        let analytic = p.message(512).unwrap().wire_bytes(referee.config());
         assert!(bytes.len() <= analytic, "{} > {analytic}", bytes.len());
     }
 

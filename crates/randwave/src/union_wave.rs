@@ -153,7 +153,10 @@ impl UnionWave {
                 lo = mid + 1;
             }
         }
-        debug_assert!(lo < self.levels.len(), "top level always covers (expired only)");
+        debug_assert!(
+            lo < self.levels.len(),
+            "top level always covers (expired only)"
+        );
         lo.min(self.levels.len() - 1) as u32
     }
 

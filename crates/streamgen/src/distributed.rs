@@ -53,9 +53,7 @@ pub fn positionwise_union(streams: &[Vec<bool>]) -> Vec<bool> {
     assert!(!streams.is_empty());
     let len = streams[0].len();
     assert!(streams.iter().all(|s| s.len() == len));
-    (0..len)
-        .map(|i| streams.iter().any(|s| s[i]))
-        .collect()
+    (0..len).map(|i| streams.iter().any(|s| s[i])).collect()
 }
 
 /// A pair of `n`-bit streams, each with exactly `n/2` ones, at Hamming
@@ -91,11 +89,7 @@ pub fn hamming_pair(n: usize, dist: usize, seed: u64) -> (Vec<bool>, Vec<bool>) 
 /// each party, the list of `(sequence_number, bit)` items it observes.
 /// Sequence numbers are 1-based positions in the logical stream;
 /// assignment is uniformly random per item.
-pub fn split_logical_stream(
-    stream: &[bool],
-    t: usize,
-    seed: u64,
-) -> Vec<Vec<(u64, bool)>> {
+pub fn split_logical_stream(stream: &[bool], t: usize, seed: u64) -> Vec<Vec<(u64, bool)>> {
     assert!(t >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut parts = vec![Vec::new(); t];

@@ -58,13 +58,14 @@
 //! ```
 
 pub use waves_core::{
-    average, basic_wave, chain, codec, decay, det_wave, error, estimate, exact, histogram, level, nth_recent,
-    space, sum_wave, timestamp, timestamp_sum, traits, window,
+    average, basic_wave, chain, codec, decay, det_wave, error, estimate, exact, histogram, level,
+    nth_recent, space, sum_wave, timestamp, timestamp_sum, traits, window,
 };
 pub use waves_core::{
-    decayed_sum, ratio_error_target, ratio_estimate, Decay, DecayedEstimate, BasicWave, BitSynopsis, DetWave, Estimate, ExactCount,
-    ExactDistinct, ExactSum, ModRing, NthRecentWave, RatioEstimate, SlidingAverage, SpaceReport,
-    SumSynopsis, SumWave, TimestampSumWave, TimestampWave, WaveError, WindowedHistogram,
+    decayed_sum, ratio_error_target, ratio_estimate, BasicWave, BitSynopsis, Decay,
+    DecayedEstimate, DetWave, Estimate, ExactCount, ExactDistinct, ExactSum, ModRing,
+    NthRecentWave, RatioEstimate, SlidingAverage, SpaceReport, SumSynopsis, SumWave,
+    TimestampSumWave, TimestampWave, WaveError, WindowedHistogram,
 };
 
 pub use waves_eh::{EhCount, EhSum};
@@ -72,17 +73,24 @@ pub use waves_eh::{EhCount, EhSum};
 pub use waves_gf2::{Gf2Field, LevelHash};
 
 pub use waves_rand::{
-    combine_distinct_instance, combine_instance, estimate_distinct, estimate_union,
-    instances_for, median, DistinctMessage, DistinctParty, DistinctReferee, DistinctReport,
-    DistinctWave, InstanceReport, PartyMessage, RandConfig, Referee, UnionParty, UnionWave,
-    PAPER_C,
+    combine_distinct_instance, combine_instance, estimate_distinct, estimate_union, instances_for,
+    median, DistinctMessage, DistinctParty, DistinctReferee, DistinctReport, DistinctWave,
+    InstanceReport, PartyMessage, RandConfig, Referee, UnionParty, UnionWave, PAPER_C,
 };
 
 pub use waves_distributed::{
     coord_distinct_estimate, coord_union_estimate, det_combine, run_distinct_threaded,
-    run_union_threaded, simulate_async_union, AsyncQueryOutcome, CommStats, CoordDistinctParty, CoordSampleParty, DetCombine,
-    Scenario1Count, Scenario1Sum, Scenario2Count, Scenario3PositionwiseSum, ThreadedRun,
+    run_distinct_threaded_recorded, run_union_threaded, run_union_threaded_recorded,
+    simulate_async_union, AsyncQueryOutcome, CommStats, CoordDistinctParty, CoordSampleParty,
+    DetCombine, PartyComm, Scenario1Count, Scenario1Sum, Scenario2Count, Scenario3PositionwiseSum,
+    ThreadedRun,
 };
+
+/// Observability: counters, latency histograms, event sinks
+/// (re-export of the zero-dependency `waves-obs` crate).
+pub mod obs {
+    pub use waves_obs::*;
+}
 
 /// Workload generators used by the examples, tests, and experiments.
 pub mod streamgen {

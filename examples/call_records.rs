@@ -11,10 +11,10 @@
 //!   * number of calls over the last hour        (timestamp wave),
 //!   * average call duration over the last hour  (sum/count composition).
 
-use waves::streamgen::{CallDurations, ValueSource};
-use waves::{SlidingAverage, SumWave, TimestampWave};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use waves::streamgen::{CallDurations, ValueSource};
+use waves::{SlidingAverage, SumWave, TimestampWave};
 
 fn main() {
     let window_secs = 3_600u64; // one hour of timestamps
@@ -26,20 +26,12 @@ fn main() {
 
     // Billed seconds per *second slot*, summed over the hour. Each slot
     // aggregates at most max_calls_per_second * max_duration seconds.
-    let mut billed = SumWave::new(
-        window_secs,
-        max_calls_per_second * max_duration,
-        eps,
-    )
-    .expect("valid parameters");
+    let mut billed = SumWave::new(window_secs, max_calls_per_second * max_duration, eps)
+        .expect("valid parameters");
 
     // Calls in the last hour (timestamped counting, Corollary 1).
-    let mut calls = TimestampWave::new(
-        window_secs,
-        window_secs * max_calls_per_second,
-        eps,
-    )
-    .expect("valid parameters");
+    let mut calls = TimestampWave::new(window_secs, window_secs * max_calls_per_second, eps)
+        .expect("valid parameters");
 
     // Average duration via the eps/(2+eps) composition of Section 5.
     let mut avg = SlidingAverage::with_eps(

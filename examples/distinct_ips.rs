@@ -12,9 +12,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
 use waves::streamgen::{ValueSource, ZipfValues};
 use waves::{DistinctParty, DistinctReferee, RandConfig};
-use std::collections::HashMap;
 
 fn main() {
     let servers = 4usize;
@@ -36,8 +36,7 @@ fn main() {
         cfg.queue_capacity()
     );
 
-    let mut parties: Vec<DistinctParty> =
-        (0..servers).map(|_| DistinctParty::new(&cfg)).collect();
+    let mut parties: Vec<DistinctParty> = (0..servers).map(|_| DistinctParty::new(&cfg)).collect();
 
     // Zipf-distributed clients (heavy hitters shared across servers),
     // plus a per-server long tail.

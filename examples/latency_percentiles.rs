@@ -7,9 +7,9 @@
 //! cargo run --release -p waves --example latency_percentiles
 //! ```
 
+use std::collections::VecDeque;
 use waves::streamgen::{CallDurations, ValueSource};
 use waves::WindowedHistogram;
-use std::collections::VecDeque;
 
 fn main() {
     let window = 50_000u64; // last 50k requests
@@ -24,8 +24,8 @@ fn main() {
         e *= 2;
     }
     edges.push(max_latency_us + 1);
-    let mut hist = WindowedHistogram::with_edges(window, edges, eps)
-        .expect("valid histogram parameters");
+    let mut hist =
+        WindowedHistogram::with_edges(window, edges, eps).expect("valid histogram parameters");
     println!(
         "== latency histogram: {} log-spaced buckets over [0, {}] us, window {window}, eps {eps} ==",
         hist.buckets(),
@@ -56,7 +56,10 @@ fn main() {
 
     let mut sorted: Vec<u64> = truth.iter().copied().collect();
     sorted.sort_unstable();
-    println!("\n{:>6} {:>12} {:>24}", "q", "exact (us)", "certified range (us)");
+    println!(
+        "\n{:>6} {:>12} {:>24}",
+        "q", "exact (us)", "certified range (us)"
+    );
     for q in [0.50f64, 0.90, 0.95, 0.99, 0.999] {
         let idx = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
         let exact = sorted[idx];

@@ -9,12 +9,15 @@
 //! ```
 //!
 //! Runs one OS thread per monitor, queries at checkpoints, and reports
-//! estimate vs. truth and the communication spent.
+//! estimate vs. truth, the communication spent (total and per monitor),
+//! referee combine latency, and a metrics snapshot from the
+//! observability layer.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use waves::obs::MetricsRegistry;
 use waves::streamgen::{correlated_streams, positionwise_union};
-use waves::{run_union_threaded, RandConfig};
+use waves::{run_union_threaded_recorded, RandConfig};
 
 fn main() {
     let monitors = 8usize;
@@ -26,8 +29,7 @@ fn main() {
 
     // Stored coins: sampled once, shipped to every monitor.
     let mut rng = StdRng::seed_from_u64(2026);
-    let cfg = RandConfig::for_positions(window, eps, delta, &mut rng)
-        .expect("valid parameters");
+    let cfg = RandConfig::for_positions(window, eps, delta, &mut rng).expect("valid parameters");
     println!(
         "shared config: {} instances, {} levels, {} positions/queue, {} coin bits",
         cfg.instances(),
@@ -42,7 +44,8 @@ fn main() {
     let union = positionwise_union(&streams);
 
     let checkpoints: Vec<u64> = (1..=4).map(|i| (intervals as u64 / 4) * i).collect();
-    let run = run_union_threaded(&cfg, &streams, &checkpoints, window);
+    let registry = MetricsRegistry::new();
+    let run = run_union_threaded_recorded(&cfg, &streams, &checkpoints, window, &registry);
 
     println!(
         "\n{:>10} {:>10} {:>12} {:>10} {:>12}",
@@ -73,6 +76,28 @@ fn main() {
         run.comm.messages,
         run.comm.bytes,
         run.comm.bytes / run.comm.messages
+    );
+    for (j, pc) in run.comm.per_party.iter().enumerate() {
+        println!(
+            "  monitor {j}: {} messages, {} bytes",
+            pc.messages, pc.bytes
+        );
+    }
+    if let Some((j, pc)) = run.comm.worst_party() {
+        println!(
+            "  worst monitor: #{j} at {} bytes (the paper's per-party bound)",
+            pc.bytes
+        );
+    }
+    println!(
+        "referee combine: {} calls, p50 = {:.0} ns, max = {} ns",
+        run.combine_ns.count,
+        run.combine_ns.p50(),
+        run.combine_ns.max
+    );
+    println!(
+        "\n== metrics snapshot ==\n{}",
+        registry.snapshot().to_text()
     );
     println!("ok: union tracked within eps at every checkpoint");
 }

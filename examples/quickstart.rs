@@ -54,10 +54,7 @@ fn main() {
     let space = wave.space_report();
     println!(
         "wave space: {} entries, {} synopsis bits ({} bytes resident) vs {} bits exact\n",
-        space.entries,
-        space.synopsis_bits,
-        space.resident_bytes,
-        window
+        space.entries, space.synopsis_bits, space.resident_bytes, window
     );
 
     // ---------------------------------------------------------------

@@ -6,9 +6,9 @@
 //! cargo run --release -p waves --example recent_events
 //! ```
 
+use std::collections::VecDeque;
 use waves::streamgen::{BitSource, Bursty};
 use waves::{DetWave, NthRecentWave};
-use std::collections::VecDeque;
 
 fn main() {
     let max_age = 1u64 << 16;
@@ -36,7 +36,10 @@ fn main() {
     }
 
     println!("total alerts observed: {}", wave.rank());
-    println!("\n{:>8} {:>12} {:>16} {:>10}", "n", "actual age", "estimated age", "rel err");
+    println!(
+        "\n{:>8} {:>12} {:>16} {:>10}",
+        "n", "actual age", "estimated age", "rel err"
+    );
     for n in [1u64, 10, 100, 1_000, 5_000] {
         if (truth.len() as u64) < n {
             println!("{n:>8} {:>12}", "—");
@@ -52,7 +55,11 @@ fn main() {
                 };
                 println!(
                     "{:>8} {:>12} {:>7} in [{}, {}] {:>9.3}%",
-                    n, actual, est.value, est.lo, est.hi,
+                    n,
+                    actual,
+                    est.value,
+                    est.lo,
+                    est.hi,
                     100.0 * err
                 );
                 assert!(est.brackets(actual));

@@ -8,7 +8,7 @@
 //! harness that catches state-machine bugs that fixed scenarios miss.
 
 use proptest::prelude::*;
-use waves::streamgen::{BitSource, Bernoulli};
+use waves::streamgen::{Bernoulli, BitSource};
 use waves::{
     DetWave, EhCount, EhSum, ExactCount, ExactSum, SumWave, TimestampSumWave, TimestampWave,
 };

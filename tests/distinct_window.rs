@@ -52,8 +52,7 @@ fn distributed_union_of_values_within_eps() {
     let streams = overlapping_value_streams(t, 6_000, domain, 0.25, 41);
     let mut rng = StdRng::seed_from_u64(6);
     let cfg = RandConfig::for_values(n, domain - 1, eps, delta, &mut rng).unwrap();
-    let mut parties: Vec<DistinctParty> =
-        (0..t).map(|_| DistinctParty::new(&cfg)).collect();
+    let mut parties: Vec<DistinctParty> = (0..t).map(|_| DistinctParty::new(&cfg)).collect();
     for i in 0..6_000 {
         for (j, p) in parties.iter_mut().enumerate() {
             p.push_value(streams[j][i]);
@@ -95,10 +94,7 @@ fn predicates_at_query_time() {
         ("mod-3", Box::new(|v| v % 3 == 0)),
     ];
     for (name, pred) in &preds {
-        let actual = last
-            .iter()
-            .filter(|&(&v, &p)| p >= s && pred(v))
-            .count() as f64;
+        let actual = last.iter().filter(|&(&v, &p)| p >= s && pred(v)).count() as f64;
         let est = referee.estimate_predicate(&msg, s, Some(pred.as_ref()));
         let rel = (est - actual).abs() / actual.max(1.0);
         // Selectivity >= 1/4 here; allow the 1/alpha-degraded bound.

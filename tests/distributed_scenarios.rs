@@ -4,14 +4,10 @@
 //! Integration: the three distributed sliding-window scenarios of
 //! Section 3.4, end-to-end.
 
-use waves::streamgen::{
-    correlated_streams, positionwise_union, split_logical_stream,
-};
-use waves::{
-    run_union_threaded, RandConfig, Scenario1Count, Scenario1Sum, Scenario2Count,
-};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use waves::streamgen::{correlated_streams, positionwise_union, split_logical_stream};
+use waves::{run_union_threaded, RandConfig, Scenario1Count, Scenario1Sum, Scenario2Count};
 
 #[test]
 fn scenario1_counts_within_eps() {

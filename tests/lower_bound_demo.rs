@@ -16,9 +16,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use waves::streamgen::hamming_pair;
-use waves::{
-    det_combine, estimate_union, DetCombine, DetWave, RandConfig, Referee, UnionParty,
-};
+use waves::{det_combine, estimate_union, DetCombine, DetWave, RandConfig, Referee, UnionParty};
 
 /// Feed a bit vector to a fresh deterministic wave and return a compact
 /// fingerprint of its full state (levels + counters) — everything a
@@ -28,11 +26,7 @@ fn wave_synopsis(bits: &[bool], n: u64, eps: f64) -> Vec<(u64, u64)> {
     for &b in bits {
         w.push_bit(b);
     }
-    let mut state: Vec<(u64, u64)> = w
-        .level_contents()
-        .into_iter()
-        .flatten()
-        .collect();
+    let mut state: Vec<(u64, u64)> = w.level_contents().into_iter().flatten().collect();
     state.push((w.pos(), w.rank()));
     state
 }
@@ -94,9 +88,7 @@ fn synopsis_collision_constructed() {
         forced_rel > 1.0 / 64.0,
         "forced relative error {forced_rel} too small"
     );
-    println!(
-        "constructed collision: moved {moved} ones, forced relative error {forced_rel:.3}"
-    );
+    println!("constructed collision: moved {moved} ones, forced relative error {forced_rel:.3}");
 }
 
 #[test]

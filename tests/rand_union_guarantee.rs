@@ -30,8 +30,7 @@ fn per_instance_success_rate_above_two_thirds() {
         let cfg = RandConfig::for_positions(n, eps, 0.3, &mut rng)
             .unwrap()
             .with_instances(1, &mut rng);
-        let mut parties: Vec<UnionParty> =
-            (0..t).map(|_| UnionParty::new(&cfg)).collect();
+        let mut parties: Vec<UnionParty> = (0..t).map(|_| UnionParty::new(&cfg)).collect();
         for i in 0..len {
             for (j, p) in parties.iter_mut().enumerate() {
                 p.push_bit(streams[j][i]);
@@ -68,8 +67,7 @@ fn median_estimator_beats_delta() {
         let actual = exact_window_union(&streams, n) as f64;
         let mut rng = StdRng::seed_from_u64(seed);
         let cfg = RandConfig::for_positions(n, eps, delta, &mut rng).unwrap();
-        let mut parties: Vec<UnionParty> =
-            (0..t).map(|_| UnionParty::new(&cfg)).collect();
+        let mut parties: Vec<UnionParty> = (0..t).map(|_| UnionParty::new(&cfg)).collect();
         for i in 0..len {
             for (j, p) in parties.iter_mut().enumerate() {
                 p.push_bit(streams[j][i]);
@@ -92,8 +90,7 @@ fn guarantee_independent_of_party_count() {
         let actual = exact_window_union(&streams, n) as f64;
         let mut rng = StdRng::seed_from_u64(7 + t as u64);
         let cfg = RandConfig::for_positions(n, eps, 0.05, &mut rng).unwrap();
-        let mut parties: Vec<UnionParty> =
-            (0..t).map(|_| UnionParty::new(&cfg)).collect();
+        let mut parties: Vec<UnionParty> = (0..t).map(|_| UnionParty::new(&cfg)).collect();
         for i in 0..len {
             for (j, p) in parties.iter_mut().enumerate() {
                 p.push_bit(streams[j][i]);
@@ -114,8 +111,7 @@ fn window_sizes_smaller_than_max() {
     let streams = correlated_streams(t, len, 0.3, 0.3, 44);
     let mut rng = StdRng::seed_from_u64(9);
     let cfg = RandConfig::for_positions(n_max, eps, 0.05, &mut rng).unwrap();
-    let mut parties: Vec<UnionParty> =
-        (0..t).map(|_| UnionParty::new(&cfg)).collect();
+    let mut parties: Vec<UnionParty> = (0..t).map(|_| UnionParty::new(&cfg)).collect();
     for i in 0..len {
         for (j, p) in parties.iter_mut().enumerate() {
             p.push_bit(streams[j][i]);
