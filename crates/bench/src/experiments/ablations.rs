@@ -41,8 +41,8 @@ pub fn levels() {
                 eo = eo.max(opt.query(n).unwrap().relative_error(actual));
             }
         }
-        use waves_core::BitSynopsis;
-        let br = BitSynopsis::space_report(&basic);
+        use waves_core::Synopsis;
+        let br = Synopsis::space_report(&basic);
         let or = opt.space_report();
         assert!(eb <= eps + 1e-9 && eo <= eps + 1e-9);
         t.row(&[
@@ -169,7 +169,7 @@ pub fn estimator() {
     println!("endpoint — that factor of 2 is exactly what makes the eps bound tight.");
 }
 
-/// A5: coordinated sampling [18] vs the randomized wave on *window*
+/// A5: coordinated sampling \[18\] vs the randomized wave on *window*
 /// queries at equal memory.
 pub fn coordinated() {
     println!("A5 — coordinated sampling (SPAA'01) vs randomized wave on windows");

@@ -1,0 +1,197 @@
+//! E18: serving-engine ingest scaling across shards, keys, and batches.
+//!
+//! The engine's pitch is that per-key synopses parallelize trivially:
+//! keys hash to independent shard threads, so ingest throughput should
+//! grow as shards are added until the single producer thread becomes
+//! the bottleneck. This experiment replays a pre-generated keyed
+//! workload (so generation cost is off the clock) through engines with
+//! 1/2/4 shards, across two key-population sizes and two ingest batch
+//! sizes, and reports best-of-reps throughput.
+//!
+//! Acceptance lines:
+//! * throughput must increase monotonically from 1 to 4 shards on the
+//!   100k-key workload (the headline claim);
+//! * an engine reporting into a live `MetricsRegistry` must stay within
+//!   the workspace's 2% observability budget — engine metrics are
+//!   recorded per *batch*, not per bit, so the cost amortizes away.
+
+use crate::table::{f, Table};
+use std::sync::Arc;
+use std::time::Instant;
+use waves_engine::{Engine, EngineConfig, KeyedBits};
+use waves_obs::MetricsRegistry;
+use waves_streamgen::KeyedWorkload;
+
+const REPS: usize = 3;
+const EVENTS: u64 = 200_000;
+const BITS_PER_EVENT: usize = 32;
+const WINDOW: u64 = 256;
+const EPS: f64 = 0.2;
+
+fn make_batches(num_keys: u64, batch: usize) -> Vec<Vec<KeyedBits>> {
+    let mut workload = KeyedWorkload::new(num_keys, BITS_PER_EVENT, 0.5, 18);
+    let mut batches = Vec::new();
+    let mut remaining = EVENTS;
+    while remaining > 0 {
+        let n = remaining.min(batch as u64) as usize;
+        batches.push(workload.next_batch(n));
+        remaining -= n as u64;
+    }
+    batches
+}
+
+fn engine_cfg(shards: usize) -> EngineConfig {
+    EngineConfig::builder()
+        .num_shards(shards)
+        .max_window(WINDOW)
+        .eps(EPS)
+        .build()
+}
+
+/// One blocking replay (every batch plus the flush barrier, so all work
+/// is on the clock); returns throughput in Mbit/s.
+fn one_run(shards: usize, batches: &[Vec<KeyedBits>]) -> f64 {
+    let engine = Engine::new(engine_cfg(shards)).unwrap();
+    let t0 = Instant::now();
+    for b in batches {
+        engine.ingest_batch_blocking(b);
+    }
+    engine.flush();
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(engine.dropped_items(), 0, "blocking path must not shed");
+    (EVENTS as usize * BITS_PER_EVENT) as f64 / secs / 1e6
+}
+
+/// Same measurement with a live metrics registry attached.
+fn one_run_recorded(shards: usize, batches: &[Vec<KeyedBits>]) -> f64 {
+    let reg = Arc::new(MetricsRegistry::new());
+    let engine = Engine::new_recorded(engine_cfg(shards), Arc::clone(&reg)).unwrap();
+    let t0 = Instant::now();
+    for b in batches {
+        engine.ingest_batch_blocking(b);
+    }
+    engine.flush();
+    let secs = t0.elapsed().as_secs_f64();
+    std::hint::black_box(reg.snapshot());
+    (EVENTS as usize * BITS_PER_EVENT) as f64 / secs / 1e6
+}
+
+/// Best-of-`REPS` throughput.
+fn best_tput(shards: usize, batches: &[Vec<KeyedBits>]) -> f64 {
+    (0..REPS).fold(0.0f64, |best, _| best.max(one_run(shards, batches)))
+}
+
+pub fn run() {
+    println!("E18 — engine ingest scaling (shards x keys x batch)");
+    println!("===================================================\n");
+    println!("{EVENTS} events x {BITS_PER_EVENT} bits, DetWave(N={WINDOW}, eps={EPS}) per key,");
+    println!("blocking ingest + flush, best of {REPS} reps.\n");
+
+    let shard_counts = [1usize, 2, 4];
+    let mut t = Table::new(&[
+        "keys",
+        "batch",
+        "1 shard Mbit/s",
+        "2 shards",
+        "4 shards",
+        "4-vs-1",
+    ]);
+    for &num_keys in &[10_000u64, 100_000] {
+        for &batch in &[32usize, 256] {
+            let batches = make_batches(num_keys, batch);
+            let tputs: Vec<f64> = shard_counts
+                .iter()
+                .map(|&s| best_tput(s, &batches))
+                .collect();
+            t.row(&[
+                format!("{num_keys}"),
+                format!("{batch}"),
+                f(tputs[0]),
+                f(tputs[1]),
+                f(tputs[2]),
+                format!("{:.2}x", tputs[2] / tputs[0]),
+            ]);
+        }
+    }
+    t.print();
+
+    // Headline acceptance on the 100k-key workload. Shard counts are
+    // interleaved round-robin across extra reps (E17's trick) so noise
+    // and frequency drift hit every configuration alike.
+    let batches = make_batches(100_000, 256);
+    let mut headline = [0.0f64; 3];
+    for _ in 0..(2 * REPS) {
+        for (i, &s) in shard_counts.iter().enumerate() {
+            headline[i] = headline[i].max(one_run(s, &batches));
+        }
+    }
+    let monotone = headline.windows(2).all(|w| w[1] > w[0]);
+    // The parallel-speedup claim needs at least as many cores as shards;
+    // on a smaller machine the shard threads time-slice one core and the
+    // comparison measures only scheduler noise, so report SKIP rather
+    // than a fake verdict either way.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let verdict = if cores >= 4 {
+        if monotone {
+            "PASS".into()
+        } else {
+            "FAIL".into()
+        }
+    } else {
+        format!("SKIP ({cores} core(s) available; the speedup claim needs >= 4)")
+    };
+    println!(
+        "\nmonotone 1 -> 2 -> 4 shard speedup at 100k keys: {} — {}",
+        shard_counts
+            .iter()
+            .zip(headline)
+            .map(|(s, tp)| format!("{s}:{tp:.0}"))
+            .collect::<Vec<_>>()
+            .join("  "),
+        verdict
+    );
+
+    // Observability budget: engine metrics are recorded per batch, so
+    // live recording must be indistinguishable from the noop engine at
+    // realistic batch sizes. Interleaved best-of, as above; extra reps
+    // because cross-thread measurements are the noisiest in the suite.
+    let (mut noop, mut live) = (0.0f64, 0.0f64);
+    for _ in 0..(3 * REPS) {
+        noop = noop.max(one_run(4, &batches));
+        live = live.max(one_run_recorded(4, &batches));
+    }
+    let overhead = 100.0 * (noop - live) / noop;
+    println!(
+        "\nlive-metrics ingest overhead at 4 shards: {overhead:+.2}% (budget: <= 2%) — {}",
+        if overhead <= 2.0 { "PASS" } else { "FAIL" }
+    );
+    println!("\nExpected shape: near-linear speedup 1 -> 4 shards while per-bit");
+    println!("synopsis work dominates; small batches pay more channel overhead,");
+    println!("and the 10k-key rows run slightly hotter caches than 100k.");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature version of the measurement: the harness must replay
+    /// everything losslessly and produce a positive throughput.
+    #[test]
+    fn tiny_sweep_replays_losslessly() {
+        let mut workload = KeyedWorkload::new(100, 8, 0.5, 18);
+        let batches: Vec<_> = (0..10).map(|_| workload.next_batch(16)).collect();
+        for shards in [1usize, 2] {
+            let engine = Engine::new(engine_cfg(shards)).unwrap();
+            for b in &batches {
+                engine.ingest_batch_blocking(b);
+            }
+            engine.flush();
+            assert_eq!(engine.dropped_items(), 0);
+            let snap = engine.snapshot();
+            assert_eq!(snap.shards.len(), shards);
+            assert!(snap.keys() > 0 && snap.keys() <= 100);
+        }
+    }
+}

@@ -3,6 +3,7 @@
 pub mod ablations;
 pub mod det_error;
 pub mod distinct;
+pub mod engine_scaling;
 pub mod extensions;
 pub mod figures;
 pub mod hash;
@@ -39,6 +40,7 @@ pub fn run(id: &str) -> bool {
         "ablate-estimator" => ablations::estimator(),
         "coordinated" => ablations::coordinated(),
         "obs-overhead" => obs_overhead::run(),
+        "engine-scaling" => engine_scaling::run(),
         _ => return false,
     }
     true

@@ -64,6 +64,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "obs-overhead",
         "E17: noop-recorder cost on the push hot path (<= 2%)",
     ),
+    (
+        "engine-scaling",
+        "E18: serving-engine ingest scaling (shards x keys x batch)",
+    ),
 ];
 
 #[cfg(test)]

@@ -14,17 +14,27 @@ MODES:
     distinct    distinct values, randomized (eps, delta) scheme
     average     average of timestamped records (lines: '<ts> <value>';
                 the window is the last N time units)
+    engine      sharded multi-key serving engine: replay a generated
+                keyed workload and report per-shard state (no stdin)
 
 OPTIONS:
     --window <N>      maximum window size            [default: 1024]
     --eps <E>         relative error bound, 0<E<1    [default: 0.1]
     --delta <D>       failure probability (distinct) [default: 0.05]
     --max-value <R>   value bound (sum / distinct)   [default: 65535]
-    --seed <S>        stored-coins seed (distinct)   [default: 42]
+    --seed <S>        seed (distinct coins / engine workload)
+                                                     [default: 42]
     --stats           collect metrics (latency quantiles, structural
                       counters) and dump them at end of stream
     --json            render metrics dumps as JSON (implies --stats)
     --help            print this help
+
+ENGINE OPTIONS (engine mode only):
+    --shards <T>      worker threads                 [default: 4]
+    --keys <K>        distinct stream keys           [default: 1000]
+    --items <I>       events to replay               [default: 10000]
+    --batch <B>       events per ingest batch        [default: 64]
+    --synopsis <S>    per-key synopsis: det | eh     [default: det]
 
 INPUT PROTOCOL (one token per line):
     <value>     stream item
@@ -41,8 +51,19 @@ pub enum Mode {
     Count,
     Sum,
     Distinct,
-    /// Average of timestamped records (input lines: "<ts> <value>").
+    /// Average of timestamped records (input lines: `<ts> <value>`).
     Average,
+    /// Sharded multi-key serving engine replaying a generated workload.
+    Engine,
+}
+
+/// Which per-key synopsis the engine serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynopsisKind {
+    /// The paper's deterministic wave.
+    Det,
+    /// The exponential-histogram baseline.
+    Eh,
 }
 
 /// Parsed configuration.
@@ -58,6 +79,36 @@ pub struct Config {
     pub stats: bool,
     /// Render metrics dumps as JSON (implies `stats`).
     pub json: bool,
+    /// Engine mode: worker threads.
+    pub shards: usize,
+    /// Engine mode: distinct stream keys in the workload.
+    pub keys: u64,
+    /// Engine mode: events to replay.
+    pub items: u64,
+    /// Engine mode: events per ingest batch.
+    pub batch: usize,
+    /// Engine mode: per-key synopsis family.
+    pub synopsis: SynopsisKind,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            mode: Mode::Count,
+            window: 1024,
+            eps: 0.1,
+            delta: 0.05,
+            max_value: 65_535,
+            seed: 42,
+            stats: false,
+            json: false,
+            shards: 4,
+            keys: 1000,
+            items: 10_000,
+            batch: 64,
+            synopsis: SynopsisKind::Det,
+        }
+    }
 }
 
 /// Argument errors.
@@ -98,17 +149,12 @@ pub fn parse(argv: &[String]) -> Result<Option<Config>, ArgError> {
         "sum" => Mode::Sum,
         "distinct" => Mode::Distinct,
         "average" => Mode::Average,
+        "engine" => Mode::Engine,
         other => return Err(ArgError::UnknownMode(other.to_string())),
     };
     let mut cfg = Config {
         mode,
-        window: 1024,
-        eps: 0.1,
-        delta: 0.05,
-        max_value: 65_535,
-        seed: 42,
-        stats: false,
-        json: false,
+        ..Config::default()
     };
     let mut i = 1;
     while i < argv.len() {
@@ -148,6 +194,44 @@ pub fn parse(argv: &[String]) -> Result<Option<Config>, ArgError> {
             "--seed" => {
                 let v = value(i)?;
                 cfg.seed = v.parse().map_err(|_| bad(v))?;
+                i += 2;
+            }
+            "--shards" => {
+                let v = value(i)?;
+                cfg.shards = v.parse().map_err(|_| bad(v))?;
+                if cfg.shards == 0 {
+                    return Err(bad(v));
+                }
+                i += 2;
+            }
+            "--keys" => {
+                let v = value(i)?;
+                cfg.keys = v.parse().map_err(|_| bad(v))?;
+                if cfg.keys == 0 {
+                    return Err(bad(v));
+                }
+                i += 2;
+            }
+            "--items" => {
+                let v = value(i)?;
+                cfg.items = v.parse().map_err(|_| bad(v))?;
+                i += 2;
+            }
+            "--batch" => {
+                let v = value(i)?;
+                cfg.batch = v.parse().map_err(|_| bad(v))?;
+                if cfg.batch == 0 {
+                    return Err(bad(v));
+                }
+                i += 2;
+            }
+            "--synopsis" => {
+                let v = value(i)?;
+                cfg.synopsis = match v.as_str() {
+                    "det" => SynopsisKind::Det,
+                    "eh" => SynopsisKind::Eh,
+                    _ => return Err(bad(v)),
+                };
                 i += 2;
             }
             "--stats" => {
@@ -215,6 +299,35 @@ mod tests {
             Err(ArgError::UnknownFlag(_))
         ));
         assert!(matches!(parse(&[]), Err(ArgError::MissingMode)));
+    }
+
+    #[test]
+    fn parses_engine_mode() {
+        let cfg = parse(&argv(
+            "engine --shards 8 --keys 100000 --items 500000 --batch 256 --synopsis eh",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(cfg.mode, Mode::Engine);
+        assert_eq!(cfg.shards, 8);
+        assert_eq!(cfg.keys, 100_000);
+        assert_eq!(cfg.items, 500_000);
+        assert_eq!(cfg.batch, 256);
+        assert_eq!(cfg.synopsis, SynopsisKind::Eh);
+        // Defaults.
+        let cfg = parse(&argv("engine")).unwrap().unwrap();
+        assert_eq!(cfg.shards, 4);
+        assert_eq!(cfg.keys, 1000);
+        assert_eq!(cfg.synopsis, SynopsisKind::Det);
+        // Validation.
+        assert!(matches!(
+            parse(&argv("engine --shards 0")),
+            Err(ArgError::BadValue(..))
+        ));
+        assert!(matches!(
+            parse(&argv("engine --synopsis frob")),
+            Err(ArgError::BadValue(..))
+        ));
     }
 
     #[test]

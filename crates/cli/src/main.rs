@@ -23,6 +23,7 @@ use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 mod args;
+mod engine;
 mod run;
 
 fn main() -> ExitCode {
@@ -38,9 +39,23 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
+    // Engine mode replays a generated workload; no stdin involved.
+    if cfg.mode == args::Mode::Engine {
+        return match engine::run_engine(&cfg, &mut out) {
+            Ok(()) => {
+                out.flush().ok();
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                out.flush().ok();
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let stdin = std::io::stdin();
     match run::run(cfg, &mut stdin.lock().lines(), &mut out) {
         Ok(()) => {
             out.flush().ok();

@@ -39,6 +39,9 @@ impl Synopsis {
                 )
                 .map_err(|e| e.to_string())?,
             )),
+            Mode::Engine => Err("engine mode replays a generated workload; it is handled \
+                 before the stream loop"
+                .into()),
             Mode::Distinct => {
                 let mut rng = StdRng::seed_from_u64(cfg.seed);
                 let rc =
@@ -326,8 +329,7 @@ mod tests {
             delta: 0.05,
             max_value: 1,
             seed: 1,
-            stats: false,
-            json: false,
+            ..Config::default()
         }
     }
 
@@ -374,8 +376,7 @@ mod tests {
             delta: 0.05,
             max_value: 100,
             seed: 1,
-            stats: false,
-            json: false,
+            ..Config::default()
         };
         let out = run_lines(cfg, "10\n20\n30\n40\n50\n?\n").unwrap();
         // Window of 4: 20+30+40+50 = 140.
@@ -391,8 +392,7 @@ mod tests {
             delta: 0.3,
             max_value: 255,
             seed: 1,
-            stats: false,
-            json: false,
+            ..Config::default()
         };
         let out = run_lines(cfg, "5\n5\n9\n5\n?\n").unwrap();
         assert!(out.contains("estimate 2"), "{out}");
@@ -407,8 +407,7 @@ mod tests {
             delta: 0.05,
             max_value: 100,
             seed: 1,
-            stats: false,
-            json: false,
+            ..Config::default()
         };
         let out = run_lines(cfg.clone(), "1 10\n2 20\n3 30\n?\n").unwrap();
         assert!(out.contains("estimate 20"), "{out}");
@@ -484,8 +483,7 @@ mod tests {
             delta: 0.05,
             max_value: 100,
             seed: 1,
-            stats: false,
-            json: false,
+            ..Config::default()
         };
         let out = run_lines(cfg, "10\n20\n! json\n").unwrap();
         assert!(out.contains(r#""mode":"sum""#), "{out}");

@@ -60,13 +60,57 @@ pub struct DetWave {
     queues: Vec<Fifo>,
 }
 
-impl DetWave {
-    /// Build a wave with error bound `eps` for windows up to `max_window`.
-    pub fn new(max_window: u64, eps: f64) -> Result<Self, WaveError> {
-        if !(eps > 0.0 && eps < 1.0) {
-            return Err(WaveError::InvalidEpsilon(eps));
+/// Builder for [`DetWave`] — the preferred construction surface.
+///
+/// Defaults: `max_window = 1024`, `eps = 0.1`. All validation happens
+/// in [`DetWaveBuilder::build`], so setters are infallible and chain.
+///
+/// ```
+/// use waves_core::DetWave;
+/// let wave = DetWave::builder().max_window(10_000).eps(0.05).build().unwrap();
+/// assert_eq!(wave.max_window(), 10_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetWaveBuilder {
+    max_window: u64,
+    eps: f64,
+}
+
+impl DetWaveBuilder {
+    /// Maximum queryable window `N` (default 1024).
+    pub fn max_window(mut self, n: u64) -> Self {
+        self.max_window = n;
+        self
+    }
+
+    /// Relative error bound, `0 < eps < 1` (default 0.1).
+    pub fn eps(mut self, eps: f64) -> Self {
+        self.eps = eps;
+        self
+    }
+
+    /// Validate the configuration and build the wave.
+    pub fn build(self) -> Result<DetWave, WaveError> {
+        if !(self.eps > 0.0 && self.eps < 1.0) {
+            return Err(WaveError::InvalidEpsilon(self.eps));
         }
-        Self::with_k(max_window, (1.0 / eps).ceil() as u64, eps)
+        DetWave::with_k(self.max_window, (1.0 / self.eps).ceil() as u64, self.eps)
+    }
+}
+
+impl DetWave {
+    /// Start building a wave: `DetWave::builder().max_window(n).eps(e).build()`.
+    pub fn builder() -> DetWaveBuilder {
+        DetWaveBuilder {
+            max_window: 1024,
+            eps: 0.1,
+        }
+    }
+
+    /// Build a wave with error bound `eps` for windows up to `max_window`
+    /// (thin shim over [`DetWave::builder`]).
+    pub fn new(max_window: u64, eps: f64) -> Result<Self, WaveError> {
+        Self::builder().max_window(max_window).eps(eps).build()
     }
 
     /// Build from the integer parameter `k = ceil(1/eps)` directly —
@@ -214,6 +258,28 @@ impl DetWave {
             });
             self.queues[j].push_back(id);
             rec.incr(MetricId::WaveEntriesStored, 1);
+        }
+    }
+
+    /// Process a batch of stream bits, oldest first — observationally
+    /// identical to pushing each bit with [`DetWave::push_bit`] (the
+    /// `push_bits_matches_single_pushes` property test pins the encoded
+    /// state byte-for-byte), but runs of 0s advance the position counter
+    /// in one step and pay for expiry once per run instead of once per
+    /// bit. This is the engine shard workers' ingest path.
+    pub fn push_bits(&mut self, bits: &[bool]) {
+        let mut i = 0;
+        while i < bits.len() {
+            if bits[i] {
+                self.push_bit(true);
+                i += 1;
+            } else {
+                let start = i;
+                while i < bits.len() && !bits[i] {
+                    i += 1;
+                }
+                self.skip_zeros((i - start) as u64);
+            }
         }
     }
 
@@ -589,6 +655,42 @@ mod tests {
                 assert!(basic.query(n).unwrap().relative_error(actual) <= eps + 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn builder_matches_new() {
+        let a = DetWave::new(500, 0.2).unwrap();
+        let b = DetWave::builder().max_window(500).eps(0.2).build().unwrap();
+        assert_eq!(a.k(), b.k());
+        assert_eq!(a.max_window(), b.max_window());
+        assert_eq!(a.num_levels(), b.num_levels());
+        // Defaults are usable as-is.
+        let d = DetWave::builder().build().unwrap();
+        assert_eq!(d.max_window(), 1024);
+        // Validation is deferred to build().
+        assert_eq!(
+            DetWave::builder().eps(2.0).build().unwrap_err(),
+            WaveError::InvalidEpsilon(2.0)
+        );
+        assert_eq!(
+            DetWave::builder().max_window(0).build().unwrap_err(),
+            WaveError::InvalidWindow(0)
+        );
+    }
+
+    #[test]
+    fn push_bits_batches_match_single_pushes() {
+        let mut single = DetWave::new(64, 0.25).unwrap();
+        let mut batched = DetWave::new(64, 0.25).unwrap();
+        let bits = lcg_bits(11, 3000, 5, 1); // sparse: long zero runs
+        for &b in &bits {
+            single.push_bit(b);
+        }
+        for chunk in bits.chunks(37) {
+            batched.push_bits(chunk);
+        }
+        assert_eq!(single.encode(), batched.encode());
+        assert_eq!(single.query_max(), batched.query_max());
     }
 
     #[test]

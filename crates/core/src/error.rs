@@ -2,8 +2,14 @@
 
 use std::fmt;
 
-/// Errors from constructing or querying a wave synopsis.
+/// Errors from constructing or querying a wave synopsis, or from the
+/// serving engine built on top of them.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard
+/// arm so new layers (like the engine) can add variants without a
+/// breaking release.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum WaveError {
     /// `eps` must satisfy `0 < eps < 1`.
     InvalidEpsilon(f64),
@@ -21,6 +27,11 @@ pub enum WaveError {
     TooManyItemsInWindow { bound: u64 },
     /// Quantile queries require `0 < q <= 1`.
     InvalidQuantile(f64),
+    /// A serving-engine shard's ingest queue was full; the caller should
+    /// retry, shed load, or switch to the blocking ingest path.
+    Backpressure { shard: usize },
+    /// The serving engine has never ingested anything for this key.
+    UnknownKey { key: u64 },
 }
 
 impl fmt::Display for WaveError {
@@ -50,6 +61,12 @@ impl fmt::Display for WaveError {
             WaveError::InvalidQuantile(q) => {
                 write!(f, "quantile must be in (0, 1], got {q}")
             }
+            WaveError::Backpressure { shard } => {
+                write!(f, "shard {shard} ingest queue is full (backpressure)")
+            }
+            WaveError::UnknownKey { key } => {
+                write!(f, "no synopsis exists for key {key}")
+            }
         }
     }
 }
@@ -71,5 +88,9 @@ mod tests {
         .contains("10"));
         let e: Box<dyn std::error::Error> = Box::new(WaveError::InvalidWindow(0));
         assert!(e.to_string().contains("invalid"));
+        assert!(WaveError::Backpressure { shard: 3 }
+            .to_string()
+            .contains("3"));
+        assert!(WaveError::UnknownKey { key: 99 }.to_string().contains("99"));
     }
 }

@@ -55,16 +55,16 @@ pub mod window;
 pub use average::{ratio_error_target, ratio_estimate, RatioEstimate, SlidingAverage};
 pub use basic_wave::BasicWave;
 pub use decay::{decayed_sum, Decay, DecayedEstimate};
-pub use det_wave::DetWave;
+pub use det_wave::{DetWave, DetWaveBuilder};
 pub use error::WaveError;
 pub use estimate::{Estimate, SpaceReport};
 pub use exact::{ExactCount, ExactDistinct, ExactSum};
 pub use histogram::WindowedHistogram;
 pub use nth_recent::NthRecentWave;
-pub use sum_wave::SumWave;
+pub use sum_wave::{SumWave, SumWaveBuilder};
 pub use timestamp::TimestampWave;
 pub use timestamp_sum::TimestampSumWave;
-pub use traits::{BitSynopsis, SumSynopsis};
+pub use traits::{BitSynopsis, SumSynopsis, Synopsis};
 pub use window::ModRing;
 
 #[cfg(test)]
@@ -145,6 +145,29 @@ mod proptests {
             let actual = oracle.query(n_max);
             prop_assert!(basic.query(n_max).unwrap().relative_error(actual) <= eps + 1e-9);
             prop_assert!(opt.query_max().relative_error(actual) <= eps + 1e-9);
+        }
+
+        /// Batched ingestion is byte-identical to single pushes: splitting
+        /// an arbitrary stream into arbitrary chunks and feeding them to
+        /// `push_bits` leaves exactly the encoded state of pushing every
+        /// bit individually (the engine shard workers rely on this).
+        #[test]
+        fn push_bits_matches_single_pushes(
+            bits in bit_stream(),
+            chunk in 1usize..=97,
+            inv_eps in 2u64..=10,
+            n_max in 8u64..=256,
+        ) {
+            let eps = 1.0 / inv_eps as f64;
+            let mut single = DetWave::new(n_max, eps).unwrap();
+            let mut batched = DetWave::new(n_max, eps).unwrap();
+            for &b in &bits {
+                single.push_bit(b);
+            }
+            for c in bits.chunks(chunk) {
+                batched.push_bits(c);
+            }
+            prop_assert_eq!(single.encode(), batched.encode());
         }
 
         /// Wave state is insensitive to trailing zeros beyond the window:

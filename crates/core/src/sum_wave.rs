@@ -46,14 +46,75 @@ pub struct SumWave {
     queues: Vec<Fifo>,
 }
 
-impl SumWave {
-    /// Build a sum wave with error bound `eps` for windows up to
-    /// `max_window`, item values in `[0..max_value]`.
-    pub fn new(max_window: u64, max_value: u64, eps: f64) -> Result<Self, WaveError> {
-        if !(eps > 0.0 && eps < 1.0) {
-            return Err(WaveError::InvalidEpsilon(eps));
+/// Builder for [`SumWave`] — the preferred construction surface.
+///
+/// Defaults: `max_window = 1024`, `max_value = 65_535`, `eps = 0.1`.
+/// All validation happens in [`SumWaveBuilder::build`].
+///
+/// ```
+/// use waves_core::SumWave;
+/// let wave = SumWave::builder().max_window(4096).max_value(1000).eps(0.05).build().unwrap();
+/// assert_eq!(wave.max_window(), 4096);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SumWaveBuilder {
+    max_window: u64,
+    max_value: u64,
+    eps: f64,
+}
+
+impl SumWaveBuilder {
+    /// Maximum queryable window `N` (default 1024).
+    pub fn max_window(mut self, n: u64) -> Self {
+        self.max_window = n;
+        self
+    }
+
+    /// Item value bound `R` (default 65_535).
+    pub fn max_value(mut self, r: u64) -> Self {
+        self.max_value = r;
+        self
+    }
+
+    /// Relative error bound, `0 < eps < 1` (default 0.1).
+    pub fn eps(mut self, eps: f64) -> Self {
+        self.eps = eps;
+        self
+    }
+
+    /// Validate the configuration and build the wave.
+    pub fn build(self) -> Result<SumWave, WaveError> {
+        if !(self.eps > 0.0 && self.eps < 1.0) {
+            return Err(WaveError::InvalidEpsilon(self.eps));
         }
-        Self::with_k(max_window, max_value, (1.0 / eps).ceil() as u64, eps)
+        SumWave::with_k(
+            self.max_window,
+            self.max_value,
+            (1.0 / self.eps).ceil() as u64,
+            self.eps,
+        )
+    }
+}
+
+impl SumWave {
+    /// Start building: `SumWave::builder().max_window(n).max_value(r).eps(e).build()`.
+    pub fn builder() -> SumWaveBuilder {
+        SumWaveBuilder {
+            max_window: 1024,
+            max_value: 65_535,
+            eps: 0.1,
+        }
+    }
+
+    /// Build a sum wave with error bound `eps` for windows up to
+    /// `max_window`, item values in `[0..max_value]` (thin shim over
+    /// [`SumWave::builder`]).
+    pub fn new(max_window: u64, max_value: u64, eps: f64) -> Result<Self, WaveError> {
+        Self::builder()
+            .max_window(max_window)
+            .max_value(max_value)
+            .eps(eps)
+            .build()
     }
 
     /// Build from the integer parameter `k = ceil(1/eps)` directly (used
@@ -392,6 +453,23 @@ mod tests {
                 (x >> 33) % (r + 1)
             })
             .collect()
+    }
+
+    #[test]
+    fn builder_matches_new() {
+        let a = SumWave::new(512, 100, 0.2).unwrap();
+        let b = SumWave::builder()
+            .max_window(512)
+            .max_value(100)
+            .eps(0.2)
+            .build()
+            .unwrap();
+        assert_eq!(a.max_window(), b.max_window());
+        assert!(SumWave::builder().eps(0.0).build().is_err());
+        assert!(SumWave::builder().max_window(0).build().is_err());
+        assert!(SumWave::builder().max_value(0).build().is_err());
+        // Defaults are usable as-is.
+        assert_eq!(SumWave::builder().build().unwrap().max_window(), 1024);
     }
 
     #[test]

@@ -1,20 +1,22 @@
 //! Common interfaces implemented by every sliding-window synopsis, so
-//! experiments and benchmarks can be written once and run over waves,
-//! exponential histograms, and exact baselines alike.
+//! experiments, benchmarks, and the serving engine can be written once
+//! and run over waves, exponential histograms, and exact baselines
+//! alike.
+//!
+//! The hierarchy is two-level: [`Synopsis`] carries everything common
+//! to all synopses (identity, window bound, space accounting) and the
+//! two item-type traits [`BitSynopsis`] / [`SumSynopsis`] add the
+//! push/query surface. All three are object-safe, so heterogeneous
+//! collections (`Vec<Box<dyn BitSynopsis>>`) work.
 
 use crate::error::WaveError;
 use crate::estimate::{Estimate, SpaceReport};
 
-/// A synopsis for counting 1's in a sliding window of a bit stream.
-pub trait BitSynopsis {
+/// Everything common to a sliding-window synopsis, independent of the
+/// item type it ingests.
+pub trait Synopsis {
     /// A short stable identifier ("det-wave", "eh", "exact", ...).
     fn name(&self) -> &'static str;
-
-    /// Process the next stream bit.
-    fn push_bit(&mut self, b: bool);
-
-    /// Estimate the number of 1's among the last `n` bits.
-    fn query_window(&self, n: u64) -> Result<Estimate, WaveError>;
 
     /// The maximum queryable window `N`.
     fn max_window(&self) -> u64;
@@ -23,33 +25,37 @@ pub trait BitSynopsis {
     fn space_report(&self) -> SpaceReport;
 }
 
-/// A synopsis for the sum of bounded integers in a sliding window.
-pub trait SumSynopsis {
-    /// A short stable identifier.
-    fn name(&self) -> &'static str;
+/// A synopsis for counting 1's in a sliding window of a bit stream.
+pub trait BitSynopsis: Synopsis {
+    /// Process the next stream bit.
+    fn push_bit(&mut self, b: bool);
 
+    /// Process a batch of stream bits, oldest first. Must be
+    /// observationally identical to pushing each bit individually;
+    /// implementations may override it to amortize per-item work (the
+    /// deterministic wave collapses runs of 0s into one expiry pass).
+    fn push_bits(&mut self, bits: &[bool]) {
+        for &b in bits {
+            self.push_bit(b);
+        }
+    }
+
+    /// Estimate the number of 1's among the last `n` bits.
+    fn query_window(&self, n: u64) -> Result<Estimate, WaveError>;
+}
+
+/// A synopsis for the sum of bounded integers in a sliding window.
+pub trait SumSynopsis: Synopsis {
     /// Process the next item (an integer in `[0..R]`).
     fn push_value(&mut self, v: u64) -> Result<(), WaveError>;
 
     /// Estimate the sum of the last `n` items.
     fn query_window(&self, n: u64) -> Result<Estimate, WaveError>;
-
-    /// The maximum queryable window `N`.
-    fn max_window(&self) -> u64;
-
-    /// Space accounting.
-    fn space_report(&self) -> SpaceReport;
 }
 
-impl BitSynopsis for crate::det_wave::DetWave {
+impl Synopsis for crate::det_wave::DetWave {
     fn name(&self) -> &'static str {
         "det-wave"
-    }
-    fn push_bit(&mut self, b: bool) {
-        crate::det_wave::DetWave::push_bit(self, b)
-    }
-    fn query_window(&self, n: u64) -> Result<Estimate, WaveError> {
-        self.query(n)
     }
     fn max_window(&self) -> u64 {
         crate::det_wave::DetWave::max_window(self)
@@ -59,15 +65,21 @@ impl BitSynopsis for crate::det_wave::DetWave {
     }
 }
 
-impl BitSynopsis for crate::basic_wave::BasicWave {
-    fn name(&self) -> &'static str {
-        "basic-wave"
-    }
+impl BitSynopsis for crate::det_wave::DetWave {
     fn push_bit(&mut self, b: bool) {
-        crate::basic_wave::BasicWave::push_bit(self, b)
+        crate::det_wave::DetWave::push_bit(self, b)
+    }
+    fn push_bits(&mut self, bits: &[bool]) {
+        crate::det_wave::DetWave::push_bits(self, bits)
     }
     fn query_window(&self, n: u64) -> Result<Estimate, WaveError> {
         self.query(n)
+    }
+}
+
+impl Synopsis for crate::basic_wave::BasicWave {
+    fn name(&self) -> &'static str {
+        "basic-wave"
     }
     fn max_window(&self) -> u64 {
         self.max_window()
@@ -94,21 +106,18 @@ impl BitSynopsis for crate::basic_wave::BasicWave {
     }
 }
 
-impl BitSynopsis for crate::exact::ExactCount {
-    fn name(&self) -> &'static str {
-        "exact"
-    }
+impl BitSynopsis for crate::basic_wave::BasicWave {
     fn push_bit(&mut self, b: bool) {
-        crate::exact::ExactCount::push_bit(self, b)
+        crate::basic_wave::BasicWave::push_bit(self, b)
     }
     fn query_window(&self, n: u64) -> Result<Estimate, WaveError> {
-        if n > self.max_window() {
-            return Err(WaveError::WindowTooLarge {
-                requested: n,
-                max: self.max_window(),
-            });
-        }
-        Ok(Estimate::exact(self.query(n)))
+        self.query(n)
+    }
+}
+
+impl Synopsis for crate::exact::ExactCount {
+    fn name(&self) -> &'static str {
+        "exact"
     }
     fn max_window(&self) -> u64 {
         // ExactCount does not expose its bound directly; it prunes to it.
@@ -123,21 +132,39 @@ impl BitSynopsis for crate::exact::ExactCount {
     }
 }
 
-impl SumSynopsis for crate::sum_wave::SumWave {
-    fn name(&self) -> &'static str {
-        "sum-wave"
-    }
-    fn push_value(&mut self, v: u64) -> Result<(), WaveError> {
-        crate::sum_wave::SumWave::push_value(self, v)
+impl BitSynopsis for crate::exact::ExactCount {
+    fn push_bit(&mut self, b: bool) {
+        crate::exact::ExactCount::push_bit(self, b)
     }
     fn query_window(&self, n: u64) -> Result<Estimate, WaveError> {
-        self.query(n)
+        if n > Synopsis::max_window(self) {
+            return Err(WaveError::WindowTooLarge {
+                requested: n,
+                max: Synopsis::max_window(self),
+            });
+        }
+        Ok(Estimate::exact(self.query(n)))
+    }
+}
+
+impl Synopsis for crate::sum_wave::SumWave {
+    fn name(&self) -> &'static str {
+        "sum-wave"
     }
     fn max_window(&self) -> u64 {
         self.max_window()
     }
     fn space_report(&self) -> SpaceReport {
         self.space_report()
+    }
+}
+
+impl SumSynopsis for crate::sum_wave::SumWave {
+    fn push_value(&mut self, v: u64) -> Result<(), WaveError> {
+        crate::sum_wave::SumWave::push_value(self, v)
+    }
+    fn query_window(&self, n: u64) -> Result<Estimate, WaveError> {
+        self.query(n)
     }
 }
 
@@ -159,7 +186,27 @@ mod tests {
             // Ones among bits 68..=99 (i % 3 == 0): 69, 72, ..., 99 -> 11.
             let e = s.query_window(32).unwrap();
             assert!(e.brackets(11));
+            // Supertrait methods are reachable through the object.
             assert!(!s.name().is_empty());
+            assert_eq!(s.max_window(), 32);
+        }
+    }
+
+    #[test]
+    fn default_push_bits_matches_loop() {
+        let bits: Vec<bool> = (0..300).map(|i| i % 5 == 0 || i % 7 == 0).collect();
+        let mut one_at_a_time = crate::basic_wave::BasicWave::new(64, 0.25).unwrap();
+        let mut batched = crate::basic_wave::BasicWave::new(64, 0.25).unwrap();
+        for &b in &bits {
+            one_at_a_time.push_bit(b);
+        }
+        BitSynopsis::push_bits(&mut batched, &bits);
+        for n in [1u64, 17, 64] {
+            assert_eq!(
+                one_at_a_time.query(n).unwrap(),
+                batched.query(n).unwrap(),
+                "n={n}"
+            );
         }
     }
 }

@@ -1,5 +1,5 @@
 //! Coordinated adaptive sampling — the Gibbons–Tirthapura SPAA 2001
-//! baseline (reference [18] of the paper).
+//! baseline (reference \[18\] of the paper).
 //!
 //! The predecessor of randomized waves: each party keeps *one* sample of
 //! the 1-positions (or values) whose hash level is at least a current

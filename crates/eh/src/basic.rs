@@ -1,4 +1,4 @@
-//! Exponential histogram for Basic Counting (Datar et al. [9]).
+//! Exponential histogram for Basic Counting (Datar et al. \[9\]).
 //!
 //! The baseline the paper improves upon. Buckets of power-of-two sizes
 //! partition the recent 1's; for each size there are `m` or `m + 1`
@@ -37,19 +37,42 @@ pub struct EhCount {
     merges: u64,
 }
 
-impl EhCount {
-    /// Build an EH with error bound `eps` for windows up to `max_window`.
-    pub fn new(max_window: u64, eps: f64) -> Result<Self, WaveError> {
-        if !(eps > 0.0 && eps < 1.0) {
-            return Err(WaveError::InvalidEpsilon(eps));
+/// Builder for [`EhCount`] — mirrors `DetWave::builder()` so switching
+/// between the wave and the EH baseline is a one-word change.
+///
+/// Defaults: `max_window = 1024`, `eps = 0.1`; validation happens in
+/// [`EhCountBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct EhCountBuilder {
+    max_window: u64,
+    eps: f64,
+}
+
+impl EhCountBuilder {
+    /// Maximum queryable window `N` (default 1024).
+    pub fn max_window(mut self, n: u64) -> Self {
+        self.max_window = n;
+        self
+    }
+
+    /// Relative error bound, `0 < eps < 1` (default 0.1).
+    pub fn eps(mut self, eps: f64) -> Self {
+        self.eps = eps;
+        self
+    }
+
+    /// Validate the configuration and build the histogram.
+    pub fn build(self) -> Result<EhCount, WaveError> {
+        if !(self.eps > 0.0 && self.eps < 1.0) {
+            return Err(WaveError::InvalidEpsilon(self.eps));
         }
-        if max_window == 0 {
+        if self.max_window == 0 {
             return Err(WaveError::InvalidWindow(0));
         }
-        let m = (1.0 / (2.0 * eps)).ceil() as usize;
+        let m = (1.0 / (2.0 * self.eps)).ceil() as usize;
         Ok(EhCount {
-            max_window,
-            eps,
+            max_window: self.max_window,
+            eps: self.eps,
             m,
             pos: 0,
             classes: Vec::new(),
@@ -58,6 +81,22 @@ impl EhCount {
             max_cascade: 0,
             merges: 0,
         })
+    }
+}
+
+impl EhCount {
+    /// Start building: `EhCount::builder().max_window(n).eps(e).build()`.
+    pub fn builder() -> EhCountBuilder {
+        EhCountBuilder {
+            max_window: 1024,
+            eps: 0.1,
+        }
+    }
+
+    /// Build an EH with error bound `eps` for windows up to `max_window`
+    /// (thin shim over [`EhCount::builder`]).
+    pub fn new(max_window: u64, eps: f64) -> Result<Self, WaveError> {
+        Self::builder().max_window(max_window).eps(eps).build()
     }
 
     /// Maximum window size `N`.
@@ -249,21 +288,24 @@ fn is_front_oldest(q: &VecDeque<u64>) -> bool {
     q.iter().zip(q.iter().skip(1)).all(|(a, b)| a <= b)
 }
 
-impl BitSynopsis for EhCount {
+impl waves_core::traits::Synopsis for EhCount {
     fn name(&self) -> &'static str {
         "eh"
-    }
-    fn push_bit(&mut self, b: bool) {
-        EhCount::push_bit(self, b)
-    }
-    fn query_window(&self, n: u64) -> Result<Estimate, WaveError> {
-        self.query(n)
     }
     fn max_window(&self) -> u64 {
         self.max_window
     }
     fn space_report(&self) -> SpaceReport {
         EhCount::space_report(self)
+    }
+}
+
+impl BitSynopsis for EhCount {
+    fn push_bit(&mut self, b: bool) {
+        EhCount::push_bit(self, b)
+    }
+    fn query_window(&self, n: u64) -> Result<Estimate, WaveError> {
+        self.query(n)
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! Implements the synopses of Datar, Gionis, Indyk & Motwani,
 //! *Maintaining Stream Statistics over Sliding Windows* (SIAM J. Comput.
-//! 2002) — reference [9] of the waves paper and the algorithms it is
+//! 2002) — reference \[9\] of the waves paper and the algorithms it is
 //! benchmarked against:
 //!
 //! * [`EhCount`] — Basic Counting (eps relative error, O(1) amortized /
@@ -27,8 +27,8 @@
 pub mod basic;
 pub mod sum;
 
-pub use basic::EhCount;
-pub use sum::EhSum;
+pub use basic::{EhCount, EhCountBuilder};
+pub use sum::{EhSum, EhSumBuilder};
 
 #[cfg(test)]
 mod proptests {

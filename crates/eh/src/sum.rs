@@ -1,4 +1,4 @@
-//! Exponential histogram for sums of bounded integers (Datar et al. [9]).
+//! Exponential histogram for sums of bounded integers (Datar et al. \[9\]).
 //!
 //! An arriving item of value `v` is treated as `v` insertions of 1 into
 //! the Basic Counting EH, with the resulting histogram computed directly
@@ -42,24 +42,52 @@ pub struct EhSum {
     merges: u64,
 }
 
-impl EhSum {
-    /// Build an EH-sum with error bound `eps` for windows up to
-    /// `max_window` and values up to `max_value`.
-    pub fn new(max_window: u64, max_value: u64, eps: f64) -> Result<Self, WaveError> {
-        if !(eps > 0.0 && eps < 1.0) {
-            return Err(WaveError::InvalidEpsilon(eps));
+/// Builder for [`EhSum`] — mirrors `SumWave::builder()`.
+///
+/// Defaults: `max_window = 1024`, `max_value = 65_535`, `eps = 0.1`;
+/// validation happens in [`EhSumBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct EhSumBuilder {
+    max_window: u64,
+    max_value: u64,
+    eps: f64,
+}
+
+impl EhSumBuilder {
+    /// Maximum queryable window `N` (default 1024).
+    pub fn max_window(mut self, n: u64) -> Self {
+        self.max_window = n;
+        self
+    }
+
+    /// Item value bound `R` (default 65_535).
+    pub fn max_value(mut self, r: u64) -> Self {
+        self.max_value = r;
+        self
+    }
+
+    /// Relative error bound, `0 < eps < 1` (default 0.1).
+    pub fn eps(mut self, eps: f64) -> Self {
+        self.eps = eps;
+        self
+    }
+
+    /// Validate the configuration and build the histogram.
+    pub fn build(self) -> Result<EhSum, WaveError> {
+        if !(self.eps > 0.0 && self.eps < 1.0) {
+            return Err(WaveError::InvalidEpsilon(self.eps));
         }
-        if max_window == 0 {
+        if self.max_window == 0 {
             return Err(WaveError::InvalidWindow(0));
         }
-        if max_value == 0 {
+        if self.max_value == 0 {
             return Err(WaveError::ValueTooLarge { value: 0, max: 0 });
         }
         Ok(EhSum {
-            max_window,
-            max_value,
-            eps,
-            m: (1.0 / (2.0 * eps)).ceil() as u64,
+            max_window: self.max_window,
+            max_value: self.max_value,
+            eps: self.eps,
+            m: (1.0 / (2.0 * self.eps)).ceil() as u64,
             pos: 0,
             classes: Vec::new(),
             counts: Vec::new(),
@@ -68,6 +96,28 @@ impl EhSum {
             max_cascade: 0,
             merges: 0,
         })
+    }
+}
+
+impl EhSum {
+    /// Start building: `EhSum::builder().max_window(n).max_value(r).eps(e).build()`.
+    pub fn builder() -> EhSumBuilder {
+        EhSumBuilder {
+            max_window: 1024,
+            max_value: 65_535,
+            eps: 0.1,
+        }
+    }
+
+    /// Build an EH-sum with error bound `eps` for windows up to
+    /// `max_window` and values up to `max_value` (thin shim over
+    /// [`EhSum::builder`]).
+    pub fn new(max_window: u64, max_value: u64, eps: f64) -> Result<Self, WaveError> {
+        Self::builder()
+            .max_window(max_window)
+            .max_value(max_value)
+            .eps(eps)
+            .build()
     }
 
     /// Maximum window size `N`.
@@ -332,21 +382,24 @@ fn push_run(runs: &mut Vec<Run>, run: Run) {
     runs.push(run);
 }
 
-impl SumSynopsis for EhSum {
+impl waves_core::traits::Synopsis for EhSum {
     fn name(&self) -> &'static str {
         "eh-sum"
-    }
-    fn push_value(&mut self, v: u64) -> Result<(), WaveError> {
-        EhSum::push_value(self, v)
-    }
-    fn query_window(&self, n: u64) -> Result<Estimate, WaveError> {
-        self.query(n)
     }
     fn max_window(&self) -> u64 {
         self.max_window
     }
     fn space_report(&self) -> SpaceReport {
         EhSum::space_report(self)
+    }
+}
+
+impl SumSynopsis for EhSum {
+    fn push_value(&mut self, v: u64) -> Result<(), WaveError> {
+        EhSum::push_value(self, v)
+    }
+    fn query_window(&self, n: u64) -> Result<Estimate, WaveError> {
+        self.query(n)
     }
 }
 

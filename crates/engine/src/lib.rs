@@ -1,0 +1,806 @@
+//! `waves-engine`: a keyed, sharded, multi-threaded serving layer that
+//! owns many independent sliding-window synopses (one per key — think
+//! one per user, per flow, per sensor) behind a small API.
+//!
+//! The paper's synopses are single-stream values driven one bit at a
+//! time; the continuous-monitoring literature the ROADMAP targets
+//! (Chan et al., Ben Basat et al.) instead assumes a long-lived service
+//! maintaining *millions* of window synopses under sustained ingest.
+//! This crate is that missing layer:
+//!
+//! * keys hash to one of `num_shards` worker threads (std threads +
+//!   mpsc — the workspace is std-only), each owning a private
+//!   `HashMap<Key, S>` so the hot path takes **no cross-shard locks**;
+//! * ingestion is batched per shard over **bounded** queues with
+//!   explicit backpressure: [`Engine::ingest`] / [`Engine::ingest_batch`]
+//!   return [`WaveError::Backpressure`] when a shard queue is full and
+//!   count what was shed ([`Engine::dropped_items`]), while the
+//!   `*_blocking` variants trade latency for losslessness (replay and
+//!   benchmarking paths);
+//! * queries and snapshots travel through the same per-shard FIFO as
+//!   ingest batches, so a query observes every batch the same caller
+//!   enqueued before it (per-key read-your-writes);
+//! * everything reports into `waves-obs`: ingest/query latency
+//!   histograms, queue depth, and per-shard keys/bytes via
+//!   [`Engine::snapshot`].
+//!
+//! The engine is generic over any [`BitSynopsis`] + `Send` synopsis (the
+//! deterministic wave by default, the exponential-histogram baseline
+//! via [`Engine::with_factory`]) and over the recorder, so the disabled
+//! observability path monomorphizes to nothing, like the rest of the
+//! workspace.
+//!
+//! ```
+//! use waves_core::DetWave;
+//! use waves_engine::{Engine, EngineConfig};
+//!
+//! let cfg = EngineConfig::builder().num_shards(2).max_window(128).eps(0.25).build();
+//! let engine = Engine::new(cfg).unwrap();
+//! engine.ingest_blocking(7, &[true, false, true]);
+//! engine.flush();
+//! let est = engine.query(7, 128).unwrap();
+//! assert_eq!(est.value, 2.0);
+//! ```
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use waves_core::{BitSynopsis, DetWave, Estimate, WaveError};
+use waves_obs::{HistId, MetricId, NoopRecorder, Recorder};
+
+/// Stream identity: every key owns an independent synopsis.
+pub type Key = u64;
+
+/// One ingest event: a key plus a batch of its stream bits, oldest
+/// first.
+pub type KeyedBits = (Key, Vec<bool>);
+
+/// Engine configuration. Construct via [`EngineConfig::builder`]; the
+/// defaults serve a small deployment (4 shards, 1024-batch queues,
+/// window 1024 at 10% error).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads; keys hash across them. At least 1.
+    pub num_shards: usize,
+    /// Bounded per-shard command-queue capacity (ingest batches plus
+    /// in-flight queries). At least 1.
+    pub queue_capacity: usize,
+    /// Maximum queryable window `N` for every per-key synopsis.
+    pub max_window: u64,
+    /// Relative error bound for every per-key synopsis.
+    pub eps: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            num_shards: 4,
+            queue_capacity: 1024,
+            max_window: 1024,
+            eps: 0.1,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Start building a config: `EngineConfig::builder().num_shards(8).build()`.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            cfg: EngineConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`EngineConfig`]. Shard count and queue capacity are
+/// clamped to at least 1; the synopsis parameters (`max_window`, `eps`)
+/// are validated when the engine constructs its first synopsis, so
+/// `build()` itself is infallible.
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Number of shard worker threads (clamped to >= 1).
+    pub fn num_shards(mut self, n: usize) -> Self {
+        self.cfg.num_shards = n.max(1);
+        self
+    }
+
+    /// Bounded per-shard queue capacity (clamped to >= 1).
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.cfg.queue_capacity = n.max(1);
+        self
+    }
+
+    /// Maximum queryable window `N` per key.
+    pub fn max_window(mut self, n: u64) -> Self {
+        self.cfg.max_window = n;
+        self
+    }
+
+    /// Relative error bound per key.
+    pub fn eps(mut self, eps: f64) -> Self {
+        self.cfg.eps = eps;
+        self
+    }
+
+    pub fn build(self) -> EngineConfig {
+        self.cfg
+    }
+}
+
+/// Commands a shard worker consumes from its bounded queue.
+enum Cmd {
+    /// A per-shard sub-batch of ingest events.
+    Batch(Vec<KeyedBits>),
+    Query {
+        key: Key,
+        window: u64,
+        reply: std::sync::mpsc::Sender<Result<Estimate, WaveError>>,
+    },
+    Snapshot {
+        reply: std::sync::mpsc::Sender<ShardSnapshot>,
+    },
+    /// A barrier: replied to once everything enqueued before it has
+    /// been applied.
+    Flush { reply: std::sync::mpsc::Sender<()> },
+}
+
+/// Point-in-time state of one shard, from [`Engine::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Keys with a live synopsis.
+    pub keys: usize,
+    /// Sum of `space_report().resident_bytes` over the shard's keys.
+    pub resident_bytes: usize,
+    /// Sum of `space_report().synopsis_bits`.
+    pub synopsis_bits: u64,
+    /// Sum of stored entries.
+    pub entries: usize,
+    /// Ingest batches sitting in the queue when the snapshot ran.
+    pub queue_depth: usize,
+}
+
+/// Point-in-time state of the whole engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineSnapshot {
+    pub shards: Vec<ShardSnapshot>,
+    /// Items shed by non-blocking ingest while queues were full.
+    pub dropped_items: u64,
+    /// Number of ingest calls that hit a full queue.
+    pub backpressure_events: u64,
+}
+
+impl EngineSnapshot {
+    /// Total live keys across shards.
+    pub fn keys(&self) -> usize {
+        self.shards.iter().map(|s| s.keys).sum()
+    }
+
+    /// Total resident bytes across shards.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.resident_bytes).sum()
+    }
+
+    /// Total stored entries across shards.
+    pub fn entries(&self) -> usize {
+        self.shards.iter().map(|s| s.entries).sum()
+    }
+
+    /// Multi-line human-readable rendering (one line per shard plus a
+    /// totals line), matching the CLI's `--stats` style.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== engine ==\n");
+        for s in &self.shards {
+            out.push_str(&format!(
+                "shard {:<3} keys {:<8} entries {:<9} resident_bytes {:<11} queue_depth {}\n",
+                s.shard, s.keys, s.entries, s.resident_bytes, s.queue_depth
+            ));
+        }
+        out.push_str(&format!(
+            "total     keys {:<8} entries {:<9} resident_bytes {:<11} dropped {} backpressure {}\n",
+            self.keys(),
+            self.entries(),
+            self.resident_bytes(),
+            self.dropped_items,
+            self.backpressure_events
+        ));
+        out
+    }
+}
+
+struct ShardHandle {
+    tx: Option<SyncSender<Cmd>>,
+    /// Ingest batches enqueued but not yet applied by the worker.
+    depth: Arc<AtomicUsize>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl ShardHandle {
+    fn tx(&self) -> &SyncSender<Cmd> {
+        self.tx.as_ref().expect("sender live until Drop")
+    }
+}
+
+/// The sharded serving engine. See the crate docs for the design; the
+/// API surface is `new` / `ingest` / `ingest_batch` (+ `_blocking`
+/// variants) / `query` / `flush` / `snapshot`.
+///
+/// `S` is the per-key synopsis type, `R` the observability sink
+/// ([`NoopRecorder`] by default — zero-cost when disabled, as
+/// everywhere in this workspace).
+pub struct Engine<
+    S: BitSynopsis + Send + 'static,
+    R: Recorder + Send + Sync + 'static = NoopRecorder,
+> {
+    cfg: EngineConfig,
+    shards: Vec<ShardHandle>,
+    rec: Arc<R>,
+    dropped_items: AtomicU64,
+    backpressure_events: AtomicU64,
+    _synopsis: PhantomData<S>,
+}
+
+impl Engine<DetWave> {
+    /// Serve a [`DetWave`] per key with the config's window and error
+    /// bound, without observability. Validates the synopsis parameters
+    /// up front.
+    pub fn new(cfg: EngineConfig) -> Result<Self, WaveError> {
+        let (n, eps) = (cfg.max_window, cfg.eps);
+        Self::with_factory(cfg, move || DetWave::new(n, eps))
+    }
+}
+
+impl Engine<DetWave, waves_obs::MetricsRegistry> {
+    /// [`Engine::new`] reporting into a shared [`waves_obs::MetricsRegistry`].
+    pub fn new_recorded(
+        cfg: EngineConfig,
+        rec: Arc<waves_obs::MetricsRegistry>,
+    ) -> Result<Self, WaveError> {
+        let (n, eps) = (cfg.max_window, cfg.eps);
+        Self::with_factory_recorded(cfg, move || DetWave::new(n, eps), rec)
+    }
+}
+
+impl<S: BitSynopsis + Send + 'static> Engine<S, NoopRecorder> {
+    /// Serve an arbitrary synopsis per key: the factory builds one fresh
+    /// synopsis per newly-seen key. It is called once eagerly so a
+    /// misconfigured factory fails at construction, not mid-stream.
+    pub fn with_factory<F>(cfg: EngineConfig, factory: F) -> Result<Self, WaveError>
+    where
+        F: Fn() -> Result<S, WaveError> + Send + Sync + 'static,
+    {
+        Self::with_factory_recorded(cfg, factory, Arc::new(NoopRecorder))
+    }
+}
+
+impl<S, R> Engine<S, R>
+where
+    S: BitSynopsis + Send + 'static,
+    R: Recorder + Send + Sync + 'static,
+{
+    /// Fully general constructor: custom synopsis factory plus a shared
+    /// recorder (e.g. an `Arc<MetricsRegistry>`).
+    pub fn with_factory_recorded<F>(
+        cfg: EngineConfig,
+        factory: F,
+        rec: Arc<R>,
+    ) -> Result<Self, WaveError>
+    where
+        F: Fn() -> Result<S, WaveError> + Send + Sync + 'static,
+    {
+        // Surface synopsis-parameter errors now rather than inside a
+        // worker thread on first ingest.
+        drop(factory()?);
+        let num_shards = cfg.num_shards.max(1);
+        let capacity = cfg.queue_capacity.max(1);
+        let factory = Arc::new(factory);
+        let mut shards = Vec::with_capacity(num_shards);
+        for shard in 0..num_shards {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<Cmd>(capacity);
+            let depth = Arc::new(AtomicUsize::new(0));
+            let worker_depth = Arc::clone(&depth);
+            let worker_factory = Arc::clone(&factory);
+            let worker_rec = Arc::clone(&rec);
+            let worker = std::thread::Builder::new()
+                .name(format!("waves-engine-shard-{shard}"))
+                .spawn(move || shard_worker(rx, worker_depth, worker_factory, worker_rec))
+                .expect("spawn shard worker");
+            shards.push(ShardHandle {
+                tx: Some(tx),
+                depth,
+                worker: Some(worker),
+            });
+        }
+        Ok(Engine {
+            cfg,
+            shards,
+            rec,
+            dropped_items: AtomicU64::new(0),
+            backpressure_events: AtomicU64::new(0),
+            _synopsis: PhantomData,
+        })
+    }
+
+    /// Number of shard worker threads.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configuration this engine was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Items shed so far by non-blocking ingest hitting full queues.
+    pub fn dropped_items(&self) -> u64 {
+        self.dropped_items.load(Ordering::Relaxed)
+    }
+
+    /// Fibonacci-hash the key onto a shard: multiplicative mixing spreads
+    /// sequential user ids evenly, and the high bits drive the modulo so
+    /// low-entropy keys don't alias.
+    fn shard_of(&self, key: Key) -> usize {
+        let mixed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((mixed >> 32) as usize) % self.shards.len()
+    }
+
+    /// Enqueue one batch on one shard, non-blocking. Counts queue depth
+    /// and backpressure; the caller decides whether the shed items were
+    /// clones (droppable) or the caller's own copy (retryable).
+    fn try_enqueue(&self, shard: usize, batch: Vec<KeyedBits>) -> Result<(), WaveError> {
+        let items: u64 = batch.iter().map(|(_, bits)| bits.len() as u64).sum();
+        // Count the batch in *before* sending so the worker's decrement
+        // can never race ahead of the increment and wrap the counter.
+        let depth = self.shards[shard].depth.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.shards[shard].tx().try_send(Cmd::Batch(batch)) {
+            Ok(()) => {
+                self.rec.observe(HistId::EngineQueueDepth, depth as u64);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shards[shard].depth.fetch_sub(1, Ordering::Relaxed);
+                self.backpressure_events.fetch_add(1, Ordering::Relaxed);
+                self.rec.incr(MetricId::EngineBackpressureEvents, 1);
+                self.rec.incr(MetricId::EngineItemsDropped, items);
+                self.dropped_items.fetch_add(items, Ordering::Relaxed);
+                Err(WaveError::Backpressure { shard })
+            }
+            Err(TrySendError::Disconnected(_)) => unreachable!("worker lives until Drop"),
+        }
+    }
+
+    fn enqueue_blocking(&self, shard: usize, batch: Vec<KeyedBits>) {
+        let depth = self.shards[shard].depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.shards[shard]
+            .tx()
+            .send(Cmd::Batch(batch))
+            .expect("worker lives until Drop");
+        self.rec.observe(HistId::EngineQueueDepth, depth as u64);
+    }
+
+    /// Ingest a batch of bits for one key, non-blocking. On a full shard
+    /// queue nothing is applied and [`WaveError::Backpressure`] is
+    /// returned — retry, shed, or use [`Engine::ingest_blocking`].
+    pub fn ingest(&self, key: Key, bits: &[bool]) -> Result<(), WaveError> {
+        self.try_enqueue(self.shard_of(key), vec![(key, bits.to_vec())])
+    }
+
+    /// Ingest a batch of bits for one key, waiting for queue space.
+    pub fn ingest_blocking(&self, key: Key, bits: &[bool]) {
+        self.enqueue_blocking(self.shard_of(key), vec![(key, bits.to_vec())]);
+    }
+
+    /// Ingest many keyed batches at once: events are grouped into one
+    /// sub-batch per shard (one channel round-trip per shard, not per
+    /// event), then enqueued non-blocking. A full shard queue sheds that
+    /// shard's entire sub-batch — the shed item count lands in
+    /// [`Engine::dropped_items`] and the first failing shard's
+    /// [`WaveError::Backpressure`] is returned — while sub-batches for
+    /// healthy shards are still delivered.
+    pub fn ingest_batch(&self, batch: &[KeyedBits]) -> Result<(), WaveError> {
+        let mut first_err = Ok(());
+        for (shard, sub) in self.split_by_shard(batch) {
+            if let Err(e) = self.try_enqueue(shard, sub) {
+                if first_err.is_ok() {
+                    first_err = Err(e);
+                }
+            }
+        }
+        first_err
+    }
+
+    /// [`Engine::ingest_batch`] that waits for queue space instead of
+    /// shedding — the lossless replay path used by the CLI and benches.
+    pub fn ingest_batch_blocking(&self, batch: &[KeyedBits]) {
+        for (shard, sub) in self.split_by_shard(batch) {
+            self.enqueue_blocking(shard, sub);
+        }
+    }
+
+    /// Group events into per-shard sub-batches, preserving order within
+    /// each shard (per-key order is what correctness needs, and a key
+    /// always maps to one shard).
+    fn split_by_shard(&self, batch: &[KeyedBits]) -> Vec<(usize, Vec<KeyedBits>)> {
+        let mut per_shard: Vec<Vec<KeyedBits>> = vec![Vec::new(); self.shards.len()];
+        for (key, bits) in batch {
+            per_shard[self.shard_of(*key)].push((*key, bits.clone()));
+        }
+        per_shard
+            .into_iter()
+            .enumerate()
+            .filter(|(_, sub)| !sub.is_empty())
+            .collect()
+    }
+
+    /// Estimate the 1's count in the last `window` bits of `key`'s
+    /// stream. Travels the shard's FIFO behind any batches already
+    /// enqueued, so it observes this caller's prior (non-shed) ingests
+    /// for the key. Returns [`WaveError::UnknownKey`] for never-seen
+    /// keys and the synopsis's own errors otherwise.
+    pub fn query(&self, key: Key, window: u64) -> Result<Estimate, WaveError> {
+        let started = self.rec.enabled().then(Instant::now);
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        self.shards[self.shard_of(key)]
+            .tx()
+            .send(Cmd::Query {
+                key,
+                window,
+                reply: reply_tx,
+            })
+            .expect("worker lives until Drop");
+        let res = reply_rx.recv().expect("worker replies before exiting");
+        if let Some(t0) = started {
+            self.rec
+                .observe(HistId::EngineQueryNs, t0.elapsed().as_nanos() as u64);
+        }
+        res
+    }
+
+    /// Barrier: returns once every shard has applied everything enqueued
+    /// before this call.
+    pub fn flush(&self) {
+        let replies: Vec<_> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let (tx, rx) = std::sync::mpsc::channel();
+                shard
+                    .tx()
+                    .send(Cmd::Flush { reply: tx })
+                    .expect("worker lives until Drop");
+                rx
+            })
+            .collect();
+        for rx in replies {
+            rx.recv().expect("worker replies before exiting");
+        }
+    }
+
+    /// Collect a point-in-time snapshot: per-shard key counts, resident
+    /// bytes (via each synopsis's `space_report`), stored entries, and
+    /// queue depths, plus the engine-level shed counters. Walks every
+    /// key, so treat it as an operator-frequency operation, not a
+    /// hot-path one.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let replies: Vec<_> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let (tx, rx) = std::sync::mpsc::channel();
+                shard
+                    .tx()
+                    .send(Cmd::Snapshot { reply: tx })
+                    .expect("worker lives until Drop");
+                rx
+            })
+            .collect();
+        let mut shards: Vec<ShardSnapshot> = replies
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| {
+                let mut snap = rx.recv().expect("worker replies before exiting");
+                snap.shard = i;
+                snap
+            })
+            .collect();
+        shards.sort_by_key(|s| s.shard);
+        EngineSnapshot {
+            shards,
+            dropped_items: self.dropped_items.load(Ordering::Relaxed),
+            backpressure_events: self.backpressure_events.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<S, R> Drop for Engine<S, R>
+where
+    S: BitSynopsis + Send + 'static,
+    R: Recorder + Send + Sync + 'static,
+{
+    fn drop(&mut self) {
+        for shard in &mut self.shards {
+            shard.tx = None; // close the channel; the worker drains and exits
+        }
+        for shard in &mut self.shards {
+            if let Some(worker) = shard.worker.take() {
+                worker.join().ok();
+            }
+        }
+    }
+}
+
+/// The shard worker loop: single-threaded owner of this shard's keys.
+fn shard_worker<S, R, F>(rx: Receiver<Cmd>, depth: Arc<AtomicUsize>, factory: Arc<F>, rec: Arc<R>)
+where
+    S: BitSynopsis + Send + 'static,
+    R: Recorder + Send + Sync + 'static,
+    F: Fn() -> Result<S, WaveError> + Send + Sync + 'static,
+{
+    let mut keys: HashMap<Key, S> = HashMap::new();
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Batch(batch) => {
+                depth.fetch_sub(1, Ordering::Relaxed);
+                let started = rec.enabled().then(Instant::now);
+                let mut items = 0u64;
+                for (key, bits) in &batch {
+                    let synopsis = keys
+                        .entry(*key)
+                        .or_insert_with(|| factory().expect("factory validated at construction"));
+                    synopsis.push_bits(bits);
+                    items += bits.len() as u64;
+                }
+                if let Some(t0) = started {
+                    rec.observe(HistId::EngineIngestBatchNs, t0.elapsed().as_nanos() as u64);
+                }
+                rec.incr(MetricId::EngineBatchesIngested, 1);
+                rec.incr(MetricId::EngineItemsIngested, items);
+            }
+            Cmd::Query { key, window, reply } => {
+                let res = match keys.get(&key) {
+                    Some(synopsis) => synopsis.query_window(window),
+                    None => Err(WaveError::UnknownKey { key }),
+                };
+                rec.incr(MetricId::EngineQueriesServed, 1);
+                let _ = reply.send(res);
+            }
+            Cmd::Snapshot { reply } => {
+                let mut snap = ShardSnapshot {
+                    shard: 0, // engine-side fills the index in
+                    keys: keys.len(),
+                    resident_bytes: 0,
+                    synopsis_bits: 0,
+                    entries: 0,
+                    queue_depth: depth.load(Ordering::Relaxed),
+                };
+                for synopsis in keys.values() {
+                    let r = synopsis.space_report();
+                    snap.resident_bytes += r.resident_bytes;
+                    snap.synopsis_bits += r.synopsis_bits;
+                    snap.entries += r.entries;
+                }
+                let _ = reply.send(snap);
+            }
+            Cmd::Flush { reply } => {
+                let _ = reply.send(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waves_obs::MetricsRegistry;
+
+    fn lcg_bits(seed: u64, len: usize, density_mod: u64, density_lt: u64) -> Vec<bool> {
+        let mut x = seed;
+        (0..len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) % density_mod < density_lt
+            })
+            .collect()
+    }
+
+    fn small_cfg(shards: usize) -> EngineConfig {
+        EngineConfig::builder()
+            .num_shards(shards)
+            .max_window(64)
+            .eps(0.25)
+            .build()
+    }
+
+    #[test]
+    fn config_builder_defaults_and_clamps() {
+        let cfg = EngineConfig::builder().build();
+        assert_eq!(cfg.num_shards, 4);
+        assert_eq!(cfg.queue_capacity, 1024);
+        let cfg = EngineConfig::builder()
+            .num_shards(0)
+            .queue_capacity(0)
+            .build();
+        assert_eq!(cfg.num_shards, 1);
+        assert_eq!(cfg.queue_capacity, 1);
+    }
+
+    #[test]
+    fn bad_synopsis_params_fail_at_construction() {
+        let cfg = EngineConfig::builder().eps(7.5).build();
+        assert_eq!(Engine::new(cfg).err(), Some(WaveError::InvalidEpsilon(7.5)));
+        let cfg = EngineConfig::builder().max_window(0).build();
+        assert!(Engine::new(cfg).is_err());
+    }
+
+    #[test]
+    fn per_key_results_match_single_threaded_oracle() {
+        let engine = Engine::new(small_cfg(4)).unwrap();
+        let num_keys = 200u64;
+        let mut oracles: HashMap<Key, DetWave> = HashMap::new();
+        // Interleave keys heavily: several rounds of per-key chunks.
+        for round in 0..5u64 {
+            let mut batch: Vec<KeyedBits> = Vec::new();
+            for key in 0..num_keys {
+                let bits = lcg_bits(round * 1_000 + key, 37, 3, 1);
+                oracles
+                    .entry(key)
+                    .or_insert_with(|| DetWave::new(64, 0.25).unwrap())
+                    .push_bits(&bits);
+                batch.push((key, bits));
+            }
+            engine.ingest_batch_blocking(&batch);
+        }
+        engine.flush();
+        for key in 0..num_keys {
+            for window in [1u64, 13, 64] {
+                assert_eq!(
+                    engine.query(key, window).unwrap(),
+                    oracles[&key].query(window).unwrap(),
+                    "key={key} window={window}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_key_and_oversized_window_errors() {
+        let engine = Engine::new(small_cfg(2)).unwrap();
+        engine.ingest_blocking(1, &[true]);
+        engine.flush();
+        assert_eq!(
+            engine.query(999, 64).err(),
+            Some(WaveError::UnknownKey { key: 999 })
+        );
+        assert_eq!(
+            engine.query(1, 65).err(),
+            Some(WaveError::WindowTooLarge {
+                requested: 65,
+                max: 64
+            })
+        );
+    }
+
+    #[test]
+    fn backpressure_sheds_and_counts() {
+        let cfg = EngineConfig::builder()
+            .num_shards(1)
+            .queue_capacity(1)
+            .max_window(1 << 20)
+            .eps(0.01)
+            .build();
+        let engine = Engine::new(cfg).unwrap();
+        // A large first batch keeps the single worker busy while we spam
+        // the capacity-1 queue; at least one try must bounce.
+        let big = vec![(0u64, vec![true; 1 << 20])];
+        engine.ingest_batch_blocking(&big);
+        let mut saw_backpressure = false;
+        for _ in 0..10_000 {
+            match engine.ingest(0, &[true, false]) {
+                Err(WaveError::Backpressure { shard }) => {
+                    assert_eq!(shard, 0);
+                    saw_backpressure = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+                Ok(()) => {}
+            }
+        }
+        assert!(saw_backpressure, "capacity-1 queue never filled");
+        assert!(engine.dropped_items() >= 2);
+        let snap = engine.snapshot();
+        assert!(snap.backpressure_events >= 1);
+        assert_eq!(snap.dropped_items, engine.dropped_items());
+    }
+
+    #[test]
+    fn partial_batch_delivery_under_backpressure() {
+        // One-shot: non-blocking batch into empty queues always fits.
+        let engine = Engine::new(small_cfg(2)).unwrap();
+        let batch: Vec<KeyedBits> = (0..10u64).map(|k| (k, vec![true; 4])).collect();
+        engine.ingest_batch(&batch).unwrap();
+        engine.flush();
+        for k in 0..10u64 {
+            assert_eq!(engine.query(k, 64).unwrap(), Estimate::exact(4), "k={k}");
+        }
+    }
+
+    #[test]
+    fn snapshot_reports_keys_and_space() {
+        let engine = Engine::new(small_cfg(3)).unwrap();
+        let batch: Vec<KeyedBits> = (0..50u64).map(|k| (k, lcg_bits(k, 100, 2, 1))).collect();
+        engine.ingest_batch_blocking(&batch);
+        engine.flush();
+        let snap = engine.snapshot();
+        assert_eq!(snap.shards.len(), 3);
+        assert_eq!(snap.keys(), 50);
+        assert!(snap.entries() > 0);
+        assert!(snap.resident_bytes() > 0);
+        assert_eq!(snap.dropped_items, 0);
+        // Every shard got some keys (fibonacci hashing spreads 50 keys).
+        assert!(snap.shards.iter().all(|s| s.keys > 0));
+        let text = snap.to_text();
+        assert!(text.contains("== engine =="));
+        assert!(text.contains("total"));
+    }
+
+    #[test]
+    fn generic_over_eh_synopsis() {
+        let cfg = small_cfg(2);
+        let engine = Engine::with_factory(cfg, || waves_eh::EhCount::new(64, 0.25)).unwrap();
+        engine.ingest_blocking(3, &[true; 10]);
+        engine.flush();
+        let est = engine.query(3, 64).unwrap();
+        assert!(est.brackets(10));
+    }
+
+    #[test]
+    fn metrics_flow_into_registry() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let cfg = small_cfg(2);
+        let engine = Engine::new_recorded(cfg, Arc::clone(&reg)).unwrap();
+        let batch: Vec<KeyedBits> = (0..8u64).map(|k| (k, vec![true; 5])).collect();
+        engine.ingest_batch_blocking(&batch);
+        engine.flush();
+        engine.query(0, 64).unwrap();
+        engine.query(12345, 64).unwrap_err();
+        use waves_obs::MetricId as M;
+        assert_eq!(reg.counter(M::EngineItemsIngested), 40);
+        assert!(reg.counter(M::EngineBatchesIngested) >= 1);
+        assert_eq!(reg.counter(M::EngineQueriesServed), 2);
+        assert_eq!(reg.counter(M::EngineBackpressureEvents), 0);
+        assert!(reg.histogram(HistId::EngineQueryNs).snapshot().count >= 2);
+        assert!(reg.histogram(HistId::EngineIngestBatchNs).snapshot().count >= 1);
+        assert!(reg.histogram(HistId::EngineQueueDepth).snapshot().count >= 1);
+    }
+
+    #[test]
+    fn queries_observe_prior_ingests_per_key() {
+        // FIFO-per-shard read-your-writes: no flush needed between an
+        // ingest and a query for the same key.
+        let engine = Engine::new(small_cfg(4)).unwrap();
+        for i in 0..100u64 {
+            engine.ingest_blocking(i % 7, &[true]);
+            let est = engine.query(i % 7, 64).unwrap();
+            assert_eq!(est.value, (i / 7 + 1) as f64, "i={i}");
+        }
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let engine = Engine::new(small_cfg(8)).unwrap();
+        engine.ingest_blocking(1, &[true; 100]);
+        drop(engine); // must not hang or panic
+    }
+}

@@ -5,7 +5,7 @@
 //! (Theorem 1), space within stated word bounds, `t`-scalar query-time
 //! communication — so the runtime exposes them as live signals:
 //!
-//! * [`Counter`] / [`Gauge`] — lock-free scalar metrics;
+//! * lock-free scalar counters (relaxed atomics behind [`MetricId`]);
 //! * [`LogHistogram`] — log-bucketed (HDR-style) latency histogram with
 //!   p50/p90/p99/p999/max summaries, shared by the offline bench harness
 //!   and live `--stats` runs so both agree on one definition of tail

@@ -47,10 +47,20 @@ pub enum MetricId {
     CliItems,
     /// Queries served by the CLI protocol loop.
     CliQueries,
+    /// Stream bits ingested by the serving engine (across all shards).
+    EngineItemsIngested,
+    /// Per-shard batches delivered to engine shard workers.
+    EngineBatchesIngested,
+    /// Per-key queries served by the engine.
+    EngineQueriesServed,
+    /// Ingest attempts rejected because a shard queue was full.
+    EngineBackpressureEvents,
+    /// Items dropped on the floor by a rejected `ingest_batch` sub-batch.
+    EngineItemsDropped,
 }
 
 /// Number of [`MetricId`] variants (length of the registry's array).
-pub const NUM_METRICS: usize = 16;
+pub const NUM_METRICS: usize = 21;
 
 impl MetricId {
     pub const ALL: [MetricId; NUM_METRICS] = [
@@ -70,6 +80,11 @@ impl MetricId {
         MetricId::PartyBytesSent,
         MetricId::CliItems,
         MetricId::CliQueries,
+        MetricId::EngineItemsIngested,
+        MetricId::EngineBatchesIngested,
+        MetricId::EngineQueriesServed,
+        MetricId::EngineBackpressureEvents,
+        MetricId::EngineItemsDropped,
     ];
 
     /// Stable snake_case name used in text and JSON output.
@@ -91,6 +106,11 @@ impl MetricId {
             MetricId::PartyBytesSent => "party_bytes_sent_total",
             MetricId::CliItems => "cli_items_total",
             MetricId::CliQueries => "cli_queries_total",
+            MetricId::EngineItemsIngested => "engine_items_ingested_total",
+            MetricId::EngineBatchesIngested => "engine_batches_ingested_total",
+            MetricId::EngineQueriesServed => "engine_queries_served_total",
+            MetricId::EngineBackpressureEvents => "engine_backpressure_events_total",
+            MetricId::EngineItemsDropped => "engine_items_dropped_total",
         }
     }
 }
@@ -107,10 +127,16 @@ pub enum HistId {
     RefereeCombineNs,
     /// EH cascade length (buckets merged on a single push).
     EhCascadeLen,
+    /// Engine shard-worker time to apply one ingest batch, nanoseconds.
+    EngineIngestBatchNs,
+    /// Engine end-to-end (send + reply) per-key query latency, ns.
+    EngineQueryNs,
+    /// Shard queue depth observed at each successful enqueue.
+    EngineQueueDepth,
 }
 
 /// Number of [`HistId`] variants.
-pub const NUM_HISTS: usize = 4;
+pub const NUM_HISTS: usize = 7;
 
 impl HistId {
     pub const ALL: [HistId; NUM_HISTS] = [
@@ -118,6 +144,9 @@ impl HistId {
         HistId::QueryLatencyNs,
         HistId::RefereeCombineNs,
         HistId::EhCascadeLen,
+        HistId::EngineIngestBatchNs,
+        HistId::EngineQueryNs,
+        HistId::EngineQueueDepth,
     ];
 
     pub fn name(self) -> &'static str {
@@ -126,6 +155,9 @@ impl HistId {
             HistId::QueryLatencyNs => "query_latency_ns",
             HistId::RefereeCombineNs => "referee_combine_ns",
             HistId::EhCascadeLen => "eh_cascade_len",
+            HistId::EngineIngestBatchNs => "engine_ingest_batch_ns",
+            HistId::EngineQueryNs => "engine_query_ns",
+            HistId::EngineQueueDepth => "engine_queue_depth",
         }
     }
 }

@@ -237,7 +237,7 @@ pub mod prop {
         use crate::{Strategy, TestRng};
         use rand::Rng;
 
-        /// Acceptable length specifications for [`vec`].
+        /// Acceptable length specifications for [`vec()`].
         pub trait IntoSizeRange {
             fn sample_len(&self, rng: &mut TestRng) -> usize;
         }

@@ -1,0 +1,140 @@
+//! Keyed (multi-stream) workloads for the serving engine.
+//!
+//! The serving layer maintains one synopsis per key; what stresses it is
+//! not any single stream but the *population*: how many keys are live,
+//! how skewed traffic is across them, and how events arrive batched.
+//! [`KeyedWorkload`] models that directly — a seeded generator that
+//! yields batches of `(key, bits)` events where keys are drawn either
+//! uniformly or with a hot-set skew (a fraction of traffic concentrated
+//! on a small prefix of the key space, the usual flows-vs-elephants
+//! shape), and each event carries a short Bernoulli bit burst.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded generator of keyed event batches.
+///
+/// ```
+/// use waves_streamgen::KeyedWorkload;
+///
+/// let mut w = KeyedWorkload::new(1_000, 8, 0.5, 42);
+/// let batch = w.next_batch(64);
+/// assert_eq!(batch.len(), 64);
+/// assert!(batch.iter().all(|(k, bits)| *k < 1_000 && bits.len() == 8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyedWorkload {
+    rng: StdRng,
+    num_keys: u64,
+    bits_per_event: usize,
+    density: f64,
+    /// Fraction of events routed to the hot set (0 = uniform).
+    hot_fraction: f64,
+    /// Size of the hot set (key ids `0..hot_keys`).
+    hot_keys: u64,
+}
+
+impl KeyedWorkload {
+    /// A uniform workload over `num_keys` keys: every event picks a key
+    /// uniformly and carries `bits_per_event` Bernoulli(`density`) bits.
+    pub fn new(num_keys: u64, bits_per_event: usize, density: f64, seed: u64) -> Self {
+        assert!(num_keys >= 1);
+        assert!(bits_per_event >= 1);
+        assert!((0.0..=1.0).contains(&density));
+        KeyedWorkload {
+            rng: StdRng::seed_from_u64(seed),
+            num_keys,
+            bits_per_event,
+            density,
+            hot_fraction: 0.0,
+            hot_keys: 1,
+        }
+    }
+
+    /// Skew the workload: route `hot_fraction` of events into the first
+    /// `hot_keys` keys (the "elephants"), the rest uniformly over the
+    /// whole key space.
+    pub fn with_hot_set(mut self, hot_fraction: f64, hot_keys: u64) -> Self {
+        assert!((0.0..=1.0).contains(&hot_fraction));
+        assert!(hot_keys >= 1);
+        self.hot_fraction = hot_fraction;
+        self.hot_keys = hot_keys.min(self.num_keys);
+        self
+    }
+
+    /// Number of distinct keys events can land on.
+    pub fn num_keys(&self) -> u64 {
+        self.num_keys
+    }
+
+    /// Bits carried by each event.
+    pub fn bits_per_event(&self) -> usize {
+        self.bits_per_event
+    }
+
+    /// Draw the next event's key.
+    pub fn next_key(&mut self) -> u64 {
+        if self.hot_fraction > 0.0 && self.rng.gen_bool(self.hot_fraction) {
+            self.rng.gen_range(0..self.hot_keys)
+        } else {
+            self.rng.gen_range(0..self.num_keys)
+        }
+    }
+
+    /// Produce the next event: a key plus its bit burst.
+    pub fn next_event(&mut self) -> (u64, Vec<bool>) {
+        let key = self.next_key();
+        let bits = (0..self.bits_per_event)
+            .map(|_| self.rng.gen_bool(self.density))
+            .collect();
+        (key, bits)
+    }
+
+    /// Produce the next `n` events as one batch, ready for
+    /// `Engine::ingest_batch`.
+    pub fn next_batch(&mut self, n: usize) -> Vec<(u64, Vec<bool>)> {
+        (0..n).map(|_| self.next_event()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_and_reproducible() {
+        let a: Vec<_> = KeyedWorkload::new(100, 4, 0.5, 7).next_batch(50);
+        let b: Vec<_> = KeyedWorkload::new(100, 4, 0.5, 7).next_batch(50);
+        assert_eq!(a, b);
+        let c: Vec<_> = KeyedWorkload::new(100, 4, 0.5, 8).next_batch(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn keys_and_bits_in_range() {
+        let mut w = KeyedWorkload::new(32, 5, 0.3, 1);
+        for _ in 0..500 {
+            let (k, bits) = w.next_event();
+            assert!(k < 32);
+            assert_eq!(bits.len(), 5);
+        }
+    }
+
+    #[test]
+    fn hot_set_concentrates_traffic() {
+        let mut w = KeyedWorkload::new(10_000, 1, 0.5, 3).with_hot_set(0.9, 10);
+        let hot = (0..5_000).filter(|_| w.next_key() < 10).count();
+        // ~90% + ~0.1% uniform spillover; 80% is a safe floor.
+        assert!(hot > 4_000, "hot traffic too low: {hot}/5000");
+    }
+
+    #[test]
+    fn uniform_spreads_traffic() {
+        let mut w = KeyedWorkload::new(10, 1, 0.5, 5);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[w.next_key() as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 500), "skewed: {counts:?}");
+    }
+}

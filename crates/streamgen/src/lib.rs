@@ -9,10 +9,13 @@
 //!   durations) and Zipf value streams for distinct counting;
 //! * [`distributed`] — multi-party instances: correlated/disjoint
 //!   streams, positionwise unions, Scenario-2 stream splits, and the
-//!   Hamming-pair adversarial family behind Theorem 4.
+//!   Hamming-pair adversarial family behind Theorem 4;
+//! * [`keyed`] — keyed event batches for the serving engine (uniform or
+//!   hot-set-skewed key populations).
 
 pub mod bits;
 pub mod distributed;
+pub mod keyed;
 pub mod values;
 
 pub use bits::{figure1_stream, AllOnes, AlternatingRuns, Bernoulli, BitSource, Bursty, Periodic};
@@ -20,6 +23,7 @@ pub use distributed::{
     correlated_streams, disjoint_streams, hamming_pair, overlapping_value_streams,
     positionwise_union, split_logical_stream,
 };
+pub use keyed::KeyedWorkload;
 pub use values::{CallDurations, SpikeValues, UniformValues, ValueSource, ZipfValues};
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 //! | 1's in a window of a **union of distributed streams** | [`UnionParty`] + [`Referee`] | `(eps, delta)`, space independent of `t` |
 //! | Distinct values in a window of distributed streams | [`DistinctParty`] + [`DistinctReferee`] | `(eps, delta)` |
 //! | Exponential-histogram baselines (Datar et al.) | [`EhCount`], [`EhSum`] | `eps`, O(1) *amortized*/item |
+//! | Many keyed windows served concurrently | [`Engine`] | sharded threads, batched ingest, backpressure |
 //!
 //! ## Quick start
 //!
@@ -28,12 +29,25 @@
 //! use waves::DetWave;
 //!
 //! // Track how many of the last 10_000 requests were errors, within 5%.
-//! let mut errors = DetWave::new(10_000, 0.05).unwrap();
+//! let mut errors = DetWave::builder().max_window(10_000).eps(0.05).build().unwrap();
 //! for i in 0..100_000u64 {
 //!     errors.push_bit(i % 50 == 0); // one error every 50 requests
 //! }
 //! let est = errors.query_max();
 //! assert!(est.relative_error(200) <= 0.05); // 10_000 / 50 = 200
+//! ```
+//!
+//! Serving one window per key (per user, per flow, ...) from a shared
+//! engine:
+//!
+//! ```
+//! use waves::{Engine, EngineConfig};
+//!
+//! let cfg = EngineConfig::builder().num_shards(2).max_window(1_000).eps(0.1).build();
+//! let engine = Engine::new(cfg).unwrap();
+//! engine.ingest_blocking(7, &[true, false, true]);
+//! engine.flush();
+//! assert_eq!(engine.query(7, 1_000).unwrap().value, 2.0);
 //! ```
 //!
 //! Distributed union counting:
@@ -63,12 +77,16 @@ pub use waves_core::{
 };
 pub use waves_core::{
     decayed_sum, ratio_error_target, ratio_estimate, BasicWave, BitSynopsis, Decay,
-    DecayedEstimate, DetWave, Estimate, ExactCount, ExactDistinct, ExactSum, ModRing,
-    NthRecentWave, RatioEstimate, SlidingAverage, SpaceReport, SumSynopsis, SumWave,
-    TimestampSumWave, TimestampWave, WaveError, WindowedHistogram,
+    DecayedEstimate, DetWave, DetWaveBuilder, Estimate, ExactCount, ExactDistinct, ExactSum,
+    ModRing, NthRecentWave, RatioEstimate, SlidingAverage, SpaceReport, SumSynopsis, SumWave,
+    SumWaveBuilder, Synopsis, TimestampSumWave, TimestampWave, WaveError, WindowedHistogram,
 };
 
-pub use waves_eh::{EhCount, EhSum};
+pub use waves_eh::{EhCount, EhCountBuilder, EhSum, EhSumBuilder};
+
+pub use waves_engine::{
+    Engine, EngineConfig, EngineConfigBuilder, EngineSnapshot, KeyedBits, ShardSnapshot,
+};
 
 pub use waves_gf2::{Gf2Field, LevelHash};
 

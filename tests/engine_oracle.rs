@@ -1,0 +1,102 @@
+//! The serving engine must be a transparent container: for every key,
+//! querying the engine equals querying a single-threaded synopsis fed
+//! the same bits in the same order — sharding, batching, and channels
+//! must not change a single answer.
+
+use std::collections::HashMap;
+use waves::streamgen::KeyedWorkload;
+use waves::{DetWave, Engine, EngineConfig, WaveError};
+
+#[test]
+fn engine_matches_per_key_det_wave_oracle() {
+    let (num_keys, window, eps) = (300u64, 256u64, 0.2f64);
+    let cfg = EngineConfig::builder()
+        .num_shards(4)
+        .max_window(window)
+        .eps(eps)
+        .build();
+    let engine = Engine::new(cfg).unwrap();
+    let mut oracles: HashMap<u64, DetWave> = HashMap::new();
+
+    // Skewed workload: hot keys see many interleaved batches, cold keys
+    // few — both paths must agree with the oracle.
+    let mut workload = KeyedWorkload::new(num_keys, 16, 0.4, 99).with_hot_set(0.5, 8);
+    for _ in 0..40 {
+        let batch = workload.next_batch(128);
+        for (key, bits) in &batch {
+            oracles
+                .entry(*key)
+                .or_insert_with(|| {
+                    DetWave::builder()
+                        .max_window(window)
+                        .eps(eps)
+                        .build()
+                        .unwrap()
+                })
+                .push_bits(bits);
+        }
+        engine.ingest_batch_blocking(&batch);
+    }
+    engine.flush();
+
+    let mut touched = 0usize;
+    for key in 0..num_keys {
+        match oracles.get(&key) {
+            Some(oracle) => {
+                touched += 1;
+                for w in [1, window / 3, window] {
+                    assert_eq!(
+                        engine.query(key, w).unwrap(),
+                        oracle.query(w).unwrap(),
+                        "key={key} window={w}"
+                    );
+                }
+            }
+            None => assert_eq!(
+                engine.query(key, window).err(),
+                Some(WaveError::UnknownKey { key })
+            ),
+        }
+    }
+    // The workload is big enough that most keys were hit.
+    assert!(
+        touched > (num_keys as usize) / 2,
+        "only {touched} keys touched"
+    );
+    assert_eq!(engine.snapshot().keys(), touched);
+}
+
+#[test]
+fn engine_matches_eh_oracle() {
+    let (window, eps) = (128u64, 0.25f64);
+    let cfg = EngineConfig::builder()
+        .num_shards(3)
+        .max_window(window)
+        .eps(eps)
+        .build();
+    let engine = Engine::with_factory(cfg, move || waves::EhCount::new(window, eps)).unwrap();
+    let mut oracles: HashMap<u64, waves::EhCount> = HashMap::new();
+
+    let mut workload = KeyedWorkload::new(64, 9, 0.6, 7);
+    for _ in 0..30 {
+        let batch = workload.next_batch(64);
+        for (key, bits) in &batch {
+            let oracle = oracles
+                .entry(*key)
+                .or_insert_with(|| waves::EhCount::new(window, eps).unwrap());
+            for &b in bits {
+                oracle.push_bit(b);
+            }
+        }
+        engine.ingest_batch_blocking(&batch);
+    }
+    engine.flush();
+
+    for (key, oracle) in &oracles {
+        assert_eq!(
+            engine.query(*key, window).unwrap(),
+            oracle.query(window).unwrap(),
+            "key={key}"
+        );
+    }
+}
