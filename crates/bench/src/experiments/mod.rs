@@ -9,6 +9,7 @@ pub mod figures;
 pub mod hash;
 pub mod latency;
 pub mod lower_bound;
+pub mod net_loopback;
 pub mod obs_overhead;
 pub mod scaling;
 pub mod scenarios;
@@ -41,6 +42,7 @@ pub fn run(id: &str) -> bool {
         "coordinated" => ablations::coordinated(),
         "obs-overhead" => obs_overhead::run(),
         "engine-scaling" => engine_scaling::run(),
+        "net-loopback" => net_loopback::run(),
         _ => return false,
     }
     true

@@ -68,6 +68,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "engine-scaling",
         "E18: serving-engine ingest scaling (shards x keys x batch)",
     ),
+    (
+        "net-loopback",
+        "E19: networked ingest throughput over loopback vs batch size",
+    ),
 ];
 
 #[cfg(test)]

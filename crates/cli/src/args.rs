@@ -16,6 +16,10 @@ MODES:
                 the window is the last N time units)
     engine      sharded multi-key serving engine: replay a generated
                 keyed workload and report per-shard state (no stdin)
+    serve       host the serving engine on a TCP port (no stdin);
+                prints 'listening on <addr>' once ready
+    client      talk to a running server: ingest bits, query windows,
+                push referee synopses, fetch snapshots
 
 OPTIONS:
     --window <N>      maximum window size            [default: 1024]
@@ -36,6 +40,16 @@ ENGINE OPTIONS (engine mode only):
     --batch <B>       events per ingest batch        [default: 64]
     --synopsis <S>    per-key synopsis: det | eh     [default: det]
 
+NETWORK OPTIONS (serve / client modes only):
+    --addr <A>        address to bind (serve) or dial (client)
+                                           [default: 127.0.0.1:4600]
+    --key <K>         client: key to ingest into / query  [default: 0]
+    --bits <S>        client: string of 0/1 to ingest for --key
+    --query           client: query --key at --window, print estimate
+    --ping            client: liveness probe first
+    --snapshot        client: print the server engine snapshot
+    --shutdown        client: ask the server to exit when done
+
 INPUT PROTOCOL (one token per line):
     <value>     stream item
     ?           query the full window
@@ -55,6 +69,10 @@ pub enum Mode {
     Average,
     /// Sharded multi-key serving engine replaying a generated workload.
     Engine,
+    /// Host the serving engine behind the `waves-net` TCP protocol.
+    Serve,
+    /// Talk to a running `serve` instance.
+    Client,
 }
 
 /// Which per-key synopsis the engine serves.
@@ -89,6 +107,20 @@ pub struct Config {
     pub batch: usize,
     /// Engine mode: per-key synopsis family.
     pub synopsis: SynopsisKind,
+    /// Serve mode: address to bind. Client mode: address to dial.
+    pub addr: String,
+    /// Client mode: key to ingest into / query.
+    pub key: u64,
+    /// Client mode: a string of `0`/`1` characters to ingest for `key`.
+    pub bits: Option<String>,
+    /// Client mode: query `key` at `window` and print the estimate.
+    pub do_query: bool,
+    /// Client mode: liveness probe before anything else.
+    pub ping: bool,
+    /// Client mode: print the server engine's snapshot.
+    pub net_snapshot: bool,
+    /// Client mode: ask the server to exit after the other requests.
+    pub shutdown: bool,
 }
 
 impl Default for Config {
@@ -107,6 +139,13 @@ impl Default for Config {
             items: 10_000,
             batch: 64,
             synopsis: SynopsisKind::Det,
+            addr: "127.0.0.1:4600".to_string(),
+            key: 0,
+            bits: None,
+            do_query: false,
+            ping: false,
+            net_snapshot: false,
+            shutdown: false,
         }
     }
 }
@@ -150,6 +189,8 @@ pub fn parse(argv: &[String]) -> Result<Option<Config>, ArgError> {
         "distinct" => Mode::Distinct,
         "average" => Mode::Average,
         "engine" => Mode::Engine,
+        "serve" => Mode::Serve,
+        "client" => Mode::Client,
         other => return Err(ArgError::UnknownMode(other.to_string())),
     };
     let mut cfg = Config {
@@ -233,6 +274,43 @@ pub fn parse(argv: &[String]) -> Result<Option<Config>, ArgError> {
                     _ => return Err(bad(v)),
                 };
                 i += 2;
+            }
+            "--addr" => {
+                let v = value(i)?;
+                if v.is_empty() {
+                    return Err(bad(v));
+                }
+                cfg.addr = v.clone();
+                i += 2;
+            }
+            "--key" => {
+                let v = value(i)?;
+                cfg.key = v.parse().map_err(|_| bad(v))?;
+                i += 2;
+            }
+            "--bits" => {
+                let v = value(i)?;
+                if v.is_empty() || !v.chars().all(|c| c == '0' || c == '1') {
+                    return Err(bad(v));
+                }
+                cfg.bits = Some(v.clone());
+                i += 2;
+            }
+            "--query" => {
+                cfg.do_query = true;
+                i += 1;
+            }
+            "--ping" => {
+                cfg.ping = true;
+                i += 1;
+            }
+            "--snapshot" => {
+                cfg.net_snapshot = true;
+                i += 1;
+            }
+            "--shutdown" => {
+                cfg.shutdown = true;
+                i += 1;
             }
             "--stats" => {
                 cfg.stats = true;
@@ -327,6 +405,38 @@ mod tests {
         assert!(matches!(
             parse(&argv("engine --synopsis frob")),
             Err(ArgError::BadValue(..))
+        ));
+    }
+
+    #[test]
+    fn parses_net_modes() {
+        let cfg = parse(&argv("serve --addr 127.0.0.1:0 --shards 2 --window 256"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(cfg.mode, Mode::Serve);
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.shards, 2);
+        let cfg = parse(&argv(
+            "client --addr 127.0.0.1:4600 --key 7 --bits 10110 --query --ping --snapshot --shutdown",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(cfg.mode, Mode::Client);
+        assert_eq!(cfg.key, 7);
+        assert_eq!(cfg.bits.as_deref(), Some("10110"));
+        assert!(cfg.do_query && cfg.ping && cfg.net_snapshot && cfg.shutdown);
+        // Defaults.
+        let cfg = parse(&argv("client")).unwrap().unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:4600");
+        assert!(!cfg.do_query && cfg.bits.is_none());
+        // Validation: bits must be 0/1 only.
+        assert!(matches!(
+            parse(&argv("client --bits 012")),
+            Err(ArgError::BadValue(..))
+        ));
+        assert!(matches!(
+            parse(&argv("serve --addr")),
+            Err(ArgError::MissingValue(_))
         ));
     }
 

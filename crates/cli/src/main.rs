@@ -24,6 +24,7 @@ use std::process::ExitCode;
 
 mod args;
 mod engine;
+mod net;
 mod run;
 
 fn main() -> ExitCode {
@@ -41,9 +42,15 @@ fn main() -> ExitCode {
     };
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
-    // Engine mode replays a generated workload; no stdin involved.
-    if cfg.mode == args::Mode::Engine {
-        return match engine::run_engine(&cfg, &mut out) {
+    // Engine replay and the network modes take no stdin.
+    let stdinless = match cfg.mode {
+        args::Mode::Engine => Some(engine::run_engine(&cfg, &mut out)),
+        args::Mode::Serve => Some(net::run_serve(&cfg, &mut out)),
+        args::Mode::Client => Some(net::run_client(&cfg, &mut out)),
+        _ => None,
+    };
+    if let Some(result) = stdinless {
+        return match result {
             Ok(()) => {
                 out.flush().ok();
                 ExitCode::SUCCESS

@@ -1,0 +1,226 @@
+//! The `serve` and `client` subcommands: the `waves-net` wire protocol
+//! from the command line.
+//!
+//! `serve` binds `--addr` (use port 0 for an ephemeral port), prints
+//! `listening on <addr>` once accepting — scripts wait for that line —
+//! and runs until a client sends a shutdown request. `client` dials a
+//! server and performs the requested operations in a fixed order:
+//! ping, ingest `--bits`, query, snapshot, shutdown; each prints one
+//! line, so output is scriptable.
+
+use crate::args::Config;
+use std::io::Write;
+use std::sync::Arc;
+use waves_net::{Client, ClientConfig, Server, ServerConfig};
+use waves_obs::MetricsRegistry;
+
+use waves_engine::EngineConfig;
+
+/// Run the `serve` subcommand: host the engine until shut down.
+///
+/// The ready line goes to `out` and is flushed immediately so a parent
+/// process piping our stdout can scrape the bound address before any
+/// client exists.
+pub fn run_serve<W: Write>(cfg: &Config, out: &mut W) -> Result<(), String> {
+    let ecfg = EngineConfig::builder()
+        .num_shards(cfg.shards)
+        .max_window(cfg.window)
+        .eps(cfg.eps)
+        .build();
+    let scfg = ServerConfig {
+        engine: ecfg,
+        read_timeout: None,
+    };
+    let registry = cfg.stats.then(|| Arc::new(MetricsRegistry::new()));
+    match &registry {
+        Some(reg) => {
+            let server = Server::start_recorded(&cfg.addr as &str, scfg, Arc::clone(reg))
+                .map_err(|e| e.to_string())?;
+            announce_and_wait(server, out)?;
+        }
+        None => {
+            let server = Server::start(&cfg.addr as &str, scfg).map_err(|e| e.to_string())?;
+            announce_and_wait(server, out)?;
+        }
+    }
+    if let Some(reg) = &registry {
+        let snap = reg.snapshot();
+        if cfg.json {
+            writeln!(out, "{}", snap.to_json()).map_err(|e| e.to_string())?;
+        } else {
+            write!(out, "{}", snap.to_text()).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn announce_and_wait<R, W>(server: Server<R>, out: &mut W) -> Result<(), String>
+where
+    R: waves_obs::Recorder + Send + Sync + 'static,
+    W: Write,
+{
+    writeln!(out, "listening on {}", server.local_addr()).map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+    server.wait();
+    writeln!(out, "server stopped").map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Run the `client` subcommand against a running server.
+pub fn run_client<W: Write>(cfg: &Config, out: &mut W) -> Result<(), String> {
+    let registry = cfg.stats.then(|| Arc::new(MetricsRegistry::new()));
+    let ccfg = ClientConfig::default();
+    let res = match &registry {
+        Some(reg) => {
+            let client = Client::connect_recorded(&cfg.addr as &str, ccfg, Arc::clone(reg))
+                .map_err(|e| e.to_string())?;
+            drive_client(client, cfg, out)
+        }
+        None => {
+            let client =
+                Client::connect_with(&cfg.addr as &str, ccfg).map_err(|e| e.to_string())?;
+            drive_client(client, cfg, out)
+        }
+    };
+    res?;
+    if let Some(reg) = &registry {
+        let snap = reg.snapshot();
+        if cfg.json {
+            writeln!(out, "{}", snap.to_json()).map_err(|e| e.to_string())?;
+        } else {
+            write!(out, "{}", snap.to_text()).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn drive_client<R, W>(mut client: Client<R>, cfg: &Config, out: &mut W) -> Result<(), String>
+where
+    R: waves_obs::Recorder + Send + Sync + 'static,
+    W: Write,
+{
+    if cfg.ping {
+        client.ping().map_err(|e| e.to_string())?;
+        writeln!(out, "pong").map_err(|e| e.to_string())?;
+    }
+    if let Some(bits) = &cfg.bits {
+        let parsed: Vec<bool> = bits.chars().map(|c| c == '1').collect();
+        client.ingest(cfg.key, &parsed).map_err(|e| e.to_string())?;
+        client.flush().map_err(|e| e.to_string())?;
+        writeln!(out, "ingested {} bits for key {}", parsed.len(), cfg.key)
+            .map_err(|e| e.to_string())?;
+    }
+    if cfg.do_query {
+        let est = client
+            .query(cfg.key, cfg.window)
+            .map_err(|e| e.to_string())?;
+        writeln!(
+            out,
+            "key {}: estimate {} in [{}, {}] ({})",
+            cfg.key,
+            est.value,
+            est.lo,
+            est.hi,
+            if est.exact { "exact" } else { "approx" }
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    if cfg.net_snapshot {
+        let snap = client.snapshot().map_err(|e| e.to_string())?;
+        write!(out, "{}", snap.to_text()).map_err(|e| e.to_string())?;
+    }
+    if cfg.shutdown {
+        client.shutdown_server().map_err(|e| e.to_string())?;
+        writeln!(out, "server shutdown requested").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Mode;
+
+    /// End-to-end through the real binary paths: serve on an ephemeral
+    /// port in a thread, drive the client functions against it, and
+    /// check the printed protocol.
+    #[test]
+    fn serve_and_client_loopback() {
+        let serve_cfg = Config {
+            mode: Mode::Serve,
+            addr: "127.0.0.1:0".into(),
+            shards: 2,
+            window: 128,
+            eps: 0.25,
+            ..Config::default()
+        };
+        // Start the server exactly as run_serve does, but keep the
+        // handle so we can learn the port without parsing stdout.
+        let ecfg = EngineConfig::builder()
+            .num_shards(serve_cfg.shards)
+            .max_window(serve_cfg.window)
+            .eps(serve_cfg.eps)
+            .build();
+        let server = Server::start(
+            &serve_cfg.addr as &str,
+            ServerConfig {
+                engine: ecfg,
+                read_timeout: None,
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        let client_cfg = Config {
+            mode: Mode::Client,
+            addr: addr.to_string(),
+            key: 9,
+            bits: Some("110101".into()),
+            do_query: true,
+            ping: true,
+            net_snapshot: true,
+            window: 128,
+            ..Config::default()
+        };
+        let mut out = Vec::new();
+        run_client(&client_cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("pong"), "{text}");
+        assert!(text.contains("ingested 6 bits for key 9"), "{text}");
+        assert!(
+            text.contains("key 9: estimate 4 in [4, 4] (exact)"),
+            "{text}"
+        );
+        assert!(text.contains("== engine =="), "{text}");
+
+        // Shutdown via the client path; the server handle drops after.
+        let shutdown_cfg = Config {
+            shutdown: true,
+            ..client_cfg
+        };
+        let mut out = Vec::new();
+        run_client(&shutdown_cfg, &mut out).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("server shutdown requested"));
+        server.wait();
+    }
+
+    #[test]
+    fn client_surfaces_connect_failure() {
+        // Dial a port nothing listens on: the error must be a clean
+        // string (typed WaveError underneath), not a hang or panic.
+        let cfg = Config {
+            mode: Mode::Client,
+            addr: "127.0.0.1:1".into(),
+            ping: true,
+            ..Config::default()
+        };
+        let mut out = Vec::new();
+        let err = run_client(&cfg, &mut out).unwrap_err();
+        assert!(
+            err.contains("i/o error") || err.contains("timed out"),
+            "{err}"
+        );
+    }
+}

@@ -39,9 +39,11 @@ impl Synopsis {
                 )
                 .map_err(|e| e.to_string())?,
             )),
-            Mode::Engine => Err("engine mode replays a generated workload; it is handled \
+            Mode::Engine | Mode::Serve | Mode::Client => Err(
+                "engine/serve/client modes take no stdin stream; they are handled \
                  before the stream loop"
-                .into()),
+                    .into(),
+            ),
             Mode::Distinct => {
                 let mut rng = StdRng::seed_from_u64(cfg.seed);
                 let rc =

@@ -1,14 +1,16 @@
 //! Error type for synopsis construction and queries.
 
 use std::fmt;
+use std::sync::Arc;
 
-/// Errors from constructing or querying a wave synopsis, or from the
-/// serving engine built on top of them.
+/// Errors from constructing or querying a wave synopsis, from the
+/// serving engine built on top of them, or from the networked transport
+/// that ships synopses between parties and a referee.
 ///
 /// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard
-/// arm so new layers (like the engine) can add variants without a
-/// breaking release.
-#[derive(Debug, Clone, PartialEq)]
+/// arm so new layers (like the engine and the wire protocol) can add
+/// variants without a breaking release.
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum WaveError {
     /// `eps` must satisfy `0 < eps < 1`.
@@ -32,6 +34,75 @@ pub enum WaveError {
     Backpressure { shard: usize },
     /// The serving engine has never ingested anything for this key.
     UnknownKey { key: u64 },
+    /// An I/O failure in the networked transport. The underlying
+    /// [`std::io::Error`] is preserved and reachable through
+    /// [`std::error::Error::source`]; it is shared behind an `Arc` so
+    /// the error stays `Clone` like every other variant.
+    Io(Arc<std::io::Error>),
+    /// A networked operation exceeded its configured time budget.
+    /// `op` names the operation ("connect", "read", "write", ...).
+    Timeout { op: &'static str, millis: u64 },
+}
+
+impl WaveError {
+    /// Wrap an I/O error, classifying timeouts: `TimedOut` /
+    /// `WouldBlock` kinds (what a `TcpStream` read/write returns when
+    /// its socket timeout fires) become [`WaveError::Timeout`] so
+    /// callers can match on the deadline case without inspecting kinds.
+    pub fn from_io(op: &'static str, err: std::io::Error, budget_millis: u64) -> Self {
+        match err.kind() {
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => WaveError::Timeout {
+                op,
+                millis: budget_millis,
+            },
+            _ => WaveError::Io(Arc::new(err)),
+        }
+    }
+
+    /// Wrap an I/O error without timeout classification.
+    pub fn io(err: std::io::Error) -> Self {
+        WaveError::Io(Arc::new(err))
+    }
+}
+
+/// Structural equality. Hand-written because `std::io::Error` is not
+/// `PartialEq`: two `Io` values compare equal when their
+/// [`std::io::ErrorKind`]s match, which is what tests and retry logic
+/// actually branch on.
+impl PartialEq for WaveError {
+    fn eq(&self, other: &Self) -> bool {
+        use WaveError::*;
+        match (self, other) {
+            (InvalidEpsilon(a), InvalidEpsilon(b)) => a == b,
+            (InvalidDelta(a), InvalidDelta(b)) => a == b,
+            (InvalidWindow(a), InvalidWindow(b)) => a == b,
+            (
+                WindowTooLarge {
+                    requested: a1,
+                    max: a2,
+                },
+                WindowTooLarge {
+                    requested: b1,
+                    max: b2,
+                },
+            ) => a1 == b1 && a2 == b2,
+            (ValueTooLarge { value: a1, max: a2 }, ValueTooLarge { value: b1, max: b2 }) => {
+                a1 == b1 && a2 == b2
+            }
+            (PositionRegressed { last: a1, got: a2 }, PositionRegressed { last: b1, got: b2 }) => {
+                a1 == b1 && a2 == b2
+            }
+            (TooManyItemsInWindow { bound: a }, TooManyItemsInWindow { bound: b }) => a == b,
+            (InvalidQuantile(a), InvalidQuantile(b)) => a == b,
+            (Backpressure { shard: a }, Backpressure { shard: b }) => a == b,
+            (UnknownKey { key: a }, UnknownKey { key: b }) => a == b,
+            (Io(a), Io(b)) => a.kind() == b.kind(),
+            (Timeout { op: a1, millis: a2 }, Timeout { op: b1, millis: b2 }) => {
+                a1 == b1 && a2 == b2
+            }
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for WaveError {
@@ -67,30 +138,120 @@ impl fmt::Display for WaveError {
             WaveError::UnknownKey { key } => {
                 write!(f, "no synopsis exists for key {key}")
             }
+            WaveError::Io(e) => {
+                write!(f, "i/o error: {e}")
+            }
+            WaveError::Timeout { op, millis } => {
+                write!(f, "{op} timed out after {millis} ms")
+            }
         }
     }
 }
 
-impl std::error::Error for WaveError {}
+impl std::error::Error for WaveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WaveError::Io(e) => Some(e.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
+    use std::io;
 
     #[test]
     fn display_messages() {
+        // Every variant renders its distinguishing data.
         assert!(WaveError::InvalidEpsilon(2.0).to_string().contains("2"));
+        assert!(WaveError::InvalidDelta(1.5).to_string().contains("1.5"));
+        assert!(WaveError::InvalidWindow(0).to_string().contains("invalid"));
         assert!(WaveError::WindowTooLarge {
             requested: 10,
             max: 5
         }
         .to_string()
         .contains("10"));
-        let e: Box<dyn std::error::Error> = Box::new(WaveError::InvalidWindow(0));
-        assert!(e.to_string().contains("invalid"));
+        assert!(WaveError::ValueTooLarge { value: 9, max: 4 }
+            .to_string()
+            .contains("R = 4"));
+        assert!(WaveError::PositionRegressed { last: 7, got: 3 }
+            .to_string()
+            .contains("before"));
+        assert!(WaveError::TooManyItemsInWindow { bound: 11 }
+            .to_string()
+            .contains("U = 11"));
+        assert!(WaveError::InvalidQuantile(0.0)
+            .to_string()
+            .contains("(0, 1]"));
         assert!(WaveError::Backpressure { shard: 3 }
             .to_string()
             .contains("3"));
         assert!(WaveError::UnknownKey { key: 99 }.to_string().contains("99"));
+        let io_err = WaveError::io(io::Error::new(io::ErrorKind::ConnectionReset, "peer gone"));
+        assert!(io_err.to_string().contains("peer gone"));
+        assert!(WaveError::Timeout {
+            op: "read",
+            millis: 250
+        }
+        .to_string()
+        .contains("read timed out after 250 ms"));
+        let e: Box<dyn std::error::Error> = Box::new(WaveError::InvalidWindow(0));
+        assert!(e.to_string().contains("invalid"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        let inner = io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed");
+        let err = WaveError::io(inner);
+        let src = err.source().expect("Io carries a source");
+        assert_eq!(src.to_string(), "pipe closed");
+        let io_src = src
+            .downcast_ref::<io::Error>()
+            .expect("source is io::Error");
+        assert_eq!(io_src.kind(), io::ErrorKind::BrokenPipe);
+        // Non-Io variants carry no source.
+        assert!(WaveError::InvalidWindow(0).source().is_none());
+        assert!(WaveError::Timeout {
+            op: "connect",
+            millis: 1
+        }
+        .source()
+        .is_none());
+    }
+
+    #[test]
+    fn from_io_classifies_timeouts() {
+        let t = WaveError::from_io("read", io::Error::from(io::ErrorKind::TimedOut), 100);
+        assert_eq!(
+            t,
+            WaveError::Timeout {
+                op: "read",
+                millis: 100
+            }
+        );
+        let t = WaveError::from_io("read", io::Error::from(io::ErrorKind::WouldBlock), 100);
+        assert!(matches!(t, WaveError::Timeout { .. }));
+        let e = WaveError::from_io(
+            "write",
+            io::Error::from(io::ErrorKind::ConnectionReset),
+            100,
+        );
+        assert!(matches!(e, WaveError::Io(_)));
+    }
+
+    #[test]
+    fn equality_ignores_io_payload_but_not_kind() {
+        let a = WaveError::io(io::Error::new(io::ErrorKind::ConnectionReset, "a"));
+        let b = WaveError::io(io::Error::new(io::ErrorKind::ConnectionReset, "b"));
+        let c = WaveError::io(io::Error::new(io::ErrorKind::BrokenPipe, "a"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, WaveError::InvalidWindow(0));
+        // Cloning shares the same underlying error.
+        assert_eq!(a.clone(), a);
     }
 }

@@ -100,6 +100,31 @@ impl ScalarReport {
     }
 }
 
+/// The referee's combine rule for additive scenarios (Scenarios 1-3
+/// with "union" meaning the sum): add the per-party point estimates and
+/// truth intervals. Each addend's interval brackets its true value, so
+/// the summed interval brackets the true total, and each addend being
+/// within `eps` of its truth keeps the total within `eps` too. Shared
+/// by the in-process scenario drivers and the networked referee in
+/// `waves-net`.
+pub fn combine_estimates<I>(parts: I) -> waves_core::Estimate
+where
+    I: IntoIterator<Item = waves_core::Estimate>,
+{
+    let (mut value, mut lo, mut hi) = (0.0, 0u64, 0u64);
+    for e in parts {
+        value += e.value;
+        lo += e.lo;
+        hi += e.hi;
+    }
+    waves_core::Estimate {
+        value,
+        lo,
+        hi,
+        exact: lo == hi,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +187,19 @@ mod tests {
         assert_eq!(a.per_party.len(), 3);
         assert_eq!(a.per_party[2].bytes, 3);
         assert_eq!(a.bytes, 6);
+    }
+
+    #[test]
+    fn combine_sums_values_and_intervals() {
+        use waves_core::Estimate;
+        let combined = combine_estimates([Estimate::midpoint(2, 4), Estimate::exact(10)]);
+        assert_eq!(combined.value, 13.0);
+        assert_eq!((combined.lo, combined.hi), (12, 14));
+        assert!(!combined.exact);
+        // All-exact addends stay exact; the empty combine is exact 0.
+        assert!(combine_estimates([Estimate::exact(1), Estimate::exact(2)]).exact);
+        let empty = combine_estimates(std::iter::empty());
+        assert_eq!(empty, Estimate::exact(0));
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod runtime;
 pub mod scenario;
 pub mod sim;
 
-pub use comm::{CommStats, PartyComm, ScalarReport};
+pub use comm::{combine_estimates, CommStats, PartyComm, ScalarReport};
 pub use coordinated::{
     coord_distinct_estimate, coord_union_estimate, coord_union_median, CoordDistinctParty,
     CoordSampleParty,

@@ -51,23 +51,12 @@ impl Scenario1Count {
     /// summed interval is a valid bracket, and each addend is within
     /// `eps`, so the total is too.
     pub fn query(&mut self, n: u64) -> Result<Estimate, WaveError> {
-        let mut value = 0.0;
-        let mut lo = 0u64;
-        let mut hi = 0u64;
+        let mut reports = Vec::with_capacity(self.parties.len());
         for (j, p) in self.parties.iter().enumerate() {
-            let e = p.query(n)?;
-            let r = ScalarReport::from_estimate(&e);
+            reports.push(p.query(n)?);
             self.comm.record_party(j, ScalarReport::WIRE_BYTES);
-            value += r.value;
-            lo += r.lo;
-            hi += r.hi;
         }
-        Ok(Estimate {
-            value,
-            lo,
-            hi,
-            exact: lo == hi,
-        })
+        Ok(crate::comm::combine_estimates(reports))
     }
 
     pub fn comm(&self) -> &CommStats {
@@ -99,22 +88,12 @@ impl Scenario1Sum {
     }
 
     pub fn query(&mut self, n: u64) -> Result<Estimate, WaveError> {
-        let mut value = 0.0;
-        let mut lo = 0u64;
-        let mut hi = 0u64;
+        let mut reports = Vec::with_capacity(self.parties.len());
         for (j, p) in self.parties.iter().enumerate() {
-            let e = p.query(n)?;
+            reports.push(p.query(n)?);
             self.comm.record_party(j, ScalarReport::WIRE_BYTES);
-            value += e.value;
-            lo += e.lo;
-            hi += e.hi;
         }
-        Ok(Estimate {
-            value,
-            lo,
-            hi,
-            exact: lo == hi,
-        })
+        Ok(crate::comm::combine_estimates(reports))
     }
 
     pub fn comm(&self) -> &CommStats {
@@ -171,9 +150,7 @@ impl Scenario2Count {
     /// items all carry sequence numbers `<= its local pos`), so querying
     /// never desynchronizes later `push_item` calls.
     pub fn query(&mut self, pos: u64, n: u64) -> Result<Estimate, WaveError> {
-        let mut value = 0.0;
-        let mut lo = 0u64;
-        let mut hi = 0u64;
+        let mut reports = Vec::with_capacity(self.parties.len());
         for (j, p) in self.parties.iter().enumerate() {
             if pos < p.pos() {
                 return Err(WaveError::PositionRegressed {
@@ -184,22 +161,14 @@ impl Scenario2Count {
             // Positions in (p.pos(), pos] belong to other parties; the
             // party's share of the window is its last n - gap positions.
             let gap = pos - p.pos();
-            let e = if gap >= n {
+            reports.push(if gap >= n {
                 Estimate::exact(0)
             } else {
                 p.query(n - gap)?
-            };
+            });
             self.comm.record_party(j, ScalarReport::WIRE_BYTES);
-            value += e.value;
-            lo += e.lo;
-            hi += e.hi;
         }
-        Ok(Estimate {
-            value,
-            lo,
-            hi,
-            exact: lo == hi,
-        })
+        Ok(crate::comm::combine_estimates(reports))
     }
 
     pub fn comm(&self) -> &CommStats {

@@ -257,6 +257,94 @@ impl EhCount {
         Ok(Estimate::midpoint(total_in - oldest_size + 1, total_in))
     }
 
+    /// Serialize into a compact bit encoding, mirroring the wave
+    /// codecs: gamma-coded parameters (`m` stands in for `eps` — it is
+    /// the only error-bound quantity the algorithm consults), then per
+    /// size class the bucket count and delta-coded timestamps. Cascade
+    /// telemetry (`last_cascade` and friends) is *not* state and is not
+    /// encoded. Reconstruct with [`EhCount::decode`].
+    pub fn encode(&self) -> Vec<u8> {
+        use waves_core::codec::{write_deltas, BitWriter};
+        let mut w = BitWriter::new();
+        w.write_gamma(self.max_window);
+        w.write_gamma(self.m as u64);
+        w.write_gamma0(self.pos);
+        w.write_gamma0(self.classes.len() as u64);
+        for q in &self.classes {
+            w.write_gamma0(q.len() as u64);
+            let ts: Vec<u64> = q.iter().copied().collect();
+            write_deltas(&mut w, &ts);
+        }
+        w.finish()
+    }
+
+    /// Reconstruct a histogram from [`EhCount::encode`] output. The
+    /// reconstruction answers queries identically to the original and
+    /// re-encodes to the same bytes; cascade telemetry restarts at 0.
+    /// Corrupt input yields `Err`, never a panic or an inconsistent
+    /// structure.
+    pub fn decode(bytes: &[u8]) -> Result<Self, waves_core::codec::CodecError> {
+        use waves_core::codec::{read_deltas, BitReader, CodecError};
+        let mut r = BitReader::new(bytes);
+        let max_window = r.read_gamma()?;
+        let m = r.read_gamma()?;
+        if m > 1 << 32 {
+            return Err(CodecError::Corrupt("bad m"));
+        }
+        // eps = 1/(2m) inverts m = ceil(1/(2 eps)) exactly, so the
+        // decoded histogram merges on the same thresholds.
+        let mut eh = EhCount::builder()
+            .max_window(max_window)
+            .eps(1.0 / (2.0 * m as f64))
+            .build()?;
+        debug_assert_eq!(eh.m as u64, m);
+        eh.pos = r.read_gamma0()?;
+        if eh.pos > 1 << 62 {
+            return Err(CodecError::Corrupt("counters inconsistent"));
+        }
+        let num_classes = r.read_gamma0()? as usize;
+        if num_classes > 64 {
+            return Err(CodecError::Corrupt("too many classes"));
+        }
+        // Buckets age with class index: everything in class j + 1 is
+        // strictly older than everything in class j.
+        let mut newest_allowed = eh.pos;
+        for j in 0..num_classes {
+            let len = r.read_gamma0()? as usize;
+            if len > eh.m + 1 {
+                return Err(CodecError::Corrupt("class overfull"));
+            }
+            let ts = read_deltas(&mut r, len)?;
+            let mut prev = 0u64;
+            for &t in &ts {
+                if t == 0 || t > eh.pos || t <= prev {
+                    return Err(CodecError::Corrupt("timestamps not increasing"));
+                }
+                if t + max_window <= eh.pos {
+                    return Err(CodecError::Corrupt("bucket already expired"));
+                }
+                prev = t;
+            }
+            if let (Some(&newest), true) = (ts.last(), j > 0) {
+                if newest >= newest_allowed {
+                    return Err(CodecError::Corrupt("classes out of age order"));
+                }
+            }
+            if let Some(&oldest) = ts.first() {
+                newest_allowed = oldest;
+            }
+            let size = 1u64
+                .checked_shl(j as u32)
+                .ok_or(CodecError::Corrupt("class overflow"))?;
+            eh.total = (len as u64)
+                .checked_mul(size)
+                .and_then(|add| eh.total.checked_add(add))
+                .ok_or(CodecError::Corrupt("total overflow"))?;
+            eh.classes.push(ts.into_iter().collect());
+        }
+        Ok(eh)
+    }
+
     /// Space accounting under the same conventions as the waves.
     pub fn space_report(&self) -> SpaceReport {
         let entries = self.buckets();

@@ -60,6 +60,60 @@ mod proptests {
             }
         }
 
+        /// Encode/decode round-trips: the reconstruction answers every
+        /// window query identically and re-encodes byte-for-byte.
+        #[test]
+        fn eh_count_codec_roundtrip(
+            bits in prop::collection::vec(prop::bool::weighted(0.5), 0..1200),
+            inv_eps in 2u64..=10,
+            n_max in 8u64..=128,
+        ) {
+            let mut eh = EhCount::new(n_max, 1.0 / inv_eps as f64).unwrap();
+            for &b in &bits {
+                eh.push_bit(b);
+            }
+            let bytes = eh.encode();
+            let decoded = EhCount::decode(&bytes).unwrap();
+            for n in [1u64, n_max / 2 + 1, n_max] {
+                prop_assert_eq!(eh.query(n).unwrap(), decoded.query(n).unwrap());
+            }
+            prop_assert_eq!(decoded.encode(), bytes);
+            prop_assert_eq!(decoded.pos(), eh.pos());
+            prop_assert_eq!(decoded.buckets(), eh.buckets());
+        }
+
+        #[test]
+        fn eh_sum_codec_roundtrip(
+            vals in prop::collection::vec(0u64..=64, 0..800),
+            inv_eps in 2u64..=8,
+            n_max in 8u64..=64,
+        ) {
+            let mut eh = EhSum::new(n_max, 64, 1.0 / inv_eps as f64).unwrap();
+            for &v in &vals {
+                eh.push_value(v).unwrap();
+            }
+            let bytes = eh.encode();
+            let decoded = EhSum::decode(&bytes).unwrap();
+            for n in [1u64, n_max / 2 + 1, n_max] {
+                prop_assert_eq!(eh.query(n).unwrap(), decoded.query(n).unwrap());
+            }
+            prop_assert_eq!(decoded.encode(), bytes);
+            prop_assert_eq!(decoded.pos(), eh.pos());
+            prop_assert_eq!(decoded.buckets(), eh.buckets());
+        }
+
+        /// Decoding adversarial bytes returns Err or a structure whose
+        /// queries still work — never a panic.
+        #[test]
+        fn eh_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+            if let Ok(eh) = EhCount::decode(&bytes) {
+                let _ = eh.query(eh.max_window());
+            }
+            if let Ok(eh) = EhSum::decode(&bytes) {
+                let _ = eh.query(eh.max_window());
+            }
+        }
+
         #[test]
         fn eh_sum_eps_guarantee(
             vals in prop::collection::vec(0u64..=64, 0..1000),

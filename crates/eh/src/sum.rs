@@ -337,6 +337,105 @@ impl EhSum {
         Ok(Estimate::midpoint(total_in - oldest_size + 1, total_in))
     }
 
+    /// Serialize into a compact bit encoding (see [`crate::EhCount::encode`]
+    /// for the scheme; the sum histogram additionally gamma-codes each
+    /// run's multiplicity). Reconstruct with [`EhSum::decode`].
+    pub fn encode(&self) -> Vec<u8> {
+        use waves_core::codec::{write_deltas, BitWriter};
+        let mut w = BitWriter::new();
+        w.write_gamma(self.max_window);
+        w.write_gamma(self.max_value);
+        w.write_gamma(self.m);
+        w.write_gamma0(self.pos);
+        w.write_gamma0(self.classes.len() as u64);
+        for q in &self.classes {
+            w.write_gamma0(q.len() as u64);
+            let ts: Vec<u64> = q.iter().map(|r| r.ts).collect();
+            write_deltas(&mut w, &ts);
+            for run in q {
+                w.write_gamma(run.mult);
+            }
+        }
+        w.finish()
+    }
+
+    /// Reconstruct a histogram from [`EhSum::encode`] output; queries
+    /// answer identically, re-encoding is byte-identical, and cascade
+    /// telemetry restarts at 0. Corrupt input yields `Err`, never a
+    /// panic.
+    pub fn decode(bytes: &[u8]) -> Result<Self, waves_core::codec::CodecError> {
+        use waves_core::codec::{read_deltas, BitReader, CodecError};
+        let mut r = BitReader::new(bytes);
+        let max_window = r.read_gamma()?;
+        let max_value = r.read_gamma()?;
+        let m = r.read_gamma()?;
+        if m > 1 << 32 {
+            return Err(CodecError::Corrupt("bad m"));
+        }
+        let mut eh = EhSum::builder()
+            .max_window(max_window)
+            .max_value(max_value)
+            .eps(1.0 / (2.0 * m as f64))
+            .build()?;
+        debug_assert_eq!(eh.m, m);
+        eh.pos = r.read_gamma0()?;
+        if eh.pos > 1 << 62 {
+            return Err(CodecError::Corrupt("counters inconsistent"));
+        }
+        let num_classes = r.read_gamma0()? as usize;
+        if num_classes > 64 {
+            return Err(CodecError::Corrupt("too many classes"));
+        }
+        let mut newest_allowed = eh.pos;
+        for j in 0..num_classes {
+            let runs = r.read_gamma0()? as usize;
+            if runs > (m as usize) + 1 {
+                return Err(CodecError::Corrupt("class overfull"));
+            }
+            let ts = read_deltas(&mut r, runs)?;
+            let mut q: VecDeque<Run> = VecDeque::with_capacity(runs);
+            let mut count = 0u64;
+            for &t in &ts {
+                let mult = r.read_gamma()?;
+                // Partial-run merges can leave same-timestamp runs both
+                // within a class and straddling adjacent classes, so
+                // (unlike EhCount) equality is legal; read_deltas already
+                // guarantees the sequence is nondecreasing.
+                if t == 0 || t > eh.pos {
+                    return Err(CodecError::Corrupt("timestamp beyond pos"));
+                }
+                if t + max_window <= eh.pos {
+                    return Err(CodecError::Corrupt("bucket already expired"));
+                }
+                count = count
+                    .checked_add(mult)
+                    .ok_or(CodecError::Corrupt("count overflow"))?;
+                q.push_back(Run { ts: t, mult });
+            }
+            if count > m + 1 {
+                return Err(CodecError::Corrupt("class overfull"));
+            }
+            if let (Some(&newest), true) = (ts.last(), j > 0) {
+                if newest > newest_allowed {
+                    return Err(CodecError::Corrupt("classes out of age order"));
+                }
+            }
+            if let Some(&oldest) = ts.first() {
+                newest_allowed = oldest;
+            }
+            let size = 1u64
+                .checked_shl(j as u32)
+                .ok_or(CodecError::Corrupt("class overflow"))?;
+            eh.total = count
+                .checked_mul(size)
+                .and_then(|add| eh.total.checked_add(add))
+                .ok_or(CodecError::Corrupt("total overflow"))?;
+            eh.classes.push(q);
+            eh.counts.push(count);
+        }
+        Ok(eh)
+    }
+
     /// Space accounting under the same conventions as the waves.
     pub fn space_report(&self) -> SpaceReport {
         let entries: usize = self.classes.iter().map(VecDeque::len).sum();

@@ -1,0 +1,337 @@
+//! The blocking client: one TCP connection, request/response framing,
+//! configurable timeouts, and bounded retry-with-backoff.
+//!
+//! Every socket operation runs under a deadline from [`ClientConfig`];
+//! a fired deadline surfaces as [`WaveError::Timeout`] naming the
+//! operation and its budget, other transport failures as
+//! [`WaveError::Io`] with the `std::io::Error` reachable through
+//! `source()`. The client never hangs and never panics on a sick peer —
+//! the chaos-proxy integration tests hold it to that.
+//!
+//! Retries are deliberately narrow: only *idempotent* requests (ping,
+//! query, flush, snapshot, combine, push-synopsis — re-pushing a
+//! party's synopsis overwrites the same slot) are retried, only on
+//! errors where the request plausibly never executed (connect failures
+//! and broken/reset connections), and at most [`ClientConfig::retries`]
+//! times with linear backoff. Ingest is *not* retried: a reply lost
+//! after the server applied the batch would double-count on replay.
+
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use waves_core::{Estimate, WaveError};
+use waves_engine::{EngineSnapshot, KeyedBits};
+use waves_obs::{HistId, MetricId, NoopRecorder, Recorder};
+
+use crate::frame::{Frame, SynopsisKind, WireCodec};
+
+/// Client transport knobs. The defaults suit loopback and LAN use;
+/// every field is a hard budget, not a hint.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Budget for establishing the TCP connection (per attempt).
+    pub connect_timeout: Duration,
+    /// Socket read timeout: the longest a single reply may take.
+    pub read_timeout: Duration,
+    /// Socket write timeout: the longest a single request may take to
+    /// drain into the send buffer.
+    pub write_timeout: Duration,
+    /// Retry attempts after the first failure (0 disables retries).
+    pub retries: u32,
+    /// Backoff before retry `k` is `backoff * k` (linear).
+    pub backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            retries: 2,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// A blocking connection to a `waves-net` server.
+pub struct Client<R: Recorder + Send + Sync + 'static = NoopRecorder> {
+    stream: TcpStream,
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    rec: Arc<R>,
+}
+
+impl Client<NoopRecorder> {
+    /// Connect with default timeouts and observability disabled.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, WaveError> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit transport knobs.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, cfg: ClientConfig) -> Result<Self, WaveError> {
+        Self::connect_recorded(addr, cfg, Arc::new(NoopRecorder))
+    }
+}
+
+impl<R: Recorder + Send + Sync + 'static> Client<R> {
+    /// Connect, recording request latency and frame/byte counters into
+    /// `rec`.
+    pub fn connect_recorded<A: ToSocketAddrs>(
+        addr: A,
+        cfg: ClientConfig,
+        rec: Arc<R>,
+    ) -> Result<Self, WaveError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(WaveError::io)?
+            .next()
+            .ok_or_else(|| {
+                WaveError::io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "address resolved to nothing",
+                ))
+            })?;
+        let stream = connect_with_retries(addr, &cfg)?;
+        Ok(Client {
+            stream,
+            addr,
+            cfg,
+            rec,
+        })
+    }
+
+    /// The server address this client talks to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    // ---- the request surface ----
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), WaveError> {
+        match self.request_idempotent(&Frame::Ping)? {
+            Frame::Pong => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Ingest one key's bits. Not retried (not idempotent).
+    pub fn ingest(&mut self, key: u64, bits: &[bool]) -> Result<(), WaveError> {
+        self.ingest_batch(&[(key, bits.to_vec())])
+    }
+
+    /// Ingest a batch of keyed bit runs. Not retried (not idempotent).
+    pub fn ingest_batch(&mut self, batch: &[KeyedBits]) -> Result<(), WaveError> {
+        match self.request_once(&Frame::Ingest(batch.to_vec()))? {
+            Frame::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Window query against one key's synopsis on the server.
+    pub fn query(&mut self, key: u64, window: u64) -> Result<Estimate, WaveError> {
+        match self.request_idempotent(&Frame::Query { key, window })? {
+            Frame::EstimateResp(est) => Ok(est),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Barrier: returns once the server has drained all shard queues.
+    pub fn flush(&mut self) -> Result<(), WaveError> {
+        match self.request_idempotent(&Frame::Flush)? {
+            Frame::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetch the server engine's point-in-time snapshot.
+    pub fn snapshot(&mut self) -> Result<EngineSnapshot, WaveError> {
+        match self.request_idempotent(&Frame::Snapshot)? {
+            Frame::SnapshotResp(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Push a party's synopsis encode to the networked referee.
+    /// Idempotent (a re-push overwrites the same party slot), so it is
+    /// retried.
+    pub fn push_synopsis(
+        &mut self,
+        party: u64,
+        kind: SynopsisKind,
+        bytes: Vec<u8>,
+    ) -> Result<(), WaveError> {
+        match self.request_idempotent(&Frame::PushSynopsis { party, kind, bytes })? {
+            Frame::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Push a deterministic wave's encode for `party`.
+    pub fn push_det_wave(
+        &mut self,
+        party: u64,
+        wave: &waves_core::DetWave,
+    ) -> Result<(), WaveError> {
+        self.push_synopsis(party, SynopsisKind::DetWave, wave.encode())
+    }
+
+    /// Push a sum wave's encode for `party`.
+    pub fn push_sum_wave(
+        &mut self,
+        party: u64,
+        wave: &waves_core::SumWave,
+    ) -> Result<(), WaveError> {
+        self.push_synopsis(party, SynopsisKind::SumWave, wave.encode())
+    }
+
+    /// Push an exponential-histogram counter's encode for `party`.
+    pub fn push_eh_count(&mut self, party: u64, eh: &waves_eh::EhCount) -> Result<(), WaveError> {
+        self.push_synopsis(party, SynopsisKind::EhCount, eh.encode())
+    }
+
+    /// Push an exponential-histogram summer's encode for `party`.
+    pub fn push_eh_sum(&mut self, party: u64, eh: &waves_eh::EhSum) -> Result<(), WaveError> {
+        self.push_synopsis(party, SynopsisKind::EhSum, eh.encode())
+    }
+
+    /// Referee combine across every pushed party at `window`.
+    pub fn combine(&mut self, window: u64) -> Result<Estimate, WaveError> {
+        match self.request_idempotent(&Frame::Combine { window })? {
+            Frame::EstimateResp(est) => Ok(est),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Ask the server to stop. The server acks before exiting.
+    pub fn shutdown_server(&mut self) -> Result<(), WaveError> {
+        match self.request_once(&Frame::Shutdown)? {
+            Frame::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    // ---- transport plumbing ----
+
+    /// One request/response exchange, no retries.
+    fn request_once(&mut self, req: &Frame) -> Result<Frame, WaveError> {
+        let started = self.rec.enabled().then(Instant::now);
+        let reply = self.exchange(req)?;
+        if let Some(t0) = started {
+            self.rec
+                .observe(HistId::NetRequestNs, t0.elapsed().as_nanos() as u64);
+        }
+        match reply {
+            Frame::ErrorResp(e) => Err(e),
+            other => Ok(other),
+        }
+    }
+
+    /// Request/response with bounded retry-with-backoff for idempotent
+    /// requests: retried only on transport errors where the request
+    /// plausibly never executed, reconnecting first. Timeouts and
+    /// server-side errors are not retried.
+    fn request_idempotent(&mut self, req: &Frame) -> Result<Frame, WaveError> {
+        let mut attempt = 0u32;
+        loop {
+            let started = self.rec.enabled().then(Instant::now);
+            let outcome = self.exchange(req);
+            match outcome {
+                Ok(reply) => {
+                    if let Some(t0) = started {
+                        self.rec
+                            .observe(HistId::NetRequestNs, t0.elapsed().as_nanos() as u64);
+                    }
+                    return match reply {
+                        Frame::ErrorResp(e) => Err(e),
+                        other => Ok(other),
+                    };
+                }
+                Err(e) => {
+                    attempt += 1;
+                    if attempt > self.cfg.retries || !is_retryable(&e) {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.cfg.backoff * attempt);
+                    match connect_with_retries(self.addr, &self.cfg) {
+                        Ok(stream) => self.stream = stream,
+                        Err(_) => return Err(e),
+                    }
+                }
+            }
+        }
+    }
+
+    fn exchange(&mut self, req: &Frame) -> Result<Frame, WaveError> {
+        let wrote = WireCodec::write_frame(&mut self.stream, req).map_err(|e| {
+            WaveError::from_io("write", e, self.cfg.write_timeout.as_millis() as u64)
+        })?;
+        if self.rec.enabled() {
+            self.rec.incr(MetricId::NetFramesSent, 1);
+            self.rec.incr(MetricId::NetBytesSent, wrote as u64);
+            self.rec.observe(HistId::NetFrameBytes, wrote as u64);
+        }
+        let (reply, nread) = WireCodec::read_frame(&mut self.stream)
+            .map_err(|e| WaveError::from_io("read", e, self.cfg.read_timeout.as_millis() as u64))?;
+        if self.rec.enabled() {
+            self.rec.incr(MetricId::NetFramesReceived, 1);
+            self.rec.incr(MetricId::NetBytesReceived, nread as u64);
+        }
+        Ok(reply)
+    }
+}
+
+/// Transport errors where the request plausibly never ran server-side,
+/// so re-sending an idempotent request is safe.
+fn is_retryable(e: &WaveError) -> bool {
+    match e {
+        WaveError::Io(io) => matches!(
+            io.kind(),
+            std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::NotConnected
+                | std::io::ErrorKind::UnexpectedEof
+                | std::io::ErrorKind::ConnectionRefused
+        ),
+        _ => false,
+    }
+}
+
+fn connect_with_retries(addr: SocketAddr, cfg: &ClientConfig) -> Result<TcpStream, WaveError> {
+    let mut attempt = 0u32;
+    loop {
+        match TcpStream::connect_timeout(&addr, cfg.connect_timeout) {
+            Ok(stream) => {
+                stream
+                    .set_read_timeout(Some(cfg.read_timeout))
+                    .map_err(WaveError::io)?;
+                stream
+                    .set_write_timeout(Some(cfg.write_timeout))
+                    .map_err(WaveError::io)?;
+                let _ = stream.set_nodelay(true);
+                return Ok(stream);
+            }
+            Err(e) => {
+                attempt += 1;
+                if attempt > cfg.retries {
+                    return Err(WaveError::from_io(
+                        "connect",
+                        e,
+                        cfg.connect_timeout.as_millis() as u64,
+                    ));
+                }
+                std::thread::sleep(cfg.backoff * attempt);
+            }
+        }
+    }
+}
+
+fn unexpected(frame: Frame) -> WaveError {
+    WaveError::io(std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("unexpected reply frame: {frame:?}"),
+    ))
+}

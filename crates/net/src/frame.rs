@@ -1,0 +1,791 @@
+//! The wire protocol: versioned, length-prefixed binary frames.
+//!
+//! Every message on the wire is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic  0x57 0x41  (b"WA")
+//! 2       1     version (currently 1)
+//! 3       1     frame type (see the `TYPE_*` constants)
+//! 4       4     payload length, u32 big-endian
+//! 8       len   payload
+//! ```
+//!
+//! The fixed 8-byte header makes framing self-describing: a reader
+//! pulls the header, validates magic/version/type, bounds-checks the
+//! length against [`MAX_PAYLOAD_LEN`], then reads exactly `len` payload
+//! bytes. Anything that fails those checks is rejected *before* any
+//! allocation proportional to the claimed length, so a corrupt or
+//! adversarial length field cannot OOM the peer.
+//!
+//! Payload scalars are big-endian; `f64` travels as `to_bits()`.
+//! Synopsis payloads ([`Frame::PushSynopsis`]) carry the synopsis's own
+//! compact bit-codec output **verbatim** — the wire layer never
+//! re-encodes them, so a synopsis round-trips the network byte-for-byte
+//! (property-tested in this crate for all four synopsis types).
+
+use waves_core::codec::CodecError;
+use waves_core::{DetWave, Estimate, SumWave, WaveError};
+use waves_eh::{EhCount, EhSum};
+use waves_engine::{EngineSnapshot, KeyedBits, ShardSnapshot};
+
+/// First two header bytes of every frame.
+pub const MAGIC: [u8; 2] = *b"WA";
+
+/// Current protocol version. Bump on any incompatible layout change;
+/// peers reject other versions with [`FrameError::BadVersion`].
+pub const WIRE_VERSION: u8 = 1;
+
+/// Fixed header size in bytes (magic + version + type + length).
+pub const HEADER_LEN: usize = 8;
+
+/// Upper bound on a frame payload. A claimed length above this is
+/// treated as corruption ([`FrameError::FrameTooLarge`]) rather than an
+/// allocation request.
+pub const MAX_PAYLOAD_LEN: usize = 64 << 20;
+
+/// Cap on bits in a single ingest entry, so a corrupt bit count cannot
+/// force a huge allocation before the byte-level bounds check.
+const MAX_ENTRY_BITS: u64 = (MAX_PAYLOAD_LEN as u64) * 8;
+
+// Request frame types (client -> server).
+const TYPE_PING: u8 = 0x01;
+const TYPE_INGEST: u8 = 0x02;
+const TYPE_QUERY: u8 = 0x03;
+const TYPE_FLUSH: u8 = 0x04;
+const TYPE_SNAPSHOT: u8 = 0x05;
+const TYPE_PUSH_SYNOPSIS: u8 = 0x06;
+const TYPE_COMBINE: u8 = 0x07;
+const TYPE_SHUTDOWN: u8 = 0x08;
+
+// Response frame types (server -> client). High bit set.
+const TYPE_OK: u8 = 0x80;
+const TYPE_PONG: u8 = 0x81;
+const TYPE_ESTIMATE: u8 = 0x82;
+const TYPE_SNAPSHOT_RESP: u8 = 0x83;
+const TYPE_ERROR: u8 = 0x8F;
+
+/// Which synopsis a [`Frame::PushSynopsis`] payload contains. The wire
+/// byte is stable (part of the protocol); the payload bytes are the
+/// synopsis's own `encode()` output, untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SynopsisKind {
+    /// [`waves_core::DetWave`] (deterministic wave, Basic Counting).
+    DetWave = 0,
+    /// [`waves_core::SumWave`] (deterministic wave over sums).
+    SumWave = 1,
+    /// [`waves_eh::EhCount`] (exponential histogram, Basic Counting).
+    EhCount = 2,
+    /// [`waves_eh::EhSum`] (exponential histogram over sums).
+    EhSum = 3,
+}
+
+impl SynopsisKind {
+    fn from_wire(b: u8) -> Result<Self, FrameError> {
+        match b {
+            0 => Ok(SynopsisKind::DetWave),
+            1 => Ok(SynopsisKind::SumWave),
+            2 => Ok(SynopsisKind::EhCount),
+            3 => Ok(SynopsisKind::EhSum),
+            _ => Err(FrameError::Malformed("unknown synopsis kind")),
+        }
+    }
+}
+
+/// A decoded party synopsis held by the networked referee. Wraps the
+/// four concrete synopsis types behind one query interface so the
+/// referee can mix parties running different synopses.
+#[derive(Debug, Clone)]
+pub enum PartySynopsis {
+    Det(DetWave),
+    Sum(SumWave),
+    EhCount(EhCount),
+    EhSum(EhSum),
+}
+
+impl PartySynopsis {
+    /// Decode the wire bytes for `kind` through the synopsis's own
+    /// codec. Errors mean the payload did not survive transport (or the
+    /// sender lied about the kind).
+    pub fn decode(kind: SynopsisKind, bytes: &[u8]) -> Result<Self, CodecError> {
+        Ok(match kind {
+            SynopsisKind::DetWave => PartySynopsis::Det(DetWave::decode(bytes)?),
+            SynopsisKind::SumWave => PartySynopsis::Sum(SumWave::decode(bytes)?),
+            SynopsisKind::EhCount => PartySynopsis::EhCount(EhCount::decode(bytes)?),
+            SynopsisKind::EhSum => PartySynopsis::EhSum(EhSum::decode(bytes)?),
+        })
+    }
+
+    /// Answer a window query against whichever synopsis this is.
+    pub fn query(&self, window: u64) -> Result<Estimate, WaveError> {
+        match self {
+            PartySynopsis::Det(w) => w.query(window),
+            PartySynopsis::Sum(w) => w.query(window),
+            PartySynopsis::EhCount(e) => e.query(window),
+            PartySynopsis::EhSum(e) => e.query(window),
+        }
+    }
+
+    /// The wire kind byte this synopsis travels under.
+    pub fn kind(&self) -> SynopsisKind {
+        match self {
+            PartySynopsis::Det(_) => SynopsisKind::DetWave,
+            PartySynopsis::Sum(_) => SynopsisKind::SumWave,
+            PartySynopsis::EhCount(_) => SynopsisKind::EhCount,
+            PartySynopsis::EhSum(_) => SynopsisKind::EhSum,
+        }
+    }
+}
+
+/// One protocol message. Requests flow client -> server, responses
+/// server -> client; [`WireCodec`] maps each variant to exactly one
+/// frame type byte.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    // ---- requests ----
+    /// Liveness probe; the server answers [`Frame::Pong`].
+    Ping,
+    /// A batch of keyed bit runs for the serving engine.
+    Ingest(Vec<KeyedBits>),
+    /// Window query against one key's synopsis.
+    Query { key: u64, window: u64 },
+    /// Barrier: drain all shard queues before replying.
+    Flush,
+    /// Ask for the engine's [`EngineSnapshot`].
+    Snapshot,
+    /// A party pushes its synopsis encode to the networked referee.
+    PushSynopsis {
+        party: u64,
+        kind: SynopsisKind,
+        bytes: Vec<u8>,
+    },
+    /// Referee combine: query every pushed party synopsis at `window`
+    /// and sum the estimates (the paper's additive combine rule).
+    Combine { window: u64 },
+    /// Ask the server to stop accepting connections and exit.
+    Shutdown,
+
+    // ---- responses ----
+    /// Generic success for requests with no payload to return.
+    Ok,
+    /// Answer to [`Frame::Ping`].
+    Pong,
+    /// Answer to [`Frame::Query`] / [`Frame::Combine`].
+    EstimateResp(Estimate),
+    /// Answer to [`Frame::Snapshot`].
+    SnapshotResp(EngineSnapshot),
+    /// The request failed; carries the server-side [`WaveError`].
+    ErrorResp(WaveError),
+}
+
+/// Why a byte sequence failed to parse as a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first two bytes were not [`MAGIC`].
+    BadMagic,
+    /// Unsupported protocol version byte.
+    BadVersion(u8),
+    /// Frame type byte names no known frame.
+    UnknownType(u8),
+    /// Claimed payload length exceeds [`MAX_PAYLOAD_LEN`].
+    FrameTooLarge(u32),
+    /// The buffer ended before the frame did.
+    Truncated,
+    /// Structurally valid frame whose payload contents are nonsense.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "bad frame magic"),
+            FrameError::BadVersion(v) => {
+                write!(f, "unsupported wire version {v} (expected {WIRE_VERSION})")
+            }
+            FrameError::UnknownType(t) => write!(f, "unknown frame type 0x{t:02x}"),
+            FrameError::FrameTooLarge(n) => {
+                write!(
+                    f,
+                    "frame payload of {n} bytes exceeds cap {MAX_PAYLOAD_LEN}"
+                )
+            }
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::Malformed(what) => write!(f, "malformed frame payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<FrameError> for std::io::Error {
+    fn from(e: FrameError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload primitives
+// ---------------------------------------------------------------------------
+
+struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        PayloadReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self.pos.checked_add(n).ok_or(FrameError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(FrameError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, FrameError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn finish(&self) -> Result<(), FrameError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(FrameError::Malformed("trailing payload bytes"))
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Pack bits MSB-first into bytes (the same orientation as the synopsis
+/// bit codec, so hexdumps line up).
+fn pack_bits(bits: &[bool], out: &mut Vec<u8>) {
+    let mut cur = 0u8;
+    let mut used = 0u8;
+    for &b in bits {
+        cur = (cur << 1) | b as u8;
+        used += 1;
+        if used == 8 {
+            out.push(cur);
+            cur = 0;
+            used = 0;
+        }
+    }
+    if used > 0 {
+        out.push(cur << (8 - used));
+    }
+}
+
+fn unpack_bits(bytes: &[u8], nbits: usize) -> Vec<bool> {
+    let mut bits = Vec::with_capacity(nbits);
+    for i in 0..nbits {
+        let byte = bytes[i / 8];
+        bits.push((byte >> (7 - (i % 8))) & 1 == 1);
+    }
+    bits
+}
+
+// ---------------------------------------------------------------------------
+// WaveError <-> wire
+// ---------------------------------------------------------------------------
+
+// Error codes carried in an ERROR frame payload: code u8, two u64 args
+// (f64 args travel as to_bits), then a length-prefixed utf-8 detail
+// string used only by the opaque codes.
+const ERR_INVALID_EPSILON: u8 = 1;
+const ERR_INVALID_DELTA: u8 = 2;
+const ERR_INVALID_WINDOW: u8 = 3;
+const ERR_WINDOW_TOO_LARGE: u8 = 4;
+const ERR_VALUE_TOO_LARGE: u8 = 5;
+const ERR_POSITION_REGRESSED: u8 = 6;
+const ERR_TOO_MANY_ITEMS: u8 = 7;
+const ERR_INVALID_QUANTILE: u8 = 8;
+const ERR_BACKPRESSURE: u8 = 9;
+const ERR_UNKNOWN_KEY: u8 = 10;
+const ERR_REMOTE: u8 = 11;
+
+fn encode_error(e: &WaveError, out: &mut Vec<u8>) {
+    let (code, a, b, msg): (u8, u64, u64, String) = match e {
+        WaveError::InvalidEpsilon(x) => (ERR_INVALID_EPSILON, x.to_bits(), 0, String::new()),
+        WaveError::InvalidDelta(x) => (ERR_INVALID_DELTA, x.to_bits(), 0, String::new()),
+        WaveError::InvalidWindow(n) => (ERR_INVALID_WINDOW, *n, 0, String::new()),
+        WaveError::WindowTooLarge { requested, max } => {
+            (ERR_WINDOW_TOO_LARGE, *requested, *max, String::new())
+        }
+        WaveError::ValueTooLarge { value, max } => {
+            (ERR_VALUE_TOO_LARGE, *value, *max, String::new())
+        }
+        WaveError::PositionRegressed { last, got } => {
+            (ERR_POSITION_REGRESSED, *last, *got, String::new())
+        }
+        WaveError::TooManyItemsInWindow { bound } => (ERR_TOO_MANY_ITEMS, *bound, 0, String::new()),
+        WaveError::InvalidQuantile(q) => (ERR_INVALID_QUANTILE, q.to_bits(), 0, String::new()),
+        WaveError::Backpressure { shard } => (ERR_BACKPRESSURE, *shard as u64, 0, String::new()),
+        WaveError::UnknownKey { key } => (ERR_UNKNOWN_KEY, *key, 0, String::new()),
+        // The io::Error payload and the &'static str op name cannot
+        // cross the wire structurally; they travel as text and decode
+        // to an opaque remote error.
+        WaveError::Io(_) | WaveError::Timeout { .. } => (ERR_REMOTE, 0, 0, e.to_string()),
+        // `WaveError` is non_exhaustive: future variants degrade to the
+        // opaque remote code rather than breaking the protocol.
+        other => (ERR_REMOTE, 0, 0, other.to_string()),
+    };
+    out.push(code);
+    put_u64(out, a);
+    put_u64(out, b);
+    let msg = msg.as_bytes();
+    let len = msg.len().min(u16::MAX as usize);
+    out.extend_from_slice(&(len as u16).to_be_bytes());
+    out.extend_from_slice(&msg[..len]);
+}
+
+fn decode_error(r: &mut PayloadReader<'_>) -> Result<WaveError, FrameError> {
+    let code = r.u8()?;
+    let a = r.u64()?;
+    let b = r.u64()?;
+    let msg_len = u16::from_be_bytes(r.take(2)?.try_into().unwrap()) as usize;
+    let msg = String::from_utf8_lossy(r.take(msg_len)?).into_owned();
+    Ok(match code {
+        ERR_INVALID_EPSILON => WaveError::InvalidEpsilon(f64::from_bits(a)),
+        ERR_INVALID_DELTA => WaveError::InvalidDelta(f64::from_bits(a)),
+        ERR_INVALID_WINDOW => WaveError::InvalidWindow(a),
+        ERR_WINDOW_TOO_LARGE => WaveError::WindowTooLarge {
+            requested: a,
+            max: b,
+        },
+        ERR_VALUE_TOO_LARGE => WaveError::ValueTooLarge { value: a, max: b },
+        ERR_POSITION_REGRESSED => WaveError::PositionRegressed { last: a, got: b },
+        ERR_TOO_MANY_ITEMS => WaveError::TooManyItemsInWindow { bound: a },
+        ERR_INVALID_QUANTILE => WaveError::InvalidQuantile(f64::from_bits(a)),
+        ERR_BACKPRESSURE => WaveError::Backpressure { shard: a as usize },
+        ERR_UNKNOWN_KEY => WaveError::UnknownKey { key: a },
+        _ => WaveError::io(std::io::Error::other(format!("remote error: {msg}"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// WireCodec
+// ---------------------------------------------------------------------------
+
+/// Stateless encoder/decoder between [`Frame`]s and wire bytes, plus
+/// blocking stream helpers used by the client and server.
+pub struct WireCodec;
+
+impl WireCodec {
+    /// Serialize a frame: header plus payload, ready to write.
+    pub fn encode(frame: &Frame) -> Vec<u8> {
+        let (ty, payload) = Self::encode_payload(frame);
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(WIRE_VERSION);
+        out.push(ty);
+        put_u32(&mut out, payload.len() as u32);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    fn encode_payload(frame: &Frame) -> (u8, Vec<u8>) {
+        let mut p = Vec::new();
+        let ty = match frame {
+            Frame::Ping => TYPE_PING,
+            Frame::Flush => TYPE_FLUSH,
+            Frame::Snapshot => TYPE_SNAPSHOT,
+            Frame::Shutdown => TYPE_SHUTDOWN,
+            Frame::Ok => TYPE_OK,
+            Frame::Pong => TYPE_PONG,
+            Frame::Ingest(batch) => {
+                put_u32(&mut p, batch.len() as u32);
+                for (key, bits) in batch {
+                    put_u64(&mut p, *key);
+                    put_u64(&mut p, bits.len() as u64);
+                    pack_bits(bits, &mut p);
+                }
+                TYPE_INGEST
+            }
+            Frame::Query { key, window } => {
+                put_u64(&mut p, *key);
+                put_u64(&mut p, *window);
+                TYPE_QUERY
+            }
+            Frame::PushSynopsis { party, kind, bytes } => {
+                put_u64(&mut p, *party);
+                p.push(*kind as u8);
+                put_u32(&mut p, bytes.len() as u32);
+                p.extend_from_slice(bytes);
+                TYPE_PUSH_SYNOPSIS
+            }
+            Frame::Combine { window } => {
+                put_u64(&mut p, *window);
+                TYPE_COMBINE
+            }
+            Frame::EstimateResp(e) => {
+                put_u64(&mut p, e.value.to_bits());
+                put_u64(&mut p, e.lo);
+                put_u64(&mut p, e.hi);
+                p.push(e.exact as u8);
+                TYPE_ESTIMATE
+            }
+            Frame::SnapshotResp(s) => {
+                put_u64(&mut p, s.dropped_items);
+                put_u64(&mut p, s.backpressure_events);
+                put_u32(&mut p, s.shards.len() as u32);
+                for sh in &s.shards {
+                    put_u64(&mut p, sh.keys as u64);
+                    put_u64(&mut p, sh.resident_bytes as u64);
+                    put_u64(&mut p, sh.synopsis_bits);
+                    put_u64(&mut p, sh.entries as u64);
+                    put_u64(&mut p, sh.queue_depth as u64);
+                }
+                TYPE_SNAPSHOT_RESP
+            }
+            Frame::ErrorResp(e) => {
+                encode_error(e, &mut p);
+                TYPE_ERROR
+            }
+        };
+        (ty, p)
+    }
+
+    /// Parse one frame from the front of `buf`. Returns the frame and
+    /// the number of bytes it occupied (so a buffer holding several
+    /// frames can be walked).
+    pub fn decode(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
+        if buf.len() < HEADER_LEN {
+            return Err(FrameError::Truncated);
+        }
+        if buf[0..2] != MAGIC {
+            return Err(FrameError::BadMagic);
+        }
+        if buf[2] != WIRE_VERSION {
+            return Err(FrameError::BadVersion(buf[2]));
+        }
+        let ty = buf[3];
+        let len = u32::from_be_bytes(buf[4..8].try_into().unwrap());
+        if len as usize > MAX_PAYLOAD_LEN {
+            return Err(FrameError::FrameTooLarge(len));
+        }
+        let total = HEADER_LEN + len as usize;
+        if buf.len() < total {
+            return Err(FrameError::Truncated);
+        }
+        let frame = Self::decode_payload(ty, &buf[HEADER_LEN..total])?;
+        Ok((frame, total))
+    }
+
+    fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame, FrameError> {
+        let mut r = PayloadReader::new(payload);
+        let frame = match ty {
+            TYPE_PING => Frame::Ping,
+            TYPE_FLUSH => Frame::Flush,
+            TYPE_SNAPSHOT => Frame::Snapshot,
+            TYPE_SHUTDOWN => Frame::Shutdown,
+            TYPE_OK => Frame::Ok,
+            TYPE_PONG => Frame::Pong,
+            TYPE_INGEST => {
+                let n = r.u32()? as usize;
+                let mut batch = Vec::new();
+                for _ in 0..n {
+                    let key = r.u64()?;
+                    let nbits = r.u64()?;
+                    if nbits > MAX_ENTRY_BITS {
+                        return Err(FrameError::Malformed("ingest entry bit count"));
+                    }
+                    let nbytes = (nbits as usize).div_ceil(8);
+                    let packed = r.take(nbytes)?;
+                    batch.push((key, unpack_bits(packed, nbits as usize)));
+                }
+                Frame::Ingest(batch)
+            }
+            TYPE_QUERY => Frame::Query {
+                key: r.u64()?,
+                window: r.u64()?,
+            },
+            TYPE_PUSH_SYNOPSIS => {
+                let party = r.u64()?;
+                let kind = SynopsisKind::from_wire(r.u8()?)?;
+                let len = r.u32()? as usize;
+                let bytes = r.take(len)?.to_vec();
+                Frame::PushSynopsis { party, kind, bytes }
+            }
+            TYPE_COMBINE => Frame::Combine { window: r.u64()? },
+            TYPE_ESTIMATE => {
+                let value = r.f64()?;
+                let lo = r.u64()?;
+                let hi = r.u64()?;
+                let exact = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(FrameError::Malformed("estimate exact flag")),
+                };
+                Frame::EstimateResp(Estimate {
+                    value,
+                    lo,
+                    hi,
+                    exact,
+                })
+            }
+            TYPE_SNAPSHOT_RESP => {
+                let dropped_items = r.u64()?;
+                let backpressure_events = r.u64()?;
+                let n = r.u32()? as usize;
+                if n > 1 << 20 {
+                    return Err(FrameError::Malformed("snapshot shard count"));
+                }
+                let mut shards = Vec::with_capacity(n.min(1024));
+                for shard in 0..n {
+                    shards.push(ShardSnapshot {
+                        shard,
+                        keys: r.u64()? as usize,
+                        resident_bytes: r.u64()? as usize,
+                        synopsis_bits: r.u64()?,
+                        entries: r.u64()? as usize,
+                        queue_depth: r.u64()? as usize,
+                    });
+                }
+                Frame::SnapshotResp(EngineSnapshot {
+                    shards,
+                    dropped_items,
+                    backpressure_events,
+                })
+            }
+            TYPE_ERROR => Frame::ErrorResp(decode_error(&mut r)?),
+            other => return Err(FrameError::UnknownType(other)),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+
+    /// Write one frame to a blocking stream. Returns the bytes written
+    /// (header + payload) so callers can feed byte counters.
+    pub fn write_frame<W: std::io::Write>(w: &mut W, frame: &Frame) -> std::io::Result<usize> {
+        let bytes = Self::encode(frame);
+        w.write_all(&bytes)?;
+        w.flush()?;
+        Ok(bytes.len())
+    }
+
+    /// Read one frame from a blocking stream. Returns the frame and the
+    /// bytes consumed. Framing violations surface as
+    /// `io::ErrorKind::InvalidData` wrapping the [`FrameError`]; a clean
+    /// EOF before the first header byte surfaces as `UnexpectedEof`.
+    pub fn read_frame<R: std::io::Read>(r: &mut R) -> std::io::Result<(Frame, usize)> {
+        let mut header = [0u8; HEADER_LEN];
+        r.read_exact(&mut header)?;
+        if header[0..2] != MAGIC {
+            return Err(FrameError::BadMagic.into());
+        }
+        if header[2] != WIRE_VERSION {
+            return Err(FrameError::BadVersion(header[2]).into());
+        }
+        let len = u32::from_be_bytes(header[4..8].try_into().unwrap()) as usize;
+        if len > MAX_PAYLOAD_LEN {
+            return Err(FrameError::FrameTooLarge(len as u32).into());
+        }
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload)?;
+        let frame = Self::decode_payload(header[3], &payload)?;
+        Ok((frame, HEADER_LEN + len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let bytes = WireCodec::encode(&frame);
+        let (decoded, used) = WireCodec::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, frame);
+        // Stream path agrees with the buffer path.
+        let mut cursor = std::io::Cursor::new(&bytes);
+        let (streamed, n) = WireCodec::read_frame(&mut cursor).unwrap();
+        assert_eq!(n, bytes.len());
+        assert_eq!(streamed, frame);
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        roundtrip(Frame::Ping);
+        roundtrip(Frame::Pong);
+        roundtrip(Frame::Ok);
+        roundtrip(Frame::Flush);
+        roundtrip(Frame::Snapshot);
+        roundtrip(Frame::Shutdown);
+        roundtrip(Frame::Ingest(vec![
+            (7, vec![true, false, true]),
+            (9, vec![]),
+            (u64::MAX, vec![false; 17]),
+        ]));
+        roundtrip(Frame::Query {
+            key: 42,
+            window: 1024,
+        });
+        roundtrip(Frame::PushSynopsis {
+            party: 3,
+            kind: SynopsisKind::EhSum,
+            bytes: vec![0xde, 0xad, 0xbe, 0xef],
+        });
+        roundtrip(Frame::Combine { window: 512 });
+        roundtrip(Frame::EstimateResp(Estimate {
+            value: 10.5,
+            lo: 9,
+            hi: 12,
+            exact: false,
+        }));
+        roundtrip(Frame::SnapshotResp(EngineSnapshot {
+            shards: vec![ShardSnapshot {
+                shard: 0,
+                keys: 3,
+                resident_bytes: 1000,
+                synopsis_bits: 512,
+                entries: 64,
+                queue_depth: 2,
+            }],
+            dropped_items: 5,
+            backpressure_events: 1,
+        }));
+    }
+
+    #[test]
+    fn every_error_variant_roundtrips() {
+        let errs = [
+            WaveError::InvalidEpsilon(1.5),
+            WaveError::InvalidDelta(0.0),
+            WaveError::InvalidWindow(0),
+            WaveError::WindowTooLarge {
+                requested: 2000,
+                max: 1024,
+            },
+            WaveError::ValueTooLarge { value: 99, max: 64 },
+            WaveError::PositionRegressed { last: 10, got: 5 },
+            WaveError::TooManyItemsInWindow { bound: 100 },
+            WaveError::InvalidQuantile(0.0),
+            WaveError::Backpressure { shard: 3 },
+            WaveError::UnknownKey { key: 77 },
+        ];
+        for e in errs {
+            let bytes = WireCodec::encode(&Frame::ErrorResp(e.clone()));
+            let (decoded, _) = WireCodec::decode(&bytes).unwrap();
+            assert_eq!(decoded, Frame::ErrorResp(e));
+        }
+        // Io and Timeout degrade to an opaque remote Io error carrying
+        // the original Display text.
+        let e = WaveError::Timeout {
+            op: "read",
+            millis: 250,
+        };
+        let bytes = WireCodec::encode(&Frame::ErrorResp(e));
+        match WireCodec::decode(&bytes).unwrap().0 {
+            Frame::ErrorResp(WaveError::Io(inner)) => {
+                assert!(inner.to_string().contains("timed out after 250 ms"));
+            }
+            other => panic!("expected opaque remote error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_rejections() {
+        let good = WireCodec::encode(&Frame::Ping);
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(WireCodec::decode(&bad), Err(FrameError::BadMagic));
+        let mut bad = good.clone();
+        bad[2] = 99;
+        assert_eq!(WireCodec::decode(&bad), Err(FrameError::BadVersion(99)));
+        let mut bad = good.clone();
+        bad[3] = 0x7E;
+        assert_eq!(WireCodec::decode(&bad), Err(FrameError::UnknownType(0x7E)));
+        let mut bad = good.clone();
+        bad[4..8].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(
+            WireCodec::decode(&bad),
+            Err(FrameError::FrameTooLarge(u32::MAX))
+        );
+        for cut in 0..good.len() {
+            assert_eq!(WireCodec::decode(&good[..cut]), Err(FrameError::Truncated));
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_in_payload_is_malformed() {
+        let mut bytes = WireCodec::encode(&Frame::Ping);
+        // Claim one payload byte and supply it: Ping takes none.
+        bytes[4..8].copy_from_slice(&1u32.to_be_bytes());
+        bytes.push(0xAA);
+        assert_eq!(
+            WireCodec::decode(&bytes),
+            Err(FrameError::Malformed("trailing payload bytes"))
+        );
+    }
+
+    #[test]
+    fn read_frame_maps_frame_errors_to_invalid_data() {
+        let mut bytes = WireCodec::encode(&Frame::Ping);
+        bytes[0] = b'X';
+        let mut cursor = std::io::Cursor::new(&bytes);
+        let err = WireCodec::read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // Truncated stream: EOF mid-payload is UnexpectedEof.
+        let good = WireCodec::encode(&Frame::Query { key: 1, window: 2 });
+        let mut cursor = std::io::Cursor::new(&good[..good.len() - 3]);
+        let err = WireCodec::read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn bit_packing_is_msb_first() {
+        let mut out = Vec::new();
+        pack_bits(
+            &[true, false, true, false, false, false, false, true, true],
+            &mut out,
+        );
+        assert_eq!(out, vec![0b1010_0001, 0b1000_0000]);
+        assert_eq!(
+            unpack_bits(&out, 9),
+            vec![true, false, true, false, false, false, false, true, true]
+        );
+    }
+
+    #[test]
+    fn synopsis_kind_wire_bytes_are_stable() {
+        for (kind, byte) in [
+            (SynopsisKind::DetWave, 0u8),
+            (SynopsisKind::SumWave, 1),
+            (SynopsisKind::EhCount, 2),
+            (SynopsisKind::EhSum, 3),
+        ] {
+            assert_eq!(kind as u8, byte);
+            assert_eq!(SynopsisKind::from_wire(byte).unwrap(), kind);
+        }
+        assert!(SynopsisKind::from_wire(4).is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! `waves-net`: the networked transport for waves — a versioned binary
+//! wire protocol, a TCP server hosting the serving engine plus a
+//! networked referee, a blocking client with real timeout/retry
+//! behavior, and a fault-injection proxy to prove the failure paths.
+//!
+//! The paper's distributed-streams model has parties ship synopses to a
+//! referee at query time; everywhere else in this workspace that happens
+//! through function calls. This crate puts an actual network between
+//! them, std-only (no async runtime, no serde — blocking sockets and a
+//! hand-rolled frame codec, matching the workspace's no-external-deps
+//! rule):
+//!
+//! * [`frame`] — the wire format: 8-byte header (magic, version, type,
+//!   u32 length) + payload, with [`WireCodec`] mapping [`Frame`]s to
+//!   bytes. Synopsis payloads carry each synopsis's own `encode()`
+//!   bytes verbatim, so the compact codecs of `waves-core` / `waves-eh`
+//!   round-trip the network byte-for-byte (property-tested below).
+//! * [`server`] — [`Server`]: an accept loop + per-connection handler
+//!   threads over a [`waves_engine::Engine`], plus a referee map for
+//!   [`Frame::PushSynopsis`] / [`Frame::Combine`] that reuses the
+//!   in-process combine rule ([`waves_distributed::combine_estimates`]).
+//! * [`client`] — [`Client`]: blocking request/response with connect/
+//!   read/write deadlines, typed [`WaveError::Io`] /
+//!   [`WaveError::Timeout`] failures, and bounded retry-with-backoff
+//!   restricted to idempotent requests.
+//! * [`chaos`] — [`ChaosProxy`]: drops, delays, truncates, or corrupts
+//!   server->client traffic so tests can assert the client degrades to
+//!   clean typed errors instead of hanging.
+//!
+//! ```no_run
+//! use waves_net::{Client, Server, ServerConfig};
+//!
+//! let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! client.ingest(7, &[true, true, false]).unwrap();
+//! client.flush().unwrap();
+//! let est = client.query(7, 1024).unwrap();
+//! assert_eq!(est.value, 2.0);
+//! ```
+//!
+//! [`WaveError::Io`]: waves_core::WaveError::Io
+//! [`WaveError::Timeout`]: waves_core::WaveError::Timeout
+//! [`WaveError`]: waves_core::WaveError
+
+pub mod chaos;
+pub mod client;
+pub mod frame;
+pub mod server;
+
+pub use chaos::{ChaosProxy, Fault};
+pub use client::{Client, ClientConfig};
+pub use frame::{Frame, FrameError, PartySynopsis, SynopsisKind, WireCodec};
+pub use server::{Server, ServerConfig};
+
+#[cfg(test)]
+mod proptests {
+    use super::frame::*;
+    use proptest::prelude::*;
+    use waves_core::{DetWave, SumWave};
+    use waves_eh::{EhCount, EhSum};
+
+    /// The synopsis's own encode must survive the wire untouched: wrap
+    /// it in a PushSynopsis frame, serialize, parse, and compare the
+    /// carried bytes — and the re-decoded synopsis must re-encode to
+    /// the identical byte string.
+    fn assert_wire_preserves(kind: SynopsisKind, encoded: Vec<u8>, party: u64) {
+        let frame = Frame::PushSynopsis {
+            party,
+            kind,
+            bytes: encoded.clone(),
+        };
+        let wire = WireCodec::encode(&frame);
+        let (decoded, used) = WireCodec::decode(&wire).unwrap();
+        assert_eq!(used, wire.len());
+        match decoded {
+            Frame::PushSynopsis {
+                party: p,
+                kind: k,
+                bytes,
+            } => {
+                assert_eq!(p, party);
+                assert_eq!(k, kind);
+                assert_eq!(bytes, encoded, "synopsis bytes mutated in transit");
+                let syn = PartySynopsis::decode(k, &bytes).unwrap();
+                let reencoded = match syn {
+                    PartySynopsis::Det(w) => w.encode(),
+                    PartySynopsis::Sum(w) => w.encode(),
+                    PartySynopsis::EhCount(e) => e.encode(),
+                    PartySynopsis::EhSum(e) => e.encode(),
+                };
+                assert_eq!(reencoded, encoded, "re-encode not byte-identical");
+            }
+            other => panic!("wrong frame came back: {other:?}"),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Wire round-trip is byte-exact for all four synopsis types.
+        #[test]
+        fn det_wave_roundtrips_byte_identical(
+            bits in prop::collection::vec(prop::bool::weighted(0.5), 0..800),
+            inv_eps in 2u64..=10,
+            party in 0u64..=1000,
+        ) {
+            let mut w = DetWave::new(256, 1.0 / inv_eps as f64).unwrap();
+            for &b in &bits {
+                w.push_bit(b);
+            }
+            assert_wire_preserves(SynopsisKind::DetWave, w.encode(), party);
+        }
+
+        #[test]
+        fn sum_wave_roundtrips_byte_identical(
+            vals in prop::collection::vec(0u64..=32, 0..400),
+            inv_eps in 2u64..=8,
+            party in 0u64..=1000,
+        ) {
+            let mut w = SumWave::new(128, 32, 1.0 / inv_eps as f64).unwrap();
+            for &v in &vals {
+                w.push_value(v).unwrap();
+            }
+            assert_wire_preserves(SynopsisKind::SumWave, w.encode(), party);
+        }
+
+        #[test]
+        fn eh_count_roundtrips_byte_identical(
+            bits in prop::collection::vec(prop::bool::weighted(0.5), 0..800),
+            inv_eps in 2u64..=10,
+            party in 0u64..=1000,
+        ) {
+            let mut e = EhCount::new(256, 1.0 / inv_eps as f64).unwrap();
+            for &b in &bits {
+                e.push_bit(b);
+            }
+            assert_wire_preserves(SynopsisKind::EhCount, e.encode(), party);
+        }
+
+        #[test]
+        fn eh_sum_roundtrips_byte_identical(
+            vals in prop::collection::vec(0u64..=32, 0..400),
+            inv_eps in 2u64..=8,
+            party in 0u64..=1000,
+        ) {
+            let mut e = EhSum::new(128, 32, 1.0 / inv_eps as f64).unwrap();
+            for &v in &vals {
+                e.push_value(v).unwrap();
+            }
+            assert_wire_preserves(SynopsisKind::EhSum, e.encode(), party);
+        }
+
+        /// Every strict prefix of a valid frame is Truncated — never a
+        /// panic, never a bogus success.
+        #[test]
+        fn truncated_frames_are_rejected(
+            bits in prop::collection::vec(prop::bool::weighted(0.5), 0..200),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let mut w = DetWave::new(128, 0.25).unwrap();
+            for &b in &bits {
+                w.push_bit(b);
+            }
+            let frame = Frame::PushSynopsis { party: 1, kind: SynopsisKind::DetWave, bytes: w.encode() };
+            let wire = WireCodec::encode(&frame);
+            let cut = ((wire.len() as f64 * cut_frac) as usize).min(wire.len() - 1);
+            prop_assert_eq!(WireCodec::decode(&wire[..cut]), Err(FrameError::Truncated));
+        }
+
+        /// Corrupting the magic or version byte is always rejected with
+        /// the specific error, regardless of the rest of the frame.
+        #[test]
+        fn bad_magic_and_version_are_rejected(
+            key in 0u64..=u64::MAX,
+            window in 1u64..=1 << 40,
+            wrong in 0u8..=255,
+        ) {
+            let wire = WireCodec::encode(&Frame::Query { key, window });
+            if wrong != wire[0] {
+                let mut bad = wire.clone();
+                bad[0] = wrong;
+                prop_assert_eq!(WireCodec::decode(&bad), Err(FrameError::BadMagic));
+            }
+            if wrong != WIRE_VERSION {
+                let mut bad = wire.clone();
+                bad[2] = wrong;
+                prop_assert_eq!(WireCodec::decode(&bad), Err(FrameError::BadVersion(wrong)));
+            }
+        }
+
+        /// Arbitrary bytes never panic the decoder.
+        #[test]
+        fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+            let _ = WireCodec::decode(&bytes);
+        }
+    }
+}

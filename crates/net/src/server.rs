@@ -1,0 +1,324 @@
+//! The TCP server: a [`waves_engine::Engine`] plus a networked referee
+//! behind the frame protocol.
+//!
+//! One accept-loop thread hands each connection to its own handler
+//! thread (blocking I/O, no async runtime — the workspace is std-only).
+//! Handlers loop `read_frame -> dispatch -> write_frame`; a clean EOF
+//! or any I/O error ends the connection without touching the engine.
+//!
+//! Shutdown never relies on a timeout: [`Server::shutdown`] flips the
+//! stop flag, `shutdown(2)`s every live connection socket (unblocking
+//! any handler parked in `read`), and pokes the listener with a
+//! throwaway connect so the accept loop observes the flag. [`Drop`]
+//! does the same and then joins every thread, so dropping a `Server`
+//! cannot leak threads or leave the port bound.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use waves_core::{DetWave, WaveError};
+use waves_distributed::combine_estimates;
+use waves_engine::{Engine, EngineConfig};
+use waves_obs::{HistId, MetricId, NoopRecorder, Recorder};
+
+use crate::frame::{Frame, PartySynopsis, WireCodec};
+
+/// Server configuration: the embedded engine's config plus transport
+/// knobs.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Configuration for the hosted serving engine.
+    pub engine: EngineConfig,
+    /// Per-connection idle timeout. `None` (the default) blocks until
+    /// the peer sends or the server shuts the socket down — safe
+    /// because shutdown force-closes sockets rather than waiting.
+    /// `Some(d)` disconnects a connection that stays silent for `d`.
+    pub read_timeout: Option<Duration>,
+}
+
+struct Shared<R: Recorder + Send + Sync + 'static> {
+    engine: Engine<DetWave, R>,
+    local_addr: SocketAddr,
+    /// Party id -> last pushed synopsis, queried by `Combine`.
+    referee: Mutex<HashMap<u64, PartySynopsis>>,
+    rec: Arc<R>,
+    stopping: AtomicBool,
+    /// One clone of each live connection's stream, kept so shutdown can
+    /// unblock handlers parked in `read`. Handlers remove their entry
+    /// on exit; `usize` keys the slot.
+    conns: Mutex<HashMap<usize, TcpStream>>,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running server. Bind with [`Server::start`] (or
+/// [`Server::start_recorded`] to wire `waves-obs` in), query
+/// [`Server::local_addr`] for the actual port when binding port 0, and
+/// either [`Server::wait`] for a client-driven [`Frame::Shutdown`] or
+/// drop the handle to stop.
+pub struct Server<R: Recorder + Send + Sync + 'static = NoopRecorder> {
+    shared: Arc<Shared<R>>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server<NoopRecorder> {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start serving with observability disabled.
+    pub fn start<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> Result<Self, WaveError> {
+        Self::start_recorded(addr, cfg, Arc::new(NoopRecorder))
+    }
+}
+
+impl<R: Recorder + Send + Sync + 'static> Server<R> {
+    /// Bind `addr` and start serving, recording per-connection frame /
+    /// byte / latency telemetry into `rec` (and threading it through to
+    /// the hosted engine).
+    pub fn start_recorded<A: ToSocketAddrs>(
+        addr: A,
+        cfg: ServerConfig,
+        rec: Arc<R>,
+    ) -> Result<Self, WaveError> {
+        let listener = TcpListener::bind(addr).map_err(WaveError::io)?;
+        let local_addr = listener.local_addr().map_err(WaveError::io)?;
+        let (n, eps) = (cfg.engine.max_window, cfg.engine.eps);
+        let engine = Engine::with_factory_recorded(
+            cfg.engine.clone(),
+            move || DetWave::new(n, eps),
+            Arc::clone(&rec),
+        )?;
+        let shared = Arc::new(Shared {
+            engine,
+            local_addr,
+            referee: Mutex::new(HashMap::new()),
+            rec,
+            stopping: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            handlers: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let read_timeout = cfg.read_timeout;
+            std::thread::Builder::new()
+                .name("waves-net-accept".into())
+                .spawn(move || accept_loop(listener, shared, read_timeout))
+                .map_err(WaveError::io)?
+        };
+        Ok(Server {
+            shared,
+            local_addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Parties currently registered with the networked referee.
+    pub fn referee_parties(&self) -> usize {
+        self.shared.referee.lock().unwrap().len()
+    }
+
+    /// Begin stopping: refuse new connections, unblock and end every
+    /// live handler. Idempotent; returns without joining (see
+    /// [`Server::wait`] / `Drop`).
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.shared);
+    }
+
+    /// Block until the server stops (a client sent [`Frame::Shutdown`],
+    /// or another thread called [`Server::shutdown`]), then join every
+    /// handler thread.
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handlers = std::mem::take(&mut *self.shared.handlers.lock().unwrap());
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<R: Recorder + Send + Sync + 'static> Drop for Server<R> {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.join_all();
+    }
+}
+
+fn accept_loop<R: Recorder + Send + Sync + 'static>(
+    listener: TcpListener,
+    shared: Arc<Shared<R>>,
+    read_timeout: Option<Duration>,
+) {
+    for (id, stream) in listener.incoming().enumerate() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => break,
+        };
+        shared.rec.incr(MetricId::NetConnectionsAccepted, 1);
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(read_timeout);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().unwrap().insert(id, clone);
+        }
+        let handler = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("waves-net-conn-{id}"))
+                .spawn(move || {
+                    handle_connection(stream, &shared);
+                    shared.conns.lock().unwrap().remove(&id);
+                })
+        };
+        match handler {
+            Ok(h) => shared.handlers.lock().unwrap().push(h),
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_connection<R: Recorder + Send + Sync + 'static>(
+    mut stream: TcpStream,
+    shared: &Shared<R>,
+) {
+    loop {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let (frame, nread) = match WireCodec::read_frame(&mut stream) {
+            Ok(ok) => ok,
+            Err(e) => {
+                // WouldBlock / TimedOut: the idle timeout fired —
+                // disconnect (continuing could desync on a half-read
+                // header). Clean EOF between frames is a normal
+                // disconnect; a framing violation gets a best-effort
+                // error reply before closing.
+                if e.kind() == std::io::ErrorKind::InvalidData {
+                    shared.rec.incr(MetricId::NetRequestErrors, 1);
+                    let reply = Frame::ErrorResp(WaveError::io(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("bad frame: {e}"),
+                    )));
+                    let _ = WireCodec::write_frame(&mut stream, &reply);
+                }
+                return;
+            }
+        };
+        let enabled = shared.rec.enabled();
+        if enabled {
+            shared.rec.incr(MetricId::NetFramesReceived, 1);
+            shared.rec.incr(MetricId::NetBytesReceived, nread as u64);
+            shared.rec.observe(HistId::NetFrameBytes, nread as u64);
+        }
+        let started = enabled.then(Instant::now);
+        let shutdown_after = matches!(frame, Frame::Shutdown);
+        let reply = dispatch(frame, shared);
+        if let Some(t0) = started {
+            shared
+                .rec
+                .observe(HistId::NetServerFrameNs, t0.elapsed().as_nanos() as u64);
+        }
+        if matches!(reply, Frame::ErrorResp(_)) {
+            shared.rec.incr(MetricId::NetRequestErrors, 1);
+        }
+        match WireCodec::write_frame(&mut stream, &reply) {
+            Ok(nwrote) => {
+                if enabled {
+                    shared.rec.incr(MetricId::NetFramesSent, 1);
+                    shared.rec.incr(MetricId::NetBytesSent, nwrote as u64);
+                }
+            }
+            Err(_) => return,
+        }
+        if shutdown_after {
+            let _ = stream.flush();
+            // Trigger the full stop sequence: flag, socket shutdowns,
+            // accept-loop poke. Joining is Drop's / `wait`'s job (we
+            // *are* one of the handler threads being joined).
+            begin_shutdown(shared);
+            return;
+        }
+    }
+}
+
+/// The non-joining half of shutdown, safe to run from any thread
+/// including a connection handler: flip the flag, `shutdown(2)` every
+/// live connection so blocked reads return, and poke the listener so
+/// the accept loop observes the flag.
+fn begin_shutdown<R: Recorder + Send + Sync + 'static>(shared: &Shared<R>) {
+    if shared.stopping.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    for conn in shared.conns.lock().unwrap().values() {
+        let _ = conn.shutdown(Shutdown::Both);
+    }
+    // Failure is fine — the accept loop also exits on accept errors.
+    let _ = TcpStream::connect_timeout(&shared.local_addr, Duration::from_secs(1));
+}
+
+fn dispatch<R: Recorder + Send + Sync + 'static>(frame: Frame, shared: &Shared<R>) -> Frame {
+    match frame {
+        Frame::Ping => Frame::Pong,
+        Frame::Shutdown => Frame::Ok,
+        Frame::Flush => {
+            shared.engine.flush();
+            Frame::Ok
+        }
+        Frame::Snapshot => Frame::SnapshotResp(shared.engine.snapshot()),
+        Frame::Ingest(batch) => match shared.engine.ingest_batch(&batch) {
+            Ok(()) => Frame::Ok,
+            Err(e) => Frame::ErrorResp(e),
+        },
+        Frame::Query { key, window } => match shared.engine.query(key, window) {
+            Ok(est) => Frame::EstimateResp(est),
+            Err(e) => Frame::ErrorResp(e),
+        },
+        Frame::PushSynopsis { party, kind, bytes } => match PartySynopsis::decode(kind, &bytes) {
+            Ok(syn) => {
+                shared.referee.lock().unwrap().insert(party, syn);
+                Frame::Ok
+            }
+            Err(e) => Frame::ErrorResp(WaveError::io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("synopsis decode failed: {e}"),
+            ))),
+        },
+        Frame::Combine { window } => {
+            let referee = shared.referee.lock().unwrap();
+            let mut reports = Vec::with_capacity(referee.len());
+            for syn in referee.values() {
+                match syn.query(window) {
+                    Ok(est) => reports.push(est),
+                    Err(e) => return Frame::ErrorResp(e),
+                }
+            }
+            // The same additive combine rule the in-process scenario
+            // drivers use (waves-distributed).
+            Frame::EstimateResp(combine_estimates(reports))
+        }
+        // A response frame arriving as a request is a protocol error.
+        Frame::Ok
+        | Frame::Pong
+        | Frame::EstimateResp(_)
+        | Frame::SnapshotResp(_)
+        | Frame::ErrorResp(_) => Frame::ErrorResp(WaveError::io(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "response frame sent as request",
+        ))),
+    }
+}

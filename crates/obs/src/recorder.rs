@@ -57,10 +57,22 @@ pub enum MetricId {
     EngineBackpressureEvents,
     /// Items dropped on the floor by a rejected `ingest_batch` sub-batch.
     EngineItemsDropped,
+    /// Wire frames written by the net client and server.
+    NetFramesSent,
+    /// Wire frames read by the net client and server.
+    NetFramesReceived,
+    /// Bytes written to sockets (header + payload).
+    NetBytesSent,
+    /// Bytes read from sockets (header + payload).
+    NetBytesReceived,
+    /// Connections accepted by the net server.
+    NetConnectionsAccepted,
+    /// Requests that produced an error response or failed to decode.
+    NetRequestErrors,
 }
 
 /// Number of [`MetricId`] variants (length of the registry's array).
-pub const NUM_METRICS: usize = 21;
+pub const NUM_METRICS: usize = 27;
 
 impl MetricId {
     pub const ALL: [MetricId; NUM_METRICS] = [
@@ -85,6 +97,12 @@ impl MetricId {
         MetricId::EngineQueriesServed,
         MetricId::EngineBackpressureEvents,
         MetricId::EngineItemsDropped,
+        MetricId::NetFramesSent,
+        MetricId::NetFramesReceived,
+        MetricId::NetBytesSent,
+        MetricId::NetBytesReceived,
+        MetricId::NetConnectionsAccepted,
+        MetricId::NetRequestErrors,
     ];
 
     /// Stable snake_case name used in text and JSON output.
@@ -111,6 +129,12 @@ impl MetricId {
             MetricId::EngineQueriesServed => "engine_queries_served_total",
             MetricId::EngineBackpressureEvents => "engine_backpressure_events_total",
             MetricId::EngineItemsDropped => "engine_items_dropped_total",
+            MetricId::NetFramesSent => "net_frames_sent_total",
+            MetricId::NetFramesReceived => "net_frames_received_total",
+            MetricId::NetBytesSent => "net_bytes_sent_total",
+            MetricId::NetBytesReceived => "net_bytes_received_total",
+            MetricId::NetConnectionsAccepted => "net_connections_accepted_total",
+            MetricId::NetRequestErrors => "net_request_errors_total",
         }
     }
 }
@@ -133,10 +157,16 @@ pub enum HistId {
     EngineQueryNs,
     /// Shard queue depth observed at each successful enqueue.
     EngineQueueDepth,
+    /// Client-side request round-trip (write + server work + read), ns.
+    NetRequestNs,
+    /// Server-side time to decode, handle, and answer one frame, ns.
+    NetServerFrameNs,
+    /// Payload bytes per wire frame, sampled on every send.
+    NetFrameBytes,
 }
 
 /// Number of [`HistId`] variants.
-pub const NUM_HISTS: usize = 7;
+pub const NUM_HISTS: usize = 10;
 
 impl HistId {
     pub const ALL: [HistId; NUM_HISTS] = [
@@ -147,6 +177,9 @@ impl HistId {
         HistId::EngineIngestBatchNs,
         HistId::EngineQueryNs,
         HistId::EngineQueueDepth,
+        HistId::NetRequestNs,
+        HistId::NetServerFrameNs,
+        HistId::NetFrameBytes,
     ];
 
     pub fn name(self) -> &'static str {
@@ -158,6 +191,9 @@ impl HistId {
             HistId::EngineIngestBatchNs => "engine_ingest_batch_ns",
             HistId::EngineQueryNs => "engine_query_ns",
             HistId::EngineQueueDepth => "engine_queue_depth",
+            HistId::NetRequestNs => "net_request_ns",
+            HistId::NetServerFrameNs => "net_server_frame_ns",
+            HistId::NetFrameBytes => "net_frame_bytes",
         }
     }
 }

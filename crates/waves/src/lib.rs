@@ -97,12 +97,18 @@ pub use waves_rand::{
 };
 
 pub use waves_distributed::{
-    coord_distinct_estimate, coord_union_estimate, det_combine, run_distinct_threaded,
-    run_distinct_threaded_recorded, run_union_threaded, run_union_threaded_recorded,
-    simulate_async_union, AsyncQueryOutcome, CommStats, CoordDistinctParty, CoordSampleParty,
-    DetCombine, PartyComm, Scenario1Count, Scenario1Sum, Scenario2Count, Scenario3PositionwiseSum,
-    ThreadedRun,
+    combine_estimates, coord_distinct_estimate, coord_union_estimate, det_combine,
+    run_distinct_threaded, run_distinct_threaded_recorded, run_union_threaded,
+    run_union_threaded_recorded, simulate_async_union, AsyncQueryOutcome, CommStats,
+    CoordDistinctParty, CoordSampleParty, DetCombine, PartyComm, Scenario1Count, Scenario1Sum,
+    Scenario2Count, Scenario3PositionwiseSum, ThreadedRun,
 };
+
+/// Networked transport: wire protocol, TCP server/client, networked
+/// referee, and fault-injection proxy (re-export of `waves-net`).
+pub mod net {
+    pub use waves_net::*;
+}
 
 /// Observability: counters, latency histograms, event sinks
 /// (re-export of the zero-dependency `waves-obs` crate).
