@@ -11,6 +11,7 @@ pub mod latency;
 pub mod lower_bound;
 pub mod net_loopback;
 pub mod obs_overhead;
+pub mod persistence;
 pub mod scaling;
 pub mod scenarios;
 pub mod space;
@@ -43,6 +44,7 @@ pub fn run(id: &str) -> bool {
         "obs-overhead" => obs_overhead::run(),
         "engine-scaling" => engine_scaling::run(),
         "net-loopback" => net_loopback::run(),
+        "persistence" => persistence::run(),
         _ => return false,
     }
     true

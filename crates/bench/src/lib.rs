@@ -72,6 +72,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "net-loopback",
         "E19: networked ingest throughput over loopback vs batch size",
     ),
+    (
+        "persistence",
+        "E20: WAL cost per sync policy + recovery time vs log length",
+    ),
 ];
 
 #[cfg(test)]

@@ -33,12 +33,19 @@ OPTIONS:
     --json            render metrics dumps as JSON (implies --stats)
     --help            print this help
 
-ENGINE OPTIONS (engine mode only):
+ENGINE OPTIONS (engine / serve modes):
     --shards <T>      worker threads                 [default: 4]
     --keys <K>        distinct stream keys           [default: 1000]
     --items <I>       events to replay               [default: 10000]
     --batch <B>       events per ingest batch        [default: 64]
     --synopsis <S>    per-key synopsis: det | eh     [default: det]
+    --persist-dir <P> durable WAL + checkpoints under this directory;
+                      on startup prior state is recovered from it
+    --sync-policy <Y> WAL fsync cadence: every-batch | every-<N> |
+                      on-checkpoint                  [default: every-64]
+    --checkpoint-every <C>
+                      checkpoint after C applied batches per shard;
+                      0 disables auto-checkpoints    [default: 4096]
 
 NETWORK OPTIONS (serve / client modes only):
     --addr <A>        address to bind (serve) or dial (client)
@@ -107,6 +114,12 @@ pub struct Config {
     pub batch: usize,
     /// Engine mode: per-key synopsis family.
     pub synopsis: SynopsisKind,
+    /// Engine / serve modes: durable state directory (None = in-memory).
+    pub persist_dir: Option<String>,
+    /// Engine / serve modes: WAL fsync cadence.
+    pub sync_policy: waves_engine::SyncPolicy,
+    /// Engine / serve modes: auto-checkpoint interval in batches (0 off).
+    pub checkpoint_every: u64,
     /// Serve mode: address to bind. Client mode: address to dial.
     pub addr: String,
     /// Client mode: key to ingest into / query.
@@ -139,6 +152,9 @@ impl Default for Config {
             items: 10_000,
             batch: 64,
             synopsis: SynopsisKind::Det,
+            persist_dir: None,
+            sync_policy: waves_engine::SyncPolicy::default(),
+            checkpoint_every: 4096,
             addr: "127.0.0.1:4600".to_string(),
             key: 0,
             bits: None,
@@ -147,6 +163,18 @@ impl Default for Config {
             net_snapshot: false,
             shutdown: false,
         }
+    }
+}
+
+impl Config {
+    /// The engine persistence settings these flags describe, or `None`
+    /// when `--persist-dir` was not given.
+    pub fn persist_config(&self) -> Option<waves_engine::PersistConfig> {
+        self.persist_dir.as_ref().map(|dir| {
+            waves_engine::PersistConfig::new(dir)
+                .sync_policy(self.sync_policy)
+                .checkpoint_every(self.checkpoint_every)
+        })
     }
 }
 
@@ -273,6 +301,24 @@ pub fn parse(argv: &[String]) -> Result<Option<Config>, ArgError> {
                     "eh" => SynopsisKind::Eh,
                     _ => return Err(bad(v)),
                 };
+                i += 2;
+            }
+            "--persist-dir" => {
+                let v = value(i)?;
+                if v.is_empty() {
+                    return Err(bad(v));
+                }
+                cfg.persist_dir = Some(v.clone());
+                i += 2;
+            }
+            "--sync-policy" => {
+                let v = value(i)?;
+                cfg.sync_policy = v.parse().map_err(|_| bad(v))?;
+                i += 2;
+            }
+            "--checkpoint-every" => {
+                let v = value(i)?;
+                cfg.checkpoint_every = v.parse().map_err(|_| bad(v))?;
                 i += 2;
             }
             "--addr" => {
@@ -436,6 +482,46 @@ mod tests {
         ));
         assert!(matches!(
             parse(&argv("serve --addr")),
+            Err(ArgError::MissingValue(_))
+        ));
+    }
+
+    #[test]
+    fn parses_persistence_flags() {
+        use waves_engine::SyncPolicy;
+        let cfg = parse(&argv(
+            "engine --persist-dir /tmp/w --sync-policy every-batch --checkpoint-every 100",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(cfg.persist_dir.as_deref(), Some("/tmp/w"));
+        assert_eq!(cfg.sync_policy, SyncPolicy::EveryBatch);
+        assert_eq!(cfg.checkpoint_every, 100);
+        let pc = cfg.persist_config().unwrap();
+        assert_eq!(pc.sync, SyncPolicy::EveryBatch);
+        assert_eq!(pc.checkpoint_every_batches, 100);
+        // Defaults: no persistence, every-64, 4096.
+        let cfg = parse(&argv("engine")).unwrap().unwrap();
+        assert_eq!(cfg.persist_dir, None);
+        assert!(cfg.persist_config().is_none());
+        assert_eq!(cfg.sync_policy, SyncPolicy::EveryN(64));
+        assert_eq!(cfg.checkpoint_every, 4096);
+        // every-<N> and on-checkpoint parse through FromStr.
+        let cfg = parse(&argv("serve --sync-policy every-7"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(cfg.sync_policy, SyncPolicy::EveryN(7));
+        let cfg = parse(&argv("serve --sync-policy on-checkpoint"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(cfg.sync_policy, SyncPolicy::OnCheckpoint);
+        // Validation.
+        assert!(matches!(
+            parse(&argv("engine --sync-policy sometimes")),
+            Err(ArgError::BadValue(..))
+        ));
+        assert!(matches!(
+            parse(&argv("engine --persist-dir")),
             Err(ArgError::MissingValue(_))
         ));
     }

@@ -22,11 +22,14 @@ use waves_engine::EngineConfig;
 /// process piping our stdout can scrape the bound address before any
 /// client exists.
 pub fn run_serve<W: Write>(cfg: &Config, out: &mut W) -> Result<(), String> {
-    let ecfg = EngineConfig::builder()
+    let mut builder = EngineConfig::builder()
         .num_shards(cfg.shards)
         .max_window(cfg.window)
-        .eps(cfg.eps)
-        .build();
+        .eps(cfg.eps);
+    if let Some(pc) = cfg.persist_config() {
+        builder = builder.persist_config(pc);
+    }
+    let ecfg = builder.build();
     let scfg = ServerConfig {
         engine: ecfg,
         read_timeout: None,

@@ -164,6 +164,44 @@ impl<'a> BitReader<'a> {
     }
 }
 
+/// Pack bits MSB-first into bytes, appending to `out` (the same
+/// orientation as [`BitWriter`], so hexdumps line up). The final byte is
+/// zero-padded on the right.
+///
+/// This is the shared batch-payload packing used by both the wire
+/// protocol (`waves-net`) and the write-ahead log (`waves-store`);
+/// keeping one definition means the two formats cannot drift apart.
+pub fn pack_bits(bits: &[bool], out: &mut Vec<u8>) {
+    let mut cur = 0u8;
+    let mut used = 0u8;
+    for &b in bits {
+        cur = (cur << 1) | b as u8;
+        used += 1;
+        if used == 8 {
+            out.push(cur);
+            cur = 0;
+            used = 0;
+        }
+    }
+    if used > 0 {
+        out.push(cur << (8 - used));
+    }
+}
+
+/// Inverse of [`pack_bits`]: read the first `nbits` MSB-first bits of
+/// `bytes`. Returns `UnexpectedEnd` if `bytes` is too short.
+pub fn unpack_bits(bytes: &[u8], nbits: usize) -> Result<Vec<bool>, CodecError> {
+    if bytes.len() < nbits.div_ceil(8) {
+        return Err(CodecError::UnexpectedEnd);
+    }
+    let mut bits = Vec::with_capacity(nbits);
+    for i in 0..nbits {
+        let byte = bytes[i / 8];
+        bits.push((byte >> (7 - (i % 8))) & 1 == 1);
+    }
+    Ok(bits)
+}
+
 /// Encode a strictly increasing (or nondecreasing) sequence as gamma
 /// deltas, with an implicit previous value of 0.
 pub fn write_deltas(w: &mut BitWriter, sorted: &[u64]) {
@@ -280,5 +318,22 @@ mod tests {
     fn empty_input_errors() {
         let mut r = BitReader::new(&[]);
         assert_eq!(r.read_bit(), Err(CodecError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65] {
+            let bits: Vec<bool> = (0..len).map(|i| i % 3 == 0).collect();
+            let mut bytes = Vec::new();
+            pack_bits(&bits, &mut bytes);
+            assert_eq!(bytes.len(), len.div_ceil(8));
+            assert_eq!(unpack_bits(&bytes, len).unwrap(), bits, "len={len}");
+        }
+    }
+
+    #[test]
+    fn unpack_short_buffer_errors() {
+        assert_eq!(unpack_bits(&[0xFF], 9), Err(CodecError::UnexpectedEnd));
+        assert_eq!(unpack_bits(&[], 1), Err(CodecError::UnexpectedEnd));
     }
 }

@@ -64,7 +64,7 @@ pub use nth_recent::NthRecentWave;
 pub use sum_wave::{SumWave, SumWaveBuilder};
 pub use timestamp::TimestampWave;
 pub use timestamp_sum::TimestampSumWave;
-pub use traits::{BitSynopsis, SumSynopsis, Synopsis};
+pub use traits::{BitSynopsis, SumSynopsis, Synopsis, SynopsisCodec};
 pub use window::ModRing;
 
 #[cfg(test)]

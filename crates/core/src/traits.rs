@@ -9,6 +9,7 @@
 //! push/query surface. All three are object-safe, so heterogeneous
 //! collections (`Vec<Box<dyn BitSynopsis>>`) work.
 
+use crate::codec::CodecError;
 use crate::error::WaveError;
 use crate::estimate::{Estimate, SpaceReport};
 
@@ -42,6 +43,47 @@ pub trait BitSynopsis: Synopsis {
 
     /// Estimate the number of 1's among the last `n` bits.
     fn query_window(&self, n: u64) -> Result<Estimate, WaveError>;
+}
+
+/// A synopsis with a self-describing byte encoding, suitable for wire
+/// transfer and durable checkpoints.
+///
+/// Implementations forward to the concrete `encode()`/`decode()` pairs
+/// (which carry their own parameters — `max_window`, `eps`, counters —
+/// in the byte stream), so the bytes written by a checkpoint are exactly
+/// the bytes the wire protocol already round-trips. The contract is
+/// lossless with respect to queries: for every window `n`,
+/// `decode(encode(s)).query_window(n) == s.query_window(n)`.
+///
+/// Unlike [`BitSynopsis`], this trait is *not* object-safe (decoding
+/// constructs `Self`); the serving engine requires it of its synopsis
+/// type only when persistence is enabled at the type level.
+pub trait SynopsisCodec: Sized {
+    /// Serialize the complete synopsis state.
+    fn encode_synopsis(&self) -> Vec<u8>;
+
+    /// Reconstruct a synopsis from [`SynopsisCodec::encode_synopsis`]
+    /// bytes. Arbitrary input must never panic: corrupt or truncated
+    /// bytes yield a [`CodecError`].
+    fn decode_synopsis(bytes: &[u8]) -> Result<Self, CodecError>;
+}
+
+impl SynopsisCodec for crate::det_wave::DetWave {
+    fn encode_synopsis(&self) -> Vec<u8> {
+        self.encode()
+    }
+    fn decode_synopsis(bytes: &[u8]) -> Result<Self, CodecError> {
+        crate::det_wave::DetWave::decode(bytes)
+    }
+}
+
+impl SynopsisCodec for crate::sum_wave::SumWave {
+    fn encode_synopsis(&self) -> Vec<u8> {
+        self.encode()
+    }
+    fn decode_synopsis(bytes: &[u8]) -> Result<Self, CodecError> {
+        crate::sum_wave::SumWave::decode(bytes)
+    }
 }
 
 /// A synopsis for the sum of bounded integers in a sliding window.
@@ -189,6 +231,18 @@ mod tests {
             // Supertrait methods are reachable through the object.
             assert!(!s.name().is_empty());
             assert_eq!(s.max_window(), 32);
+        }
+    }
+
+    #[test]
+    fn synopsis_codec_roundtrips_queries() {
+        let mut w = DetWave::new(64, 0.25).unwrap();
+        for i in 0..500u64 {
+            w.push_bit(i % 3 == 0);
+        }
+        let back = DetWave::decode_synopsis(&w.encode_synopsis()).unwrap();
+        for n in [1u64, 17, 64] {
+            assert_eq!(w.query(n).unwrap(), back.query(n).unwrap(), "n={n}");
         }
     }
 

@@ -30,6 +30,27 @@ pub mod sum;
 pub use basic::{EhCount, EhCountBuilder};
 pub use sum::{EhSum, EhSumBuilder};
 
+use waves_core::codec::CodecError;
+use waves_core::SynopsisCodec;
+
+impl SynopsisCodec for EhCount {
+    fn encode_synopsis(&self) -> Vec<u8> {
+        self.encode()
+    }
+    fn decode_synopsis(bytes: &[u8]) -> Result<Self, CodecError> {
+        EhCount::decode(bytes)
+    }
+}
+
+impl SynopsisCodec for EhSum {
+    fn encode_synopsis(&self) -> Vec<u8> {
+        self.encode()
+    }
+    fn decode_synopsis(bytes: &[u8]) -> Result<Self, CodecError> {
+        EhSum::decode(bytes)
+    }
+}
+
 #[cfg(test)]
 mod proptests {
     use super::*;

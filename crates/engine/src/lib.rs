@@ -22,7 +22,15 @@
 //!   enqueued before it (per-key read-your-writes);
 //! * everything reports into `waves-obs`: ingest/query latency
 //!   histograms, queue depth, and per-shard keys/bytes via
-//!   [`Engine::snapshot`].
+//!   [`Engine::snapshot`];
+//! * optional durability via `waves-store`: with
+//!   [`EngineConfigBuilder::persist`] set, each shard owns a private
+//!   write-ahead log (appended *before* a batch is applied, no
+//!   cross-shard lock) plus periodic checkpoints of every key's
+//!   synopsis bytes. Construction recovers: newest valid checkpoint,
+//!   then the acknowledged WAL tail, so a restarted engine answers
+//!   exactly like one that never stopped. Clean shutdown writes a final
+//!   checkpoint regardless of sync policy.
 //!
 //! The engine is generic over any [`BitSynopsis`] + `Send` synopsis (the
 //! deterministic wave by default, the exponential-histogram baseline
@@ -50,8 +58,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use waves_core::{BitSynopsis, DetWave, Estimate, WaveError};
-use waves_obs::{HistId, MetricId, NoopRecorder, Recorder};
+use waves_core::{BitSynopsis, DetWave, Estimate, SynopsisCodec, WaveError};
+use waves_obs::{Event, HistId, MetricId, NoopRecorder, Recorder};
+use waves_store::{ShardStore, Store};
+
+pub use waves_store::{PersistConfig, SyncPolicy};
 
 /// Stream identity: every key owns an independent synopsis.
 pub type Key = u64;
@@ -74,6 +85,10 @@ pub struct EngineConfig {
     pub max_window: u64,
     /// Relative error bound for every per-key synopsis.
     pub eps: f64,
+    /// Durability settings; `None` (the default) serves from memory
+    /// only. With `Some`, construction recovers prior state from the
+    /// directory and every shard write-ahead-logs its batches.
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for EngineConfig {
@@ -83,6 +98,7 @@ impl Default for EngineConfig {
             queue_capacity: 1024,
             max_window: 1024,
             eps: 0.1,
+            persist: None,
         }
     }
 }
@@ -130,6 +146,21 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Persist to `dir` with default store settings (sync policy
+    /// `every-64`, 8 MiB segments, checkpoint every 4096 batches).
+    /// Combine with [`EngineConfigBuilder::persist_config`] for full
+    /// control.
+    pub fn persist(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cfg.persist = Some(PersistConfig::new(dir));
+        self
+    }
+
+    /// Persist with explicit store settings.
+    pub fn persist_config(mut self, persist: PersistConfig) -> Self {
+        self.cfg.persist = Some(persist);
+        self
+    }
+
     pub fn build(self) -> EngineConfig {
         self.cfg
     }
@@ -150,6 +181,11 @@ enum Cmd {
     /// A barrier: replied to once everything enqueued before it has
     /// been applied.
     Flush { reply: std::sync::mpsc::Sender<()> },
+    /// Durably checkpoint the shard's synopses (no-op without
+    /// persistence), replying with the outcome.
+    Checkpoint {
+        reply: std::sync::mpsc::Sender<Result<(), WaveError>>,
+    },
 }
 
 /// Point-in-time state of one shard, from [`Engine::snapshot`].
@@ -271,7 +307,7 @@ impl Engine<DetWave, waves_obs::MetricsRegistry> {
     }
 }
 
-impl<S: BitSynopsis + Send + 'static> Engine<S, NoopRecorder> {
+impl<S: BitSynopsis + SynopsisCodec + Send + 'static> Engine<S, NoopRecorder> {
     /// Serve an arbitrary synopsis per key: the factory builds one fresh
     /// synopsis per newly-seen key. It is called once eagerly so a
     /// misconfigured factory fails at construction, not mid-stream.
@@ -290,6 +326,15 @@ where
 {
     /// Fully general constructor: custom synopsis factory plus a shared
     /// recorder (e.g. an `Arc<MetricsRegistry>`).
+    ///
+    /// With [`EngineConfig::persist`] set, this is also the recovery
+    /// path: each shard loads its newest valid checkpoint (decoding
+    /// every key's synopsis via [`SynopsisCodec`]) and replays the
+    /// acknowledged WAL tail through [`BitSynopsis::push_bits`] before
+    /// the shard accepts new work. A corrupt persist directory (META
+    /// mismatch, undecodable checkpoint entry) fails construction; a
+    /// torn WAL tail is truncated silently — that is the crash-recovery
+    /// contract, not an error.
     pub fn with_factory_recorded<F>(
         cfg: EngineConfig,
         factory: F,
@@ -297,15 +342,61 @@ where
     ) -> Result<Self, WaveError>
     where
         F: Fn() -> Result<S, WaveError> + Send + Sync + 'static,
+        S: SynopsisCodec,
     {
         // Surface synopsis-parameter errors now rather than inside a
         // worker thread on first ingest.
         drop(factory()?);
         let num_shards = cfg.num_shards.max(1);
         let capacity = cfg.queue_capacity.max(1);
+        let store = match &cfg.persist {
+            Some(pc) => Some(Store::open(&pc.dir, num_shards as u32).map_err(WaveError::io)?),
+            None => None,
+        };
         let factory = Arc::new(factory);
         let mut shards = Vec::with_capacity(num_shards);
         for shard in 0..num_shards {
+            // Recover this shard's durable state before its worker
+            // spawns, so a recovery failure aborts construction and a
+            // recovered engine never serves a pre-replay view.
+            let (initial_keys, persist) = match (&store, &cfg.persist) {
+                (Some(store), Some(pc)) => {
+                    let recovered = ShardStore::recover(
+                        &store.shard_dir(shard),
+                        pc.sync,
+                        pc.segment_bytes,
+                        rec.as_ref(),
+                    )
+                    .map_err(WaveError::io)?;
+                    let mut keys: HashMap<Key, S> = HashMap::new();
+                    for (key, bytes) in &recovered.entries {
+                        let synopsis = S::decode_synopsis(bytes).map_err(|e| {
+                            WaveError::io(std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                format!("checkpoint entry for key {key}: {e}"),
+                            ))
+                        })?;
+                        keys.insert(*key, synopsis);
+                    }
+                    for batch in &recovered.batches {
+                        for (key, bits) in batch {
+                            keys.entry(*key)
+                                .or_insert_with(|| {
+                                    factory().expect("factory validated at construction")
+                                })
+                                .push_bits(bits);
+                        }
+                    }
+                    let persist = ShardPersist {
+                        store: recovered.store,
+                        encode: S::encode_synopsis,
+                        checkpoint_every: pc.checkpoint_every_batches,
+                        applied_since_checkpoint: 0,
+                    };
+                    (keys, Some(persist))
+                }
+                _ => (HashMap::new(), None),
+            };
             let (tx, rx) = std::sync::mpsc::sync_channel::<Cmd>(capacity);
             let depth = Arc::new(AtomicUsize::new(0));
             let worker_depth = Arc::clone(&depth);
@@ -313,7 +404,16 @@ where
             let worker_rec = Arc::clone(&rec);
             let worker = std::thread::Builder::new()
                 .name(format!("waves-engine-shard-{shard}"))
-                .spawn(move || shard_worker(rx, worker_depth, worker_factory, worker_rec))
+                .spawn(move || {
+                    shard_worker(
+                        rx,
+                        worker_depth,
+                        worker_factory,
+                        worker_rec,
+                        initial_keys,
+                        persist,
+                    )
+                })
                 .expect("spawn shard worker");
             shards.push(ShardHandle {
                 tx: Some(tx),
@@ -520,6 +620,36 @@ where
             backpressure_events: self.backpressure_events.load(Ordering::Relaxed),
         }
     }
+
+    /// Durably checkpoint every shard: each worker serializes all of its
+    /// keys' synopses, fsyncs them to a new checkpoint file, and
+    /// reclaims the WAL history the checkpoint supersedes. Travels the
+    /// per-shard FIFO, so everything enqueued before this call is
+    /// covered. Without persistence configured this is a successful
+    /// no-op; with persistence it returns the first shard's error, e.g.
+    /// after a WAL write failure disabled durability on a shard.
+    pub fn checkpoint(&self) -> Result<(), WaveError> {
+        let replies: Vec<_> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let (tx, rx) = std::sync::mpsc::channel();
+                shard
+                    .tx()
+                    .send(Cmd::Checkpoint { reply: tx })
+                    .expect("worker lives until Drop");
+                rx
+            })
+            .collect();
+        let mut first_err = Ok(());
+        for rx in replies {
+            let res = rx.recv().expect("worker replies before exiting");
+            if res.is_err() && first_err.is_ok() {
+                first_err = res;
+            }
+        }
+        first_err
+    }
 }
 
 impl<S, R> Drop for Engine<S, R>
@@ -539,19 +669,72 @@ where
     }
 }
 
+/// A shard worker's durability state. The synopsis encoder is a plain
+/// fn pointer captured at construction (where the [`SynopsisCodec`]
+/// bound lives), so the worker loop itself needs no codec bound.
+struct ShardPersist<S> {
+    store: ShardStore,
+    encode: fn(&S) -> Vec<u8>,
+    /// Auto-checkpoint after this many applied batches; 0 disables.
+    checkpoint_every: u64,
+    applied_since_checkpoint: u64,
+}
+
+impl<S> ShardPersist<S> {
+    fn write_checkpoint<R: Recorder + ?Sized>(
+        &mut self,
+        keys: &HashMap<Key, S>,
+        rec: &R,
+    ) -> std::io::Result<()> {
+        let entries: Vec<(u64, Vec<u8>)> =
+            keys.iter().map(|(k, s)| (*k, (self.encode)(s))).collect();
+        self.store.checkpoint(entries, rec)?;
+        self.applied_since_checkpoint = 0;
+        Ok(())
+    }
+}
+
 /// The shard worker loop: single-threaded owner of this shard's keys.
-fn shard_worker<S, R, F>(rx: Receiver<Cmd>, depth: Arc<AtomicUsize>, factory: Arc<F>, rec: Arc<R>)
-where
+///
+/// With persistence, every batch is WAL-appended *before* it is applied;
+/// an unrecoverable WAL io error disables durability for this shard
+/// (serving continues from memory) and is surfaced as a
+/// `store.wal.disabled` event plus a failed reply to the next explicit
+/// checkpoint. Clean shutdown (channel closed) writes a final
+/// checkpoint so `OnCheckpoint` deployments lose nothing across a
+/// graceful restart.
+fn shard_worker<S, R, F>(
+    rx: Receiver<Cmd>,
+    depth: Arc<AtomicUsize>,
+    factory: Arc<F>,
+    rec: Arc<R>,
+    initial_keys: HashMap<Key, S>,
+    mut persist: Option<ShardPersist<S>>,
+) where
     S: BitSynopsis + Send + 'static,
     R: Recorder + Send + Sync + 'static,
     F: Fn() -> Result<S, WaveError> + Send + Sync + 'static,
 {
-    let mut keys: HashMap<Key, S> = HashMap::new();
+    let mut keys = initial_keys;
+    let mut wal_failed = false;
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Cmd::Batch(batch) => {
                 depth.fetch_sub(1, Ordering::Relaxed);
                 let started = rec.enabled().then(Instant::now);
+                if let Some(p) = persist.as_mut() {
+                    if p.store.append_batch(&batch, rec.as_ref()).is_err() {
+                        // No reply channel exists for a batch, so degrade:
+                        // keep serving from memory, stop logging, and make
+                        // the failure visible to operators.
+                        rec.event(Event {
+                            name: "store.wal.disabled",
+                            fields: &[],
+                        });
+                        persist = None;
+                        wal_failed = true;
+                    }
+                }
                 let mut items = 0u64;
                 for (key, bits) in &batch {
                     let synopsis = keys
@@ -565,6 +748,21 @@ where
                 }
                 rec.incr(MetricId::EngineBatchesIngested, 1);
                 rec.incr(MetricId::EngineItemsIngested, items);
+                if let Some(p) = persist.as_mut() {
+                    p.applied_since_checkpoint += 1;
+                    if p.checkpoint_every > 0
+                        && p.applied_since_checkpoint >= p.checkpoint_every
+                        && p.write_checkpoint(&keys, rec.as_ref()).is_err()
+                    {
+                        rec.event(Event {
+                            name: "store.checkpoint.failed",
+                            fields: &[],
+                        });
+                        // The WAL is still intact; keep logging and
+                        // retry at the next checkpoint interval.
+                        p.applied_since_checkpoint = 0;
+                    }
+                }
             }
             Cmd::Query { key, window, reply } => {
                 let res = match keys.get(&key) {
@@ -594,6 +792,29 @@ where
             Cmd::Flush { reply } => {
                 let _ = reply.send(());
             }
+            Cmd::Checkpoint { reply } => {
+                let res = match persist.as_mut() {
+                    Some(p) => p
+                        .write_checkpoint(&keys, rec.as_ref())
+                        .map_err(WaveError::io),
+                    None if wal_failed => Err(WaveError::io(std::io::Error::other(
+                        "persistence disabled after WAL write failure",
+                    ))),
+                    None => Ok(()), // persistence never configured: no-op
+                };
+                let _ = reply.send(res);
+            }
+        }
+    }
+    // Clean shutdown: land everything durably regardless of sync policy.
+    if let Some(p) = persist.as_mut() {
+        if p.write_checkpoint(&keys, rec.as_ref()).is_err() {
+            rec.event(Event {
+                name: "store.shutdown_checkpoint.failed",
+                fields: &[],
+            });
+            // Best effort fallback: at least fsync the WAL tail.
+            let _ = p.store.sync(rec.as_ref());
         }
     }
 }
@@ -802,5 +1023,156 @@ mod tests {
         let engine = Engine::new(small_cfg(8)).unwrap();
         engine.ingest_blocking(1, &[true; 100]);
         drop(engine); // must not hang or panic
+    }
+
+    fn persist_cfg(dir: &std::path::Path, shards: usize) -> EngineConfig {
+        EngineConfig::builder()
+            .num_shards(shards)
+            .max_window(64)
+            .eps(0.25)
+            .persist_config(PersistConfig::new(dir).sync_policy(SyncPolicy::EveryBatch))
+            .build()
+    }
+
+    #[test]
+    fn restart_preserves_state_and_query_results() {
+        let dir = waves_store::scratch_dir("engine-restart");
+        let mut oracles: HashMap<Key, DetWave> = HashMap::new();
+        let cfg = persist_cfg(&dir, 3);
+        {
+            let engine = Engine::new(cfg.clone()).unwrap();
+            for round in 0..4u64 {
+                let mut batch: Vec<KeyedBits> = Vec::new();
+                for key in 0..60u64 {
+                    let bits = lcg_bits(round * 777 + key, 29, 3, 1);
+                    oracles
+                        .entry(key)
+                        .or_insert_with(|| DetWave::new(64, 0.25).unwrap())
+                        .push_bits(&bits);
+                    batch.push((key, bits));
+                }
+                engine.ingest_batch_blocking(&batch);
+            }
+            engine.flush();
+        } // clean shutdown: final checkpoint
+        let engine = Engine::new(cfg).unwrap();
+        let snap = engine.snapshot();
+        assert_eq!(snap.keys(), 60, "all keys survive restart");
+        assert!(snap.entries() > 0);
+        for key in 0..60u64 {
+            for window in [1u64, 17, 64] {
+                assert_eq!(
+                    engine.query(key, window).unwrap(),
+                    oracles[&key].query(window).unwrap(),
+                    "key={key} window={window}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restart_replays_wal_without_checkpoint() {
+        // Auto-checkpoint disabled and no clean-shutdown path exercised:
+        // kill the engine via mem::forget so recovery must come from the
+        // WAL alone (EveryBatch syncs acknowledge each batch).
+        let dir = waves_store::scratch_dir("engine-wal-only");
+        let cfg = EngineConfig::builder()
+            .num_shards(2)
+            .max_window(64)
+            .eps(0.25)
+            .persist_config(
+                PersistConfig::new(&dir)
+                    .sync_policy(SyncPolicy::EveryBatch)
+                    .checkpoint_every(0),
+            )
+            .build();
+        {
+            let engine = Engine::new(cfg.clone()).unwrap();
+            for key in 0..10u64 {
+                engine.ingest_blocking(key, &[true; 7]);
+            }
+            engine.flush();
+            let shard0 = std::fs::read_dir(dir.join("shard-0")).unwrap();
+            assert!(
+                shard0
+                    .filter_map(|e| e.ok())
+                    .all(|e| !e.file_name().to_string_lossy().ends_with(".ckpt")),
+                "no checkpoint should exist before shutdown"
+            );
+            // Simulate a crash: leak the engine so Drop never runs and no
+            // final checkpoint is written. The workers stay parked on
+            // their closed-over receivers; recovery must use the WAL.
+            std::mem::forget(engine);
+        }
+        let engine = Engine::new(cfg).unwrap();
+        for key in 0..10u64 {
+            assert_eq!(
+                engine.query(key, 64).unwrap(),
+                Estimate::exact(7),
+                "key={key}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explicit_checkpoint_trims_wal_and_survives_restart() {
+        let dir = waves_store::scratch_dir("engine-ckpt");
+        let cfg = persist_cfg(&dir, 2);
+        {
+            let engine = Engine::new(cfg.clone()).unwrap();
+            for key in 0..20u64 {
+                engine.ingest_blocking(key, &lcg_bits(key, 50, 2, 1));
+            }
+            engine.checkpoint().unwrap();
+            // Checkpoint rotated each shard onto a fresh segment and
+            // reclaimed the old ones: exactly one (empty) segment left.
+            for shard in 0..2 {
+                let dir = dir.join(format!("shard-{shard}"));
+                let segs = std::fs::read_dir(&dir)
+                    .unwrap()
+                    .filter_map(|e| e.ok())
+                    .filter(|e| e.file_name().to_string_lossy().ends_with(".log"))
+                    .count();
+                assert_eq!(segs, 1, "shard {shard} should hold one live segment");
+            }
+            engine.ingest_blocking(99, &[true; 3]);
+        }
+        let engine = Engine::new(cfg).unwrap();
+        assert_eq!(engine.snapshot().keys(), 21);
+        assert_eq!(engine.query(99, 64).unwrap(), Estimate::exact(3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_without_persistence_is_ok() {
+        let engine = Engine::new(small_cfg(2)).unwrap();
+        engine.ingest_blocking(1, &[true]);
+        engine.checkpoint().unwrap();
+    }
+
+    #[test]
+    fn shard_count_mismatch_fails_construction() {
+        let dir = waves_store::scratch_dir("engine-shards");
+        drop(Engine::new(persist_cfg(&dir, 2)).unwrap());
+        let err = Engine::new(persist_cfg(&dir, 3)).err().expect("must fail");
+        assert!(matches!(err, WaveError::Io(_)), "got {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn eh_synopsis_persists_too() {
+        let dir = waves_store::scratch_dir("engine-eh");
+        let cfg = persist_cfg(&dir, 2);
+        {
+            let engine =
+                Engine::with_factory(cfg.clone(), || waves_eh::EhCount::new(64, 0.25)).unwrap();
+            engine.ingest_blocking(3, &[true; 10]);
+            engine.flush();
+        }
+        let engine = Engine::with_factory(cfg, || waves_eh::EhCount::new(64, 0.25)).unwrap();
+        assert!(engine.query(3, 64).unwrap().brackets(10));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

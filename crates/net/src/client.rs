@@ -56,6 +56,22 @@ impl Default for ClientConfig {
 }
 
 /// A blocking connection to a `waves-net` server.
+///
+/// A complete loopback round trip (ephemeral port, server shut down
+/// at the end):
+///
+/// ```
+/// use waves_net::{Client, Server, ServerConfig};
+///
+/// let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+/// let mut client = Client::connect(server.local_addr()).unwrap();
+/// client.ping().unwrap();
+/// client.ingest(7, &[true, true, false]).unwrap();
+/// client.flush().unwrap(); // barrier: the batch is applied
+/// assert_eq!(client.query(7, 1024).unwrap().value, 2.0);
+/// client.shutdown_server().unwrap();
+/// server.wait();
+/// ```
 pub struct Client<R: Recorder + Send + Sync + 'static = NoopRecorder> {
     stream: TcpStream,
     addr: SocketAddr,

@@ -24,7 +24,7 @@
 //! re-encodes them, so a synopsis round-trips the network byte-for-byte
 //! (property-tested in this crate for all four synopsis types).
 
-use waves_core::codec::CodecError;
+use waves_core::codec::{pack_bits, unpack_bits, CodecError};
 use waves_core::{DetWave, Estimate, SumWave, WaveError};
 use waves_eh::{EhCount, EhSum};
 use waves_engine::{EngineSnapshot, KeyedBits, ShardSnapshot};
@@ -285,34 +285,6 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_be_bytes());
 }
 
-/// Pack bits MSB-first into bytes (the same orientation as the synopsis
-/// bit codec, so hexdumps line up).
-fn pack_bits(bits: &[bool], out: &mut Vec<u8>) {
-    let mut cur = 0u8;
-    let mut used = 0u8;
-    for &b in bits {
-        cur = (cur << 1) | b as u8;
-        used += 1;
-        if used == 8 {
-            out.push(cur);
-            cur = 0;
-            used = 0;
-        }
-    }
-    if used > 0 {
-        out.push(cur << (8 - used));
-    }
-}
-
-fn unpack_bits(bytes: &[u8], nbits: usize) -> Vec<bool> {
-    let mut bits = Vec::with_capacity(nbits);
-    for i in 0..nbits {
-        let byte = bytes[i / 8];
-        bits.push((byte >> (7 - (i % 8))) & 1 == 1);
-    }
-    bits
-}
-
 // ---------------------------------------------------------------------------
 // WaveError <-> wire
 // ---------------------------------------------------------------------------
@@ -520,7 +492,9 @@ impl WireCodec {
                     }
                     let nbytes = (nbits as usize).div_ceil(8);
                     let packed = r.take(nbytes)?;
-                    batch.push((key, unpack_bits(packed, nbits as usize)));
+                    let bits = unpack_bits(packed, nbits as usize)
+                        .map_err(|_| FrameError::Malformed("ingest entry bits"))?;
+                    batch.push((key, bits));
                 }
                 Frame::Ingest(batch)
             }
@@ -770,7 +744,7 @@ mod tests {
         );
         assert_eq!(out, vec![0b1010_0001, 0b1000_0000]);
         assert_eq!(
-            unpack_bits(&out, 9),
+            unpack_bits(&out, 9).unwrap(),
             vec![true, false, true, false, false, false, false, true, true]
         );
     }

@@ -69,10 +69,22 @@ pub enum MetricId {
     NetConnectionsAccepted,
     /// Requests that produced an error response or failed to decode.
     NetRequestErrors,
+    /// Batch records appended to a write-ahead log.
+    StoreWalAppends,
+    /// Bytes appended to write-ahead logs (framing + payload).
+    StoreWalBytes,
+    /// `fsync`/`File::sync_data` calls issued by the store layer.
+    StoreFsyncs,
+    /// Checkpoints written (one per shard per checkpoint round).
+    StoreCheckpoints,
+    /// WAL segment files deleted after a covering checkpoint.
+    StoreSegmentsReclaimed,
+    /// Batch records replayed from the WAL during recovery.
+    StoreBatchesRecovered,
 }
 
 /// Number of [`MetricId`] variants (length of the registry's array).
-pub const NUM_METRICS: usize = 27;
+pub const NUM_METRICS: usize = 33;
 
 impl MetricId {
     pub const ALL: [MetricId; NUM_METRICS] = [
@@ -103,6 +115,12 @@ impl MetricId {
         MetricId::NetBytesReceived,
         MetricId::NetConnectionsAccepted,
         MetricId::NetRequestErrors,
+        MetricId::StoreWalAppends,
+        MetricId::StoreWalBytes,
+        MetricId::StoreFsyncs,
+        MetricId::StoreCheckpoints,
+        MetricId::StoreSegmentsReclaimed,
+        MetricId::StoreBatchesRecovered,
     ];
 
     /// Stable snake_case name used in text and JSON output.
@@ -135,6 +153,12 @@ impl MetricId {
             MetricId::NetBytesReceived => "net_bytes_received_total",
             MetricId::NetConnectionsAccepted => "net_connections_accepted_total",
             MetricId::NetRequestErrors => "net_request_errors_total",
+            MetricId::StoreWalAppends => "store_wal_appends_total",
+            MetricId::StoreWalBytes => "store_wal_bytes_total",
+            MetricId::StoreFsyncs => "store_fsyncs_total",
+            MetricId::StoreCheckpoints => "store_checkpoints_total",
+            MetricId::StoreSegmentsReclaimed => "store_segments_reclaimed_total",
+            MetricId::StoreBatchesRecovered => "store_batches_recovered_total",
         }
     }
 }
@@ -163,10 +187,18 @@ pub enum HistId {
     NetServerFrameNs,
     /// Payload bytes per wire frame, sampled on every send.
     NetFrameBytes,
+    /// Store-layer time to frame and append one batch record, ns.
+    StoreWalAppendNs,
+    /// Store-layer time per `fsync`/`sync_data` call, ns.
+    StoreFsyncNs,
+    /// Time to write one shard checkpoint (serialize + fsync + rename), ns.
+    StoreCheckpointNs,
+    /// Time to recover one shard (checkpoint load + WAL replay), ns.
+    StoreRecoveryNs,
 }
 
 /// Number of [`HistId`] variants.
-pub const NUM_HISTS: usize = 10;
+pub const NUM_HISTS: usize = 14;
 
 impl HistId {
     pub const ALL: [HistId; NUM_HISTS] = [
@@ -180,6 +212,10 @@ impl HistId {
         HistId::NetRequestNs,
         HistId::NetServerFrameNs,
         HistId::NetFrameBytes,
+        HistId::StoreWalAppendNs,
+        HistId::StoreFsyncNs,
+        HistId::StoreCheckpointNs,
+        HistId::StoreRecoveryNs,
     ];
 
     pub fn name(self) -> &'static str {
@@ -194,6 +230,10 @@ impl HistId {
             HistId::NetRequestNs => "net_request_ns",
             HistId::NetServerFrameNs => "net_server_frame_ns",
             HistId::NetFrameBytes => "net_frame_bytes",
+            HistId::StoreWalAppendNs => "store_wal_append_ns",
+            HistId::StoreFsyncNs => "store_fsync_ns",
+            HistId::StoreCheckpointNs => "store_checkpoint_ns",
+            HistId::StoreRecoveryNs => "store_recovery_ns",
         }
     }
 }

@@ -1,0 +1,466 @@
+//! The write-ahead log: segment files of length-prefixed, CRC-checked
+//! batch records.
+//!
+//! # Segment file layout (`wal-<seq:016x>.log`)
+//!
+//! | offset | width | field                              |
+//! |--------|-------|------------------------------------|
+//! | 0      | 4     | magic `b"WLOG"`                    |
+//! | 4      | 2     | format version, u16 BE (currently 1) |
+//! | 6      | 2     | reserved, zero                     |
+//! | 8      | 8     | segment sequence number, u64 BE    |
+//! | 16     | ...   | records, back to back              |
+//!
+//! # Record layout
+//!
+//! | offset | width | field                                |
+//! |--------|-------|--------------------------------------|
+//! | 0      | 4     | payload length `L`, u32 BE           |
+//! | 4      | 4     | CRC-32 of the payload, u32 BE        |
+//! | 8      | `L`   | payload                              |
+//!
+//! A record is *acknowledged* only once it (and everything before it)
+//! has reached disk; a crash mid-append leaves a torn tail that fails
+//! the length or CRC check. Recovery scans records in order and stops at
+//! the first bad one — everything before it is intact by construction,
+//! everything at or after it is discarded (truncated), so the surviving
+//! log is always a prefix of what was appended.
+//!
+//! # Batch payload layout (record type 1)
+//!
+//! | offset | width | field                             |
+//! |--------|-------|-----------------------------------|
+//! | 0      | 1     | record type, `0x01` = ingest batch |
+//! | 1      | 4     | entry count `C`, u32 BE           |
+//! | 5      | ...   | `C` entries                       |
+//!
+//! Each entry: key u64 BE, bit count `B` u64 BE, then `ceil(B/8)` bytes
+//! of MSB-first packed bits — byte-identical to the wire protocol's
+//! `INGEST` entry encoding (both call [`waves_core::codec::pack_bits`]).
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use waves_core::codec::{pack_bits, unpack_bits};
+
+use crate::crc::crc32;
+
+/// First four bytes of every segment file.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"WLOG";
+/// On-disk format version shared by segments, checkpoints, and META.
+pub const STORE_VERSION: u16 = 1;
+/// Bytes before the first record in a segment.
+pub const SEGMENT_HEADER_LEN: u64 = 16;
+/// Bytes of record framing before the payload (length + CRC).
+pub const RECORD_HEADER_LEN: u64 = 8;
+/// Record type tag for an ingest batch.
+pub const REC_BATCH: u8 = 1;
+/// Upper bound on a record payload; larger lengths are treated as
+/// corruption (mirrors the wire protocol's frame cap).
+pub const MAX_RECORD_PAYLOAD: u32 = 64 << 20;
+/// Upper bound on bits per entry (mirrors `waves-net`'s ingest cap).
+const MAX_ENTRY_BITS: u64 = 1 << 32;
+
+/// File name for segment `seq`.
+pub fn segment_file_name(seq: u64) -> String {
+    format!("wal-{seq:016x}.log")
+}
+
+/// Parse a segment sequence number back out of a file name.
+pub fn parse_segment_file_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+fn bad(what: &'static str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what)
+}
+
+/// Encode one ingest batch as a record payload (type byte included).
+pub fn encode_batch_payload(batch: &[(u64, Vec<bool>)]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(5 + batch.len() * 17);
+    p.push(REC_BATCH);
+    p.extend_from_slice(&(batch.len() as u32).to_be_bytes());
+    for (key, bits) in batch {
+        p.extend_from_slice(&key.to_be_bytes());
+        p.extend_from_slice(&(bits.len() as u64).to_be_bytes());
+        pack_bits(bits, &mut p);
+    }
+    p
+}
+
+/// Decode a record payload produced by [`encode_batch_payload`].
+/// Arbitrary input never panics; malformed bytes yield `InvalidData`.
+pub fn decode_batch_payload(payload: &[u8]) -> io::Result<Vec<(u64, Vec<bool>)>> {
+    let mut at = 0usize;
+    let take = |at: &mut usize, n: usize| -> io::Result<&[u8]> {
+        let end = at.checked_add(n).ok_or_else(|| bad("length overflow"))?;
+        if end > payload.len() {
+            return Err(bad("record payload truncated"));
+        }
+        let s = &payload[*at..end];
+        *at = end;
+        Ok(s)
+    };
+    let ty = take(&mut at, 1)?[0];
+    if ty != REC_BATCH {
+        return Err(bad("unknown record type"));
+    }
+    let count = u32::from_be_bytes(take(&mut at, 4)?.try_into().unwrap());
+    let mut batch = Vec::with_capacity((count as usize).min(1 << 16));
+    for _ in 0..count {
+        let key = u64::from_be_bytes(take(&mut at, 8)?.try_into().unwrap());
+        let nbits = u64::from_be_bytes(take(&mut at, 8)?.try_into().unwrap());
+        if nbits > MAX_ENTRY_BITS {
+            return Err(bad("entry bit count"));
+        }
+        let packed = take(&mut at, (nbits as usize).div_ceil(8))?;
+        let bits = unpack_bits(packed, nbits as usize).map_err(|_| bad("entry bits"))?;
+        batch.push((key, bits));
+    }
+    if at != payload.len() {
+        return Err(bad("trailing bytes in record payload"));
+    }
+    Ok(batch)
+}
+
+/// Wrap a payload in record framing: length, CRC-32, payload.
+pub fn frame_record(payload: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(RECORD_HEADER_LEN as usize + payload.len());
+    rec.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    rec.extend_from_slice(&crc32(payload).to_be_bytes());
+    rec.extend_from_slice(payload);
+    rec
+}
+
+/// Result of scanning one segment file during recovery.
+#[derive(Debug)]
+pub struct SegmentScan {
+    /// Sequence number from the segment header.
+    pub seq: u64,
+    /// Payloads of every intact record, in append order.
+    pub payloads: Vec<Vec<u8>>,
+    /// File offset just past each intact record (parallel to
+    /// `payloads`), so a caller that rejects record `i` at a higher
+    /// layer can truncate to `ends[i-1]`.
+    pub ends: Vec<u64>,
+    /// Byte offset just past the last intact record — the truncation
+    /// point if the tail is torn.
+    pub valid_len: u64,
+    /// Whether bytes at/after `valid_len` failed validation (a torn or
+    /// corrupt tail that recovery must discard).
+    pub torn: bool,
+}
+
+/// Scan a segment file, validating the header and every record frame.
+///
+/// A file too short to hold the header (or with a wrong magic/version)
+/// scans as `seq: expect_seq, valid_len: 0, torn: true` — the recovery
+/// path rewrites it from scratch. A header whose sequence number
+/// disagrees with the file name is corruption of the same kind.
+pub fn scan_segment(path: &Path, expect_seq: u64) -> io::Result<SegmentScan> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    let torn = |payloads: Vec<Vec<u8>>, ends: Vec<u64>, valid_len: u64| SegmentScan {
+        seq: expect_seq,
+        payloads,
+        ends,
+        valid_len,
+        torn: true,
+    };
+    if buf.len() < SEGMENT_HEADER_LEN as usize
+        || buf[0..4] != SEGMENT_MAGIC
+        || u16::from_be_bytes(buf[4..6].try_into().unwrap()) != STORE_VERSION
+        || buf[6..8] != [0, 0]
+        || u64::from_be_bytes(buf[8..16].try_into().unwrap()) != expect_seq
+    {
+        return Ok(torn(Vec::new(), Vec::new(), 0));
+    }
+    let mut payloads = Vec::new();
+    let mut ends = Vec::new();
+    let mut at = SEGMENT_HEADER_LEN as usize;
+    loop {
+        if at == buf.len() {
+            // Clean end: every byte accounted for.
+            return Ok(SegmentScan {
+                seq: expect_seq,
+                payloads,
+                ends,
+                valid_len: at as u64,
+                torn: false,
+            });
+        }
+        if buf.len() - at < RECORD_HEADER_LEN as usize {
+            return Ok(torn(payloads, ends, at as u64));
+        }
+        let len = u32::from_be_bytes(buf[at..at + 4].try_into().unwrap());
+        let want = u32::from_be_bytes(buf[at + 4..at + 8].try_into().unwrap());
+        let start = at + RECORD_HEADER_LEN as usize;
+        if len > MAX_RECORD_PAYLOAD || buf.len() - start < len as usize {
+            return Ok(torn(payloads, ends, at as u64));
+        }
+        let payload = &buf[start..start + len as usize];
+        if crc32(payload) != want {
+            return Ok(torn(payloads, ends, at as u64));
+        }
+        payloads.push(payload.to_vec());
+        at = start + len as usize;
+        ends.push(at as u64);
+    }
+}
+
+/// An open segment accepting appends. Writes go through a userspace
+/// buffer; [`SegmentWriter::sync`] flushes and `fdatasync`s.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    file: File,
+    path: PathBuf,
+    seq: u64,
+    /// Total file length including the header (append position).
+    len: u64,
+    buffered: Vec<u8>,
+}
+
+impl SegmentWriter {
+    /// Create segment `seq` in `dir`, writing a fresh header. Truncates
+    /// any existing file of the same name (recovery only does this for
+    /// files it has already declared unreadable).
+    pub fn create(dir: &Path, seq: u64) -> io::Result<SegmentWriter> {
+        let path = dir.join(segment_file_name(seq));
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        let mut header = Vec::with_capacity(SEGMENT_HEADER_LEN as usize);
+        header.extend_from_slice(&SEGMENT_MAGIC);
+        header.extend_from_slice(&STORE_VERSION.to_be_bytes());
+        header.extend_from_slice(&0u16.to_be_bytes());
+        header.extend_from_slice(&seq.to_be_bytes());
+        file.write_all(&header)?;
+        Ok(SegmentWriter {
+            file,
+            path,
+            seq,
+            len: SEGMENT_HEADER_LEN,
+            buffered: Vec::new(),
+        })
+    }
+
+    /// Reopen an existing segment for appending at `valid_len` (the
+    /// scan's truncation point), discarding any torn tail beyond it.
+    pub fn reopen(dir: &Path, seq: u64, valid_len: u64) -> io::Result<SegmentWriter> {
+        let path = dir.join(segment_file_name(seq));
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        file.set_len(valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::Start(valid_len))?;
+        Ok(SegmentWriter {
+            file,
+            path,
+            seq,
+            len: valid_len,
+            buffered: Vec::new(),
+        })
+    }
+
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Append position: header plus every record appended so far.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len <= SEGMENT_HEADER_LEN
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Buffer one framed record; returns the file offset just past it
+    /// (the position a crash must reach for this record to survive).
+    pub fn append(&mut self, framed: &[u8]) -> io::Result<u64> {
+        self.buffered.extend_from_slice(framed);
+        self.len += framed.len() as u64;
+        Ok(self.len)
+    }
+
+    /// Push buffered records to the OS (no durability guarantee yet).
+    pub fn flush(&mut self) -> io::Result<()> {
+        if !self.buffered.is_empty() {
+            self.file.write_all(&self.buffered)?;
+            self.buffered.clear();
+        }
+        Ok(())
+    }
+
+    /// Flush and `fdatasync`: everything appended so far is durable
+    /// (acknowledged) once this returns.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.flush()?;
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = crate::scratch_dir(tag);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_batch(i: u64) -> Vec<(u64, Vec<bool>)> {
+        vec![
+            (i, (0..i % 13).map(|j| j % 2 == 0).collect()),
+            (i * 7 + 1, vec![true; (i % 9) as usize]),
+        ]
+    }
+
+    #[test]
+    fn batch_payload_roundtrip() {
+        for i in 0..50 {
+            let batch = sample_batch(i);
+            let payload = encode_batch_payload(&batch);
+            assert_eq!(decode_batch_payload(&payload).unwrap(), batch, "i={i}");
+        }
+        assert_eq!(
+            decode_batch_payload(&encode_batch_payload(&[])).unwrap(),
+            []
+        );
+    }
+
+    #[test]
+    fn payload_rejects_trailing_and_unknown_type() {
+        let mut p = encode_batch_payload(&sample_batch(3));
+        p.push(0);
+        assert!(decode_batch_payload(&p).is_err());
+        let mut p = encode_batch_payload(&sample_batch(3));
+        p[0] = 9;
+        assert!(decode_batch_payload(&p).is_err());
+        assert!(decode_batch_payload(&[]).is_err());
+    }
+
+    #[test]
+    fn segment_names_roundtrip() {
+        for seq in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(parse_segment_file_name(&segment_file_name(seq)), Some(seq));
+        }
+        assert_eq!(parse_segment_file_name("wal-xyz.log"), None);
+        assert_eq!(parse_segment_file_name("ckpt-0000000000000000.ckpt"), None);
+    }
+
+    #[test]
+    fn write_scan_roundtrip_and_torn_tail() {
+        let dir = tmp_dir("wal-roundtrip");
+        let mut w = SegmentWriter::create(&dir, 5).unwrap();
+        let mut ends = Vec::new();
+        for i in 0..10 {
+            let framed = frame_record(&encode_batch_payload(&sample_batch(i)));
+            ends.push(w.append(&framed).unwrap());
+        }
+        w.sync().unwrap();
+        let path = w.path().to_path_buf();
+        drop(w);
+
+        let scan = scan_segment(&path, 5).unwrap();
+        assert!(!scan.torn);
+        assert_eq!(scan.payloads.len(), 10);
+        assert_eq!(scan.valid_len, *ends.last().unwrap());
+
+        // Truncate into the middle of record 7: records 0..7 survive.
+        let cut = ends[6] + 3;
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+        let scan = scan_segment(&path, 5).unwrap();
+        assert!(scan.torn);
+        assert_eq!(scan.payloads.len(), 7);
+        assert_eq!(scan.valid_len, ends[6]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_byte_stops_scan_at_prior_record() {
+        let dir = tmp_dir("wal-corrupt");
+        let mut w = SegmentWriter::create(&dir, 0).unwrap();
+        let mut ends = Vec::new();
+        for i in 0..6 {
+            let framed = frame_record(&encode_batch_payload(&sample_batch(i + 1)));
+            ends.push(w.append(&framed).unwrap());
+        }
+        w.sync().unwrap();
+        let path = w.path().to_path_buf();
+        drop(w);
+        // Flip a byte inside record 3's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let victim = ends[2] as usize + RECORD_HEADER_LEN as usize + 1;
+        bytes[victim] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = scan_segment(&path, 0).unwrap();
+        assert!(scan.torn);
+        assert_eq!(scan.payloads.len(), 3);
+        assert_eq!(scan.valid_len, ends[2]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_header_scans_empty() {
+        let dir = tmp_dir("wal-badheader");
+        let path = dir.join(segment_file_name(1));
+        std::fs::write(&path, b"WLOGxx").unwrap();
+        let scan = scan_segment(&path, 1).unwrap();
+        assert!(scan.torn);
+        assert_eq!(scan.valid_len, 0);
+        assert!(scan.payloads.is_empty());
+        // Wrong sequence number in an otherwise valid header.
+        let w = SegmentWriter::create(&dir, 2).unwrap();
+        let p = w.path().to_path_buf();
+        drop(w);
+        let scan = scan_segment(&p, 3).unwrap();
+        assert!(scan.torn);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_appends_after_truncation_point() {
+        let dir = tmp_dir("wal-reopen");
+        let mut w = SegmentWriter::create(&dir, 9).unwrap();
+        let framed = frame_record(&encode_batch_payload(&sample_batch(2)));
+        let end = w.append(&framed).unwrap();
+        w.append(&framed[..5]).unwrap(); // simulate a torn half-record
+        w.sync().unwrap();
+        let path = w.path().to_path_buf();
+        drop(w);
+        let scan = scan_segment(&path, 9).unwrap();
+        assert!(scan.torn);
+        assert_eq!(scan.valid_len, end);
+        let mut w = SegmentWriter::reopen(&dir, 9, scan.valid_len).unwrap();
+        let framed2 = frame_record(&encode_batch_payload(&sample_batch(4)));
+        w.append(&framed2).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let scan = scan_segment(&path, 9).unwrap();
+        assert!(!scan.torn);
+        assert_eq!(scan.payloads.len(), 2);
+        assert_eq!(
+            decode_batch_payload(&scan.payloads[1]).unwrap(),
+            sample_batch(4)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -85,7 +85,8 @@ pub use waves_core::{
 pub use waves_eh::{EhCount, EhCountBuilder, EhSum, EhSumBuilder};
 
 pub use waves_engine::{
-    Engine, EngineConfig, EngineConfigBuilder, EngineSnapshot, KeyedBits, ShardSnapshot,
+    Engine, EngineConfig, EngineConfigBuilder, EngineSnapshot, KeyedBits, PersistConfig,
+    ShardSnapshot, SyncPolicy,
 };
 
 pub use waves_gf2::{Gf2Field, LevelHash};
@@ -114,6 +115,14 @@ pub mod net {
 /// (re-export of the zero-dependency `waves-obs` crate).
 pub mod obs {
     pub use waves_obs::*;
+}
+
+/// Durability: per-shard write-ahead log, checkpoints, and crash
+/// recovery (re-export of `waves-store`). Most users only need
+/// [`EngineConfigBuilder::persist`](crate::EngineConfigBuilder::persist);
+/// this module exposes the raw store for tools and tests.
+pub mod store {
+    pub use waves_store::*;
 }
 
 /// Workload generators used by the examples, tests, and experiments.
