@@ -34,4 +34,11 @@ fn main() {
         }
         println!("\n[{} finished in {:.2?}]", id, t0.elapsed());
     }
+    // Machine-checkable verdicts: any FAIL line anywhere above turns
+    // the whole run into a nonzero exit (SKIPs stay zero), so CI gates
+    // on the exit code instead of scraping stdout.
+    if waves_bench::verdict::any_failed() {
+        eprintln!("\none or more experiments reported FAIL");
+        std::process::exit(1);
+    }
 }

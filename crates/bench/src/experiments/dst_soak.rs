@@ -1,0 +1,80 @@
+//! E21: deterministic-simulation soak.
+//!
+//! Runs seed-derived fault schedules (`waves-dst`) through the full
+//! engine + net + store stack, tallying what the seeds exercised —
+//! fault injections, WAL kills, restarts — and how many oracle checks
+//! they survived. Any violation prints the `DST FAILURE` report with a
+//! minimized schedule and turns the headline verdict FAIL, which the
+//! `experiments` binary converts into a nonzero exit for CI.
+//!
+//! Seed count defaults to 120; override with `WAVES_DST_SOAK_SEEDS`
+//! (the CI smoke keeps it small, the nightly soak turns it up).
+
+use crate::table::Table;
+use crate::verdict;
+use waves_dst::{run_or_minimize, Schedule, Step};
+
+const DEFAULT_SEEDS: u64 = 120;
+
+pub fn run() {
+    let seeds: u64 = std::env::var("WAVES_DST_SOAK_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEEDS);
+    println!("E21: deterministic-simulation soak, seeds 0..{seeds}\n");
+
+    let (mut steps, mut checks) = (0u64, 0u64);
+    let (mut ingests, mut queries, mut chaos, mut crashes, mut restarts) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let (mut persist_seeds, mut tcp_seeds) = (0u64, 0u64);
+    let mut violations = 0u64;
+
+    for seed in 0..seeds {
+        let sched = Schedule::from_seed(seed);
+        persist_seeds += sched.cfg.persist as u64;
+        tcp_seeds += sched.cfg.tcp as u64;
+        for step in &sched.steps {
+            match step {
+                Step::Ingest(_) => ingests += 1,
+                Step::Query { .. } => queries += 1,
+                Step::Chaos { .. } => chaos += 1,
+                Step::Crash { .. } => crashes += 1,
+                Step::Restart => restarts += 1,
+                _ => {}
+            }
+        }
+        match run_or_minimize(&sched) {
+            Ok(report) => {
+                steps += report.steps as u64;
+                checks += report.checks;
+            }
+            Err(failure) => {
+                violations += 1;
+                println!("{failure}\n");
+            }
+        }
+    }
+
+    let mut t = Table::new(&["what", "count"]);
+    t.row(&["seeds".into(), seeds.to_string()]);
+    t.row(&["  with persistence".into(), persist_seeds.to_string()]);
+    t.row(&["  behind TCP".into(), tcp_seeds.to_string()]);
+    t.row(&["steps executed".into(), steps.to_string()]);
+    t.row(&["  ingest batches".into(), ingests.to_string()]);
+    t.row(&["  oracle-checked queries".into(), queries.to_string()]);
+    t.row(&["  chaos exchanges".into(), chaos.to_string()]);
+    t.row(&["  WAL kills".into(), crashes.to_string()]);
+    t.row(&["  restarts".into(), restarts.to_string()]);
+    t.row(&["oracle checks passed".into(), checks.to_string()]);
+    t.row(&["violations".into(), violations.to_string()]);
+    t.print();
+
+    println!(
+        "\nzero oracle violations across {seeds} seeds: {} — {}",
+        if violations == 0 { "yes" } else { "no" },
+        verdict::word(violations == 0)
+    );
+    println!("\nExpected shape: every seed passes; a failure here is a real bug");
+    println!("(or a planted mutant) and the printed seed replays it exactly via");
+    println!("`waves dst --seed <n>`.");
+}

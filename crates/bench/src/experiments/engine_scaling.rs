@@ -134,13 +134,11 @@ pub fn run() {
         .map(|n| n.get())
         .unwrap_or(1);
     let verdict = if cores >= 4 {
-        if monotone {
-            "PASS".into()
-        } else {
-            "FAIL".into()
-        }
+        crate::verdict::word(monotone).to_string()
     } else {
-        format!("SKIP ({cores} core(s) available; the speedup claim needs >= 4)")
+        crate::verdict::skip(format!(
+            "{cores} core(s) available; the speedup claim needs >= 4"
+        ))
     };
     println!(
         "\nmonotone 1 -> 2 -> 4 shard speedup at 100k keys: {} — {}",
@@ -165,7 +163,7 @@ pub fn run() {
     let overhead = 100.0 * (noop - live) / noop;
     println!(
         "\nlive-metrics ingest overhead at 4 shards: {overhead:+.2}% (budget: <= 2%) — {}",
-        if overhead <= 2.0 { "PASS" } else { "FAIL" }
+        crate::verdict::word(overhead <= 2.0)
     );
     println!("\nExpected shape: near-linear speedup 1 -> 4 shards while per-bit");
     println!("synopsis work dominates; small batches pay more channel overhead,");

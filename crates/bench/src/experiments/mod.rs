@@ -3,6 +3,7 @@
 pub mod ablations;
 pub mod det_error;
 pub mod distinct;
+pub mod dst_soak;
 pub mod engine_scaling;
 pub mod extensions;
 pub mod figures;
@@ -45,6 +46,7 @@ pub fn run(id: &str) -> bool {
         "engine-scaling" => engine_scaling::run(),
         "net-loopback" => net_loopback::run(),
         "persistence" => persistence::run(),
+        "dst-soak" => dst_soak::run(),
         _ => return false,
     }
     true

@@ -135,7 +135,7 @@ pub fn run() {
             .map(|(b, tp)| format!("{b}:{tp:.0}"))
             .collect::<Vec<_>>()
             .join("  "),
-        if monotone { "PASS" } else { "FAIL" }
+        crate::verdict::word(monotone)
     );
 
     // Answer fidelity: a fresh server fed one workload must agree with
@@ -153,11 +153,7 @@ pub fn run() {
     let (_, local_answer) = one_local_run(&batches);
     println!(
         "\nnetworked answer == local oracle: {net_answer} vs {local_answer} — {}",
-        if net_answer == local_answer {
-            "PASS"
-        } else {
-            "FAIL"
-        }
+        crate::verdict::word(net_answer == local_answer)
     );
     println!("\nExpected shape: throughput grows with batch size as the fixed");
     println!("per-frame round-trip cost amortizes; net/local approaches 1 only");

@@ -90,7 +90,7 @@ pub fn run() {
     let overhead = pct(noop, plain);
     println!(
         "\nnoop-recorder overhead: {overhead:+.2}% (budget: <= 2%) — {}",
-        if overhead <= 2.0 { "PASS" } else { "FAIL" }
+        crate::verdict::word(overhead <= 2.0)
     );
     println!("Expected shape: the noop column matches plain to measurement noise;");
     println!("the live registry pays a few ns for two relaxed atomics per item.");

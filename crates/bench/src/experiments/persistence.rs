@@ -148,7 +148,7 @@ pub fn run() {
     t.print();
     println!(
         "\nWAL tax at the default every-64 policy: {every_n_ratio:.2}x (budget: <= 2x) — {}",
-        if every_n_ratio <= 2.0 { "PASS" } else { "FAIL" }
+        crate::verdict::word(every_n_ratio <= 2.0)
     );
 
     // Recovery scaling: replaying a 4x longer WAL must cost more, and a
@@ -186,7 +186,7 @@ pub fn run() {
     println!(
         "\ncheckpoint recovery beats full WAL replay: {} — {}",
         if ckpt < long { "yes" } else { "no" },
-        if ckpt < long { "PASS" } else { "FAIL" }
+        crate::verdict::word(ckpt < long)
     );
     println!("\nExpected shape: every-batch pays one fsync per batch and lands");
     println!("well below the baseline; every-64 group-commits and stays within");

@@ -13,6 +13,7 @@
 pub mod experiments;
 pub mod table;
 pub mod timing;
+pub mod verdict;
 
 /// All experiment ids in DESIGN.md order, with a one-line description.
 pub const EXPERIMENTS: &[(&str, &str)] = &[
@@ -75,6 +76,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     (
         "persistence",
         "E20: WAL cost per sync policy + recovery time vs log length",
+    ),
+    (
+        "dst-soak",
+        "E21: deterministic-simulation soak over seed-derived fault schedules",
     ),
 ];
 

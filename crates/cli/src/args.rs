@@ -20,6 +20,10 @@ MODES:
                 prints 'listening on <addr>' once ready
     client      talk to a running server: ingest bits, query windows,
                 push referee synopses, fetch snapshots
+    dst         deterministic simulation: replay the fault schedule a
+                seed derives (--seed), or soak many seeds (--seeds);
+                prints 'DST FAILURE seed=<n> step=<k>' plus a minimized
+                schedule on any oracle violation (no stdin)
 
 OPTIONS:
     --window <N>      maximum window size            [default: 1024]
@@ -28,6 +32,7 @@ OPTIONS:
     --max-value <R>   value bound (sum / distinct)   [default: 65535]
     --seed <S>        seed (distinct coins / engine workload)
                                                      [default: 42]
+    --seeds <N>       dst: run seeds 0..N instead of the single --seed
     --stats           collect metrics (latency quantiles, structural
                       counters) and dump them at end of stream
     --json            render metrics dumps as JSON (implies --stats)
@@ -80,6 +85,9 @@ pub enum Mode {
     Serve,
     /// Talk to a running `serve` instance.
     Client,
+    /// Deterministic simulation: replay or soak seed-derived fault
+    /// schedules through the full stack.
+    Dst,
 }
 
 /// Which per-key synopsis the engine serves.
@@ -134,6 +142,8 @@ pub struct Config {
     pub net_snapshot: bool,
     /// Client mode: ask the server to exit after the other requests.
     pub shutdown: bool,
+    /// Dst mode: soak seeds `0..N` instead of replaying `--seed`.
+    pub seeds: Option<u64>,
 }
 
 impl Default for Config {
@@ -162,6 +172,7 @@ impl Default for Config {
             ping: false,
             net_snapshot: false,
             shutdown: false,
+            seeds: None,
         }
     }
 }
@@ -219,6 +230,7 @@ pub fn parse(argv: &[String]) -> Result<Option<Config>, ArgError> {
         "engine" => Mode::Engine,
         "serve" => Mode::Serve,
         "client" => Mode::Client,
+        "dst" => Mode::Dst,
         other => return Err(ArgError::UnknownMode(other.to_string())),
     };
     let mut cfg = Config {
@@ -340,6 +352,15 @@ pub fn parse(argv: &[String]) -> Result<Option<Config>, ArgError> {
                     return Err(bad(v));
                 }
                 cfg.bits = Some(v.clone());
+                i += 2;
+            }
+            "--seeds" => {
+                let v = value(i)?;
+                let n: u64 = v.parse().map_err(|_| bad(v))?;
+                if n == 0 {
+                    return Err(bad(v));
+                }
+                cfg.seeds = Some(n);
                 i += 2;
             }
             "--query" => {
@@ -523,6 +544,21 @@ mod tests {
         assert!(matches!(
             parse(&argv("engine --persist-dir")),
             Err(ArgError::MissingValue(_))
+        ));
+    }
+
+    #[test]
+    fn parses_dst_mode() {
+        let cfg = parse(&argv("dst --seed 17")).unwrap().unwrap();
+        assert_eq!(cfg.mode, Mode::Dst);
+        assert_eq!(cfg.seed, 17);
+        assert_eq!(cfg.seeds, None);
+        let cfg = parse(&argv("dst --seeds 300")).unwrap().unwrap();
+        assert_eq!(cfg.seeds, Some(300));
+        // Validation: zero seeds would soak nothing.
+        assert!(matches!(
+            parse(&argv("dst --seeds 0")),
+            Err(ArgError::BadValue(..))
         ));
     }
 

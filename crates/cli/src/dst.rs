@@ -1,0 +1,92 @@
+//! The `dst` subcommand: deterministic simulation from the command
+//! line.
+//!
+//! `waves dst --seed <n>` replays the schedule that seed derives —
+//! printing the configuration, every trace line, and the trace hash —
+//! which is the replay path printed in every `DST FAILURE` report.
+//! `waves dst --seeds <N>` soaks seeds `0..N`, printing a progress line
+//! per seed and stopping at the first violation with the minimized
+//! schedule; the process exits nonzero so CI can gate on it.
+
+use crate::args::Config;
+use std::io::Write;
+use waves_dst::{run, run_or_minimize, Schedule};
+
+/// Run the `dst` subcommand. `--seeds N` soaks, `--seed n` replays.
+pub fn run_dst<W: Write>(cfg: &Config, out: &mut W) -> Result<(), String> {
+    match cfg.seeds {
+        Some(n) => soak(n, out),
+        None => replay(cfg.seed, out),
+    }
+}
+
+/// Replay one seed, trace line by trace line.
+fn replay<W: Write>(seed: u64, out: &mut W) -> Result<(), String> {
+    let sched = Schedule::from_seed(seed);
+    let e = |err: std::io::Error| err.to_string();
+    writeln!(
+        out,
+        "seed {seed}: {} steps, window={} eps={} keys={} shards={}{}{}",
+        sched.steps.len(),
+        sched.cfg.max_window,
+        sched.cfg.eps,
+        sched.cfg.num_keys,
+        sched.cfg.num_shards,
+        if sched.cfg.persist { " persist" } else { "" },
+        if sched.cfg.tcp { " tcp" } else { "" },
+    )
+    .map_err(e)?;
+    match run_or_minimize(&sched) {
+        Ok(report) => {
+            for line in &report.trace {
+                writeln!(out, "  {line}").map_err(e)?;
+            }
+            writeln!(
+                out,
+                "seed {seed}: OK — {} oracle checks, trace hash {:016x}",
+                report.checks, report.trace_hash
+            )
+            .map_err(e)?;
+            Ok(())
+        }
+        Err(failure) => {
+            writeln!(out, "{failure}").map_err(e)?;
+            out.flush().ok();
+            Err(format!("seed {seed} violated the oracle"))
+        }
+    }
+}
+
+/// Soak seeds `0..n`, stopping at the first violation.
+fn soak<W: Write>(n: u64, out: &mut W) -> Result<(), String> {
+    let e = |err: std::io::Error| err.to_string();
+    let mut checks = 0u64;
+    for seed in 0..n {
+        match run(&Schedule::from_seed(seed)) {
+            Ok(report) => {
+                checks += report.checks;
+                writeln!(
+                    out,
+                    "seed {seed}: ok ({} steps, {} checks)",
+                    report.steps, report.checks
+                )
+                .map_err(e)?;
+            }
+            Err(_) => {
+                // Re-run through the minimizer for the full report; the
+                // violation is deterministic, so it recurs.
+                let failure = run_or_minimize(&Schedule::from_seed(seed))
+                    .expect_err("violation vanished on deterministic re-run");
+                writeln!(out, "{failure}").map_err(e)?;
+                out.flush().ok();
+                return Err(format!("seed {seed} violated the oracle"));
+            }
+        }
+    }
+    writeln!(
+        out,
+        "soak OK: {n} seeds, {checks} oracle checks, 0 violations"
+    )
+    .map_err(e)?;
+    Ok(())
+}

@@ -23,6 +23,7 @@ use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 mod args;
+mod dst;
 mod engine;
 mod net;
 mod run;
@@ -47,6 +48,7 @@ fn main() -> ExitCode {
         args::Mode::Engine => Some(engine::run_engine(&cfg, &mut out)),
         args::Mode::Serve => Some(net::run_serve(&cfg, &mut out)),
         args::Mode::Client => Some(net::run_client(&cfg, &mut out)),
+        args::Mode::Dst => Some(dst::run_dst(&cfg, &mut out)),
         _ => None,
     };
     if let Some(result) = stdinless {

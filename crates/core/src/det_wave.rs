@@ -292,9 +292,17 @@ impl DetWave {
     }
 
     fn expire(&mut self) {
+        // Planted off-by-one for the DST mutation smoke test
+        // (tests/dst_mutation.rs): under `--cfg dst_mutation` entries
+        // expire one stream position early, which the harness must
+        // catch against the exact oracle. Never enabled in real builds.
+        #[cfg(dst_mutation)]
+        let horizon = self.pos + 1;
+        #[cfg(not(dst_mutation))]
+        let horizon = self.pos;
         while let Some(h) = self.chain.head() {
             let e = *self.chain.get(h);
-            if e.pos + self.max_window <= self.pos {
+            if e.pos + self.max_window <= horizon {
                 self.r1 = e.rank;
                 let popped = self.queues[e.level as usize].pop_front();
                 debug_assert_eq!(popped, Some(h), "expiring head must be its queue's front");

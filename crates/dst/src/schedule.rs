@@ -1,0 +1,468 @@
+//! Seed-derived fault schedules.
+//!
+//! A [`Schedule`] is the *entire* input of one simulation run: the stack
+//! configuration plus an ordered list of [`Step`]s whose payloads (batch
+//! contents, window sizes, fault parameters, WAL cut points) are fully
+//! materialized. Nothing is drawn from an RNG at execution time, which
+//! gives the two properties the harness is built on:
+//!
+//! - **replayability** — `Schedule::from_seed(n)` is a pure function of
+//!   `n`, so `waves dst --seed n` re-executes the identical run;
+//! - **shrinkability** — removing a step never changes what any other
+//!   step does, so greedy element-removal shrinking
+//!   ([`proptest::shrink_elements`]) is sound.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use waves_streamgen::KeyedWorkload;
+
+/// Serializable mirror of [`waves_net::Fault`] so schedules stay plain
+/// data (`Fault` carries a `Duration`; this keeps integer millis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Accept the connection, then close it without dialing upstream.
+    DropConnection,
+    /// Stall each server→client chunk by this many milliseconds.
+    DelayMs(u64),
+    /// Forward only the first `n` reply bytes, then close.
+    TruncateAfter(usize),
+    /// Flip one byte at this offset of the reply stream.
+    CorruptByteAt(usize),
+}
+
+impl FaultSpec {
+    pub fn to_fault(self) -> waves_net::Fault {
+        match self {
+            FaultSpec::DropConnection => waves_net::Fault::DropConnection,
+            FaultSpec::DelayMs(ms) => waves_net::Fault::Delay(std::time::Duration::from_millis(ms)),
+            FaultSpec::TruncateAfter(n) => waves_net::Fault::TruncateAfter(n),
+            FaultSpec::CorruptByteAt(n) => waves_net::Fault::CorruptByteAt(n),
+        }
+    }
+}
+
+impl std::fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSpec::DropConnection => write!(f, "drop-connection"),
+            FaultSpec::DelayMs(ms) => write!(f, "delay-{ms}ms"),
+            FaultSpec::TruncateAfter(n) => write!(f, "truncate-after-{n}"),
+            FaultSpec::CorruptByteAt(n) => write!(f, "corrupt-byte-{n}"),
+        }
+    }
+}
+
+/// One step of a simulation. Payloads are materialized at generation
+/// time — see the module docs for why.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// Ingest one keyed batch through the stack and feed the oracles.
+    Ingest(Vec<(u64, Vec<bool>)>),
+    /// Query one key at one window and check against every oracle.
+    Query { key: u64, window: u64 },
+    /// Barrier: wait until every shard drained its queue.
+    Flush,
+    /// Compare the engine snapshot's live-key count with the oracle.
+    Snapshot,
+    /// Durable checkpoint (successful no-op without persistence).
+    Checkpoint,
+    /// Clean shutdown and restart. With persistence the shutdown
+    /// checkpoint preserves everything acknowledged; without it the
+    /// restart wipes all state (the oracles reset with it).
+    Restart,
+    /// Hard crash: drop the stack *without* the shutdown checkpoint,
+    /// then truncate the live WAL segment to `wal_cut_permille/1000` of
+    /// its byte length before recovering. Only the records that fully
+    /// survive the cut are expected back.
+    Crash { wal_cut_permille: u16 },
+    /// One query exchanged through a [`waves_net::ChaosProxy`] carrying
+    /// this fault: the outcome must be either the correct answer or a
+    /// typed error, within the hang budget. TCP schedules only.
+    Chaos {
+        fault: FaultSpec,
+        key: u64,
+        window: u64,
+    },
+}
+
+impl std::fmt::Display for Step {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Step::Ingest(batch) => {
+                let items: usize = batch.iter().map(|(_, b)| b.len()).sum();
+                write!(f, "ingest({} events, {items} bits)", batch.len())
+            }
+            Step::Query { key, window } => write!(f, "query(key={key}, w={window})"),
+            Step::Flush => write!(f, "flush"),
+            Step::Snapshot => write!(f, "snapshot"),
+            Step::Checkpoint => write!(f, "checkpoint"),
+            Step::Restart => write!(f, "restart"),
+            Step::Crash { wal_cut_permille } => write!(f, "crash(cut={wal_cut_permille}‰)"),
+            Step::Chaos { fault, key, window } => {
+                write!(f, "chaos({fault}, key={key}, w={window})")
+            }
+        }
+    }
+}
+
+/// Stack shape for one run, derived from the seed (or set explicitly
+/// through [`ScheduleBuilder`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    pub max_window: u64,
+    pub eps: f64,
+    /// Keys the workload draws from; queries stretch slightly past this
+    /// so `UnknownKey` paths are exercised too.
+    pub num_keys: u64,
+    pub num_shards: usize,
+    /// Put a `waves-store` WAL + checkpoint tree under a scratch dir.
+    /// Persistent schedules pin `num_shards` to 1 so WAL byte offsets
+    /// can be tracked harness-side for crash cuts.
+    pub persist: bool,
+    /// Serve through a loopback `waves-net` server instead of calling
+    /// the engine in-process. Chaos steps require this.
+    pub tcp: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_window: 64,
+            eps: 0.25,
+            num_keys: 5,
+            num_shards: 1,
+            persist: false,
+            tcp: false,
+        }
+    }
+}
+
+/// A fully materialized simulation input. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    pub seed: u64,
+    pub cfg: SimConfig,
+    pub steps: Vec<Step>,
+}
+
+impl Schedule {
+    /// Derive a complete schedule from a single seed: stack shape,
+    /// workload, and every step payload. Pure — equal seeds give equal
+    /// schedules.
+    pub fn from_seed(seed: u64) -> Schedule {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max_window = [16u64, 32, 48, 64, 96, 128, 256][rng.gen_range(0..7usize)];
+        let eps = rng.gen_range(8u32..=40) as f64 / 100.0;
+        let persist = rng.gen_bool(0.45);
+        let tcp = rng.gen_bool(0.5);
+        let cfg = SimConfig {
+            max_window,
+            eps,
+            num_keys: rng.gen_range(1..=10),
+            num_shards: if persist { 1 } else { rng.gen_range(1..=3) },
+            persist,
+            tcp,
+        };
+        let mut workload = make_workload(&mut rng, &cfg);
+        let n = rng.gen_range(24..=60);
+        let mut steps = gen_steps(&mut rng, &cfg, &mut workload, n);
+        // Epilogue: every seed ends by draining the stack and
+        // interrogating each key at the full window plus one random one,
+        // so even ingest-heavy schedules finish with real checks.
+        steps.push(Step::Flush);
+        for key in 0..cfg.num_keys.min(8) {
+            steps.push(Step::Query {
+                key,
+                window: cfg.max_window,
+            });
+            steps.push(Step::Query {
+                key,
+                window: rng.gen_range(1..=cfg.max_window),
+            });
+        }
+        Schedule { seed, cfg, steps }
+    }
+
+    /// Hand-build a schedule (integration tests): fixed seed for replay
+    /// reporting, explicit or seed-derived steps.
+    pub fn builder(seed: u64) -> ScheduleBuilder {
+        ScheduleBuilder {
+            seed,
+            cfg: SimConfig::default(),
+            steps: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            workload: None,
+        }
+    }
+
+    /// The command that replays this schedule when it came from
+    /// [`Schedule::from_seed`].
+    pub fn replay_hint(&self) -> String {
+        format!("cargo run -p waves-cli -- dst --seed {}", self.seed)
+    }
+}
+
+fn make_workload(rng: &mut StdRng, cfg: &SimConfig) -> KeyedWorkload {
+    let density = rng.gen_range(10u32..=90) as f64 / 100.0;
+    let max_burst = (cfg.max_window / 4).clamp(2, 24) as usize;
+    let mut w =
+        KeyedWorkload::new(cfg.num_keys, 4, density, rng.next_u64()).with_burst_range(1, max_burst);
+    if cfg.num_keys > 2 && rng.gen_bool(0.4) {
+        w = w.with_hot_set(0.7, (cfg.num_keys / 3).max(1));
+    }
+    w
+}
+
+fn gen_query(rng: &mut StdRng, cfg: &SimConfig) -> Step {
+    Step::Query {
+        // Stretch past the workload's key space so some queries hit
+        // keys that never ingested (the `UnknownKey` contract).
+        key: rng.gen_range(0..cfg.num_keys + 2),
+        window: rng.gen_range(1..=cfg.max_window),
+    }
+}
+
+fn gen_fault(rng: &mut StdRng) -> FaultSpec {
+    match rng.gen_range(0..4u32) {
+        0 => FaultSpec::DropConnection,
+        1 => FaultSpec::DelayMs(rng.gen_range(40..=90)),
+        2 => FaultSpec::TruncateAfter(rng.gen_range(0..=40)),
+        _ => FaultSpec::CorruptByteAt(rng.gen_range(0..=40)),
+    }
+}
+
+fn gen_steps(
+    rng: &mut StdRng,
+    cfg: &SimConfig,
+    workload: &mut KeyedWorkload,
+    n: usize,
+) -> Vec<Step> {
+    let mut steps = Vec::with_capacity(n);
+    for _ in 0..n {
+        let roll = rng.gen_range(0..100u32);
+        let step = if roll < 45 {
+            let events = rng.gen_range(1..=6);
+            Step::Ingest(workload.next_batch(events))
+        } else if roll < 70 {
+            gen_query(rng, cfg)
+        } else if roll < 76 {
+            Step::Flush
+        } else if roll < 80 {
+            Step::Snapshot
+        } else if roll < 86 {
+            if cfg.persist {
+                Step::Checkpoint
+            } else {
+                gen_query(rng, cfg)
+            }
+        } else if roll < 90 {
+            Step::Restart
+        } else if roll < 95 {
+            if cfg.persist {
+                Step::Crash {
+                    wal_cut_permille: rng.gen_range(0..=1000),
+                }
+            } else {
+                gen_query(rng, cfg)
+            }
+        } else if cfg.tcp {
+            Step::Chaos {
+                fault: gen_fault(rng),
+                key: rng.gen_range(0..cfg.num_keys),
+                window: rng.gen_range(1..=cfg.max_window),
+            }
+        } else {
+            gen_query(rng, cfg)
+        };
+        steps.push(step);
+    }
+    steps
+}
+
+/// Builds hand-shaped or seed-derived schedules for integration tests.
+/// Configuration setters should come before step methods; the workload
+/// is instantiated lazily from the seed on first random step.
+pub struct ScheduleBuilder {
+    seed: u64,
+    cfg: SimConfig,
+    steps: Vec<Step>,
+    rng: StdRng,
+    workload: Option<KeyedWorkload>,
+}
+
+impl ScheduleBuilder {
+    pub fn max_window(mut self, n: u64) -> Self {
+        self.cfg.max_window = n;
+        self.workload = None;
+        self
+    }
+
+    pub fn eps(mut self, eps: f64) -> Self {
+        self.cfg.eps = eps;
+        self
+    }
+
+    pub fn num_keys(mut self, n: u64) -> Self {
+        self.cfg.num_keys = n.max(1);
+        self.workload = None;
+        self
+    }
+
+    /// Shard count for non-persistent schedules (persistence pins 1).
+    pub fn num_shards(mut self, n: usize) -> Self {
+        self.cfg.num_shards = n.max(1);
+        self
+    }
+
+    /// Persist through `waves-store` in a scratch dir. Pins one shard
+    /// so crash cuts can classify WAL records by byte offset.
+    pub fn persist(mut self) -> Self {
+        self.cfg.persist = true;
+        self.cfg.num_shards = 1;
+        self
+    }
+
+    /// Serve over loopback TCP instead of in-process.
+    pub fn tcp(mut self) -> Self {
+        self.cfg.tcp = true;
+        self
+    }
+
+    pub fn ingest(mut self, batch: Vec<(u64, Vec<bool>)>) -> Self {
+        self.steps.push(Step::Ingest(batch));
+        self
+    }
+
+    /// Ingest `events` workload events as one batch.
+    pub fn ingest_random(mut self, events: usize) -> Self {
+        let batch = self.workload().next_batch(events);
+        self.steps.push(Step::Ingest(batch));
+        self
+    }
+
+    pub fn query(mut self, key: u64, window: u64) -> Self {
+        self.steps.push(Step::Query { key, window });
+        self
+    }
+
+    /// Query every workload key at the full window.
+    pub fn query_all(mut self) -> Self {
+        for key in 0..self.cfg.num_keys {
+            self.steps.push(Step::Query {
+                key,
+                window: self.cfg.max_window,
+            });
+        }
+        self
+    }
+
+    pub fn flush(mut self) -> Self {
+        self.steps.push(Step::Flush);
+        self
+    }
+
+    pub fn snapshot(mut self) -> Self {
+        self.steps.push(Step::Snapshot);
+        self
+    }
+
+    pub fn checkpoint(mut self) -> Self {
+        self.steps.push(Step::Checkpoint);
+        self
+    }
+
+    pub fn restart(mut self) -> Self {
+        self.steps.push(Step::Restart);
+        self
+    }
+
+    pub fn crash(mut self, wal_cut_permille: u16) -> Self {
+        self.steps.push(Step::Crash { wal_cut_permille });
+        self
+    }
+
+    /// Adds a chaos exchange; implies a TCP schedule.
+    pub fn chaos(mut self, fault: FaultSpec, key: u64, window: u64) -> Self {
+        self.cfg.tcp = true;
+        self.steps.push(Step::Chaos { fault, key, window });
+        self
+    }
+
+    /// Append `n` seed-derived steps with the same generator
+    /// [`Schedule::from_seed`] uses (weights adapt to the configured
+    /// persistence/transport).
+    pub fn random_steps(mut self, n: usize) -> Self {
+        if self.workload.is_none() {
+            self.workload = Some(make_workload(&mut self.rng, &self.cfg));
+        }
+        let workload = self.workload.as_mut().expect("workload just built");
+        let mut steps = gen_steps(&mut self.rng, &self.cfg, workload, n);
+        self.steps.append(&mut steps);
+        self
+    }
+
+    pub fn build(self) -> Schedule {
+        Schedule {
+            seed: self.seed,
+            cfg: self.cfg,
+            steps: self.steps,
+        }
+    }
+
+    fn workload(&mut self) -> &mut KeyedWorkload {
+        if self.workload.is_none() {
+            self.workload = Some(make_workload(&mut self.rng, &self.cfg));
+        }
+        self.workload.as_mut().expect("workload just built")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seed_is_pure() {
+        for seed in [0u64, 1, 7, 42, 0xDEAD_BEEF] {
+            assert_eq!(Schedule::from_seed(seed), Schedule::from_seed(seed));
+        }
+        assert_ne!(Schedule::from_seed(1).steps, Schedule::from_seed(2).steps);
+    }
+
+    #[test]
+    fn generated_steps_respect_config() {
+        for seed in 0..50u64 {
+            let s = Schedule::from_seed(seed);
+            assert!(s.cfg.eps > 0.0 && s.cfg.eps < 1.0);
+            if s.cfg.persist {
+                assert_eq!(s.cfg.num_shards, 1, "persist pins one shard");
+            }
+            for step in &s.steps {
+                match step {
+                    Step::Chaos { .. } => assert!(s.cfg.tcp, "chaos requires tcp"),
+                    Step::Crash { .. } => assert!(s.cfg.persist, "crash requires persist"),
+                    Step::Query { window, .. } => {
+                        assert!(*window >= 1 && *window <= s.cfg.max_window)
+                    }
+                    Step::Ingest(batch) => assert!(!batch.is_empty()),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn builder_chaos_implies_tcp() {
+        let s = Schedule::builder(9)
+            .chaos(FaultSpec::DropConnection, 0, 8)
+            .build();
+        assert!(s.cfg.tcp);
+    }
+
+    #[test]
+    fn builder_random_steps_are_seed_deterministic() {
+        let a = Schedule::builder(11).persist().random_steps(30).build();
+        let b = Schedule::builder(11).persist().random_steps(30).build();
+        assert_eq!(a, b);
+    }
+}

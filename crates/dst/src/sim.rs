@@ -1,0 +1,660 @@
+//! Schedule execution: build the stack a schedule describes, run every
+//! step, and check each observable answer against three oracles.
+//!
+//! Per key the harness maintains:
+//!
+//! - [`ExactCount`] — the O(N) ring-buffer ground truth;
+//! - a shadow [`DetWave`] — the engine must agree with it *bit for
+//!   bit*, the workspace's standing differential convention;
+//! - an [`EhCount`] — Datar et al.'s independent baseline, which must
+//!   agree with the truth (and hence the wave) within ε.
+//!
+//! Every trace line is a pure function of the schedule, so the FNV hash
+//! over the trace ([`RunReport::trace_hash`]) is the replay-identity
+//! witness: equal seeds ⇒ equal hashes. Timing-dependent facts (error
+//! kinds under injected faults, queue depths) never enter the trace.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use waves_core::{DetWave, Estimate, ExactCount, WaveError};
+use waves_eh::EhCount;
+use waves_engine::{Engine, EngineConfig};
+use waves_net::{ChaosProxy, Client, ClientConfig, Server, ServerConfig};
+use waves_store::{scratch_dir, wal, PersistConfig, SyncPolicy};
+
+use crate::schedule::{FaultSpec, Schedule, SimConfig, Step};
+
+/// A chaos exchange must resolve (answer or typed error) within this
+/// budget, proxy teardown included.
+pub const HANG_BUDGET: Duration = Duration::from_secs(5);
+
+/// An oracle (or harness-contract) violation at one step of a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub seed: u64,
+    /// Index into `schedule.steps`.
+    pub step: usize,
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DST FAILURE seed={} step={}: {}",
+            self.seed, self.step, self.detail
+        )
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// What a successful run observed.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Steps executed.
+    pub steps: usize,
+    /// Oracle comparisons performed (queries, snapshots, chaos ops).
+    pub checks: u64,
+    /// FNV-1a over the event trace — the replay-identity witness.
+    pub trace_hash: u64,
+    /// One line per step, fully deterministic per schedule.
+    pub trace: Vec<String>,
+}
+
+/// A failing run plus its greedily minimized witness.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub violation: Violation,
+    /// Subsequence of the original steps that still fails; 1-minimal
+    /// under single-step removal.
+    pub minimized: Schedule,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.violation)?;
+        writeln!(
+            f,
+            "minimized schedule ({} steps, replay: {}):",
+            self.minimized.steps.len(),
+            self.minimized.replay_hint()
+        )?;
+        for (i, step) in self.minimized.steps.iter().enumerate() {
+            writeln!(f, "  [{i}] {step}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Run the schedule derived from `seed` (see [`Schedule::from_seed`]).
+pub fn run_seed(seed: u64) -> Result<RunReport, Violation> {
+    run(&Schedule::from_seed(seed))
+}
+
+/// Execute a schedule against a freshly built stack. Persistent
+/// schedules use a scratch directory that is removed afterwards either
+/// way.
+pub fn run(schedule: &Schedule) -> Result<RunReport, Violation> {
+    let root = schedule
+        .cfg
+        .persist
+        .then(|| scratch_dir(&format!("dst-seed-{}", schedule.seed)));
+    let result = run_in(schedule, root.as_deref());
+    if let Some(root) = root {
+        let _ = fs::remove_dir_all(&root);
+    }
+    result
+}
+
+/// Run; on violation, shrink the schedule to a 1-minimal failing
+/// subsequence (re-running candidate subsequences) and report both the
+/// original violation and the minimized witness.
+pub fn run_or_minimize(schedule: &Schedule) -> Result<RunReport, Box<Failure>> {
+    match run(schedule) {
+        Ok(report) => Ok(report),
+        Err(violation) => {
+            let minimized = minimize(schedule);
+            Err(Box::new(Failure {
+                violation,
+                minimized,
+            }))
+        }
+    }
+}
+
+/// Greedy step-removal shrinking of a failing schedule: keeps deleting
+/// chunks of steps while some violation (not necessarily the original
+/// one) still fires. The result is a subsequence of the input.
+pub fn minimize(schedule: &Schedule) -> Schedule {
+    let steps = proptest::shrink_elements(&schedule.steps, |subset| {
+        run(&Schedule {
+            seed: schedule.seed,
+            cfg: schedule.cfg,
+            steps: subset.to_vec(),
+        })
+        .is_err()
+    });
+    Schedule {
+        seed: schedule.seed,
+        cfg: schedule.cfg,
+        steps,
+    }
+}
+
+fn run_in(schedule: &Schedule, root: Option<&Path>) -> Result<RunReport, Violation> {
+    let mut sim = Sim::start(schedule, root).map_err(|detail| Violation {
+        seed: schedule.seed,
+        step: 0,
+        detail,
+    })?;
+    for (idx, step) in schedule.steps.iter().enumerate() {
+        sim.execute(step).map_err(|detail| Violation {
+            seed: schedule.seed,
+            step: idx,
+            detail,
+        })?;
+    }
+    Ok(RunReport {
+        steps: schedule.steps.len(),
+        checks: sim.checks,
+        trace_hash: sim.trace.hash,
+        trace: sim.trace.lines,
+    })
+}
+
+/// The execution surface: in-process engine or loopback server+client.
+enum Backend {
+    Direct(Engine<DetWave>),
+    Tcp { server: Server, client: Client },
+}
+
+struct Sim {
+    cfg: SimConfig,
+    backend: Option<Backend>,
+    oracles: Oracles,
+    root: Option<PathBuf>,
+    /// Acknowledged batches covered by the newest on-disk checkpoint.
+    ckpt_batches: usize,
+    /// End offset of each acknowledged WAL record in the live segment
+    /// (persist mode; reset when a checkpoint rotates the segment).
+    seg_ends: Vec<u64>,
+    trace: Trace,
+    checks: u64,
+}
+
+impl Sim {
+    fn start(schedule: &Schedule, root: Option<&Path>) -> Result<Sim, String> {
+        let cfg = schedule.cfg;
+        if cfg.persist && cfg.num_shards != 1 {
+            return Err("harness: persistent schedules require exactly one shard".into());
+        }
+        Ok(Sim {
+            cfg,
+            backend: Some(start_backend(&cfg, root)?),
+            oracles: Oracles::new(&cfg),
+            root: root.map(Path::to_path_buf),
+            ckpt_batches: 0,
+            seg_ends: Vec::new(),
+            trace: Trace::new(),
+            checks: 0,
+        })
+    }
+
+    fn backend(&mut self) -> &mut Backend {
+        self.backend.as_mut().expect("backend live between steps")
+    }
+
+    fn execute(&mut self, step: &Step) -> Result<(), String> {
+        match step {
+            Step::Ingest(batch) => self.do_ingest(batch),
+            Step::Query { key, window } => self.do_query(*key, *window),
+            Step::Flush => self.do_flush(),
+            Step::Snapshot => self.do_snapshot(),
+            Step::Checkpoint => self.do_checkpoint(),
+            Step::Restart => self.do_restart(),
+            Step::Crash { wal_cut_permille } => self.do_crash(*wal_cut_permille),
+            Step::Chaos { fault, key, window } => self.do_chaos(*fault, *key, *window),
+        }
+    }
+
+    fn do_ingest(&mut self, batch: &[(u64, Vec<bool>)]) -> Result<(), String> {
+        if batch.is_empty() {
+            self.trace.push("ingest events=0 items=0".to_string());
+            return Ok(());
+        }
+        match self.backend() {
+            Backend::Direct(engine) => engine
+                .ingest_batch(batch)
+                .map_err(|e| format!("ingest rejected by engine: {e}"))?,
+            Backend::Tcp { client, .. } => client
+                .ingest_batch(batch)
+                .map_err(|e| format!("ingest failed over tcp: {e}"))?,
+        }
+        if self.cfg.persist {
+            // One WAL record per acknowledged batch (single shard, FIFO):
+            // track its end offset so a crash cut classifies survivors.
+            let rec_len = wal::frame_record(&wal::encode_batch_payload(batch)).len() as u64;
+            let end = self
+                .seg_ends
+                .last()
+                .copied()
+                .unwrap_or(wal::SEGMENT_HEADER_LEN)
+                + rec_len;
+            self.seg_ends.push(end);
+        }
+        self.oracles.apply(batch);
+        let items: usize = batch.iter().map(|(_, bits)| bits.len()).sum();
+        self.trace
+            .push(format!("ingest events={} items={items}", batch.len()));
+        Ok(())
+    }
+
+    fn do_query(&mut self, key: u64, window: u64) -> Result<(), String> {
+        let got = match self.backend() {
+            Backend::Direct(engine) => engine.query(key, window),
+            Backend::Tcp { client, .. } => client.query(key, window),
+        };
+        self.checks += 1;
+        let line = self.oracles.check_query(key, window, &got)?;
+        self.trace.push(line);
+        Ok(())
+    }
+
+    fn do_flush(&mut self) -> Result<(), String> {
+        match self.backend() {
+            Backend::Direct(engine) => engine.flush(),
+            Backend::Tcp { client, .. } => client
+                .flush()
+                .map_err(|e| format!("flush failed over tcp: {e}"))?,
+        }
+        self.trace.push("flush".to_string());
+        Ok(())
+    }
+
+    fn do_snapshot(&mut self) -> Result<(), String> {
+        let snap = match self.backend() {
+            Backend::Direct(engine) => engine.snapshot(),
+            Backend::Tcp { client, .. } => client
+                .snapshot()
+                .map_err(|e| format!("snapshot failed over tcp: {e}"))?,
+        };
+        self.checks += 1;
+        let want = self.oracles.exact.len();
+        if snap.keys() != want {
+            return Err(format!(
+                "snapshot reports {} live keys, oracle has {want}",
+                snap.keys()
+            ));
+        }
+        self.trace.push(format!("snapshot keys={want}"));
+        Ok(())
+    }
+
+    fn do_checkpoint(&mut self) -> Result<(), String> {
+        match self.backend() {
+            Backend::Direct(engine) => engine.checkpoint(),
+            Backend::Tcp { server, .. } => server.engine().checkpoint(),
+        }
+        .map_err(|e| format!("checkpoint failed: {e}"))?;
+        if self.cfg.persist {
+            // The checkpoint travels each shard's FIFO, so it covers
+            // every batch acknowledged so far and rotates the segment.
+            self.ckpt_batches = self.oracles.history.len();
+            self.seg_ends.clear();
+        }
+        self.trace
+            .push(format!("checkpoint batches={}", self.ckpt_batches));
+        Ok(())
+    }
+
+    fn do_restart(&mut self) -> Result<(), String> {
+        self.stop_backend(false);
+        if self.cfg.persist {
+            // Clean shutdown wrote a final checkpoint covering every
+            // acknowledged batch and rotated the WAL.
+            self.ckpt_batches = self.oracles.history.len();
+            self.seg_ends.clear();
+        } else {
+            self.oracles.rebuild(0);
+        }
+        self.backend = Some(start_backend(&self.cfg, self.root.as_deref())?);
+        self.trace
+            .push(format!("restart acked={}", self.oracles.history.len()));
+        Ok(())
+    }
+
+    fn do_crash(&mut self, permille: u16) -> Result<(), String> {
+        self.stop_backend(true);
+        let mut cut = 0u64;
+        let mut survivors = 0usize;
+        if let Some(root) = &self.root {
+            let shard_dir = root.join("shard-0");
+            let seg = newest_segment(&shard_dir)?;
+            let len = fs::metadata(&seg)
+                .map_err(|e| format!("harness: stat {}: {e}", seg.display()))?
+                .len();
+            cut = len * u64::from(permille.min(1000)) / 1000;
+            let f = fs::OpenOptions::new()
+                .write(true)
+                .open(&seg)
+                .map_err(|e| format!("harness: open {}: {e}", seg.display()))?;
+            f.set_len(cut)
+                .map_err(|e| format!("harness: truncate {}: {e}", seg.display()))?;
+            drop(f);
+            survivors = self.seg_ends.iter().filter(|&&e| e <= cut).count();
+            self.seg_ends.truncate(survivors);
+        }
+        if self.cfg.persist {
+            self.oracles.rebuild(self.ckpt_batches + survivors);
+        } else {
+            self.oracles.rebuild(0);
+        }
+        self.backend = Some(start_backend(&self.cfg, self.root.as_deref())?);
+        self.trace.push(format!(
+            "crash cut={cut} survivors={survivors} acked={}",
+            self.oracles.history.len()
+        ));
+        Ok(())
+    }
+
+    fn do_chaos(&mut self, spec: FaultSpec, key: u64, window: u64) -> Result<(), String> {
+        let addr = match self.backend() {
+            Backend::Tcp { server, .. } => server.local_addr(),
+            Backend::Direct(_) => return Err("harness: chaos step requires a tcp schedule".into()),
+        };
+        let proxy = ChaosProxy::start(addr, spec.to_fault())
+            .map_err(|e| format!("harness: chaos proxy: {e}"))?;
+        // Throwaway client with tight budgets: delays must surface as
+        // timeouts quickly, and nothing here is retried.
+        let chaos_cfg = ClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_millis(30),
+            write_timeout: Duration::from_millis(500),
+            retries: 0,
+            backoff: Duration::from_millis(1),
+        };
+        let t0 = Instant::now();
+        let outcome = Client::connect_with(proxy.local_addr(), chaos_cfg)
+            .and_then(|mut c| c.query(key, window));
+        drop(proxy);
+        let elapsed = t0.elapsed();
+        if elapsed > HANG_BUDGET {
+            return Err(format!(
+                "chaos op exceeded the {HANG_BUDGET:?} hang budget: {elapsed:?}"
+            ));
+        }
+        self.checks += 1;
+        // The contract under an injected fault: either the correct
+        // answer (the fault missed the exchange) or a typed transport
+        // error — never a wrong answer, never a hang.
+        match outcome {
+            Ok(est) => {
+                self.oracles.check_query(key, window, &Ok(est))?;
+            }
+            Err(WaveError::UnknownKey { .. }) => {
+                if self.oracles.exact.contains_key(&key) {
+                    return Err(format!(
+                        "chaos query returned UnknownKey for known key {key}"
+                    ));
+                }
+            }
+            Err(WaveError::Io(_)) | Err(WaveError::Timeout { .. }) => {}
+            Err(other) => return Err(format!("chaos query: unexpected error kind {other:?}")),
+        }
+        // Trace records only the fault, never the timing-dependent
+        // outcome kind — that would break replay-identity.
+        self.trace.push(format!("chaos fault={spec} -> checked"));
+        Ok(())
+    }
+
+    /// Tear the stack down, cleanly or as a crash (skipping the final
+    /// shutdown checkpoint so the WAL prefix is what recovery sees).
+    fn stop_backend(&mut self, crash: bool) {
+        match self.backend.take() {
+            Some(Backend::Direct(engine)) => {
+                if crash {
+                    engine.crash_on_drop();
+                }
+                drop(engine);
+            }
+            Some(Backend::Tcp { server, client }) => {
+                if crash {
+                    server.engine().crash_on_drop();
+                }
+                drop(client);
+                drop(server);
+            }
+            None => {}
+        }
+    }
+}
+
+fn engine_cfg(cfg: &SimConfig, root: Option<&Path>) -> EngineConfig {
+    let mut b = EngineConfig::builder()
+        .num_shards(cfg.num_shards)
+        .max_window(cfg.max_window)
+        .eps(cfg.eps)
+        // Far above any schedule's step count so backpressure cannot
+        // fire and distort the acknowledged-batch accounting.
+        .queue_capacity(4096);
+    if let Some(root) = root {
+        b = b.persist_config(
+            PersistConfig::new(root)
+                // Every acknowledged batch is durable, so the oracle's
+                // "acknowledged prefix" is exactly what must survive.
+                .sync_policy(SyncPolicy::EveryBatch)
+                // No auto-checkpoints: only explicit Checkpoint steps
+                // and clean shutdowns move the checkpoint frontier.
+                .checkpoint_every(0),
+        );
+    }
+    b.build()
+}
+
+fn start_backend(cfg: &SimConfig, root: Option<&Path>) -> Result<Backend, String> {
+    let ecfg = engine_cfg(cfg, root);
+    if cfg.tcp {
+        let server = Server::start(
+            "127.0.0.1:0",
+            ServerConfig {
+                engine: ecfg,
+                read_timeout: None,
+            },
+        )
+        .map_err(|e| format!("harness: server start: {e}"))?;
+        let client = Client::connect(server.local_addr())
+            .map_err(|e| format!("harness: client connect: {e}"))?;
+        Ok(Backend::Tcp { server, client })
+    } else {
+        Ok(Backend::Direct(
+            Engine::new(ecfg).map_err(|e| format!("harness: engine start: {e}"))?,
+        ))
+    }
+}
+
+/// Newest (highest-sequence) WAL segment in a shard directory. After a
+/// checkpoint the store reclaims older segments, so this is the live
+/// one.
+fn newest_segment(shard_dir: &Path) -> Result<PathBuf, String> {
+    let mut best: Option<(u64, PathBuf)> = None;
+    let entries = fs::read_dir(shard_dir)
+        .map_err(|e| format!("harness: read {}: {e}", shard_dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("harness: read {}: {e}", shard_dir.display()))?;
+        let name = entry.file_name();
+        if let Some(seq) = name.to_str().and_then(wal::parse_segment_file_name) {
+            if best.as_ref().is_none_or(|(b, _)| seq > *b) {
+                best = Some((seq, entry.path()));
+            }
+        }
+    }
+    best.map(|(_, p)| p)
+        .ok_or_else(|| format!("harness: no WAL segment in {}", shard_dir.display()))
+}
+
+/// The three per-key oracles plus the acknowledged-batch history they
+/// are rebuilt from after crashes and restarts.
+struct Oracles {
+    max_window: u64,
+    eps: f64,
+    exact: HashMap<u64, ExactCount>,
+    shadow: HashMap<u64, DetWave>,
+    eh: HashMap<u64, EhCount>,
+    history: Vec<Vec<(u64, Vec<bool>)>>,
+}
+
+impl Oracles {
+    fn new(cfg: &SimConfig) -> Oracles {
+        Oracles {
+            max_window: cfg.max_window,
+            eps: cfg.eps,
+            exact: HashMap::new(),
+            shadow: HashMap::new(),
+            eh: HashMap::new(),
+            history: Vec::new(),
+        }
+    }
+
+    fn apply(&mut self, batch: &[(u64, Vec<bool>)]) {
+        self.feed(batch);
+        self.history.push(batch.to_vec());
+    }
+
+    /// Reset to the first `acked` acknowledged batches (what recovery
+    /// must restore after a crash or what survives a restart).
+    fn rebuild(&mut self, acked: usize) {
+        self.history.truncate(acked);
+        self.exact.clear();
+        self.shadow.clear();
+        self.eh.clear();
+        let history = std::mem::take(&mut self.history);
+        for batch in &history {
+            self.feed(batch);
+        }
+        self.history = history;
+    }
+
+    fn feed(&mut self, batch: &[(u64, Vec<bool>)]) {
+        let (n, eps) = (self.max_window, self.eps);
+        for (key, bits) in batch {
+            let exact = self.exact.entry(*key).or_insert_with(|| ExactCount::new(n));
+            let shadow = self
+                .shadow
+                .entry(*key)
+                .or_insert_with(|| DetWave::new(n, eps).expect("validated parameters"));
+            let eh = self
+                .eh
+                .entry(*key)
+                .or_insert_with(|| EhCount::new(n, eps).expect("validated parameters"));
+            for &bit in bits {
+                exact.push_bit(bit);
+                eh.push_bit(bit);
+            }
+            shadow.push_bits(bits);
+        }
+    }
+
+    /// Check one answered query against all three oracles; returns the
+    /// deterministic trace line on success, the violation detail
+    /// otherwise.
+    fn check_query(
+        &self,
+        key: u64,
+        window: u64,
+        got: &Result<Estimate, WaveError>,
+    ) -> Result<String, String> {
+        let eps = self.eps;
+        let Some(exact) = self.exact.get(&key) else {
+            return match got {
+                Err(WaveError::UnknownKey { .. }) => {
+                    Ok(format!("query key={key} w={window} -> unknown"))
+                }
+                other => Err(format!(
+                    "query key={key} w={window}: expected UnknownKey, got {other:?}"
+                )),
+            };
+        };
+        let est = match got {
+            Ok(est) => *est,
+            Err(e) => {
+                return Err(format!(
+                    "query key={key} w={window}: unexpected error {e:?}"
+                ))
+            }
+        };
+        let truth = exact.query(window);
+        let shadow = self.shadow[&key]
+            .query(window)
+            .map_err(|e| format!("query key={key} w={window}: shadow wave failed: {e:?}"))?;
+        if est != shadow {
+            return Err(format!(
+                "query key={key} w={window}: engine {est:?} != shadow wave {shadow:?}"
+            ));
+        }
+        if !est.brackets(truth) {
+            return Err(format!(
+                "query key={key} w={window}: truth {truth} outside [{}, {}]",
+                est.lo, est.hi
+            ));
+        }
+        if est.exact && (est.value != truth as f64 || est.lo != truth || est.hi != truth) {
+            return Err(format!(
+                "query key={key} w={window}: exact-flagged {est:?} but truth is {truth}"
+            ));
+        }
+        if est.relative_error(truth) > eps + 1e-9 {
+            return Err(format!(
+                "query key={key} w={window}: wave error {} > eps {eps} (truth {truth}, value {})",
+                est.relative_error(truth),
+                est.value
+            ));
+        }
+        let eh = self.eh[&key]
+            .query(window)
+            .map_err(|e| format!("query key={key} w={window}: eh baseline failed: {e:?}"))?;
+        if !eh.brackets(truth) || eh.relative_error(truth) > eps + 1e-9 {
+            return Err(format!(
+                "query key={key} w={window}: eh baseline {eh:?} vs truth {truth} beyond eps {eps}"
+            ));
+        }
+        // Agreement-within-ε between the two independent synopses.
+        if (est.value - eh.value).abs() > 2.0 * eps * truth as f64 + 1e-9 {
+            return Err(format!(
+                "query key={key} w={window}: wave {} and eh {} disagree beyond 2·eps·truth={truth}",
+                est.value, eh.value
+            ));
+        }
+        Ok(format!(
+            "query key={key} w={window} -> v={} lo={} hi={} exact={} truth={truth} eh={}",
+            est.value, est.lo, est.hi, est.exact, eh.value
+        ))
+    }
+}
+
+/// Event trace with an incrementally maintained FNV-1a hash.
+struct Trace {
+    lines: Vec<String>,
+    hash: u64,
+}
+
+impl Trace {
+    fn new() -> Trace {
+        Trace {
+            lines: Vec::new(),
+            hash: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    fn push(&mut self, line: String) {
+        for b in line.bytes().chain(std::iter::once(b'\n')) {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.lines.push(line);
+    }
+}

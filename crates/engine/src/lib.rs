@@ -52,7 +52,7 @@
 
 use std::collections::HashMap;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -283,6 +283,9 @@ pub struct Engine<
     rec: Arc<R>,
     dropped_items: AtomicU64,
     backpressure_events: AtomicU64,
+    /// When set, workers skip the final clean-shutdown checkpoint so
+    /// Drop leaves the disk exactly as a hard crash would.
+    crashed: Arc<AtomicBool>,
     _synopsis: PhantomData<S>,
 }
 
@@ -354,6 +357,7 @@ where
             None => None,
         };
         let factory = Arc::new(factory);
+        let crashed = Arc::new(AtomicBool::new(false));
         let mut shards = Vec::with_capacity(num_shards);
         for shard in 0..num_shards {
             // Recover this shard's durable state before its worker
@@ -402,6 +406,7 @@ where
             let worker_depth = Arc::clone(&depth);
             let worker_factory = Arc::clone(&factory);
             let worker_rec = Arc::clone(&rec);
+            let worker_crashed = Arc::clone(&crashed);
             let worker = std::thread::Builder::new()
                 .name(format!("waves-engine-shard-{shard}"))
                 .spawn(move || {
@@ -412,6 +417,7 @@ where
                         worker_rec,
                         initial_keys,
                         persist,
+                        worker_crashed,
                     )
                 })
                 .expect("spawn shard worker");
@@ -427,6 +433,7 @@ where
             rec,
             dropped_items: AtomicU64::new(0),
             backpressure_events: AtomicU64::new(0),
+            crashed,
             _synopsis: PhantomData,
         })
     }
@@ -444,6 +451,16 @@ where
     /// Items shed so far by non-blocking ingest hitting full queues.
     pub fn dropped_items(&self) -> u64 {
         self.dropped_items.load(Ordering::Relaxed)
+    }
+
+    /// Crash-simulation support (used by `waves-dst`): make the next
+    /// Drop skip the final clean-shutdown checkpoint. Workers still
+    /// drain every enqueued command — acknowledged batches are applied
+    /// and WAL-appended under the configured sync policy — but the disk
+    /// is then left exactly as a hard process kill would leave it: a
+    /// synced WAL prefix plus whatever checkpoints already existed.
+    pub fn crash_on_drop(&self) {
+        self.crashed.store(true, Ordering::Relaxed);
     }
 
     /// Fibonacci-hash the key onto a shard: multiplicative mixing spreads
@@ -710,6 +727,7 @@ fn shard_worker<S, R, F>(
     rec: Arc<R>,
     initial_keys: HashMap<Key, S>,
     mut persist: Option<ShardPersist<S>>,
+    crashed: Arc<AtomicBool>,
 ) where
     S: BitSynopsis + Send + 'static,
     R: Recorder + Send + Sync + 'static,
@@ -807,6 +825,11 @@ fn shard_worker<S, R, F>(
         }
     }
     // Clean shutdown: land everything durably regardless of sync policy.
+    // A simulated crash ([`Engine::crash_on_drop`]) skips this so the
+    // WAL prefix — not a fresh checkpoint — is what recovery sees.
+    if crashed.load(Ordering::Relaxed) {
+        return;
+    }
     if let Some(p) = persist.as_mut() {
         if p.write_checkpoint(&keys, rec.as_ref()).is_err() {
             rec.event(Event {

@@ -5,18 +5,29 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic  0x57 0x41  (b"WA")
-//! 2       1     version (currently 1)
+//! 2       1     version (currently 2)
 //! 3       1     frame type (see the `TYPE_*` constants)
 //! 4       4     payload length, u32 big-endian
 //! 8       len   payload
+//! 8+len   4     CRC-32 of bytes [0, 8+len), u32 big-endian
 //! ```
 //!
 //! The fixed 8-byte header makes framing self-describing: a reader
-//! pulls the header, validates magic/version/type, bounds-checks the
+//! pulls the header, validates magic/version, bounds-checks the
 //! length against [`MAX_PAYLOAD_LEN`], then reads exactly `len` payload
-//! bytes. Anything that fails those checks is rejected *before* any
-//! allocation proportional to the claimed length, so a corrupt or
-//! adversarial length field cannot OOM the peer.
+//! bytes plus the 4-byte CRC trailer. Anything that fails those checks
+//! is rejected *before* any allocation proportional to the claimed
+//! length, so a corrupt or adversarial length field cannot OOM the
+//! peer.
+//!
+//! The CRC-32 trailer (same IEEE 802.3 polynomial as the store's
+//! on-disk records) covers header *and* payload, and is verified
+//! before any payload field is interpreted. Wire version 1 had no
+//! trailer, and the deterministic simulation harness (`waves-dst`)
+//! caught the consequence: a single byte flipped in transit inside an
+//! estimate reply's payload decoded silently into a wrong answer. With
+//! the trailer, corruption anywhere in a frame surfaces as
+//! [`FrameError::BadCrc`] — a typed error, never a wrong value.
 //!
 //! Payload scalars are big-endian; `f64` travels as `to_bits()`.
 //! Synopsis payloads ([`Frame::PushSynopsis`]) carry the synopsis's own
@@ -28,16 +39,21 @@ use waves_core::codec::{pack_bits, unpack_bits, CodecError};
 use waves_core::{DetWave, Estimate, SumWave, WaveError};
 use waves_eh::{EhCount, EhSum};
 use waves_engine::{EngineSnapshot, KeyedBits, ShardSnapshot};
+use waves_store::crc::crc32;
 
 /// First two header bytes of every frame.
 pub const MAGIC: [u8; 2] = *b"WA";
 
 /// Current protocol version. Bump on any incompatible layout change;
 /// peers reject other versions with [`FrameError::BadVersion`].
-pub const WIRE_VERSION: u8 = 1;
+/// Version 2 added the CRC-32 frame trailer.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Fixed header size in bytes (magic + version + type + length).
 pub const HEADER_LEN: usize = 8;
+
+/// Size of the CRC-32 trailer that follows every payload.
+pub const CRC_LEN: usize = 4;
 
 /// Upper bound on a frame payload. A claimed length above this is
 /// treated as corruption ([`FrameError::FrameTooLarge`]) rather than an
@@ -192,6 +208,8 @@ pub enum FrameError {
     FrameTooLarge(u32),
     /// The buffer ended before the frame did.
     Truncated,
+    /// The CRC-32 trailer did not match the header + payload bytes.
+    BadCrc { expected: u32, got: u32 },
     /// Structurally valid frame whose payload contents are nonsense.
     Malformed(&'static str),
 }
@@ -211,6 +229,12 @@ impl std::fmt::Display for FrameError {
                 )
             }
             FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::BadCrc { expected, got } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: trailer {expected:#010x}, computed {got:#010x}"
+                )
+            }
             FrameError::Malformed(what) => write!(f, "malformed frame payload: {what}"),
         }
     }
@@ -372,15 +396,18 @@ fn decode_error(r: &mut PayloadReader<'_>) -> Result<WaveError, FrameError> {
 pub struct WireCodec;
 
 impl WireCodec {
-    /// Serialize a frame: header plus payload, ready to write.
+    /// Serialize a frame: header, payload, CRC-32 trailer, ready to
+    /// write.
     pub fn encode(frame: &Frame) -> Vec<u8> {
         let (ty, payload) = Self::encode_payload(frame);
-        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CRC_LEN);
         out.extend_from_slice(&MAGIC);
         out.push(WIRE_VERSION);
         out.push(ty);
         put_u32(&mut out, payload.len() as u32);
         out.extend_from_slice(&payload);
+        let sum = crc32(&out);
+        put_u32(&mut out, sum);
         out
     }
 
@@ -464,11 +491,17 @@ impl WireCodec {
         if len as usize > MAX_PAYLOAD_LEN {
             return Err(FrameError::FrameTooLarge(len));
         }
-        let total = HEADER_LEN + len as usize;
+        let body_end = HEADER_LEN + len as usize;
+        let total = body_end + CRC_LEN;
         if buf.len() < total {
             return Err(FrameError::Truncated);
         }
-        let frame = Self::decode_payload(ty, &buf[HEADER_LEN..total])?;
+        let expected = u32::from_be_bytes(buf[body_end..total].try_into().unwrap());
+        let got = crc32(&buf[..body_end]);
+        if got != expected {
+            return Err(FrameError::BadCrc { expected, got });
+        }
+        let frame = Self::decode_payload(ty, &buf[HEADER_LEN..body_end])?;
         Ok((frame, total))
     }
 
@@ -583,16 +616,33 @@ impl WireCodec {
         if len > MAX_PAYLOAD_LEN {
             return Err(FrameError::FrameTooLarge(len as u32).into());
         }
-        let mut payload = vec![0u8; len];
-        r.read_exact(&mut payload)?;
-        let frame = Self::decode_payload(header[3], &payload)?;
-        Ok((frame, HEADER_LEN + len))
+        // One buffer holding header + payload + trailer so the CRC can
+        // be computed over a contiguous byte range.
+        let mut body = vec![0u8; HEADER_LEN + len + CRC_LEN];
+        body[..HEADER_LEN].copy_from_slice(&header);
+        r.read_exact(&mut body[HEADER_LEN..])?;
+        let body_end = HEADER_LEN + len;
+        let expected = u32::from_be_bytes(body[body_end..].try_into().unwrap());
+        let got = crc32(&body[..body_end]);
+        if got != expected {
+            return Err(FrameError::BadCrc { expected, got }.into());
+        }
+        let frame = Self::decode_payload(header[3], &body[HEADER_LEN..body_end])?;
+        Ok((frame, body.len()))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Recompute the CRC trailer after deliberately mutating a frame's
+    /// header or payload, so tests can probe post-checksum validation.
+    fn reseal(bytes: &mut Vec<u8>) {
+        bytes.truncate(bytes.len() - CRC_LEN);
+        let sum = crc32(bytes);
+        put_u32(bytes, sum);
+    }
 
     fn roundtrip(frame: Frame) {
         let bytes = WireCodec::encode(&frame);
@@ -695,9 +745,19 @@ mod tests {
         let mut bad = good.clone();
         bad[2] = 99;
         assert_eq!(WireCodec::decode(&bad), Err(FrameError::BadVersion(99)));
+        // An unknown type with a *valid* checksum (a well-formed frame
+        // from a future protocol) is UnknownType; without resealing it
+        // would be indistinguishable from corruption (BadCrc).
         let mut bad = good.clone();
         bad[3] = 0x7E;
+        reseal(&mut bad);
         assert_eq!(WireCodec::decode(&bad), Err(FrameError::UnknownType(0x7E)));
+        let mut bad = good.clone();
+        bad[3] = 0x7E;
+        assert!(matches!(
+            WireCodec::decode(&bad),
+            Err(FrameError::BadCrc { .. })
+        ));
         let mut bad = good.clone();
         bad[4..8].copy_from_slice(&u32::MAX.to_be_bytes());
         assert_eq!(
@@ -712,13 +772,46 @@ mod tests {
     #[test]
     fn trailing_garbage_in_payload_is_malformed() {
         let mut bytes = WireCodec::encode(&Frame::Ping);
-        // Claim one payload byte and supply it: Ping takes none.
+        // Claim one payload byte and supply it: Ping takes none. The
+        // frame is resealed so this exercises the payload check, not
+        // the checksum.
+        bytes.truncate(bytes.len() - CRC_LEN);
         bytes[4..8].copy_from_slice(&1u32.to_be_bytes());
         bytes.push(0xAA);
+        let sum = crc32(&bytes);
+        put_u32(&mut bytes, sum);
         assert_eq!(
             WireCodec::decode(&bytes),
             Err(FrameError::Malformed("trailing payload bytes"))
         );
+    }
+
+    /// The property the DST harness demanded: no single corrupt byte
+    /// anywhere in a frame — header, payload, or trailer — may decode
+    /// into a (possibly wrong) value. Wire version 1 failed this for
+    /// payload bytes; an estimate reply with one flipped byte decoded
+    /// silently into a wrong bound.
+    #[test]
+    fn any_single_byte_flip_is_rejected() {
+        let good = WireCodec::encode(&Frame::EstimateResp(Estimate {
+            value: 10.5,
+            lo: 9,
+            hi: 12,
+            exact: false,
+        }));
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0xFF;
+            assert!(
+                WireCodec::decode(&bad).is_err(),
+                "flipped byte {i} still decoded"
+            );
+            let mut cursor = std::io::Cursor::new(&bad);
+            assert!(
+                WireCodec::read_frame(&mut cursor).is_err(),
+                "flipped byte {i} still read from stream"
+            );
+        }
     }
 
     #[test]

@@ -125,6 +125,13 @@ impl<R: Recorder + Send + Sync + 'static> Server<R> {
         self.shared.referee.lock().unwrap().len()
     }
 
+    /// The hosted engine. Lets a harness drive engine-level operations
+    /// that have no wire frame — durable checkpoints and crash
+    /// simulation (`Engine::crash_on_drop`) in `waves-dst`.
+    pub fn engine(&self) -> &Engine<DetWave, R> {
+        &self.shared.engine
+    }
+
     /// Begin stopping: refuse new connections, unblock and end every
     /// live handler. Idempotent; returns without joining (see
     /// [`Server::wait`] / `Drop`).

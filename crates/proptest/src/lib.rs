@@ -11,8 +11,14 @@
 //!
 //! Differences from real proptest: cases are generated from a
 //! deterministic per-test seed (derived from the test name), and there
-//! is **no shrinking** — a failing case panics with the case index so
-//! it can be replayed by rerunning the test.
+//! is **no automatic shrink tree** — a failing case panics with the
+//! case index so it can be replayed by rerunning the test. For
+//! vector-shaped values there is explicit *element-removal* shrinking:
+//! [`shrink_elements`] (also reachable as
+//! `prop::collection::VecStrategy::shrink_failing`) greedily deletes
+//! chunks of a failing vector while a caller-supplied predicate keeps
+//! failing, which is what the `waves-dst` harness uses to minimize
+//! failing fault schedules.
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -38,6 +44,54 @@ impl TestRng {
 impl RngCore for TestRng {
     fn next_u64(&mut self) -> u64 {
         self.0.next_u64()
+    }
+}
+
+/// Greedy element-removal shrinking (delta-debugging style) for a
+/// failing vector-shaped input.
+///
+/// `failing` must currently fail (`still_fails(failing)` is true; this
+/// is debug-asserted). The shrinker repeatedly tries deleting chunks —
+/// starting at half the vector and halving down to single elements —
+/// keeping any candidate for which `still_fails` returns true. The
+/// result is 1-minimal with respect to single-element removal: deleting
+/// any one remaining element makes the failure disappear. Every
+/// candidate handed to `still_fails` is a subsequence of `failing`
+/// (order preserved, no mutation), so schedule-shaped inputs whose
+/// steps carry materialized data shrink soundly.
+pub fn shrink_elements<T, F>(failing: &[T], mut still_fails: F) -> Vec<T>
+where
+    T: Clone,
+    F: FnMut(&[T]) -> bool,
+{
+    debug_assert!(still_fails(failing), "input to shrink_elements must fail");
+    let mut cur: Vec<T> = failing.to_vec();
+    let mut chunk = (cur.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let mut candidate = Vec::with_capacity(cur.len() - (end - start));
+            candidate.extend_from_slice(&cur[..start]);
+            candidate.extend_from_slice(&cur[end..]);
+            if still_fails(&candidate) {
+                cur = candidate;
+                progressed = true;
+                // Do not advance: the next chunk slid into `start`.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            if !progressed {
+                return cur;
+            }
+            // A removal succeeded at granularity 1: one more sweep may
+            // now remove elements that were previously load-bearing.
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
     }
 }
 
@@ -277,13 +331,28 @@ pub mod prop {
                 (0..n).map(|_| self.element.sample(rng)).collect()
             }
         }
+
+        impl<S: Strategy, L: IntoSizeRange> VecStrategy<S, L>
+        where
+            S::Value: Clone,
+        {
+            /// Element-removal shrinking for a failing sample drawn from
+            /// this strategy: returns a 1-minimal subsequence that still
+            /// fails `still_fails`. See [`crate::shrink_elements`].
+            pub fn shrink_failing<F>(&self, failing: &[S::Value], still_fails: F) -> Vec<S::Value>
+            where
+                F: FnMut(&[S::Value]) -> bool,
+            {
+                crate::shrink_elements(failing, still_fails)
+            }
+        }
     }
 }
 
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
-        ProptestConfig, Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        shrink_elements, Just, ProptestConfig, Strategy,
     };
 }
 
@@ -439,6 +508,55 @@ mod tests {
             saw_push |= v.iter().any(|o| matches!(o, Op::Push(_)));
         }
         assert!(saw_push);
+    }
+
+    #[test]
+    fn shrink_elements_reaches_one_minimal_subsequence() {
+        // Failure = "contains a 7 and a 3, with the 7 before the 3".
+        let failing = vec![1, 7, 9, 2, 3, 3, 7, 5];
+        let fails = |v: &[i32]| {
+            let first7 = v.iter().position(|&x| x == 7);
+            match first7 {
+                Some(i) => v[i..].contains(&3),
+                None => false,
+            }
+        };
+        let min = crate::shrink_elements(&failing, fails);
+        assert!(fails(&min), "shrunk result must still fail");
+        assert_eq!(min, vec![7, 3], "expected the minimal witness");
+        // 1-minimality: removing any single element un-fails it.
+        for i in 0..min.len() {
+            let mut sub = min.clone();
+            sub.remove(i);
+            assert!(!fails(&sub));
+        }
+    }
+
+    #[test]
+    fn shrink_failing_on_vec_strategy_delegates() {
+        let strat = crate::prop::collection::vec(0u64..100, 0..20usize);
+        let mut rng = crate::TestRng::for_case("shrink_failing", 0);
+        let mut sample = strat.sample(&mut rng);
+        sample.push(63); // ensure the witness is present
+        let fails = |v: &[u64]| v.contains(&63);
+        let min = strat.shrink_failing(&sample, fails);
+        assert_eq!(min, vec![63]);
+    }
+
+    #[test]
+    fn shrink_elements_candidates_are_subsequences() {
+        let failing: Vec<u32> = (0..57).collect();
+        let fails = |v: &[u32]| {
+            // Every candidate must be an order-preserving subsequence.
+            let mut it = failing.iter();
+            assert!(
+                v.iter().all(|x| it.any(|y| y == x)),
+                "candidate {v:?} is not a subsequence"
+            );
+            v.iter().copied().sum::<u32>() >= 100
+        };
+        let min = crate::shrink_elements(&failing, fails);
+        assert!(fails(&min));
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub struct KeyedWorkload {
     hot_fraction: f64,
     /// Size of the hot set (key ids `0..hot_keys`).
     hot_keys: u64,
+    /// When set, each event's burst length is drawn uniformly from this
+    /// inclusive range instead of being fixed at `bits_per_event`.
+    burst_range: Option<(usize, usize)>,
 }
 
 impl KeyedWorkload {
@@ -48,6 +51,7 @@ impl KeyedWorkload {
             density,
             hot_fraction: 0.0,
             hot_keys: 1,
+            burst_range: None,
         }
     }
 
@@ -59,6 +63,16 @@ impl KeyedWorkload {
         assert!(hot_keys >= 1);
         self.hot_fraction = hot_fraction;
         self.hot_keys = hot_keys.min(self.num_keys);
+        self
+    }
+
+    /// Vary each event's burst length uniformly over `lo..=hi` bits
+    /// instead of the fixed `bits_per_event`. Irregular bursts exercise
+    /// window boundaries that fixed-length events systematically miss
+    /// (the DST harness relies on this to land expiries mid-batch).
+    pub fn with_burst_range(mut self, lo: usize, hi: usize) -> Self {
+        assert!(lo >= 1 && lo <= hi);
+        self.burst_range = Some((lo, hi));
         self
     }
 
@@ -84,9 +98,11 @@ impl KeyedWorkload {
     /// Produce the next event: a key plus its bit burst.
     pub fn next_event(&mut self) -> (u64, Vec<bool>) {
         let key = self.next_key();
-        let bits = (0..self.bits_per_event)
-            .map(|_| self.rng.gen_bool(self.density))
-            .collect();
+        let len = match self.burst_range {
+            Some((lo, hi)) => self.rng.gen_range(lo..=hi),
+            None => self.bits_per_event,
+        };
+        let bits = (0..len).map(|_| self.rng.gen_bool(self.density)).collect();
         (key, bits)
     }
 
@@ -118,6 +134,18 @@ mod tests {
             assert!(k < 32);
             assert_eq!(bits.len(), 5);
         }
+    }
+
+    #[test]
+    fn burst_range_varies_lengths_within_bounds() {
+        let mut w = KeyedWorkload::new(8, 4, 0.5, 11).with_burst_range(1, 9);
+        let lens: Vec<usize> = (0..300).map(|_| w.next_event().1.len()).collect();
+        assert!(lens.iter().all(|&l| (1..=9).contains(&l)));
+        assert!(lens.iter().any(|&l| l != lens[0]), "lengths never varied");
+        // Still seed-reproducible.
+        let mut v = KeyedWorkload::new(8, 4, 0.5, 11).with_burst_range(1, 9);
+        let again: Vec<usize> = (0..300).map(|_| v.next_event().1.len()).collect();
+        assert_eq!(lens, again);
     }
 
     #[test]

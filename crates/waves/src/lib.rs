@@ -129,3 +129,11 @@ pub mod store {
 pub mod streamgen {
     pub use waves_streamgen::*;
 }
+
+/// Deterministic simulation testing: seed-replayable fault schedules
+/// driving the full engine + net + store stack against exact and EH
+/// oracles (re-export of `waves-dst`). Replay a failure with
+/// `waves dst --seed <n>`.
+pub mod dst {
+    pub use waves_dst::*;
+}

@@ -1,0 +1,43 @@
+//! Mutation smoke test: proves the DST harness has teeth.
+//!
+//! Built only under `RUSTFLAGS="--cfg dst_mutation"`, which arms a
+//! planted off-by-one in `DetWave` expiry (entries expire one stream
+//! position early — see `crates/core/src/det_wave.rs`). The harness
+//! must catch the mutant against the exact oracle within 200 seeds and
+//! shrink the failing schedule to at most a quarter of its length:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg dst_mutation" cargo test -p waves --test dst_mutation
+//! ```
+//!
+//! In a normal build this file compiles to an empty test target.
+#![cfg(dst_mutation)]
+
+use waves::dst::{run, run_or_minimize, Schedule};
+
+#[test]
+fn planted_expiry_mutation_is_caught_within_200_seeds() {
+    for seed in 0..200u64 {
+        let sched = Schedule::from_seed(seed);
+        let fail = match run_or_minimize(&sched) {
+            Ok(_) => continue,
+            Err(fail) => fail,
+        };
+        println!("mutant caught: {fail}");
+        assert!(
+            !fail.minimized.steps.is_empty(),
+            "minimized schedule shrunk to nothing yet claims to fail"
+        );
+        assert!(
+            fail.minimized.steps.len() * 4 <= sched.steps.len(),
+            "shrinker too weak: {} of {} steps survive minimization",
+            fail.minimized.steps.len(),
+            sched.steps.len()
+        );
+        // The minimized schedule is itself a failing repro, not just a
+        // souvenir of one.
+        assert!(run(&fail.minimized).is_err(), "minimized schedule passes");
+        return;
+    }
+    panic!("planted det_wave expiry mutation survived 200 seeds");
+}

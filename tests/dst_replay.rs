@@ -1,0 +1,128 @@
+//! Replay identity and shrinker soundness for the deterministic
+//! simulation harness (`waves-dst`).
+//!
+//! The harness's whole value rests on two properties: a seed is a
+//! complete description of a run (same seed ⇒ bit-identical trace), and
+//! a minimized failing schedule is still a failing schedule. Both are
+//! pinned here; `waves dst --seed <n>` relies on the first, the
+//! `DST FAILURE` shrink output on the second.
+
+use proptest::prelude::*;
+use waves::dst::{run, run_or_minimize, run_seed, Schedule, Step};
+
+/// Same seed, run twice: identical trace, line for line, hash for hash.
+/// This is the property that makes `waves dst --seed <n>` a *replay*
+/// rather than a rerun — faults, restarts, and WAL cuts included.
+#[test]
+fn trace_is_a_pure_function_of_the_seed() {
+    for seed in 0..10u64 {
+        let a = run_seed(seed).unwrap_or_else(|v| panic!("{v}"));
+        let b = run_seed(seed).unwrap_or_else(|v| panic!("{v}"));
+        assert_eq!(
+            a.trace_hash, b.trace_hash,
+            "seed {seed}: trace hash diverged"
+        );
+        assert_eq!(a.trace, b.trace, "seed {seed}: trace lines diverged");
+        assert!(a.checks > 0, "seed {seed}: ran no oracle checks");
+    }
+}
+
+/// Schedule generation never consults ambient state: equal seeds give
+/// equal schedules, different seeds (overwhelmingly) different ones.
+#[test]
+fn schedule_generation_is_pure() {
+    for seed in 0..50u64 {
+        assert_eq!(Schedule::from_seed(seed), Schedule::from_seed(seed));
+    }
+    let distinct: std::collections::HashSet<u64> = (0..50)
+        .map(|s| {
+            let sched = Schedule::from_seed(s);
+            sched.steps.len() as u64 ^ (sched.cfg.max_window << 8)
+        })
+        .collect();
+    assert!(
+        distinct.len() > 10,
+        "seeds produce near-identical schedules"
+    );
+}
+
+/// On a passing schedule, the minimizing front-end is an identity
+/// wrapper around `run`.
+#[test]
+fn run_or_minimize_agrees_with_run_on_passing_seeds() {
+    for seed in [0u64, 1, 2] {
+        let sched = Schedule::from_seed(seed);
+        let direct = run(&sched).unwrap_or_else(|v| panic!("{v}"));
+        let wrapped = run_or_minimize(&sched).unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(direct.trace_hash, wrapped.trace_hash);
+    }
+}
+
+#[test]
+fn replay_hint_names_the_seed() {
+    let sched = Schedule::from_seed(77);
+    assert!(sched.replay_hint().contains("--seed 77"));
+}
+
+fn count_ingests(steps: &[Step]) -> usize {
+    steps
+        .iter()
+        .filter(|s| matches!(s, Step::Ingest(_)))
+        .count()
+}
+
+fn has_query_after_ingest(steps: &[Step]) -> bool {
+    let mut seen_ingest = false;
+    for s in steps {
+        match s {
+            Step::Ingest(_) => seen_ingest = true,
+            Step::Query { .. } if seen_ingest => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// `shrunk` must be an order-preserving subsequence of `orig` — the
+/// shrinker may only delete steps, never reorder or invent them.
+fn is_subsequence(shrunk: &[Step], orig: &[Step]) -> bool {
+    let mut it = orig.iter();
+    shrunk.iter().all(|s| it.any(|o| o == s))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Shrinker soundness on real generated schedules: for any failure
+    /// predicate over the step vector, the shrunk schedule still fails,
+    /// is a subsequence of the original, and is 1-minimal (removing any
+    /// single remaining step makes it pass).
+    #[test]
+    fn shrunk_failing_schedule_still_fails(seed in 0u64..5000, k in 1usize..4) {
+        let sched = Schedule::from_seed(seed);
+        let fails = |steps: &[Step]| count_ingests(steps) >= k;
+        if fails(&sched.steps) {
+            let shrunk = shrink_elements(&sched.steps, fails);
+            prop_assert!(fails(&shrunk), "shrunk schedule no longer fails");
+            prop_assert!(is_subsequence(&shrunk, &sched.steps));
+            for i in 0..shrunk.len() {
+                let mut fewer = shrunk.clone();
+                fewer.remove(i);
+                prop_assert!(!fails(&fewer), "not 1-minimal: step {i} removable");
+            }
+        }
+    }
+
+    /// Same, for an order-sensitive predicate — deletion must preserve
+    /// relative order or this cannot stay failing.
+    #[test]
+    fn shrinking_preserves_step_order(seed in 0u64..5000) {
+        let sched = Schedule::from_seed(seed);
+        if has_query_after_ingest(&sched.steps) {
+            let shrunk = shrink_elements(&sched.steps, has_query_after_ingest);
+            prop_assert!(has_query_after_ingest(&shrunk));
+            prop_assert!(is_subsequence(&shrunk, &sched.steps));
+            prop_assert_eq!(shrunk.len(), 2, "minimal witness is one ingest + one query");
+        }
+    }
+}

@@ -2,101 +2,118 @@
 //! querying the engine equals querying a single-threaded synopsis fed
 //! the same bits in the same order — sharding, batching, and channels
 //! must not change a single answer.
+//!
+//! Scenarios are driven through the shared `waves::dst` schedule
+//! builder: the simulator checks every answer against the exact
+//! ring-buffer oracle, a shadow `DetWave`, and the EH baseline, and a
+//! violation panics with the schedule seed so the failure replays
+//! exactly — no bespoke RNG plumbing in this file.
 
 use std::collections::HashMap;
-use waves::streamgen::KeyedWorkload;
-use waves::{DetWave, Engine, EngineConfig, WaveError};
+use waves::dst::{run, RunReport, Schedule, Step};
 
-#[test]
-fn engine_matches_per_key_det_wave_oracle() {
-    let (num_keys, window, eps) = (300u64, 256u64, 0.2f64);
-    let cfg = EngineConfig::builder()
-        .num_shards(4)
-        .max_window(window)
-        .eps(eps)
-        .build();
-    let engine = Engine::new(cfg).unwrap();
-    let mut oracles: HashMap<u64, DetWave> = HashMap::new();
-
-    // Skewed workload: hot keys see many interleaved batches, cold keys
-    // few — both paths must agree with the oracle.
-    let mut workload = KeyedWorkload::new(num_keys, 16, 0.4, 99).with_hot_set(0.5, 8);
-    for _ in 0..40 {
-        let batch = workload.next_batch(128);
-        for (key, bits) in &batch {
-            oracles
-                .entry(*key)
-                .or_insert_with(|| {
-                    DetWave::builder()
-                        .max_window(window)
-                        .eps(eps)
-                        .build()
-                        .unwrap()
-                })
-                .push_bits(bits);
-        }
-        engine.ingest_batch_blocking(&batch);
-    }
-    engine.flush();
-
-    let mut touched = 0usize;
-    for key in 0..num_keys {
-        match oracles.get(&key) {
-            Some(oracle) => {
-                touched += 1;
-                for w in [1, window / 3, window] {
-                    assert_eq!(
-                        engine.query(key, w).unwrap(),
-                        oracle.query(w).unwrap(),
-                        "key={key} window={w}"
-                    );
-                }
-            }
-            None => assert_eq!(
-                engine.query(key, window).err(),
-                Some(WaveError::UnknownKey { key })
-            ),
-        }
-    }
-    // The workload is big enough that most keys were hit.
-    assert!(
-        touched > (num_keys as usize) / 2,
-        "only {touched} keys touched"
-    );
-    assert_eq!(engine.snapshot().keys(), touched);
+/// Run a schedule, panicking with the replay seed on any violation.
+fn check(sched: &Schedule) -> RunReport {
+    run(sched).unwrap_or_else(|v| {
+        panic!(
+            "{v}\nreplay: rebuild with Schedule::builder({}) exactly as this test does",
+            sched.seed
+        )
+    })
 }
 
 #[test]
-fn engine_matches_eh_oracle() {
+fn engine_matches_per_key_oracles_under_skewed_multishard_workload() {
+    // Skewed workload over 4 shards: hot keys see many interleaved
+    // batches, cold keys few — both paths must agree with the oracle
+    // at every queried window, and untouched keys must stay UnknownKey
+    // (query_all stretches past the ingested key space inside the sim).
+    let mut b = Schedule::builder(99)
+        .num_keys(300)
+        .num_shards(4)
+        .max_window(256)
+        .eps(0.2);
+    for _ in 0..40 {
+        b = b.ingest_random(128);
+    }
+    b = b.flush().snapshot().query_all();
+    for key in 0..300u64 {
+        b = b.query(key, 1).query(key, 256 / 3);
+    }
+    let sched = b.build();
+    let report = check(&sched);
+    assert!(
+        report.checks >= 900,
+        "only {} oracle checks ran",
+        report.checks
+    );
+}
+
+#[test]
+fn engine_survives_interleaved_operations_from_seed_derived_steps() {
+    // Seed-derived step soup (ingests, queries, flushes, snapshots,
+    // restarts) over 3 shards: the generator's weights exercise the
+    // paths a scripted scenario misses.
+    let sched = Schedule::builder(4242)
+        .num_keys(24)
+        .num_shards(3)
+        .max_window(128)
+        .eps(0.25)
+        .random_steps(80)
+        .flush()
+        .query_all()
+        .build();
+    let report = check(&sched);
+    assert!(report.checks > 0, "schedule ran no oracle checks");
+}
+
+/// An engine hosting `EhCount` synopses (instead of the default
+/// `DetWave`) must equal a single-threaded EH fed the same bits. The
+/// workload is extracted from a schedule so the seed is the only
+/// source of randomness.
+#[test]
+fn eh_engine_matches_eh_oracle_on_schedule_workload() {
     let (window, eps) = (128u64, 0.25f64);
-    let cfg = EngineConfig::builder()
+    let mut b = Schedule::builder(7)
+        .num_keys(64)
+        .max_window(window)
+        .eps(eps);
+    for _ in 0..30 {
+        b = b.ingest_random(64);
+    }
+    let sched = b.build();
+
+    let cfg = waves::EngineConfig::builder()
         .num_shards(3)
         .max_window(window)
         .eps(eps)
         .build();
-    let engine = Engine::with_factory(cfg, move || waves::EhCount::new(window, eps)).unwrap();
+    let engine =
+        waves::Engine::with_factory(cfg, move || waves::EhCount::new(window, eps)).unwrap();
     let mut oracles: HashMap<u64, waves::EhCount> = HashMap::new();
-
-    let mut workload = KeyedWorkload::new(64, 9, 0.6, 7);
-    for _ in 0..30 {
-        let batch = workload.next_batch(64);
-        for (key, bits) in &batch {
+    for step in &sched.steps {
+        let Step::Ingest(batch) = step else {
+            continue;
+        };
+        for (key, bits) in batch {
             let oracle = oracles
                 .entry(*key)
                 .or_insert_with(|| waves::EhCount::new(window, eps).unwrap());
-            for &b in bits {
-                oracle.push_bit(b);
+            for &bit in bits {
+                oracle.push_bit(bit);
             }
         }
-        engine.ingest_batch_blocking(&batch);
+        engine.ingest_batch_blocking(batch);
     }
     engine.flush();
 
+    assert!(!oracles.is_empty(), "schedule ingested nothing");
     for (key, oracle) in &oracles {
         assert_eq!(
             engine.query(*key, window).unwrap(),
             oracle.query(window).unwrap(),
-            "key={key}"
+            "key={key} (schedule seed {})",
+            sched.seed
         );
     }
 }

@@ -2,8 +2,17 @@
 //! typed errors — `WaveError::Io` for closed/corrupt streams,
 //! `WaveError::Timeout` for stalls — inside its configured budget.
 //! Never a hang, never a panic, never a silently wrong answer.
+//!
+//! The fault scenarios are driven through the shared `waves::dst`
+//! schedule builder: the simulator runs a real server behind a real
+//! `ChaosProxy`, asserts the chaos contract against its oracles (a
+//! correct answer or a typed error within the hang budget), and a
+//! violation panics with the schedule seed. The remaining hand-written
+//! tests pin RNG-free specifics the sim deliberately leaves loose:
+//! exact timeout metadata and the retry machinery.
 
 use std::time::{Duration, Instant};
+use waves::dst::{run, FaultSpec, Schedule};
 use waves::net::{ChaosProxy, Client, ClientConfig, Fault, Server, ServerConfig};
 use waves::{EngineConfig, WaveError};
 
@@ -38,6 +47,16 @@ fn start_server() -> Server {
 /// scheduler noise, far below anything a human would call a hang.
 const HANG_BUDGET: Duration = Duration::from_secs(5);
 
+/// Run a schedule, panicking with the replay seed on any violation.
+fn check(sched: &Schedule) {
+    run(sched).unwrap_or_else(|v| {
+        panic!(
+            "{v}\nreplay: rebuild with Schedule::builder({}) exactly as this test does",
+            sched.seed
+        )
+    });
+}
+
 #[test]
 fn control_passthrough_proxy_is_transparent() {
     let server = start_server();
@@ -49,29 +68,54 @@ fn control_passthrough_proxy_is_transparent() {
     assert!(proxy.bytes_forwarded() > 0);
 }
 
+/// Dropped, stalled, truncated, and corrupted replies, each as one
+/// schedule: the sim's chaos step demands a correct answer or a typed
+/// error within its hang budget — and because the answer is checked
+/// against the oracle, "wrong answer decoded from a corrupt frame"
+/// fails loudly (the bug class that forced the wire-v2 CRC trailer).
 #[test]
-fn dropped_connections_surface_typed_io_errors() {
-    let server = start_server();
-    let proxy = ChaosProxy::start(server.local_addr(), Fault::DropConnection).unwrap();
-    let t0 = Instant::now();
-    // Either connect itself fails, or the first request does — both
-    // must be a typed error, quickly.
-    let outcome =
-        Client::connect_with(proxy.local_addr(), fast_cfg()).and_then(|mut client| client.ping());
-    let err = outcome.unwrap_err();
-    assert!(
-        matches!(err, WaveError::Io(_) | WaveError::Timeout { .. }),
-        "{err:?}"
-    );
-    assert!(t0.elapsed() < HANG_BUDGET, "took {:?}", t0.elapsed());
-    drop(server);
+fn chaos_faults_surface_typed_errors_never_wrong_answers() {
+    let faults = [
+        FaultSpec::DropConnection,
+        FaultSpec::DelayMs(120),
+        FaultSpec::TruncateAfter(3),
+        FaultSpec::CorruptByteAt(0),  // reply frame magic
+        FaultSpec::CorruptByteAt(12), // inside the query reply's frame
+    ];
+    for (i, fault) in faults.into_iter().enumerate() {
+        let sched = Schedule::builder(7000 + i as u64)
+            .num_keys(3)
+            .ingest_random(5)
+            .flush()
+            .chaos(fault, 1, 64)
+            .query_all()
+            .build();
+        check(&sched);
+    }
+}
+
+/// Sweep the corrupted byte across the whole reply stream — headers,
+/// payloads, CRC trailers, and offsets beyond the reply (which leave
+/// the exchange intact). No offset may produce a wrong answer.
+#[test]
+fn corruption_at_any_reply_offset_is_never_a_wrong_answer() {
+    for off in 0..48usize {
+        let sched = Schedule::builder(8000 + off as u64)
+            .num_keys(2)
+            .ingest_random(4)
+            .chaos(FaultSpec::CorruptByteAt(off), 0, 32)
+            .query_all()
+            .build();
+        check(&sched);
+    }
 }
 
 #[test]
 fn stalled_replies_surface_timeout_within_budget() {
     let server = start_server();
     // Delay longer than the client's read timeout: the reply exists but
-    // arrives too late.
+    // arrives too late. Kept hand-written for the exact metadata — the
+    // sim only demands "some typed error".
     let proxy =
         ChaosProxy::start(server.local_addr(), Fault::Delay(Duration::from_secs(2))).unwrap();
     let cfg = ClientConfig {
@@ -91,62 +135,11 @@ fn stalled_replies_surface_timeout_within_budget() {
     assert!(t0.elapsed() < HANG_BUDGET, "took {:?}", t0.elapsed());
 }
 
+/// A corrupt reply must be called out as data corruption, with the
+/// source chain reaching the underlying `io::Error`.
 #[test]
-fn truncated_replies_surface_io_not_hang() {
+fn corrupted_reply_surfaces_invalid_data() {
     let server = start_server();
-    // Let the reply's first few bytes through, then cut the stream: the
-    // client sees EOF mid-frame.
-    let proxy = ChaosProxy::start(server.local_addr(), Fault::TruncateAfter(3)).unwrap();
-    let mut client = Client::connect_with(
-        proxy.local_addr(),
-        ClientConfig {
-            retries: 0,
-            ..fast_cfg()
-        },
-    )
-    .unwrap();
-    let t0 = Instant::now();
-    let err = client.ping().unwrap_err();
-    assert!(
-        matches!(err, WaveError::Io(_) | WaveError::Timeout { .. }),
-        "{err:?}"
-    );
-    assert!(t0.elapsed() < HANG_BUDGET, "took {:?}", t0.elapsed());
-}
-
-#[test]
-fn corrupted_header_surfaces_invalid_data() {
-    let server = start_server();
-    // Flip the magic byte of the server's reply: framing is broken and
-    // the client must call it out as data corruption.
-    let proxy = ChaosProxy::start(server.local_addr(), Fault::CorruptByteAt(0)).unwrap();
-    let mut client = Client::connect_with(
-        proxy.local_addr(),
-        ClientConfig {
-            retries: 0,
-            ..fast_cfg()
-        },
-    )
-    .unwrap();
-    let t0 = Instant::now();
-    let err = client.ping().unwrap_err();
-    match &err {
-        WaveError::Io(io) => {
-            assert_eq!(io.kind(), std::io::ErrorKind::InvalidData, "{io}");
-        }
-        other => panic!("expected Io(InvalidData), got {other:?}"),
-    }
-    // The source chain reaches the underlying io::Error.
-    assert!(std::error::Error::source(&err).is_some());
-    assert!(t0.elapsed() < HANG_BUDGET, "took {:?}", t0.elapsed());
-}
-
-#[test]
-fn corrupted_payload_surfaces_invalid_data() {
-    let server = start_server();
-    // Corrupt stream offset 12: the ingest's 8-byte Ok reply passes
-    // clean (offsets 0..8), and the corruption lands inside the query
-    // reply's frame — breaking its header length field or its payload.
     let proxy = ChaosProxy::start(server.local_addr(), Fault::CorruptByteAt(12)).unwrap();
     let mut client = Client::connect_with(
         proxy.local_addr(),
@@ -156,23 +149,20 @@ fn corrupted_payload_surfaces_invalid_data() {
         },
     )
     .unwrap();
+    // The ingest's Ok reply occupies stream offsets 0..12 (8-byte
+    // header + 4-byte CRC trailer); offset 12 is the first byte of the
+    // query reply's frame, so the flip breaks its magic.
     client.ingest(5, &[true, true, true]).unwrap();
-    // Same-key query rides the same shard FIFO, so no flush needed (and
-    // a flush reply would shift the corrupted offset).
-    // The exchange must not hang, and no wrong estimate may pass
-    // silently: 3 bits were pushed, so a successful decode must say 3
-    // (corrupting payload byte 12 flips the estimate's value bits,
-    // which the typed-error path catches as InvalidData at the header,
-    // or — for payload corruption — would change `value`; the codec's
-    // trailing-bytes and flag checks bound what slips through).
     let t0 = Instant::now();
-    match client.query(5, 64) {
-        Ok(est) => assert_eq!(est.value, 3.0, "corruption produced a wrong answer"),
-        Err(err) => assert!(
-            matches!(err, WaveError::Io(_) | WaveError::Timeout { .. }),
-            "{err:?}"
-        ),
+    let err = client.query(5, 64).unwrap_err();
+    match &err {
+        WaveError::Io(io) => {
+            assert_eq!(io.kind(), std::io::ErrorKind::InvalidData, "{io}");
+        }
+        other => panic!("expected Io(InvalidData), got {other:?}"),
     }
+    // The source chain reaches the underlying io::Error.
+    assert!(std::error::Error::source(&err).is_some());
     assert!(t0.elapsed() < HANG_BUDGET, "took {:?}", t0.elapsed());
 }
 
