@@ -98,6 +98,7 @@ pub fn run() {
         ServerConfig {
             engine: engine_cfg(),
             read_timeout: None,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -146,6 +147,7 @@ pub fn run() {
         ServerConfig {
             engine: engine_cfg(),
             read_timeout: None,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -174,6 +176,7 @@ mod tests {
             ServerConfig {
                 engine: engine_cfg(),
                 read_timeout: None,
+                ..Default::default()
             },
         )
         .unwrap();

@@ -9,17 +9,25 @@
 //! 1. `push_bit` (the uninstrumented seed path);
 //! 2. `push_bit_recorded(&NoopRecorder)` (instrumentation compiled out);
 //! 3. `push_bit_recorded(&MetricsRegistry)` (live counters + latency
-//!    histogram — the `--stats` price).
+//!    histogram — the `--stats` price);
+//! 4. the span-guard pattern over a `NoopRecorder` (the tracing hook
+//!    with tracing disabled — `trace_enabled()` folds to `false`, so
+//!    the guard must compile down to the plain push);
+//! 5. the same guard over a live [`SpanRecorder`] with an active
+//!    [`TraceCtx`] (every push records a span into the ring).
 //!
 //! Configurations are interleaved round-robin across repetitions and
 //! each reports its best (minimum) per-item time, which strips
-//! scheduler/frequency noise; the acceptance line checks noop overhead
-//! against the 2% budget.
+//! scheduler/frequency noise; the acceptance lines check the noop
+//! recorder AND the noop span guard against the 2% budget.
 
 use crate::table::{f, Table};
 use std::time::Instant;
 use waves_core::DetWave;
-use waves_obs::{MetricsRegistry, NoopRecorder};
+use waves_obs::trace::{next_span_id, now_ns, ROOT_SPAN_ID};
+use waves_obs::{
+    MetricsRegistry, NoopRecorder, Recorder, Span, SpanRecorder, Stage, TraceCtx, TraceId,
+};
 
 const REPS: usize = 7;
 const ITEMS: usize = 1 << 20;
@@ -49,6 +57,26 @@ fn best_ns_per_item<F: FnMut(&mut DetWave, bool)>(
     best
 }
 
+/// The span-guard pattern from the engine hot path, verbatim: gate on
+/// `ctx.active() && rec.trace_enabled()`, read the clock only inside the
+/// guard, record the [`Span`] after the work. Over a `NoopRecorder` the
+/// whole thing must fold away.
+#[inline]
+fn push_span_guarded<R: Recorder>(wave: &mut DetWave, bit: bool, rec: &R, ctx: TraceCtx) {
+    let guard = (ctx.active() && rec.trace_enabled()).then(|| (next_span_id(), now_ns()));
+    wave.push_bit_recorded(bit, rec);
+    if let Some((id, t0)) = guard {
+        rec.span(Span {
+            trace: ctx.trace,
+            id,
+            parent: ctx.parent,
+            stage: Stage::Shard,
+            start_ns: t0,
+            dur_ns: now_ns() - t0,
+        });
+    }
+}
+
 pub fn run() {
     println!("E17 — observability overhead on DetWave::push_bit");
     println!("=================================================\n");
@@ -67,10 +95,22 @@ pub fn run() {
         .collect();
 
     let registry = MetricsRegistry::new();
+    let ring = SpanRecorder::new();
+    let traced_ctx = TraceCtx {
+        trace: TraceId(0xE17),
+        parent: ROOT_SPAN_ID,
+    };
     let plain = best_ns_per_item(n, eps, &bits, |w, b| w.push_bit(b));
     let noop = best_ns_per_item(n, eps, &bits, |w, b| w.push_bit_recorded(b, &NoopRecorder));
     let live = best_ns_per_item(n, eps, &bits, |w, b| w.push_bit_recorded(b, &registry));
+    let noop_span = best_ns_per_item(n, eps, &bits, |w, b| {
+        push_span_guarded(w, b, &NoopRecorder, TraceCtx::NONE)
+    });
+    let live_span = best_ns_per_item(n, eps, &bits, |w, b| {
+        push_span_guarded(w, b, &ring, traced_ctx)
+    });
     std::hint::black_box(registry.snapshot());
+    std::hint::black_box(ring.total_recorded());
 
     let pct = |a: f64, base: f64| 100.0 * (a - base) / base;
     let mut t = Table::new(&["configuration", "best ns/item", "vs plain"]);
@@ -85,6 +125,16 @@ pub fn run() {
         f(live),
         format!("{:+.2}%", pct(live, plain)),
     ]);
+    t.row(&[
+        "span guard + NoopRecorder (untraced)".into(),
+        f(noop_span),
+        format!("{:+.2}%", pct(noop_span, plain)),
+    ]);
+    t.row(&[
+        "span guard + SpanRecorder (traced)".into(),
+        f(live_span),
+        format!("{:+.2}%", pct(live_span, plain)),
+    ]);
     t.print();
 
     let overhead = pct(noop, plain);
@@ -92,8 +142,14 @@ pub fn run() {
         "\nnoop-recorder overhead: {overhead:+.2}% (budget: <= 2%) — {}",
         crate::verdict::word(overhead <= 2.0)
     );
-    println!("Expected shape: the noop column matches plain to measurement noise;");
-    println!("the live registry pays a few ns for two relaxed atomics per item.");
+    let span_overhead = pct(noop_span, plain);
+    println!(
+        "noop-span-guard overhead: {span_overhead:+.2}% (budget: <= 2%) — {}",
+        crate::verdict::word(span_overhead <= 2.0)
+    );
+    println!("Expected shape: the noop columns match plain to measurement noise;");
+    println!("the live registry pays a few ns for two relaxed atomics per item,");
+    println!("and the traced span guard adds two clock reads plus a ring push.");
 }
 
 #[cfg(test)]
@@ -122,5 +178,35 @@ mod tests {
         assert_eq!(a.encode(), c.encode());
         assert!(!NoopRecorder.enabled());
         assert!(registry.enabled());
+    }
+
+    /// Same contract for the tracing hook: span-guarded pushes leave the
+    /// wave bit-identical to plain pushes, the noop guard records
+    /// nothing, and the live guard records one span per push.
+    #[test]
+    fn span_guard_preserves_state_and_records() {
+        let ring = SpanRecorder::new();
+        let ctx = TraceCtx {
+            trace: TraceId(42),
+            parent: ROOT_SPAN_ID,
+        };
+        let mut a = DetWave::new(256, 0.1).unwrap();
+        let mut b = DetWave::new(256, 0.1).unwrap();
+        let mut c = DetWave::new(256, 0.1).unwrap();
+        let mut x = 7u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let bit = (x >> 62) & 1 == 1;
+            a.push_bit(bit);
+            push_span_guarded(&mut b, bit, &NoopRecorder, TraceCtx::NONE);
+            push_span_guarded(&mut c, bit, &ring, ctx);
+        }
+        assert_eq!(a.encode(), b.encode());
+        assert_eq!(a.encode(), c.encode());
+        assert_eq!(ring.total_recorded(), 500);
+        assert!(ring
+            .trace(TraceId(42))
+            .iter()
+            .all(|s| s.stage == Stage::Shard && s.parent == ROOT_SPAN_ID));
     }
 }

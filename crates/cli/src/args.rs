@@ -20,6 +20,10 @@ MODES:
                 prints 'listening on <addr>' once ready
     client      talk to a running server: ingest bits, query windows,
                 push referee synopses, fetch snapshots
+    top         live dashboard over a running server's metrics: polls
+                the STATS frame at --interval and redraws ingest /
+                query rates, latency quantiles, per-shard load bars,
+                and health flags (no stdin)
     dst         deterministic simulation: replay the fault schedule a
                 seed derives (--seed), or soak many seeds (--seeds);
                 prints 'DST FAILURE seed=<n> step=<k>' plus a minimized
@@ -52,9 +56,17 @@ ENGINE OPTIONS (engine / serve modes):
                       checkpoint after C applied batches per shard;
                       0 disables auto-checkpoints    [default: 4096]
 
-NETWORK OPTIONS (serve / client modes only):
-    --addr <A>        address to bind (serve) or dial (client)
+NETWORK OPTIONS (serve / client / top modes only):
+    --addr <A>        address to bind (serve) or dial (client / top)
                                            [default: 127.0.0.1:4600]
+    --interval <MS>   top: refresh period in milliseconds
+                                           [default: 1000]
+    --ticks <N>       top: exit after N refreshes (0 = run until ^C)
+    --once            top: print one snapshot and exit (no screen
+                      clearing; combine with --json or --prometheus
+                      for machine-readable output)
+    --prometheus      top: render the snapshot in Prometheus text
+                      exposition format (implies --once)
     --key <K>         client: key to ingest into / query  [default: 0]
     --bits <S>        client: string of 0/1 to ingest for --key
     --query           client: query --key at --window, print estimate
@@ -85,6 +97,8 @@ pub enum Mode {
     Serve,
     /// Talk to a running `serve` instance.
     Client,
+    /// Live metrics dashboard over a running `serve` instance.
+    Top,
     /// Deterministic simulation: replay or soak seed-derived fault
     /// schedules through the full stack.
     Dst,
@@ -144,6 +158,14 @@ pub struct Config {
     pub shutdown: bool,
     /// Dst mode: soak seeds `0..N` instead of replaying `--seed`.
     pub seeds: Option<u64>,
+    /// Top mode: print one snapshot and exit instead of refreshing.
+    pub once: bool,
+    /// Top mode: render the snapshot as Prometheus text exposition.
+    pub prometheus: bool,
+    /// Top mode: refresh period in milliseconds.
+    pub interval_ms: u64,
+    /// Top mode: exit after this many refreshes (`None` = until ^C).
+    pub ticks: Option<u64>,
 }
 
 impl Default for Config {
@@ -173,6 +195,10 @@ impl Default for Config {
             net_snapshot: false,
             shutdown: false,
             seeds: None,
+            once: false,
+            prometheus: false,
+            interval_ms: 1000,
+            ticks: None,
         }
     }
 }
@@ -230,6 +256,7 @@ pub fn parse(argv: &[String]) -> Result<Option<Config>, ArgError> {
         "engine" => Mode::Engine,
         "serve" => Mode::Serve,
         "client" => Mode::Client,
+        "top" => Mode::Top,
         "dst" => Mode::Dst,
         other => return Err(ArgError::UnknownMode(other.to_string())),
     };
@@ -362,6 +389,29 @@ pub fn parse(argv: &[String]) -> Result<Option<Config>, ArgError> {
                 }
                 cfg.seeds = Some(n);
                 i += 2;
+            }
+            "--interval" => {
+                let v = value(i)?;
+                cfg.interval_ms = v.parse().map_err(|_| bad(v))?;
+                if cfg.interval_ms == 0 {
+                    return Err(bad(v));
+                }
+                i += 2;
+            }
+            "--ticks" => {
+                let v = value(i)?;
+                let n: u64 = v.parse().map_err(|_| bad(v))?;
+                cfg.ticks = (n > 0).then_some(n);
+                i += 2;
+            }
+            "--once" => {
+                cfg.once = true;
+                i += 1;
+            }
+            "--prometheus" => {
+                cfg.prometheus = true;
+                cfg.once = true;
+                i += 1;
             }
             "--query" => {
                 cfg.do_query = true;
@@ -560,6 +610,36 @@ mod tests {
             parse(&argv("dst --seeds 0")),
             Err(ArgError::BadValue(..))
         ));
+    }
+
+    #[test]
+    fn parses_top_mode() {
+        let cfg = parse(&argv("top --addr 127.0.0.1:4600 --interval 250 --ticks 3"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(cfg.mode, Mode::Top);
+        assert_eq!(cfg.addr, "127.0.0.1:4600");
+        assert_eq!(cfg.interval_ms, 250);
+        assert_eq!(cfg.ticks, Some(3));
+        assert!(!cfg.once && !cfg.prometheus);
+        // --once --json: one machine-readable snapshot.
+        let cfg = parse(&argv("top --once --json")).unwrap().unwrap();
+        assert!(cfg.once && cfg.json && !cfg.prometheus);
+        // --prometheus implies --once.
+        let cfg = parse(&argv("top --prometheus")).unwrap().unwrap();
+        assert!(cfg.once && cfg.prometheus);
+        // Defaults.
+        let cfg = parse(&argv("top")).unwrap().unwrap();
+        assert_eq!(cfg.interval_ms, 1000);
+        assert_eq!(cfg.ticks, None);
+        // Validation: a zero interval would spin.
+        assert!(matches!(
+            parse(&argv("top --interval 0")),
+            Err(ArgError::BadValue(..))
+        ));
+        // --ticks 0 means "no limit", same as omitting it.
+        let cfg = parse(&argv("top --ticks 0")).unwrap().unwrap();
+        assert_eq!(cfg.ticks, None);
     }
 
     #[test]

@@ -27,6 +27,7 @@ mod dst;
 mod engine;
 mod net;
 mod run;
+mod top;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +49,7 @@ fn main() -> ExitCode {
         args::Mode::Engine => Some(engine::run_engine(&cfg, &mut out)),
         args::Mode::Serve => Some(net::run_serve(&cfg, &mut out)),
         args::Mode::Client => Some(net::run_client(&cfg, &mut out)),
+        args::Mode::Top => Some(top::run_top(&cfg, &mut out)),
         args::Mode::Dst => Some(dst::run_dst(&cfg, &mut out)),
         _ => None,
     };

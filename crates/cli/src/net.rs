@@ -33,6 +33,7 @@ pub fn run_serve<W: Write>(cfg: &Config, out: &mut W) -> Result<(), String> {
     let scfg = ServerConfig {
         engine: ecfg,
         read_timeout: None,
+        ..Default::default()
     };
     let registry = cfg.stats.then(|| Arc::new(MetricsRegistry::new()));
     match &registry {
@@ -169,6 +170,7 @@ mod tests {
             ServerConfig {
                 engine: ecfg,
                 read_timeout: None,
+                ..Default::default()
             },
         )
         .unwrap();

@@ -39,8 +39,8 @@ impl Synopsis {
                 )
                 .map_err(|e| e.to_string())?,
             )),
-            Mode::Engine | Mode::Serve | Mode::Client | Mode::Dst => Err(
-                "engine/serve/client/dst modes take no stdin stream; they are handled \
+            Mode::Engine | Mode::Serve | Mode::Client | Mode::Top | Mode::Dst => Err(
+                "engine/serve/client/top/dst modes take no stdin stream; they are handled \
                  before the stream loop"
                     .into(),
             ),

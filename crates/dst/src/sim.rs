@@ -18,12 +18,14 @@ use std::collections::HashMap;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use waves_core::{DetWave, Estimate, ExactCount, WaveError};
 use waves_eh::EhCount;
 use waves_engine::{Engine, EngineConfig};
 use waves_net::{ChaosProxy, Client, ClientConfig, Server, ServerConfig};
+use waves_obs::{Fanout, MetricsRegistry, SpanRecorder};
 use waves_store::{scratch_dir, wal, PersistConfig, SyncPolicy};
 
 use crate::schedule::{FaultSpec, Schedule, SimConfig, Step};
@@ -167,10 +169,24 @@ fn run_in(schedule: &Schedule, root: Option<&Path>) -> Result<RunReport, Violati
     })
 }
 
+/// Full telemetry attached to every simulated stack: the metrics
+/// registry plus the span ring, which enables end-to-end tracing.
+/// Running the sim with tracing *live* is deliberate — it proves the
+/// telemetry plane is invisible to replay identity, because the trace
+/// hash covers only engine/store observables and never span timings.
+type Telemetry = Fanout<MetricsRegistry, SpanRecorder>;
+
+fn telemetry() -> Arc<Telemetry> {
+    Arc::new(Fanout(MetricsRegistry::new(), SpanRecorder::new()))
+}
+
 /// The execution surface: in-process engine or loopback server+client.
 enum Backend {
-    Direct(Engine<DetWave>),
-    Tcp { server: Server, client: Client },
+    Direct(Engine<DetWave, Telemetry>),
+    Tcp {
+        server: Server<Telemetry>,
+        client: Client<Telemetry>,
+    },
 }
 
 struct Sim {
@@ -459,20 +475,25 @@ fn engine_cfg(cfg: &SimConfig, root: Option<&Path>) -> EngineConfig {
 fn start_backend(cfg: &SimConfig, root: Option<&Path>) -> Result<Backend, String> {
     let ecfg = engine_cfg(cfg, root);
     if cfg.tcp {
-        let server = Server::start(
+        let server = Server::start_recorded(
             "127.0.0.1:0",
             ServerConfig {
                 engine: ecfg,
                 read_timeout: None,
+                ..Default::default()
             },
+            telemetry(),
         )
         .map_err(|e| format!("harness: server start: {e}"))?;
-        let client = Client::connect(server.local_addr())
-            .map_err(|e| format!("harness: client connect: {e}"))?;
+        let client =
+            Client::connect_recorded(server.local_addr(), ClientConfig::default(), telemetry())
+                .map_err(|e| format!("harness: client connect: {e}"))?;
         Ok(Backend::Tcp { server, client })
     } else {
+        let (n, eps) = (ecfg.max_window, ecfg.eps);
         Ok(Backend::Direct(
-            Engine::new(ecfg).map_err(|e| format!("harness: engine start: {e}"))?,
+            Engine::with_factory_recorded(ecfg, move || DetWave::new(n, eps), telemetry())
+                .map_err(|e| format!("harness: engine start: {e}"))?,
         ))
     }
 }

@@ -59,7 +59,8 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use waves_core::{BitSynopsis, DetWave, Estimate, SynopsisCodec, WaveError};
-use waves_obs::{Event, HistId, MetricId, NoopRecorder, Recorder};
+use waves_obs::trace::{next_span_id, now_ns, Span, Stage, TraceCtx};
+use waves_obs::{Event, HistId, MetricId, NoopRecorder, Recorder, ShardStat};
 use waves_store::{ShardStore, Store};
 
 pub use waves_store::{PersistConfig, SyncPolicy};
@@ -166,14 +167,22 @@ impl EngineConfigBuilder {
     }
 }
 
-/// Commands a shard worker consumes from its bounded queue.
+/// Commands a shard worker consumes from its bounded queue. Batches and
+/// queries carry their [`TraceCtx`] plus the enqueue timestamp (0 when
+/// untraced) so the worker can record the queue-wait span.
 enum Cmd {
     /// A per-shard sub-batch of ingest events.
-    Batch(Vec<KeyedBits>),
+    Batch {
+        batch: Vec<KeyedBits>,
+        ctx: TraceCtx,
+        enq_ns: u64,
+    },
     Query {
         key: Key,
         window: u64,
         reply: std::sync::mpsc::Sender<Result<Estimate, WaveError>>,
+        ctx: TraceCtx,
+        enq_ns: u64,
     },
     Snapshot {
         reply: std::sync::mpsc::Sender<ShardSnapshot>,
@@ -411,6 +420,7 @@ where
                 .name(format!("waves-engine-shard-{shard}"))
                 .spawn(move || {
                     shard_worker(
+                        shard,
                         rx,
                         worker_depth,
                         worker_factory,
@@ -471,15 +481,35 @@ where
         ((mixed >> 32) as usize) % self.shards.len()
     }
 
+    /// Timestamp for the queue-wait span, or 0 when this command is
+    /// untraced (so the hot path never reads the clock).
+    fn enq_ns(&self, ctx: TraceCtx) -> u64 {
+        if ctx.active() && self.rec.trace_enabled() {
+            now_ns()
+        } else {
+            0
+        }
+    }
+
     /// Enqueue one batch on one shard, non-blocking. Counts queue depth
     /// and backpressure; the caller decides whether the shed items were
     /// clones (droppable) or the caller's own copy (retryable).
-    fn try_enqueue(&self, shard: usize, batch: Vec<KeyedBits>) -> Result<(), WaveError> {
+    fn try_enqueue(
+        &self,
+        shard: usize,
+        batch: Vec<KeyedBits>,
+        ctx: TraceCtx,
+    ) -> Result<(), WaveError> {
         let items: u64 = batch.iter().map(|(_, bits)| bits.len() as u64).sum();
         // Count the batch in *before* sending so the worker's decrement
         // can never race ahead of the increment and wrap the counter.
         let depth = self.shards[shard].depth.fetch_add(1, Ordering::Relaxed) + 1;
-        match self.shards[shard].tx().try_send(Cmd::Batch(batch)) {
+        let cmd = Cmd::Batch {
+            batch,
+            ctx,
+            enq_ns: self.enq_ns(ctx),
+        };
+        match self.shards[shard].tx().try_send(cmd) {
             Ok(()) => {
                 self.rec.observe(HistId::EngineQueueDepth, depth as u64);
                 Ok(())
@@ -500,7 +530,11 @@ where
         let depth = self.shards[shard].depth.fetch_add(1, Ordering::Relaxed) + 1;
         self.shards[shard]
             .tx()
-            .send(Cmd::Batch(batch))
+            .send(Cmd::Batch {
+                batch,
+                ctx: TraceCtx::NONE,
+                enq_ns: 0,
+            })
             .expect("worker lives until Drop");
         self.rec.observe(HistId::EngineQueueDepth, depth as u64);
     }
@@ -509,7 +543,11 @@ where
     /// queue nothing is applied and [`WaveError::Backpressure`] is
     /// returned — retry, shed, or use [`Engine::ingest_blocking`].
     pub fn ingest(&self, key: Key, bits: &[bool]) -> Result<(), WaveError> {
-        self.try_enqueue(self.shard_of(key), vec![(key, bits.to_vec())])
+        self.try_enqueue(
+            self.shard_of(key),
+            vec![(key, bits.to_vec())],
+            TraceCtx::NONE,
+        )
     }
 
     /// Ingest a batch of bits for one key, waiting for queue space.
@@ -525,9 +563,17 @@ where
     /// [`WaveError::Backpressure`] is returned — while sub-batches for
     /// healthy shards are still delivered.
     pub fn ingest_batch(&self, batch: &[KeyedBits]) -> Result<(), WaveError> {
+        self.ingest_batch_traced(batch, TraceCtx::NONE)
+    }
+
+    /// [`Engine::ingest_batch`] carrying a [`TraceCtx`]: each shard's
+    /// worker records queue-wait, apply, and WAL spans parented to
+    /// `ctx.parent` under `ctx.trace`. Identical to `ingest_batch` when
+    /// `ctx` is [`TraceCtx::NONE`] or the recorder keeps no traces.
+    pub fn ingest_batch_traced(&self, batch: &[KeyedBits], ctx: TraceCtx) -> Result<(), WaveError> {
         let mut first_err = Ok(());
         for (shard, sub) in self.split_by_shard(batch) {
-            if let Err(e) = self.try_enqueue(shard, sub) {
+            if let Err(e) = self.try_enqueue(shard, sub, ctx) {
                 if first_err.is_ok() {
                     first_err = Err(e);
                 }
@@ -565,6 +611,17 @@ where
     /// for the key. Returns [`WaveError::UnknownKey`] for never-seen
     /// keys and the synopsis's own errors otherwise.
     pub fn query(&self, key: Key, window: u64) -> Result<Estimate, WaveError> {
+        self.query_traced(key, window, TraceCtx::NONE)
+    }
+
+    /// [`Engine::query`] carrying a [`TraceCtx`]: the shard worker
+    /// records queue-wait and execute spans parented to `ctx.parent`.
+    pub fn query_traced(
+        &self,
+        key: Key,
+        window: u64,
+        ctx: TraceCtx,
+    ) -> Result<Estimate, WaveError> {
         let started = self.rec.enabled().then(Instant::now);
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
         self.shards[self.shard_of(key)]
@@ -573,6 +630,8 @@ where
                 key,
                 window,
                 reply: reply_tx,
+                ctx,
+                enq_ns: self.enq_ns(ctx),
             })
             .expect("worker lives until Drop");
         let res = reply_rx.recv().expect("worker replies before exiting");
@@ -711,6 +770,14 @@ impl<S> ShardPersist<S> {
     }
 }
 
+/// Key-family fingerprint for the registry's load-skew dimension: the
+/// top 4 bits of the same Fibonacci mix [`Engine::shard_of`] uses, so
+/// it costs one multiply-shift already paid for routing.
+#[inline]
+fn family_of(key: Key) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize
+}
+
 /// The shard worker loop: single-threaded owner of this shard's keys.
 ///
 /// With persistence, every batch is WAL-appended *before* it is applied;
@@ -720,7 +787,9 @@ impl<S> ShardPersist<S> {
 /// checkpoint. Clean shutdown (channel closed) writes a final
 /// checkpoint so `OnCheckpoint` deployments lose nothing across a
 /// graceful restart.
+#[allow(clippy::too_many_arguments)]
 fn shard_worker<S, R, F>(
+    shard: usize,
     rx: Receiver<Cmd>,
     depth: Arc<AtomicUsize>,
     factory: Arc<F>,
@@ -733,18 +802,56 @@ fn shard_worker<S, R, F>(
     R: Recorder + Send + Sync + 'static,
     F: Fn() -> Result<S, WaveError> + Send + Sync + 'static,
 {
+    // Record the queue-wait span for a traced dequeued command and open
+    // the execute span: returns `(execute_span_id, execute_start_ns)`.
+    let begin_execute = |ctx: TraceCtx, enq_ns: u64| -> Option<(u64, u64)> {
+        if !(ctx.active() && rec.trace_enabled()) {
+            return None;
+        }
+        let t = now_ns();
+        rec.span(Span {
+            trace: ctx.trace,
+            id: next_span_id(),
+            parent: ctx.parent,
+            stage: Stage::Queue,
+            start_ns: enq_ns,
+            dur_ns: t.saturating_sub(enq_ns),
+        });
+        Some((next_span_id(), t))
+    };
+    let end_execute = |ctx: TraceCtx, opened: Option<(u64, u64)>| {
+        if let Some((id, t0)) = opened {
+            rec.span(Span {
+                trace: ctx.trace,
+                id,
+                parent: ctx.parent,
+                stage: Stage::Shard,
+                start_ns: t0,
+                dur_ns: now_ns().saturating_sub(t0),
+            });
+        }
+    };
     let mut keys = initial_keys;
     let mut wal_failed = false;
     while let Ok(cmd) = rx.recv() {
         match cmd {
-            Cmd::Batch(batch) => {
+            Cmd::Batch { batch, ctx, enq_ns } => {
                 depth.fetch_sub(1, Ordering::Relaxed);
+                let execute = begin_execute(ctx, enq_ns);
+                let wal_ctx = match execute {
+                    Some((id, _)) => ctx.child(id),
+                    None => TraceCtx::NONE,
+                };
                 let started = rec.enabled().then(Instant::now);
                 if let Some(p) = persist.as_mut() {
-                    if p.store.append_batch(&batch, rec.as_ref()).is_err() {
+                    if p.store
+                        .append_batch_traced(&batch, rec.as_ref(), wal_ctx)
+                        .is_err()
+                    {
                         // No reply channel exists for a batch, so degrade:
                         // keep serving from memory, stop logging, and make
                         // the failure visible to operators.
+                        rec.incr(MetricId::StoreWalDisabled, 1);
                         rec.event(Event {
                             name: "store.wal.disabled",
                             fields: &[],
@@ -760,12 +867,16 @@ fn shard_worker<S, R, F>(
                         .or_insert_with(|| factory().expect("factory validated at construction"));
                     synopsis.push_bits(bits);
                     items += bits.len() as u64;
+                    rec.incr_family(family_of(*key), bits.len() as u64);
                 }
                 if let Some(t0) = started {
                     rec.observe(HistId::EngineIngestBatchNs, t0.elapsed().as_nanos() as u64);
                 }
                 rec.incr(MetricId::EngineBatchesIngested, 1);
                 rec.incr(MetricId::EngineItemsIngested, items);
+                rec.incr_shard(shard, ShardStat::Batches, 1);
+                rec.incr_shard(shard, ShardStat::Items, items);
+                end_execute(ctx, execute);
                 if let Some(p) = persist.as_mut() {
                     p.applied_since_checkpoint += 1;
                     if p.checkpoint_every > 0
@@ -782,12 +893,23 @@ fn shard_worker<S, R, F>(
                     }
                 }
             }
-            Cmd::Query { key, window, reply } => {
+            Cmd::Query {
+                key,
+                window,
+                reply,
+                ctx,
+                enq_ns,
+            } => {
+                let execute = begin_execute(ctx, enq_ns);
                 let res = match keys.get(&key) {
                     Some(synopsis) => synopsis.query_window(window),
                     None => Err(WaveError::UnknownKey { key }),
                 };
                 rec.incr(MetricId::EngineQueriesServed, 1);
+                rec.incr_shard(shard, ShardStat::Queries, 1);
+                // Close the span before replying so a caller that
+                // inspects the ring right after the reply sees it.
+                end_execute(ctx, execute);
                 let _ = reply.send(res);
             }
             Cmd::Snapshot { reply } => {
@@ -1027,6 +1149,86 @@ mod tests {
         assert!(reg.histogram(HistId::EngineQueryNs).snapshot().count >= 2);
         assert!(reg.histogram(HistId::EngineIngestBatchNs).snapshot().count >= 1);
         assert!(reg.histogram(HistId::EngineQueueDepth).snapshot().count >= 1);
+    }
+
+    #[test]
+    fn shard_dimension_sums_to_global_counters() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let engine = Engine::new_recorded(small_cfg(3), Arc::clone(&reg)).unwrap();
+        let batch: Vec<KeyedBits> = (0..40u64).map(|k| (k, vec![true; 3])).collect();
+        engine.ingest_batch_blocking(&batch);
+        engine.flush();
+        for k in 0..10u64 {
+            engine.query(k, 64).unwrap();
+        }
+        use waves_obs::MetricId as M;
+        let snap = reg.snapshot();
+        let shard_items: u64 = snap.shards.iter().map(|s| s.items).sum();
+        let shard_batches: u64 = snap.shards.iter().map(|s| s.batches).sum();
+        let shard_queries: u64 = snap.shards.iter().map(|s| s.queries).sum();
+        assert_eq!(shard_items, reg.counter(M::EngineItemsIngested));
+        assert_eq!(shard_items, 120);
+        assert_eq!(shard_batches, reg.counter(M::EngineBatchesIngested));
+        assert_eq!(shard_queries, reg.counter(M::EngineQueriesServed));
+        // Key families: every ingested item lands in exactly one family.
+        assert_eq!(snap.families.iter().sum::<u64>(), 120);
+    }
+
+    #[test]
+    fn traced_ingest_and_query_record_span_tree() {
+        use waves_obs::trace::{SpanRecorder, TraceCtx, TraceId};
+        use waves_obs::{Fanout, Stage};
+        let rec = Arc::new(Fanout(MetricsRegistry::new(), SpanRecorder::new()));
+        let cfg = EngineConfig::builder()
+            .num_shards(2)
+            .max_window(64)
+            .eps(0.25)
+            .persist_config(
+                PersistConfig::new(waves_store::scratch_dir("engine-trace"))
+                    .sync_policy(SyncPolicy::EveryBatch),
+            )
+            .build();
+        let dir = cfg.persist.as_ref().unwrap().dir.clone();
+        let (n, eps) = (cfg.max_window, cfg.eps);
+        let engine =
+            Engine::with_factory_recorded(cfg, move || DetWave::new(n, eps), Arc::clone(&rec))
+                .unwrap();
+        let ctx = TraceCtx {
+            trace: TraceId(42),
+            parent: 1,
+        };
+        engine
+            .ingest_batch_traced(&[(7, vec![true; 5])], ctx)
+            .unwrap();
+        engine.flush();
+        engine.query_traced(7, 64, ctx).unwrap();
+        let spans = rec.1.trace(TraceId(42));
+        let stages: Vec<Stage> = spans.iter().map(|s| s.stage).collect();
+        // Ingest: queue + shard + wal + fsync. Query: queue + shard.
+        assert_eq!(stages.iter().filter(|&&s| s == Stage::Queue).count(), 2);
+        assert_eq!(stages.iter().filter(|&&s| s == Stage::Shard).count(), 2);
+        assert_eq!(stages.iter().filter(|&&s| s == Stage::Wal).count(), 1);
+        assert_eq!(stages.iter().filter(|&&s| s == Stage::Fsync).count(), 1);
+        // Structure: queue spans parent to the ctx parent, wal parents
+        // to the ingest's shard span.
+        let wal = spans.iter().find(|s| s.stage == Stage::Wal).unwrap();
+        let shard_ids: Vec<u64> = spans
+            .iter()
+            .filter(|s| s.stage == Stage::Shard)
+            .map(|s| s.id)
+            .collect();
+        assert!(shard_ids.contains(&wal.parent));
+        assert!(spans
+            .iter()
+            .filter(|s| s.stage == Stage::Queue)
+            .all(|s| s.parent == 1));
+        // Untraced work records no spans.
+        engine.ingest_batch(&[(8, vec![true])]).unwrap();
+        engine.flush();
+        engine.query(8, 64).unwrap();
+        assert_eq!(rec.1.spans().len(), spans.len());
+        drop(engine);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

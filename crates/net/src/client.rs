@@ -22,7 +22,8 @@ use std::time::{Duration, Instant};
 
 use waves_core::{Estimate, WaveError};
 use waves_engine::{EngineSnapshot, KeyedBits};
-use waves_obs::{HistId, MetricId, NoopRecorder, Recorder};
+use waves_obs::trace::{next_span_id, now_ns, Span, Stage, TraceId, ROOT_SPAN_ID};
+use waves_obs::{HistId, MetricId, MetricsSnapshot, NoopRecorder, Recorder};
 
 use crate::frame::{Frame, SynopsisKind, WireCodec};
 
@@ -77,6 +78,9 @@ pub struct Client<R: Recorder + Send + Sync + 'static = NoopRecorder> {
     addr: SocketAddr,
     cfg: ClientConfig,
     rec: Arc<R>,
+    /// Trace id allocated for the most recent traced request, so a
+    /// caller holding the span sink can look the request's tree up.
+    last_trace: Option<TraceId>,
 }
 
 impl Client<NoopRecorder> {
@@ -115,12 +119,20 @@ impl<R: Recorder + Send + Sync + 'static> Client<R> {
             addr,
             cfg,
             rec,
+            last_trace: None,
         })
     }
 
     /// The server address this client talks to.
     pub fn peer_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The trace id of the most recent traced request, or `None` if no
+    /// request has been traced yet (tracing is on only when the
+    /// recorder's [`Recorder::trace_enabled`] is `true`).
+    pub fn last_trace(&self) -> Option<TraceId> {
+        self.last_trace
     }
 
     // ---- the request surface ----
@@ -166,6 +178,23 @@ impl<R: Recorder + Send + Sync + 'static> Client<R> {
     pub fn snapshot(&mut self) -> Result<EngineSnapshot, WaveError> {
         match self.request_idempotent(&Frame::Snapshot)? {
             Frame::SnapshotResp(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetch the server's live metrics snapshot — counters, histograms
+    /// (with buckets, so quantiles recompute exactly), per-shard and
+    /// per-key-family dimensions. Fails with a server-side error if the
+    /// server was started without a metrics registry. Idempotent, so it
+    /// is retried.
+    pub fn stats(&mut self) -> Result<MetricsSnapshot, WaveError> {
+        match self.request_idempotent(&Frame::Stats)? {
+            Frame::StatsResp(json) => MetricsSnapshot::from_json(&json).map_err(|e| {
+                WaveError::io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("stats response did not parse: {e}"),
+                ))
+            }),
             other => Err(unexpected(other)),
         }
     }
@@ -231,10 +260,39 @@ impl<R: Recorder + Send + Sync + 'static> Client<R> {
 
     // ---- transport plumbing ----
 
+    /// Allocate a trace for one request if the recorder wants traces.
+    /// Returns the trace id and the root span's start time.
+    fn begin_trace(&mut self) -> Option<(TraceId, u64)> {
+        if !self.rec.trace_enabled() {
+            return None;
+        }
+        let trace = TraceId::next();
+        self.last_trace = Some(trace);
+        Some((trace, now_ns()))
+    }
+
+    /// Close the request's root span. Its id is [`ROOT_SPAN_ID`] by the
+    /// cross-process convention: the server parents its dispatch span
+    /// there without ever seeing this record.
+    fn end_trace(&self, opened: Option<(TraceId, u64)>) {
+        if let Some((trace, t0)) = opened {
+            self.rec.span(Span {
+                trace,
+                id: ROOT_SPAN_ID,
+                parent: 0,
+                stage: Stage::Request,
+                start_ns: t0,
+                dur_ns: now_ns().saturating_sub(t0),
+            });
+        }
+    }
+
     /// One request/response exchange, no retries.
     fn request_once(&mut self, req: &Frame) -> Result<Frame, WaveError> {
         let started = self.rec.enabled().then(Instant::now);
-        let reply = self.exchange(req)?;
+        let opened = self.begin_trace();
+        let reply = self.exchange(req, opened.map_or(0, |(t, _)| t.0))?;
+        self.end_trace(opened);
         if let Some(t0) = started {
             self.rec
                 .observe(HistId::NetRequestNs, t0.elapsed().as_nanos() as u64);
@@ -253,7 +311,13 @@ impl<R: Recorder + Send + Sync + 'static> Client<R> {
         let mut attempt = 0u32;
         loop {
             let started = self.rec.enabled().then(Instant::now);
-            let outcome = self.exchange(req);
+            // Each attempt is its own trace: a retried request's
+            // attempts have distinct wire frames and server dispatches,
+            // so merging them under one id would produce a tree with
+            // two of every stage.
+            let opened = self.begin_trace();
+            let outcome = self.exchange(req, opened.map_or(0, |(t, _)| t.0));
+            self.end_trace(opened);
             match outcome {
                 Ok(reply) => {
                     if let Some(t0) = started {
@@ -280,8 +344,11 @@ impl<R: Recorder + Send + Sync + 'static> Client<R> {
         }
     }
 
-    fn exchange(&mut self, req: &Frame) -> Result<Frame, WaveError> {
-        let wrote = WireCodec::write_frame(&mut self.stream, req).map_err(|e| {
+    fn exchange(&mut self, req: &Frame, trace: u64) -> Result<Frame, WaveError> {
+        // The wire span covers socket write through reply read — the
+        // client's view of everything beyond its own process.
+        let wire_span = (trace != 0).then(|| (next_span_id(), now_ns()));
+        let wrote = WireCodec::write_frame_traced(&mut self.stream, req, trace).map_err(|e| {
             WaveError::from_io("write", e, self.cfg.write_timeout.as_millis() as u64)
         })?;
         if self.rec.enabled() {
@@ -294,6 +361,16 @@ impl<R: Recorder + Send + Sync + 'static> Client<R> {
         if self.rec.enabled() {
             self.rec.incr(MetricId::NetFramesReceived, 1);
             self.rec.incr(MetricId::NetBytesReceived, nread as u64);
+        }
+        if let Some((id, t0)) = wire_span {
+            self.rec.span(Span {
+                trace: TraceId(trace),
+                id,
+                parent: ROOT_SPAN_ID,
+                stage: Stage::Wire,
+                start_ns: t0,
+                dur_ns: now_ns().saturating_sub(t0),
+            });
         }
         Ok(reply)
     }

@@ -5,14 +5,15 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic  0x57 0x41  (b"WA")
-//! 2       1     version (currently 2)
+//! 2       1     version (currently 3)
 //! 3       1     frame type (see the `TYPE_*` constants)
 //! 4       4     payload length, u32 big-endian
-//! 8       len   payload
-//! 8+len   4     CRC-32 of bytes [0, 8+len), u32 big-endian
+//! 8       8     trace id, u64 big-endian (0 = request is untraced)
+//! 16      len   payload
+//! 16+len  4     CRC-32 of bytes [0, 16+len), u32 big-endian
 //! ```
 //!
-//! The fixed 8-byte header makes framing self-describing: a reader
+//! The fixed 16-byte header makes framing self-describing: a reader
 //! pulls the header, validates magic/version, bounds-checks the
 //! length against [`MAX_PAYLOAD_LEN`], then reads exactly `len` payload
 //! bytes plus the 4-byte CRC trailer. Anything that fails those checks
@@ -46,11 +47,14 @@ pub const MAGIC: [u8; 2] = *b"WA";
 
 /// Current protocol version. Bump on any incompatible layout change;
 /// peers reject other versions with [`FrameError::BadVersion`].
-/// Version 2 added the CRC-32 frame trailer.
-pub const WIRE_VERSION: u8 = 2;
+/// Version 2 added the CRC-32 frame trailer; version 3 widened the
+/// header from 8 to 16 bytes to carry a trace id (0 = untraced) so a
+/// request's spans can be correlated across client and server.
+pub const WIRE_VERSION: u8 = 3;
 
-/// Fixed header size in bytes (magic + version + type + length).
-pub const HEADER_LEN: usize = 8;
+/// Fixed header size in bytes (magic + version + type + length +
+/// trace id).
+pub const HEADER_LEN: usize = 16;
 
 /// Size of the CRC-32 trailer that follows every payload.
 pub const CRC_LEN: usize = 4;
@@ -73,12 +77,14 @@ const TYPE_SNAPSHOT: u8 = 0x05;
 const TYPE_PUSH_SYNOPSIS: u8 = 0x06;
 const TYPE_COMBINE: u8 = 0x07;
 const TYPE_SHUTDOWN: u8 = 0x08;
+const TYPE_STATS: u8 = 0x09;
 
 // Response frame types (server -> client). High bit set.
 const TYPE_OK: u8 = 0x80;
 const TYPE_PONG: u8 = 0x81;
 const TYPE_ESTIMATE: u8 = 0x82;
 const TYPE_SNAPSHOT_RESP: u8 = 0x83;
+const TYPE_STATS_RESP: u8 = 0x84;
 const TYPE_ERROR: u8 = 0x8F;
 
 /// Which synopsis a [`Frame::PushSynopsis`] payload contains. The wire
@@ -181,6 +187,8 @@ pub enum Frame {
     Combine { window: u64 },
     /// Ask the server to stop accepting connections and exit.
     Shutdown,
+    /// Ask for the server's live [`waves_obs::MetricsSnapshot`].
+    Stats,
 
     // ---- responses ----
     /// Generic success for requests with no payload to return.
@@ -191,6 +199,12 @@ pub enum Frame {
     EstimateResp(Estimate),
     /// Answer to [`Frame::Snapshot`].
     SnapshotResp(EngineSnapshot),
+    /// Answer to [`Frame::Stats`]: the server's metrics snapshot as the
+    /// JSON text produced by `MetricsSnapshot::to_json`. It travels as
+    /// text (not a binary struct) so the schema can grow — new counters,
+    /// new histogram fields — without a wire version bump; unknown
+    /// fields are simply dropped by `MetricsSnapshot::from_json`.
+    StatsResp(String),
     /// The request failed; carries the server-side [`WaveError`].
     ErrorResp(WaveError),
 }
@@ -396,15 +410,23 @@ fn decode_error(r: &mut PayloadReader<'_>) -> Result<WaveError, FrameError> {
 pub struct WireCodec;
 
 impl WireCodec {
-    /// Serialize a frame: header, payload, CRC-32 trailer, ready to
-    /// write.
+    /// Serialize an untraced frame (header trace id 0): header,
+    /// payload, CRC-32 trailer, ready to write.
     pub fn encode(frame: &Frame) -> Vec<u8> {
+        Self::encode_traced(frame, 0)
+    }
+
+    /// Serialize a frame carrying `trace` in the header's trace-id
+    /// field. Pass 0 for an untraced request (what [`WireCodec::encode`]
+    /// does).
+    pub fn encode_traced(frame: &Frame, trace: u64) -> Vec<u8> {
         let (ty, payload) = Self::encode_payload(frame);
         let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CRC_LEN);
         out.extend_from_slice(&MAGIC);
         out.push(WIRE_VERSION);
         out.push(ty);
         put_u32(&mut out, payload.len() as u32);
+        put_u64(&mut out, trace);
         out.extend_from_slice(&payload);
         let sum = crc32(&out);
         put_u32(&mut out, sum);
@@ -418,8 +440,13 @@ impl WireCodec {
             Frame::Flush => TYPE_FLUSH,
             Frame::Snapshot => TYPE_SNAPSHOT,
             Frame::Shutdown => TYPE_SHUTDOWN,
+            Frame::Stats => TYPE_STATS,
             Frame::Ok => TYPE_OK,
             Frame::Pong => TYPE_PONG,
+            Frame::StatsResp(json) => {
+                p.extend_from_slice(json.as_bytes());
+                TYPE_STATS_RESP
+            }
             Frame::Ingest(batch) => {
                 put_u32(&mut p, batch.len() as u32);
                 for (key, bits) in batch {
@@ -475,8 +502,16 @@ impl WireCodec {
 
     /// Parse one frame from the front of `buf`. Returns the frame and
     /// the number of bytes it occupied (so a buffer holding several
-    /// frames can be walked).
+    /// frames can be walked). The header's trace id is discarded; use
+    /// [`WireCodec::decode_traced`] to keep it.
     pub fn decode(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
+        let (frame, used, _trace) = Self::decode_traced(buf)?;
+        Ok((frame, used))
+    }
+
+    /// Parse one frame from the front of `buf`, also returning the
+    /// header's trace id (0 when the sender was untraced).
+    pub fn decode_traced(buf: &[u8]) -> Result<(Frame, usize, u64), FrameError> {
         if buf.len() < HEADER_LEN {
             return Err(FrameError::Truncated);
         }
@@ -491,6 +526,7 @@ impl WireCodec {
         if len as usize > MAX_PAYLOAD_LEN {
             return Err(FrameError::FrameTooLarge(len));
         }
+        let trace = u64::from_be_bytes(buf[8..16].try_into().unwrap());
         let body_end = HEADER_LEN + len as usize;
         let total = body_end + CRC_LEN;
         if buf.len() < total {
@@ -502,7 +538,7 @@ impl WireCodec {
             return Err(FrameError::BadCrc { expected, got });
         }
         let frame = Self::decode_payload(ty, &buf[HEADER_LEN..body_end])?;
-        Ok((frame, total))
+        Ok((frame, total, trace))
     }
 
     fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame, FrameError> {
@@ -512,8 +548,15 @@ impl WireCodec {
             TYPE_FLUSH => Frame::Flush,
             TYPE_SNAPSHOT => Frame::Snapshot,
             TYPE_SHUTDOWN => Frame::Shutdown,
+            TYPE_STATS => Frame::Stats,
             TYPE_OK => Frame::Ok,
             TYPE_PONG => Frame::Pong,
+            TYPE_STATS_RESP => {
+                let n = r.remaining();
+                let json = std::str::from_utf8(r.take(n)?)
+                    .map_err(|_| FrameError::Malformed("stats response not utf-8"))?;
+                Frame::StatsResp(json.to_owned())
+            }
             TYPE_INGEST => {
                 let n = r.u32()? as usize;
                 let mut batch = Vec::new();
@@ -590,20 +633,39 @@ impl WireCodec {
         Ok(frame)
     }
 
-    /// Write one frame to a blocking stream. Returns the bytes written
-    /// (header + payload) so callers can feed byte counters.
+    /// Write one untraced frame (header trace id 0) to a blocking
+    /// stream. Returns the bytes written (header + payload) so callers
+    /// can feed byte counters.
     pub fn write_frame<W: std::io::Write>(w: &mut W, frame: &Frame) -> std::io::Result<usize> {
-        let bytes = Self::encode(frame);
+        Self::write_frame_traced(w, frame, 0)
+    }
+
+    /// Write one frame carrying `trace` in the header to a blocking
+    /// stream.
+    pub fn write_frame_traced<W: std::io::Write>(
+        w: &mut W,
+        frame: &Frame,
+        trace: u64,
+    ) -> std::io::Result<usize> {
+        let bytes = Self::encode_traced(frame, trace);
         w.write_all(&bytes)?;
         w.flush()?;
         Ok(bytes.len())
     }
 
-    /// Read one frame from a blocking stream. Returns the frame and the
-    /// bytes consumed. Framing violations surface as
-    /// `io::ErrorKind::InvalidData` wrapping the [`FrameError`]; a clean
-    /// EOF before the first header byte surfaces as `UnexpectedEof`.
+    /// Read one frame from a blocking stream, discarding the header's
+    /// trace id. Returns the frame and the bytes consumed. Framing
+    /// violations surface as `io::ErrorKind::InvalidData` wrapping the
+    /// [`FrameError`]; a clean EOF before the first header byte
+    /// surfaces as `UnexpectedEof`.
     pub fn read_frame<R: std::io::Read>(r: &mut R) -> std::io::Result<(Frame, usize)> {
+        let (frame, used, _trace) = Self::read_frame_traced(r)?;
+        Ok((frame, used))
+    }
+
+    /// Read one frame from a blocking stream, also returning the
+    /// header's trace id (0 when the sender was untraced).
+    pub fn read_frame_traced<R: std::io::Read>(r: &mut R) -> std::io::Result<(Frame, usize, u64)> {
         let mut header = [0u8; HEADER_LEN];
         r.read_exact(&mut header)?;
         if header[0..2] != MAGIC {
@@ -616,6 +678,7 @@ impl WireCodec {
         if len > MAX_PAYLOAD_LEN {
             return Err(FrameError::FrameTooLarge(len as u32).into());
         }
+        let trace = u64::from_be_bytes(header[8..16].try_into().unwrap());
         // One buffer holding header + payload + trailer so the CRC can
         // be computed over a contiguous byte range.
         let mut body = vec![0u8; HEADER_LEN + len + CRC_LEN];
@@ -628,7 +691,7 @@ impl WireCodec {
             return Err(FrameError::BadCrc { expected, got }.into());
         }
         let frame = Self::decode_payload(header[3], &body[HEADER_LEN..body_end])?;
-        Ok((frame, body.len()))
+        Ok((frame, body.len(), trace))
     }
 }
 
@@ -664,6 +727,11 @@ mod tests {
         roundtrip(Frame::Flush);
         roundtrip(Frame::Snapshot);
         roundtrip(Frame::Shutdown);
+        roundtrip(Frame::Stats);
+        roundtrip(Frame::StatsResp(String::new()));
+        roundtrip(Frame::StatsResp(
+            r#"{"engine_items_ingested_total":7}"#.into(),
+        ));
         roundtrip(Frame::Ingest(vec![
             (7, vec![true, false, true]),
             (9, vec![]),
@@ -767,6 +835,47 @@ mod tests {
         for cut in 0..good.len() {
             assert_eq!(WireCodec::decode(&good[..cut]), Err(FrameError::Truncated));
         }
+    }
+
+    #[test]
+    fn trace_id_rides_the_header() {
+        // Traced encode puts the id at header bytes [8, 16); both
+        // decode paths hand it back alongside the frame.
+        let frame = Frame::Query { key: 3, window: 64 };
+        let bytes = WireCodec::encode_traced(&frame, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(&bytes[8..16], &0xDEAD_BEEF_CAFE_F00Du64.to_be_bytes());
+        let (decoded, used, trace) = WireCodec::decode_traced(&bytes).unwrap();
+        assert_eq!(
+            (decoded, used, trace),
+            (frame.clone(), bytes.len(), 0xDEAD_BEEF_CAFE_F00D)
+        );
+
+        let mut wire = Vec::new();
+        let n = WireCodec::write_frame_traced(&mut wire, &frame, 42).unwrap();
+        assert_eq!(n, wire.len());
+        let mut cursor = std::io::Cursor::new(&wire);
+        let (streamed, _, trace) = WireCodec::read_frame_traced(&mut cursor).unwrap();
+        assert_eq!((streamed, trace), (frame.clone(), 42));
+
+        // The untraced entry points write trace id 0 and discard it on
+        // the way in, so callers that never opt into tracing see the
+        // old API shape.
+        let bytes = WireCodec::encode(&frame);
+        assert_eq!(&bytes[8..16], &[0u8; 8]);
+        let (_, _, trace) = WireCodec::decode_traced(&bytes).unwrap();
+        assert_eq!(trace, 0);
+    }
+
+    #[test]
+    fn stats_resp_rejects_non_utf8() {
+        let mut bytes = WireCodec::encode(&Frame::StatsResp("abcd".into()));
+        let payload_at = HEADER_LEN;
+        bytes[payload_at] = 0xFF;
+        reseal(&mut bytes);
+        assert_eq!(
+            WireCodec::decode(&bytes),
+            Err(FrameError::Malformed("stats response not utf-8"))
+        );
     }
 
     #[test]

@@ -24,13 +24,14 @@ use std::time::{Duration, Instant};
 use waves_core::{DetWave, WaveError};
 use waves_distributed::combine_estimates;
 use waves_engine::{Engine, EngineConfig};
-use waves_obs::{HistId, MetricId, NoopRecorder, Recorder};
+use waves_obs::trace::{next_span_id, now_ns, Span, Stage, TraceCtx, TraceId, ROOT_SPAN_ID};
+use waves_obs::{Event, HistId, MetricId, NoopRecorder, Recorder};
 
 use crate::frame::{Frame, PartySynopsis, WireCodec};
 
 /// Server configuration: the embedded engine's config plus transport
 /// knobs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Configuration for the hosted serving engine.
     pub engine: EngineConfig,
@@ -39,6 +40,22 @@ pub struct ServerConfig {
     /// because shutdown force-closes sockets rather than waiting.
     /// `Some(d)` disconnects a connection that stays silent for `d`.
     pub read_timeout: Option<Duration>,
+    /// Dispatch-duration threshold for the slow-request log. A request
+    /// whose handler runs longer than this bumps
+    /// `net_slow_requests_total` and emits a `net.slow_request` event
+    /// naming the trace id (0 if the request was untraced). `None`
+    /// disables the check.
+    pub slow_request: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            engine: EngineConfig::default(),
+            read_timeout: None,
+            slow_request: Some(Duration::from_millis(500)),
+        }
+    }
 }
 
 struct Shared<R: Recorder + Send + Sync + 'static> {
@@ -47,6 +64,7 @@ struct Shared<R: Recorder + Send + Sync + 'static> {
     /// Party id -> last pushed synopsis, queried by `Combine`.
     referee: Mutex<HashMap<u64, PartySynopsis>>,
     rec: Arc<R>,
+    slow_request: Option<Duration>,
     stopping: AtomicBool,
     /// One clone of each live connection's stream, kept so shutdown can
     /// unblock handlers parked in `read`. Handlers remove their entry
@@ -96,6 +114,7 @@ impl<R: Recorder + Send + Sync + 'static> Server<R> {
             local_addr,
             referee: Mutex::new(HashMap::new()),
             rec,
+            slow_request: cfg.slow_request,
             stopping: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
             handlers: Mutex::new(Vec::new()),
@@ -207,7 +226,7 @@ fn handle_connection<R: Recorder + Send + Sync + 'static>(
         if shared.stopping.load(Ordering::SeqCst) {
             return;
         }
-        let (frame, nread) = match WireCodec::read_frame(&mut stream) {
+        let (frame, nread, trace) = match WireCodec::read_frame_traced(&mut stream) {
             Ok(ok) => ok,
             Err(e) => {
                 // WouldBlock / TimedOut: the idle timeout fired —
@@ -234,16 +253,48 @@ fn handle_connection<R: Recorder + Send + Sync + 'static>(
         }
         let started = enabled.then(Instant::now);
         let shutdown_after = matches!(frame, Frame::Shutdown);
-        let reply = dispatch(frame, shared);
+        // A nonzero header trace id opts this request into tracing: the
+        // dispatch span parents to the client's root span (by the
+        // ROOT_SPAN_ID convention — only the trace id crossed the wire)
+        // and the engine layers below parent to the dispatch span.
+        let dispatch_span =
+            (trace != 0 && shared.rec.trace_enabled()).then(|| (next_span_id(), now_ns()));
+        let ctx = match dispatch_span {
+            Some((id, _)) => TraceCtx {
+                trace: TraceId(trace),
+                parent: ROOT_SPAN_ID,
+            }
+            .child(id),
+            None => TraceCtx::NONE,
+        };
+        let reply = dispatch(frame, shared, ctx);
+        if let Some((id, t0)) = dispatch_span {
+            shared.rec.span(Span {
+                trace: TraceId(trace),
+                id,
+                parent: ROOT_SPAN_ID,
+                stage: Stage::Dispatch,
+                start_ns: t0,
+                dur_ns: now_ns().saturating_sub(t0),
+            });
+        }
         if let Some(t0) = started {
+            let elapsed = t0.elapsed();
             shared
                 .rec
-                .observe(HistId::NetServerFrameNs, t0.elapsed().as_nanos() as u64);
+                .observe(HistId::NetServerFrameNs, elapsed.as_nanos() as u64);
+            if shared.slow_request.is_some_and(|limit| elapsed > limit) {
+                shared.rec.incr(MetricId::NetSlowRequests, 1);
+                shared.rec.event(Event {
+                    name: "net.slow_request",
+                    fields: &[("trace", trace), ("dur_ns", elapsed.as_nanos() as u64)],
+                });
+            }
         }
         if matches!(reply, Frame::ErrorResp(_)) {
             shared.rec.incr(MetricId::NetRequestErrors, 1);
         }
-        match WireCodec::write_frame(&mut stream, &reply) {
+        match WireCodec::write_frame_traced(&mut stream, &reply, trace) {
             Ok(nwrote) => {
                 if enabled {
                     shared.rec.incr(MetricId::NetFramesSent, 1);
@@ -278,7 +329,11 @@ fn begin_shutdown<R: Recorder + Send + Sync + 'static>(shared: &Shared<R>) {
     let _ = TcpStream::connect_timeout(&shared.local_addr, Duration::from_secs(1));
 }
 
-fn dispatch<R: Recorder + Send + Sync + 'static>(frame: Frame, shared: &Shared<R>) -> Frame {
+fn dispatch<R: Recorder + Send + Sync + 'static>(
+    frame: Frame,
+    shared: &Shared<R>,
+    ctx: TraceCtx,
+) -> Frame {
     match frame {
         Frame::Ping => Frame::Pong,
         Frame::Shutdown => Frame::Ok,
@@ -287,11 +342,20 @@ fn dispatch<R: Recorder + Send + Sync + 'static>(frame: Frame, shared: &Shared<R
             Frame::Ok
         }
         Frame::Snapshot => Frame::SnapshotResp(shared.engine.snapshot()),
-        Frame::Ingest(batch) => match shared.engine.ingest_batch(&batch) {
+        Frame::Stats => match shared.rec.metrics_snapshot() {
+            Some(snap) => Frame::StatsResp(snap.to_json()),
+            // NoopRecorder (and SpanRecorder-only) servers have no
+            // registry to report; tell the client why instead of
+            // returning an empty snapshot it would mistake for zeros.
+            None => Frame::ErrorResp(WaveError::io(std::io::Error::other(
+                "server was started without a metrics registry",
+            ))),
+        },
+        Frame::Ingest(batch) => match shared.engine.ingest_batch_traced(&batch, ctx) {
             Ok(()) => Frame::Ok,
             Err(e) => Frame::ErrorResp(e),
         },
-        Frame::Query { key, window } => match shared.engine.query(key, window) {
+        Frame::Query { key, window } => match shared.engine.query_traced(key, window, ctx) {
             Ok(est) => Frame::EstimateResp(est),
             Err(e) => Frame::ErrorResp(e),
         },
@@ -323,6 +387,7 @@ fn dispatch<R: Recorder + Send + Sync + 'static>(frame: Frame, shared: &Shared<R
         | Frame::Pong
         | Frame::EstimateResp(_)
         | Frame::SnapshotResp(_)
+        | Frame::StatsResp(_)
         | Frame::ErrorResp(_) => Frame::ErrorResp(WaveError::io(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             "response frame sent as request",

@@ -153,8 +153,13 @@ impl HistogramSnapshot {
     /// count)` samples are `<= v`. Within a bucket the midpoint of the
     /// bucket's range is reported, clamped to the observed min/max so
     /// p0/p100 are exact.
+    ///
+    /// Total on any input: an empty histogram yields 0.0 (never NaN),
+    /// and `p` outside `[0, 1]` — including NaN — is clamped into range
+    /// rather than panicking, so dashboards fed remote snapshots can't
+    /// be crashed by a bad query parameter.
     pub fn quantile(&self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "quantile p={p} out of range");
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
         if self.count == 0 {
             return 0.0;
         }
@@ -191,6 +196,14 @@ impl HistogramSnapshot {
     /// Render as a JSON object on the given writer.
     pub fn write_json(&self, w: &mut crate::json::JsonWriter) {
         w.begin_object();
+        self.write_json_fields(w);
+        w.end_object();
+    }
+
+    /// Render the fields only (no surrounding braces), for callers that
+    /// open the object themselves (e.g. as a named field). Includes the
+    /// raw nonzero buckets so a remote reader can recompute quantiles.
+    pub fn write_json_fields(&self, w: &mut crate::json::JsonWriter) {
         w.field_u64("count", self.count);
         w.field_u64("sum", self.sum);
         w.field_u64("min", self.min);
@@ -200,7 +213,15 @@ impl HistogramSnapshot {
         w.field_f64("p90", self.p90());
         w.field_f64("p99", self.p99());
         w.field_f64("p999", self.p999());
-        w.end_object();
+        w.field_array("buckets");
+        for &(lo, hi, c) in &self.buckets {
+            w.begin_array();
+            w.value_u64(lo);
+            w.value_u64(hi);
+            w.value_u64(c);
+            w.end_array();
+        }
+        w.end_array();
     }
 }
 
@@ -262,6 +283,47 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!(s.quantile(0.5), 0.0);
         assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero_not_nan() {
+        let s = LogHistogram::new().snapshot();
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            let q = s.quantile(p);
+            assert_eq!(q, 0.0, "p={p} gave {q}");
+            assert!(!q.is_nan());
+        }
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let h = LogHistogram::new();
+        h.record(42);
+        let s = h.snapshot();
+        for p in [0.0, 0.01, 0.5, 0.999, 1.0] {
+            assert_eq!(s.quantile(p), 42.0, "p={p}");
+        }
+    }
+
+    #[test]
+    fn p_one_is_the_maximum() {
+        let h = LogHistogram::new();
+        for v in [3u64, 9, 1_000, 77] {
+            h.record(v);
+        }
+        assert_eq!(h.snapshot().quantile(1.0), 1_000.0);
+    }
+
+    #[test]
+    fn out_of_range_p_is_clamped() {
+        let h = LogHistogram::new();
+        h.record(5);
+        h.record(10);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(-0.5), s.quantile(0.0));
+        assert_eq!(s.quantile(2.0), s.quantile(1.0));
+        assert_eq!(s.quantile(f64::NAN), s.quantile(0.0));
+        assert!(!s.quantile(f64::NAN).is_nan());
     }
 
     #[test]

@@ -1,8 +1,12 @@
-//! Minimal hand-rolled JSON emission (the workspace has no serde).
+//! Minimal hand-rolled JSON emission and parsing (the workspace has no
+//! serde).
 //!
-//! Supports exactly what the metrics snapshots and CLI need: nested
-//! objects, arrays, string/u64/f64/bool fields, with correct string
-//! escaping and no trailing commas.
+//! [`JsonWriter`] supports exactly what the metrics snapshots and CLI
+//! need: nested objects, arrays, string/u64/f64/bool fields, with
+//! correct string escaping and no trailing commas. [`JsonValue`] is the
+//! matching reader — a strict recursive-descent parser used to decode
+//! remote STATS responses and to validate the writer's escaping in
+//! tests.
 
 /// An append-only JSON writer. Field helpers insert commas as needed;
 /// callers are responsible for balancing `begin_*`/`end_*`.
@@ -133,6 +137,321 @@ impl JsonWriter {
     }
 }
 
+/// A parsed JSON document. Integers keep full u64/i64 precision (JSON
+/// numbers without a fraction or exponent never round-trip through
+/// f64), which matters for 64-bit counters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Array(Vec<JsonValue>),
+    /// Fields in document order (duplicate keys are kept as-is; `get`
+    /// returns the first).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parse a complete JSON document. Strict: exactly one value, no
+    /// trailing input, no unescaped control characters in strings.
+    pub fn parse(s: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Field lookup on an object; `None` on other variants.
+    pub fn get(&self, name: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            JsonValue::U64(v) => Some(v),
+            JsonValue::I64(v) => u64::try_from(v).ok(),
+            JsonValue::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            JsonValue::U64(v) => Some(v as f64),
+            JsonValue::I64(v) => Some(v as f64),
+            JsonValue::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            JsonValue::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(xs) => Some(xs),
+            _ => None,
+        }
+    }
+}
+
+const MAX_PARSE_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        if self.depth >= MAX_PARSE_DEPTH {
+            return Err("nesting too deep".into());
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!("unexpected byte 0x{b:02x} at {}", self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes up to the next quote/escape.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            // The input is a &str, so slicing on these byte boundaries
+            // is UTF-8 safe: '"' and '\\' are ASCII and never appear
+            // inside a multi-byte sequence.
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid utf-8 in string".to_string())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(format!("unescaped control byte 0x{b:02x} in string"));
+                }
+                _ => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, String> {
+        let b = self.peek().ok_or("unterminated escape")?;
+        self.pos += 1;
+        Ok(match b {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let hi = self.hex4()?;
+                if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: must pair with \uDC00..\uDFFF.
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        self.expect(b'u')?;
+                        let lo = self.hex4()?;
+                        if !(0xDC00..0xE000).contains(&lo) {
+                            return Err("unpaired surrogate".into());
+                        }
+                        let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                        char::from_u32(c).ok_or("bad surrogate pair")?
+                    } else {
+                        return Err("unpaired surrogate".into());
+                    }
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    return Err("unpaired surrogate".into());
+                } else {
+                    char::from_u32(hi).ok_or("bad \\u escape")?
+                }
+            }
+            _ => return Err(format!("bad escape '\\{}'", b as char)),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos.checked_add(4).filter(|&e| e <= self.bytes.len());
+        let end = end.ok_or("truncated \\u escape")?;
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "bad \\u escape".to_string())?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(v) = s.parse::<u64>() {
+                return Ok(JsonValue::U64(v));
+            }
+            if let Ok(v) = s.parse::<i64>() {
+                return Ok(JsonValue::I64(v));
+            }
+        }
+        s.parse::<f64>()
+            .map(JsonValue::F64)
+            .map_err(|_| format!("bad number '{s}'"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,5 +505,71 @@ mod tests {
         w.value_str("b");
         w.end_array();
         assert_eq!(w.finish(), r#"["a","b"]"#);
+    }
+
+    #[test]
+    fn parser_reads_writer_output() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("name", "waves");
+        w.field_u64("big", u64::MAX);
+        w.field_i64("neg", -7);
+        w.field_f64("p50", 1.5);
+        w.field_bool("on", true);
+        w.field_array("xs");
+        w.value_u64(1);
+        w.value_u64(2);
+        w.end_array();
+        w.end_object();
+        let v = JsonValue::parse(&w.finish()).unwrap();
+        assert_eq!(v.get("name").and_then(JsonValue::as_str), Some("waves"));
+        assert_eq!(v.get("big").and_then(JsonValue::as_u64), Some(u64::MAX));
+        assert_eq!(v.get("neg"), Some(&JsonValue::I64(-7)));
+        assert_eq!(v.get("p50").and_then(JsonValue::as_f64), Some(1.5));
+        assert_eq!(v.get("on").and_then(JsonValue::as_bool), Some(true));
+        let xs = v.get("xs").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(xs.len(), 2);
+        assert_eq!(xs[1].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_unicode() {
+        let v = JsonValue::parse(r#""a\"b\\c\nd\te\u0001 ü \u00fc \ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\nd\te\u{1} ü ü \u{1F600}"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "\"bad \u{1} control\"",
+            "\"\\ud800 unpaired\"",
+            "\"\\q\"",
+            "nullx",
+            "--1",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_accepts_whitespace_and_nesting() {
+        let v = JsonValue::parse(" { \"a\" : [ 1 , { \"b\" : null } ] } ").unwrap();
+        let arr = v.get("a").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(arr[0], JsonValue::U64(1));
+        assert_eq!(arr[1].get("b"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn parser_depth_is_bounded() {
+        let deep = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(JsonValue::parse(&deep).is_err());
     }
 }

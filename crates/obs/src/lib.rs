@@ -19,18 +19,29 @@
 //! * [`MetricsRegistry`] — a fixed set of well-known counters and
 //!   histograms ([`MetricId`], [`HistId`]) that itself implements
 //!   [`Recorder`], snapshots to a plain [`MetricsSnapshot`] struct, and
-//!   renders as text or hand-rolled JSON (no serde).
+//!   renders as text, hand-rolled JSON (no serde), or Prometheus text
+//!   exposition — plus per-shard and per-key-family dimensions backed
+//!   by flat atomic arrays, so snapshots show engine load skew;
+//! * [`trace`] — request tracing: [`Span`]/[`TraceId`] records on a
+//!   monotonic process clock, retained by the ring-buffered
+//!   [`SpanRecorder`], gated behind [`Recorder::trace_enabled`] with
+//!   the same noop-monomorphization contract as metrics;
+//! * [`JsonValue`] — a strict minimal JSON parser, enough to decode a
+//!   remote [`MetricsSnapshot`] fetched over the wire.
 //!
 //! Everything is std-only: the crate has no dependencies.
 
 mod histogram;
 mod json;
 mod recorder;
-mod registry;
+pub mod registry;
+pub mod trace;
 
 pub use histogram::{HistogramSnapshot, LogHistogram};
-pub use json::JsonWriter;
+pub use json::{JsonValue, JsonWriter};
 pub use recorder::{
-    BufferSink, Event, Fanout, HistId, MetricId, NoopRecorder, OwnedEvent, Recorder,
+    BufferSink, Event, Fanout, HistId, MetricId, NoopRecorder, OwnedEvent, Recorder, ShardStat,
+    MAX_TRACKED_SHARDS, NUM_KEY_FAMILIES,
 };
-pub use registry::{MetricsRegistry, MetricsSnapshot};
+pub use registry::{MetricsRegistry, MetricsSnapshot, ShardStats};
+pub use trace::{Span, SpanRecorder, Stage, TraceCtx, TraceId};

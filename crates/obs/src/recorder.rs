@@ -81,10 +81,16 @@ pub enum MetricId {
     StoreSegmentsReclaimed,
     /// Batch records replayed from the WAL during recovery.
     StoreBatchesRecovered,
+    /// Requests whose server-side handling exceeded the slow-request
+    /// threshold (each also emits a `net.slow_request` event).
+    NetSlowRequests,
+    /// Times a shard's WAL was disabled after an append error (nonzero
+    /// means the engine is running degraded, without durability).
+    StoreWalDisabled,
 }
 
 /// Number of [`MetricId`] variants (length of the registry's array).
-pub const NUM_METRICS: usize = 33;
+pub const NUM_METRICS: usize = 35;
 
 impl MetricId {
     pub const ALL: [MetricId; NUM_METRICS] = [
@@ -121,6 +127,8 @@ impl MetricId {
         MetricId::StoreCheckpoints,
         MetricId::StoreSegmentsReclaimed,
         MetricId::StoreBatchesRecovered,
+        MetricId::NetSlowRequests,
+        MetricId::StoreWalDisabled,
     ];
 
     /// Stable snake_case name used in text and JSON output.
@@ -159,9 +167,39 @@ impl MetricId {
             MetricId::StoreCheckpoints => "store_checkpoints_total",
             MetricId::StoreSegmentsReclaimed => "store_segments_reclaimed_total",
             MetricId::StoreBatchesRecovered => "store_batches_recovered_total",
+            MetricId::NetSlowRequests => "net_slow_requests_total",
+            MetricId::StoreWalDisabled => "store_wal_disabled_total",
         }
     }
 }
+
+/// Per-shard counters tracked by the registry's flat shard array.
+/// Deliberately tiny: these are incremented on the shard-worker hot path
+/// with nothing but an index computation (no hashing, no locks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum ShardStat {
+    /// Items (bits) applied by this shard's worker.
+    Items,
+    /// Ingest batches applied by this shard's worker.
+    Batches,
+    /// Queries answered by this shard's worker.
+    Queries,
+}
+
+/// Number of [`ShardStat`] variants.
+pub const NUM_SHARD_STATS: usize = 3;
+
+/// Shards tracked individually by the registry. Engines with more
+/// shards fold the overflow into the last slot, so sums over the shard
+/// dimension always equal the corresponding global counter.
+pub const MAX_TRACKED_SHARDS: usize = 64;
+
+/// Key families tracked by the registry: the top 4 bits of the engine's
+/// Fibonacci key mix, a coarse load-skew fingerprint that costs one
+/// shift on the hot path (the mix is already computed for shard
+/// routing).
+pub const NUM_KEY_FAMILIES: usize = 16;
 
 /// Well-known latency histograms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -289,6 +327,41 @@ pub trait Recorder {
     fn event(&self, event: Event<'_>) {
         let _ = event;
     }
+
+    /// Whether this recorder keeps completed trace spans. Span sites are
+    /// gated on this exactly like `enabled()` gates latency clock reads,
+    /// so the noop path never constructs a [`Span`](crate::trace::Span).
+    #[inline(always)]
+    fn trace_enabled(&self) -> bool {
+        false
+    }
+
+    /// Record one completed trace span.
+    #[inline(always)]
+    fn span(&self, span: crate::trace::Span) {
+        let _ = span;
+    }
+
+    /// Increment a per-shard counter (see
+    /// [`MAX_TRACKED_SHARDS`]; sinks clamp out-of-range indices).
+    #[inline(always)]
+    fn incr_shard(&self, shard: usize, stat: ShardStat, by: u64) {
+        let _ = (shard, stat, by);
+    }
+
+    /// Increment a per-key-family ingest counter (see
+    /// [`NUM_KEY_FAMILIES`]; sinks mask out-of-range indices).
+    #[inline(always)]
+    fn incr_family(&self, family: usize, by: u64) {
+        let _ = (family, by);
+    }
+
+    /// A live metrics snapshot, if this recorder (or one it fans out
+    /// to) is backed by a registry. Lets generic servers answer remote
+    /// STATS requests without naming a concrete recorder type.
+    fn metrics_snapshot(&self) -> Option<crate::registry::MetricsSnapshot> {
+        None
+    }
 }
 
 /// The disabled recorder: every method is an empty inline body, so
@@ -323,6 +396,30 @@ impl<T: Recorder + ?Sized> Recorder for &T {
     fn event(&self, event: Event<'_>) {
         (**self).event(event)
     }
+
+    #[inline(always)]
+    fn trace_enabled(&self) -> bool {
+        (**self).trace_enabled()
+    }
+
+    #[inline(always)]
+    fn span(&self, span: crate::trace::Span) {
+        (**self).span(span)
+    }
+
+    #[inline(always)]
+    fn incr_shard(&self, shard: usize, stat: ShardStat, by: u64) {
+        (**self).incr_shard(shard, stat, by)
+    }
+
+    #[inline(always)]
+    fn incr_family(&self, family: usize, by: u64) {
+        (**self).incr_family(family, by)
+    }
+
+    fn metrics_snapshot(&self) -> Option<crate::registry::MetricsSnapshot> {
+        (**self).metrics_snapshot()
+    }
 }
 
 /// Broadcasts to two recorders (compose into wider fans by nesting).
@@ -351,6 +448,35 @@ impl<A: Recorder, B: Recorder> Recorder for Fanout<A, B> {
     fn event(&self, event: Event<'_>) {
         self.0.event(event);
         self.1.event(event);
+    }
+
+    #[inline]
+    fn trace_enabled(&self) -> bool {
+        self.0.trace_enabled() || self.1.trace_enabled()
+    }
+
+    #[inline]
+    fn span(&self, span: crate::trace::Span) {
+        self.0.span(span);
+        self.1.span(span);
+    }
+
+    #[inline]
+    fn incr_shard(&self, shard: usize, stat: ShardStat, by: u64) {
+        self.0.incr_shard(shard, stat, by);
+        self.1.incr_shard(shard, stat, by);
+    }
+
+    #[inline]
+    fn incr_family(&self, family: usize, by: u64) {
+        self.0.incr_family(family, by);
+        self.1.incr_family(family, by);
+    }
+
+    fn metrics_snapshot(&self) -> Option<crate::registry::MetricsSnapshot> {
+        self.0
+            .metrics_snapshot()
+            .or_else(|| self.1.metrics_snapshot())
     }
 }
 
@@ -428,6 +554,53 @@ mod tests {
         assert_eq!(evs[0].name, "wave_evict");
         assert_eq!(evs[0].fields, vec![("level", 3), ("pos", 17)]);
         assert_eq!(evs[0].to_string(), "wave_evict level=3 pos=17");
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn noop_trace_is_disabled() {
+        let r = NoopRecorder;
+        assert!(!r.trace_enabled());
+        assert!(r.metrics_snapshot().is_none());
+        // Default bodies: must be callable and do nothing.
+        r.incr_shard(3, ShardStat::Items, 5);
+        r.incr_family(7, 1);
+        r.span(crate::trace::Span {
+            trace: crate::trace::TraceId(1),
+            id: 2,
+            parent: 0,
+            stage: crate::trace::Stage::Request,
+            start_ns: 0,
+            dur_ns: 1,
+        });
+    }
+
+    #[test]
+    fn buffer_sink_concurrent_drain_sees_all() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 500;
+        let sink = BufferSink::new();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let sink = &sink;
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        sink.event(Event {
+                            name: "smoke",
+                            fields: &[("t", t), ("i", i)],
+                        });
+                    }
+                });
+            }
+        });
+        let evs = sink.drain();
+        assert_eq!(evs.len(), (THREADS * PER_THREAD) as usize);
+        // Every (t, i) pair arrived exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for ev in &evs {
+            assert_eq!(ev.name, "smoke");
+            assert!(seen.insert(ev.fields.clone()), "duplicate event {ev}");
+        }
         assert!(sink.is_empty());
     }
 

@@ -20,6 +20,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use waves_obs::trace::{next_span_id, now_ns, Span, Stage, TraceCtx};
 use waves_obs::{HistId, MetricId, Recorder};
 
 use crate::checkpoint::{
@@ -200,27 +201,62 @@ impl ShardStore {
         batch: &[(u64, Vec<bool>)],
         rec: &R,
     ) -> io::Result<WalPosition> {
+        self.append_batch_traced(batch, rec, TraceCtx::NONE)
+    }
+
+    /// [`ShardStore::append_batch`] carrying a [`TraceCtx`]: records a
+    /// `wal` span over the whole append (parented to `ctx.parent`) with
+    /// a child `fsync` span when the sync policy fired. Identical to
+    /// `append_batch` when `ctx` is inactive or the recorder keeps no
+    /// traces.
+    pub fn append_batch_traced<R: Recorder + ?Sized>(
+        &mut self,
+        batch: &[(u64, Vec<bool>)],
+        rec: &R,
+        ctx: TraceCtx,
+    ) -> io::Result<WalPosition> {
         let enabled = rec.enabled();
         let t0 = enabled.then(Instant::now);
+        let wal_span = (ctx.active() && rec.trace_enabled()).then(|| (next_span_id(), now_ns()));
         let framed = frame_record(&encode_batch_payload(batch));
         if !self.writer.is_empty() && self.writer.len() + framed.len() as u64 > self.segment_bytes {
             self.rotate(rec)?;
         }
         let offset = self.writer.append(&framed)?;
         self.unsynced += 1;
-        match self.sync {
-            SyncPolicy::EveryBatch => self.sync(rec)?,
-            SyncPolicy::EveryN(n) => {
-                if self.unsynced >= n as u64 {
-                    self.sync(rec)?;
-                }
+        let must_sync = match self.sync {
+            SyncPolicy::EveryBatch => true,
+            SyncPolicy::EveryN(n) => self.unsynced >= n as u64,
+            SyncPolicy::OnCheckpoint => false,
+        };
+        if must_sync {
+            let fsync_span = wal_span.map(|(wal_id, _)| (next_span_id(), now_ns(), wal_id));
+            self.sync(rec)?;
+            if let Some((id, start, wal_id)) = fsync_span {
+                rec.span(Span {
+                    trace: ctx.trace,
+                    id,
+                    parent: wal_id,
+                    stage: Stage::Fsync,
+                    start_ns: start,
+                    dur_ns: now_ns().saturating_sub(start),
+                });
             }
-            SyncPolicy::OnCheckpoint => {}
         }
         rec.incr(MetricId::StoreWalAppends, 1);
         rec.incr(MetricId::StoreWalBytes, framed.len() as u64);
         if let Some(t0) = t0 {
             rec.observe(HistId::StoreWalAppendNs, t0.elapsed().as_nanos() as u64);
+        }
+        if let Some((id, start)) = wal_span {
+            rec.span(Span {
+                trace: ctx.trace,
+                id,
+                parent: ctx.parent,
+                stage: Stage::Wal,
+                start_ns: start,
+                dur_ns: now_ns().saturating_sub(start),
+            });
         }
         Ok(WalPosition {
             seq: self.writer.seq(),
@@ -324,6 +360,35 @@ mod tests {
 
     fn recover(dir: &Path, sync: SyncPolicy, seg: u64) -> RecoveredShard {
         ShardStore::recover(dir, sync, seg, &NoopRecorder).unwrap()
+    }
+
+    #[test]
+    fn traced_append_records_wal_and_fsync_spans() {
+        use waves_obs::trace::{SpanRecorder, TraceId};
+        let dir = tmp_dir("shard-trace");
+        let mut store = recover(&dir, SyncPolicy::EveryBatch, 1 << 20).store;
+        let rec = SpanRecorder::new();
+        let ctx = TraceCtx {
+            trace: TraceId(77),
+            parent: 5,
+        };
+        store.append_batch_traced(&batch(0), &rec, ctx).unwrap();
+        let spans = rec.trace(TraceId(77));
+        let wal = spans
+            .iter()
+            .find(|s| s.stage == Stage::Wal)
+            .expect("wal span");
+        let fsync = spans
+            .iter()
+            .find(|s| s.stage == Stage::Fsync)
+            .expect("fsync span under EveryBatch");
+        assert_eq!(wal.parent, 5);
+        assert_eq!(fsync.parent, wal.id);
+        assert!(fsync.dur_ns <= wal.dur_ns);
+        // Untraced calls record nothing.
+        store.append_batch(&batch(1), &rec).unwrap();
+        assert_eq!(rec.spans().len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -38,6 +38,7 @@ fn start_server() -> Server {
                 .eps(0.25)
                 .build(),
             read_timeout: None,
+            ..Default::default()
         },
     )
     .unwrap()
@@ -140,7 +141,7 @@ fn stalled_replies_surface_timeout_within_budget() {
 #[test]
 fn corrupted_reply_surfaces_invalid_data() {
     let server = start_server();
-    let proxy = ChaosProxy::start(server.local_addr(), Fault::CorruptByteAt(12)).unwrap();
+    let proxy = ChaosProxy::start(server.local_addr(), Fault::CorruptByteAt(20)).unwrap();
     let mut client = Client::connect_with(
         proxy.local_addr(),
         ClientConfig {
@@ -149,8 +150,8 @@ fn corrupted_reply_surfaces_invalid_data() {
         },
     )
     .unwrap();
-    // The ingest's Ok reply occupies stream offsets 0..12 (8-byte
-    // header + 4-byte CRC trailer); offset 12 is the first byte of the
+    // The ingest's Ok reply occupies stream offsets 0..20 (16-byte
+    // header + 4-byte CRC trailer); offset 20 is the first byte of the
     // query reply's frame, so the flip breaks its magic.
     client.ingest(5, &[true, true, true]).unwrap();
     let t0 = Instant::now();

@@ -16,6 +16,7 @@ fn server_on_ephemeral(shards: usize, window: u64, eps: f64) -> Server {
             .eps(eps)
             .build(),
         read_timeout: None,
+        ..Default::default()
     };
     Server::start("127.0.0.1:0", cfg).unwrap()
 }

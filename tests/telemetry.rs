@@ -1,0 +1,275 @@
+//! End-to-end telemetry over the full networked stack: one traced
+//! request must leave a complete span tree in the ring — client request
+//! root, wire exchange, server dispatch, shard-queue wait, shard
+//! execution, and (for ingest with persistence) WAL append + fsync —
+//! and the remote STATS frame must return a snapshot whose per-shard
+//! dimensions reconcile with the global counters.
+//!
+//! Server and client share one recorder here (same process), so the
+//! whole distributed trace lands in a single `SpanRecorder` ring.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use waves::net::{Client, ClientConfig, Server, ServerConfig};
+use waves::obs::trace::ROOT_SPAN_ID;
+use waves::obs::{
+    BufferSink, Fanout, MetricsRegistry, Recorder, Span, SpanRecorder, Stage, TraceId,
+};
+use waves::store::{scratch_dir, PersistConfig, SyncPolicy};
+use waves::EngineConfig;
+
+/// Metrics + span ring + event sink, fanned out as one recorder.
+type Telemetry = Fanout<Fanout<MetricsRegistry, SpanRecorder>, BufferSink>;
+
+fn telemetry() -> Arc<Telemetry> {
+    Arc::new(Fanout(
+        Fanout(MetricsRegistry::new(), SpanRecorder::new()),
+        BufferSink::new(),
+    ))
+}
+
+fn ring(tel: &Telemetry) -> &SpanRecorder {
+    &tel.0 .1
+}
+
+fn stages(spans: &[Span]) -> HashSet<Stage> {
+    spans.iter().map(|s| s.stage).collect()
+}
+
+/// The one-big-test shape is deliberate: the traced ingest, the traced
+/// query, the remote stats reconciliation, and the slow-request event
+/// all observe the same two requests, so splitting them would just
+/// re-run the server four times.
+#[test]
+fn traced_request_produces_full_span_tree_and_stats_reconcile() {
+    let root = scratch_dir("telemetry-e2e");
+    let tel = telemetry();
+    let server = Server::start_recorded(
+        "127.0.0.1:0",
+        ServerConfig {
+            engine: EngineConfig::builder()
+                .num_shards(2)
+                .max_window(256)
+                .eps(0.2)
+                .persist_config(PersistConfig::new(&root).sync_policy(SyncPolicy::EveryBatch))
+                .build(),
+            read_timeout: None,
+            // Zero threshold: every request is "slow", so the log-event
+            // path (which names the trace id) fires deterministically.
+            slow_request: Some(Duration::ZERO),
+        },
+        Arc::clone(&tel),
+    )
+    .unwrap();
+    let mut client = Client::connect_recorded(
+        server.local_addr(),
+        ClientConfig::default(),
+        Arc::clone(&tel),
+    )
+    .unwrap();
+
+    // One batch across both shards: keys 0..8, 5 bits each = 40 items.
+    let batch: Vec<(u64, Vec<bool>)> = (0..8u64)
+        .map(|k| (k, vec![true, false, true, true, false]))
+        .collect();
+    client.ingest_batch(&batch).unwrap();
+    let ingest_trace = client.last_trace().expect("ingest was traced");
+    // Barrier: the batch is applied and (EveryBatch) WAL-synced, so the
+    // shard/wal spans of the ingest trace are in the ring.
+    client.flush().unwrap();
+
+    let est = client.query(3, 256).unwrap();
+    assert_eq!(est.value, 3.0);
+    let query_trace = client.last_trace().expect("query was traced");
+    assert_ne!(ingest_trace, query_trace, "each request gets a fresh id");
+
+    // The ingest trace reaches the bottom of the stack: with EveryBatch
+    // persistence its tree carries WAL append and fsync spans alongside
+    // the transport and engine stages.
+    let ingest_spans = ring(&tel).trace(ingest_trace);
+    let got = stages(&ingest_spans);
+    for want in [
+        Stage::Request,
+        Stage::Wire,
+        Stage::Dispatch,
+        Stage::Queue,
+        Stage::Shard,
+        Stage::Wal,
+        Stage::Fsync,
+    ] {
+        assert!(
+            got.contains(&want),
+            "ingest trace is missing {want:?}; tree:\n{}",
+            ring(&tel).render_trace(ingest_trace)
+        );
+    }
+
+    // The query trace: client root + wire + dispatch + queue + shard,
+    // i.e. >= 4 distinct stages below the root. The query is answered
+    // synchronously, so every child's duration fits inside the root's.
+    let query_spans = ring(&tel).trace(query_trace);
+    let got = stages(&query_spans);
+    for want in [
+        Stage::Request,
+        Stage::Wire,
+        Stage::Dispatch,
+        Stage::Queue,
+        Stage::Shard,
+    ] {
+        assert!(
+            got.contains(&want),
+            "query trace is missing {want:?}; tree:\n{}",
+            ring(&tel).render_trace(query_trace)
+        );
+    }
+    let query_root = query_spans
+        .iter()
+        .find(|s| s.id == ROOT_SPAN_ID)
+        .expect("client root span");
+    assert_eq!(query_root.stage, Stage::Request);
+    assert_eq!(query_root.parent, 0, "the root parents to nothing");
+    for child in query_spans.iter().filter(|s| s.id != ROOT_SPAN_ID) {
+        assert!(
+            child.dur_ns <= query_root.dur_ns,
+            "{:?} span ({} ns) outlasted the request root ({} ns)",
+            child.stage,
+            child.dur_ns,
+            query_root.dur_ns
+        );
+    }
+    // Cross-process parent convention: both sides' top spans hang off
+    // ROOT_SPAN_ID even though the server never saw the client's spans.
+    let wire = query_spans.iter().find(|s| s.stage == Stage::Wire).unwrap();
+    let dispatch = query_spans
+        .iter()
+        .find(|s| s.stage == Stage::Dispatch)
+        .unwrap();
+    assert_eq!(wire.parent, ROOT_SPAN_ID);
+    assert_eq!(dispatch.parent, ROOT_SPAN_ID);
+    // Queue and shard descend from the dispatch span.
+    for stage in [Stage::Queue, Stage::Shard] {
+        let s = query_spans.iter().find(|s| s.stage == stage).unwrap();
+        assert_eq!(s.parent, dispatch.id, "{stage:?} parents to dispatch");
+    }
+    // The rendered tree nests: the root line unindented, children under.
+    let rendered = ring(&tel).render_trace(query_trace);
+    assert!(rendered.starts_with("request "), "{rendered}");
+    assert!(rendered.contains("\n  wire "), "{rendered}");
+
+    // Remote stats: the snapshot fetched over the wire reconciles with
+    // itself — per-shard items sum to the global ingest counter, and
+    // both equal what this test actually sent (40 items).
+    let snap = client.stats().unwrap();
+    let global = snap.counter("engine_items_ingested_total").unwrap();
+    assert_eq!(global, 40);
+    let per_shard: u64 = snap.shards.iter().map(|s| s.items).sum();
+    assert_eq!(per_shard, global, "shard dimension must sum to the total");
+    assert!(
+        snap.shards.iter().filter(|s| s.items > 0).count() >= 2,
+        "keys 0..8 must spread across both shards: {:?}",
+        snap.shards
+    );
+    let per_family: u64 = snap.families.iter().sum();
+    assert_eq!(per_family, global, "family dimension must sum to the total");
+    assert!(snap.counter("net_slow_requests_total").unwrap() >= 2);
+
+    // The slow-request log names the trace id, so an operator can go
+    // from the log line straight to the span tree.
+    let events = tel.1.drain();
+    let slow: Vec<_> = events
+        .iter()
+        .filter(|e| e.name == "net.slow_request")
+        .collect();
+    assert!(
+        slow.iter().any(|e| e
+            .fields
+            .iter()
+            .any(|&(k, v)| k == "trace" && v == query_trace.0)),
+        "no slow-request event names the query trace: {slow:?}"
+    );
+
+    client.shutdown_server().unwrap();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Untraced operation stays untraced: a default client against a
+/// recorded server allocates no trace ids (the wire header carries 0),
+/// and the server records no spans for it.
+#[test]
+fn untraced_clients_leave_no_spans() {
+    let tel = telemetry();
+    let server = Server::start_recorded(
+        "127.0.0.1:0",
+        ServerConfig {
+            engine: EngineConfig::builder()
+                .num_shards(1)
+                .max_window(64)
+                .eps(0.25)
+                .build(),
+            read_timeout: None,
+            slow_request: None,
+        },
+        Arc::clone(&tel),
+    )
+    .unwrap();
+    // Plain connect: NoopRecorder, trace_enabled() = false.
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.ingest(1, &[true, true]).unwrap();
+    client.flush().unwrap();
+    assert_eq!(client.query(1, 64).unwrap().value, 2.0);
+    assert_eq!(client.last_trace(), None);
+    assert_eq!(ring(&tel).total_recorded(), 0, "{:?}", ring(&tel).spans());
+    // Metrics still flow — tracing and metrics gate independently.
+    assert!(
+        tel.metrics_snapshot()
+            .unwrap()
+            .counter("engine_items_ingested_total")
+            == Some(2)
+    );
+}
+
+/// Trace ids are allocated per attempt, so two consecutive traced
+/// requests never share a trace (retries would otherwise merge two
+/// wire exchanges under one tree).
+#[test]
+fn consecutive_requests_get_distinct_traces() {
+    let tel = telemetry();
+    let server = Server::start_recorded(
+        "127.0.0.1:0",
+        ServerConfig {
+            engine: EngineConfig::builder()
+                .num_shards(1)
+                .max_window(64)
+                .eps(0.25)
+                .build(),
+            read_timeout: None,
+            slow_request: None,
+        },
+        Arc::clone(&tel),
+    )
+    .unwrap();
+    let mut client = Client::connect_recorded(
+        server.local_addr(),
+        ClientConfig::default(),
+        Arc::clone(&tel),
+    )
+    .unwrap();
+    let mut seen = HashSet::new();
+    for _ in 0..5 {
+        client.ping().unwrap();
+        let id = client.last_trace().expect("ping was traced");
+        assert_ne!(id, TraceId::NONE);
+        assert!(seen.insert(id), "trace id reused: {id:?}");
+    }
+    // Every trace made it to the ring with its own request root.
+    for id in &seen {
+        let spans = ring(&tel).trace(*id);
+        assert!(
+            spans.iter().any(|s| s.id == ROOT_SPAN_ID),
+            "trace {id:?} has no root span"
+        );
+    }
+}
