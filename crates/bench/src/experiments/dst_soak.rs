@@ -35,7 +35,7 @@ pub fn run() {
         tcp_seeds += sched.cfg.tcp as u64;
         for step in &sched.steps {
             match step {
-                Step::Ingest(_) => ingests += 1,
+                Step::Ingest { .. } => ingests += 1,
                 Step::Query { .. } => queries += 1,
                 Step::Chaos { .. } => chaos += 1,
                 Step::Crash { .. } => crashes += 1,

@@ -18,7 +18,7 @@
 use crate::table::{f, Table};
 use std::sync::Arc;
 use std::time::Instant;
-use waves_engine::{Engine, EngineConfig, KeyedBits};
+use waves_engine::{Engine, EngineConfig, IngestRequest, KeyedBits};
 use waves_obs::MetricsRegistry;
 use waves_streamgen::KeyedWorkload;
 
@@ -34,7 +34,7 @@ fn make_batches(num_keys: u64, batch: usize) -> Vec<Vec<KeyedBits>> {
     let mut remaining = EVENTS;
     while remaining > 0 {
         let n = remaining.min(batch as u64) as usize;
-        batches.push(workload.next_batch(n));
+        batches.push(workload.next_packed_batch(n));
         remaining -= n as u64;
     }
     batches
@@ -54,7 +54,9 @@ fn one_run(shards: usize, batches: &[Vec<KeyedBits>]) -> f64 {
     let engine = Engine::new(engine_cfg(shards)).unwrap();
     let t0 = Instant::now();
     for b in batches {
-        engine.ingest_batch_blocking(b);
+        engine
+            .ingest(IngestRequest::batch(b.clone()).blocking(true))
+            .unwrap();
     }
     engine.flush();
     let secs = t0.elapsed().as_secs_f64();
@@ -68,7 +70,9 @@ fn one_run_recorded(shards: usize, batches: &[Vec<KeyedBits>]) -> f64 {
     let engine = Engine::new_recorded(engine_cfg(shards), Arc::clone(&reg)).unwrap();
     let t0 = Instant::now();
     for b in batches {
-        engine.ingest_batch_blocking(b);
+        engine
+            .ingest(IngestRequest::batch(b.clone()).blocking(true))
+            .unwrap();
     }
     engine.flush();
     let secs = t0.elapsed().as_secs_f64();
@@ -179,11 +183,13 @@ mod tests {
     #[test]
     fn tiny_sweep_replays_losslessly() {
         let mut workload = KeyedWorkload::new(100, 8, 0.5, 18);
-        let batches: Vec<_> = (0..10).map(|_| workload.next_batch(16)).collect();
+        let batches: Vec<_> = (0..10).map(|_| workload.next_packed_batch(16)).collect();
         for shards in [1usize, 2] {
             let engine = Engine::new(engine_cfg(shards)).unwrap();
             for b in &batches {
-                engine.ingest_batch_blocking(b);
+                engine
+                    .ingest(IngestRequest::batch(b.clone()).blocking(true))
+                    .unwrap();
             }
             engine.flush();
             assert_eq!(engine.dropped_items(), 0);

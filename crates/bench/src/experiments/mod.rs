@@ -18,6 +18,7 @@ pub mod scenarios;
 pub mod space;
 pub mod sum;
 pub mod union;
+pub mod word_ingest;
 
 /// Dispatch an experiment by id. Returns false for an unknown id.
 pub fn run(id: &str) -> bool {
@@ -47,6 +48,7 @@ pub fn run(id: &str) -> bool {
         "net-loopback" => net_loopback::run(),
         "persistence" => persistence::run(),
         "dst-soak" => dst_soak::run(),
+        "word-ingest" => word_ingest::run(),
         _ => return false,
     }
     true

@@ -17,7 +17,7 @@
 
 use crate::table::{f, Table};
 use std::time::Instant;
-use waves_engine::{Engine, EngineConfig, KeyedBits};
+use waves_engine::{Engine, EngineConfig, IngestRequest, KeyedBits};
 use waves_net::{Client, ClientConfig, Server, ServerConfig};
 use waves_streamgen::KeyedWorkload;
 
@@ -44,7 +44,7 @@ fn make_batches(batch: usize) -> Vec<Vec<KeyedBits>> {
     let mut remaining = EVENTS;
     while remaining > 0 {
         let n = remaining.min(batch as u64) as usize;
-        batches.push(workload.next_batch(n));
+        batches.push(workload.next_packed_batch(n));
         remaining -= n as u64;
     }
     batches
@@ -56,7 +56,7 @@ fn one_net_run(server_addr: std::net::SocketAddr, batches: &[Vec<KeyedBits>]) ->
     let mut client = Client::connect_with(server_addr, ClientConfig::default()).unwrap();
     let t0 = Instant::now();
     for b in batches {
-        client.ingest_batch(b).unwrap();
+        client.ingest(IngestRequest::batch(b.clone())).unwrap();
     }
     client.flush().unwrap();
     let secs = t0.elapsed().as_secs_f64();
@@ -72,7 +72,9 @@ fn one_local_run(batches: &[Vec<KeyedBits>]) -> (f64, f64) {
     let engine = Engine::new(engine_cfg()).unwrap();
     let t0 = Instant::now();
     for b in batches {
-        engine.ingest_batch_blocking(b);
+        engine
+            .ingest(IngestRequest::batch(b.clone()).blocking(true))
+            .unwrap();
     }
     engine.flush();
     let secs = t0.elapsed().as_secs_f64();

@@ -22,7 +22,7 @@
 
 use crate::table::{f, Table};
 use std::time::Instant;
-use waves_engine::{Engine, EngineConfig, KeyedBits, PersistConfig, SyncPolicy};
+use waves_engine::{Engine, EngineConfig, IngestRequest, KeyedBits, PersistConfig, SyncPolicy};
 use waves_streamgen::KeyedWorkload;
 
 const REPS: usize = 3;
@@ -40,7 +40,7 @@ fn make_batches() -> Vec<Vec<KeyedBits>> {
     let mut remaining = EVENTS;
     while remaining > 0 {
         let n = remaining.min(BATCH as u64) as usize;
-        batches.push(workload.next_batch(n));
+        batches.push(workload.next_packed_batch(n));
         remaining -= n as u64;
     }
     batches
@@ -67,7 +67,9 @@ fn one_run(persist: Option<PersistConfig>, batches: &[Vec<KeyedBits>]) -> f64 {
     let engine = Engine::new(cfg(persist)).unwrap();
     let t0 = Instant::now();
     for b in batches {
-        engine.ingest_batch_blocking(b);
+        engine
+            .ingest(IngestRequest::batch(b.clone()).blocking(true))
+            .unwrap();
     }
     engine.flush();
     let secs = t0.elapsed().as_secs_f64();
@@ -105,7 +107,9 @@ fn recovery_secs(tag: &str, batches: &[Vec<KeyedBits>], take: usize) -> f64 {
     {
         let engine = Engine::new(cfg(Some(pc()))).unwrap();
         for b in &batches[..take] {
-            engine.ingest_batch_blocking(b);
+            engine
+                .ingest(IngestRequest::batch(b.clone()).blocking(true))
+                .unwrap();
         }
         engine.flush();
         // Leak the engine: Drop would write a shutdown checkpoint and
@@ -163,7 +167,9 @@ pub fn run() {
     {
         let engine = Engine::new(cfg(Some(pc.clone()))).unwrap();
         for b in &batches {
-            engine.ingest_batch_blocking(b);
+            engine
+                .ingest(IngestRequest::batch(b.clone()).blocking(true))
+                .unwrap();
         }
         engine.checkpoint().unwrap();
         std::mem::forget(engine);
@@ -203,15 +209,18 @@ mod tests {
     #[test]
     fn tiny_persist_run_matches_memory_engine() {
         let mut workload = KeyedWorkload::new(50, 8, 0.5, 20);
-        let batches: Vec<_> = (0..8).map(|_| workload.next_batch(16)).collect();
+        let batches: Vec<_> = (0..8).map(|_| workload.next_packed_batch(16)).collect();
         let dir = scratch("tiny");
         let pc = PersistConfig::new(&dir).sync_policy(SyncPolicy::EveryBatch);
         let mem = Engine::new(cfg(None)).unwrap();
         {
             let persisted = Engine::new(cfg(Some(pc.clone()))).unwrap();
             for b in &batches {
-                mem.ingest_batch_blocking(b);
-                persisted.ingest_batch_blocking(b);
+                mem.ingest(IngestRequest::batch(b.clone()).blocking(true))
+                    .unwrap();
+                persisted
+                    .ingest(IngestRequest::batch(b.clone()).blocking(true))
+                    .unwrap();
             }
             persisted.flush();
         }

@@ -81,6 +81,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "dst-soak",
         "E21: deterministic-simulation soak over seed-derived fault schedules",
     ),
+    (
+        "word-ingest",
+        "E22: word-packed ingest pipeline vs the bool-slice path",
+    ),
 ];
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use waves_core::BitSynopsis;
 use waves_eh::EhCount;
-use waves_engine::{Engine, EngineConfig};
+use waves_engine::{Engine, EngineConfig, IngestRequest};
 use waves_obs::{MetricsRegistry, Recorder};
 use waves_streamgen::KeyedWorkload;
 
@@ -75,8 +75,10 @@ where
     let mut remaining = cfg.items;
     while remaining > 0 {
         let n = remaining.min(cfg.batch as u64) as usize;
-        let batch = workload.next_batch(n);
-        engine.ingest_batch_blocking(&batch);
+        let batch = workload.next_packed_batch(n);
+        engine
+            .ingest(IngestRequest::batch(batch).blocking(true))
+            .map_err(|e| e.to_string())?;
         remaining -= n as u64;
     }
     engine.flush();

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use waves_net::{Client, ClientConfig, Server, ServerConfig};
 use waves_obs::MetricsRegistry;
 
-use waves_engine::EngineConfig;
+use waves_engine::{EngineConfig, IngestRequest};
 
 /// Run the `serve` subcommand: host the engine until shut down.
 ///
@@ -108,11 +108,13 @@ where
         writeln!(out, "pong").map_err(|e| e.to_string())?;
     }
     if let Some(bits) = &cfg.bits {
-        let parsed: Vec<bool> = bits.chars().map(|c| c == '1').collect();
-        client.ingest(cfg.key, &parsed).map_err(|e| e.to_string())?;
-        client.flush().map_err(|e| e.to_string())?;
-        writeln!(out, "ingested {} bits for key {}", parsed.len(), cfg.key)
+        let parsed: waves_core::Bits = bits.chars().map(|c| c == '1').collect();
+        let n = parsed.len();
+        client
+            .ingest(IngestRequest::of(cfg.key, parsed))
             .map_err(|e| e.to_string())?;
+        client.flush().map_err(|e| e.to_string())?;
+        writeln!(out, "ingested {n} bits for key {}", cfg.key).map_err(|e| e.to_string())?;
     }
     if cfg.do_query {
         let est = client

@@ -267,7 +267,9 @@ mod tests {
         )
         .unwrap();
         let mut client = Client::connect(server.local_addr()).unwrap();
-        client.ingest(1, &[true, true, true]).unwrap();
+        client
+            .ingest(waves_engine::IngestRequest::of(1, [true, true, true]))
+            .unwrap();
         client.flush().unwrap();
 
         let cfg = Config {

@@ -92,6 +92,11 @@ impl BasicWave {
         if !b {
             return;
         }
+        self.push_one();
+    }
+
+    /// Record the 1-bit at the current position (`pos` already advanced).
+    fn push_one(&mut self) {
         self.rank += 1;
         let top = rank_level(self.rank).min(self.levels.len() as u32 - 1);
         let cap = (self.k + 1) as usize;
@@ -100,6 +105,43 @@ impl BasicWave {
             if q.len() > cap {
                 q.pop_front();
             }
+        }
+    }
+
+    /// Ingest a packed batch, oldest first. The basic wave does nothing
+    /// on a 0-bit beyond advancing `pos`, so a zero run of any length —
+    /// merged across whole words — is a single addition; only 1-bits
+    /// (found with `trailing_zeros`) touch the levels. State-identical
+    /// to per-bit [`BasicWave::push_bit`].
+    pub fn push_words(&mut self, bits: crate::bits::BitsRef<'_>) {
+        bits.scan_runs(|run| match run {
+            crate::bits::Run::Zeros(n) => self.pos += n,
+            crate::bits::Run::One => {
+                self.pos += 1;
+                self.push_one();
+            }
+        });
+    }
+
+    /// Space accounting for the basic wave, counting every stored copy
+    /// of every entry (the wave replicates entries across qualifying
+    /// levels, and its encoding cost charges each copy).
+    pub fn space_report(&self) -> crate::estimate::SpaceReport {
+        let contents = self.level_contents();
+        let entries: usize = contents.iter().map(Vec::len).sum();
+        let bits: u64 = contents
+            .iter()
+            .flat_map(|lv| {
+                lv.iter().map(|&(p, r)| {
+                    crate::space::elias_gamma_bits(p + 1) + crate::space::elias_gamma_bits(r + 1)
+                })
+            })
+            .sum();
+        crate::estimate::SpaceReport {
+            resident_bytes: std::mem::size_of_val(self)
+                + entries * std::mem::size_of::<(u64, u64)>(),
+            synopsis_bits: bits,
+            entries,
         }
     }
 

@@ -283,6 +283,21 @@ impl DetWave {
         }
     }
 
+    /// Packed-word counterpart of [`DetWave::push_bits`]: ingest `bits`
+    /// oldest first, 64 bits per word. 1-bits are located with
+    /// `trailing_zeros`, and runs of 0s — including whole zero words —
+    /// collapse into a single [`DetWave::skip_zeros`] call, so a sparse
+    /// stream costs O(ones) rather than O(len). State-identical to
+    /// pushing every bit through [`DetWave::push_bit`] (the
+    /// `push_words_matches_single_pushes` property test pins the
+    /// encoding byte-for-byte).
+    pub fn push_words(&mut self, bits: crate::bits::BitsRef<'_>) {
+        bits.scan_runs(|run| match run {
+            crate::bits::Run::Zeros(n) => self.skip_zeros(n),
+            crate::bits::Run::One => self.push_bit(true),
+        });
+    }
+
     /// Advance the stream by `count` 0-bits at once (used when a party
     /// observes a gap in a shared position space — Scenario 2). Amortized
     /// O(1) per expired entry.

@@ -27,6 +27,11 @@ impl ExactCount {
         }
     }
 
+    /// The maximum queryable window `N` (the prune bound).
+    pub fn max_window(&self) -> u64 {
+        self.max_window
+    }
+
     /// Stream length so far.
     pub fn pos(&self) -> u64 {
         self.pos
@@ -43,6 +48,27 @@ impl ExactCount {
             self.rank += 1;
             self.ones.push_back(self.pos);
         }
+        self.prune();
+    }
+
+    /// Ingest a packed batch, oldest first: record each 1-bit's absolute
+    /// position (located with `trailing_zeros`), advance `pos` over zero
+    /// runs in one addition, and prune the window once at the end.
+    /// Pruning is a monotone front-pop, so deferring it to the end of
+    /// the batch leaves exactly the per-bit state.
+    pub fn push_words(&mut self, bits: crate::bits::BitsRef<'_>) {
+        bits.scan_runs(|run| match run {
+            crate::bits::Run::Zeros(n) => self.pos += n,
+            crate::bits::Run::One => {
+                self.pos += 1;
+                self.rank += 1;
+                self.ones.push_back(self.pos);
+            }
+        });
+        self.prune();
+    }
+
+    fn prune(&mut self) {
         while let Some(&p) = self.ones.front() {
             if p + self.max_window <= self.pos {
                 self.ones.pop_front();

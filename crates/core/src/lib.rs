@@ -35,6 +35,7 @@
 
 pub mod average;
 pub mod basic_wave;
+pub mod bits;
 pub mod chain;
 pub mod codec;
 pub mod decay;
@@ -54,6 +55,7 @@ pub mod window;
 
 pub use average::{ratio_error_target, ratio_estimate, RatioEstimate, SlidingAverage};
 pub use basic_wave::BasicWave;
+pub use bits::{Bits, BitsRef};
 pub use decay::{decayed_sum, Decay, DecayedEstimate};
 pub use det_wave::{DetWave, DetWaveBuilder};
 pub use error::WaveError;
@@ -74,6 +76,25 @@ mod proptests {
 
     fn bit_stream() -> impl Strategy<Value = Vec<bool>> {
         prop::collection::vec(prop::bool::weighted(0.4), 0..2000)
+    }
+
+    /// Streams biased toward the packed-word boundary cases: lengths
+    /// with `len % 64 ∈ {0, 1, 63}`, empty, all-ones, all-zeros, plus
+    /// ordinary random streams at sparse and dense densities.
+    fn packed_stream() -> impl Strategy<Value = Vec<bool>> {
+        const BOUNDARY: [usize; 10] = [0, 1, 63, 64, 65, 127, 128, 129, 191, 192];
+        prop_oneof![
+            2 => bit_stream(),
+            1 => prop::collection::vec(prop::bool::weighted(0.01), 0..2000),
+            1 => prop::collection::vec(prop::bool::weighted(0.95), 0..2000),
+            1 => (prop::collection::vec(any::<bool>(), 192..=192), 0usize..=9)
+                .prop_map(|(mut v, i): (Vec<bool>, usize)| {
+                    v.truncate(BOUNDARY[i]);
+                    v
+                }),
+            1 => (0usize..=9).prop_map(|i: usize| vec![true; BOUNDARY[i]]),
+            1 => (0usize..=9).prop_map(|i: usize| vec![false; BOUNDARY[i]]),
+        ]
     }
 
     proptest! {
@@ -168,6 +189,61 @@ mod proptests {
                 batched.push_bits(c);
             }
             prop_assert_eq!(single.encode(), batched.encode());
+        }
+
+        /// Word-packed ingestion is indistinguishable from per-bit
+        /// ingestion for every `BitSynopsis` in this crate: same encoded
+        /// bytes (DetWave), same structure (BasicWave), same state and
+        /// answers (ExactCount) — including buffers split at arbitrary
+        /// chunk boundaries, so `push_words` composes across engine
+        /// batches exactly like `push_bit` does.
+        #[test]
+        fn push_words_matches_single_pushes(
+            bits in packed_stream(),
+            chunk in 1usize..=200,
+            inv_eps in 2u64..=10,
+            n_max in 8u64..=256,
+        ) {
+            let eps = 1.0 / inv_eps as f64;
+            let packed = bits::Bits::from_bools(&bits);
+            let windows = [1, n_max / 2 + 1, n_max];
+
+            let mut single = DetWave::new(n_max, eps).unwrap();
+            let mut worded = DetWave::new(n_max, eps).unwrap();
+            let mut chunked = DetWave::new(n_max, eps).unwrap();
+            for &b in &bits {
+                single.push_bit(b);
+            }
+            worded.push_words(packed.as_ref());
+            for c in bits.chunks(chunk) {
+                chunked.push_words(bits::Bits::from_bools(c).as_ref());
+            }
+            prop_assert_eq!(single.encode(), worded.encode());
+            prop_assert_eq!(single.encode(), chunked.encode());
+
+            let mut single = BasicWave::new(n_max, eps).unwrap();
+            let mut worded = BasicWave::new(n_max, eps).unwrap();
+            for &b in &bits {
+                single.push_bit(b);
+            }
+            worded.push_words(packed.as_ref());
+            prop_assert_eq!(single.level_contents(), worded.level_contents());
+            prop_assert_eq!(single.pos(), worded.pos());
+            for n in windows {
+                prop_assert_eq!(single.query(n).unwrap(), worded.query(n).unwrap());
+            }
+
+            let mut single = ExactCount::new(n_max);
+            let mut worded = ExactCount::new(n_max);
+            for &b in &bits {
+                single.push_bit(b);
+            }
+            worded.push_words(packed.as_ref());
+            prop_assert_eq!(single.pos(), worded.pos());
+            prop_assert_eq!(single.rank(), worded.rank());
+            for n in windows {
+                prop_assert_eq!(single.query(n), worded.query(n));
+            }
         }
 
         /// Wave state is insensitive to trailing zeros beyond the window:

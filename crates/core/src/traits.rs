@@ -9,6 +9,7 @@
 //! push/query surface. All three are object-safe, so heterogeneous
 //! collections (`Vec<Box<dyn BitSynopsis>>`) work.
 
+use crate::bits::BitsRef;
 use crate::codec::CodecError;
 use crate::error::WaveError;
 use crate::estimate::{Estimate, SpaceReport};
@@ -37,6 +38,18 @@ pub trait BitSynopsis: Synopsis {
     /// deterministic wave collapses runs of 0s into one expiry pass).
     fn push_bits(&mut self, bits: &[bool]) {
         for &b in bits {
+            self.push_bit(b);
+        }
+    }
+
+    /// Process a packed batch of stream bits, oldest first (see
+    /// [`crate::bits`]). Must be observationally identical to pushing
+    /// each bit individually. The default unpacks one bit at a time;
+    /// the wave and histogram synopses override it to locate 1-bits
+    /// with `trailing_zeros` and batch-advance their positions so a
+    /// whole word of 0s costs O(1), not O(64).
+    fn push_words(&mut self, bits: BitsRef<'_>) {
+        for b in bits.iter() {
             self.push_bit(b);
         }
     }
@@ -114,6 +127,9 @@ impl BitSynopsis for crate::det_wave::DetWave {
     fn push_bits(&mut self, bits: &[bool]) {
         crate::det_wave::DetWave::push_bits(self, bits)
     }
+    fn push_words(&mut self, bits: BitsRef<'_>) {
+        crate::det_wave::DetWave::push_words(self, bits)
+    }
     fn query_window(&self, n: u64) -> Result<Estimate, WaveError> {
         self.query(n)
     }
@@ -127,30 +143,16 @@ impl Synopsis for crate::basic_wave::BasicWave {
         self.max_window()
     }
     fn space_report(&self) -> SpaceReport {
-        // The basic wave stores each entry at every qualifying level; its
-        // encoding cost counts every stored copy.
-        let contents = self.level_contents();
-        let entries: usize = contents.iter().map(Vec::len).sum();
-        let bits: u64 = contents
-            .iter()
-            .flat_map(|lv| {
-                lv.iter().map(|&(p, r)| {
-                    crate::space::elias_gamma_bits(p + 1) + crate::space::elias_gamma_bits(r + 1)
-                })
-            })
-            .sum();
-        SpaceReport {
-            resident_bytes: std::mem::size_of_val(self)
-                + entries * std::mem::size_of::<(u64, u64)>(),
-            synopsis_bits: bits,
-            entries,
-        }
+        crate::basic_wave::BasicWave::space_report(self)
     }
 }
 
 impl BitSynopsis for crate::basic_wave::BasicWave {
     fn push_bit(&mut self, b: bool) {
         crate::basic_wave::BasicWave::push_bit(self, b)
+    }
+    fn push_words(&mut self, bits: BitsRef<'_>) {
+        crate::basic_wave::BasicWave::push_words(self, bits)
     }
     fn query_window(&self, n: u64) -> Result<Estimate, WaveError> {
         self.query(n)
@@ -162,8 +164,7 @@ impl Synopsis for crate::exact::ExactCount {
         "exact"
     }
     fn max_window(&self) -> u64 {
-        // ExactCount does not expose its bound directly; it prunes to it.
-        u64::MAX
+        crate::exact::ExactCount::max_window(self)
     }
     fn space_report(&self) -> SpaceReport {
         SpaceReport {
@@ -177,6 +178,9 @@ impl Synopsis for crate::exact::ExactCount {
 impl BitSynopsis for crate::exact::ExactCount {
     fn push_bit(&mut self, b: bool) {
         crate::exact::ExactCount::push_bit(self, b)
+    }
+    fn push_words(&mut self, bits: BitsRef<'_>) {
+        crate::exact::ExactCount::push_words(self, bits)
     }
     fn query_window(&self, n: u64) -> Result<Estimate, WaveError> {
         if n > Synopsis::max_window(self) {
@@ -213,7 +217,62 @@ impl SumSynopsis for crate::sum_wave::SumWave {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bits::Bits;
     use crate::det_wave::DetWave;
+
+    #[test]
+    fn exact_count_window_bound_is_live() {
+        let mut s = crate::exact::ExactCount::new(32);
+        for i in 0..100 {
+            BitSynopsis::push_bit(&mut s, i % 2 == 0);
+        }
+        assert_eq!(Synopsis::max_window(&s), 32);
+        match s.query_window(33) {
+            Err(WaveError::WindowTooLarge { requested, max }) => {
+                assert_eq!((requested, max), (33, 32));
+            }
+            other => panic!("expected WindowTooLarge, got {other:?}"),
+        }
+        assert_eq!(s.query_window(32).unwrap(), Estimate::exact(16));
+    }
+
+    /// A deliberately override-free impl, so the trait's default
+    /// `push_words` body itself stays under test.
+    struct Recorder(Vec<bool>);
+
+    impl Synopsis for Recorder {
+        fn name(&self) -> &'static str {
+            "recorder"
+        }
+        fn max_window(&self) -> u64 {
+            u64::MAX
+        }
+        fn space_report(&self) -> SpaceReport {
+            SpaceReport {
+                resident_bytes: 0,
+                synopsis_bits: 0,
+                entries: 0,
+            }
+        }
+    }
+
+    impl BitSynopsis for Recorder {
+        fn push_bit(&mut self, b: bool) {
+            self.0.push(b);
+        }
+        fn query_window(&self, _n: u64) -> Result<Estimate, WaveError> {
+            Ok(Estimate::exact(self.0.iter().filter(|&&b| b).count() as u64))
+        }
+    }
+
+    #[test]
+    fn default_push_words_unpacks_in_stream_order() {
+        let bools: Vec<bool> = (0..131).map(|i| i % 3 == 0).collect();
+        let packed = Bits::from_bools(&bools);
+        let mut r = Recorder(Vec::new());
+        r.push_words(packed.as_ref());
+        assert_eq!(r.0, bools);
+    }
 
     #[test]
     fn trait_objects_work() {

@@ -57,7 +57,14 @@ impl std::fmt::Display for FaultSpec {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Step {
     /// Ingest one keyed batch through the stack and feed the oracles.
-    Ingest(Vec<(u64, Vec<bool>)>),
+    /// `packed` picks the ingest currency: `true` sends the batch
+    /// word-packed through `IngestRequest` (the primary API), `false`
+    /// drives the deprecated per-bit shims — the coin flip keeps both
+    /// entry points under the same three-oracle check.
+    Ingest {
+        batch: Vec<(u64, Vec<bool>)>,
+        packed: bool,
+    },
     /// Query one key at one window and check against every oracle.
     Query { key: u64, window: u64 },
     /// Barrier: wait until every shard drained its queue.
@@ -88,9 +95,14 @@ pub enum Step {
 impl std::fmt::Display for Step {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Step::Ingest(batch) => {
+            Step::Ingest { batch, packed } => {
                 let items: usize = batch.iter().map(|(_, b)| b.len()).sum();
-                write!(f, "ingest({} events, {items} bits)", batch.len())
+                let currency = if *packed { "packed" } else { "bool" };
+                write!(
+                    f,
+                    "ingest({} events, {items} bits, {currency})",
+                    batch.len()
+                )
             }
             Step::Query { key, window } => write!(f, "query(key={key}, w={window})"),
             Step::Flush => write!(f, "flush"),
@@ -242,7 +254,10 @@ fn gen_steps(
         let roll = rng.gen_range(0..100u32);
         let step = if roll < 45 {
             let events = rng.gen_range(1..=6);
-            Step::Ingest(workload.next_batch(events))
+            Step::Ingest {
+                batch: workload.next_batch(events),
+                packed: rng.gen_bool(0.5),
+            }
         } else if roll < 70 {
             gen_query(rng, cfg)
         } else if roll < 76 {
@@ -328,15 +343,30 @@ impl ScheduleBuilder {
         self
     }
 
+    /// Ingest an explicit batch through the deprecated per-bit shims.
     pub fn ingest(mut self, batch: Vec<(u64, Vec<bool>)>) -> Self {
-        self.steps.push(Step::Ingest(batch));
+        self.steps.push(Step::Ingest {
+            batch,
+            packed: false,
+        });
         self
     }
 
-    /// Ingest `events` workload events as one batch.
+    /// Ingest an explicit batch word-packed through `IngestRequest`.
+    pub fn ingest_packed(mut self, batch: Vec<(u64, Vec<bool>)>) -> Self {
+        self.steps.push(Step::Ingest {
+            batch,
+            packed: true,
+        });
+        self
+    }
+
+    /// Ingest `events` workload events as one batch, flipping the same
+    /// packed-vs-bool coin [`Schedule::from_seed`] uses.
     pub fn ingest_random(mut self, events: usize) -> Self {
         let batch = self.workload().next_batch(events);
-        self.steps.push(Step::Ingest(batch));
+        let packed = self.rng.gen_bool(0.5);
+        self.steps.push(Step::Ingest { batch, packed });
         self
     }
 
@@ -444,7 +474,7 @@ mod tests {
                     Step::Query { window, .. } => {
                         assert!(*window >= 1 && *window <= s.cfg.max_window)
                     }
-                    Step::Ingest(batch) => assert!(!batch.is_empty()),
+                    Step::Ingest { batch, .. } => assert!(!batch.is_empty()),
                     _ => {}
                 }
             }

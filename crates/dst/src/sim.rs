@@ -21,9 +21,9 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use waves_core::{DetWave, Estimate, ExactCount, WaveError};
+use waves_core::{Bits, DetWave, Estimate, ExactCount, WaveError};
 use waves_eh::EhCount;
-use waves_engine::{Engine, EngineConfig};
+use waves_engine::{Engine, EngineConfig, IngestRequest};
 use waves_net::{ChaosProxy, Client, ClientConfig, Server, ServerConfig};
 use waves_obs::{Fanout, MetricsRegistry, SpanRecorder};
 use waves_store::{scratch_dir, wal, PersistConfig, SyncPolicy};
@@ -227,7 +227,7 @@ impl Sim {
 
     fn execute(&mut self, step: &Step) -> Result<(), String> {
         match step {
-            Step::Ingest(batch) => self.do_ingest(batch),
+            Step::Ingest { batch, packed } => self.do_ingest(batch, *packed),
             Step::Query { key, window } => self.do_query(*key, *window),
             Step::Flush => self.do_flush(),
             Step::Snapshot => self.do_snapshot(),
@@ -238,23 +238,47 @@ impl Sim {
         }
     }
 
-    fn do_ingest(&mut self, batch: &[(u64, Vec<bool>)]) -> Result<(), String> {
+    fn do_ingest(&mut self, batch: &[(u64, Vec<bool>)], packed: bool) -> Result<(), String> {
         if batch.is_empty() {
-            self.trace.push("ingest events=0 items=0".to_string());
+            self.trace
+                .push(format!("ingest events=0 items=0 packed={packed}"));
             return Ok(());
         }
-        match self.backend() {
-            Backend::Direct(engine) => engine
-                .ingest_batch(batch)
-                .map_err(|e| format!("ingest rejected by engine: {e}"))?,
-            Backend::Tcp { client, .. } => client
-                .ingest_batch(batch)
-                .map_err(|e| format!("ingest failed over tcp: {e}"))?,
+        // Word-packed form of the batch: what the packed path sends and
+        // what the WAL encodes regardless of the ingest currency.
+        let words: Vec<(u64, Bits)> = batch
+            .iter()
+            .map(|(k, bits)| (*k, Bits::from_bools(bits)))
+            .collect();
+        if packed {
+            match self.backend() {
+                Backend::Direct(engine) => engine
+                    .ingest(IngestRequest::batch(words.clone()))
+                    .map_err(|e| format!("ingest rejected by engine: {e}"))?,
+                Backend::Tcp { client, .. } => {
+                    client
+                        .ingest(IngestRequest::batch(words.clone()))
+                        .map_err(|e| format!("ingest failed over tcp: {e}"))?
+                }
+            }
+        } else {
+            // The deprecated per-bit shims, kept under test on purpose:
+            // half of all seed-derived ingests exercise them until they
+            // are removed.
+            #[allow(deprecated)]
+            match self.backend() {
+                Backend::Direct(engine) => engine
+                    .ingest_batch(batch)
+                    .map_err(|e| format!("ingest rejected by engine: {e}"))?,
+                Backend::Tcp { client, .. } => client
+                    .ingest_batch(batch)
+                    .map_err(|e| format!("ingest failed over tcp: {e}"))?,
+            }
         }
         if self.cfg.persist {
             // One WAL record per acknowledged batch (single shard, FIFO):
             // track its end offset so a crash cut classifies survivors.
-            let rec_len = wal::frame_record(&wal::encode_batch_payload(batch)).len() as u64;
+            let rec_len = wal::frame_record(&wal::encode_batch_payload(&words)).len() as u64;
             let end = self
                 .seg_ends
                 .last()
@@ -265,8 +289,10 @@ impl Sim {
         }
         self.oracles.apply(batch);
         let items: usize = batch.iter().map(|(_, bits)| bits.len()).sum();
-        self.trace
-            .push(format!("ingest events={} items={items}", batch.len()));
+        self.trace.push(format!(
+            "ingest events={} items={items} packed={packed}",
+            batch.len()
+        ));
         Ok(())
     }
 

@@ -143,6 +143,12 @@ impl EhCount {
             self.last_cascade = 0;
             return;
         }
+        self.insert_one();
+    }
+
+    /// Insert a 1-bit at the current position (`pos` already advanced
+    /// and expiry already run) and cascade merges.
+    fn insert_one(&mut self) {
         // New singleton bucket.
         if self.classes.is_empty() {
             self.classes.push(VecDeque::new());
@@ -174,6 +180,31 @@ impl EhCount {
         }
         self.last_cascade = cascade;
         self.max_cascade = self.max_cascade.max(cascade);
+    }
+
+    /// Ingest a packed batch, oldest first (the word-level counterpart
+    /// of [`EhCount::push_bit`]). Zero runs — merged across whole words
+    /// by `trailing_zeros` scanning — advance `pos` in one addition;
+    /// expiry runs once per 1-bit (immediately before its insertion, so
+    /// an expired bucket can never participate in a cascade merge) and
+    /// once at the end of the batch. Expiry only pops the globally
+    /// oldest bucket while it is out of window, a monotone operation,
+    /// so deferring it across a zero run is state-identical to per-bit
+    /// pushes.
+    pub fn push_words(&mut self, bits: waves_core::bits::BitsRef<'_>) {
+        use waves_core::bits::Run;
+        bits.scan_runs(|run| match run {
+            Run::Zeros(n) => {
+                self.pos += n;
+                self.last_cascade = 0;
+            }
+            Run::One => {
+                self.pos += 1;
+                self.expire();
+                self.insert_one();
+            }
+        });
+        self.expire();
     }
 
     /// [`EhCount::push_bit`] with instrumentation reported into `rec`:
@@ -391,6 +422,9 @@ impl waves_core::traits::Synopsis for EhCount {
 impl BitSynopsis for EhCount {
     fn push_bit(&mut self, b: bool) {
         EhCount::push_bit(self, b)
+    }
+    fn push_words(&mut self, bits: waves_core::bits::BitsRef<'_>) {
+        EhCount::push_words(self, bits)
     }
     fn query_window(&self, n: u64) -> Result<Estimate, WaveError> {
         self.query(n)

@@ -57,6 +57,22 @@ mod proptests {
     use proptest::prelude::*;
     use waves_core::exact::{ExactCount, ExactSum};
 
+    /// Streams biased toward the packed-word boundary cases (len % 64
+    /// ∈ {0, 1, 63}, empty, all-ones) plus sparse and dense random
+    /// streams.
+    fn packed_stream() -> impl Strategy<Value = Vec<bool>> {
+        prop_oneof![
+            1 => prop::collection::vec(prop::bool::weighted(0.5), 0..1500),
+            1 => prop::collection::vec(prop::bool::weighted(0.02), 0..1500),
+            1 => (prop::collection::vec(any::<bool>(), 129..=129), 0usize..=7)
+                .prop_map(|(mut v, i): (Vec<bool>, usize)| {
+                    v.truncate([0usize, 1, 63, 64, 65, 127, 128, 129][i]);
+                    v
+                }),
+            1 => (0usize..=4).prop_map(|i: usize| vec![true; [1usize, 63, 64, 65, 128][i]]),
+        ]
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -121,6 +137,36 @@ mod proptests {
             prop_assert_eq!(decoded.encode(), bytes);
             prop_assert_eq!(decoded.pos(), eh.pos());
             prop_assert_eq!(decoded.buckets(), eh.buckets());
+        }
+
+        /// Word-packed ingestion is indistinguishable from per-bit
+        /// ingestion: same encoded bytes, same answers, including
+        /// buffers split at arbitrary chunk boundaries and the packed
+        /// boundary lengths (len % 64 ∈ {0, 1, 63}, empty, all-ones).
+        #[test]
+        fn eh_push_words_matches_single_pushes(
+            bits in packed_stream(),
+            chunk in 1usize..=150,
+            inv_eps in 2u64..=10,
+            n_max in 8u64..=128,
+        ) {
+            let eps = 1.0 / inv_eps as f64;
+            let mut single = EhCount::new(n_max, eps).unwrap();
+            let mut worded = EhCount::new(n_max, eps).unwrap();
+            let mut chunked = EhCount::new(n_max, eps).unwrap();
+            for &b in &bits {
+                single.push_bit(b);
+            }
+            worded.push_words(waves_core::bits::Bits::from_bools(&bits).as_ref());
+            for c in bits.chunks(chunk) {
+                chunked.push_words(waves_core::bits::Bits::from_bools(c).as_ref());
+            }
+            prop_assert_eq!(single.encode(), worded.encode());
+            prop_assert_eq!(single.encode(), chunked.encode());
+            prop_assert_eq!(single.buckets(), worded.buckets());
+            for n in [1u64, n_max / 2 + 1, n_max] {
+                prop_assert_eq!(single.query(n).unwrap(), worded.query(n).unwrap());
+            }
         }
 
         /// Decoding adversarial bytes returns Err or a structure whose

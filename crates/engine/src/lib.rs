@@ -11,11 +11,14 @@
 //! * keys hash to one of `num_shards` worker threads (std threads +
 //!   mpsc — the workspace is std-only), each owning a private
 //!   `HashMap<Key, S>` so the hot path takes **no cross-shard locks**;
-//! * ingestion is batched per shard over **bounded** queues with
-//!   explicit backpressure: [`Engine::ingest`] / [`Engine::ingest_batch`]
-//!   return [`WaveError::Backpressure`] when a shard queue is full and
-//!   count what was shed ([`Engine::dropped_items`]), while the
-//!   `*_blocking` variants trade latency for losslessness (replay and
+//! * ingestion flows through **one** entry point, [`Engine::ingest`],
+//!   taking an [`IngestRequest`]: keyed **word-packed** bit batches
+//!   ([`waves_core::Bits`] — 64 bits per queue/WAL/apply step), an
+//!   optional blocking mode, and an optional [`TraceCtx`]. Non-blocking
+//!   requests get explicit backpressure over bounded queues —
+//!   [`WaveError::Backpressure`] when a shard queue is full, with shed
+//!   items counted in [`Engine::dropped_items`] — while
+//!   `.blocking(true)` trades latency for losslessness (replay and
 //!   benchmarking paths);
 //! * queries and snapshots travel through the same per-shard FIFO as
 //!   ingest batches, so a query observes every batch the same caller
@@ -40,11 +43,11 @@
 //!
 //! ```
 //! use waves_core::DetWave;
-//! use waves_engine::{Engine, EngineConfig};
+//! use waves_engine::{Engine, EngineConfig, IngestRequest};
 //!
 //! let cfg = EngineConfig::builder().num_shards(2).max_window(128).eps(0.25).build();
 //! let engine = Engine::new(cfg).unwrap();
-//! engine.ingest_blocking(7, &[true, false, true]);
+//! engine.ingest(IngestRequest::of(7, [true, false, true]).blocking(true)).unwrap();
 //! engine.flush();
 //! let est = engine.query(7, 128).unwrap();
 //! assert_eq!(est.value, 2.0);
@@ -58,7 +61,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use waves_core::{BitSynopsis, DetWave, Estimate, SynopsisCodec, WaveError};
+use waves_core::{BitSynopsis, Bits, DetWave, Estimate, SynopsisCodec, WaveError};
 use waves_obs::trace::{next_span_id, now_ns, Span, Stage, TraceCtx};
 use waves_obs::{Event, HistId, MetricId, NoopRecorder, Recorder, ShardStat};
 use waves_store::{ShardStore, Store};
@@ -68,9 +71,93 @@ pub use waves_store::{PersistConfig, SyncPolicy};
 /// Stream identity: every key owns an independent synopsis.
 pub type Key = u64;
 
-/// One ingest event: a key plus a batch of its stream bits, oldest
-/// first.
-pub type KeyedBits = (Key, Vec<bool>);
+/// One ingest event: a key plus a word-packed batch of its stream bits,
+/// oldest first.
+pub type KeyedBits = (Key, Bits);
+
+/// The single ingest entry point's request: keyed word-packed batches
+/// plus delivery options. Replaces the old
+/// `ingest`/`ingest_batch`/`ingest_blocking`/`ingest_batch_traced`
+/// matrix — every combination is one builder chain:
+///
+/// ```
+/// use waves_engine::IngestRequest;
+/// use waves_obs::trace::TraceCtx;
+///
+/// let _one = IngestRequest::of(7, [true, false, true]);
+/// let _lossless = IngestRequest::of(7, [true; 64]).blocking(true);
+/// let _traced = IngestRequest::new()
+///     .entry(1, [true])
+///     .entry(2, [false, true])
+///     .traced(TraceCtx::NONE);
+/// ```
+///
+/// The struct is `#[non_exhaustive]` so future delivery options (e.g.
+/// deadlines) can land without breaking callers; construct via
+/// [`IngestRequest::new`] / [`IngestRequest::of`] /
+/// [`IngestRequest::batch`] and the builder methods.
+#[non_exhaustive]
+#[derive(Debug, Clone)]
+pub struct IngestRequest {
+    /// Keyed word-packed batches, oldest bits first. Order is preserved
+    /// per shard (and a key always maps to one shard).
+    pub entries: Vec<KeyedBits>,
+    /// Wait for queue space instead of shedding on a full shard queue.
+    /// Defaults to `false` (non-blocking with backpressure).
+    pub blocking: bool,
+    /// Trace context; [`TraceCtx::NONE`] (the default) records nothing.
+    pub ctx: TraceCtx,
+}
+
+impl Default for IngestRequest {
+    fn default() -> Self {
+        IngestRequest {
+            entries: Vec::new(),
+            blocking: false,
+            ctx: TraceCtx::NONE,
+        }
+    }
+}
+
+impl IngestRequest {
+    /// An empty request; add entries with [`IngestRequest::entry`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A single-entry request: `key`'s next `bits`, oldest first.
+    /// Accepts anything convertible to [`Bits`] (`&[bool]`, `[bool; N]`,
+    /// `Vec<bool>`, or an already-packed buffer).
+    pub fn of(key: Key, bits: impl Into<Bits>) -> Self {
+        Self::new().entry(key, bits)
+    }
+
+    /// A multi-entry request from already-assembled keyed batches.
+    pub fn batch(entries: Vec<KeyedBits>) -> Self {
+        IngestRequest {
+            entries,
+            ..Self::default()
+        }
+    }
+
+    /// Append one keyed batch.
+    pub fn entry(mut self, key: Key, bits: impl Into<Bits>) -> Self {
+        self.entries.push((key, bits.into()));
+        self
+    }
+
+    /// Wait for queue space instead of shedding (default `false`).
+    pub fn blocking(mut self, blocking: bool) -> Self {
+        self.blocking = blocking;
+        self
+    }
+
+    /// Record queue-wait, apply, and WAL spans under `ctx`.
+    pub fn traced(mut self, ctx: TraceCtx) -> Self {
+        self.ctx = ctx;
+        self
+    }
+}
 
 /// Engine configuration. Construct via [`EngineConfig::builder`]; the
 /// defaults serve a small deployment (4 shards, 1024-batch queues,
@@ -277,8 +364,8 @@ impl ShardHandle {
 }
 
 /// The sharded serving engine. See the crate docs for the design; the
-/// API surface is `new` / `ingest` / `ingest_batch` (+ `_blocking`
-/// variants) / `query` / `flush` / `snapshot`.
+/// API surface is `new` / `ingest` (one [`IngestRequest`] entry point) /
+/// `query` / `flush` / `snapshot` / `checkpoint`.
 ///
 /// `S` is the per-key synopsis type, `R` the observability sink
 /// ([`NoopRecorder`] by default — zero-cost when disabled, as
@@ -342,7 +429,7 @@ where
     /// With [`EngineConfig::persist`] set, this is also the recovery
     /// path: each shard loads its newest valid checkpoint (decoding
     /// every key's synopsis via [`SynopsisCodec`]) and replays the
-    /// acknowledged WAL tail through [`BitSynopsis::push_bits`] before
+    /// acknowledged WAL tail through [`BitSynopsis::push_words`] before
     /// the shard accepts new work. A corrupt persist directory (META
     /// mismatch, undecodable checkpoint entry) fails construction; a
     /// torn WAL tail is truncated silently — that is the crash-recovery
@@ -397,7 +484,7 @@ where
                                 .or_insert_with(|| {
                                     factory().expect("factory validated at construction")
                                 })
-                                .push_bits(bits);
+                                .push_words(bits.as_ref());
                         }
                     }
                     let persist = ShardPersist {
@@ -500,7 +587,7 @@ where
         batch: Vec<KeyedBits>,
         ctx: TraceCtx,
     ) -> Result<(), WaveError> {
-        let items: u64 = batch.iter().map(|(_, bits)| bits.len() as u64).sum();
+        let items: u64 = batch.iter().map(|(_, bits)| bits.len()).sum();
         // Count the batch in *before* sending so the worker's decrement
         // can never race ahead of the increment and wrap the counter.
         let depth = self.shards[shard].depth.fetch_add(1, Ordering::Relaxed) + 1;
@@ -526,54 +613,46 @@ where
         }
     }
 
-    fn enqueue_blocking(&self, shard: usize, batch: Vec<KeyedBits>) {
+    fn enqueue_blocking(&self, shard: usize, batch: Vec<KeyedBits>, ctx: TraceCtx) {
         let depth = self.shards[shard].depth.fetch_add(1, Ordering::Relaxed) + 1;
+        let enq_ns = self.enq_ns(ctx);
         self.shards[shard]
             .tx()
-            .send(Cmd::Batch {
-                batch,
-                ctx: TraceCtx::NONE,
-                enq_ns: 0,
-            })
+            .send(Cmd::Batch { batch, ctx, enq_ns })
             .expect("worker lives until Drop");
         self.rec.observe(HistId::EngineQueueDepth, depth as u64);
     }
 
-    /// Ingest a batch of bits for one key, non-blocking. On a full shard
-    /// queue nothing is applied and [`WaveError::Backpressure`] is
-    /// returned — retry, shed, or use [`Engine::ingest_blocking`].
-    pub fn ingest(&self, key: Key, bits: &[bool]) -> Result<(), WaveError> {
-        self.try_enqueue(
-            self.shard_of(key),
-            vec![(key, bits.to_vec())],
-            TraceCtx::NONE,
-        )
-    }
-
-    /// Ingest a batch of bits for one key, waiting for queue space.
-    pub fn ingest_blocking(&self, key: Key, bits: &[bool]) {
-        self.enqueue_blocking(self.shard_of(key), vec![(key, bits.to_vec())]);
-    }
-
-    /// Ingest many keyed batches at once: events are grouped into one
-    /// sub-batch per shard (one channel round-trip per shard, not per
-    /// event), then enqueued non-blocking. A full shard queue sheds that
-    /// shard's entire sub-batch — the shed item count lands in
+    /// The single ingest entry point: deliver every entry of `req`,
+    /// grouped into one sub-batch per shard (one channel round-trip per
+    /// shard, not per event).
+    ///
+    /// Non-blocking (the default): a full shard queue sheds that shard's
+    /// entire sub-batch — the shed item count lands in
     /// [`Engine::dropped_items`] and the first failing shard's
     /// [`WaveError::Backpressure`] is returned — while sub-batches for
     /// healthy shards are still delivered.
-    pub fn ingest_batch(&self, batch: &[KeyedBits]) -> Result<(), WaveError> {
-        self.ingest_batch_traced(batch, TraceCtx::NONE)
-    }
-
-    /// [`Engine::ingest_batch`] carrying a [`TraceCtx`]: each shard's
-    /// worker records queue-wait, apply, and WAL spans parented to
-    /// `ctx.parent` under `ctx.trace`. Identical to `ingest_batch` when
-    /// `ctx` is [`TraceCtx::NONE`] or the recorder keeps no traces.
-    pub fn ingest_batch_traced(&self, batch: &[KeyedBits], ctx: TraceCtx) -> Result<(), WaveError> {
+    ///
+    /// With [`IngestRequest::blocking`], waits for queue space instead
+    /// (the lossless replay path used by the CLI and benches) and always
+    /// returns `Ok`.
+    ///
+    /// With [`IngestRequest::traced`], each shard's worker records
+    /// queue-wait, apply, and WAL spans parented to `ctx.parent` under
+    /// `ctx.trace`; identical to an untraced request when `ctx` is
+    /// [`TraceCtx::NONE`] or the recorder keeps no traces.
+    pub fn ingest(&self, req: IngestRequest) -> Result<(), WaveError> {
+        let IngestRequest {
+            entries,
+            blocking,
+            ctx,
+            ..
+        } = req;
         let mut first_err = Ok(());
-        for (shard, sub) in self.split_by_shard(batch) {
-            if let Err(e) = self.try_enqueue(shard, sub, ctx) {
+        for (shard, sub) in self.split_by_shard(entries) {
+            if blocking {
+                self.enqueue_blocking(shard, sub, ctx);
+            } else if let Err(e) = self.try_enqueue(shard, sub, ctx) {
                 if first_err.is_ok() {
                     first_err = Err(e);
                 }
@@ -582,21 +661,42 @@ where
         first_err
     }
 
-    /// [`Engine::ingest_batch`] that waits for queue space instead of
-    /// shedding — the lossless replay path used by the CLI and benches.
-    pub fn ingest_batch_blocking(&self, batch: &[KeyedBits]) {
-        for (shard, sub) in self.split_by_shard(batch) {
-            self.enqueue_blocking(shard, sub);
-        }
+    /// Deprecated shim for the pre-[`IngestRequest`] API.
+    #[deprecated(note = "use `ingest(IngestRequest::of(key, bits).blocking(true))`")]
+    pub fn ingest_blocking(&self, key: Key, bits: &[bool]) {
+        let _ = self.ingest(IngestRequest::of(key, bits).blocking(true));
+    }
+
+    /// Deprecated shim for the pre-[`IngestRequest`] API.
+    #[deprecated(note = "use `ingest(IngestRequest::batch(entries))`")]
+    pub fn ingest_batch(&self, batch: &[(Key, Vec<bool>)]) -> Result<(), WaveError> {
+        self.ingest(IngestRequest::batch(repack(batch)))
+    }
+
+    /// Deprecated shim for the pre-[`IngestRequest`] API.
+    #[deprecated(note = "use `ingest(IngestRequest::batch(entries).traced(ctx))`")]
+    pub fn ingest_batch_traced(
+        &self,
+        batch: &[(Key, Vec<bool>)],
+        ctx: TraceCtx,
+    ) -> Result<(), WaveError> {
+        self.ingest(IngestRequest::batch(repack(batch)).traced(ctx))
+    }
+
+    /// Deprecated shim for the pre-[`IngestRequest`] API.
+    #[deprecated(note = "use `ingest(IngestRequest::batch(entries).blocking(true))`")]
+    pub fn ingest_batch_blocking(&self, batch: &[(Key, Vec<bool>)]) {
+        let _ = self.ingest(IngestRequest::batch(repack(batch)).blocking(true));
     }
 
     /// Group events into per-shard sub-batches, preserving order within
     /// each shard (per-key order is what correctness needs, and a key
-    /// always maps to one shard).
-    fn split_by_shard(&self, batch: &[KeyedBits]) -> Vec<(usize, Vec<KeyedBits>)> {
+    /// always maps to one shard). Takes the batch by value: packed
+    /// buffers move into their shard's sub-batch without copying.
+    fn split_by_shard(&self, batch: Vec<KeyedBits>) -> Vec<(usize, Vec<KeyedBits>)> {
         let mut per_shard: Vec<Vec<KeyedBits>> = vec![Vec::new(); self.shards.len()];
         for (key, bits) in batch {
-            per_shard[self.shard_of(*key)].push((*key, bits.clone()));
+            per_shard[self.shard_of(key)].push((key, bits));
         }
         per_shard
             .into_iter()
@@ -770,6 +870,15 @@ impl<S> ShardPersist<S> {
     }
 }
 
+/// Pack bool-slice batches from the deprecated shims into the word
+/// currency the rest of the stack speaks.
+fn repack(batch: &[(Key, Vec<bool>)]) -> Vec<KeyedBits> {
+    batch
+        .iter()
+        .map(|(key, bits)| (*key, Bits::from_bools(bits)))
+        .collect()
+}
+
 /// Key-family fingerprint for the registry's load-skew dimension: the
 /// top 4 bits of the same Fibonacci mix [`Engine::shard_of`] uses, so
 /// it costs one multiply-shift already paid for routing.
@@ -865,9 +974,11 @@ fn shard_worker<S, R, F>(
                     let synopsis = keys
                         .entry(*key)
                         .or_insert_with(|| factory().expect("factory validated at construction"));
-                    synopsis.push_bits(bits);
-                    items += bits.len() as u64;
-                    rec.incr_family(family_of(*key), bits.len() as u64);
+                    // The word-packed apply path: 64 bits per step, zero
+                    // runs collapsed in O(1) by the synopsis overrides.
+                    synopsis.push_words(bits.as_ref());
+                    items += bits.len();
+                    rec.incr_family(family_of(*key), bits.len());
                 }
                 if let Some(t0) = started {
                     rec.observe(HistId::EngineIngestBatchNs, t0.elapsed().as_nanos() as u64);
@@ -1024,9 +1135,11 @@ mod tests {
                     .entry(key)
                     .or_insert_with(|| DetWave::new(64, 0.25).unwrap())
                     .push_bits(&bits);
-                batch.push((key, bits));
+                batch.push((key, Bits::from(bits)));
             }
-            engine.ingest_batch_blocking(&batch);
+            engine
+                .ingest(IngestRequest::batch(batch).blocking(true))
+                .unwrap();
         }
         engine.flush();
         for key in 0..num_keys {
@@ -1043,7 +1156,9 @@ mod tests {
     #[test]
     fn unknown_key_and_oversized_window_errors() {
         let engine = Engine::new(small_cfg(2)).unwrap();
-        engine.ingest_blocking(1, &[true]);
+        engine
+            .ingest(IngestRequest::of(1, [true]).blocking(true))
+            .unwrap();
         engine.flush();
         assert_eq!(
             engine.query(999, 64).err(),
@@ -1069,11 +1184,13 @@ mod tests {
         let engine = Engine::new(cfg).unwrap();
         // A large first batch keeps the single worker busy while we spam
         // the capacity-1 queue; at least one try must bounce.
-        let big = vec![(0u64, vec![true; 1 << 20])];
-        engine.ingest_batch_blocking(&big);
+        let big = vec![(0u64, Bits::from(vec![true; 1 << 20]))];
+        engine
+            .ingest(IngestRequest::batch(big).blocking(true))
+            .unwrap();
         let mut saw_backpressure = false;
         for _ in 0..10_000 {
-            match engine.ingest(0, &[true, false]) {
+            match engine.ingest(IngestRequest::of(0, [true, false])) {
                 Err(WaveError::Backpressure { shard }) => {
                     assert_eq!(shard, 0);
                     saw_backpressure = true;
@@ -1094,8 +1211,8 @@ mod tests {
     fn partial_batch_delivery_under_backpressure() {
         // One-shot: non-blocking batch into empty queues always fits.
         let engine = Engine::new(small_cfg(2)).unwrap();
-        let batch: Vec<KeyedBits> = (0..10u64).map(|k| (k, vec![true; 4])).collect();
-        engine.ingest_batch(&batch).unwrap();
+        let batch: Vec<KeyedBits> = (0..10u64).map(|k| (k, Bits::from([true; 4]))).collect();
+        engine.ingest(IngestRequest::batch(batch)).unwrap();
         engine.flush();
         for k in 0..10u64 {
             assert_eq!(engine.query(k, 64).unwrap(), Estimate::exact(4), "k={k}");
@@ -1105,8 +1222,12 @@ mod tests {
     #[test]
     fn snapshot_reports_keys_and_space() {
         let engine = Engine::new(small_cfg(3)).unwrap();
-        let batch: Vec<KeyedBits> = (0..50u64).map(|k| (k, lcg_bits(k, 100, 2, 1))).collect();
-        engine.ingest_batch_blocking(&batch);
+        let batch: Vec<KeyedBits> = (0..50u64)
+            .map(|k| (k, Bits::from(lcg_bits(k, 100, 2, 1))))
+            .collect();
+        engine
+            .ingest(IngestRequest::batch(batch).blocking(true))
+            .unwrap();
         engine.flush();
         let snap = engine.snapshot();
         assert_eq!(snap.shards.len(), 3);
@@ -1125,7 +1246,9 @@ mod tests {
     fn generic_over_eh_synopsis() {
         let cfg = small_cfg(2);
         let engine = Engine::with_factory(cfg, || waves_eh::EhCount::new(64, 0.25)).unwrap();
-        engine.ingest_blocking(3, &[true; 10]);
+        engine
+            .ingest(IngestRequest::of(3, [true; 10]).blocking(true))
+            .unwrap();
         engine.flush();
         let est = engine.query(3, 64).unwrap();
         assert!(est.brackets(10));
@@ -1136,8 +1259,10 @@ mod tests {
         let reg = Arc::new(MetricsRegistry::new());
         let cfg = small_cfg(2);
         let engine = Engine::new_recorded(cfg, Arc::clone(&reg)).unwrap();
-        let batch: Vec<KeyedBits> = (0..8u64).map(|k| (k, vec![true; 5])).collect();
-        engine.ingest_batch_blocking(&batch);
+        let batch: Vec<KeyedBits> = (0..8u64).map(|k| (k, Bits::from([true; 5]))).collect();
+        engine
+            .ingest(IngestRequest::batch(batch).blocking(true))
+            .unwrap();
         engine.flush();
         engine.query(0, 64).unwrap();
         engine.query(12345, 64).unwrap_err();
@@ -1155,8 +1280,10 @@ mod tests {
     fn shard_dimension_sums_to_global_counters() {
         let reg = Arc::new(MetricsRegistry::new());
         let engine = Engine::new_recorded(small_cfg(3), Arc::clone(&reg)).unwrap();
-        let batch: Vec<KeyedBits> = (0..40u64).map(|k| (k, vec![true; 3])).collect();
-        engine.ingest_batch_blocking(&batch);
+        let batch: Vec<KeyedBits> = (0..40u64).map(|k| (k, Bits::from([true; 3]))).collect();
+        engine
+            .ingest(IngestRequest::batch(batch).blocking(true))
+            .unwrap();
         engine.flush();
         for k in 0..10u64 {
             engine.query(k, 64).unwrap();
@@ -1198,7 +1325,7 @@ mod tests {
             parent: 1,
         };
         engine
-            .ingest_batch_traced(&[(7, vec![true; 5])], ctx)
+            .ingest(IngestRequest::of(7, [true; 5]).traced(ctx))
             .unwrap();
         engine.flush();
         engine.query_traced(7, 64, ctx).unwrap();
@@ -1223,7 +1350,7 @@ mod tests {
             .filter(|s| s.stage == Stage::Queue)
             .all(|s| s.parent == 1));
         // Untraced work records no spans.
-        engine.ingest_batch(&[(8, vec![true])]).unwrap();
+        engine.ingest(IngestRequest::of(8, [true])).unwrap();
         engine.flush();
         engine.query(8, 64).unwrap();
         assert_eq!(rec.1.spans().len(), spans.len());
@@ -1237,7 +1364,9 @@ mod tests {
         // ingest and a query for the same key.
         let engine = Engine::new(small_cfg(4)).unwrap();
         for i in 0..100u64 {
-            engine.ingest_blocking(i % 7, &[true]);
+            engine
+                .ingest(IngestRequest::of(i % 7, [true]).blocking(true))
+                .unwrap();
             let est = engine.query(i % 7, 64).unwrap();
             assert_eq!(est.value, (i / 7 + 1) as f64, "i={i}");
         }
@@ -1246,7 +1375,9 @@ mod tests {
     #[test]
     fn drop_joins_workers_cleanly() {
         let engine = Engine::new(small_cfg(8)).unwrap();
-        engine.ingest_blocking(1, &[true; 100]);
+        engine
+            .ingest(IngestRequest::of(1, [true; 100]).blocking(true))
+            .unwrap();
         drop(engine); // must not hang or panic
     }
 
@@ -1274,9 +1405,11 @@ mod tests {
                         .entry(key)
                         .or_insert_with(|| DetWave::new(64, 0.25).unwrap())
                         .push_bits(&bits);
-                    batch.push((key, bits));
+                    batch.push((key, Bits::from(bits)));
                 }
-                engine.ingest_batch_blocking(&batch);
+                engine
+                    .ingest(IngestRequest::batch(batch).blocking(true))
+                    .unwrap();
             }
             engine.flush();
         } // clean shutdown: final checkpoint
@@ -1315,7 +1448,9 @@ mod tests {
         {
             let engine = Engine::new(cfg.clone()).unwrap();
             for key in 0..10u64 {
-                engine.ingest_blocking(key, &[true; 7]);
+                engine
+                    .ingest(IngestRequest::of(key, [true; 7]).blocking(true))
+                    .unwrap();
             }
             engine.flush();
             let shard0 = std::fs::read_dir(dir.join("shard-0")).unwrap();
@@ -1348,7 +1483,9 @@ mod tests {
         {
             let engine = Engine::new(cfg.clone()).unwrap();
             for key in 0..20u64 {
-                engine.ingest_blocking(key, &lcg_bits(key, 50, 2, 1));
+                engine
+                    .ingest(IngestRequest::of(key, lcg_bits(key, 50, 2, 1)).blocking(true))
+                    .unwrap();
             }
             engine.checkpoint().unwrap();
             // Checkpoint rotated each shard onto a fresh segment and
@@ -1362,7 +1499,9 @@ mod tests {
                     .count();
                 assert_eq!(segs, 1, "shard {shard} should hold one live segment");
             }
-            engine.ingest_blocking(99, &[true; 3]);
+            engine
+                .ingest(IngestRequest::of(99, [true; 3]).blocking(true))
+                .unwrap();
         }
         let engine = Engine::new(cfg).unwrap();
         assert_eq!(engine.snapshot().keys(), 21);
@@ -1370,10 +1509,38 @@ mod tests {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// The deprecated bool-slice shims still deliver: each forwards to
+    /// the [`IngestRequest`] entry point, repacking into words.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_ingest() {
+        use waves_obs::trace::{TraceCtx, TraceId};
+        let engine = Engine::new(small_cfg(2)).unwrap();
+        engine.ingest_blocking(1, &[true, false, true]);
+        engine.ingest_batch(&[(2, vec![true; 4])]).unwrap();
+        engine.ingest_batch_blocking(&[(3, vec![true; 5])]);
+        engine
+            .ingest_batch_traced(
+                &[(4, vec![true; 6])],
+                TraceCtx {
+                    trace: TraceId(9),
+                    parent: 0,
+                },
+            )
+            .unwrap();
+        engine.flush();
+        assert_eq!(engine.query(1, 64).unwrap(), Estimate::exact(2));
+        assert_eq!(engine.query(2, 64).unwrap(), Estimate::exact(4));
+        assert_eq!(engine.query(3, 64).unwrap(), Estimate::exact(5));
+        assert_eq!(engine.query(4, 64).unwrap(), Estimate::exact(6));
+    }
+
     #[test]
     fn checkpoint_without_persistence_is_ok() {
         let engine = Engine::new(small_cfg(2)).unwrap();
-        engine.ingest_blocking(1, &[true]);
+        engine
+            .ingest(IngestRequest::of(1, [true]).blocking(true))
+            .unwrap();
         engine.checkpoint().unwrap();
     }
 
@@ -1393,7 +1560,9 @@ mod tests {
         {
             let engine =
                 Engine::with_factory(cfg.clone(), || waves_eh::EhCount::new(64, 0.25)).unwrap();
-            engine.ingest_blocking(3, &[true; 10]);
+            engine
+                .ingest(IngestRequest::of(3, [true; 10]).blocking(true))
+                .unwrap();
             engine.flush();
         }
         let engine = Engine::with_factory(cfg, || waves_eh::EhCount::new(64, 0.25)).unwrap();

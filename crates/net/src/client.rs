@@ -20,8 +20,8 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use waves_core::{Estimate, WaveError};
-use waves_engine::{EngineSnapshot, KeyedBits};
+use waves_core::{Bits, Estimate, WaveError};
+use waves_engine::{EngineSnapshot, IngestRequest};
 use waves_obs::trace::{next_span_id, now_ns, Span, Stage, TraceId, ROOT_SPAN_ID};
 use waves_obs::{HistId, MetricId, MetricsSnapshot, NoopRecorder, Recorder};
 
@@ -62,12 +62,13 @@ impl Default for ClientConfig {
 /// at the end):
 ///
 /// ```
+/// use waves_engine::IngestRequest;
 /// use waves_net::{Client, Server, ServerConfig};
 ///
 /// let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
 /// let mut client = Client::connect(server.local_addr()).unwrap();
 /// client.ping().unwrap();
-/// client.ingest(7, &[true, true, false]).unwrap();
+/// client.ingest(IngestRequest::of(7, [true, true, false])).unwrap();
 /// client.flush().unwrap(); // barrier: the batch is applied
 /// assert_eq!(client.query(7, 1024).unwrap().value, 2.0);
 /// client.shutdown_server().unwrap();
@@ -145,17 +146,31 @@ impl<R: Recorder + Send + Sync + 'static> Client<R> {
         }
     }
 
-    /// Ingest one key's bits. Not retried (not idempotent).
-    pub fn ingest(&mut self, key: u64, bits: &[bool]) -> Result<(), WaveError> {
-        self.ingest_batch(&[(key, bits.to_vec())])
-    }
-
-    /// Ingest a batch of keyed bit runs. Not retried (not idempotent).
-    pub fn ingest_batch(&mut self, batch: &[KeyedBits]) -> Result<(), WaveError> {
-        match self.request_once(&Frame::Ingest(batch.to_vec()))? {
+    /// The single ingest entry point, mirroring [`waves_engine::Engine::ingest`]:
+    /// the request's word-packed entries travel as one wire v4 `INGEST`
+    /// frame. Not retried (not idempotent).
+    ///
+    /// Only `entries` crosses the wire. `blocking` is a local-delivery
+    /// knob with no remote meaning — the server applies batches through
+    /// its own queue policy and surfaces a full shard queue as a
+    /// [`WaveError::Backpressure`] error response — and `ctx` is
+    /// superseded by the client's own per-request tracing (the header
+    /// trace id).
+    pub fn ingest(&mut self, req: IngestRequest) -> Result<(), WaveError> {
+        match self.request_once(&Frame::Ingest(req.entries))? {
             Frame::Ok => Ok(()),
             other => Err(unexpected(other)),
         }
+    }
+
+    /// Deprecated shim for the pre-[`IngestRequest`] API.
+    #[deprecated(note = "use `ingest(IngestRequest::batch(entries))`")]
+    pub fn ingest_batch(&mut self, batch: &[(u64, Vec<bool>)]) -> Result<(), WaveError> {
+        let entries = batch
+            .iter()
+            .map(|(key, bits)| (*key, Bits::from_bools(bits)))
+            .collect();
+        self.ingest(IngestRequest::batch(entries))
     }
 
     /// Window query against one key's synopsis on the server.

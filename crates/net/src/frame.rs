@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic  0x57 0x41  (b"WA")
-//! 2       1     version (currently 3)
+//! 2       1     version (currently 4)
 //! 3       1     frame type (see the `TYPE_*` constants)
 //! 4       4     payload length, u32 big-endian
 //! 8       8     trace id, u64 big-endian (0 = request is untraced)
@@ -31,12 +31,19 @@
 //! [`FrameError::BadCrc`] — a typed error, never a wrong value.
 //!
 //! Payload scalars are big-endian; `f64` travels as `to_bits()`.
+//! [`Frame::Ingest`] entry bodies are the one exception: they carry the
+//! word-packed bit stream of [`waves_core::Bits`] as whole `u64` words
+//! of 8 **little-endian** bytes each (LSB-first within each word), so a
+//! received batch is applied 64 bits per instruction with no per-bit
+//! re-marshalling — and the same bytes are what the engine's WAL
+//! appends, so wire and disk stay byte-identical.
 //! Synopsis payloads ([`Frame::PushSynopsis`]) carry the synopsis's own
 //! compact bit-codec output **verbatim** — the wire layer never
 //! re-encodes them, so a synopsis round-trips the network byte-for-byte
 //! (property-tested in this crate for all four synopsis types).
 
-use waves_core::codec::{pack_bits, unpack_bits, CodecError};
+use waves_core::bits::{byte_count, Bits};
+use waves_core::codec::CodecError;
 use waves_core::{DetWave, Estimate, SumWave, WaveError};
 use waves_eh::{EhCount, EhSum};
 use waves_engine::{EngineSnapshot, KeyedBits, ShardSnapshot};
@@ -49,8 +56,11 @@ pub const MAGIC: [u8; 2] = *b"WA";
 /// peers reject other versions with [`FrameError::BadVersion`].
 /// Version 2 added the CRC-32 frame trailer; version 3 widened the
 /// header from 8 to 16 bytes to carry a trace id (0 = untraced) so a
-/// request's spans can be correlated across client and server.
-pub const WIRE_VERSION: u8 = 3;
+/// request's spans can be correlated across client and server; version
+/// 4 switched `INGEST` entry bodies from MSB-first packed bytes to
+/// LSB-first little-endian `u64` words (the [`waves_core::Bits`]
+/// layout, shared with the store's WAL records).
+pub const WIRE_VERSION: u8 = 4;
 
 /// Fixed header size in bytes (magic + version + type + length +
 /// trace id).
@@ -168,7 +178,7 @@ pub enum Frame {
     // ---- requests ----
     /// Liveness probe; the server answers [`Frame::Pong`].
     Ping,
-    /// A batch of keyed bit runs for the serving engine.
+    /// A batch of keyed word-packed bit runs for the serving engine.
     Ingest(Vec<KeyedBits>),
     /// Window query against one key's synopsis.
     Query { key: u64, window: u64 },
@@ -451,8 +461,8 @@ impl WireCodec {
                 put_u32(&mut p, batch.len() as u32);
                 for (key, bits) in batch {
                     put_u64(&mut p, *key);
-                    put_u64(&mut p, bits.len() as u64);
-                    pack_bits(bits, &mut p);
+                    put_u64(&mut p, bits.len());
+                    bits.write_le_bytes(&mut p);
                 }
                 TYPE_INGEST
             }
@@ -566,10 +576,9 @@ impl WireCodec {
                     if nbits > MAX_ENTRY_BITS {
                         return Err(FrameError::Malformed("ingest entry bit count"));
                     }
-                    let nbytes = (nbits as usize).div_ceil(8);
-                    let packed = r.take(nbytes)?;
-                    let bits = unpack_bits(packed, nbits as usize)
-                        .map_err(|_| FrameError::Malformed("ingest entry bits"))?;
+                    let packed = r.take(byte_count(nbits))?;
+                    let bits = Bits::from_le_bytes(packed, nbits)
+                        .ok_or(FrameError::Malformed("ingest entry bits"))?;
                     batch.push((key, bits));
                 }
                 Frame::Ingest(batch)
@@ -733,9 +742,11 @@ mod tests {
             r#"{"engine_items_ingested_total":7}"#.into(),
         ));
         roundtrip(Frame::Ingest(vec![
-            (7, vec![true, false, true]),
-            (9, vec![]),
-            (u64::MAX, vec![false; 17]),
+            (7, Bits::from([true, false, true])),
+            (9, Bits::new()),
+            (u64::MAX, Bits::from(vec![false; 17])),
+            (1, Bits::from(vec![true; 64])),
+            (2, Bits::from(vec![true; 65])),
         ]));
         roundtrip(Frame::Query {
             key: 42,
@@ -937,17 +948,23 @@ mod tests {
         assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
     }
 
+    /// Wire v4 ingest entry bodies are whole little-endian words of the
+    /// LSB-first bit stream: bit 0 is byte 0's 0x01, bit 9 is byte 1's
+    /// 0x02, and the body is zero-padded to an 8-byte boundary.
     #[test]
-    fn bit_packing_is_msb_first() {
-        let mut out = Vec::new();
-        pack_bits(
-            &[true, false, true, false, false, false, false, true, true],
-            &mut out,
-        );
-        assert_eq!(out, vec![0b1010_0001, 0b1000_0000]);
+    fn ingest_body_is_le_words_lsb_first() {
+        let mut bits = Bits::new();
+        bits.push(true);
+        for _ in 0..8 {
+            bits.push(false);
+        }
+        bits.push(true);
+        let bytes = WireCodec::encode(&Frame::Ingest(vec![(5, bits)]));
+        // header + count u32 + key u64 + bit count u64, then one word.
+        let body_at = HEADER_LEN + 4 + 8 + 8;
         assert_eq!(
-            unpack_bits(&out, 9).unwrap(),
-            vec![true, false, true, false, false, false, false, true, true]
+            &bytes[body_at..body_at + 8],
+            &[0x01, 0x02, 0, 0, 0, 0, 0, 0]
         );
     }
 

@@ -28,11 +28,12 @@
 //!   clean typed errors instead of hanging.
 //!
 //! ```no_run
+//! use waves_engine::IngestRequest;
 //! use waves_net::{Client, Server, ServerConfig};
 //!
 //! let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
 //! let mut client = Client::connect(server.local_addr()).unwrap();
-//! client.ingest(7, &[true, true, false]).unwrap();
+//! client.ingest(IngestRequest::of(7, [true, true, false])).unwrap();
 //! client.flush().unwrap();
 //! let est = client.query(7, 1024).unwrap();
 //! assert_eq!(est.value, 2.0);

@@ -351,10 +351,15 @@ fn dispatch<R: Recorder + Send + Sync + 'static>(
                 "server was started without a metrics registry",
             ))),
         },
-        Frame::Ingest(batch) => match shared.engine.ingest_batch_traced(&batch, ctx) {
-            Ok(()) => Frame::Ok,
-            Err(e) => Frame::ErrorResp(e),
-        },
+        Frame::Ingest(batch) => {
+            match shared
+                .engine
+                .ingest(waves_engine::IngestRequest::batch(batch).traced(ctx))
+            {
+                Ok(()) => Frame::Ok,
+                Err(e) => Frame::ErrorResp(e),
+            }
+        }
         Frame::Query { key, window } => match shared.engine.query_traced(key, window, ctx) {
             Ok(est) => Frame::EstimateResp(est),
             Err(e) => Frame::ErrorResp(e),

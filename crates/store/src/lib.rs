@@ -27,6 +27,7 @@
 //! tradeoffs, recovery semantics) in `OPERATIONS.md`.
 //!
 //! ```
+//! use waves_core::Bits;
 //! use waves_obs::NoopRecorder;
 //! use waves_store::{scratch_dir, ShardStore, SyncPolicy};
 //!
@@ -36,11 +37,11 @@
 //! let recovered = ShardStore::recover(&dir, SyncPolicy::EveryBatch, 8 << 20, &rec).unwrap();
 //! assert!(recovered.batches.is_empty());
 //! let mut store = recovered.store;
-//! store.append_batch(&[(7, vec![true, false, true])], &rec).unwrap();
+//! store.append_batch(&[(7, Bits::from([true, false, true]))], &rec).unwrap();
 //! drop(store);
-//! // Reopen: the acknowledged batch replays.
+//! // Reopen: the acknowledged batch replays, word-packed.
 //! let recovered = ShardStore::recover(&dir, SyncPolicy::EveryBatch, 8 << 20, &rec).unwrap();
-//! assert_eq!(recovered.batches, vec![vec![(7, vec![true, false, true])]]);
+//! assert_eq!(recovered.batches, vec![vec![(7, Bits::from([true, false, true]))]]);
 //! std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
@@ -329,11 +330,13 @@ mod proptests {
         SEGMENT_HEADER_LEN,
     };
     use proptest::prelude::*;
+    use waves_core::bits::Bits;
 
-    fn batches_strategy() -> impl Strategy<Value = Vec<Vec<(u64, Vec<bool>)>>> {
+    fn batches_strategy() -> impl Strategy<Value = Vec<Vec<(u64, Bits)>>> {
         prop::collection::vec(
             prop::collection::vec(
-                (any::<u64>(), prop::collection::vec(any::<bool>(), 0..40)),
+                (any::<u64>(), prop::collection::vec(any::<bool>(), 0..40))
+                    .prop_map(|(k, v): (u64, Vec<bool>)| (k, Bits::from(v))),
                 0..4,
             ),
             1..12,

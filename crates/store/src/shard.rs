@@ -20,6 +20,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use waves_core::bits::Bits;
 use waves_obs::trace::{next_span_id, now_ns, Span, Stage, TraceCtx};
 use waves_obs::{HistId, MetricId, Recorder};
 
@@ -47,10 +48,10 @@ pub struct RecoveredShard {
     /// `(key, synopsis bytes)` from the newest valid checkpoint; empty
     /// on first open.
     pub entries: Vec<(u64, Vec<u8>)>,
-    /// Acknowledged WAL batches after that checkpoint, in append order.
-    /// The caller replays these through the synopses it decoded from
-    /// `entries`.
-    pub batches: Vec<Vec<(u64, Vec<bool>)>>,
+    /// Acknowledged WAL batches after that checkpoint, in append order,
+    /// each entry carrying its word-packed bit stream. The caller
+    /// replays these through the synopses it decoded from `entries`.
+    pub batches: Vec<Vec<(u64, Bits)>>,
     /// A writer positioned at the clean end of the log, ready for new
     /// appends.
     pub store: ShardStore,
@@ -119,7 +120,7 @@ impl ShardStore {
         for &seq in segments.range(..start_seq) {
             let _ = fs::remove_file(dir.join(segment_file_name(seq)));
         }
-        let mut batches: Vec<Vec<(u64, Vec<bool>)>> = Vec::new();
+        let mut batches: Vec<Vec<(u64, Bits)>> = Vec::new();
         let mut tail: Option<(u64, u64)> = None;
         let mut expected = start_seq;
         let mut stopped = false;
@@ -198,7 +199,7 @@ impl ShardStore {
     /// it.
     pub fn append_batch<R: Recorder + ?Sized>(
         &mut self,
-        batch: &[(u64, Vec<bool>)],
+        batch: &[(u64, Bits)],
         rec: &R,
     ) -> io::Result<WalPosition> {
         self.append_batch_traced(batch, rec, TraceCtx::NONE)
@@ -211,7 +212,7 @@ impl ShardStore {
     /// traces.
     pub fn append_batch_traced<R: Recorder + ?Sized>(
         &mut self,
-        batch: &[(u64, Vec<bool>)],
+        batch: &[(u64, Bits)],
         rec: &R,
         ctx: TraceCtx,
     ) -> io::Result<WalPosition> {
@@ -354,7 +355,7 @@ mod tests {
         dir
     }
 
-    fn batch(i: u64) -> Vec<(u64, Vec<bool>)> {
+    fn batch(i: u64) -> Vec<(u64, Bits)> {
         vec![(i % 4, (0..=(i % 11)).map(|j| j % 2 == 0).collect())]
     }
 

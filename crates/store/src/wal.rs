@@ -34,22 +34,28 @@
 //! | 1      | 4     | entry count `C`, u32 BE           |
 //! | 5      | ...   | `C` entries                       |
 //!
-//! Each entry: key u64 BE, bit count `B` u64 BE, then `ceil(B/8)` bytes
-//! of MSB-first packed bits — byte-identical to the wire protocol's
-//! `INGEST` entry encoding (both call [`waves_core::codec::pack_bits`]).
+//! Each entry: key u64 BE, bit count `B` u64 BE, then `ceil(B/64)`
+//! packed `u64` words of 8 **little-endian** bytes each — the LSB-first
+//! bit stream of [`waves_core::bits::Bits`], zero-padded to a word
+//! boundary, byte-identical to the wire protocol's v4 `INGEST` entry
+//! encoding. (Store format 1 packed MSB-first bytes instead; format 2
+//! segments are the word encoding, and a format-1 store fails header
+//! validation cleanly rather than mis-decoding.)
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use waves_core::codec::{pack_bits, unpack_bits};
+use waves_core::bits::{byte_count, Bits};
 
 use crate::crc::crc32;
 
 /// First four bytes of every segment file.
 pub const SEGMENT_MAGIC: [u8; 4] = *b"WLOG";
 /// On-disk format version shared by segments, checkpoints, and META.
-pub const STORE_VERSION: u16 = 1;
+/// Version 2 switched ingest entries from MSB-first packed bytes to
+/// LSB-first little-endian `u64` words (wire v4's encoding).
+pub const STORE_VERSION: u16 = 2;
 /// Bytes before the first record in a segment.
 pub const SEGMENT_HEADER_LEN: u64 = 16;
 /// Bytes of record framing before the payload (length + CRC).
@@ -81,21 +87,21 @@ fn bad(what: &'static str) -> io::Error {
 }
 
 /// Encode one ingest batch as a record payload (type byte included).
-pub fn encode_batch_payload(batch: &[(u64, Vec<bool>)]) -> Vec<u8> {
+pub fn encode_batch_payload(batch: &[(u64, Bits)]) -> Vec<u8> {
     let mut p = Vec::with_capacity(5 + batch.len() * 17);
     p.push(REC_BATCH);
     p.extend_from_slice(&(batch.len() as u32).to_be_bytes());
     for (key, bits) in batch {
         p.extend_from_slice(&key.to_be_bytes());
-        p.extend_from_slice(&(bits.len() as u64).to_be_bytes());
-        pack_bits(bits, &mut p);
+        p.extend_from_slice(&bits.len().to_be_bytes());
+        bits.write_le_bytes(&mut p);
     }
     p
 }
 
 /// Decode a record payload produced by [`encode_batch_payload`].
 /// Arbitrary input never panics; malformed bytes yield `InvalidData`.
-pub fn decode_batch_payload(payload: &[u8]) -> io::Result<Vec<(u64, Vec<bool>)>> {
+pub fn decode_batch_payload(payload: &[u8]) -> io::Result<Vec<(u64, Bits)>> {
     let mut at = 0usize;
     let take = |at: &mut usize, n: usize| -> io::Result<&[u8]> {
         let end = at.checked_add(n).ok_or_else(|| bad("length overflow"))?;
@@ -118,8 +124,8 @@ pub fn decode_batch_payload(payload: &[u8]) -> io::Result<Vec<(u64, Vec<bool>)>>
         if nbits > MAX_ENTRY_BITS {
             return Err(bad("entry bit count"));
         }
-        let packed = take(&mut at, (nbits as usize).div_ceil(8))?;
-        let bits = unpack_bits(packed, nbits as usize).map_err(|_| bad("entry bits"))?;
+        let packed = take(&mut at, byte_count(nbits))?;
+        let bits = Bits::from_le_bytes(packed, nbits).ok_or_else(|| bad("entry bits"))?;
         batch.push((key, bits));
     }
     if at != payload.len() {
@@ -321,11 +327,27 @@ mod tests {
         dir
     }
 
-    fn sample_batch(i: u64) -> Vec<(u64, Vec<bool>)> {
+    fn sample_batch(i: u64) -> Vec<(u64, Bits)> {
         vec![
             (i, (0..i % 13).map(|j| j % 2 == 0).collect()),
-            (i * 7 + 1, vec![true; (i % 9) as usize]),
+            (i * 7 + 1, Bits::from_bools(&vec![true; (i % 9) as usize])),
         ]
+    }
+
+    /// An entry's packed body is whole little-endian words: 8 bytes per
+    /// started group of 64 bits, zero-padded, LSB-first.
+    #[test]
+    fn entry_encoding_is_le_words() {
+        let mut bits = Bits::new();
+        bits.push(true); // bit 0 -> byte 0, mask 0x01
+        for _ in 0..8 {
+            bits.push(false);
+        }
+        bits.push(true); // bit 9 -> byte 1, mask 0x02
+        let payload = encode_batch_payload(&[(0xABCD, bits)]);
+        // type + count + key + bit count, then one 8-byte word.
+        assert_eq!(payload.len(), 1 + 4 + 8 + 8 + 8);
+        assert_eq!(&payload[21..], &[0x01, 0x02, 0, 0, 0, 0, 0, 0]);
     }
 
     #[test]

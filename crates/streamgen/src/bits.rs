@@ -9,6 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use waves_core::Bits;
 
 /// A source of stream bits.
 pub trait BitSource {
@@ -17,6 +18,16 @@ pub trait BitSource {
 
     /// Collect the next `n` bits into a vector.
     fn take_bits(&mut self, n: usize) -> Vec<bool>
+    where
+        Self: Sized,
+    {
+        (0..n).map(|_| self.next_bit()).collect()
+    }
+
+    /// Collect the next `n` bits word-packed. Draws the same bit
+    /// sequence as [`take_bits`](BitSource::take_bits), so a seeded
+    /// source produces identical streams in either currency.
+    fn take_packed(&mut self, n: usize) -> Bits
     where
         Self: Sized,
     {
@@ -232,6 +243,23 @@ mod tests {
         let a = Bernoulli::new(0.5, 1).take_bits(100);
         let b = Bernoulli::new(0.5, 1).take_bits(100);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn take_packed_matches_take_bits() {
+        let bools = Bernoulli::new(0.3, 21).take_bits(1_000);
+        let packed = Bernoulli::new(0.3, 21).take_packed(1_000);
+        assert_eq!(Bits::from_bools(&bools), packed);
+        let p = Periodic::new(3, 2).take_packed(130);
+        assert_eq!(p.len(), 130);
+        assert_eq!(
+            p.count_ones(),
+            Periodic::new(3, 2)
+                .take_bits(130)
+                .iter()
+                .filter(|&&b| b)
+                .count() as u64
+        );
     }
 
     #[test]

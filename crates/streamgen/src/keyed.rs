@@ -11,6 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use waves_core::Bits;
 
 /// A seeded generator of keyed event batches.
 ///
@@ -106,10 +107,31 @@ impl KeyedWorkload {
         (key, bits)
     }
 
-    /// Produce the next `n` events as one batch, ready for
-    /// `Engine::ingest_batch`.
+    /// Produce the next event word-packed: a key plus its bit burst as
+    /// a [`Bits`] buffer, ready to feed `IngestRequest` without any
+    /// per-bit intermediary. Draws the same key and bit sequence as
+    /// [`next_event`](Self::next_event), so a seeded workload yields
+    /// identical streams in either currency.
+    pub fn next_packed_event(&mut self) -> (u64, Bits) {
+        let key = self.next_key();
+        let len = match self.burst_range {
+            Some((lo, hi)) => self.rng.gen_range(lo..=hi),
+            None => self.bits_per_event,
+        };
+        let bits = (0..len).map(|_| self.rng.gen_bool(self.density)).collect();
+        (key, bits)
+    }
+
+    /// Produce the next `n` events as one batch of bool slices (the
+    /// per-bit currency — oracles and diff tests consume this form).
     pub fn next_batch(&mut self, n: usize) -> Vec<(u64, Vec<bool>)> {
         (0..n).map(|_| self.next_event()).collect()
+    }
+
+    /// Produce the next `n` events as one word-packed batch, ready for
+    /// `Engine::ingest(IngestRequest::batch(..))`.
+    pub fn next_packed_batch(&mut self, n: usize) -> Vec<(u64, Bits)> {
+        (0..n).map(|_| self.next_packed_event()).collect()
     }
 }
 
@@ -146,6 +168,21 @@ mod tests {
         let mut v = KeyedWorkload::new(8, 4, 0.5, 11).with_burst_range(1, 9);
         let again: Vec<usize> = (0..300).map(|_| v.next_event().1.len()).collect();
         assert_eq!(lens, again);
+    }
+
+    #[test]
+    fn packed_batch_matches_bool_batch_bit_for_bit() {
+        let bools = KeyedWorkload::new(64, 7, 0.4, 9)
+            .with_burst_range(1, 20)
+            .next_batch(200);
+        let packed = KeyedWorkload::new(64, 7, 0.4, 9)
+            .with_burst_range(1, 20)
+            .next_packed_batch(200);
+        assert_eq!(bools.len(), packed.len());
+        for ((bk, bb), (pk, pb)) in bools.iter().zip(&packed) {
+            assert_eq!(bk, pk);
+            assert_eq!(&Bits::from_bools(bb), pb);
+        }
     }
 
     #[test]

@@ -41,11 +41,11 @@
 //! engine:
 //!
 //! ```
-//! use waves::{Engine, EngineConfig};
+//! use waves::{Engine, EngineConfig, IngestRequest};
 //!
 //! let cfg = EngineConfig::builder().num_shards(2).max_window(1_000).eps(0.1).build();
 //! let engine = Engine::new(cfg).unwrap();
-//! engine.ingest_blocking(7, &[true, false, true]);
+//! engine.ingest(IngestRequest::of(7, [true, false, true]).blocking(true)).unwrap();
 //! engine.flush();
 //! assert_eq!(engine.query(7, 1_000).unwrap().value, 2.0);
 //! ```
@@ -72,11 +72,11 @@
 //! ```
 
 pub use waves_core::{
-    average, basic_wave, chain, codec, decay, det_wave, error, estimate, exact, histogram, level,
-    nth_recent, space, sum_wave, timestamp, timestamp_sum, traits, window,
+    average, basic_wave, bits, chain, codec, decay, det_wave, error, estimate, exact, histogram,
+    level, nth_recent, space, sum_wave, timestamp, timestamp_sum, traits, window,
 };
 pub use waves_core::{
-    decayed_sum, ratio_error_target, ratio_estimate, BasicWave, BitSynopsis, Decay,
+    decayed_sum, ratio_error_target, ratio_estimate, BasicWave, BitSynopsis, Bits, Decay,
     DecayedEstimate, DetWave, DetWaveBuilder, Estimate, ExactCount, ExactDistinct, ExactSum,
     ModRing, NthRecentWave, RatioEstimate, SlidingAverage, SpaceReport, SumSynopsis, SumWave,
     SumWaveBuilder, Synopsis, TimestampSumWave, TimestampWave, WaveError, WindowedHistogram,
@@ -85,8 +85,8 @@ pub use waves_core::{
 pub use waves_eh::{EhCount, EhCountBuilder, EhSum, EhSumBuilder};
 
 pub use waves_engine::{
-    Engine, EngineConfig, EngineConfigBuilder, EngineSnapshot, KeyedBits, PersistConfig,
-    ShardSnapshot, SyncPolicy,
+    Engine, EngineConfig, EngineConfigBuilder, EngineSnapshot, IngestRequest, KeyedBits,
+    PersistConfig, ShardSnapshot, SyncPolicy,
 };
 
 pub use waves_gf2::{Gf2Field, LevelHash};

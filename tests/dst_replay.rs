@@ -58,6 +58,48 @@ fn run_or_minimize_agrees_with_run_on_passing_seeds() {
     }
 }
 
+/// Trace hashes pinned against the current harness: any change to the
+/// schedule generator, the ingest encoding, or the trace format shows
+/// up here as a hash mismatch and must be a deliberate re-pin.
+#[test]
+fn pinned_trace_hashes_for_known_seeds() {
+    const PINNED: &[(u64, u64)] = &[
+        (0, 0x131d_45c8_2493_1b4b),
+        (1, 0xd516_a282_30e6_1ba0),
+        (2, 0xbf5b_5a10_3434_a3c5),
+        (3, 0x7155_4cff_3777_b2b1),
+        (4, 0x7171_c593_e1f8_bde5),
+    ];
+    for &(seed, want) in PINNED {
+        let report = run_seed(seed).unwrap_or_else(|v| panic!("{v}"));
+        assert_eq!(
+            report.trace_hash, want,
+            "seed {seed}: trace hash {:#018x} != pinned {want:#018x}",
+            report.trace_hash
+        );
+    }
+}
+
+/// The generator's packed-vs-bool coin flip actually lands on both
+/// sides, so both ingest currencies stay under the oracle check.
+#[test]
+fn generated_schedules_cover_both_ingest_currencies() {
+    let (mut saw_packed, mut saw_bool) = (false, false);
+    for seed in 0..50u64 {
+        for step in &Schedule::from_seed(seed).steps {
+            if let Step::Ingest { packed, .. } = step {
+                if *packed {
+                    saw_packed = true;
+                } else {
+                    saw_bool = true;
+                }
+            }
+        }
+    }
+    assert!(saw_packed, "no seed produced a packed ingest");
+    assert!(saw_bool, "no seed produced a bool ingest");
+}
+
 #[test]
 fn replay_hint_names_the_seed() {
     let sched = Schedule::from_seed(77);
@@ -67,7 +109,7 @@ fn replay_hint_names_the_seed() {
 fn count_ingests(steps: &[Step]) -> usize {
     steps
         .iter()
-        .filter(|s| matches!(s, Step::Ingest(_)))
+        .filter(|s| matches!(s, Step::Ingest { .. }))
         .count()
 }
 
@@ -75,7 +117,7 @@ fn has_query_after_ingest(steps: &[Step]) -> bool {
     let mut seen_ingest = false;
     for s in steps {
         match s {
-            Step::Ingest(_) => seen_ingest = true,
+            Step::Ingest { .. } => seen_ingest = true,
             Step::Query { .. } if seen_ingest => return true,
             _ => {}
         }

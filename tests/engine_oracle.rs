@@ -92,7 +92,7 @@ fn eh_engine_matches_eh_oracle_on_schedule_workload() {
         waves::Engine::with_factory(cfg, move || waves::EhCount::new(window, eps)).unwrap();
     let mut oracles: HashMap<u64, waves::EhCount> = HashMap::new();
     for step in &sched.steps {
-        let Step::Ingest(batch) = step else {
+        let Step::Ingest { batch, .. } = step else {
             continue;
         };
         for (key, bits) in batch {
@@ -103,7 +103,13 @@ fn eh_engine_matches_eh_oracle_on_schedule_workload() {
                 oracle.push_bit(bit);
             }
         }
-        engine.ingest_batch_blocking(batch);
+        let packed: Vec<_> = batch
+            .iter()
+            .map(|(k, bits)| (*k, waves::Bits::from_bools(bits)))
+            .collect();
+        engine
+            .ingest(waves::IngestRequest::batch(packed).blocking(true))
+            .unwrap();
     }
     engine.flush();
 

@@ -5,7 +5,7 @@
 
 use std::time::{Duration, Instant};
 use waves::streamgen::KeyedWorkload;
-use waves::{Engine, EngineConfig};
+use waves::{Engine, EngineConfig, IngestRequest};
 
 fn cfg(shards: usize) -> EngineConfig {
     EngineConfig::builder()
@@ -31,7 +31,7 @@ fn drop_with_queued_batches_joins_workers() {
             // these may be shed, which is fine — the point is queues
             // holding unprocessed batches at drop time.
             for _ in 0..200 {
-                let _ = engine.ingest_batch(&workload.next_batch(64));
+                let _ = engine.ingest(IngestRequest::batch(workload.next_packed_batch(64)));
             }
             drop(engine);
         }
@@ -51,7 +51,9 @@ fn flush_after_heavy_ingest_leaves_queues_empty() {
     let engine: Engine<waves::DetWave> = Engine::new(cfg(4)).unwrap();
     let mut workload = KeyedWorkload::new(2_000, 16, 0.5, 29);
     for _ in 0..100 {
-        engine.ingest_batch_blocking(&workload.next_batch(128));
+        engine
+            .ingest(IngestRequest::batch(workload.next_packed_batch(128)).blocking(true))
+            .unwrap();
     }
     engine.flush();
     let snap = engine.snapshot();
@@ -76,7 +78,9 @@ fn repeated_lifecycle_is_prompt() {
     for round in 0..20 {
         let engine: Engine<waves::DetWave> = Engine::new(cfg(4)).unwrap();
         let mut workload = KeyedWorkload::new(100, 16, 0.5, round);
-        engine.ingest_batch_blocking(&workload.next_batch(256));
+        engine
+            .ingest(IngestRequest::batch(workload.next_packed_batch(256)).blocking(true))
+            .unwrap();
         let t0 = Instant::now();
         drop(engine);
         worst = worst.max(t0.elapsed());

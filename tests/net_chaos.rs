@@ -14,7 +14,7 @@
 use std::time::{Duration, Instant};
 use waves::dst::{run, FaultSpec, Schedule};
 use waves::net::{ChaosProxy, Client, ClientConfig, Fault, Server, ServerConfig};
-use waves::{EngineConfig, WaveError};
+use waves::{EngineConfig, IngestRequest, WaveError};
 
 /// Tight budgets so the whole suite stays fast; the assertions give
 /// each op ~10x headroom before declaring a hang.
@@ -63,7 +63,9 @@ fn control_passthrough_proxy_is_transparent() {
     let server = start_server();
     let proxy = ChaosProxy::start(server.local_addr(), Fault::None).unwrap();
     let mut client = Client::connect_with(proxy.local_addr(), fast_cfg()).unwrap();
-    client.ingest(1, &[true, true, false]).unwrap();
+    client
+        .ingest(IngestRequest::of(1, [true, true, false]))
+        .unwrap();
     client.flush().unwrap();
     assert_eq!(client.query(1, 64).unwrap().value, 2.0);
     assert!(proxy.bytes_forwarded() > 0);
@@ -153,7 +155,9 @@ fn corrupted_reply_surfaces_invalid_data() {
     // The ingest's Ok reply occupies stream offsets 0..20 (16-byte
     // header + 4-byte CRC trailer); offset 20 is the first byte of the
     // query reply's frame, so the flip breaks its magic.
-    client.ingest(5, &[true, true, true]).unwrap();
+    client
+        .ingest(IngestRequest::of(5, [true, true, true]))
+        .unwrap();
     let t0 = Instant::now();
     let err = client.query(5, 64).unwrap_err();
     match &err {
@@ -174,7 +178,9 @@ fn corrupted_reply_surfaces_invalid_data() {
 fn idempotent_requests_retry_after_reset() {
     let server = start_server();
     let mut client = Client::connect_with(server.local_addr(), fast_cfg()).unwrap();
-    client.ingest(2, &[true, false, true, true]).unwrap();
+    client
+        .ingest(IngestRequest::of(2, [true, false, true, true]))
+        .unwrap();
     client.flush().unwrap();
     // Shut the server-side sockets down under the client: its next read
     // hits EOF, a retryable condition, and the client reconnects.
@@ -203,7 +209,7 @@ fn fresh_connection_after_failure_works() {
     }
     let mut client = Client::connect_with(addr, fast_cfg()).unwrap();
     client.ping().unwrap();
-    client.ingest(3, &[true]).unwrap();
+    client.ingest(IngestRequest::of(3, [true])).unwrap();
     client.flush().unwrap();
     assert_eq!(client.query(3, 64).unwrap().value, 1.0);
 }

@@ -6,7 +6,7 @@
 use std::collections::HashMap;
 use waves::net::{Client, Server, ServerConfig, SynopsisKind};
 use waves::streamgen::KeyedWorkload;
-use waves::{DetWave, Engine, EngineConfig, WaveError};
+use waves::{Bits, DetWave, Engine, EngineConfig, IngestRequest, WaveError};
 
 fn server_on_ephemeral(shards: usize, window: u64, eps: f64) -> Server {
     let cfg = ServerConfig {
@@ -41,12 +41,14 @@ fn networked_engine_matches_local_oracle() {
     let mut workload = KeyedWorkload::new(num_keys, 16, 0.4, 7).with_hot_set(0.5, 8);
     let mut seen = std::collections::HashSet::new();
     for _ in 0..30 {
-        let batch = workload.next_batch(64);
+        let batch = workload.next_packed_batch(64);
         for (key, _) in &batch {
             seen.insert(*key);
         }
-        client.ingest_batch(&batch).unwrap();
-        local.ingest_batch_blocking(&batch);
+        client.ingest(IngestRequest::batch(batch.clone())).unwrap();
+        local
+            .ingest(IngestRequest::batch(batch).blocking(true))
+            .unwrap();
     }
     client.flush().unwrap();
     local.flush();
@@ -199,8 +201,8 @@ fn concurrent_clients_share_one_engine() {
                 // Each client owns keys c*100..c*100+10.
                 for k in 0..10u64 {
                     let key = c * 100 + k;
-                    let bits: Vec<bool> = (0..50).map(|i| (i + key) % 3 == 0).collect();
-                    client.ingest(key, &bits).unwrap();
+                    let bits: Bits = (0..50).map(|i| (i + key) % 3 == 0).collect();
+                    client.ingest(IngestRequest::of(key, bits)).unwrap();
                 }
                 client.flush().unwrap();
             })

@@ -25,7 +25,9 @@ use waves::dst::{run, Schedule, Step};
 use waves::net::{Client, Server, ServerConfig};
 use waves::obs::NoopRecorder;
 use waves::store::{scratch_dir, ShardStore, Store};
-use waves::{DetWave, Engine, EngineConfig, PersistConfig, SyncPolicy, WaveError};
+use waves::{
+    Bits, DetWave, Engine, EngineConfig, IngestRequest, PersistConfig, SyncPolicy, WaveError,
+};
 
 const WINDOW: u64 = 64;
 const EPS: f64 = 0.25;
@@ -56,7 +58,7 @@ fn batches(n: usize) -> Vec<Vec<(u64, Vec<bool>)>> {
         .steps
         .into_iter()
         .filter_map(|s| match s {
-            Step::Ingest(batch) => Some(batch),
+            Step::Ingest { batch, .. } => Some(batch),
             _ => None,
         })
         .collect();
@@ -109,7 +111,11 @@ fn build_pristine(root: &Path, all: &[Vec<(u64, Vec<bool>)>]) -> (PathBuf, Vec<u
         .store;
     let mut ends = Vec::new();
     for batch in all {
-        ends.push(shard.append_batch(batch, &NoopRecorder).unwrap().offset);
+        let packed: Vec<(u64, Bits)> = batch
+            .iter()
+            .map(|(k, bits)| (*k, Bits::from_bools(bits)))
+            .collect();
+        ends.push(shard.append_batch(&packed, &NoopRecorder).unwrap().offset);
     }
     let seg = shard_dir.join(format!("wal-{:016x}.log", shard.wal_seq()));
     assert_eq!(shard.wal_seq(), 0, "test assumes a single segment");
@@ -213,7 +219,13 @@ fn clean_shutdown_and_reopen_preserves_snapshot_counts() {
     {
         let engine = Engine::new(cfg.clone()).unwrap();
         for batch in &all {
-            engine.ingest_batch_blocking(batch);
+            let packed: Vec<(u64, Bits)> = batch
+                .iter()
+                .map(|(k, bits)| (*k, Bits::from_bools(bits)))
+                .collect();
+            engine
+                .ingest(IngestRequest::batch(packed).blocking(true))
+                .unwrap();
         }
         engine.flush();
         before = engine.snapshot();
@@ -293,7 +305,7 @@ fn server_restart_keeps_state() {
         let mut client = Client::connect(server.local_addr()).unwrap();
         for key in 0..6u64 {
             let bits: Vec<bool> = (0..=key).map(|j| j % 2 == 0).collect();
-            client.ingest(key, &bits).unwrap();
+            client.ingest(IngestRequest::of(key, &bits)).unwrap();
             expected.insert(key, bits.iter().filter(|&&b| b).count() as f64);
         }
         client.flush().unwrap();

@@ -18,7 +18,7 @@ use waves::obs::{
     BufferSink, Fanout, MetricsRegistry, Recorder, Span, SpanRecorder, Stage, TraceId,
 };
 use waves::store::{scratch_dir, PersistConfig, SyncPolicy};
-use waves::EngineConfig;
+use waves::{Bits, EngineConfig, IngestRequest};
 
 /// Metrics + span ring + event sink, fanned out as one recorder.
 type Telemetry = Fanout<Fanout<MetricsRegistry, SpanRecorder>, BufferSink>;
@@ -71,10 +71,10 @@ fn traced_request_produces_full_span_tree_and_stats_reconcile() {
     .unwrap();
 
     // One batch across both shards: keys 0..8, 5 bits each = 40 items.
-    let batch: Vec<(u64, Vec<bool>)> = (0..8u64)
-        .map(|k| (k, vec![true, false, true, true, false]))
+    let batch: Vec<(u64, Bits)> = (0..8u64)
+        .map(|k| (k, Bits::from([true, false, true, true, false])))
         .collect();
-    client.ingest_batch(&batch).unwrap();
+    client.ingest(IngestRequest::batch(batch)).unwrap();
     let ingest_trace = client.last_trace().expect("ingest was traced");
     // Barrier: the batch is applied and (EveryBatch) WAL-synced, so the
     // shard/wal spans of the ingest trace are in the ring.
@@ -217,7 +217,7 @@ fn untraced_clients_leave_no_spans() {
     .unwrap();
     // Plain connect: NoopRecorder, trace_enabled() = false.
     let mut client = Client::connect(server.local_addr()).unwrap();
-    client.ingest(1, &[true, true]).unwrap();
+    client.ingest(IngestRequest::of(1, [true, true])).unwrap();
     client.flush().unwrap();
     assert_eq!(client.query(1, 64).unwrap().value, 2.0);
     assert_eq!(client.last_trace(), None);
