@@ -1,6 +1,7 @@
 //! Experiment implementations, one module per DESIGN.md entry.
 
 pub mod ablations;
+pub mod cluster_scaling;
 pub mod det_error;
 pub mod distinct;
 pub mod dst_soak;
@@ -49,6 +50,7 @@ pub fn run(id: &str) -> bool {
         "persistence" => persistence::run(),
         "dst-soak" => dst_soak::run(),
         "word-ingest" => word_ingest::run(),
+        "cluster-scaling" => cluster_scaling::run(),
         _ => return false,
     }
     true

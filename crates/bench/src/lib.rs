@@ -85,6 +85,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "word-ingest",
         "E22: word-packed ingest pipeline vs the bool-slice path",
     ),
+    (
+        "cluster-scaling",
+        "E23: cluster ingest scaling across loopback nodes + replication agreement",
+    ),
 ];
 
 #[cfg(test)]

@@ -28,6 +28,12 @@ MODES:
                 seed derives (--seed), or soak many seeds (--seeds);
                 prints 'DST FAILURE seed=<n> step=<k>' plus a minimized
                 schedule on any oracle violation (no stdin)
+    cluster     spawn --nodes local servers, route a seeded keyed
+                workload over a consistent-hash ring with --replicas
+                per key, replicate synopses primary -> followers, and
+                verify every key against the client's shadow oracle;
+                --kill <I> downs node I afterward and re-verifies
+                through failover (no stdin)
 
 OPTIONS:
     --window <N>      maximum window size            [default: 1024]
@@ -55,6 +61,13 @@ ENGINE OPTIONS (engine / serve modes):
     --checkpoint-every <C>
                       checkpoint after C applied batches per shard;
                       0 disables auto-checkpoints    [default: 4096]
+
+CLUSTER OPTIONS (cluster mode only):
+    --nodes <N>       local server processes to spawn [default: 3]
+    --replicas <R>    replicas per key (primary + followers; clamped
+                      to the node count)              [default: 2]
+    --kill <I>        after verifying, shut node I down and verify
+                      every key again through failover
 
 NETWORK OPTIONS (serve / client / top modes only):
     --addr <A>        address to bind (serve) or dial (client / top)
@@ -102,6 +115,9 @@ pub enum Mode {
     /// Deterministic simulation: replay or soak seed-derived fault
     /// schedules through the full stack.
     Dst,
+    /// Spawn N local servers and drive a replicated, ring-routed
+    /// workload over them, with optional kill-and-failover.
+    Cluster,
 }
 
 /// Which per-key synopsis the engine serves.
@@ -166,6 +182,12 @@ pub struct Config {
     pub interval_ms: u64,
     /// Top mode: exit after this many refreshes (`None` = until ^C).
     pub ticks: Option<u64>,
+    /// Cluster mode: local server processes to spawn.
+    pub nodes: usize,
+    /// Cluster mode: replicas per key (primary + followers).
+    pub replicas: usize,
+    /// Cluster mode: node to shut down for the failover re-verify.
+    pub kill: Option<usize>,
 }
 
 impl Default for Config {
@@ -199,6 +221,9 @@ impl Default for Config {
             prometheus: false,
             interval_ms: 1000,
             ticks: None,
+            nodes: 3,
+            replicas: 2,
+            kill: None,
         }
     }
 }
@@ -258,6 +283,7 @@ pub fn parse(argv: &[String]) -> Result<Option<Config>, ArgError> {
         "client" => Mode::Client,
         "top" => Mode::Top,
         "dst" => Mode::Dst,
+        "cluster" => Mode::Cluster,
         other => return Err(ArgError::UnknownMode(other.to_string())),
     };
     let mut cfg = Config {
@@ -388,6 +414,27 @@ pub fn parse(argv: &[String]) -> Result<Option<Config>, ArgError> {
                     return Err(bad(v));
                 }
                 cfg.seeds = Some(n);
+                i += 2;
+            }
+            "--nodes" => {
+                let v = value(i)?;
+                cfg.nodes = v.parse().map_err(|_| bad(v))?;
+                if cfg.nodes == 0 {
+                    return Err(bad(v));
+                }
+                i += 2;
+            }
+            "--replicas" => {
+                let v = value(i)?;
+                cfg.replicas = v.parse().map_err(|_| bad(v))?;
+                if cfg.replicas == 0 {
+                    return Err(bad(v));
+                }
+                i += 2;
+            }
+            "--kill" => {
+                let v = value(i)?;
+                cfg.kill = Some(v.parse().map_err(|_| bad(v))?);
                 i += 2;
             }
             "--interval" => {
@@ -608,6 +655,35 @@ mod tests {
         // Validation: zero seeds would soak nothing.
         assert!(matches!(
             parse(&argv("dst --seeds 0")),
+            Err(ArgError::BadValue(..))
+        ));
+    }
+
+    #[test]
+    fn parses_cluster_mode() {
+        let cfg = parse(&argv(
+            "cluster --nodes 4 --replicas 3 --kill 1 --keys 50 --items 2000 --seed 9",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(cfg.mode, Mode::Cluster);
+        assert_eq!(cfg.nodes, 4);
+        assert_eq!(cfg.replicas, 3);
+        assert_eq!(cfg.kill, Some(1));
+        assert_eq!(cfg.keys, 50);
+        assert_eq!(cfg.seed, 9);
+        // Defaults.
+        let cfg = parse(&argv("cluster")).unwrap().unwrap();
+        assert_eq!(cfg.nodes, 3);
+        assert_eq!(cfg.replicas, 2);
+        assert_eq!(cfg.kill, None);
+        // Validation: zero nodes / replicas route nothing.
+        assert!(matches!(
+            parse(&argv("cluster --nodes 0")),
+            Err(ArgError::BadValue(..))
+        ));
+        assert!(matches!(
+            parse(&argv("cluster --replicas 0")),
             Err(ArgError::BadValue(..))
         ));
     }

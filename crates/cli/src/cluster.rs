@@ -1,0 +1,147 @@
+//! The `cluster` subcommand: a self-contained, end-to-end exercise of
+//! `waves-cluster` — spawn N local servers, route a seeded keyed
+//! workload over the consistent-hash ring with R replicas per key,
+//! replicate synopses primary -> followers, and verify every key's
+//! answer against the client's shadow oracle. With `--kill <I>` the
+//! node is shut down after the first verification and every key is
+//! verified again through the failover walk.
+//!
+//! Output is line-oriented and scriptable; the run fails (nonzero
+//! exit through `main`) if any key's answer deviates from the oracle.
+
+use crate::args::Config;
+use std::io::Write;
+use std::sync::Arc;
+use waves_cluster::{ClusterClient, ClusterConfig};
+use waves_engine::EngineConfig;
+use waves_net::{Server, ServerConfig};
+use waves_obs::{MetricId, MetricsRegistry};
+
+/// Deterministic workload bit: same generator family as the engine
+/// subcommand (an LCG step per item), so runs replay exactly by seed.
+fn lcg_step(x: &mut u64) -> u64 {
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *x >> 33
+}
+
+pub fn run_cluster<W: Write>(cfg: &Config, out: &mut W) -> Result<(), String> {
+    let say = |out: &mut W, line: String| -> Result<(), String> {
+        writeln!(out, "{line}").map_err(|e| e.to_string())?;
+        out.flush().map_err(|e| e.to_string())
+    };
+
+    let ecfg = EngineConfig::builder()
+        .num_shards(cfg.shards)
+        .max_window(cfg.window)
+        .eps(cfg.eps)
+        .build();
+    let mut servers = Vec::with_capacity(cfg.nodes);
+    for _ in 0..cfg.nodes {
+        let scfg = ServerConfig {
+            engine: ecfg.clone(),
+            read_timeout: None,
+            ..Default::default()
+        };
+        servers.push(Server::start("127.0.0.1:0", scfg).map_err(|e| e.to_string())?);
+    }
+    let replicas = cfg.replicas.min(cfg.nodes);
+    say(
+        out,
+        format!(
+            "cluster: {} nodes, replication {}, ring seed {}, {} keys, {} items",
+            cfg.nodes, replicas, cfg.seed, cfg.keys, cfg.items
+        ),
+    )?;
+    for (i, s) in servers.iter().enumerate() {
+        say(out, format!("node {i} listening on {}", s.local_addr()))?;
+    }
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let ccfg = ClusterConfig {
+        replication: replicas,
+        ring_seed: cfg.seed,
+        max_window: cfg.window,
+        eps: cfg.eps,
+        ..Default::default()
+    };
+    let addrs = servers.iter().map(|s| s.local_addr()).collect();
+    let mut client = ClusterClient::new_recorded(addrs, ccfg, Arc::clone(&registry))
+        .map_err(|e| e.to_string())?;
+
+    // Seeded keyed workload, batched per key to amortize round trips.
+    let mut rng = cfg.seed ^ 0xC1D5;
+    let mut pending: Vec<(u64, Vec<bool>)> = (0..cfg.keys).map(|k| (k, Vec::new())).collect();
+    for _ in 0..cfg.items {
+        let key = lcg_step(&mut rng) % cfg.keys;
+        let bit = lcg_step(&mut rng) % 2 == 1;
+        let buf = &mut pending[key as usize].1;
+        buf.push(bit);
+        if buf.len() >= cfg.batch {
+            let bits = std::mem::take(buf);
+            client.ingest(key, &bits[..]).map_err(|e| e.to_string())?;
+        }
+    }
+    for (key, buf) in std::mem::take(&mut pending) {
+        if !buf.is_empty() {
+            client.ingest(key, &buf[..]).map_err(|e| e.to_string())?;
+        }
+    }
+    client.flush().map_err(|e| e.to_string())?;
+    say(
+        out,
+        format!("ingested {} items across {} keys", cfg.items, cfg.keys),
+    )?;
+
+    let shipped = client.replicate_all();
+    say(out, format!("replicated {shipped} installs to followers"))?;
+
+    let verify = |client: &mut ClusterClient<MetricsRegistry>| -> Result<u64, String> {
+        let mut ok = 0u64;
+        for key in 0..cfg.keys {
+            let got = client.query(key, cfg.window).map_err(|e| e.to_string())?;
+            let want = client
+                .shadow_query(key, cfg.window)
+                .map_err(|e| e.to_string())?;
+            if got == want {
+                ok += 1;
+            } else {
+                return Err(format!(
+                    "key {key}: cluster answered {got:?}, oracle says {want:?}"
+                ));
+            }
+        }
+        Ok(ok)
+    };
+    let ok = verify(&mut client)?;
+    say(
+        out,
+        format!("verify: {ok}/{} keys match the oracle", cfg.keys),
+    )?;
+
+    if let Some(victim) = cfg.kill {
+        if victim >= cfg.nodes {
+            return Err(format!("--kill {victim}: no such node (0..{})", cfg.nodes));
+        }
+        if replicas < 2 {
+            return Err("--kill needs --replicas >= 2 to have a failover target".into());
+        }
+        servers.remove(victim).shutdown();
+        say(out, format!("killed node {victim}"))?;
+        let ok = verify(&mut client)?;
+        let failovers = registry.counter(MetricId::ClusterFailovers);
+        say(
+            out,
+            format!(
+                "failover verify: {ok}/{} keys match the oracle ({failovers} failovers)",
+                cfg.keys
+            ),
+        )?;
+    }
+
+    for s in servers {
+        s.shutdown();
+    }
+    say(out, "cluster OK".to_string())
+}

@@ -24,9 +24,17 @@ pub fn run_dst<W: Write>(cfg: &Config, out: &mut W) -> Result<(), String> {
 fn replay<W: Write>(seed: u64, out: &mut W) -> Result<(), String> {
     let sched = Schedule::from_seed(seed);
     let e = |err: std::io::Error| err.to_string();
+    let cluster = if sched.cfg.cluster_nodes > 0 {
+        format!(
+            " cluster={}x{}",
+            sched.cfg.cluster_nodes, sched.cfg.replication
+        )
+    } else {
+        String::new()
+    };
     writeln!(
         out,
-        "seed {seed}: {} steps, window={} eps={} keys={} shards={}{}{}",
+        "seed {seed}: {} steps, window={} eps={} keys={} shards={}{}{}{}",
         sched.steps.len(),
         sched.cfg.max_window,
         sched.cfg.eps,
@@ -34,6 +42,7 @@ fn replay<W: Write>(seed: u64, out: &mut W) -> Result<(), String> {
         sched.cfg.num_shards,
         if sched.cfg.persist { " persist" } else { "" },
         if sched.cfg.tcp { " tcp" } else { "" },
+        cluster,
     )
     .map_err(e)?;
     match run_or_minimize(&sched) {

@@ -23,6 +23,7 @@ use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 mod args;
+mod cluster;
 mod dst;
 mod engine;
 mod net;
@@ -51,6 +52,7 @@ fn main() -> ExitCode {
         args::Mode::Client => Some(net::run_client(&cfg, &mut out)),
         args::Mode::Top => Some(top::run_top(&cfg, &mut out)),
         args::Mode::Dst => Some(dst::run_dst(&cfg, &mut out)),
+        args::Mode::Cluster => Some(cluster::run_cluster(&cfg, &mut out)),
         _ => None,
     };
     if let Some(result) = stdinless {

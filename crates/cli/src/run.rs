@@ -39,11 +39,13 @@ impl Synopsis {
                 )
                 .map_err(|e| e.to_string())?,
             )),
-            Mode::Engine | Mode::Serve | Mode::Client | Mode::Top | Mode::Dst => Err(
-                "engine/serve/client/top/dst modes take no stdin stream; they are handled \
-                 before the stream loop"
-                    .into(),
-            ),
+            Mode::Engine | Mode::Serve | Mode::Client | Mode::Top | Mode::Dst | Mode::Cluster => {
+                Err(
+                    "engine/serve/client/top/dst/cluster modes take no stdin stream; they are \
+                     handled before the stream loop"
+                        .into(),
+                )
+            }
             Mode::Distinct => {
                 let mut rng = StdRng::seed_from_u64(cfg.seed);
                 let rc =

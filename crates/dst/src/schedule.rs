@@ -90,6 +90,21 @@ pub enum Step {
         key: u64,
         window: u64,
     },
+    /// Cluster schedules only: shut one node's server down, losing its
+    /// in-memory state. The generator keeps at most `replication - 1`
+    /// nodes down at once so every key retains a live replica. No-op if
+    /// the node is already down (keeps step removal shrink-sound).
+    NodeKill { node: usize },
+    /// Cluster schedules only: make one node unreachable from the
+    /// client while its server — and its state — stays up. Replication
+    /// shipments it misses are remembered and re-ship through
+    /// anti-entropy after the rejoin. No-op if the node is already down.
+    Partition { node: usize },
+    /// Cluster schedules only: bring a downed node back. A killed node
+    /// returns as a fresh empty server and is re-seeded key by key
+    /// through anti-entropy; a partitioned one just becomes reachable
+    /// again with its state intact. No-op if the node is up.
+    Rejoin { node: usize },
 }
 
 impl std::fmt::Display for Step {
@@ -113,6 +128,9 @@ impl std::fmt::Display for Step {
             Step::Chaos { fault, key, window } => {
                 write!(f, "chaos({fault}, key={key}, w={window})")
             }
+            Step::NodeKill { node } => write!(f, "node-kill(node={node})"),
+            Step::Partition { node } => write!(f, "partition(node={node})"),
+            Step::Rejoin { node } => write!(f, "rejoin(node={node})"),
         }
     }
 }
@@ -134,6 +152,18 @@ pub struct SimConfig {
     /// Serve through a loopback `waves-net` server instead of calling
     /// the engine in-process. Chaos steps require this.
     pub tcp: bool,
+    /// Nonzero routes the run through a `waves-cluster` client over this
+    /// many loopback servers instead of a single backend. Cluster
+    /// schedules use their own fault family (node kills, partitions,
+    /// rejoins) and exclude persistence, plain-TCP chaos, snapshots, and
+    /// restarts — those faults belong to the single-backend stacks.
+    pub cluster_nodes: usize,
+    /// Replicas per key when `cluster_nodes > 0`; the generator keeps at
+    /// most `replication - 1` nodes down at once.
+    pub replication: usize,
+    /// Consistent-hash ring seed when `cluster_nodes > 0`, so replica
+    /// placement itself varies across seeds.
+    pub ring_seed: u64,
 }
 
 impl Default for SimConfig {
@@ -145,6 +175,9 @@ impl Default for SimConfig {
             num_shards: 1,
             persist: false,
             tcp: false,
+            cluster_nodes: 0,
+            replication: 2,
+            ring_seed: 0,
         }
     }
 }
@@ -167,13 +200,32 @@ impl Schedule {
         let eps = rng.gen_range(8u32..=40) as f64 / 100.0;
         let persist = rng.gen_bool(0.45);
         let tcp = rng.gen_bool(0.5);
+        // A quarter of seeds exercise the multi-node cluster backend;
+        // its fault family replaces the single-backend ones.
+        let cluster = rng.gen_bool(0.25);
+        let cluster_nodes = if cluster {
+            rng.gen_range(2..=4usize)
+        } else {
+            0
+        };
         let cfg = SimConfig {
             max_window,
             eps,
             num_keys: rng.gen_range(1..=10),
-            num_shards: if persist { 1 } else { rng.gen_range(1..=3) },
-            persist,
-            tcp,
+            num_shards: if persist && !cluster {
+                1
+            } else {
+                rng.gen_range(1..=3)
+            },
+            persist: persist && !cluster,
+            tcp: tcp && !cluster,
+            cluster_nodes,
+            replication: if cluster {
+                rng.gen_range(2..=cluster_nodes.min(3))
+            } else {
+                2
+            },
+            ring_seed: if cluster { rng.next_u64() } else { 0 },
         };
         let mut workload = make_workload(&mut rng, &cfg);
         let n = rng.gen_range(24..=60);
@@ -250,6 +302,31 @@ fn gen_steps(
     n: usize,
 ) -> Vec<Step> {
     let mut steps = Vec::with_capacity(n);
+    // Nodes currently killed or partitioned in a cluster schedule. The
+    // generator caps this at `replication - 1` so no key ever loses its
+    // last live replica, and rejoins only target genuinely downed nodes.
+    let mut down: Vec<usize> = Vec::new();
+    // Picks a node fault when headroom allows, a rejoin when one is
+    // pending, and falls back to a query otherwise.
+    let cluster_fault = |rng: &mut StdRng, down: &mut Vec<usize>| -> Step {
+        if down.len() + 1 < cfg.replication {
+            let up: Vec<usize> = (0..cfg.cluster_nodes)
+                .filter(|i| !down.contains(i))
+                .collect();
+            let node = up[rng.gen_range(0..up.len())];
+            down.push(node);
+            if rng.gen_bool(0.5) {
+                Step::NodeKill { node }
+            } else {
+                Step::Partition { node }
+            }
+        } else if !down.is_empty() {
+            let node = down.remove(rng.gen_range(0..down.len()));
+            Step::Rejoin { node }
+        } else {
+            gen_query(rng, cfg)
+        }
+    };
     for _ in 0..n {
         let roll = rng.gen_range(0..100u32);
         let step = if roll < 45 {
@@ -263,15 +340,32 @@ fn gen_steps(
         } else if roll < 76 {
             Step::Flush
         } else if roll < 80 {
-            Step::Snapshot
+            if cfg.cluster_nodes > 0 {
+                // Snapshot counts live keys on one engine; in a cluster
+                // the keys are spread over nodes, so rejoin instead.
+                if down.is_empty() {
+                    gen_query(rng, cfg)
+                } else {
+                    let node = down.remove(rng.gen_range(0..down.len()));
+                    Step::Rejoin { node }
+                }
+            } else {
+                Step::Snapshot
+            }
         } else if roll < 86 {
             if cfg.persist {
                 Step::Checkpoint
+            } else if cfg.cluster_nodes > 0 {
+                cluster_fault(rng, &mut down)
             } else {
                 gen_query(rng, cfg)
             }
         } else if roll < 90 {
-            Step::Restart
+            if cfg.cluster_nodes > 0 {
+                cluster_fault(rng, &mut down)
+            } else {
+                Step::Restart
+            }
         } else if roll < 95 {
             if cfg.persist {
                 Step::Crash {
@@ -290,6 +384,11 @@ fn gen_steps(
             gen_query(rng, cfg)
         };
         steps.push(step);
+    }
+    // Every downed node rejoins before the epilogue queries so the
+    // final sweep also proves post-rejoin anti-entropy convergence.
+    for node in down {
+        steps.push(Step::Rejoin { node });
     }
     steps
 }
@@ -340,6 +439,24 @@ impl ScheduleBuilder {
     /// Serve over loopback TCP instead of in-process.
     pub fn tcp(mut self) -> Self {
         self.cfg.tcp = true;
+        self
+    }
+
+    /// Route the run through a `waves-cluster` client over `nodes`
+    /// loopback servers with `replication` replicas per key. Clears
+    /// persistence and plain-TCP mode — cluster schedules carry their
+    /// own fault family.
+    pub fn cluster(mut self, nodes: usize, replication: usize) -> Self {
+        self.cfg.cluster_nodes = nodes.max(2);
+        self.cfg.replication = replication.clamp(2, self.cfg.cluster_nodes);
+        self.cfg.persist = false;
+        self.cfg.tcp = false;
+        self
+    }
+
+    /// Consistent-hash ring seed for cluster schedules.
+    pub fn ring_seed(mut self, seed: u64) -> Self {
+        self.cfg.ring_seed = seed;
         self
     }
 
@@ -418,6 +535,26 @@ impl ScheduleBuilder {
         self
     }
 
+    /// Shut a cluster node down, losing its state. Cluster schedules
+    /// only ([`ScheduleBuilder::cluster`] must come first).
+    pub fn node_kill(mut self, node: usize) -> Self {
+        self.steps.push(Step::NodeKill { node });
+        self
+    }
+
+    /// Make a cluster node unreachable while its state survives.
+    pub fn partition(mut self, node: usize) -> Self {
+        self.steps.push(Step::Partition { node });
+        self
+    }
+
+    /// Bring a downed cluster node back (fresh and empty after a kill,
+    /// intact after a partition).
+    pub fn rejoin(mut self, node: usize) -> Self {
+        self.steps.push(Step::Rejoin { node });
+        self
+    }
+
     /// Append `n` seed-derived steps with the same generator
     /// [`Schedule::from_seed`] uses (weights adapt to the configured
     /// persistence/transport).
@@ -467,6 +604,11 @@ mod tests {
             if s.cfg.persist {
                 assert_eq!(s.cfg.num_shards, 1, "persist pins one shard");
             }
+            if s.cfg.cluster_nodes > 0 {
+                assert!(!s.cfg.persist && !s.cfg.tcp, "cluster excludes persist/tcp");
+                assert!(s.cfg.replication >= 2 && s.cfg.replication <= s.cfg.cluster_nodes);
+            }
+            let mut down: Vec<usize> = Vec::new();
             for step in &s.steps {
                 match step {
                     Step::Chaos { .. } => assert!(s.cfg.tcp, "chaos requires tcp"),
@@ -475,8 +617,29 @@ mod tests {
                         assert!(*window >= 1 && *window <= s.cfg.max_window)
                     }
                     Step::Ingest { batch, .. } => assert!(!batch.is_empty()),
+                    Step::Snapshot | Step::Restart => {
+                        assert_eq!(s.cfg.cluster_nodes, 0, "single-backend faults only")
+                    }
+                    Step::NodeKill { node } | Step::Partition { node } => {
+                        assert!(s.cfg.cluster_nodes > 0, "node faults require cluster");
+                        assert!(*node < s.cfg.cluster_nodes);
+                        assert!(!down.contains(node), "fault targets an up node");
+                        down.push(*node);
+                        assert!(
+                            down.len() < s.cfg.replication,
+                            "every key keeps a live replica"
+                        );
+                    }
+                    Step::Rejoin { node } => {
+                        assert!(s.cfg.cluster_nodes > 0, "rejoin requires cluster");
+                        assert!(down.contains(node), "rejoin targets a downed node");
+                        down.retain(|n| n != node);
+                    }
                     _ => {}
                 }
+            }
+            if s.cfg.cluster_nodes > 0 {
+                assert!(down.is_empty(), "all downed nodes rejoin before epilogue");
             }
         }
     }
@@ -487,6 +650,24 @@ mod tests {
             .chaos(FaultSpec::DropConnection, 0, 8)
             .build();
         assert!(s.cfg.tcp);
+    }
+
+    #[test]
+    fn builder_cluster_clears_persist_and_tcp() {
+        let s = Schedule::builder(3)
+            .persist()
+            .tcp()
+            .cluster(3, 2)
+            .node_kill(1)
+            .rejoin(1)
+            .build();
+        assert_eq!(s.cfg.cluster_nodes, 3);
+        assert_eq!(s.cfg.replication, 2);
+        assert!(!s.cfg.persist && !s.cfg.tcp);
+        assert_eq!(
+            s.steps,
+            vec![Step::NodeKill { node: 1 }, Step::Rejoin { node: 1 }]
+        );
     }
 
     #[test]

@@ -17,14 +17,16 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::fs;
+use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use waves_cluster::{ClusterClient, ClusterConfig};
 use waves_core::{Bits, DetWave, Estimate, ExactCount, WaveError};
 use waves_eh::EhCount;
 use waves_engine::{Engine, EngineConfig, IngestRequest};
-use waves_net::{ChaosProxy, Client, ClientConfig, Server, ServerConfig};
+use waves_net::{ChaosProxy, Client, ClientConfig, RetryPolicy, Server, ServerConfig};
 use waves_obs::{Fanout, MetricsRegistry, SpanRecorder};
 use waves_store::{scratch_dir, wal, PersistConfig, SyncPolicy};
 
@@ -180,13 +182,35 @@ fn telemetry() -> Arc<Telemetry> {
     Arc::new(Fanout(MetricsRegistry::new(), SpanRecorder::new()))
 }
 
-/// The execution surface: in-process engine or loopback server+client.
+/// The execution surface: in-process engine, loopback server+client, or
+/// a multi-node cluster behind a `waves-cluster` routing client.
 enum Backend {
     Direct(Engine<DetWave, Telemetry>),
     Tcp {
         server: Server<Telemetry>,
         client: Client<Telemetry>,
     },
+    Cluster {
+        /// `None` while a node is killed; its slot keeps the index ↔
+        /// ring identity stable.
+        servers: Vec<Option<Server<Telemetry>>>,
+        client: Box<ClusterClient<Telemetry>>,
+        /// Real listening address per node, restored on rejoin after a
+        /// partition (a killed node rejoins on a fresh port).
+        addrs: Vec<SocketAddr>,
+        /// Downed with state lost (killed) vs state preserved
+        /// (partitioned) — decides what a rejoin must re-seed.
+        killed: Vec<bool>,
+        partitioned: Vec<bool>,
+    },
+}
+
+/// Where the routing client is pointed for a downed node: loopback port
+/// 1 is privileged and never listened on, so dials fail fast and
+/// deterministically with `ConnectionRefused` — and a dead node's real
+/// port can never be recycled under the client by a later fresh server.
+fn unreachable_addr() -> SocketAddr {
+    SocketAddr::from(([127, 0, 0, 1], 1))
 }
 
 struct Sim {
@@ -235,6 +259,9 @@ impl Sim {
             Step::Restart => self.do_restart(),
             Step::Crash { wal_cut_permille } => self.do_crash(*wal_cut_permille),
             Step::Chaos { fault, key, window } => self.do_chaos(*fault, *key, *window),
+            Step::NodeKill { node } => self.do_node_kill(*node),
+            Step::Partition { node } => self.do_partition(*node),
+            Step::Rejoin { node } => self.do_rejoin(*node),
         }
     }
 
@@ -242,6 +269,32 @@ impl Sim {
         if batch.is_empty() {
             self.trace
                 .push(format!("ingest events=0 items=0 packed={packed}"));
+            return Ok(());
+        }
+        if let Backend::Cluster { client, .. } = self.backend() {
+            let mut deferred = 0usize;
+            for (key, bits) in batch {
+                match client.ingest(*key, &bits[..]) {
+                    Ok(()) => {}
+                    // Every replica of this key unreachable — possible
+                    // only in shrunk schedules that dropped a rejoin.
+                    // The bits are safe in the client's shadow and
+                    // re-ship through anti-entropy, so this is a
+                    // deferral, not a loss.
+                    Err(WaveError::Io(_)) | Err(WaveError::Timeout { .. }) => deferred += 1,
+                    Err(e) => return Err(format!("cluster ingest rejected: {e}")),
+                }
+            }
+            // Ship every primary's synopsis to its followers after each
+            // batch, so any replica that answers a later query answers
+            // with current state.
+            client.replicate_all();
+            self.oracles.apply(batch);
+            let items: usize = batch.iter().map(|(_, bits)| bits.len()).sum();
+            self.trace.push(format!(
+                "ingest events={} items={items} packed={packed} deferred={deferred}",
+                batch.len()
+            ));
             return Ok(());
         }
         // Word-packed form of the batch: what the packed path sends and
@@ -260,6 +313,7 @@ impl Sim {
                         .ingest(IngestRequest::batch(words.clone()))
                         .map_err(|e| format!("ingest failed over tcp: {e}"))?
                 }
+                Backend::Cluster { .. } => unreachable!("cluster ingest handled above"),
             }
         } else {
             // The deprecated per-bit shims, kept under test on purpose:
@@ -273,6 +327,7 @@ impl Sim {
                 Backend::Tcp { client, .. } => client
                     .ingest_batch(batch)
                     .map_err(|e| format!("ingest failed over tcp: {e}"))?,
+                Backend::Cluster { .. } => unreachable!("cluster ingest handled above"),
             }
         }
         if self.cfg.persist {
@@ -300,6 +355,18 @@ impl Sim {
         let got = match self.backend() {
             Backend::Direct(engine) => engine.query(key, window),
             Backend::Tcp { client, .. } => client.query(key, window),
+            Backend::Cluster { client, .. } => match client.query(key, window) {
+                // Every replica of this key unreachable — possible only
+                // in shrunk schedules that dropped a rejoin. There is no
+                // answer to check; the outcome is deterministic given
+                // the schedule's down-set, so trace and move on.
+                Err(WaveError::Io(_)) | Err(WaveError::Timeout { .. }) => {
+                    self.trace
+                        .push(format!("query key={key} w={window} -> unreachable"));
+                    return Ok(());
+                }
+                other => other,
+            },
         };
         self.checks += 1;
         let line = self.oracles.check_query(key, window, &got)?;
@@ -313,6 +380,13 @@ impl Sim {
             Backend::Tcp { client, .. } => client
                 .flush()
                 .map_err(|e| format!("flush failed over tcp: {e}"))?,
+            // Downed nodes hold no open connection, so a flush failure
+            // here is a live connection breaking mid-exchange — treat
+            // it as the drop it is; anything else is a real violation.
+            Backend::Cluster { client, .. } => match client.flush() {
+                Ok(()) | Err(WaveError::Io(_)) | Err(WaveError::Timeout { .. }) => {}
+                Err(e) => return Err(format!("cluster flush: {e}")),
+            },
         }
         self.trace.push("flush".to_string());
         Ok(())
@@ -324,6 +398,11 @@ impl Sim {
             Backend::Tcp { client, .. } => client
                 .snapshot()
                 .map_err(|e| format!("snapshot failed over tcp: {e}"))?,
+            Backend::Cluster { .. } => {
+                // A cluster spreads keys over nodes; the single-engine
+                // live-key count has no cluster-wide meaning.
+                return Err("harness: snapshot step requires a single-backend schedule".into());
+            }
         };
         self.checks += 1;
         let want = self.oracles.exact.len();
@@ -341,6 +420,9 @@ impl Sim {
         match self.backend() {
             Backend::Direct(engine) => engine.checkpoint(),
             Backend::Tcp { server, .. } => server.engine().checkpoint(),
+            Backend::Cluster { .. } => {
+                return Err("harness: checkpoint step requires a single-backend schedule".into());
+            }
         }
         .map_err(|e| format!("checkpoint failed: {e}"))?;
         if self.cfg.persist {
@@ -407,7 +489,9 @@ impl Sim {
     fn do_chaos(&mut self, spec: FaultSpec, key: u64, window: u64) -> Result<(), String> {
         let addr = match self.backend() {
             Backend::Tcp { server, .. } => server.local_addr(),
-            Backend::Direct(_) => return Err("harness: chaos step requires a tcp schedule".into()),
+            Backend::Direct(_) | Backend::Cluster { .. } => {
+                return Err("harness: chaos step requires a tcp schedule".into())
+            }
         };
         let proxy = ChaosProxy::start(addr, spec.to_fault())
             .map_err(|e| format!("harness: chaos proxy: {e}"))?;
@@ -417,8 +501,7 @@ impl Sim {
             connect_timeout: Duration::from_millis(500),
             read_timeout: Duration::from_millis(30),
             write_timeout: Duration::from_millis(500),
-            retries: 0,
-            backoff: Duration::from_millis(1),
+            retry: RetryPolicy::none(),
         };
         let t0 = Instant::now();
         let outcome = Client::connect_with(proxy.local_addr(), chaos_cfg)
@@ -471,8 +554,114 @@ impl Sim {
                 drop(client);
                 drop(server);
             }
+            Some(Backend::Cluster {
+                servers, client, ..
+            }) => {
+                // Clusters never persist, so crash vs clean is moot.
+                drop(client);
+                for server in servers.into_iter().flatten() {
+                    server.shutdown();
+                }
+            }
             None => {}
         }
+    }
+
+    fn do_node_kill(&mut self, node: usize) -> Result<(), String> {
+        let Backend::Cluster {
+            servers,
+            client,
+            killed,
+            partitioned,
+            ..
+        } = self.backend()
+        else {
+            return Err("harness: node-kill step requires a cluster schedule".into());
+        };
+        if node >= servers.len() {
+            return Err(format!("harness: node-kill node={node}: no such node"));
+        }
+        if let Some(server) = servers[node].take() {
+            server.shutdown();
+        }
+        client.set_node_addr(node, unreachable_addr());
+        killed[node] = true;
+        partitioned[node] = false;
+        self.trace.push(format!("node-kill node={node}"));
+        Ok(())
+    }
+
+    fn do_partition(&mut self, node: usize) -> Result<(), String> {
+        let Backend::Cluster {
+            servers,
+            client,
+            killed,
+            partitioned,
+            ..
+        } = self.backend()
+        else {
+            return Err("harness: partition step requires a cluster schedule".into());
+        };
+        if node >= servers.len() {
+            return Err(format!("harness: partition node={node}: no such node"));
+        }
+        // A killed node is already unreachable; partitioning it again
+        // must not resurrect it as "state preserved".
+        if !killed[node] && !partitioned[node] {
+            client.set_node_addr(node, unreachable_addr());
+            partitioned[node] = true;
+        }
+        self.trace.push(format!("partition node={node}"));
+        Ok(())
+    }
+
+    fn do_rejoin(&mut self, node: usize) -> Result<(), String> {
+        let ecfg = engine_cfg(&self.cfg, None);
+        let Backend::Cluster {
+            servers,
+            client,
+            addrs,
+            killed,
+            partitioned,
+        } = self.backend()
+        else {
+            return Err("harness: rejoin step requires a cluster schedule".into());
+        };
+        if node >= servers.len() {
+            return Err(format!("harness: rejoin node={node}: no such node"));
+        }
+        let fresh = killed[node];
+        if killed[node] {
+            // The node lost its state with its process: restart it
+            // empty on a fresh port and declare every key routed there
+            // stale, so the next connection re-seeds it key by key
+            // through anti-entropy.
+            let server = Server::start_recorded(
+                "127.0.0.1:0",
+                ServerConfig {
+                    engine: ecfg,
+                    read_timeout: None,
+                    ..Default::default()
+                },
+                telemetry(),
+            )
+            .map_err(|e| format!("harness: rejoin server start: {e}"))?;
+            addrs[node] = server.local_addr();
+            servers[node] = Some(server);
+            client.set_node_addr(node, addrs[node]);
+            client.mark_node_stale(node);
+            killed[node] = false;
+        } else if partitioned[node] {
+            // State survived; just restore reachability. Shipments
+            // missed during the partition are pending and re-ship on
+            // the next connection.
+            client.set_node_addr(node, addrs[node]);
+            partitioned[node] = false;
+        }
+        // Rejoining an up node is a no-op (keeps shrinking sound); the
+        // `fresh` flag is a pure function of the schedule prefix.
+        self.trace.push(format!("rejoin node={node} fresh={fresh}"));
+        Ok(())
     }
 }
 
@@ -500,6 +689,49 @@ fn engine_cfg(cfg: &SimConfig, root: Option<&Path>) -> EngineConfig {
 
 fn start_backend(cfg: &SimConfig, root: Option<&Path>) -> Result<Backend, String> {
     let ecfg = engine_cfg(cfg, root);
+    if cfg.cluster_nodes > 0 {
+        let mut servers = Vec::with_capacity(cfg.cluster_nodes);
+        let mut addrs = Vec::with_capacity(cfg.cluster_nodes);
+        for _ in 0..cfg.cluster_nodes {
+            let server = Server::start_recorded(
+                "127.0.0.1:0",
+                ServerConfig {
+                    engine: ecfg.clone(),
+                    read_timeout: None,
+                    ..Default::default()
+                },
+                telemetry(),
+            )
+            .map_err(|e| format!("harness: cluster server start: {e}"))?;
+            addrs.push(server.local_addr());
+            servers.push(Some(server));
+        }
+        let ccfg = ClusterConfig {
+            replication: cfg.replication,
+            ring_seed: cfg.ring_seed,
+            max_window: cfg.max_window,
+            eps: cfg.eps,
+            // Dials to downed nodes must fail once and fail over, not
+            // burn wall-clock retrying the same dead address.
+            client: ClientConfig {
+                retry: RetryPolicy::none(),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let client = Box::new(
+            ClusterClient::new_recorded(addrs.clone(), ccfg, telemetry())
+                .map_err(|e| format!("harness: cluster client: {e}"))?,
+        );
+        let n = cfg.cluster_nodes;
+        return Ok(Backend::Cluster {
+            servers,
+            client,
+            addrs,
+            killed: vec![false; n],
+            partitioned: vec![false; n],
+        });
+    }
     if cfg.tcp {
         let server = Server::start_recorded(
             "127.0.0.1:0",

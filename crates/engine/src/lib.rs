@@ -282,6 +282,15 @@ enum Cmd {
     Checkpoint {
         reply: std::sync::mpsc::Sender<Result<(), WaveError>>,
     },
+    /// Install one key's synopsis from its encoded bytes, replacing any
+    /// local state for that key — the follower half of cluster
+    /// replication. The bytes stay opaque until the worker decodes them
+    /// with the fn pointer captured at construction.
+    Install {
+        key: Key,
+        bytes: Vec<u8>,
+        reply: std::sync::mpsc::Sender<Result<(), WaveError>>,
+    },
 }
 
 /// Point-in-time state of one shard, from [`Engine::snapshot`].
@@ -515,6 +524,7 @@ where
                         initial_keys,
                         persist,
                         worker_crashed,
+                        S::decode_synopsis,
                     )
                 })
                 .expect("spawn shard worker");
@@ -797,6 +807,34 @@ where
         }
     }
 
+    /// Install `key`'s synopsis from its encoded bytes (a synopsis's
+    /// own `encode()` output), **replacing** whatever local state the
+    /// key had — the follower half of cluster replication, where a
+    /// primary ships its authoritative state and this engine adopts it
+    /// verbatim.
+    ///
+    /// The install travels the key's shard FIFO like any batch, so it
+    /// is ordered against ingest: batches enqueued before it apply
+    /// first and are then overwritten; batches after it apply on top.
+    /// Installed state is *not* WAL-logged — after a crash the key
+    /// reverts to its logged history, and the cluster layer's
+    /// anti-entropy pass is what re-ships the difference.
+    ///
+    /// Undecodable bytes fail with an `InvalidData` [`WaveError::Io`]
+    /// and leave the key's previous state untouched.
+    pub fn install_synopsis(&self, key: Key, bytes: Vec<u8>) -> Result<(), WaveError> {
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        self.shards[self.shard_of(key)]
+            .tx()
+            .send(Cmd::Install {
+                key,
+                bytes,
+                reply: reply_tx,
+            })
+            .expect("worker lives until Drop");
+        reply_rx.recv().expect("worker replies before exiting")
+    }
+
     /// Durably checkpoint every shard: each worker serializes all of its
     /// keys' synopses, fsyncs them to a new checkpoint file, and
     /// reclaims the WAL history the checkpoint supersedes. Travels the
@@ -906,6 +944,9 @@ fn shard_worker<S, R, F>(
     initial_keys: HashMap<Key, S>,
     mut persist: Option<ShardPersist<S>>,
     crashed: Arc<AtomicBool>,
+    // Captured at construction (where the `SynopsisCodec` bound lives),
+    // like `ShardPersist::encode`, so the loop needs no codec bound.
+    decode: fn(&[u8]) -> Result<S, waves_core::codec::CodecError>,
 ) where
     S: BitSynopsis + Send + 'static,
     R: Recorder + Send + Sync + 'static,
@@ -1055,6 +1096,20 @@ fn shard_worker<S, R, F>(
                 };
                 let _ = reply.send(res);
             }
+            Cmd::Install { key, bytes, reply } => {
+                let res = match decode(&bytes) {
+                    Ok(synopsis) => {
+                        keys.insert(key, synopsis);
+                        rec.incr(MetricId::EngineSynopsesInstalled, 1);
+                        Ok(())
+                    }
+                    Err(e) => Err(WaveError::io(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("synopsis install for key {key}: {e}"),
+                    ))),
+                };
+                let _ = reply.send(res);
+            }
         }
     }
     // Clean shutdown: land everything durably regardless of sync policy.
@@ -1151,6 +1206,47 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn install_synopsis_replaces_key_state() {
+        let engine = Engine::new(small_cfg(2)).unwrap();
+        engine
+            .ingest(IngestRequest::of(9, [true, true, true]).blocking(true))
+            .unwrap();
+        engine.flush();
+        assert_eq!(engine.query(9, 64).unwrap().value, 3.0);
+
+        // Build a replacement synopsis elsewhere (a "primary") and ship
+        // its encode() bytes; the install replaces the local state.
+        let mut primary = DetWave::new(64, 0.25).unwrap();
+        primary.push_bits(&[true, false, false, true, true, false]);
+        engine.install_synopsis(9, primary.encode()).unwrap();
+        engine.flush();
+        assert_eq!(engine.query(9, 64).unwrap(), primary.query(64).unwrap());
+
+        // Installing under a fresh key creates it.
+        let mut other = DetWave::new(64, 0.25).unwrap();
+        other.push_bits(&[true]);
+        engine.install_synopsis(77, other.encode()).unwrap();
+        assert_eq!(engine.query(77, 64).unwrap().value, 1.0);
+    }
+
+    #[test]
+    fn install_synopsis_rejects_garbage_and_keeps_state() {
+        let engine = Engine::new(small_cfg(1)).unwrap();
+        engine
+            .ingest(IngestRequest::of(4, [true, true]).blocking(true))
+            .unwrap();
+        engine.flush();
+        // Empty input can't even yield the gamma-coded max_window.
+        let err = engine.install_synopsis(4, Vec::new()).unwrap_err();
+        match err {
+            WaveError::Io(io) => assert_eq!(io.kind(), std::io::ErrorKind::InvalidData),
+            other => panic!("expected Io(InvalidData), got {other:?}"),
+        }
+        // The failed install left the previous state untouched.
+        assert_eq!(engine.query(4, 64).unwrap().value, 2.0);
     }
 
     #[test]

@@ -9,12 +9,15 @@
 //! the chaos-proxy integration tests hold it to that.
 //!
 //! Retries are deliberately narrow: only *idempotent* requests (ping,
-//! query, flush, snapshot, combine, push-synopsis — re-pushing a
-//! party's synopsis overwrites the same slot) are retried, only on
-//! errors where the request plausibly never executed (connect failures
-//! and broken/reset connections), and at most [`ClientConfig::retries`]
-//! times with linear backoff. Ingest is *not* retried: a reply lost
-//! after the server applied the batch would double-count on replay.
+//! query, flush, snapshot, combine, push-synopsis, replicate — both
+//! pushes overwrite a slot, so a re-send lands on the same state) are
+//! retried, only on errors where the request plausibly never executed
+//! (connect failures and broken/reset connections), and at most
+//! [`RetryPolicy::retries`] times with linear backoff. The whole
+//! discipline lives in [`RetryPolicy`] so other layers (the cluster
+//! client's failover walk, notably) reuse the same judgment instead of
+//! re-deriving it. Ingest is *not* retried: a reply lost after the
+//! server applied the batch would double-count on replay.
 
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
@@ -27,6 +30,81 @@ use waves_obs::{HistId, MetricId, MetricsSnapshot, NoopRecorder, Recorder};
 
 use crate::frame::{Frame, SynopsisKind, WireCodec};
 
+/// The retry discipline shared by everything that re-sends requests:
+/// the client's idempotent request loop, its connect loop, and the
+/// cluster layer's failover walk. Attempt budget plus linear backoff,
+/// with the retryability judgment in one place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retry attempts after the first failure (0 disables retries).
+    pub retries: u32,
+    /// Backoff before retry `k` is `backoff * k` (linear).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 2,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: fail on the first error.
+    pub fn none() -> Self {
+        RetryPolicy {
+            retries: 0,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// The sleep before retry attempt `attempt` (1-based): linear
+    /// backoff, `backoff * attempt`.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        self.backoff * attempt
+    }
+
+    /// Transport errors where the request plausibly never ran
+    /// server-side, so re-sending an idempotent request is safe.
+    /// Timeouts and server-side errors are *not* retryable: the request
+    /// may have executed.
+    pub fn is_retryable(e: &WaveError) -> bool {
+        match e {
+            WaveError::Io(io) => matches!(
+                io.kind(),
+                std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::NotConnected
+                    | std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::ConnectionRefused
+            ),
+            _ => false,
+        }
+    }
+
+    /// Drive `op` under this policy: call it with the attempt number
+    /// (0 for the first try), and re-call after sleeping [`Self::delay`]
+    /// while the error is [`Self::is_retryable`] and the budget allows.
+    pub fn run<T>(&self, mut op: impl FnMut(u32) -> Result<T, WaveError>) -> Result<T, WaveError> {
+        let mut attempt = 0u32;
+        loop {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt > self.retries || !Self::is_retryable(&e) {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.delay(attempt));
+                }
+            }
+        }
+    }
+}
+
 /// Client transport knobs. The defaults suit loopback and LAN use;
 /// every field is a hard budget, not a hint.
 #[derive(Debug, Clone)]
@@ -38,10 +116,8 @@ pub struct ClientConfig {
     /// Socket write timeout: the longest a single request may take to
     /// drain into the send buffer.
     pub write_timeout: Duration,
-    /// Retry attempts after the first failure (0 disables retries).
-    pub retries: u32,
-    /// Backoff before retry `k` is `backoff * k` (linear).
-    pub backoff: Duration,
+    /// Retry budget and backoff for idempotent requests and connects.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ClientConfig {
@@ -50,8 +126,7 @@ impl Default for ClientConfig {
             connect_timeout: Duration::from_secs(5),
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
-            retries: 2,
-            backoff: Duration::from_millis(50),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -257,6 +332,23 @@ impl<R: Recorder + Send + Sync + 'static> Client<R> {
         self.push_synopsis(party, SynopsisKind::EhSum, eh.encode())
     }
 
+    /// Ship one key's synopsis encode to this server, which installs it
+    /// over its local state for that key — the wire v5 replication path
+    /// a cluster primary uses toward its followers. Idempotent (an
+    /// install is a state overwrite, so a re-send converges to the same
+    /// state), so it is retried.
+    pub fn replicate(
+        &mut self,
+        key: u64,
+        kind: SynopsisKind,
+        bytes: Vec<u8>,
+    ) -> Result<(), WaveError> {
+        match self.request_idempotent(&Frame::Replicate { key, kind, bytes })? {
+            Frame::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Referee combine across every pushed party at `window`.
     pub fn combine(&mut self, window: u64) -> Result<Estimate, WaveError> {
         match self.request_idempotent(&Frame::Combine { window })? {
@@ -346,10 +438,10 @@ impl<R: Recorder + Send + Sync + 'static> Client<R> {
                 }
                 Err(e) => {
                     attempt += 1;
-                    if attempt > self.cfg.retries || !is_retryable(&e) {
+                    if attempt > self.cfg.retry.retries || !RetryPolicy::is_retryable(&e) {
                         return Err(e);
                     }
-                    std::thread::sleep(self.cfg.backoff * attempt);
+                    std::thread::sleep(self.cfg.retry.delay(attempt));
                     match connect_with_retries(self.addr, &self.cfg) {
                         Ok(stream) => self.stream = stream,
                         Err(_) => return Err(e),
@@ -391,23 +483,6 @@ impl<R: Recorder + Send + Sync + 'static> Client<R> {
     }
 }
 
-/// Transport errors where the request plausibly never ran server-side,
-/// so re-sending an idempotent request is safe.
-fn is_retryable(e: &WaveError) -> bool {
-    match e {
-        WaveError::Io(io) => matches!(
-            io.kind(),
-            std::io::ErrorKind::ConnectionReset
-                | std::io::ErrorKind::ConnectionAborted
-                | std::io::ErrorKind::BrokenPipe
-                | std::io::ErrorKind::NotConnected
-                | std::io::ErrorKind::UnexpectedEof
-                | std::io::ErrorKind::ConnectionRefused
-        ),
-        _ => false,
-    }
-}
-
 fn connect_with_retries(addr: SocketAddr, cfg: &ClientConfig) -> Result<TcpStream, WaveError> {
     let mut attempt = 0u32;
     loop {
@@ -424,14 +499,14 @@ fn connect_with_retries(addr: SocketAddr, cfg: &ClientConfig) -> Result<TcpStrea
             }
             Err(e) => {
                 attempt += 1;
-                if attempt > cfg.retries {
+                if attempt > cfg.retry.retries {
                     return Err(WaveError::from_io(
                         "connect",
                         e,
                         cfg.connect_timeout.as_millis() as u64,
                     ));
                 }
-                std::thread::sleep(cfg.backoff * attempt);
+                std::thread::sleep(cfg.retry.delay(attempt));
             }
         }
     }
@@ -442,4 +517,63 @@ fn unexpected(frame: Frame) -> WaveError {
         std::io::ErrorKind::InvalidData,
         format!("unexpected reply frame: {frame:?}"),
     ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_policy_delay_is_linear() {
+        let p = RetryPolicy {
+            retries: 3,
+            backoff: Duration::from_millis(10),
+        };
+        assert_eq!(p.delay(1), Duration::from_millis(10));
+        assert_eq!(p.delay(3), Duration::from_millis(30));
+        assert_eq!(RetryPolicy::none().delay(5), Duration::ZERO);
+    }
+
+    #[test]
+    fn retryability_judgment_is_connection_shaped() {
+        let reset = WaveError::io(std::io::Error::from(std::io::ErrorKind::ConnectionReset));
+        assert!(RetryPolicy::is_retryable(&reset));
+        let timeout = WaveError::Timeout {
+            op: "read",
+            millis: 5,
+        };
+        assert!(!RetryPolicy::is_retryable(&timeout));
+        assert!(!RetryPolicy::is_retryable(&WaveError::InvalidWindow(0)));
+    }
+
+    #[test]
+    fn run_retries_up_to_budget_then_surfaces_the_error() {
+        let p = RetryPolicy {
+            retries: 2,
+            backoff: Duration::ZERO,
+        };
+        let mut calls = 0u32;
+        let out: Result<(), _> = p.run(|attempt| {
+            assert_eq!(attempt, calls);
+            calls += 1;
+            Err(WaveError::io(std::io::Error::from(
+                std::io::ErrorKind::ConnectionRefused,
+            )))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 3, "first try + two retries");
+
+        // Non-retryable errors short-circuit.
+        let mut calls = 0u32;
+        let out: Result<(), _> = p.run(|_| {
+            calls += 1;
+            Err(WaveError::InvalidWindow(0))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+
+        // Success passes straight through.
+        let ok = p.run(|attempt| if attempt == 0 { Ok(7) } else { unreachable!() });
+        assert_eq!(ok.unwrap(), 7);
+    }
 }

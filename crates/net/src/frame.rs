@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic  0x57 0x41  (b"WA")
-//! 2       1     version (currently 4)
+//! 2       1     version (currently 5)
 //! 3       1     frame type (see the `TYPE_*` constants)
 //! 4       4     payload length, u32 big-endian
 //! 8       8     trace id, u64 big-endian (0 = request is untraced)
@@ -59,8 +59,10 @@ pub const MAGIC: [u8; 2] = *b"WA";
 /// request's spans can be correlated across client and server; version
 /// 4 switched `INGEST` entry bodies from MSB-first packed bytes to
 /// LSB-first little-endian `u64` words (the [`waves_core::Bits`]
-/// layout, shared with the store's WAL records).
-pub const WIRE_VERSION: u8 = 4;
+/// layout, shared with the store's WAL records); version 5 added the
+/// `REPLICATE` request (`0x0A`), by which a cluster primary ships a
+/// key's synopsis `encode()` bytes to its follower replicas.
+pub const WIRE_VERSION: u8 = 5;
 
 /// Fixed header size in bytes (magic + version + type + length +
 /// trace id).
@@ -88,6 +90,7 @@ const TYPE_PUSH_SYNOPSIS: u8 = 0x06;
 const TYPE_COMBINE: u8 = 0x07;
 const TYPE_SHUTDOWN: u8 = 0x08;
 const TYPE_STATS: u8 = 0x09;
+const TYPE_REPLICATE: u8 = 0x0A;
 
 // Response frame types (server -> client). High bit set.
 const TYPE_OK: u8 = 0x80;
@@ -199,6 +202,16 @@ pub enum Frame {
     Shutdown,
     /// Ask for the server's live [`waves_obs::MetricsSnapshot`].
     Stats,
+    /// A cluster primary ships one key's synopsis `encode()` bytes to a
+    /// follower replica, which installs them over its local state for
+    /// that key. Same payload shape as [`Frame::PushSynopsis`], but the
+    /// receiver *replaces* engine state instead of filing a referee
+    /// entry — replication, not aggregation.
+    Replicate {
+        key: u64,
+        kind: SynopsisKind,
+        bytes: Vec<u8>,
+    },
 
     // ---- responses ----
     /// Generic success for requests with no payload to return.
@@ -478,6 +491,13 @@ impl WireCodec {
                 p.extend_from_slice(bytes);
                 TYPE_PUSH_SYNOPSIS
             }
+            Frame::Replicate { key, kind, bytes } => {
+                put_u64(&mut p, *key);
+                p.push(*kind as u8);
+                put_u32(&mut p, bytes.len() as u32);
+                p.extend_from_slice(bytes);
+                TYPE_REPLICATE
+            }
             Frame::Combine { window } => {
                 put_u64(&mut p, *window);
                 TYPE_COMBINE
@@ -593,6 +613,13 @@ impl WireCodec {
                 let len = r.u32()? as usize;
                 let bytes = r.take(len)?.to_vec();
                 Frame::PushSynopsis { party, kind, bytes }
+            }
+            TYPE_REPLICATE => {
+                let key = r.u64()?;
+                let kind = SynopsisKind::from_wire(r.u8()?)?;
+                let len = r.u32()? as usize;
+                let bytes = r.take(len)?.to_vec();
+                Frame::Replicate { key, kind, bytes }
             }
             TYPE_COMBINE => Frame::Combine { window: r.u64()? },
             TYPE_ESTIMATE => {
@@ -756,6 +783,16 @@ mod tests {
             party: 3,
             kind: SynopsisKind::EhSum,
             bytes: vec![0xde, 0xad, 0xbe, 0xef],
+        });
+        roundtrip(Frame::Replicate {
+            key: 11,
+            kind: SynopsisKind::DetWave,
+            bytes: vec![0x01, 0x02, 0x03],
+        });
+        roundtrip(Frame::Replicate {
+            key: 0,
+            kind: SynopsisKind::SumWave,
+            bytes: Vec::new(),
         });
         roundtrip(Frame::Combine { window: 512 });
         roundtrip(Frame::EstimateResp(Estimate {

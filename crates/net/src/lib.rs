@@ -49,7 +49,7 @@ pub mod frame;
 pub mod server;
 
 pub use chaos::{ChaosProxy, Fault};
-pub use client::{Client, ClientConfig};
+pub use client::{Client, ClientConfig, RetryPolicy};
 pub use frame::{Frame, FrameError, PartySynopsis, SynopsisKind, WireCodec};
 pub use server::{Server, ServerConfig};
 

@@ -27,7 +27,7 @@ use waves_engine::{Engine, EngineConfig};
 use waves_obs::trace::{next_span_id, now_ns, Span, Stage, TraceCtx, TraceId, ROOT_SPAN_ID};
 use waves_obs::{Event, HistId, MetricId, NoopRecorder, Recorder};
 
-use crate::frame::{Frame, PartySynopsis, WireCodec};
+use crate::frame::{Frame, PartySynopsis, SynopsisKind, WireCodec};
 
 /// Server configuration: the embedded engine's config plus transport
 /// knobs.
@@ -374,6 +374,22 @@ fn dispatch<R: Recorder + Send + Sync + 'static>(
                 format!("synopsis decode failed: {e}"),
             ))),
         },
+        Frame::Replicate { key, kind, bytes } => {
+            // This server hosts a DetWave engine; a primary shipping any
+            // other synopsis kind is misconfigured, and installing its
+            // bytes would corrupt the key silently.
+            if kind != SynopsisKind::DetWave {
+                Frame::ErrorResp(WaveError::io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("replicate kind {kind:?} not hosted by this server"),
+                )))
+            } else {
+                match shared.engine.install_synopsis(key, bytes) {
+                    Ok(()) => Frame::Ok,
+                    Err(e) => Frame::ErrorResp(e),
+                }
+            }
+        }
         Frame::Combine { window } => {
             let referee = shared.referee.lock().unwrap();
             let mut reports = Vec::with_capacity(referee.len());

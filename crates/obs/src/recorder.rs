@@ -87,10 +87,22 @@ pub enum MetricId {
     /// Times a shard's WAL was disabled after an append error (nonzero
     /// means the engine is running degraded, without durability).
     StoreWalDisabled,
+    /// Synopses installed over engine shard state (replication apply:
+    /// a REPLICATE frame replaced the local synopsis for a key).
+    EngineSynopsesInstalled,
+    /// Cluster client requests that failed over to the next replica in
+    /// ring order after the primary timed out or dropped.
+    ClusterFailovers,
+    /// Synopsis replications shipped primary -> follower by the cluster
+    /// client (one per follower per replicated key flush).
+    ClusterReplicationsShipped,
+    /// Anti-entropy rounds that re-shipped a key's synopsis to a
+    /// follower after a reconnect (merge-on-rejoin).
+    ClusterAntiEntropyMerges,
 }
 
 /// Number of [`MetricId`] variants (length of the registry's array).
-pub const NUM_METRICS: usize = 35;
+pub const NUM_METRICS: usize = 39;
 
 impl MetricId {
     pub const ALL: [MetricId; NUM_METRICS] = [
@@ -129,6 +141,10 @@ impl MetricId {
         MetricId::StoreBatchesRecovered,
         MetricId::NetSlowRequests,
         MetricId::StoreWalDisabled,
+        MetricId::EngineSynopsesInstalled,
+        MetricId::ClusterFailovers,
+        MetricId::ClusterReplicationsShipped,
+        MetricId::ClusterAntiEntropyMerges,
     ];
 
     /// Stable snake_case name used in text and JSON output.
@@ -169,6 +185,10 @@ impl MetricId {
             MetricId::StoreBatchesRecovered => "store_batches_recovered_total",
             MetricId::NetSlowRequests => "net_slow_requests_total",
             MetricId::StoreWalDisabled => "store_wal_disabled_total",
+            MetricId::EngineSynopsesInstalled => "engine_synopses_installed_total",
+            MetricId::ClusterFailovers => "cluster_failovers_total",
+            MetricId::ClusterReplicationsShipped => "cluster_replications_shipped_total",
+            MetricId::ClusterAntiEntropyMerges => "cluster_anti_entropy_merges_total",
         }
     }
 }
@@ -233,10 +253,13 @@ pub enum HistId {
     StoreCheckpointNs,
     /// Time to recover one shard (checkpoint load + WAL replay), ns.
     StoreRecoveryNs,
+    /// Cluster replication lag: primary flush -> follower install
+    /// acknowledged, per shipped synopsis, nanoseconds.
+    ClusterReplicaLagNs,
 }
 
 /// Number of [`HistId`] variants.
-pub const NUM_HISTS: usize = 14;
+pub const NUM_HISTS: usize = 15;
 
 impl HistId {
     pub const ALL: [HistId; NUM_HISTS] = [
@@ -254,6 +277,7 @@ impl HistId {
         HistId::StoreFsyncNs,
         HistId::StoreCheckpointNs,
         HistId::StoreRecoveryNs,
+        HistId::ClusterReplicaLagNs,
     ];
 
     pub fn name(self) -> &'static str {
@@ -272,6 +296,7 @@ impl HistId {
             HistId::StoreFsyncNs => "store_fsync_ns",
             HistId::StoreCheckpointNs => "store_checkpoint_ns",
             HistId::StoreRecoveryNs => "store_recovery_ns",
+            HistId::ClusterReplicaLagNs => "cluster_replica_lag_ns",
         }
     }
 }

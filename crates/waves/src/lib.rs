@@ -117,6 +117,13 @@ pub mod obs {
     pub use waves_obs::*;
 }
 
+/// Clustering: consistent-hash routing over several `waves-net`
+/// servers, primary/follower synopsis replication, anti-entropy, and
+/// failover (re-export of `waves-cluster`).
+pub mod cluster {
+    pub use waves_cluster::*;
+}
+
 /// Durability: per-shard write-ahead log, checkpoints, and crash
 /// recovery (re-export of `waves-store`). Most users only need
 /// [`EngineConfigBuilder::persist`](crate::EngineConfigBuilder::persist);

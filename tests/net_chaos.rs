@@ -13,7 +13,7 @@
 
 use std::time::{Duration, Instant};
 use waves::dst::{run, FaultSpec, Schedule};
-use waves::net::{ChaosProxy, Client, ClientConfig, Fault, Server, ServerConfig};
+use waves::net::{ChaosProxy, Client, ClientConfig, Fault, RetryPolicy, Server, ServerConfig};
 use waves::{EngineConfig, IngestRequest, WaveError};
 
 /// Tight budgets so the whole suite stays fast; the assertions give
@@ -23,8 +23,10 @@ fn fast_cfg() -> ClientConfig {
         connect_timeout: Duration::from_millis(500),
         read_timeout: Duration::from_millis(300),
         write_timeout: Duration::from_millis(300),
-        retries: 1,
-        backoff: Duration::from_millis(10),
+        retry: RetryPolicy {
+            retries: 1,
+            backoff: Duration::from_millis(10),
+        },
     }
 }
 
@@ -122,7 +124,7 @@ fn stalled_replies_surface_timeout_within_budget() {
     let proxy =
         ChaosProxy::start(server.local_addr(), Fault::Delay(Duration::from_secs(2))).unwrap();
     let cfg = ClientConfig {
-        retries: 0,
+        retry: RetryPolicy::none(),
         ..fast_cfg()
     };
     let mut client = Client::connect_with(proxy.local_addr(), cfg).unwrap();
@@ -147,7 +149,7 @@ fn corrupted_reply_surfaces_invalid_data() {
     let mut client = Client::connect_with(
         proxy.local_addr(),
         ClientConfig {
-            retries: 0,
+            retry: RetryPolicy::none(),
             ..fast_cfg()
         },
     )
