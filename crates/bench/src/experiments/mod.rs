@@ -11,6 +11,7 @@ pub mod figures;
 pub mod hash;
 pub mod latency;
 pub mod lower_bound;
+pub mod net_concurrency;
 pub mod net_loopback;
 pub mod obs_overhead;
 pub mod persistence;
@@ -47,6 +48,7 @@ pub fn run(id: &str) -> bool {
         "obs-overhead" => obs_overhead::run(),
         "engine-scaling" => engine_scaling::run(),
         "net-loopback" => net_loopback::run(),
+        "net-concurrency" => net_concurrency::run(),
         "persistence" => persistence::run(),
         "dst-soak" => dst_soak::run(),
         "word-ingest" => word_ingest::run(),

@@ -89,6 +89,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "cluster-scaling",
         "E23: cluster ingest scaling across loopback nodes + replication agreement",
     ),
+    (
+        "net-concurrency",
+        "E24: p99 request latency vs 10..10k concurrent loopback connections",
+    ),
 ];
 
 #[cfg(test)]

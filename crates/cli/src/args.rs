@@ -82,6 +82,9 @@ NETWORK OPTIONS (serve / client / top modes only):
                       exposition format (implies --once)
     --key <K>         client: key to ingest into / query  [default: 0]
     --bits <S>        client: string of 0/1 to ingest for --key
+    --repeat <N>      client: ingest --bits N times as one pipelined
+                      batch sequence (windowed send, many frames in
+                      flight per connection)  [default: 1]
     --query           client: query --key at --window, print estimate
     --ping            client: liveness probe first
     --snapshot        client: print the server engine snapshot
@@ -164,6 +167,9 @@ pub struct Config {
     pub key: u64,
     /// Client mode: a string of `0`/`1` characters to ingest for `key`.
     pub bits: Option<String>,
+    /// Client mode: ingest `bits` this many times as one pipelined
+    /// batch sequence (windowed submission, out-of-order completion).
+    pub repeat: u64,
     /// Client mode: query `key` at `window` and print the estimate.
     pub do_query: bool,
     /// Client mode: liveness probe before anything else.
@@ -212,6 +218,7 @@ impl Default for Config {
             addr: "127.0.0.1:4600".to_string(),
             key: 0,
             bits: None,
+            repeat: 1,
             do_query: false,
             ping: false,
             net_snapshot: false,
@@ -407,6 +414,14 @@ pub fn parse(argv: &[String]) -> Result<Option<Config>, ArgError> {
                 cfg.bits = Some(v.clone());
                 i += 2;
             }
+            "--repeat" => {
+                let v = value(i)?;
+                cfg.repeat = v.parse().map_err(|_| bad(v))?;
+                if cfg.repeat == 0 {
+                    return Err(bad(v));
+                }
+                i += 2;
+            }
             "--seeds" => {
                 let v = value(i)?;
                 let n: u64 = v.parse().map_err(|_| bad(v))?;
@@ -589,13 +604,23 @@ mod tests {
         assert_eq!(cfg.key, 7);
         assert_eq!(cfg.bits.as_deref(), Some("10110"));
         assert!(cfg.do_query && cfg.ping && cfg.net_snapshot && cfg.shutdown);
+        let cfg = parse(&argv("client --bits 10110 --repeat 64"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(cfg.repeat, 64);
         // Defaults.
         let cfg = parse(&argv("client")).unwrap().unwrap();
         assert_eq!(cfg.addr, "127.0.0.1:4600");
+        assert_eq!(cfg.repeat, 1);
         assert!(!cfg.do_query && cfg.bits.is_none());
-        // Validation: bits must be 0/1 only.
+        // Validation: bits must be 0/1 only, and --repeat 0 is
+        // rejected.
         assert!(matches!(
             parse(&argv("client --bits 012")),
+            Err(ArgError::BadValue(..))
+        ));
+        assert!(matches!(
+            parse(&argv("client --repeat 0")),
             Err(ArgError::BadValue(..))
         ));
         assert!(matches!(

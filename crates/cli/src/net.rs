@@ -110,11 +110,25 @@ where
     if let Some(bits) = &cfg.bits {
         let parsed: waves_core::Bits = bits.chars().map(|c| c == '1').collect();
         let n = parsed.len();
-        client
-            .ingest(IngestRequest::of(cfg.key, parsed))
+        if cfg.repeat > 1 {
+            // Pipelined path: one windowed submission with many ingest
+            // frames in flight on the single connection.
+            let reqs = (0..cfg.repeat).map(|_| IngestRequest::of(cfg.key, parsed.clone()));
+            let acked = client.ingest_many(reqs, 32).map_err(|e| e.to_string())?;
+            client.flush().map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "ingested {n} bits x {acked} pipelined batches for key {}",
+                cfg.key
+            )
             .map_err(|e| e.to_string())?;
-        client.flush().map_err(|e| e.to_string())?;
-        writeln!(out, "ingested {n} bits for key {}", cfg.key).map_err(|e| e.to_string())?;
+        } else {
+            client
+                .ingest(IngestRequest::of(cfg.key, parsed))
+                .map_err(|e| e.to_string())?;
+            client.flush().map_err(|e| e.to_string())?;
+            writeln!(out, "ingested {n} bits for key {}", cfg.key).map_err(|e| e.to_string())?;
+        }
     }
     if cfg.do_query {
         let est = client
@@ -199,6 +213,31 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("== engine =="), "{text}");
+
+        // Pipelined ingest: --repeat ships the batch N times through
+        // `ingest_many` (windowed, many frames in flight), and the
+        // query sees every copy.
+        let repeat_cfg = Config {
+            mode: Mode::Client,
+            addr: addr.to_string(),
+            key: 11,
+            bits: Some("101".into()),
+            repeat: 5,
+            do_query: true,
+            window: 128,
+            ..Config::default()
+        };
+        let mut out = Vec::new();
+        run_client(&repeat_cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("ingested 3 bits x 5 pipelined batches for key 11"),
+            "{text}"
+        );
+        assert!(
+            text.contains("key 11: estimate 10 in [10, 10] (exact)"),
+            "{text}"
+        );
 
         // Shutdown via the client path; the server handle drops after.
         let shutdown_cfg = Config {

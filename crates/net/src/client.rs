@@ -1,5 +1,9 @@
 //! The blocking client: one TCP connection, request/response framing,
-//! configurable timeouts, and bounded retry-with-backoff.
+//! configurable timeouts, and bounded retry-with-backoff — plus a
+//! pipelined submission path ([`Client::send_many`] /
+//! [`Client::ingest_many`]) that keeps a window of correlation-id
+//! tagged requests in flight and accepts replies out of order. The
+//! one-shot request methods are a pipeline of length one.
 //!
 //! Every socket operation runs under a deadline from [`ClientConfig`];
 //! a fired deadline surfaces as [`WaveError::Timeout`] naming the
@@ -19,6 +23,7 @@
 //! re-deriving it. Ingest is *not* retried: a reply lost after the
 //! server applied the batch would double-count on replay.
 
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -28,7 +33,7 @@ use waves_engine::{EngineSnapshot, IngestRequest};
 use waves_obs::trace::{next_span_id, now_ns, Span, Stage, TraceId, ROOT_SPAN_ID};
 use waves_obs::{HistId, MetricId, MetricsSnapshot, NoopRecorder, Recorder};
 
-use crate::frame::{Frame, SynopsisKind, WireCodec};
+use crate::frame::{Frame, FrameTag, SynopsisKind, WireCodec};
 
 /// The retry discipline shared by everything that re-sends requests:
 /// the client's idempotent request loop, its connect loop, and the
@@ -157,6 +162,9 @@ pub struct Client<R: Recorder + Send + Sync + 'static = NoopRecorder> {
     /// Trace id allocated for the most recent traced request, so a
     /// caller holding the span sink can look the request's tree up.
     last_trace: Option<TraceId>,
+    /// Next wire v6 correlation id. Starts at 1 and never repeats on
+    /// this connection (0 is reserved for frames outside a pipeline).
+    next_corr: u64,
 }
 
 impl Client<NoopRecorder> {
@@ -196,6 +204,7 @@ impl<R: Recorder + Send + Sync + 'static> Client<R> {
             cfg,
             rec,
             last_trace: None,
+            next_corr: 1,
         })
     }
 
@@ -365,6 +374,60 @@ impl<R: Recorder + Send + Sync + 'static> Client<R> {
         }
     }
 
+    // ---- the pipelined surface ----
+
+    /// Submit many requests over the connection with up to `window`
+    /// in flight at once (wire v6 pipelining), and return the replies
+    /// **in request order** regardless of the order the server
+    /// completed them — each frame carries a fresh correlation id and
+    /// replies are matched back by it.
+    ///
+    /// Per-request server-side failures come back as
+    /// [`Frame::ErrorResp`] entries, not an `Err`: one bad request in
+    /// a batch doesn't cost the rest. `Err` means the *transport*
+    /// failed (write, read, or a reply with an unknown correlation
+    /// id), and the connection should be considered dead: replies for
+    /// requests already in flight may have been lost, so nothing is
+    /// retried here — idempotent callers can resubmit on a fresh
+    /// connection.
+    pub fn send_many(&mut self, reqs: &[Frame], window: usize) -> Result<Vec<Frame>, WaveError> {
+        let started = self.rec.enabled().then(Instant::now);
+        let opened = self.begin_trace();
+        let replies = self.pipeline(reqs, opened.map_or(0, |(t, _)| t.0), window);
+        self.end_trace(opened);
+        if let Some(t0) = started {
+            self.rec
+                .observe(HistId::NetRequestNs, t0.elapsed().as_nanos() as u64);
+        }
+        replies
+    }
+
+    /// Windowed pipelined ingest: every request's entries travel as
+    /// their own `INGEST` frame with up to `window` outstanding.
+    /// Returns the number of batches acknowledged `Ok`; the first
+    /// server-side error aborts with that error (later batches in the
+    /// same pipeline may still have been applied — ingest is not
+    /// idempotent, which is why nothing here retries).
+    pub fn ingest_many<I>(&mut self, reqs: I, window: usize) -> Result<usize, WaveError>
+    where
+        I: IntoIterator<Item = IngestRequest>,
+    {
+        let frames: Vec<Frame> = reqs
+            .into_iter()
+            .map(|req| Frame::Ingest(req.entries))
+            .collect();
+        let replies = self.send_many(&frames, window)?;
+        let mut acked = 0usize;
+        for reply in replies {
+            match reply {
+                Frame::Ok => acked += 1,
+                Frame::ErrorResp(e) => return Err(e),
+                other => return Err(unexpected(other)),
+            }
+        }
+        Ok(acked)
+    }
+
     // ---- transport plumbing ----
 
     /// Allocate a trace for one request if the recorder wants traces.
@@ -451,24 +514,13 @@ impl<R: Recorder + Send + Sync + 'static> Client<R> {
         }
     }
 
+    /// One request/response exchange: the blocking one-shot API is a
+    /// pipeline of length one. The wire span covers socket write
+    /// through reply read — the client's view of everything beyond its
+    /// own process.
     fn exchange(&mut self, req: &Frame, trace: u64) -> Result<Frame, WaveError> {
-        // The wire span covers socket write through reply read — the
-        // client's view of everything beyond its own process.
         let wire_span = (trace != 0).then(|| (next_span_id(), now_ns()));
-        let wrote = WireCodec::write_frame_traced(&mut self.stream, req, trace).map_err(|e| {
-            WaveError::from_io("write", e, self.cfg.write_timeout.as_millis() as u64)
-        })?;
-        if self.rec.enabled() {
-            self.rec.incr(MetricId::NetFramesSent, 1);
-            self.rec.incr(MetricId::NetBytesSent, wrote as u64);
-            self.rec.observe(HistId::NetFrameBytes, wrote as u64);
-        }
-        let (reply, nread) = WireCodec::read_frame(&mut self.stream)
-            .map_err(|e| WaveError::from_io("read", e, self.cfg.read_timeout.as_millis() as u64))?;
-        if self.rec.enabled() {
-            self.rec.incr(MetricId::NetFramesReceived, 1);
-            self.rec.incr(MetricId::NetBytesReceived, nread as u64);
-        }
+        let mut replies = self.pipeline(std::slice::from_ref(req), trace, 1)?;
         if let Some((id, t0)) = wire_span {
             self.rec.span(Span {
                 trace: TraceId(trace),
@@ -479,7 +531,66 @@ impl<R: Recorder + Send + Sync + 'static> Client<R> {
                 dur_ns: now_ns().saturating_sub(t0),
             });
         }
-        Ok(reply)
+        Ok(replies
+            .pop()
+            .expect("pipeline returns one reply per request"))
+    }
+
+    /// The pipelined transport core: write requests keeping up to
+    /// `window` in flight, read replies as they arrive (possibly out
+    /// of order), slot each into its request's position by correlation
+    /// id. All frames in one call share `trace` (0 = untraced).
+    fn pipeline(
+        &mut self,
+        reqs: &[Frame],
+        trace: u64,
+        window: usize,
+    ) -> Result<Vec<Frame>, WaveError> {
+        let window = window.max(1);
+        let n = reqs.len();
+        let mut replies: Vec<Option<Frame>> = std::iter::repeat_with(|| None).take(n).collect();
+        let mut inflight: HashMap<u64, usize> = HashMap::with_capacity(window.min(n));
+        let mut next = 0usize;
+        let mut received = 0usize;
+        let enabled = self.rec.enabled();
+        while received < n {
+            while next < n && inflight.len() < window {
+                let corr = self.next_corr;
+                self.next_corr += 1;
+                let tag = FrameTag { trace, corr };
+                let wrote = WireCodec::write_frame_tagged(&mut self.stream, &reqs[next], tag)
+                    .map_err(|e| {
+                        WaveError::from_io("write", e, self.cfg.write_timeout.as_millis() as u64)
+                    })?;
+                if enabled {
+                    self.rec.incr(MetricId::NetFramesSent, 1);
+                    self.rec.incr(MetricId::NetBytesSent, wrote as u64);
+                    self.rec.observe(HistId::NetFrameBytes, wrote as u64);
+                }
+                inflight.insert(corr, next);
+                next += 1;
+            }
+            let (reply, nread, tag) =
+                WireCodec::read_frame_tagged(&mut self.stream).map_err(|e| {
+                    WaveError::from_io("read", e, self.cfg.read_timeout.as_millis() as u64)
+                })?;
+            if enabled {
+                self.rec.incr(MetricId::NetFramesReceived, 1);
+                self.rec.incr(MetricId::NetBytesReceived, nread as u64);
+            }
+            let Some(idx) = inflight.remove(&tag.corr) else {
+                return Err(WaveError::io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("reply with unknown correlation id {}", tag.corr),
+                )));
+            };
+            replies[idx] = Some(reply);
+            received += 1;
+        }
+        Ok(replies
+            .into_iter()
+            .map(|r| r.expect("every slot filled once received == n"))
+            .collect())
     }
 }
 

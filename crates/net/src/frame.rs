@@ -5,15 +5,21 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic  0x57 0x41  (b"WA")
-//! 2       1     version (currently 5)
+//! 2       1     version (currently 6)
 //! 3       1     frame type (see the `TYPE_*` constants)
 //! 4       4     payload length, u32 big-endian
 //! 8       8     trace id, u64 big-endian (0 = request is untraced)
-//! 16      len   payload
-//! 16+len  4     CRC-32 of bytes [0, 16+len), u32 big-endian
+//! 16      8     correlation id, u64 big-endian (0 = unpipelined)
+//! 24      len   payload
+//! 24+len  4     CRC-32 of bytes [0, 24+len), u32 big-endian
 //! ```
 //!
-//! The fixed 16-byte header makes framing self-describing: a reader
+//! The correlation id pairs pipelined responses with their requests: a
+//! client may have many frames in flight on one connection, the server
+//! may answer them in any order, and each response echoes the request's
+//! correlation id verbatim (PROTOCOL.md §1.1a has the full rules).
+//!
+//! The fixed 24-byte header makes framing self-describing: a reader
 //! pulls the header, validates magic/version, bounds-checks the
 //! length against [`MAX_PAYLOAD_LEN`], then reads exactly `len` payload
 //! bytes plus the 4-byte CRC trailer. Anything that fails those checks
@@ -61,12 +67,15 @@ pub const MAGIC: [u8; 2] = *b"WA";
 /// LSB-first little-endian `u64` words (the [`waves_core::Bits`]
 /// layout, shared with the store's WAL records); version 5 added the
 /// `REPLICATE` request (`0x0A`), by which a cluster primary ships a
-/// key's synopsis `encode()` bytes to its follower replicas.
-pub const WIRE_VERSION: u8 = 5;
+/// key's synopsis `encode()` bytes to its follower replicas; version 6
+/// widened the header from 16 to 24 bytes to carry a correlation id
+/// (0 = unpipelined) so requests can be pipelined and responses
+/// completed out of order.
+pub const WIRE_VERSION: u8 = 6;
 
 /// Fixed header size in bytes (magic + version + type + length +
-/// trace id).
-pub const HEADER_LEN: usize = 16;
+/// trace id + correlation id).
+pub const HEADER_LEN: usize = 24;
 
 /// Size of the CRC-32 trailer that follows every payload.
 pub const CRC_LEN: usize = 4;
@@ -428,28 +437,45 @@ fn decode_error(r: &mut PayloadReader<'_>) -> Result<WaveError, FrameError> {
 // WireCodec
 // ---------------------------------------------------------------------------
 
+/// The per-frame header metadata that rides beside the payload: the
+/// trace id (0 = untraced) and the correlation id (0 = unpipelined).
+/// Responses echo both fields of the request they answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrameTag {
+    pub trace: u64,
+    pub corr: u64,
+}
+
 /// Stateless encoder/decoder between [`Frame`]s and wire bytes, plus
 /// blocking stream helpers used by the client and server.
 pub struct WireCodec;
 
 impl WireCodec {
-    /// Serialize an untraced frame (header trace id 0): header,
-    /// payload, CRC-32 trailer, ready to write.
+    /// Serialize an untraced, unpipelined frame (header trace and
+    /// correlation ids 0): header, payload, CRC-32 trailer, ready to
+    /// write.
     pub fn encode(frame: &Frame) -> Vec<u8> {
-        Self::encode_traced(frame, 0)
+        Self::encode_tagged(frame, FrameTag::default())
     }
 
     /// Serialize a frame carrying `trace` in the header's trace-id
-    /// field. Pass 0 for an untraced request (what [`WireCodec::encode`]
-    /// does).
+    /// field and correlation id 0. Pass 0 for an untraced request
+    /// (what [`WireCodec::encode`] does).
     pub fn encode_traced(frame: &Frame, trace: u64) -> Vec<u8> {
+        Self::encode_tagged(frame, FrameTag { trace, corr: 0 })
+    }
+
+    /// Serialize a frame with the full header tag (trace id and
+    /// correlation id).
+    pub fn encode_tagged(frame: &Frame, tag: FrameTag) -> Vec<u8> {
         let (ty, payload) = Self::encode_payload(frame);
         let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CRC_LEN);
         out.extend_from_slice(&MAGIC);
         out.push(WIRE_VERSION);
         out.push(ty);
         put_u32(&mut out, payload.len() as u32);
-        put_u64(&mut out, trace);
+        put_u64(&mut out, tag.trace);
+        put_u64(&mut out, tag.corr);
         out.extend_from_slice(&payload);
         let sum = crc32(&out);
         put_u32(&mut out, sum);
@@ -532,16 +558,26 @@ impl WireCodec {
 
     /// Parse one frame from the front of `buf`. Returns the frame and
     /// the number of bytes it occupied (so a buffer holding several
-    /// frames can be walked). The header's trace id is discarded; use
-    /// [`WireCodec::decode_traced`] to keep it.
+    /// frames can be walked). The header's trace and correlation ids
+    /// are discarded; use [`WireCodec::decode_tagged`] to keep them.
     pub fn decode(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
-        let (frame, used, _trace) = Self::decode_traced(buf)?;
+        let (frame, used, _tag) = Self::decode_tagged(buf)?;
         Ok((frame, used))
     }
 
     /// Parse one frame from the front of `buf`, also returning the
-    /// header's trace id (0 when the sender was untraced).
+    /// header's trace id (0 when the sender was untraced). The
+    /// correlation id is discarded.
     pub fn decode_traced(buf: &[u8]) -> Result<(Frame, usize, u64), FrameError> {
+        let (frame, used, tag) = Self::decode_tagged(buf)?;
+        Ok((frame, used, tag.trace))
+    }
+
+    /// Parse one frame from the front of `buf`, also returning the full
+    /// header tag. [`FrameError::Truncated`] means "feed me more bytes"
+    /// — the incremental-reassembly contract the event-loop server's
+    /// read path is built on.
+    pub fn decode_tagged(buf: &[u8]) -> Result<(Frame, usize, FrameTag), FrameError> {
         if buf.len() < HEADER_LEN {
             return Err(FrameError::Truncated);
         }
@@ -557,6 +593,7 @@ impl WireCodec {
             return Err(FrameError::FrameTooLarge(len));
         }
         let trace = u64::from_be_bytes(buf[8..16].try_into().unwrap());
+        let corr = u64::from_be_bytes(buf[16..24].try_into().unwrap());
         let body_end = HEADER_LEN + len as usize;
         let total = body_end + CRC_LEN;
         if buf.len() < total {
@@ -568,7 +605,7 @@ impl WireCodec {
             return Err(FrameError::BadCrc { expected, got });
         }
         let frame = Self::decode_payload(ty, &buf[HEADER_LEN..body_end])?;
-        Ok((frame, total, trace))
+        Ok((frame, total, FrameTag { trace, corr }))
     }
 
     fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame, FrameError> {
@@ -676,14 +713,24 @@ impl WireCodec {
         Self::write_frame_traced(w, frame, 0)
     }
 
-    /// Write one frame carrying `trace` in the header to a blocking
-    /// stream.
+    /// Write one frame carrying `trace` in the header (correlation id
+    /// 0) to a blocking stream.
     pub fn write_frame_traced<W: std::io::Write>(
         w: &mut W,
         frame: &Frame,
         trace: u64,
     ) -> std::io::Result<usize> {
-        let bytes = Self::encode_traced(frame, trace);
+        Self::write_frame_tagged(w, frame, FrameTag { trace, corr: 0 })
+    }
+
+    /// Write one frame carrying the full header tag to a blocking
+    /// stream.
+    pub fn write_frame_tagged<W: std::io::Write>(
+        w: &mut W,
+        frame: &Frame,
+        tag: FrameTag,
+    ) -> std::io::Result<usize> {
+        let bytes = Self::encode_tagged(frame, tag);
         w.write_all(&bytes)?;
         w.flush()?;
         Ok(bytes.len())
@@ -695,13 +742,23 @@ impl WireCodec {
     /// [`FrameError`]; a clean EOF before the first header byte
     /// surfaces as `UnexpectedEof`.
     pub fn read_frame<R: std::io::Read>(r: &mut R) -> std::io::Result<(Frame, usize)> {
-        let (frame, used, _trace) = Self::read_frame_traced(r)?;
+        let (frame, used, _tag) = Self::read_frame_tagged(r)?;
         Ok((frame, used))
     }
 
     /// Read one frame from a blocking stream, also returning the
-    /// header's trace id (0 when the sender was untraced).
+    /// header's trace id (0 when the sender was untraced). The
+    /// correlation id is discarded.
     pub fn read_frame_traced<R: std::io::Read>(r: &mut R) -> std::io::Result<(Frame, usize, u64)> {
+        let (frame, used, tag) = Self::read_frame_tagged(r)?;
+        Ok((frame, used, tag.trace))
+    }
+
+    /// Read one frame from a blocking stream, also returning the full
+    /// header tag.
+    pub fn read_frame_tagged<R: std::io::Read>(
+        r: &mut R,
+    ) -> std::io::Result<(Frame, usize, FrameTag)> {
         let mut header = [0u8; HEADER_LEN];
         r.read_exact(&mut header)?;
         if header[0..2] != MAGIC {
@@ -715,6 +772,7 @@ impl WireCodec {
             return Err(FrameError::FrameTooLarge(len as u32).into());
         }
         let trace = u64::from_be_bytes(header[8..16].try_into().unwrap());
+        let corr = u64::from_be_bytes(header[16..24].try_into().unwrap());
         // One buffer holding header + payload + trailer so the CRC can
         // be computed over a contiguous byte range.
         let mut body = vec![0u8; HEADER_LEN + len + CRC_LEN];
@@ -727,7 +785,7 @@ impl WireCodec {
             return Err(FrameError::BadCrc { expected, got }.into());
         }
         let frame = Self::decode_payload(header[3], &body[HEADER_LEN..body_end])?;
-        Ok((frame, body.len(), trace))
+        Ok((frame, body.len(), FrameTag { trace, corr }))
     }
 }
 
@@ -912,6 +970,38 @@ mod tests {
         assert_eq!(&bytes[8..16], &[0u8; 8]);
         let (_, _, trace) = WireCodec::decode_traced(&bytes).unwrap();
         assert_eq!(trace, 0);
+    }
+
+    #[test]
+    fn correlation_id_rides_the_header() {
+        // Wire v6: the correlation id occupies header bytes [16, 24)
+        // and round-trips through both the buffer and stream paths, so
+        // a pipelined client can match out-of-order responses back to
+        // their requests.
+        let frame = Frame::Query { key: 9, window: 32 };
+        let tag = FrameTag {
+            trace: 0x1111_2222_3333_4444,
+            corr: 0xAABB_CCDD_EEFF_0102,
+        };
+        let bytes = WireCodec::encode_tagged(&frame, tag);
+        assert_eq!(&bytes[8..16], &tag.trace.to_be_bytes());
+        assert_eq!(&bytes[16..24], &tag.corr.to_be_bytes());
+        let (decoded, used, got) = WireCodec::decode_tagged(&bytes).unwrap();
+        assert_eq!((decoded, used, got), (frame.clone(), bytes.len(), tag));
+
+        let mut wire = Vec::new();
+        let n = WireCodec::write_frame_tagged(&mut wire, &frame, tag).unwrap();
+        assert_eq!(n, wire.len());
+        let mut cursor = std::io::Cursor::new(&wire);
+        let (streamed, _, got) = WireCodec::read_frame_tagged(&mut cursor).unwrap();
+        assert_eq!((streamed, got), (frame.clone(), tag));
+
+        // Trace-only entry points leave the correlation id zeroed: a
+        // one-shot exchange is just pipelining with a window of one.
+        let bytes = WireCodec::encode_traced(&frame, 7);
+        assert_eq!(&bytes[16..24], &[0u8; 8]);
+        let (_, _, got) = WireCodec::decode_tagged(&bytes).unwrap();
+        assert_eq!((got.trace, got.corr), (7, 0));
     }
 
     #[test]

@@ -10,19 +10,26 @@
 //! hand-rolled frame codec, matching the workspace's no-external-deps
 //! rule):
 //!
-//! * [`frame`] — the wire format: 8-byte header (magic, version, type,
-//!   u32 length) + payload, with [`WireCodec`] mapping [`Frame`]s to
-//!   bytes. Synopsis payloads carry each synopsis's own `encode()`
-//!   bytes verbatim, so the compact codecs of `waves-core` / `waves-eh`
+//! * [`frame`] — the wire format: 24-byte header (magic, version,
+//!   type, u32 length, u64 trace id, u64 correlation id) + payload +
+//!   CRC-32 trailer, with [`WireCodec`] mapping [`Frame`]s to bytes.
+//!   Synopsis payloads carry each synopsis's own `encode()` bytes
+//!   verbatim, so the compact codecs of `waves-core` / `waves-eh`
 //!   round-trip the network byte-for-byte (property-tested below).
-//! * [`server`] — [`Server`]: an accept loop + per-connection handler
-//!   threads over a [`waves_engine::Engine`], plus a referee map for
+//! * [`server`] — [`Server`]: a single epoll event-loop thread (the
+//!   vendored `poll` crate) owning every socket non-blockingly, with a
+//!   small dispatch-worker pool running requests against a
+//!   [`waves_engine::Engine`], plus a referee map for
 //!   [`Frame::PushSynopsis`] / [`Frame::Combine`] that reuses the
 //!   in-process combine rule ([`waves_distributed::combine_estimates`]).
+//!   Requests pipeline per connection (bounded in-flight window,
+//!   bounded write queues, out-of-order completion by correlation id).
 //! * [`client`] — [`Client`]: blocking request/response with connect/
 //!   read/write deadlines, typed [`WaveError::Io`] /
 //!   [`WaveError::Timeout`] failures, and bounded retry-with-backoff
-//!   restricted to idempotent requests.
+//!   restricted to idempotent requests; [`Client::send_many`] /
+//!   [`Client::ingest_many`] pipeline a window of requests over the
+//!   same connection.
 //! * [`chaos`] — [`ChaosProxy`]: drops, delays, truncates, or corrupts
 //!   server->client traffic so tests can assert the client degrades to
 //!   clean typed errors instead of hanging.
@@ -50,7 +57,7 @@ pub mod server;
 
 pub use chaos::{ChaosProxy, Fault};
 pub use client::{Client, ClientConfig, RetryPolicy};
-pub use frame::{Frame, FrameError, PartySynopsis, SynopsisKind, WireCodec};
+pub use frame::{Frame, FrameError, FrameTag, PartySynopsis, SynopsisKind, WireCodec};
 pub use server::{Server, ServerConfig};
 
 #[cfg(test)]

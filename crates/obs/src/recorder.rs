@@ -99,10 +99,16 @@ pub enum MetricId {
     /// Anti-entropy rounds that re-shipped a key's synopsis to a
     /// follower after a reconnect (merge-on-rejoin).
     ClusterAntiEntropyMerges,
+    /// Event-loop wakeups: epoll_wait returns observed by the server's
+    /// poll thread (including waker-only wakeups).
+    PollWakeups,
+    /// Connections the event loop closed for falling behind: the
+    /// per-connection write queue exceeded its byte cap (slow client).
+    NetConnectionsEvicted,
 }
 
 /// Number of [`MetricId`] variants (length of the registry's array).
-pub const NUM_METRICS: usize = 39;
+pub const NUM_METRICS: usize = 41;
 
 impl MetricId {
     pub const ALL: [MetricId; NUM_METRICS] = [
@@ -145,6 +151,8 @@ impl MetricId {
         MetricId::ClusterFailovers,
         MetricId::ClusterReplicationsShipped,
         MetricId::ClusterAntiEntropyMerges,
+        MetricId::PollWakeups,
+        MetricId::NetConnectionsEvicted,
     ];
 
     /// Stable snake_case name used in text and JSON output.
@@ -189,6 +197,8 @@ impl MetricId {
             MetricId::ClusterFailovers => "cluster_failovers_total",
             MetricId::ClusterReplicationsShipped => "cluster_replications_shipped_total",
             MetricId::ClusterAntiEntropyMerges => "cluster_anti_entropy_merges_total",
+            MetricId::PollWakeups => "poll_wakeups_total",
+            MetricId::NetConnectionsEvicted => "net_connections_evicted_total",
         }
     }
 }
@@ -256,10 +266,19 @@ pub enum HistId {
     /// Cluster replication lag: primary flush -> follower install
     /// acknowledged, per shipped synopsis, nanoseconds.
     ClusterReplicaLagNs,
+    /// Ready events delivered per epoll_wait return (batching factor of
+    /// the event loop; collapses toward 1 under light load).
+    PollEventsPerWake,
+    /// Bytes queued in a connection's write queue, sampled at each
+    /// response enqueue (backpressure depth).
+    NetWriteQueueBytes,
+    /// Pipelined requests in flight on a connection, sampled at each
+    /// request dispatch.
+    NetInflightPerConn,
 }
 
 /// Number of [`HistId`] variants.
-pub const NUM_HISTS: usize = 15;
+pub const NUM_HISTS: usize = 18;
 
 impl HistId {
     pub const ALL: [HistId; NUM_HISTS] = [
@@ -278,6 +297,9 @@ impl HistId {
         HistId::StoreCheckpointNs,
         HistId::StoreRecoveryNs,
         HistId::ClusterReplicaLagNs,
+        HistId::PollEventsPerWake,
+        HistId::NetWriteQueueBytes,
+        HistId::NetInflightPerConn,
     ];
 
     pub fn name(self) -> &'static str {
@@ -297,6 +319,9 @@ impl HistId {
             HistId::StoreCheckpointNs => "store_checkpoint_ns",
             HistId::StoreRecoveryNs => "store_recovery_ns",
             HistId::ClusterReplicaLagNs => "cluster_replica_lag_ns",
+            HistId::PollEventsPerWake => "poll_events_per_wake",
+            HistId::NetWriteQueueBytes => "net_write_queue_bytes",
+            HistId::NetInflightPerConn => "net_inflight_per_conn",
         }
     }
 }

@@ -145,7 +145,7 @@ fn stalled_replies_surface_timeout_within_budget() {
 #[test]
 fn corrupted_reply_surfaces_invalid_data() {
     let server = start_server();
-    let proxy = ChaosProxy::start(server.local_addr(), Fault::CorruptByteAt(20)).unwrap();
+    let proxy = ChaosProxy::start(server.local_addr(), Fault::CorruptByteAt(28)).unwrap();
     let mut client = Client::connect_with(
         proxy.local_addr(),
         ClientConfig {
@@ -154,8 +154,8 @@ fn corrupted_reply_surfaces_invalid_data() {
         },
     )
     .unwrap();
-    // The ingest's Ok reply occupies stream offsets 0..20 (16-byte
-    // header + 4-byte CRC trailer); offset 20 is the first byte of the
+    // The ingest's Ok reply occupies stream offsets 0..28 (24-byte
+    // header + 4-byte CRC trailer); offset 28 is the first byte of the
     // query reply's frame, so the flip breaks its magic.
     client
         .ingest(IngestRequest::of(5, [true, true, true]))

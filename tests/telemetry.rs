@@ -59,6 +59,7 @@ fn traced_request_produces_full_span_tree_and_stats_reconcile() {
             // Zero threshold: every request is "slow", so the log-event
             // path (which names the trace id) fires deterministically.
             slow_request: Some(Duration::ZERO),
+            ..Default::default()
         },
         Arc::clone(&tel),
     )
@@ -211,6 +212,7 @@ fn untraced_clients_leave_no_spans() {
                 .build(),
             read_timeout: None,
             slow_request: None,
+            ..Default::default()
         },
         Arc::clone(&tel),
     )
@@ -247,6 +249,7 @@ fn consecutive_requests_get_distinct_traces() {
                 .build(),
             read_timeout: None,
             slow_request: None,
+            ..Default::default()
         },
         Arc::clone(&tel),
     )
