@@ -15,6 +15,7 @@ pub mod net_concurrency;
 pub mod net_loopback;
 pub mod obs_overhead;
 pub mod persistence;
+pub mod push_pull;
 pub mod scaling;
 pub mod scenarios;
 pub mod space;
@@ -53,6 +54,7 @@ pub fn run(id: &str) -> bool {
         "dst-soak" => dst_soak::run(),
         "word-ingest" => word_ingest::run(),
         "cluster-scaling" => cluster_scaling::run(),
+        "push-vs-pull" => push_pull::run(),
         _ => return false,
     }
     true

@@ -34,6 +34,13 @@ MODES:
                 verify every key against the client's shadow oracle;
                 --kill <I> downs node I afterward and re-verifies
                 through failover (no stdin)
+    monitor     continuous monitoring over loopback TCP: --parties
+                parties stream a seeded workload and (push mode) ship
+                PUSH_DELTA frames only when local drift crosses the
+                ε-slack budget, or (pull mode) re-push every synopsis
+                before each query; every referee answer is verified
+                against an exact oracle and the slack contract, and
+                per-mode communication counters are reported (no stdin)
 
 OPTIONS:
     --window <N>      maximum window size            [default: 1024]
@@ -68,6 +75,15 @@ CLUSTER OPTIONS (cluster mode only):
                       to the node count)              [default: 2]
     --kill <I>        after verifying, shut node I down and verify
                       every key again through failover
+
+MONITOR OPTIONS (monitor mode only):
+    --parties <N>     monitoring parties sharing the slack pool
+                                                      [default: 3]
+    --eps-split <F>   fraction of --eps spent on the synopses, the
+                      rest becomes drift slack (0<F<1) [default: 0.5]
+    --mode <M>        push (ship deltas on threshold crossings) or
+                      pull (re-push everything per query)
+                                                      [default: push]
 
 NETWORK OPTIONS (serve / client / top modes only):
     --addr <A>        address to bind (serve) or dial (client / top)
@@ -121,6 +137,10 @@ pub enum Mode {
     /// Spawn N local servers and drive a replicated, ring-routed
     /// workload over them, with optional kill-and-failover.
     Cluster,
+    /// Continuous monitoring: N parties over loopback TCP pushing
+    /// drift-triggered deltas (or pulling per query), verified against
+    /// an exact oracle and the ε-slack contract.
+    Monitor,
 }
 
 /// Which per-key synopsis the engine serves.
@@ -194,6 +214,12 @@ pub struct Config {
     pub replicas: usize,
     /// Cluster mode: node to shut down for the failover re-verify.
     pub kill: Option<usize>,
+    /// Monitor mode: parties sharing the slack pool.
+    pub parties: u64,
+    /// Monitor mode: fraction of `eps` spent on the synopses.
+    pub eps_split: f64,
+    /// Monitor mode: pull per query instead of pushing on drift.
+    pub pull: bool,
 }
 
 impl Default for Config {
@@ -231,6 +257,9 @@ impl Default for Config {
             nodes: 3,
             replicas: 2,
             kill: None,
+            parties: 3,
+            eps_split: 0.5,
+            pull: false,
         }
     }
 }
@@ -291,6 +320,7 @@ pub fn parse(argv: &[String]) -> Result<Option<Config>, ArgError> {
         "top" => Mode::Top,
         "dst" => Mode::Dst,
         "cluster" => Mode::Cluster,
+        "monitor" => Mode::Monitor,
         other => return Err(ArgError::UnknownMode(other.to_string())),
     };
     let mut cfg = Config {
@@ -450,6 +480,31 @@ pub fn parse(argv: &[String]) -> Result<Option<Config>, ArgError> {
             "--kill" => {
                 let v = value(i)?;
                 cfg.kill = Some(v.parse().map_err(|_| bad(v))?);
+                i += 2;
+            }
+            "--parties" => {
+                let v = value(i)?;
+                cfg.parties = v.parse().map_err(|_| bad(v))?;
+                if cfg.parties == 0 {
+                    return Err(bad(v));
+                }
+                i += 2;
+            }
+            "--eps-split" => {
+                let v = value(i)?;
+                cfg.eps_split = v.parse().map_err(|_| bad(v))?;
+                if !(cfg.eps_split > 0.0 && cfg.eps_split < 1.0) {
+                    return Err(bad(v));
+                }
+                i += 2;
+            }
+            "--mode" => {
+                let v = value(i)?;
+                cfg.pull = match v.as_str() {
+                    "push" => false,
+                    "pull" => true,
+                    _ => return Err(bad(v)),
+                };
                 i += 2;
             }
             "--interval" => {
@@ -709,6 +764,41 @@ mod tests {
         ));
         assert!(matches!(
             parse(&argv("cluster --replicas 0")),
+            Err(ArgError::BadValue(..))
+        ));
+    }
+
+    #[test]
+    fn parses_monitor_mode() {
+        let cfg = parse(&argv(
+            "monitor --parties 4 --eps-split 0.6 --mode pull --items 5000 --window 256 --seed 9",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(cfg.mode, Mode::Monitor);
+        assert_eq!(cfg.parties, 4);
+        assert_eq!(cfg.eps_split, 0.6);
+        assert!(cfg.pull);
+        assert_eq!(cfg.items, 5000);
+        assert_eq!(cfg.window, 256);
+        assert_eq!(cfg.seed, 9);
+        // Defaults.
+        let cfg = parse(&argv("monitor")).unwrap().unwrap();
+        assert_eq!(cfg.parties, 3);
+        assert_eq!(cfg.eps_split, 0.5);
+        assert!(!cfg.pull, "push is the default mode");
+        // Validation: the split must leave room on both sides, the
+        // party count must be nonzero, and --mode only knows push/pull.
+        assert!(matches!(
+            parse(&argv("monitor --eps-split 1.0")),
+            Err(ArgError::BadValue(..))
+        ));
+        assert!(matches!(
+            parse(&argv("monitor --parties 0")),
+            Err(ArgError::BadValue(..))
+        ));
+        assert!(matches!(
+            parse(&argv("monitor --mode sometimes")),
             Err(ArgError::BadValue(..))
         ));
     }

@@ -26,6 +26,7 @@ mod args;
 mod cluster;
 mod dst;
 mod engine;
+mod monitor;
 mod net;
 mod run;
 mod top;
@@ -53,6 +54,7 @@ fn main() -> ExitCode {
         args::Mode::Top => Some(top::run_top(&cfg, &mut out)),
         args::Mode::Dst => Some(dst::run_dst(&cfg, &mut out)),
         args::Mode::Cluster => Some(cluster::run_cluster(&cfg, &mut out)),
+        args::Mode::Monitor => Some(monitor::run_monitor(&cfg, &mut out)),
         _ => None,
     };
     if let Some(result) = stdinless {

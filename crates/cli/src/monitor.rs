@@ -1,0 +1,192 @@
+//! The `monitor` subcommand: a self-contained, end-to-end exercise of
+//! continuous monitoring over a real socket — N `PushParty`s stream a
+//! seeded workload and ship `PUSH_DELTA` frames to a loopback server's
+//! referee only when local drift crosses the ε-slack budget (push
+//! mode), or re-push every party's full synopsis before each query
+//! (pull mode). At every checkpoint the referee's answer is verified
+//! against an in-process pull reference (within the slack pool) and
+//! the exact ring-buffer truth (within the ε+slack contract), with
+//! live communication counters per checkpoint.
+//!
+//! Output is line-oriented and scriptable; the run fails (nonzero exit
+//! through `main`) if any answer deviates from its contract.
+
+use crate::args::Config;
+use std::io::Write;
+use std::sync::Arc;
+use waves_core::ExactCount;
+use waves_distributed::{combine_estimates, MonitorConfig, PushParty};
+use waves_engine::EngineConfig;
+use waves_net::{Client, Frame, Server, ServerConfig, SynopsisKind, WireCodec};
+use waves_obs::{MetricId, MetricsRegistry};
+
+/// Same deterministic generator family as the engine and cluster
+/// subcommands (an LCG step per item), so runs replay exactly by seed.
+fn lcg_step(x: &mut u64) -> u64 {
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *x >> 33
+}
+
+pub fn run_monitor<W: Write>(cfg: &Config, out: &mut W) -> Result<(), String> {
+    let say = |out: &mut W, line: String| -> Result<(), String> {
+        writeln!(out, "{line}").map_err(|e| e.to_string())?;
+        out.flush().map_err(|e| e.to_string())
+    };
+
+    let mcfg = MonitorConfig {
+        max_window: cfg.window,
+        eps: cfg.eps,
+        eps_split: cfg.eps_split,
+        parties: cfg.parties,
+    };
+    mcfg.validate().map_err(|e| e.to_string())?;
+    let mode = if cfg.pull { "pull" } else { "push" };
+    say(
+        out,
+        format!(
+            "monitor: {} parties, mode {mode}, window {}, eps {} (split {}: synopsis {:.4}, \
+             slack pool {:.2}), {} items, seed {}",
+            cfg.parties,
+            cfg.window,
+            cfg.eps,
+            cfg.eps_split,
+            mcfg.eps_synopsis(),
+            mcfg.slack_total(),
+            cfg.items,
+            cfg.seed
+        ),
+    )?;
+
+    // The referee lives behind a real loopback server; its metrics
+    // registry exposes the monitor_* counters the summary reports.
+    let registry = Arc::new(MetricsRegistry::new());
+    let server = Server::start_recorded(
+        "127.0.0.1:0",
+        ServerConfig {
+            engine: EngineConfig::builder()
+                .num_shards(1)
+                .max_window(cfg.window)
+                .eps(cfg.eps)
+                .build(),
+            read_timeout: None,
+            ..Default::default()
+        },
+        Arc::clone(&registry),
+    )
+    .map_err(|e| e.to_string())?;
+    say(out, format!("referee listening on {}", server.local_addr()))?;
+
+    // One connection per party, as deployed monitors would hold.
+    let mut parties = Vec::with_capacity(cfg.parties as usize);
+    for p in 0..cfg.parties {
+        let client = Client::connect(server.local_addr()).map_err(|e| e.to_string())?;
+        let party = PushParty::new(&mcfg, p).map_err(|e| e.to_string())?;
+        parties.push((party, client, ExactCount::new(cfg.window)));
+    }
+
+    let checkpoints = 20u64.min(cfg.items.max(1));
+    let per_checkpoint = (cfg.items / checkpoints).max(1);
+    let (mut frames, mut bytes) = (0u64, 0u64);
+    let mut rng = cfg.seed ^ 0x3A7E;
+    let mut sent = 0u64;
+    while sent < cfg.items {
+        let batch = per_checkpoint.min(cfg.items - sent);
+        for _ in 0..batch {
+            let idx = (lcg_step(&mut rng) % cfg.parties) as usize;
+            let bit = lcg_step(&mut rng) % 2 == 1;
+            let (party, client, exact) = &mut parties[idx];
+            exact.push_bit(bit);
+            if let Some(delta) = party.push_bit(bit) {
+                if !cfg.pull {
+                    // Threshold crossing: ship the delta. The frame is
+                    // encoded once up front so bytes-on-wire counts the
+                    // real wire cost, header and trailer included.
+                    let frame = Frame::PushDelta {
+                        party: delta.party,
+                        seq: delta.seq,
+                        slack: delta.slack,
+                        kind: SynopsisKind::DetWave,
+                        bytes: delta.bytes,
+                    };
+                    bytes += WireCodec::encode(&frame).len() as u64;
+                    frames += 1;
+                    let Frame::PushDelta {
+                        party,
+                        seq,
+                        slack,
+                        kind,
+                        bytes,
+                    } = frame
+                    else {
+                        unreachable!("just built")
+                    };
+                    client
+                        .push_delta(party, seq, slack, kind, bytes)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+        }
+        sent += batch;
+
+        if cfg.pull {
+            // Pull mode: the referee only learns state at query time —
+            // every party re-pushes its full synopsis, every query.
+            for (party, client, _) in parties.iter_mut() {
+                let frame = Frame::PushSynopsis {
+                    party: party.party(),
+                    kind: SynopsisKind::DetWave,
+                    bytes: party.local().encode(),
+                };
+                bytes += WireCodec::encode(&frame).len() as u64;
+                frames += 1;
+                client
+                    .push_det_wave(party.party(), party.local())
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+
+        let answer = parties[0]
+            .1
+            .combine(cfg.window)
+            .map_err(|e| e.to_string())?;
+        let pull_ref = combine_estimates(parties.iter().map(|(p, _, _)| p.local().query_max()));
+        let truth: u64 = parties.iter().map(|(_, _, e)| e.query(cfg.window)).sum();
+        let slack = if cfg.pull { 0.0 } else { mcfg.slack_total() };
+        if (answer.value - pull_ref.value).abs() > slack + 1e-6 {
+            return Err(format!(
+                "t={sent}: referee answered {}, pull reference says {} (allowed slack {slack})",
+                answer.value, pull_ref.value
+            ));
+        }
+        let contract = mcfg.eps_synopsis() * truth as f64 + slack;
+        if (answer.value - truth as f64).abs() > contract + 1e-6 {
+            return Err(format!(
+                "t={sent}: referee answered {}, truth is {truth} (allowed error {contract:.3})",
+                answer.value
+            ));
+        }
+        say(
+            out,
+            format!(
+                "t={sent} answer={} truth={truth} frames={frames} bytes={bytes}",
+                answer.value
+            ),
+        )?;
+    }
+
+    say(
+        out,
+        format!(
+            "{mode} totals: {frames} frames, {bytes} bytes on wire \
+             (server counted {} pushes, {} payload bytes, {} stale)",
+            registry.counter(MetricId::MonitorPushes),
+            registry.counter(MetricId::MonitorPushBytes),
+            registry.counter(MetricId::MonitorStaleDeltas),
+        ),
+    )?;
+    drop(parties);
+    server.shutdown();
+    say(out, format!("monitor OK ({mode})"))
+}

@@ -39,13 +39,17 @@ impl Synopsis {
                 )
                 .map_err(|e| e.to_string())?,
             )),
-            Mode::Engine | Mode::Serve | Mode::Client | Mode::Top | Mode::Dst | Mode::Cluster => {
-                Err(
-                    "engine/serve/client/top/dst/cluster modes take no stdin stream; they are \
-                     handled before the stream loop"
-                        .into(),
-                )
-            }
+            Mode::Engine
+            | Mode::Serve
+            | Mode::Client
+            | Mode::Top
+            | Mode::Dst
+            | Mode::Cluster
+            | Mode::Monitor => Err(
+                "engine/serve/client/top/dst/cluster/monitor modes take no stdin stream; they \
+                 are handled before the stream loop"
+                    .into(),
+            ),
             Mode::Distinct => {
                 let mut rng = StdRng::seed_from_u64(cfg.seed);
                 let rc =

@@ -2,7 +2,7 @@
 //! synopsis replication, anti-entropy on reconnect, and failover.
 //!
 //! A [`ClusterClient`] fronts N `waves-net` servers. Each key is routed
-//! by the seeded [`Ring`](crate::Ring) to R replicas: the *primary*
+//! by the seeded [`Ring`] to R replicas: the *primary*
 //! (first in ring order) receives the raw ingest stream; the followers
 //! receive the key's synopsis `encode()` bytes through the wire v5
 //! `REPLICATE` frame at [`ClusterClient::replicate_all`] time. The

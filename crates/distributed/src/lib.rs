@@ -15,10 +15,15 @@
 //! * [`comm`] — query-time communication accounting;
 //! * [`coordinated`] — the SPAA 2001 coordinated-sampling baseline
 //!   (whole-stream union/distinct, no windows), kept for comparison
-//!   experiments.
+//!   experiments;
+//! * [`monitor`] — the continuous-monitoring push mode
+//!   (Chan–Lam–Lee–Ting): parties ship deltas only when local drift
+//!   crosses an ε-slack budget and the referee stays continuously
+//!   valid within a staleness bound derived from the slack split.
 
 pub mod comm;
 pub mod coordinated;
+pub mod monitor;
 pub mod runtime;
 pub mod scenario;
 pub mod sim;
@@ -28,6 +33,7 @@ pub use coordinated::{
     coord_distinct_estimate, coord_union_estimate, coord_union_median, CoordDistinctParty,
     CoordSampleParty,
 };
+pub use monitor::{MonitorConfig, MonitorDelta, MonitorReferee, PushParty};
 pub use runtime::{
     run_distinct_threaded, run_distinct_threaded_recorded, run_union_threaded,
     run_union_threaded_recorded, ThreadedRun,

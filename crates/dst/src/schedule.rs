@@ -105,6 +105,16 @@ pub enum Step {
     /// through anti-entropy; a partitioned one just becomes reachable
     /// again with its state intact. No-op if the node is up.
     Rejoin { node: usize },
+    /// Monitor schedules only: feed bits to one continuous-monitoring
+    /// party, which ships a delta to its referee only when its local
+    /// drift crosses the ε-slack budget. After every push the harness
+    /// re-checks the per-party drift invariant.
+    MonitorPush { party: u64, bits: Vec<bool> },
+    /// Monitor schedules only: read the referee's continuously valid
+    /// answer and check it against three oracles — the exact per-party
+    /// ring buffers, a pull-mode combine over the parties' live waves,
+    /// and the ε+slack accuracy contract.
+    MonitorQuery,
 }
 
 impl std::fmt::Display for Step {
@@ -131,6 +141,10 @@ impl std::fmt::Display for Step {
             Step::NodeKill { node } => write!(f, "node-kill(node={node})"),
             Step::Partition { node } => write!(f, "partition(node={node})"),
             Step::Rejoin { node } => write!(f, "rejoin(node={node})"),
+            Step::MonitorPush { party, bits } => {
+                write!(f, "monitor-push(party={party}, {} bits)", bits.len())
+            }
+            Step::MonitorQuery => write!(f, "monitor-query"),
         }
     }
 }
@@ -164,6 +178,15 @@ pub struct SimConfig {
     /// Consistent-hash ring seed when `cluster_nodes > 0`, so replica
     /// placement itself varies across seeds.
     pub ring_seed: u64,
+    /// Nonzero attaches a continuous-monitoring overlay: this many
+    /// in-process push parties plus a referee, independent of the
+    /// backend (so it survives restarts/crashes untouched). Monitor
+    /// steps require it.
+    pub monitor_parties: u64,
+    /// Fraction of `eps` the monitor allocates to the per-party
+    /// synopses; the rest becomes drift slack
+    /// ([`waves_distributed::MonitorConfig::eps_split`]).
+    pub eps_split: f64,
 }
 
 impl Default for SimConfig {
@@ -178,6 +201,8 @@ impl Default for SimConfig {
             cluster_nodes: 0,
             replication: 2,
             ring_seed: 0,
+            monitor_parties: 0,
+            eps_split: 0.5,
         }
     }
 }
@@ -208,6 +233,16 @@ impl Schedule {
         } else {
             0
         };
+        // A quarter of seeds additionally carry the continuous-monitoring
+        // overlay; it is backend-independent, so it composes with every
+        // stack shape (direct, tcp, persistent, cluster).
+        let monitor = rng.gen_bool(0.25);
+        let monitor_parties = if monitor { rng.gen_range(2..=4u64) } else { 0 };
+        let eps_split = if monitor {
+            rng.gen_range(40u32..=70) as f64 / 100.0
+        } else {
+            0.5
+        };
         let cfg = SimConfig {
             max_window,
             eps,
@@ -226,6 +261,8 @@ impl Schedule {
                 2
             },
             ring_seed: if cluster { rng.next_u64() } else { 0 },
+            monitor_parties,
+            eps_split,
         };
         let mut workload = make_workload(&mut rng, &cfg);
         let n = rng.gen_range(24..=60);
@@ -243,6 +280,9 @@ impl Schedule {
                 key,
                 window: rng.gen_range(1..=cfg.max_window),
             });
+        }
+        if cfg.monitor_parties > 0 {
+            steps.push(Step::MonitorQuery);
         }
         Schedule { seed, cfg, steps }
     }
@@ -384,6 +424,21 @@ fn gen_steps(
             gen_query(rng, cfg)
         };
         steps.push(step);
+        // Monitor schedules interleave overlay traffic with the main
+        // step stream: ~25% pushes (so drifts build and cross budgets)
+        // and ~15% continuous-answer checks. Appended after the main
+        // step so non-monitor schedules keep their structure.
+        if cfg.monitor_parties > 0 {
+            let roll = rng.gen_range(0..100u32);
+            if roll < 25 {
+                let party = rng.gen_range(0..cfg.monitor_parties);
+                let len = rng.gen_range(1..=6usize);
+                let bits = (0..len).map(|_| rng.gen_bool(0.5)).collect();
+                steps.push(Step::MonitorPush { party, bits });
+            } else if roll < 40 {
+                steps.push(Step::MonitorQuery);
+            }
+        }
     }
     // Every downed node rejoins before the epilogue queries so the
     // final sweep also proves post-rejoin anti-entropy convergence.
@@ -457,6 +512,15 @@ impl ScheduleBuilder {
     /// Consistent-hash ring seed for cluster schedules.
     pub fn ring_seed(mut self, seed: u64) -> Self {
         self.cfg.ring_seed = seed;
+        self
+    }
+
+    /// Attach the continuous-monitoring overlay: `parties` push parties
+    /// sharing the ε-slack pool, with `eps_split` of the budget going to
+    /// the synopses. Composes with any backend.
+    pub fn monitor(mut self, parties: u64, eps_split: f64) -> Self {
+        self.cfg.monitor_parties = parties.max(1);
+        self.cfg.eps_split = eps_split;
         self
     }
 
@@ -555,6 +619,19 @@ impl ScheduleBuilder {
         self
     }
 
+    /// Feed explicit bits to one monitor party
+    /// ([`ScheduleBuilder::monitor`] must come first).
+    pub fn monitor_push(mut self, party: u64, bits: Vec<bool>) -> Self {
+        self.steps.push(Step::MonitorPush { party, bits });
+        self
+    }
+
+    /// Check the referee's continuous answer against its oracles.
+    pub fn monitor_query(mut self) -> Self {
+        self.steps.push(Step::MonitorQuery);
+        self
+    }
+
     /// Append `n` seed-derived steps with the same generator
     /// [`Schedule::from_seed`] uses (weights adapt to the configured
     /// persistence/transport).
@@ -608,6 +685,13 @@ mod tests {
                 assert!(!s.cfg.persist && !s.cfg.tcp, "cluster excludes persist/tcp");
                 assert!(s.cfg.replication >= 2 && s.cfg.replication <= s.cfg.cluster_nodes);
             }
+            if s.cfg.monitor_parties > 0 {
+                assert!(s.cfg.eps_split > 0.0 && s.cfg.eps_split < 1.0);
+                assert!(
+                    s.steps.iter().any(|st| matches!(st, Step::MonitorQuery)),
+                    "monitor schedules end with a continuous-answer check"
+                );
+            }
             let mut down: Vec<usize> = Vec::new();
             for step in &s.steps {
                 match step {
@@ -634,6 +718,14 @@ mod tests {
                         assert!(s.cfg.cluster_nodes > 0, "rejoin requires cluster");
                         assert!(down.contains(node), "rejoin targets a downed node");
                         down.retain(|n| n != node);
+                    }
+                    Step::MonitorPush { party, bits } => {
+                        assert!(s.cfg.monitor_parties > 0, "monitor push requires monitor");
+                        assert!(*party < s.cfg.monitor_parties);
+                        assert!(!bits.is_empty());
+                    }
+                    Step::MonitorQuery => {
+                        assert!(s.cfg.monitor_parties > 0, "monitor query requires monitor")
                     }
                     _ => {}
                 }

@@ -9,6 +9,12 @@
 //! - an [`EhCount`] — Datar et al.'s independent baseline, which must
 //!   agree with the truth (and hence the wave) within ε.
 //!
+//! Monitor schedules additionally run a continuous-monitoring overlay
+//! ([`PushParty`]s plus a [`MonitorReferee`]): every referee answer is
+//! checked against per-party exact ring buffers, a pull-mode combine
+//! over the parties' live waves, and the ε+slack accuracy contract, and
+//! every push re-checks the per-party drift budget.
+//!
 //! Every trace line is a pure function of the schedule, so the FNV hash
 //! over the trace ([`RunReport::trace_hash`]) is the replay-identity
 //! witness: equal seeds ⇒ equal hashes. Timing-dependent facts (error
@@ -24,6 +30,7 @@ use std::time::{Duration, Instant};
 
 use waves_cluster::{ClusterClient, ClusterConfig};
 use waves_core::{Bits, DetWave, Estimate, ExactCount, WaveError};
+use waves_distributed::{combine_estimates, MonitorConfig, MonitorReferee, PushParty};
 use waves_eh::EhCount;
 use waves_engine::{Engine, EngineConfig, IngestRequest};
 use waves_net::{ChaosProxy, Client, ClientConfig, RetryPolicy, Server, ServerConfig};
@@ -217,6 +224,11 @@ struct Sim {
     cfg: SimConfig,
     backend: Option<Backend>,
     oracles: Oracles,
+    /// Continuous-monitoring overlay (monitor schedules only). Lives
+    /// harness-side and is deliberately untouched by restarts/crashes:
+    /// the parties and referee model long-lived monitoring processes
+    /// independent of the serving stack under fault injection.
+    monitor: Option<MonitorPlane>,
     root: Option<PathBuf>,
     /// Acknowledged batches covered by the newest on-disk checkpoint.
     ckpt_batches: usize,
@@ -233,10 +245,16 @@ impl Sim {
         if cfg.persist && cfg.num_shards != 1 {
             return Err("harness: persistent schedules require exactly one shard".into());
         }
+        let monitor = if cfg.monitor_parties > 0 {
+            Some(MonitorPlane::new(&cfg)?)
+        } else {
+            None
+        };
         Ok(Sim {
             cfg,
             backend: Some(start_backend(&cfg, root)?),
             oracles: Oracles::new(&cfg),
+            monitor,
             root: root.map(Path::to_path_buf),
             ckpt_batches: 0,
             seg_ends: Vec::new(),
@@ -262,6 +280,8 @@ impl Sim {
             Step::NodeKill { node } => self.do_node_kill(*node),
             Step::Partition { node } => self.do_partition(*node),
             Step::Rejoin { node } => self.do_rejoin(*node),
+            Step::MonitorPush { party, bits } => self.do_monitor_push(*party, bits),
+            Step::MonitorQuery => self.do_monitor_query(),
         }
     }
 
@@ -662,6 +682,116 @@ impl Sim {
         // `fresh` flag is a pure function of the schedule prefix.
         self.trace.push(format!("rejoin node={node} fresh={fresh}"));
         Ok(())
+    }
+
+    fn do_monitor_push(&mut self, party: u64, bits: &[bool]) -> Result<(), String> {
+        let Some(m) = self.monitor.as_mut() else {
+            return Err("harness: monitor-push step requires a monitor schedule".into());
+        };
+        let idx = party as usize;
+        if idx >= m.parties.len() {
+            return Err(format!(
+                "harness: monitor-push party={party}: no such party"
+            ));
+        }
+        for &b in bits {
+            m.exact[idx].push_bit(b);
+        }
+        let delta = m.parties[idx].push_bits(bits);
+        let shipped = delta.is_some();
+        if let Some(delta) = &delta {
+            m.referee
+                .install(delta)
+                .map_err(|e| format!("monitor referee rejected a live delta: {e:?}"))?;
+        }
+        // The slack account must settle below budget after *every*
+        // batch — this is the oracle that catches threshold off-by-ones
+        // (see the planted `dst_mutation` in `PushParty::settle`).
+        let drift = m.parties[idx].unshipped_drift();
+        let budget = m.parties[idx].slack_budget();
+        if drift > budget + 1e-9 {
+            return Err(format!(
+                "monitor party {party}: unshipped drift {drift} exceeds slack budget {budget}"
+            ));
+        }
+        let seq = m.parties[idx].seq();
+        self.checks += 1;
+        self.trace.push(format!(
+            "monitor-push party={party} bits={} shipped={shipped} seq={seq}",
+            bits.len()
+        ));
+        Ok(())
+    }
+
+    fn do_monitor_query(&mut self) -> Result<(), String> {
+        let Some(m) = self.monitor.as_ref() else {
+            return Err("harness: monitor-query step requires a monitor schedule".into());
+        };
+        // Three oracles for the continuously valid answer: the exact
+        // ring-buffer bracket, the pull-mode referee over the same bit
+        // sequence, and the ε+slack accuracy contract.
+        let push = m.referee.combined();
+        let pull = combine_estimates(m.parties.iter().map(|p| p.local().query_max()));
+        let truth: u64 = m.exact.iter().map(|e| e.query(m.cfg.max_window)).sum();
+        let slack = m.cfg.slack_total();
+        let contract = m.cfg.eps_synopsis() * truth as f64 + slack;
+        if (push.value - truth as f64).abs() > contract + 1e-6 {
+            return Err(format!(
+                "monitor-query: push answer {} off truth {truth} beyond eps_syn*truth+slack={contract}",
+                push.value
+            ));
+        }
+        if (push.value - pull.value).abs() > slack + 1e-6 {
+            return Err(format!(
+                "monitor-query: push {} and pull {} disagree beyond slack {slack}",
+                push.value, pull.value
+            ));
+        }
+        let drifts: f64 = m.parties.iter().map(|p| p.unshipped_drift()).sum();
+        if drifts > slack + 1e-9 {
+            return Err(format!(
+                "monitor-query: total unshipped drift {drifts} exceeds slack pool {slack}"
+            ));
+        }
+        self.checks += 1;
+        self.trace.push(format!(
+            "monitor-query push={} pull={} truth={truth}",
+            push.value, pull.value
+        ));
+        Ok(())
+    }
+}
+
+/// The continuous-monitoring overlay: push parties, their exact
+/// ground-truth ring buffers, and the referee folding shipped deltas.
+struct MonitorPlane {
+    cfg: MonitorConfig,
+    parties: Vec<PushParty>,
+    exact: Vec<ExactCount>,
+    referee: MonitorReferee,
+}
+
+impl MonitorPlane {
+    fn new(cfg: &SimConfig) -> Result<MonitorPlane, String> {
+        let mcfg = MonitorConfig {
+            max_window: cfg.max_window,
+            eps: cfg.eps,
+            eps_split: cfg.eps_split,
+            parties: cfg.monitor_parties,
+        };
+        let parties = (0..cfg.monitor_parties)
+            .map(|p| PushParty::new(&mcfg, p))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| format!("harness: monitor party: {e}"))?;
+        let exact = (0..cfg.monitor_parties)
+            .map(|_| ExactCount::new(cfg.max_window))
+            .collect();
+        Ok(MonitorPlane {
+            cfg: mcfg,
+            parties,
+            exact,
+            referee: MonitorReferee::new(),
+        })
     }
 }
 

@@ -13,6 +13,11 @@
 //! Both record merge-cascade statistics so experiments can show the
 //! worst-case per-item gap that the deterministic wave closes.
 //!
+//! [`XuCount`] adds Xu's boosted basic counting (arXiv:1312.0042) as a
+//! second baseline: O(1) worst-case updates with deferred batch
+//! compression instead of per-arrival cascades, cross-checked against
+//! the EH and the exact oracle in `tests/det_vs_exact.rs`.
+//!
 //! ```
 //! use waves_eh::EhCount;
 //!
@@ -26,9 +31,11 @@
 
 pub mod basic;
 pub mod sum;
+pub mod xu;
 
 pub use basic::{EhCount, EhCountBuilder};
 pub use sum::{EhSum, EhSumBuilder};
+pub use xu::XuCount;
 
 use waves_core::codec::CodecError;
 use waves_core::SynopsisCodec;
@@ -48,6 +55,15 @@ impl SynopsisCodec for EhSum {
     }
     fn decode_synopsis(bytes: &[u8]) -> Result<Self, CodecError> {
         EhSum::decode(bytes)
+    }
+}
+
+impl SynopsisCodec for XuCount {
+    fn encode_synopsis(&self) -> Vec<u8> {
+        self.encode()
+    }
+    fn decode_synopsis(bytes: &[u8]) -> Result<Self, CodecError> {
+        XuCount::decode(bytes)
     }
 }
 

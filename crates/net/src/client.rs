@@ -13,8 +13,10 @@
 //! the chaos-proxy integration tests hold it to that.
 //!
 //! Retries are deliberately narrow: only *idempotent* requests (ping,
-//! query, flush, snapshot, combine, push-synopsis, replicate — both
-//! pushes overwrite a slot, so a re-send lands on the same state) are
+//! query, flush, snapshot, combine, push-synopsis, push-delta,
+//! replicate — the pushes overwrite a slot, and a delta re-send is
+//! deduplicated by its sequence number, so a re-send lands on the same
+//! state) are
 //! retried, only on errors where the request plausibly never executed
 //! (connect failures and broken/reset connections), and at most
 //! [`RetryPolicy::retries`] times with linear backoff. The whole
@@ -339,6 +341,32 @@ impl<R: Recorder + Send + Sync + 'static> Client<R> {
     /// Push an exponential-histogram summer's encode for `party`.
     pub fn push_eh_sum(&mut self, party: u64, eh: &waves_eh::EhSum) -> Result<(), WaveError> {
         self.push_synopsis(party, SynopsisKind::EhSum, eh.encode())
+    }
+
+    /// Continuous-monitoring push (wire v7): ship a party's synopsis
+    /// delta to the referee after its drift crossed the `slack` budget.
+    /// `seq` must be the party's monotone sequence number (what
+    /// `waves_distributed::PushParty` emits). Idempotent — the server
+    /// installs a delta only if `seq` advances the party's highest
+    /// seen and answers Ok either way — so it is retried.
+    pub fn push_delta(
+        &mut self,
+        party: u64,
+        seq: u64,
+        slack: f64,
+        kind: SynopsisKind,
+        bytes: Vec<u8>,
+    ) -> Result<(), WaveError> {
+        match self.request_idempotent(&Frame::PushDelta {
+            party,
+            seq,
+            slack,
+            kind,
+            bytes,
+        })? {
+            Frame::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
     }
 
     /// Ship one key's synopsis encode to this server, which installs it

@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic  0x57 0x41  (b"WA")
-//! 2       1     version (currently 6)
+//! 2       1     version (currently 7)
 //! 3       1     frame type (see the `TYPE_*` constants)
 //! 4       4     payload length, u32 big-endian
 //! 8       8     trace id, u64 big-endian (0 = request is untraced)
@@ -70,8 +70,12 @@ pub const MAGIC: [u8; 2] = *b"WA";
 /// key's synopsis `encode()` bytes to its follower replicas; version 6
 /// widened the header from 16 to 24 bytes to carry a correlation id
 /// (0 = unpipelined) so requests can be pipelined and responses
-/// completed out of order.
-pub const WIRE_VERSION: u8 = 6;
+/// completed out of order; version 7 added the `PUSH_DELTA` request
+/// (`0x0B`), the continuous-monitoring push: a party ships its
+/// synopsis only when local drift crosses its ε-slack budget, with a
+/// per-party sequence number so the referee folds deltas exactly once
+/// and in order.
+pub const WIRE_VERSION: u8 = 7;
 
 /// Fixed header size in bytes (magic + version + type + length +
 /// trace id + correlation id).
@@ -100,6 +104,7 @@ const TYPE_COMBINE: u8 = 0x07;
 const TYPE_SHUTDOWN: u8 = 0x08;
 const TYPE_STATS: u8 = 0x09;
 const TYPE_REPLICATE: u8 = 0x0A;
+const TYPE_PUSH_DELTA: u8 = 0x0B;
 
 // Response frame types (server -> client). High bit set.
 const TYPE_OK: u8 = 0x80;
@@ -218,6 +223,22 @@ pub enum Frame {
     /// entry — replication, not aggregation.
     Replicate {
         key: u64,
+        kind: SynopsisKind,
+        bytes: Vec<u8>,
+    },
+    /// Continuous-monitoring push (wire v7): a party whose local drift
+    /// crossed its ε-slack budget ships its current synopsis encode to
+    /// the referee. `seq` is a per-party monotone sequence number — the
+    /// receiver installs the delta only if it advances the highest seen
+    /// for `party`, so retries and late reordered deltas are no-ops
+    /// (still answered [`Frame::Ok`], which is what makes the request
+    /// idempotent). `slack` carries the party's drift budget so the
+    /// referee can report a staleness bound without out-of-band
+    /// configuration.
+    PushDelta {
+        party: u64,
+        seq: u64,
+        slack: f64,
         kind: SynopsisKind,
         bytes: Vec<u8>,
     },
@@ -524,6 +545,21 @@ impl WireCodec {
                 p.extend_from_slice(bytes);
                 TYPE_REPLICATE
             }
+            Frame::PushDelta {
+                party,
+                seq,
+                slack,
+                kind,
+                bytes,
+            } => {
+                put_u64(&mut p, *party);
+                put_u64(&mut p, *seq);
+                put_u64(&mut p, slack.to_bits());
+                p.push(*kind as u8);
+                put_u32(&mut p, bytes.len() as u32);
+                p.extend_from_slice(bytes);
+                TYPE_PUSH_DELTA
+            }
             Frame::Combine { window } => {
                 put_u64(&mut p, *window);
                 TYPE_COMBINE
@@ -657,6 +693,24 @@ impl WireCodec {
                 let len = r.u32()? as usize;
                 let bytes = r.take(len)?.to_vec();
                 Frame::Replicate { key, kind, bytes }
+            }
+            TYPE_PUSH_DELTA => {
+                let party = r.u64()?;
+                let seq = r.u64()?;
+                let slack = r.f64()?;
+                if !slack.is_finite() || slack < 0.0 {
+                    return Err(FrameError::Malformed("push delta slack"));
+                }
+                let kind = SynopsisKind::from_wire(r.u8()?)?;
+                let len = r.u32()? as usize;
+                let bytes = r.take(len)?.to_vec();
+                Frame::PushDelta {
+                    party,
+                    seq,
+                    slack,
+                    kind,
+                    bytes,
+                }
             }
             TYPE_COMBINE => Frame::Combine { window: r.u64()? },
             TYPE_ESTIMATE => {
@@ -850,6 +904,20 @@ mod tests {
         roundtrip(Frame::Replicate {
             key: 0,
             kind: SynopsisKind::SumWave,
+            bytes: Vec::new(),
+        });
+        roundtrip(Frame::PushDelta {
+            party: 2,
+            seq: 17,
+            slack: 3.5,
+            kind: SynopsisKind::DetWave,
+            bytes: vec![0xca, 0xfe],
+        });
+        roundtrip(Frame::PushDelta {
+            party: u64::MAX,
+            seq: 1,
+            slack: 0.0,
+            kind: SynopsisKind::EhCount,
             bytes: Vec::new(),
         });
         roundtrip(Frame::Combine { window: 512 });
@@ -1092,6 +1160,39 @@ mod tests {
         assert_eq!(
             &bytes[body_at..body_at + 8],
             &[0x01, 0x02, 0, 0, 0, 0, 0, 0]
+        );
+    }
+
+    /// Wire v7 PUSH_DELTA payload layout is frozen: party u64, seq
+    /// u64, slack f64-as-bits, kind byte, length-prefixed synopsis
+    /// bytes — all big-endian.
+    #[test]
+    fn push_delta_payload_layout_is_stable() {
+        let frame = Frame::PushDelta {
+            party: 0x0102_0304_0506_0708,
+            seq: 9,
+            slack: 2.5,
+            kind: SynopsisKind::DetWave,
+            bytes: vec![0xAB, 0xCD],
+        };
+        let bytes = WireCodec::encode(&frame);
+        assert_eq!(bytes[2], WIRE_VERSION);
+        assert_eq!(bytes[3], TYPE_PUSH_DELTA);
+        let p = HEADER_LEN;
+        assert_eq!(&bytes[p..p + 8], &0x0102_0304_0506_0708u64.to_be_bytes());
+        assert_eq!(&bytes[p + 8..p + 16], &9u64.to_be_bytes());
+        assert_eq!(&bytes[p + 16..p + 24], &2.5f64.to_bits().to_be_bytes());
+        assert_eq!(bytes[p + 24], 0, "DetWave kind byte");
+        assert_eq!(&bytes[p + 25..p + 29], &2u32.to_be_bytes());
+        assert_eq!(&bytes[p + 29..p + 31], &[0xAB, 0xCD]);
+
+        // Non-finite or negative slack never decodes.
+        let mut bad = WireCodec::encode(&frame);
+        bad[p + 16..p + 24].copy_from_slice(&f64::NAN.to_bits().to_be_bytes());
+        reseal(&mut bad);
+        assert_eq!(
+            WireCodec::decode(&bad),
+            Err(FrameError::Malformed("push delta slack"))
         );
     }
 

@@ -22,6 +22,9 @@
 //!   [`waves_engine::Engine`], plus a referee map for
 //!   [`Frame::PushSynopsis`] / [`Frame::Combine`] that reuses the
 //!   in-process combine rule ([`waves_distributed::combine_estimates`]).
+//!   Wire v7's [`Frame::PushDelta`] feeds the same map in continuous-
+//!   monitoring push mode, deduplicated by per-party sequence numbers
+//!   so retries and late reordered deltas cannot roll the referee back.
 //!   Requests pipeline per connection (bounded in-flight window,
 //!   bounded write queues, out-of-order completion by correlation id).
 //! * [`client`] — [`Client`]: blocking request/response with connect/

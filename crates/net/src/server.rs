@@ -15,7 +15,7 @@
 //! Frame *handling* runs on a small pool of dispatch workers, so a
 //! slow engine operation never stalls the loop. The loop hands each
 //! decoded frame to the pool over a channel; workers run
-//! [`dispatch`], encode the reply under the request's header tag, and
+//! `dispatch`, encode the reply under the request's header tag, and
 //! hand the bytes back over a completion channel, poking the loop's
 //! waker. Backpressure is explicit at both ends: a connection with
 //! [`ServerConfig::max_inflight`] requests outstanding has its read
@@ -35,7 +35,7 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -125,6 +125,10 @@ struct Shared<R: Recorder + Send + Sync + 'static> {
     engine: Engine<DetWave, R>,
     /// Party id -> last pushed synopsis, queried by `Combine`.
     referee: Mutex<HashMap<u64, PartySynopsis>>,
+    /// Party id -> (highest PUSH_DELTA sequence seen, declared slack).
+    /// A delta whose sequence does not advance the entry is a no-op, so
+    /// retried and late reordered pushes cannot roll the referee back.
+    monitor: Mutex<HashMap<u64, (u64, f64)>>,
     rec: Arc<R>,
     slow_request: Option<Duration>,
     stopping: AtomicBool,
@@ -176,6 +180,7 @@ impl<R: Recorder + Send + Sync + 'static> Server<R> {
         let shared = Arc::new(Shared {
             engine,
             referee: Mutex::new(HashMap::new()),
+            monitor: Mutex::new(HashMap::new()),
             rec,
             slow_request: cfg.slow_request,
             stopping: AtomicBool::new(false),
@@ -242,6 +247,24 @@ impl<R: Recorder + Send + Sync + 'static> Server<R> {
     /// Parties currently registered with the networked referee.
     pub fn referee_parties(&self) -> usize {
         self.shared.referee.lock().unwrap().len()
+    }
+
+    /// Highest PUSH_DELTA sequence number seen from `party` (continuous
+    /// monitoring), or `None` if the party has never pushed a delta.
+    pub fn monitor_seq_of(&self, party: u64) -> Option<u64> {
+        self.shared.monitor.lock().unwrap().get(&party).map(|e| e.0)
+    }
+
+    /// Sum of the slack budgets declared by parties that have pushed
+    /// deltas: the staleness bound on `Combine` answers over them.
+    pub fn monitor_slack_total(&self) -> f64 {
+        self.shared
+            .monitor
+            .lock()
+            .unwrap()
+            .values()
+            .map(|e| e.1)
+            .sum()
     }
 
     /// The hosted engine. Lets a harness drive engine-level operations
@@ -665,11 +688,7 @@ impl<R: Recorder + Send + Sync + 'static> EventLoop<R> {
     /// Absorb finished dispatches: enqueue replies, release in-flight
     /// slots, resume reading on connections that were at the cap.
     fn drain_completions(&mut self) {
-        loop {
-            let done = match self.done_rx.try_recv() {
-                Ok(d) => d,
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
-            };
+        while let Ok(done) = self.done_rx.try_recv() {
             let id = done.conn;
             {
                 let Some(conn) = self.conns.get_mut(&id) else {
@@ -922,6 +941,54 @@ fn dispatch<R: Recorder + Send + Sync + 'static>(
                     Ok(()) => Frame::Ok,
                     Err(e) => Frame::ErrorResp(e),
                 }
+            }
+        }
+        Frame::PushDelta {
+            party,
+            seq,
+            slack,
+            kind,
+            bytes,
+        } => {
+            // Deduplicate by sequence *before* decoding: a stale or
+            // replayed delta is answered Ok without touching state,
+            // which is what makes PUSH_DELTA retry-safe (idempotent)
+            // and late reordering harmless.
+            {
+                let monitor = shared.monitor.lock().unwrap();
+                if let Some(&(last, _)) = monitor.get(&party) {
+                    if last >= seq {
+                        shared.rec.incr(MetricId::MonitorStaleDeltas, 1);
+                        return Frame::Ok;
+                    }
+                }
+            }
+            match PartySynopsis::decode(kind, &bytes) {
+                Ok(syn) => {
+                    // Lock order: referee before monitor, and re-check
+                    // the sequence under the lock so a racing duplicate
+                    // dispatched on another worker cannot double-install.
+                    let mut referee = shared.referee.lock().unwrap();
+                    let mut monitor = shared.monitor.lock().unwrap();
+                    match monitor.get(&party) {
+                        Some(&(last, _)) if last >= seq => {
+                            shared.rec.incr(MetricId::MonitorStaleDeltas, 1);
+                        }
+                        _ => {
+                            monitor.insert(party, (seq, slack));
+                            referee.insert(party, syn);
+                            shared.rec.incr(MetricId::MonitorPushes, 1);
+                            shared
+                                .rec
+                                .incr(MetricId::MonitorPushBytes, bytes.len() as u64);
+                        }
+                    }
+                    Frame::Ok
+                }
+                Err(e) => Frame::ErrorResp(WaveError::io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("push delta decode failed: {e}"),
+                ))),
             }
         }
         Frame::Combine { window } => {

@@ -105,10 +105,18 @@ pub enum MetricId {
     /// Connections the event loop closed for falling behind: the
     /// per-connection write queue exceeded its byte cap (slow client).
     NetConnectionsEvicted,
+    /// PUSH_DELTA frames installed by the monitor referee (a party's
+    /// drift crossed its slack budget and advanced its sequence).
+    MonitorPushes,
+    /// Synopsis payload bytes carried by installed PUSH_DELTA frames.
+    MonitorPushBytes,
+    /// PUSH_DELTA frames rejected as stale: the sequence number did not
+    /// advance the party's highest seen (retries, late reordering).
+    MonitorStaleDeltas,
 }
 
 /// Number of [`MetricId`] variants (length of the registry's array).
-pub const NUM_METRICS: usize = 41;
+pub const NUM_METRICS: usize = 44;
 
 impl MetricId {
     pub const ALL: [MetricId; NUM_METRICS] = [
@@ -153,6 +161,9 @@ impl MetricId {
         MetricId::ClusterAntiEntropyMerges,
         MetricId::PollWakeups,
         MetricId::NetConnectionsEvicted,
+        MetricId::MonitorPushes,
+        MetricId::MonitorPushBytes,
+        MetricId::MonitorStaleDeltas,
     ];
 
     /// Stable snake_case name used in text and JSON output.
@@ -199,6 +210,9 @@ impl MetricId {
             MetricId::ClusterAntiEntropyMerges => "cluster_anti_entropy_merges_total",
             MetricId::PollWakeups => "poll_wakeups_total",
             MetricId::NetConnectionsEvicted => "net_connections_evicted_total",
+            MetricId::MonitorPushes => "monitor_pushes_total",
+            MetricId::MonitorPushBytes => "monitor_push_bytes_total",
+            MetricId::MonitorStaleDeltas => "monitor_stale_deltas_total",
         }
     }
 }

@@ -21,6 +21,8 @@
 //! | 1's in a window of a **union of distributed streams** | [`UnionParty`] + [`Referee`] | `(eps, delta)`, space independent of `t` |
 //! | Distinct values in a window of distributed streams | [`DistinctParty`] + [`DistinctReferee`] | `(eps, delta)` |
 //! | Exponential-histogram baselines (Datar et al.) | [`EhCount`], [`EhSum`] | `eps`, O(1) *amortized*/item |
+//! | Boosted basic counting baseline (Xu et al.) | [`XuCount`] | `eps`, O(1) worst-case/item |
+//! | Continuously valid monitoring over distributed streams | [`PushParty`] + [`MonitorReferee`] | ε-split push deltas, bounded staleness |
 //! | Many keyed windows served concurrently | [`Engine`] | sharded threads, batched ingest, backpressure |
 //!
 //! ## Quick start
@@ -82,7 +84,7 @@ pub use waves_core::{
     SumWaveBuilder, Synopsis, TimestampSumWave, TimestampWave, WaveError, WindowedHistogram,
 };
 
-pub use waves_eh::{EhCount, EhCountBuilder, EhSum, EhSumBuilder};
+pub use waves_eh::{EhCount, EhCountBuilder, EhSum, EhSumBuilder, XuCount};
 
 pub use waves_engine::{
     Engine, EngineConfig, EngineConfigBuilder, EngineSnapshot, IngestRequest, KeyedBits,
@@ -101,8 +103,9 @@ pub use waves_distributed::{
     combine_estimates, coord_distinct_estimate, coord_union_estimate, det_combine,
     run_distinct_threaded, run_distinct_threaded_recorded, run_union_threaded,
     run_union_threaded_recorded, simulate_async_union, AsyncQueryOutcome, CommStats,
-    CoordDistinctParty, CoordSampleParty, DetCombine, PartyComm, Scenario1Count, Scenario1Sum,
-    Scenario2Count, Scenario3PositionwiseSum, ThreadedRun,
+    CoordDistinctParty, CoordSampleParty, DetCombine, MonitorConfig, MonitorDelta, MonitorReferee,
+    PartyComm, PushParty, Scenario1Count, Scenario1Sum, Scenario2Count, Scenario3PositionwiseSum,
+    ThreadedRun,
 };
 
 /// Networked transport: wire protocol, TCP server/client, networked

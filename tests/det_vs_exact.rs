@@ -5,7 +5,7 @@
 //! oracle, across workload families (Theorem 1 end-to-end).
 
 use waves::streamgen::{AlternatingRuns, Bernoulli, BitSource, Bursty, Periodic};
-use waves::{BitSynopsis, DetWave, EhCount, ExactCount};
+use waves::{BitSynopsis, DetWave, EhCount, ExactCount, XuCount};
 
 fn check_synopsis<S: BitSynopsis>(
     synopsis: &mut S,
@@ -86,6 +86,27 @@ fn eh_all_workloads() {
             &[1, 64, 777, 2_048],
         );
         println!("eh ok on {name}");
+    }
+}
+
+/// Xu's boosted basic counting (arXiv:1312.0042), the second baseline,
+/// under the same cross-agreement oracle as the wave and the EH: every
+/// estimate brackets the exact count and stays within ε across all
+/// four workload families.
+#[test]
+fn xu_all_workloads() {
+    let (eps, n_max) = (0.1, 2_048u64);
+    for (name, mut source) in workloads(17) {
+        let mut xu = XuCount::new(n_max, eps).unwrap();
+        check_synopsis(
+            &mut xu,
+            &mut source,
+            eps,
+            n_max,
+            30_000,
+            &[1, 64, 777, 2_048],
+        );
+        println!("xu ok on {name}");
     }
 }
 

@@ -13,8 +13,10 @@
 
 use std::time::{Duration, Instant};
 use waves::dst::{run, FaultSpec, Schedule};
-use waves::net::{ChaosProxy, Client, ClientConfig, Fault, RetryPolicy, Server, ServerConfig};
-use waves::{EngineConfig, IngestRequest, WaveError};
+use waves::net::{
+    ChaosProxy, Client, ClientConfig, Fault, RetryPolicy, Server, ServerConfig, SynopsisKind,
+};
+use waves::{DetWave, EngineConfig, IngestRequest, WaveError};
 
 /// Tight budgets so the whole suite stays fast; the assertions give
 /// each op ~10x headroom before declaring a hang.
@@ -196,6 +198,104 @@ fn idempotent_requests_retry_after_reset() {
         "{err:?}"
     );
     assert!(t0.elapsed() < HANG_BUDGET, "took {:?}", t0.elapsed());
+}
+
+/// A `DetWave` holding `ones` distinct 1-bits, for hand-rolled
+/// `PUSH_DELTA` payloads with a known combine answer.
+fn wave_with(ones: u64) -> DetWave {
+    let mut w = DetWave::new(64, 0.25).unwrap();
+    for _ in 0..ones {
+        w.push_bit(true);
+    }
+    w
+}
+
+/// Wire v7 dedup under reordering: once the referee holds seq 2 for a
+/// party, a late seq-1 delta and a replayed seq-2 delta (even with
+/// different bytes) are answered `Ok` without touching state — the
+/// continuous answer never rolls backwards. A genuinely newer seq still
+/// advances it, proving the party isn't wedged.
+#[test]
+fn reordered_and_duplicate_push_deltas_never_roll_the_referee_back() {
+    let server = start_server();
+    let mut client = Client::connect_with(server.local_addr(), fast_cfg()).unwrap();
+    let newer = wave_with(5);
+    let older = wave_with(1);
+    client
+        .push_delta(0, 2, 0.0, SynopsisKind::DetWave, newer.encode())
+        .unwrap();
+    let installed = client.combine(64).unwrap();
+    assert_eq!(installed.value, newer.query_max().value);
+    // Late reordered delta: lower seq, different bytes — acked, ignored.
+    client
+        .push_delta(0, 1, 0.0, SynopsisKind::DetWave, older.encode())
+        .unwrap();
+    assert_eq!(
+        client.combine(64).unwrap(),
+        installed,
+        "seq 1 rolled back seq 2"
+    );
+    // Replay of the current seq with different bytes: also a no-op.
+    client
+        .push_delta(0, 2, 0.0, SynopsisKind::DetWave, older.encode())
+        .unwrap();
+    assert_eq!(
+        client.combine(64).unwrap(),
+        installed,
+        "replayed seq mutated state"
+    );
+    // A genuinely newer delta still advances the answer.
+    client
+        .push_delta(0, 3, 0.0, SynopsisKind::DetWave, older.encode())
+        .unwrap();
+    assert_eq!(client.combine(64).unwrap().value, older.query_max().value);
+}
+
+/// A stalled `PUSH_DELTA` ack is bounded staleness, never a wrong
+/// answer: the delta's forward leg reaches the server (the Delay fault
+/// stalls only server→client bytes), the pusher times out and retries
+/// through the same sick proxy, and seq dedup collapses both attempts
+/// into at most one install. The referee's answer is the old value or
+/// the new one — nothing else — and an idempotent direct re-send of the
+/// same seq repairs the monitor to exactly the new answer.
+#[test]
+fn delayed_push_delta_ack_is_bounded_staleness_never_a_wrong_answer() {
+    let server = start_server();
+    let old = wave_with(2);
+    let new = wave_with(7);
+    let mut direct = Client::connect_with(server.local_addr(), fast_cfg()).unwrap();
+    direct
+        .push_delta(0, 1, 0.0, SynopsisKind::DetWave, old.encode())
+        .unwrap();
+    assert_eq!(direct.combine(64).unwrap().value, old.query_max().value);
+    // Ship seq 2 through a proxy that delays every reply past the read
+    // timeout: both the first attempt and the retry fail with a typed
+    // error, inside the hang budget.
+    let proxy =
+        ChaosProxy::start(server.local_addr(), Fault::Delay(Duration::from_secs(2))).unwrap();
+    let mut pusher = Client::connect_with(proxy.local_addr(), fast_cfg()).unwrap();
+    let t0 = Instant::now();
+    let err = pusher
+        .push_delta(0, 2, 0.0, SynopsisKind::DetWave, new.encode())
+        .unwrap_err();
+    assert!(
+        matches!(err, WaveError::Timeout { .. } | WaveError::Io(_)),
+        "{err:?}"
+    );
+    assert!(t0.elapsed() < HANG_BUDGET, "took {:?}", t0.elapsed());
+    // The referee is stale or current — never corrupt, never rolled back.
+    let answer = direct.combine(64).unwrap().value;
+    assert!(
+        answer == old.query_max().value || answer == new.query_max().value,
+        "combine {answer} is neither the old nor the new answer"
+    );
+    // Repair: the same seq over a healthy path. If a timed-out attempt
+    // already installed it this is a dedup no-op; either way the answer
+    // is now exactly the new one.
+    direct
+        .push_delta(0, 2, 0.0, SynopsisKind::DetWave, new.encode())
+        .unwrap();
+    assert_eq!(direct.combine(64).unwrap().value, new.query_max().value);
 }
 
 /// A client with a generous budget pointed at a fresh server after a

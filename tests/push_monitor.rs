@@ -1,0 +1,169 @@
+//! Integration: continuous-monitoring push mode over a real TCP
+//! server, differentially against an in-process pull referee on the
+//! identical seeded stream.
+//!
+//! The push referee (the server's synopsis map, fed by `PUSH_DELTA`
+//! frames only on drift-threshold crossings) must agree with the pull
+//! reference (a fresh combine over every party's live wave) within the
+//! ε-slack pool at *every* step — not just at the end — and the push
+//! design must ship fewer bytes than pull fan-out would on a bursty
+//! workload.
+
+use std::sync::Arc;
+use waves::net::{Client, Frame, Server, ServerConfig, SynopsisKind, WireCodec};
+use waves::obs::{MetricId, MetricsRegistry};
+use waves::streamgen::KeyedWorkload;
+use waves::{combine_estimates, EngineConfig, ExactCount, MonitorConfig, PushParty};
+
+const WINDOW: u64 = 128;
+const EPS: f64 = 0.2;
+const SPLIT: f64 = 0.5;
+const PARTIES: u64 = 3;
+const EVENTS: usize = 1_200;
+
+fn start_referee(registry: &Arc<MetricsRegistry>) -> Server<MetricsRegistry> {
+    Server::start_recorded(
+        "127.0.0.1:0",
+        ServerConfig {
+            engine: EngineConfig::builder()
+                .num_shards(1)
+                .max_window(WINDOW)
+                .eps(EPS)
+                .build(),
+            read_timeout: None,
+            ..Default::default()
+        },
+        Arc::clone(registry),
+    )
+    .expect("server start")
+}
+
+/// Bursty keyed stream, one workload key per party.
+fn events() -> Vec<(u64, Vec<bool>)> {
+    let mut w = KeyedWorkload::new(PARTIES, 4, 0.5, 41)
+        .with_burst_range(1, 16)
+        .with_hot_set(0.7, 1);
+    w.next_batch(EVENTS)
+}
+
+#[test]
+fn push_over_tcp_tracks_the_pull_referee_within_slack() {
+    let mcfg = MonitorConfig {
+        max_window: WINDOW,
+        eps: EPS,
+        eps_split: SPLIT,
+        parties: PARTIES,
+    };
+    let registry = Arc::new(MetricsRegistry::new());
+    let server = start_referee(&registry);
+    let mut client = Client::connect(server.local_addr()).expect("client connect");
+    let mut parties: Vec<PushParty> = (0..PARTIES)
+        .map(|p| PushParty::new(&mcfg, p).expect("validated config"))
+        .collect();
+    let mut exact: Vec<ExactCount> = (0..PARTIES).map(|_| ExactCount::new(WINDOW)).collect();
+    let slack = mcfg.slack_total();
+    // What per-step pull fan-out would have cost on the same stream:
+    // every party's full synopsis as a PUSH_SYNOPSIS frame, each step.
+    let mut pull_fanout_bytes = 0u64;
+    for (party, bits) in events() {
+        let idx = party as usize;
+        for &b in &bits {
+            exact[idx].push_bit(b);
+        }
+        if let Some(delta) = parties[idx].push_bits(&bits) {
+            client
+                .push_delta(
+                    delta.party,
+                    delta.seq,
+                    delta.slack,
+                    SynopsisKind::DetWave,
+                    delta.bytes,
+                )
+                .expect("push delta");
+        }
+        for p in &parties {
+            let frame = Frame::PushSynopsis {
+                party: p.party(),
+                kind: SynopsisKind::DetWave,
+                bytes: p.local().encode(),
+            };
+            pull_fanout_bytes += WireCodec::encode(&frame).len() as u64;
+        }
+        // Every step: the networked push answer vs the in-process pull
+        // reference and the exact truth.
+        let push = client.combine(WINDOW).expect("combine");
+        let pull = combine_estimates(parties.iter().map(|p| p.local().query_max()));
+        assert!(
+            (push.value - pull.value).abs() <= slack + 1e-6,
+            "push {} and pull {} disagree beyond slack {slack}",
+            push.value,
+            pull.value
+        );
+        let truth: u64 = exact.iter().map(|e| e.query(WINDOW)).sum();
+        let contract = mcfg.eps_synopsis() * truth as f64 + slack;
+        assert!(
+            (push.value - truth as f64).abs() <= contract + 1e-6,
+            "push {} off truth {truth} beyond contract {contract}",
+            push.value
+        );
+    }
+    // The server counted the actual delta traffic; it must undercut
+    // what pull fan-out would have shipped on this bursty stream.
+    let pushes = registry.counter(MetricId::MonitorPushes);
+    let push_bytes = registry.counter(MetricId::MonitorPushBytes);
+    assert!(pushes > 0, "drift never crossed the threshold");
+    assert!(
+        push_bytes < pull_fanout_bytes,
+        "push shipped {push_bytes} payload bytes, pull fan-out would be {pull_fanout_bytes}"
+    );
+    server.shutdown();
+}
+
+/// A forced flush from every party resynchronizes the networked
+/// referee byte-for-byte with the local state: after it, the combine
+/// answer is exactly the pull answer (no slack needed).
+#[test]
+fn forced_flush_restores_exact_agreement_over_tcp() {
+    let mcfg = MonitorConfig {
+        max_window: WINDOW,
+        eps: EPS,
+        eps_split: SPLIT,
+        parties: PARTIES,
+    };
+    let registry = Arc::new(MetricsRegistry::new());
+    let server = start_referee(&registry);
+    let mut client = Client::connect(server.local_addr()).expect("client connect");
+    let mut parties: Vec<PushParty> = (0..PARTIES)
+        .map(|p| PushParty::new(&mcfg, p).expect("validated config"))
+        .collect();
+    for (party, bits) in events().into_iter().take(300) {
+        if let Some(delta) = parties[party as usize].push_bits(&bits) {
+            client
+                .push_delta(
+                    delta.party,
+                    delta.seq,
+                    delta.slack,
+                    SynopsisKind::DetWave,
+                    delta.bytes,
+                )
+                .expect("push delta");
+        }
+    }
+    for p in parties.iter_mut() {
+        let delta = p.force_flush();
+        client
+            .push_delta(
+                delta.party,
+                delta.seq,
+                delta.slack,
+                SynopsisKind::DetWave,
+                delta.bytes,
+            )
+            .expect("forced flush delta");
+        assert_eq!(p.unshipped_drift(), 0.0, "flush left drift behind");
+    }
+    let push = client.combine(WINDOW).expect("combine");
+    let pull = combine_estimates(parties.iter().map(|p| p.local().query_max()));
+    assert_eq!(push, pull, "flushed referee still disagrees with pull");
+    server.shutdown();
+}
